@@ -1,0 +1,152 @@
+// Ablation of the cID approximation (Section 4.1): the (min,max) word pair
+// treats two tree content sets as equal whenever their extremes agree. This
+// bench measures, on XMark data, (a) how often equal cIDs hide genuinely
+// different content sets among same-label same-kList siblings (false
+// merges → over-pruning), and (b) the cost of exact set comparison instead.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <set>
+
+#include "src/core/maxmatch.h"
+#include "src/core/node_info.h"
+#include "src/core/validrtf.h"
+#include "src/datagen/workloads.h"
+#include "src/datagen/xmark_gen.h"
+#include "src/text/content.h"
+
+namespace xks {
+namespace {
+
+struct Corpus {
+  Document doc;
+  ShreddedStore store;
+};
+
+const Corpus& SharedCorpus() {
+  static const Corpus* corpus = [] {
+    XmarkOptions options;
+    options.scale = 0.15;
+    Corpus* c = new Corpus();
+    c->doc = GenerateXmark(options);
+    c->store = ShreddedStore::Build(c->doc);
+    return c;
+  }();
+  return *corpus;
+}
+
+/// Exact tree content set of `dewey` under the query: the union of the
+/// content words of the *keyword nodes* in its subtree (Definition 3).
+std::set<std::string> ExactTreeContent(const Corpus& corpus, const Dewey& dewey,
+                                       const KeywordQuery& query) {
+  std::set<std::string> content;
+  NodeId id = *corpus.doc.FindByDewey(dewey);
+  std::vector<NodeId> stack = {id};
+  while (!stack.empty()) {
+    NodeId current = stack.back();
+    stack.pop_back();
+    const Node& n = corpus.doc.node(current);
+    std::vector<std::string> words = ContentWords(corpus.doc, current);
+    bool is_keyword_node = false;
+    for (const std::string& w : query.keywords()) {
+      if (std::binary_search(words.begin(), words.end(), w)) {
+        is_keyword_node = true;
+        break;
+      }
+    }
+    if (is_keyword_node) content.insert(words.begin(), words.end());
+    for (NodeId child : n.children) stack.push_back(child);
+  }
+  return content;
+}
+
+/// Counts cID merge decisions across the workload: pairs of same-label
+/// same-kList siblings whose cIDs collide, split into true duplicates
+/// (exact sets equal) and false merges (sets differ).
+void BM_CidFalseMergeRate(benchmark::State& state) {
+  const Corpus& corpus = SharedCorpus();
+  size_t collisions = 0;
+  size_t false_merges = 0;
+  for (auto _ : state) {
+    collisions = 0;
+    false_merges = 0;
+    for (const WorkloadQuery& wq : XmarkWorkload()) {
+      KeywordQuery query = *KeywordQuery::FromKeywords(wq.keywords);
+      SearchOptions options = ValidRtfOptions();
+      options.keep_raw_fragments = true;
+      SearchEngine engine(&corpus.store);
+      Result<SearchResult> result = engine.Search(query, options);
+      if (!result.ok()) continue;
+      for (const FragmentResult& f : result->fragments) {
+        const FragmentTree& raw = f.raw;
+        for (size_t i = 0; i < raw.size(); ++i) {
+          for (const LabelItem& item :
+               BuildLabelItems(raw, static_cast<FragmentNodeId>(i),
+                               query.size())) {
+            if (item.counter < 2) continue;
+            // Group children by (kList, cID); within a group, compare the
+            // exact sets of the first two members.
+            std::map<std::pair<uint64_t, ContentId>,
+                     std::vector<FragmentNodeId>> groups;
+            for (size_t c = 0; c < item.ch_list.size(); ++c) {
+              const FragmentNode& child = raw.node(item.ch_list[c]);
+              groups[{child.klist, child.cid}].push_back(item.ch_list[c]);
+            }
+            for (const auto& [key, members] : groups) {
+              if (members.size() < 2) continue;
+              ++collisions;
+              std::set<std::string> a =
+                  ExactTreeContent(corpus, raw.node(members[0]).dewey, query);
+              std::set<std::string> b =
+                  ExactTreeContent(corpus, raw.node(members[1]).dewey, query);
+              if (a != b) ++false_merges;
+            }
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(false_merges);
+  }
+  state.counters["cid_collisions"] =
+      benchmark::Counter(static_cast<double>(collisions));
+  state.counters["false_merges"] =
+      benchmark::Counter(static_cast<double>(false_merges));
+  state.counters["false_merge_rate"] = benchmark::Counter(
+      collisions == 0 ? 0.0
+                      : static_cast<double>(false_merges) /
+                            static_cast<double>(collisions));
+}
+BENCHMARK(BM_CidFalseMergeRate)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+/// Cost of the cID comparison itself versus exact set comparison, isolated.
+void BM_CidComparison(benchmark::State& state) {
+  ContentId a{"alpha", "omega"};
+  ContentId b{"alpha", "omega"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a == b);
+  }
+}
+BENCHMARK(BM_CidComparison);
+
+void BM_ExactSetComparison(benchmark::State& state) {
+  const Corpus& corpus = SharedCorpus();
+  KeywordQuery query = *KeywordQuery::Parse("preventions description");
+  // Two sibling description subtrees.
+  const PostingList& postings = corpus.store.KeywordNodes("description");
+  if (postings.size() < 2) {
+    state.SkipWithError("not enough description nodes");
+    return;
+  }
+  const Dewey& x = postings[postings.size() / 2];
+  const Dewey& y = postings[postings.size() / 2 + 1];
+  for (auto _ : state) {
+    std::set<std::string> a = ExactTreeContent(corpus, x, query);
+    std::set<std::string> b = ExactTreeContent(corpus, y, query);
+    benchmark::DoNotOptimize(a == b);
+  }
+}
+BENCHMARK(BM_ExactSetComparison);
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,83 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/maxmatch.h"
+#include "src/core/validrtf.h"
+
+namespace xks {
+
+BenchRow MeasureQuery(const ShreddedStore& store, const WorkloadQuery& query,
+                      int runs) {
+  BenchRow row;
+  row.label = query.label;
+  Result<KeywordQuery> parsed = KeywordQuery::FromKeywords(query.keywords);
+  if (!parsed.ok()) return row;
+
+  SearchEngine engine(&store);
+  double valid_total = 0;
+  double max_total = 0;
+  SearchResult last_valid;
+  SearchResult last_max;
+  for (int run = 0; run < runs; ++run) {
+    Result<SearchResult> valid = engine.Search(*parsed, ValidRtfOptions());
+    Result<SearchResult> max = engine.Search(*parsed, MaxMatchOptions());
+    if (!valid.ok() || !max.ok()) return row;
+    if (run == 0) continue;  // discard the first processing (paper protocol)
+    valid_total += valid->timings.post_retrieval_ms();
+    max_total += max->timings.post_retrieval_ms();
+    if (run == runs - 1) {
+      last_valid = std::move(valid).value();
+      last_max = std::move(max).value();
+    }
+  }
+  const int counted = runs > 1 ? runs - 1 : 1;
+  row.validrtf_ms = valid_total / counted;
+  row.maxmatch_ms = max_total / counted;
+  row.rtfs = last_valid.rtf_count();
+  row.keyword_nodes = last_valid.keyword_node_count;
+  Result<QueryEffectiveness> eff = CompareEffectiveness(last_valid, last_max);
+  if (eff.ok()) row.effectiveness = std::move(eff).value();
+  return row;
+}
+
+std::vector<BenchRow> MeasureWorkload(const ShreddedStore& store,
+                                      const std::vector<WorkloadQuery>& workload,
+                                      int runs) {
+  std::vector<BenchRow> rows;
+  rows.reserve(workload.size());
+  for (const WorkloadQuery& query : workload) {
+    rows.push_back(MeasureQuery(store, query, runs));
+  }
+  return rows;
+}
+
+void PrintFigure5(const std::string& title, const std::vector<BenchRow>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-14s %12s %14s %14s %8s\n", "query", "kw-nodes", "MaxMatch(ms)",
+              "ValidRTF(ms)", "RTFs");
+  for (const BenchRow& row : rows) {
+    std::printf("%-14s %12zu %14.3f %14.3f %8zu\n", row.label.c_str(),
+                row.keyword_nodes, row.maxmatch_ms, row.validrtf_ms, row.rtfs);
+  }
+}
+
+void PrintFigure6(const std::string& title, const std::vector<BenchRow>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-14s %8s %8s %8s %8s\n", "query", "RTFs", "CFR", "APR'",
+              "MaxAPR");
+  for (const BenchRow& row : rows) {
+    std::printf("%-14s %8zu %8.3f %8.3f %8.3f\n", row.label.c_str(), row.rtfs,
+                row.effectiveness.cfr(), row.effectiveness.apr_prime(),
+                row.effectiveness.max_apr());
+  }
+}
+
+double ArgScale(int argc, char** argv, int index, double fallback) {
+  if (argc <= index) return fallback;
+  double value = std::atof(argv[index]);
+  return value > 0 ? value : fallback;
+}
+
+}  // namespace xks

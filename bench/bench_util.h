@@ -1,0 +1,50 @@
+// Shared harness code for the figure-reproduction benches.
+//
+// Follows the paper's protocol (Section 5.1): every query runs 6 times, the
+// first (cold) run is discarded, the remaining 5 are averaged; reported time
+// is the post-retrieval time (after keyword-node Dewey codes are fetched).
+
+#ifndef XKS_BENCH_BENCH_UTIL_H_
+#define XKS_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/datagen/workloads.h"
+#include "src/storage/store.h"
+
+namespace xks {
+
+/// One measured query: the row both Figure 5 (times + RTF counts) and
+/// Figure 6 (CFR / APR' / Max APR) need.
+struct BenchRow {
+  std::string label;
+  size_t keyword_nodes = 0;
+  size_t rtfs = 0;
+  double maxmatch_ms = 0;
+  double validrtf_ms = 0;
+  QueryEffectiveness effectiveness;
+};
+
+/// Runs one workload query through both engines per the paper's protocol.
+BenchRow MeasureQuery(const ShreddedStore& store, const WorkloadQuery& query,
+                      int runs = 6);
+
+/// Runs a whole workload.
+std::vector<BenchRow> MeasureWorkload(const ShreddedStore& store,
+                                      const std::vector<WorkloadQuery>& workload,
+                                      int runs = 6);
+
+/// Figure-5-style table: per query label, MaxMatch ms, ValidRTF ms, #RTFs.
+void PrintFigure5(const std::string& title, const std::vector<BenchRow>& rows);
+
+/// Figure-6-style table: per query label, CFR, APR', Max APR.
+void PrintFigure6(const std::string& title, const std::vector<BenchRow>& rows);
+
+/// Reads a positive double from argv[index], falling back to `fallback`.
+double ArgScale(int argc, char** argv, int index, double fallback);
+
+}  // namespace xks
+
+#endif  // XKS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,26 @@
+// Figure 5(a): ValidRTF vs MaxMatch elapsed time and RTF counts per query on
+// the DBLP dataset. Usage: fig5_dblp [scale] (default 0.02 ≈ 9.2k records).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/datagen/dblp_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace xks;
+  DblpOptions options;
+  options.scale = ArgScale(argc, argv, 1, 0.02);
+  std::printf("fig5_dblp: generating DBLP at scale %.4f (%zu records)\n",
+              options.scale, DblpRecordCount(options));
+  Document doc = GenerateDblp(options);
+  std::printf("document nodes: %zu\n", doc.size());
+  ShreddedStore store = ShreddedStore::Build(doc);
+  std::printf("index: %zu words / %zu postings\n",
+              store.index().vocabulary_size(), store.index().total_postings());
+
+  std::vector<BenchRow> rows = MeasureWorkload(store, DblpWorkload());
+  PrintFigure5("Figure 5(a) — dblp: per-query time (post keyword-node "
+               "retrieval) and #RTFs",
+               rows);
+  return 0;
+}

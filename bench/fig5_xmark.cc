@@ -1,0 +1,41 @@
+// Figure 5(b-d): ValidRTF vs MaxMatch per query on the three XMark datasets
+// (standard : data1 : data2 sizes in the paper's 1 : 3 : 6 ratio).
+// Usage: fig5_xmark [base_scale] (default 0.4).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/datagen/xmark_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace xks;
+  const double base = ArgScale(argc, argv, 1, 0.4);
+  const struct {
+    const char* name;
+    const char* figure;
+    double factor;
+    int column;
+  } datasets[] = {
+      {"xmark standard", "Figure 5(b)", 1.0, 0},
+      {"xmark data1", "Figure 5(c)", 3.0, 1},
+      {"xmark data2", "Figure 5(d)", 6.0, 2},
+  };
+
+  for (const auto& ds : datasets) {
+    XmarkOptions options;
+    options.scale = base * ds.factor;
+    options.frequency_column = ds.column;
+    std::printf("\n%s: generating %s at scale %.3f\n", ds.figure, ds.name,
+                options.scale);
+    Document doc = GenerateXmark(options);
+    std::printf("document nodes: %zu, max depth %zu\n", doc.size(),
+                doc.MaxDepth());
+    ShreddedStore store = ShreddedStore::Build(doc);
+    std::printf("index: %zu words / %zu postings\n",
+                store.index().vocabulary_size(),
+                store.index().total_postings());
+    std::vector<BenchRow> rows = MeasureWorkload(store, XmarkWorkload());
+    PrintFigure5(std::string(ds.figure) + " — " + ds.name, rows);
+  }
+  return 0;
+}

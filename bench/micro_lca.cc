@@ -1,0 +1,125 @@
+// Ablation: the LCA algorithm family. Sweeps list sizes and keyword counts
+// to expose the crossover between the indexed (binary-search) algorithms and
+// the stack-merge pass — the trade-off behind the paper's choice of the
+// Indexed Stack algorithm for getLCA.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/lca/elca.h"
+#include "src/lca/slca.h"
+
+namespace xks {
+namespace {
+
+/// A deterministic synthetic tree + posting lists. `skew` < 1 makes the
+/// first list much smaller than the rest, the regime the indexed algorithms
+/// are built for.
+struct Instance {
+  std::vector<PostingList> lists;
+
+  KeywordLists Views() const {
+    KeywordLists views;
+    for (const PostingList& list : lists) views.push_back(&list);
+    return views;
+  }
+};
+
+Instance MakeInstance(size_t nodes, size_t k, double skew) {
+  Rng rng(nodes * 131 + k * 17);
+  std::vector<Dewey> tree = {Dewey::Root()};
+  std::vector<uint32_t> child_count(1, 0);
+  tree.reserve(nodes);
+  while (tree.size() < nodes) {
+    size_t parent = rng.Uniform(tree.size());
+    if (tree[parent].depth() >= 12) continue;
+    tree.push_back(tree[parent].Child(child_count[parent]++));
+    child_count.push_back(0);
+  }
+  std::sort(tree.begin(), tree.end());
+  Instance instance;
+  for (size_t i = 0; i < k; ++i) {
+    const double density = i == 0 ? 0.02 * skew : 0.2;
+    PostingList list;
+    for (const Dewey& d : tree) {
+      if (rng.Bernoulli(density)) list.push_back(d);
+    }
+    if (list.empty()) list.push_back(tree[rng.Uniform(tree.size())]);
+    instance.lists.push_back(std::move(list));
+  }
+  return instance;
+}
+
+void BM_SlcaIndexedLookup(benchmark::State& state) {
+  Instance instance = MakeInstance(static_cast<size_t>(state.range(0)), 3, 1.0);
+  KeywordLists lists = instance.Views();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SlcaIndexedLookup(lists));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SlcaIndexedLookup)->Range(1 << 8, 1 << 15)->Complexity();
+
+void BM_SlcaScanEager(benchmark::State& state) {
+  Instance instance = MakeInstance(static_cast<size_t>(state.range(0)), 3, 1.0);
+  KeywordLists lists = instance.Views();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SlcaScanEager(lists));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SlcaScanEager)->Range(1 << 8, 1 << 15)->Complexity();
+
+void BM_SlcaStackMerge(benchmark::State& state) {
+  Instance instance = MakeInstance(static_cast<size_t>(state.range(0)), 3, 1.0);
+  KeywordLists lists = instance.Views();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SlcaStackMerge(lists));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SlcaStackMerge)->Range(1 << 8, 1 << 15)->Complexity();
+
+void BM_ElcaIndexedStack(benchmark::State& state) {
+  Instance instance = MakeInstance(static_cast<size_t>(state.range(0)), 3, 1.0);
+  KeywordLists lists = instance.Views();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ElcaIndexedStack(lists));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ElcaIndexedStack)->Range(1 << 8, 1 << 15)->Complexity();
+
+void BM_ElcaStackMerge(benchmark::State& state) {
+  Instance instance = MakeInstance(static_cast<size_t>(state.range(0)), 3, 1.0);
+  KeywordLists lists = instance.Views();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ElcaStackMerge(lists));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ElcaStackMerge)->Range(1 << 8, 1 << 15)->Complexity();
+
+// Skewed regime: one rare keyword — the indexed algorithms shine here.
+void BM_ElcaIndexedStackSkewed(benchmark::State& state) {
+  Instance instance =
+      MakeInstance(1 << 14, static_cast<size_t>(state.range(0)), 0.1);
+  KeywordLists lists = instance.Views();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ElcaIndexedStack(lists));
+  }
+}
+BENCHMARK(BM_ElcaIndexedStackSkewed)->DenseRange(2, 6);
+
+void BM_ElcaStackMergeSkewed(benchmark::State& state) {
+  Instance instance =
+      MakeInstance(1 << 14, static_cast<size_t>(state.range(0)), 0.1);
+  KeywordLists lists = instance.Views();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ElcaStackMerge(lists));
+  }
+}
+BENCHMARK(BM_ElcaStackMergeSkewed)->DenseRange(2, 6);
+
+}  // namespace
+}  // namespace xks

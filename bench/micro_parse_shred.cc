@@ -1,0 +1,83 @@
+// Substrate throughput: XML parsing, shredding, index building and store
+// (de)serialization on generated DBLP data.
+
+#include <benchmark/benchmark.h>
+
+#include "src/datagen/dblp_gen.h"
+#include "src/storage/shredder.h"
+#include "src/storage/store.h"
+#include "src/xml/parser.h"
+#include "src/xml/writer.h"
+
+namespace xks {
+namespace {
+
+std::string MakeXmlText(double scale) {
+  DblpOptions options;
+  options.scale = scale;
+  WriteOptions wo;
+  wo.indent = "";
+  return WriteXml(GenerateDblp(options), wo);
+}
+
+void BM_ParseXml(benchmark::State& state) {
+  std::string xml = MakeXmlText(0.002 * static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    Result<Document> doc = ParseXml(xml);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * xml.size()));
+}
+BENCHMARK(BM_ParseXml)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_Shred(benchmark::State& state) {
+  DblpOptions options;
+  options.scale = 0.002 * static_cast<double>(state.range(0));
+  Document doc = GenerateDblp(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Shred(doc));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * doc.size()));
+}
+BENCHMARK(BM_Shred)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BuildIndex(benchmark::State& state) {
+  DblpOptions options;
+  options.scale = 0.002 * static_cast<double>(state.range(0));
+  ShreddedTables tables = Shred(GenerateDblp(options));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InvertedIndex::Build(tables.values));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * tables.values.size()));
+}
+BENCHMARK(BM_BuildIndex)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_StoreEncode(benchmark::State& state) {
+  DblpOptions options;
+  options.scale = 0.008;
+  ShreddedStore store = ShreddedStore::Build(GenerateDblp(options));
+  for (auto _ : state) {
+    std::string buffer;
+    store.EncodeTo(&buffer);
+    benchmark::DoNotOptimize(buffer);
+  }
+}
+BENCHMARK(BM_StoreEncode);
+
+void BM_StoreDecode(benchmark::State& state) {
+  DblpOptions options;
+  options.scale = 0.008;
+  ShreddedStore store = ShreddedStore::Build(GenerateDblp(options));
+  std::string buffer;
+  store.EncodeTo(&buffer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ShreddedStore::DecodeFrom(buffer));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * buffer.size()));
+}
+BENCHMARK(BM_StoreDecode);
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,104 @@
+// Ablation for Section 4.3 claim (4): pruneRTF cost under the contributor
+// (revised MaxMatch) versus the valid contributor (ValidRTF). The paper
+// argues the two are competitive because the dominant check — keyword-set
+// coverage among siblings — is shared; the valid contributor adds per-label
+// grouping and cID lookups.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/core/prune.h"
+
+namespace xks {
+namespace {
+
+/// A fragment tree shaped like an RTF: fanout-heavy with a small label
+/// alphabet (so label groups are big) and clustered kLists/cIDs (so both
+/// coverage and duplicate rules fire).
+FragmentTree MakeTree(size_t nodes, size_t label_alphabet, size_t k) {
+  Rng rng(nodes * 7 + label_alphabet);
+  FragmentTree tree;
+  FragmentNode root;
+  root.dewey = Dewey::Root();
+  root.label = "root";
+  root.klist = FullMask(k);
+  tree.CreateRoot(std::move(root));
+  std::vector<FragmentNodeId> ids = {tree.root()};
+  static const char* kCids[] = {"alpha", "beta", "gamma", "delta"};
+  while (tree.size() < nodes) {
+    FragmentNodeId parent = ids[rng.Uniform(ids.size())];
+    FragmentNode node;
+    node.dewey = tree.node(parent).dewey.Child(
+        static_cast<uint32_t>(tree.node(parent).children.size()));
+    node.label = "l" + std::to_string(rng.Uniform(label_alphabet));
+    node.klist = (rng.Next() & FullMask(k)) | 1;
+    const char* cid = kCids[rng.Uniform(4)];
+    node.cid = ContentId{cid, cid};
+    ids.push_back(tree.AddChild(parent, std::move(node)));
+  }
+  return tree;
+}
+
+void BM_PruneContributor(benchmark::State& state) {
+  FragmentTree tree = MakeTree(static_cast<size_t>(state.range(0)), 3, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PruneFragment(tree, PruningPolicy::kContributor, 5));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PruneContributor)->Range(1 << 6, 1 << 13)->Complexity();
+
+void BM_PruneValidContributor(benchmark::State& state) {
+  FragmentTree tree = MakeTree(static_cast<size_t>(state.range(0)), 3, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PruneFragment(tree, PruningPolicy::kValidContributor, 5));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PruneValidContributor)->Range(1 << 6, 1 << 13)->Complexity();
+
+// Wide-fanout worst case: one parent with thousands of same-label children;
+// the contributor's all-pairs sibling scan is quadratic here, the
+// valid contributor's sorted chkList probe is not.
+FragmentTree MakeFlatTree(size_t children, size_t k) {
+  Rng rng(children * 13);
+  FragmentTree tree;
+  FragmentNode root;
+  root.dewey = Dewey::Root();
+  root.label = "root";
+  root.klist = FullMask(k);
+  tree.CreateRoot(std::move(root));
+  for (size_t i = 0; i < children; ++i) {
+    FragmentNode node;
+    node.dewey = Dewey::Root().Child(static_cast<uint32_t>(i));
+    node.label = "player";
+    node.klist = (rng.Next() & FullMask(k)) | 1;
+    std::string cid = "c" + std::to_string(rng.Uniform(64));
+    node.cid = ContentId{cid, cid};
+    tree.AddChild(tree.root(), std::move(node));
+  }
+  return tree;
+}
+
+void BM_PruneContributorFlat(benchmark::State& state) {
+  FragmentTree tree = MakeFlatTree(static_cast<size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PruneFragment(tree, PruningPolicy::kContributor, 8));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PruneContributorFlat)->Range(1 << 6, 1 << 12)->Complexity();
+
+void BM_PruneValidContributorFlat(benchmark::State& state) {
+  FragmentTree tree = MakeFlatTree(static_cast<size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PruneFragment(tree, PruningPolicy::kValidContributor, 8));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PruneValidContributorFlat)->Range(1 << 6, 1 << 12)->Complexity();
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,64 @@
+// Section 5.1 keyword-frequency table: the shred-time frequencies of the
+// workload keywords in our generated datasets, next to the paper's counts
+// (ours are scaled; the *profile* — which keywords are rare/frequent, and
+// the 1:3:6 growth across the XMark series — is what must match).
+// Usage: table_keyword_freq [dblp_scale] [xmark_base_scale]
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/datagen/dblp_gen.h"
+#include "src/datagen/xmark_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace xks;
+  const double dblp_scale = ArgScale(argc, argv, 1, 0.02);
+  const double xmark_base = ArgScale(argc, argv, 2, 0.4);
+
+  {
+    DblpOptions options;
+    options.scale = dblp_scale;
+    Document doc = GenerateDblp(options);
+    ShreddedStore store = ShreddedStore::Build(doc);
+    std::printf("Keywords for DBLP (scale %.4f, %zu records):\n", dblp_scale,
+                DblpRecordCount(options));
+    std::printf("%-16s %12s %12s\n", "keyword", "ours", "paper");
+    for (const WorkloadKeyword& kw : DblpKeywords()) {
+      std::printf("%-16s %12llu %12llu\n", kw.word.c_str(),
+                  static_cast<unsigned long long>(store.WordFrequency(kw.word)),
+                  static_cast<unsigned long long>(kw.paper_frequencies[0]));
+    }
+  }
+
+  {
+    std::printf("\nKeywords for XMark series (base scale %.3f):\n", xmark_base);
+    std::printf("%-16s %9s %9s %9s   %9s %9s %9s\n", "keyword", "std", "data1",
+                "data2", "p.std", "p.data1", "p.data2");
+    uint64_t ours[13][3] = {};
+    const double factors[3] = {1.0, 3.0, 6.0};
+    for (int column = 0; column < 3; ++column) {
+      XmarkOptions options;
+      options.scale = xmark_base * factors[column];
+      options.frequency_column = column;
+      Document doc = GenerateXmark(options);
+      ShreddedStore store = ShreddedStore::Build(doc);
+      int i = 0;
+      for (const WorkloadKeyword& kw : XmarkKeywords()) {
+        ours[i++][column] = store.WordFrequency(kw.word);
+      }
+    }
+    int i = 0;
+    for (const WorkloadKeyword& kw : XmarkKeywords()) {
+      std::printf("%-16s %9llu %9llu %9llu   %9llu %9llu %9llu\n",
+                  kw.word.c_str(),
+                  static_cast<unsigned long long>(ours[i][0]),
+                  static_cast<unsigned long long>(ours[i][1]),
+                  static_cast<unsigned long long>(ours[i][2]),
+                  static_cast<unsigned long long>(kw.paper_frequencies[0]),
+                  static_cast<unsigned long long>(kw.paper_frequencies[1]),
+                  static_cast<unsigned long long>(kw.paper_frequencies[2]));
+      ++i;
+    }
+  }
+  return 0;
+}

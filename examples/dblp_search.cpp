@@ -1,0 +1,68 @@
+// DBLP scenario: generate a bibliography, search it, compare mechanisms.
+//
+//   ./dblp_search                 # default scale, demo queries
+//   ./dblp_search 0.01 "xml keyword query"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/maxmatch.h"
+#include "src/core/metrics.h"
+#include "src/core/ranking.h"
+#include "src/core/validrtf.h"
+#include "src/datagen/dblp_gen.h"
+#include "src/datagen/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace xks;
+
+  DblpOptions options;
+  options.scale = argc > 1 ? std::atof(argv[1]) : 0.005;
+  std::printf("generating DBLP-like data at scale %.4f (%zu records)...\n",
+              options.scale, DblpRecordCount(options));
+  Document doc = GenerateDblp(options);
+  std::printf("shredding %zu nodes...\n", doc.size());
+  ShreddedStore store = ShreddedStore::Build(doc);
+  std::printf("index: %zu distinct words, %zu postings\n\n",
+              store.index().vocabulary_size(), store.index().total_postings());
+
+  std::vector<std::string> queries;
+  if (argc > 2) {
+    queries.push_back(argv[2]);
+  } else {
+    queries = {"xml keyword", "keyword similarity", "data algorithm query",
+               "vldb sigmod xml", "henry probabilistic retrieval"};
+  }
+
+  for (const std::string& text : queries) {
+    Result<KeywordQuery> query = KeywordQuery::Parse(text);
+    if (!query.ok()) continue;
+    Result<SearchResult> valid = ValidRtfSearch(store, *query);
+    Result<SearchResult> max = MaxMatchSearch(store, *query);
+    if (!valid.ok() || !max.ok()) {
+      std::printf("query '%s' failed\n", text.c_str());
+      continue;
+    }
+    std::printf("query \"%s\": %zu RTFs, ValidRTF %.2f ms, MaxMatch %.2f ms\n",
+                query->ToString().c_str(), valid->rtf_count(),
+                valid->timings.post_retrieval_ms(),
+                max->timings.post_retrieval_ms());
+    Result<QueryEffectiveness> eff = CompareEffectiveness(*valid, *max);
+    if (eff.ok()) {
+      std::printf("  CFR=%.3f APR=%.3f MaxAPR=%.3f\n", eff->cfr(), eff->apr(),
+                  eff->max_apr());
+    }
+    // Show the top-ranked fragment (ranking is the paper's future work,
+    // implemented in src/core/ranking.h).
+    std::vector<FragmentScore> scores = RankFragments(*valid, query->size());
+    if (!scores.empty()) {
+      const FragmentScore& top = scores.front();
+      const FragmentResult& f = valid->fragments[top.fragment_index];
+      std::printf("  top-ranked fragment (root %s, %s):\n%s",
+                  f.rtf.root.ToString().c_str(), top.ToString().c_str(),
+                  f.fragment.ToTreeString(query->size()).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: run ValidRTF and MaxMatch on the paper's Figure 1 data.
+//
+// Reproduces the paper's running examples: queries Q1-Q5, the SLCA/ELCA
+// distinction of Example 1, the false-positive fix (Q1) and the redundancy
+// fix (Q4).
+//
+//   ./quickstart            # all five queries
+//   ./quickstart "Liu Keyword"
+
+#include <cstdio>
+
+#include "src/core/maxmatch.h"
+#include "src/core/validrtf.h"
+#include "src/datagen/figure1.h"
+
+namespace {
+
+using namespace xks;
+
+void RunQuery(const ShreddedStore& store, const std::string& text) {
+  Result<KeywordQuery> query = KeywordQuery::Parse(text);
+  if (!query.ok()) {
+    std::printf("bad query '%s': %s\n", text.c_str(),
+                query.status().ToString().c_str());
+    return;
+  }
+  std::printf("=== query: \"%s\" ===\n", query->ToString().c_str());
+
+  Result<SearchResult> valid = ValidRtfSearch(store, *query);
+  if (!valid.ok()) {
+    std::printf("ValidRTF failed: %s\n", valid.status().ToString().c_str());
+    return;
+  }
+  std::printf("ValidRTF: %zu meaningful RTF(s)\n", valid->rtf_count());
+  for (const FragmentResult& f : valid->fragments) {
+    std::printf("-- RTF rooted at %s%s\n", f.rtf.root.ToString().c_str(),
+                f.rtf.root_is_slca ? " (SLCA)" : "");
+    std::printf("%s", f.fragment.ToTreeString(query->size()).c_str());
+  }
+
+  Result<SearchResult> max = MaxMatchSearch(store, *query);
+  if (!max.ok()) return;
+  for (size_t i = 0; i < max->rtf_count(); ++i) {
+    const auto& mm = max->fragments[i].fragment;
+    const auto& vr = valid->fragments[i].fragment;
+    if (mm.NodeSet() != vr.NodeSet()) {
+      std::printf("-- MaxMatch differs on RTF %s (contributor filtering):\n%s",
+                  max->fragments[i].rtf.root.ToString().c_str(),
+                  mm.ToTreeString(query->size()).c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xks;
+  Result<Document> fig1a = Figure1aDocument();
+  Result<Document> fig1b = Figure1bDocument();
+  if (!fig1a.ok() || !fig1b.ok()) {
+    std::printf("failed to load Figure 1 data\n");
+    return 1;
+  }
+  ShreddedStore store_a = ShreddedStore::Build(*fig1a);
+  ShreddedStore store_b = ShreddedStore::Build(*fig1b);
+
+  if (argc > 1) {
+    RunQuery(store_a, argv[1]);
+    return 0;
+  }
+
+  std::printf("Figure 1(a): Publications instance (%zu nodes)\n\n",
+              fig1a->size());
+  RunQuery(store_a, PaperQuery(1));
+  RunQuery(store_a, PaperQuery(2));
+  RunQuery(store_a, PaperQuery(3));
+  std::printf("Figure 1(b): team/players instance (%zu nodes)\n\n",
+              fig1b->size());
+  RunQuery(store_b, PaperQuery(4));
+  RunQuery(store_b, PaperQuery(5));
+  return 0;
+}

@@ -1,0 +1,137 @@
+// xks_tool: shred an arbitrary XML file and run keyword queries against it.
+//
+//   ./xks_tool shred  input.xml store.bin       # parse + shred + persist
+//   ./xks_tool search store.bin "xml keyword"   # query a persisted store
+//   ./xks_tool query  input.xml "xml keyword"   # one-shot parse + query
+//
+// Queries support label constraints ("title:xml keyword"). The search/query
+// commands print each meaningful RTF as an indented tree (ValidRTF
+// semantics; pass --maxmatch to compare). In query mode, --xml renders each
+// fragment as an XML snippet with the original attributes and text.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/maxmatch.h"
+#include "src/core/render.h"
+#include "src/core/validrtf.h"
+#include "src/xml/parser.h"
+
+namespace {
+
+using namespace xks;
+
+int Usage() {
+  std::printf(
+      "usage:\n"
+      "  xks_tool shred  <input.xml> <store.bin>\n"
+      "  xks_tool search <store.bin> <query> [--maxmatch]\n"
+      "  xks_tool query  <input.xml> <query> [--maxmatch] [--xml]\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError(std::string("cannot open ") + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int RunSearch(const ShreddedStore& store, const char* query_text, bool maxmatch,
+              const Document* doc_for_rendering) {
+  Result<KeywordQuery> query = KeywordQuery::Parse(query_text);
+  if (!query.ok()) {
+    std::printf("bad query: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  Result<SearchResult> result = maxmatch ? MaxMatchSearch(store, *query)
+                                         : ValidRtfSearch(store, *query);
+  if (!result.ok()) {
+    std::printf("search failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu meaningful RTF(s) for \"%s\" [%s]\n", result->rtf_count(),
+              query->ToString().c_str(), maxmatch ? "MaxMatch" : "ValidRTF");
+  for (const FragmentResult& f : result->fragments) {
+    std::printf("-- root %s%s\n", f.rtf.root.ToString().c_str(),
+                f.rtf.root_is_slca ? " (SLCA)" : "");
+    if (doc_for_rendering != nullptr) {
+      Result<std::string> xml = RenderFragmentXml(*doc_for_rendering, f.fragment);
+      if (xml.ok()) std::printf("%s", xml->c_str());
+    } else {
+      std::printf("%s", f.fragment.ToTreeString(query->size()).c_str());
+    }
+  }
+  std::printf("timings: keyword nodes %.2fms, post-retrieval %.2fms; "
+              "pruned %zu of %zu raw nodes (%.1f%%)\n",
+              result->timings.get_keyword_nodes_ms,
+              result->timings.post_retrieval_ms(),
+              result->pruning.pruned_nodes(), result->pruning.raw_nodes,
+              100.0 * result->pruning.pruning_ratio());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xks;
+  if (argc < 4) return Usage();
+  bool maxmatch = false;
+  bool render_xml = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--maxmatch") == 0) maxmatch = true;
+    if (std::strcmp(argv[i], "--xml") == 0) render_xml = true;
+  }
+
+  if (std::strcmp(argv[1], "shred") == 0) {
+    Result<std::string> text = ReadFile(argv[2]);
+    if (!text.ok()) {
+      std::printf("%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    Result<Document> doc = ParseXml(*text);
+    if (!doc.ok()) {
+      std::printf("parse error: %s\n", doc.status().ToString().c_str());
+      return 1;
+    }
+    ShreddedStore store = ShreddedStore::Build(*doc);
+    Status s = store.Save(argv[3]);
+    if (!s.ok()) {
+      std::printf("%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("shredded %zu nodes, %zu distinct words → %s\n", doc->size(),
+                store.index().vocabulary_size(), argv[3]);
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "search") == 0) {
+    Result<ShreddedStore> store = ShreddedStore::Load(argv[2]);
+    if (!store.ok()) {
+      std::printf("%s\n", store.status().ToString().c_str());
+      return 1;
+    }
+    return RunSearch(*store, argv[3], maxmatch, /*doc_for_rendering=*/nullptr);
+  }
+
+  if (std::strcmp(argv[1], "query") == 0) {
+    Result<std::string> text = ReadFile(argv[2]);
+    if (!text.ok()) {
+      std::printf("%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    Result<Document> doc = ParseXml(*text);
+    if (!doc.ok()) {
+      std::printf("parse error: %s\n", doc.status().ToString().c_str());
+      return 1;
+    }
+    ShreddedStore store = ShreddedStore::Build(*doc);
+    return RunSearch(store, argv[3], maxmatch,
+                     render_xml ? &doc.value() : nullptr);
+  }
+
+  return Usage();
+}

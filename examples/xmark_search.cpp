@@ -1,0 +1,72 @@
+// XMark scenario: the paper's synthetic auction site, including the deep
+// description/parlist structure that produces the "extreme fragments" of
+// Figure 6.
+//
+//   ./xmark_search                # default scale, paper workload sample
+//   ./xmark_search 0.2 "vdo"      # scale + a workload label or free text
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/maxmatch.h"
+#include "src/core/metrics.h"
+#include "src/core/validrtf.h"
+#include "src/datagen/workloads.h"
+#include "src/datagen/xmark_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace xks;
+
+  XmarkOptions options;
+  options.scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  std::printf("generating XMark-like data at scale %.3f...\n", options.scale);
+  Document doc = GenerateXmark(options);
+  std::printf("document: %zu nodes, max depth %zu\n", doc.size(), doc.MaxDepth());
+  ShreddedStore store = ShreddedStore::Build(doc);
+  std::printf("index: %zu distinct words, %zu postings\n\n",
+              store.index().vocabulary_size(), store.index().total_postings());
+
+  std::vector<WorkloadQuery> workload;
+  if (argc > 2) {
+    std::string arg = argv[2];
+    std::vector<std::string> keywords = ExpandLabel(arg, XmarkKeywords());
+    if (keywords.empty()) {
+      // Treat as free text.
+      workload.push_back(WorkloadQuery{arg, {}});
+    } else {
+      workload.push_back(WorkloadQuery{arg, keywords});
+    }
+  } else {
+    // A representative slice of the paper's 24 queries.
+    for (const WorkloadQuery& wq : XmarkWorkload()) {
+      if (wq.label == "at" || wq.label == "vd" || wq.label == "vdo" ||
+          wq.label == "tcmsuiel" || wq.label == "dtcmvo") {
+        workload.push_back(wq);
+      }
+    }
+  }
+
+  for (const WorkloadQuery& wq : workload) {
+    Result<KeywordQuery> query =
+        wq.keywords.empty() ? KeywordQuery::Parse(wq.label)
+                            : KeywordQuery::FromKeywords(wq.keywords);
+    if (!query.ok()) {
+      std::printf("bad query '%s'\n", wq.label.c_str());
+      continue;
+    }
+    Result<SearchResult> valid = ValidRtfSearch(store, *query);
+    Result<SearchResult> max = MaxMatchSearch(store, *query);
+    if (!valid.ok() || !max.ok()) continue;
+    Result<QueryEffectiveness> eff = CompareEffectiveness(*valid, *max);
+    std::printf("%-10s (%s)\n", wq.label.c_str(), query->ToString().c_str());
+    std::printf("  RTFs=%zu  ValidRTF=%.2fms  MaxMatch=%.2fms", valid->rtf_count(),
+                valid->timings.post_retrieval_ms(),
+                max->timings.post_retrieval_ms());
+    if (eff.ok()) {
+      std::printf("  CFR=%.3f APR'=%.3f MaxAPR=%.3f", eff->cfr(),
+                  eff->apr_prime(), eff->max_apr());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "src/common/codec.h"
+
+namespace xks {
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutVarint32(std::string* dst, uint32_t value) { PutVarint64(dst, value); }
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+Status Decoder::GetVarint64(uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (pos_ >= data_.size()) {
+      return Status::Corruption("truncated varint");
+    }
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("varint too long");
+}
+
+Status Decoder::GetVarint32(uint32_t* value) {
+  uint64_t v64 = 0;
+  XKS_RETURN_IF_ERROR(GetVarint64(&v64));
+  if (v64 > UINT32_MAX) return Status::Corruption("varint32 overflow");
+  *value = static_cast<uint32_t>(v64);
+  return Status::OK();
+}
+
+Status Decoder::GetLengthPrefixed(std::string* value) {
+  uint64_t len = 0;
+  XKS_RETURN_IF_ERROR(GetVarint64(&len));
+  if (len > remaining()) return Status::Corruption("truncated string");
+  value->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+}  // namespace xks

@@ -1,0 +1,45 @@
+// Binary encoding helpers for the on-disk table format (varint + strings).
+
+#ifndef XKS_COMMON_CODEC_H_
+#define XKS_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace xks {
+
+/// Appends an unsigned LEB128 varint to `dst`.
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends a 32-bit varint.
+void PutVarint32(std::string* dst, uint32_t value);
+
+/// Appends a length-prefixed string.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// Cursor over an encoded buffer; all Get* methods fail with Corruption when
+/// the buffer is exhausted or malformed.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data), pos_(0) {}
+
+  Status GetVarint64(uint64_t* value);
+  Status GetVarint32(uint32_t* value);
+  Status GetLengthPrefixed(std::string* value);
+
+  /// Bytes remaining.
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_COMMON_CODEC_H_

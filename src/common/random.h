@@ -1,0 +1,59 @@
+// Deterministic pseudo-random source for data generation and property tests.
+//
+// All dataset generators take an explicit seed so every experiment in
+// EXPERIMENTS.md is exactly reproducible.
+
+#ifndef XKS_COMMON_RANDOM_H_
+#define XKS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace xks {
+
+/// xoshiro-style 64-bit generator (splitmix64 core): tiny, fast, and stable
+/// across platforms (unlike std::mt19937 distributions, whose mapping to
+/// ranges is implementation-defined through std::uniform_int_distribution).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return (Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Picks a uniformly random element of `v`. Requires !v.empty().
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_COMMON_RANDOM_H_

@@ -1,0 +1,71 @@
+// Result<T>: a Status or a value, for APIs that produce something on success.
+
+#ifndef XKS_COMMON_RESULT_H_
+#define XKS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace xks {
+
+/// Holds either a value of type T or a non-OK Status.
+///
+///   Result<Document> r = ParseDocument(text);
+///   if (!r.ok()) return r.status();
+///   Document doc = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful Result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs a failed Result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define XKS_MACRO_CONCAT_IMPL(a, b) a##b
+#define XKS_MACRO_CONCAT(a, b) XKS_MACRO_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define XKS_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  auto XKS_MACRO_CONCAT(_xks_result_, __LINE__) = (expr);                   \
+  if (!XKS_MACRO_CONCAT(_xks_result_, __LINE__).ok())                       \
+    return XKS_MACRO_CONCAT(_xks_result_, __LINE__).status();               \
+  lhs = std::move(XKS_MACRO_CONCAT(_xks_result_, __LINE__)).value()
+
+}  // namespace xks
+
+#endif  // XKS_COMMON_RESULT_H_

@@ -1,0 +1,105 @@
+// Status: error propagation type for the xkslib public API.
+//
+// Follows the RocksDB convention: library entry points never throw; they
+// return a Status (or a Result<T>, see result.h) that callers must inspect.
+
+#ifndef XKS_COMMON_STATUS_H_
+#define XKS_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xks {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kOutOfRange,
+  kIoError,
+  kCorruption,
+  kAlreadyExists,
+  kUnsupported,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK", "ParseError", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation: an OK marker, or an error code plus message.
+///
+/// Cheap to copy in the OK case (no allocation). Typical use:
+///
+///   Status s = parser.Parse(text, &doc);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller. Library-internal convenience.
+#define XKS_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::xks::Status _xks_status = (expr);          \
+    if (!_xks_status.ok()) return _xks_status;   \
+  } while (false)
+
+}  // namespace xks
+
+#endif  // XKS_COMMON_STATUS_H_

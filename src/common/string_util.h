@@ -1,0 +1,37 @@
+// Small string helpers shared across the library.
+
+#ifndef XKS_COMMON_STRING_UTIL_H_
+#define XKS_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xks {
+
+/// ASCII-lowercases `s` (the library treats all content case-insensitively,
+/// matching the paper's lexical comparisons, e.g. "attribute" < "Chen" < "XML").
+std::string AsciiLower(std::string_view s);
+
+/// True iff `c` is an ASCII letter or digit.
+bool IsAlnumAscii(char c);
+
+/// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view s, std::string_view delims);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace xks
+
+#endif  // XKS_COMMON_STRING_UTIL_H_

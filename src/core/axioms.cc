@@ -1,0 +1,168 @@
+#include "src/core/axioms.h"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+
+#include "src/common/string_util.h"
+
+namespace xks {
+namespace {
+
+Result<SearchResult> RunSearch(const Document& doc, const KeywordQuery& query,
+                               const SearchOptions& options) {
+  ShreddedStore store = ShreddedStore::Build(doc);
+  SearchEngine engine(&store);
+  return engine.Search(query, options);
+}
+
+/// Root → sorted node set, for fragment alignment across runs.
+std::map<Dewey, std::vector<Dewey>> FragmentSets(const SearchResult& result) {
+  std::map<Dewey, std::vector<Dewey>> sets;
+  for (const FragmentResult& f : result.fragments) {
+    sets.emplace(f.rtf.root, f.fragment.NodeSet());
+  }
+  return sets;
+}
+
+/// Checks that `larger` extends `smaller` keyword-by-keyword.
+Status ValidateExtension(const KeywordQuery& smaller, const KeywordQuery& larger) {
+  if (larger.size() <= smaller.size()) {
+    return Status::InvalidArgument("larger query does not add keywords");
+  }
+  for (size_t i = 0; i < smaller.size(); ++i) {
+    if (smaller.keyword(i) != larger.keyword(i)) {
+      return Status::InvalidArgument("larger query is not a prefix extension");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Document> AppendLeaf(const Document& doc, const Dewey& parent,
+                            const std::string& label, const std::string& text,
+                            Dewey* new_dewey) {
+  Document copy = doc;
+  NodeId parent_id;
+  XKS_ASSIGN_OR_RETURN(parent_id, copy.FindByDewey(parent));
+  NodeId leaf = copy.AddNode(parent_id, label);
+  if (!text.empty()) copy.AppendText(leaf, text);
+  copy.AssignDeweys();
+  *new_dewey = copy.node(leaf).dewey;
+  return copy;
+}
+
+Result<std::string> CheckDataMonotonicity(const Document& before,
+                                          const Document& after,
+                                          const KeywordQuery& query,
+                                          const SearchOptions& options) {
+  SearchResult rb;
+  XKS_ASSIGN_OR_RETURN(rb, RunSearch(before, query, options));
+  SearchResult ra;
+  XKS_ASSIGN_OR_RETURN(ra, RunSearch(after, query, options));
+  if (ra.rtf_count() < rb.rtf_count()) {
+    return StrFormat("data monotonicity violated: %zu results before, %zu after",
+                     rb.rtf_count(), ra.rtf_count());
+  }
+  return std::string();
+}
+
+Result<std::string> CheckDataConsistency(const Document& before,
+                                         const Document& after,
+                                         const Dewey& new_node,
+                                         const KeywordQuery& query,
+                                         const SearchOptions& options,
+                                         ConsistencyStrength strength) {
+  SearchResult rb;
+  XKS_ASSIGN_OR_RETURN(rb, RunSearch(before, query, options));
+  SearchResult ra;
+  XKS_ASSIGN_OR_RETURN(ra, RunSearch(after, query, options));
+  std::map<Dewey, std::vector<Dewey>> before_sets = FragmentSets(rb);
+  for (const FragmentResult& f : ra.fragments) {
+    std::vector<Dewey> nodes = f.fragment.NodeSet();
+    auto it = before_sets.find(f.rtf.root);
+    if (it == before_sets.end()) {
+      // A whole new fragment: must contain the inserted node.
+      if (!std::binary_search(nodes.begin(), nodes.end(), new_node)) {
+        return "data consistency violated: new fragment rooted at " +
+               f.rtf.root.ToString() + " does not contain inserted node " +
+               new_node.ToString();
+      }
+      continue;
+    }
+    if (it->second == nodes) continue;
+    // The fragment changed. Compute the added nodes.
+    std::vector<Dewey> added;
+    std::set_difference(nodes.begin(), nodes.end(), it->second.begin(),
+                        it->second.end(), std::back_inserter(added));
+    if (added.empty()) continue;  // it only shrank
+    const bool ok =
+        strength == ConsistencyStrength::kFragmentLevel
+            ? std::binary_search(nodes.begin(), nodes.end(), new_node)
+            : std::binary_search(added.begin(), added.end(), new_node);
+    if (!ok) {
+      return "data consistency violated: fragment rooted at " +
+             f.rtf.root.ToString() + " gained " + std::to_string(added.size()) +
+             " nodes not attributable to inserted node " + new_node.ToString();
+    }
+  }
+  return std::string();
+}
+
+Result<std::string> CheckQueryMonotonicity(const Document& doc,
+                                           const KeywordQuery& smaller,
+                                           const KeywordQuery& larger,
+                                           const SearchOptions& options) {
+  XKS_RETURN_IF_ERROR(ValidateExtension(smaller, larger));
+  SearchResult rs;
+  XKS_ASSIGN_OR_RETURN(rs, RunSearch(doc, smaller, options));
+  SearchResult rl;
+  XKS_ASSIGN_OR_RETURN(rl, RunSearch(doc, larger, options));
+  if (rl.rtf_count() > rs.rtf_count()) {
+    return StrFormat(
+        "query monotonicity violated: %zu results for k=%zu, %zu for k=%zu",
+        rs.rtf_count(), smaller.size(), rl.rtf_count(), larger.size());
+  }
+  return std::string();
+}
+
+Result<std::string> CheckQueryConsistency(const Document& doc,
+                                          const KeywordQuery& smaller,
+                                          const KeywordQuery& larger,
+                                          const SearchOptions& options) {
+  XKS_RETURN_IF_ERROR(ValidateExtension(smaller, larger));
+  SearchResult rs;
+  XKS_ASSIGN_OR_RETURN(rs, RunSearch(doc, smaller, options));
+  SearchResult rl;
+  XKS_ASSIGN_OR_RETURN(rl, RunSearch(doc, larger, options));
+  // Node sets seen in the smaller query's result.
+  std::vector<std::vector<Dewey>> old_sets;
+  old_sets.reserve(rs.fragments.size());
+  for (const FragmentResult& f : rs.fragments) old_sets.push_back(f.fragment.NodeSet());
+  // Mask covering the added keywords.
+  KeywordMask added_mask = 0;
+  for (size_t i = smaller.size(); i < larger.size(); ++i) {
+    added_mask |= KeywordMask{1} << i;
+  }
+  for (const FragmentResult& f : rl.fragments) {
+    std::vector<Dewey> nodes = f.fragment.NodeSet();
+    if (std::find(old_sets.begin(), old_sets.end(), nodes) != old_sets.end()) {
+      continue;  // identical fragment existed before
+    }
+    bool has_new_keyword = false;
+    for (const RtfKeywordNode& kn : f.rtf.knodes) {
+      if (kn.mask & added_mask) {
+        has_new_keyword = true;
+        break;
+      }
+    }
+    if (!has_new_keyword) {
+      return "query consistency violated: fragment rooted at " +
+             f.rtf.root.ToString() + " has no match for the added keyword(s)";
+    }
+  }
+  return std::string();
+}
+
+}  // namespace xks

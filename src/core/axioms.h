@@ -1,0 +1,73 @@
+// The four axiomatic XKS properties of [1] (Section 1), as runnable checks.
+//
+//  1. data monotonicity     — inserting a node never decreases |results|;
+//  2. query monotonicity    — adding a keyword never increases |results|;
+//  3. data consistency      — fragments that appear after an insertion are
+//                             attributable to the inserted node;
+//  4. query consistency     — fragments that appear after adding a keyword
+//                             contain a match of that keyword.
+//
+// Each checker runs the configured pipeline on both sides of a perturbation
+// and returns "" when the property holds, or a human-readable description of
+// the violation. Consistency comes in two strengths (see DESIGN.md): the
+// fragment-level reading (new whole fragments must contain the new
+// node/keyword) which the paper's algorithms satisfy, and the stricter
+// delta-level reading (every added node-set delta must contain it), which
+// valid-contributor duplicate elimination can violate by re-admitting a
+// previously duplicate sibling; CheckDataConsistency exposes both.
+
+#ifndef XKS_CORE_AXIOMS_H_
+#define XKS_CORE_AXIOMS_H_
+
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/xml/dom.h"
+
+namespace xks {
+
+/// How strictly the consistency checks attribute changes.
+enum class ConsistencyStrength {
+  /// New whole fragments must contain the inserted node / new keyword.
+  kFragmentLevel,
+  /// Every grown fragment's added nodes must include the inserted node.
+  kDeltaLevel,
+};
+
+/// Appends a leaf <label>text</label> as the LAST child of `parent`, so
+/// every existing Dewey code survives; returns the new document and writes
+/// the new node's code to `*new_dewey`. This is the perturbation all data
+/// axiom checks use.
+Result<Document> AppendLeaf(const Document& doc, const Dewey& parent,
+                            const std::string& label, const std::string& text,
+                            Dewey* new_dewey);
+
+/// Property 1. Returns "" or a violation description.
+Result<std::string> CheckDataMonotonicity(const Document& before,
+                                          const Document& after,
+                                          const KeywordQuery& query,
+                                          const SearchOptions& options);
+
+/// Property 3. `new_node` is the Dewey code of the inserted node.
+Result<std::string> CheckDataConsistency(const Document& before,
+                                         const Document& after,
+                                         const Dewey& new_node,
+                                         const KeywordQuery& query,
+                                         const SearchOptions& options,
+                                         ConsistencyStrength strength);
+
+/// Property 2. `larger` must extend `smaller` by extra keywords.
+Result<std::string> CheckQueryMonotonicity(const Document& doc,
+                                           const KeywordQuery& smaller,
+                                           const KeywordQuery& larger,
+                                           const SearchOptions& options);
+
+/// Property 4 (fragment-level).
+Result<std::string> CheckQueryConsistency(const Document& doc,
+                                          const KeywordQuery& smaller,
+                                          const KeywordQuery& larger,
+                                          const SearchOptions& options);
+
+}  // namespace xks
+
+#endif  // XKS_CORE_AXIOMS_H_

@@ -1,0 +1,108 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/lca/elca.h"
+#include "src/lca/slca.h"
+
+namespace xks {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+SearchEngine::KeywordNodeLists SearchEngine::GetKeywordNodes(
+    const KeywordQuery& query) const {
+  KeywordNodeLists lists;
+  // Reserve exactly so pointers into `owned` stay stable.
+  lists.owned.reserve(query.size());
+  lists.views.reserve(query.size());
+  for (const QueryTerm& term : query.terms()) {
+    if (term.constrained()) {
+      lists.owned.push_back(
+          store_->KeywordNodesWithLabel(term.word, term.label));
+      lists.views.push_back(&lists.owned.back());
+    } else {
+      lists.views.push_back(&store_->KeywordNodes(term.word));
+    }
+  }
+  return lists;
+}
+
+std::vector<Dewey> SearchEngine::GetLca(const KeywordLists& lists,
+                                        const SearchOptions& options) {
+  if (options.semantics == LcaSemantics::kSlca) {
+    switch (options.slca_algorithm) {
+      case SlcaAlgorithm::kIndexedLookup:
+        return SlcaIndexedLookup(lists);
+      case SlcaAlgorithm::kScanEager:
+        return SlcaScanEager(lists);
+      case SlcaAlgorithm::kStackMerge:
+        return SlcaStackMerge(lists);
+      case SlcaAlgorithm::kBruteForce:
+        return SlcaBruteForce(lists);
+    }
+  }
+  switch (options.elca_algorithm) {
+    case ElcaAlgorithm::kIndexedStack:
+      return ElcaIndexedStack(lists);
+    case ElcaAlgorithm::kStackMerge:
+      return ElcaStackMerge(lists);
+    case ElcaAlgorithm::kBruteForce:
+      return ElcaBruteForce(lists);
+  }
+  return {};
+}
+
+Result<SearchResult> SearchEngine::Search(const KeywordQuery& query,
+                                          const SearchOptions& options) const {
+  SearchResult result;
+
+  auto t0 = Clock::now();
+  KeywordNodeLists keyword_nodes = GetKeywordNodes(query);
+  const KeywordLists& lists = keyword_nodes.views;
+  for (const PostingList* list : lists) result.keyword_node_count += list->size();
+  result.timings.get_keyword_nodes_ms = MsSince(t0);
+
+  auto t1 = Clock::now();
+  std::vector<Dewey> lcas = GetLca(lists, options);
+  result.timings.get_lca_ms = MsSince(t1);
+
+  auto t2 = Clock::now();
+  std::vector<Rtf> rtfs = GetRtfs(lcas, lists);
+  if (options.flag_slca_roots && !lcas.empty()) {
+    std::vector<Dewey> slcas = options.semantics == LcaSemantics::kSlca
+                                   ? lcas
+                                   : SlcaIndexedLookup(lists);
+    for (Rtf& rtf : rtfs) {
+      rtf.root_is_slca =
+          std::binary_search(slcas.begin(), slcas.end(), rtf.root);
+    }
+  }
+  result.timings.get_rtf_ms = MsSince(t2);
+
+  auto t3 = Clock::now();
+  StoreMetadata metadata(store_);
+  result.fragments.reserve(rtfs.size());
+  for (Rtf& rtf : rtfs) {
+    FragmentResult fragment;
+    FragmentTree raw;
+    XKS_ASSIGN_OR_RETURN(raw, BuildFragmentTree(rtf, metadata));
+    fragment.fragment = PruneFragment(raw, options.pruning, query.size());
+    result.pruning.raw_nodes += raw.size();
+    result.pruning.kept_nodes += fragment.fragment.size();
+    if (options.keep_raw_fragments) fragment.raw = std::move(raw);
+    fragment.rtf = std::move(rtf);
+    result.fragments.push_back(std::move(fragment));
+  }
+  result.timings.prune_ms = MsSince(t3);
+  return result;
+}
+
+}  // namespace xks

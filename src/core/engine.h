@@ -1,0 +1,130 @@
+// SearchEngine: the four-stage pipeline of Algorithm 1.
+//
+//   getKeywordNodes → getLCA → getRTF → pruneRTF
+//
+// Both ValidRTF and (revised) MaxMatch are configurations of this pipeline:
+// they share the first three stages and differ in the pruning policy
+// (Section 4.3 claim (4) — and bench/micro_prune measures exactly that).
+// The original MaxMatch of [1] is the SLCA-semantics configuration.
+
+#ifndef XKS_CORE_ENGINE_H_
+#define XKS_CORE_ENGINE_H_
+
+#include <vector>
+
+#include "src/core/metadata.h"
+#include "src/core/prune.h"
+#include "src/core/query.h"
+#include "src/core/rtf.h"
+#include "src/storage/store.h"
+
+namespace xks {
+
+/// Which node set getLCA returns.
+enum class LcaSemantics {
+  /// All interesting LCA nodes (ELCA; the paper's choice via Indexed Stack).
+  kElca,
+  /// Smallest LCAs only (the original MaxMatch of [1]).
+  kSlca,
+};
+
+/// Algorithm choice for the ELCA semantics.
+enum class ElcaAlgorithm { kIndexedStack, kStackMerge, kBruteForce };
+
+/// Algorithm choice for the SLCA semantics.
+enum class SlcaAlgorithm { kIndexedLookup, kScanEager, kStackMerge, kBruteForce };
+
+/// Pipeline configuration.
+struct SearchOptions {
+  LcaSemantics semantics = LcaSemantics::kElca;
+  ElcaAlgorithm elca_algorithm = ElcaAlgorithm::kIndexedStack;
+  SlcaAlgorithm slca_algorithm = SlcaAlgorithm::kIndexedLookup;
+  PruningPolicy pruning = PruningPolicy::kValidContributor;
+  /// Also keep the unpruned tree in each FragmentResult (metrics, debugging).
+  bool keep_raw_fragments = false;
+  /// Mark RTFs whose root is also an SLCA (Section 2's "easy to distinguish
+  /// the SLCA related RTFs"). Costs one extra SLCA pass under kElca.
+  bool flag_slca_roots = true;
+};
+
+/// One query result: the raw RTF plus its (pruned) fragment tree.
+struct FragmentResult {
+  Rtf rtf;
+  /// The meaningful fragment (pruned by options.pruning).
+  FragmentTree fragment;
+  /// The unpruned tree; only populated when options.keep_raw_fragments.
+  FragmentTree raw;
+};
+
+/// Wall-clock stage timings in milliseconds.
+struct StageTimings {
+  double get_keyword_nodes_ms = 0;
+  double get_lca_ms = 0;
+  double get_rtf_ms = 0;
+  double prune_ms = 0;
+
+  /// The paper's Figure 5 measure: elapsed time after the keyword-node
+  /// Dewey codes have been retrieved.
+  double post_retrieval_ms() const { return get_lca_ms + get_rtf_ms + prune_ms; }
+};
+
+/// Aggregate pruning statistics across all fragments of one query.
+struct PruningStats {
+  /// Nodes in the raw (unpruned) RTF trees.
+  size_t raw_nodes = 0;
+  /// Nodes surviving pruning.
+  size_t kept_nodes = 0;
+
+  size_t pruned_nodes() const { return raw_nodes - kept_nodes; }
+  /// Fraction of raw nodes removed; 0 for empty results.
+  double pruning_ratio() const {
+    return raw_nodes == 0
+               ? 0.0
+               : static_cast<double>(pruned_nodes()) /
+                     static_cast<double>(raw_nodes);
+  }
+};
+
+/// A complete query answer.
+struct SearchResult {
+  std::vector<FragmentResult> fragments;
+  StageTimings timings;
+  PruningStats pruning;
+  /// Total keyword-node postings consumed (Σ|D_i|).
+  size_t keyword_node_count = 0;
+
+  size_t rtf_count() const { return fragments.size(); }
+};
+
+/// The pipeline, bound to one shredded store.
+class SearchEngine {
+ public:
+  explicit SearchEngine(const ShreddedStore* store) : store_(store) {}
+
+  /// Runs the full pipeline.
+  Result<SearchResult> Search(const KeywordQuery& query,
+                              const SearchOptions& options = {}) const;
+
+  /// Stage-1 output: one posting-list view per query term. Label-constrained
+  /// terms materialize their filtered lists into `owned`; unconstrained
+  /// terms view the index directly. `views` stays valid as long as this
+  /// struct and the store are alive.
+  struct KeywordNodeLists {
+    std::vector<PostingList> owned;
+    KeywordLists views;
+  };
+
+  /// Stage 1: keyword-node posting lists for the query, in term order.
+  KeywordNodeLists GetKeywordNodes(const KeywordQuery& query) const;
+
+  /// Stage 2: interesting LCA nodes under the configured semantics.
+  static std::vector<Dewey> GetLca(const KeywordLists& lists,
+                                   const SearchOptions& options);
+
+ private:
+  const ShreddedStore* store_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_CORE_ENGINE_H_

@@ -1,0 +1,84 @@
+#include "src/core/fragment.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace xks {
+
+FragmentNodeId FragmentTree::CreateRoot(FragmentNode node) {
+  node.parent = kNullFragmentNode;
+  nodes_.clear();
+  nodes_.push_back(std::move(node));
+  return 0;
+}
+
+FragmentNodeId FragmentTree::AddChild(FragmentNodeId parent, FragmentNode node) {
+  FragmentNodeId id = static_cast<FragmentNodeId>(nodes_.size());
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+std::vector<Dewey> FragmentTree::NodeSet() const {
+  std::vector<Dewey> set;
+  set.reserve(nodes_.size());
+  for (const FragmentNode& n : nodes_) set.push_back(n.dewey);
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
+size_t FragmentTree::KeywordNodeCount() const {
+  size_t count = 0;
+  for (const FragmentNode& n : nodes_) count += n.is_keyword_node ? 1 : 0;
+  return count;
+}
+
+std::string FragmentTree::ToTreeString(size_t k) const {
+  std::string out;
+  if (nodes_.empty()) return out;
+  struct Item {
+    FragmentNodeId id;
+    size_t depth;
+  };
+  std::vector<Item> stack = {{root(), 0}};
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    const FragmentNode& n = node(item.id);
+    for (size_t i = 0; i < item.depth; ++i) out.append("  ");
+    out += n.label;
+    out += " (" + n.dewey.ToString() + ")";
+    if (k > 0) {
+      out += " [" + KListString(n.klist, k) + "]";
+      if (!n.cid.empty()) out += " cID=" + n.cid.ToString();
+    }
+    if (n.is_keyword_node) out += " *";
+    out.push_back('\n');
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back({*it, item.depth + 1});
+    }
+  }
+  return out;
+}
+
+size_t CountSetDifference(const std::vector<Dewey>& a, const std::vector<Dewey>& b) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size()) {
+    if (j == b.size() || a[i] < b[j]) {
+      ++count;
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace xks

@@ -1,0 +1,85 @@
+// Result fragments: the trees ValidRTF and MaxMatch return.
+//
+// A FragmentTree is an arena of FragmentNodes, each carrying the "Self Info"
+// of the paper's Section 4.1 node structure: Dewey code, label, kList (tree
+// keyword set as a bitmask) and cID (tree content feature). The "Children
+// Info" (per-label items) is derived on demand by src/core/node_info.h.
+
+#ifndef XKS_CORE_FRAGMENT_H_
+#define XKS_CORE_FRAGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/text/content.h"
+#include "src/xml/dewey.h"
+
+namespace xks {
+
+/// Node handle inside one FragmentTree.
+using FragmentNodeId = int32_t;
+inline constexpr FragmentNodeId kNullFragmentNode = -1;
+
+/// One fragment node ("Self Info").
+struct FragmentNode {
+  Dewey dewey;
+  std::string label;
+  /// Tree keyword set TK (dMatch in MaxMatch): keywords covered by the
+  /// keyword nodes of this subtree, internal LSB mask.
+  KeywordMask klist = 0;
+  /// Tree content feature: (min,max) over the contents of the keyword nodes
+  /// in this subtree (Definition 3).
+  ContentId cid;
+  /// True when the node is one of the RTF's keyword nodes.
+  bool is_keyword_node = false;
+  FragmentNodeId parent = kNullFragmentNode;
+  std::vector<FragmentNodeId> children;  // document order
+};
+
+/// An arena-backed fragment tree rooted at the RTF's LCA node.
+class FragmentTree {
+ public:
+  FragmentTree() = default;
+
+  /// Creates the root. Must be the first insertion.
+  FragmentNodeId CreateRoot(FragmentNode node);
+
+  /// Appends a child under `parent` keeping children in document order
+  /// (callers insert keyword-node paths in document order already).
+  FragmentNodeId AddChild(FragmentNodeId parent, FragmentNode node);
+
+  bool empty() const { return nodes_.empty(); }
+  size_t size() const { return nodes_.size(); }
+  FragmentNodeId root() const { return nodes_.empty() ? kNullFragmentNode : 0; }
+
+  const FragmentNode& node(FragmentNodeId id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+  FragmentNode& mutable_node(FragmentNodeId id) {
+    return nodes_[static_cast<size_t>(id)];
+  }
+
+  /// The sorted Dewey set of all nodes — the fragment identity used by the
+  /// CFR/APR metrics ("if the node sets are same, the fragments are same").
+  std::vector<Dewey> NodeSet() const;
+
+  /// Pretty tree rendering: one "label (dewey) [kList] {cid}" line per node.
+  /// `k` is the query size used to render kList columns; pass 0 to omit.
+  std::string ToTreeString(size_t k = 0) const;
+
+  /// Number of keyword nodes in the tree.
+  size_t KeywordNodeCount() const;
+
+ private:
+  std::vector<FragmentNode> nodes_;
+};
+
+/// Counts |a - b|: nodes present in `a` but not in `b` (both sorted sets
+/// from NodeSet). Drives the APR ratios.
+size_t CountSetDifference(const std::vector<Dewey>& a, const std::vector<Dewey>& b);
+
+}  // namespace xks
+
+#endif  // XKS_CORE_FRAGMENT_H_

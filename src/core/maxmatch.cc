@@ -1,0 +1,33 @@
+#include "src/core/maxmatch.h"
+
+namespace xks {
+
+SearchOptions MaxMatchOptions() {
+  SearchOptions options;
+  options.semantics = LcaSemantics::kElca;
+  options.elca_algorithm = ElcaAlgorithm::kIndexedStack;
+  options.pruning = PruningPolicy::kContributor;
+  return options;
+}
+
+SearchOptions MaxMatchOriginalOptions() {
+  SearchOptions options;
+  options.semantics = LcaSemantics::kSlca;
+  options.slca_algorithm = SlcaAlgorithm::kIndexedLookup;
+  options.pruning = PruningPolicy::kContributor;
+  return options;
+}
+
+Result<SearchResult> MaxMatchSearch(const ShreddedStore& store,
+                                    const KeywordQuery& query) {
+  SearchEngine engine(&store);
+  return engine.Search(query, MaxMatchOptions());
+}
+
+Result<SearchResult> MaxMatchOriginalSearch(const ShreddedStore& store,
+                                            const KeywordQuery& query) {
+  SearchEngine engine(&store);
+  return engine.Search(query, MaxMatchOriginalOptions());
+}
+
+}  // namespace xks

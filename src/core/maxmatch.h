@@ -1,0 +1,33 @@
+// MaxMatch baselines (Liu & Chen, VLDB 2008).
+//
+// Two configurations:
+//  * Revised MaxMatch — the comparison baseline the paper constructs in
+//    Section 4.3 footnote 10: findSLCA replaced by the Indexed Stack ELCA
+//    algorithm and the ancestor information-transfer fix applied, so it
+//    operates on the same RTFs as ValidRTF but prunes with the contributor.
+//  * Original MaxMatch — SLCA semantics + contributor pruning, as published.
+
+#ifndef XKS_CORE_MAXMATCH_H_
+#define XKS_CORE_MAXMATCH_H_
+
+#include "src/core/engine.h"
+
+namespace xks {
+
+/// Revised-MaxMatch configuration (ELCA + contributor pruning).
+SearchOptions MaxMatchOptions();
+
+/// Original-MaxMatch configuration (SLCA + contributor pruning).
+SearchOptions MaxMatchOriginalOptions();
+
+/// Runs revised MaxMatch over `store`.
+Result<SearchResult> MaxMatchSearch(const ShreddedStore& store,
+                                    const KeywordQuery& query);
+
+/// Runs the original SLCA-based MaxMatch over `store`.
+Result<SearchResult> MaxMatchOriginalSearch(const ShreddedStore& store,
+                                            const KeywordQuery& query);
+
+}  // namespace xks
+
+#endif  // XKS_CORE_MAXMATCH_H_

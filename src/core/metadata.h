@@ -1,0 +1,79 @@
+// Node metadata providers for RTF tree construction.
+//
+// The constructing step of pruneRTF needs, per node: the labels along the
+// root path (to materialize internal path nodes) and the cID of the node's
+// own content. Query-time code gets both from the shredded store (the
+// paper's element table); tests can run straight off a Document.
+
+#ifndef XKS_CORE_METADATA_H_
+#define XKS_CORE_METADATA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/store.h"
+#include "src/text/content.h"
+#include "src/xml/dom.h"
+
+namespace xks {
+
+/// Per-node metadata access used by BuildFragmentTree.
+class NodeMetadata {
+ public:
+  virtual ~NodeMetadata() = default;
+
+  /// Labels of the ancestors-or-self on the path root → `dewey`.
+  virtual Result<std::vector<std::string>> AncestorLabels(const Dewey& dewey) const = 0;
+
+  /// cID of the node's own content set Cv.
+  virtual Result<ContentId> OwnContentId(const Dewey& dewey) const = 0;
+};
+
+/// Store-backed provider (the production path).
+class StoreMetadata : public NodeMetadata {
+ public:
+  explicit StoreMetadata(const ShreddedStore* store) : store_(store) {}
+
+  Result<std::vector<std::string>> AncestorLabels(const Dewey& dewey) const override {
+    return store_->AncestorLabels(dewey);
+  }
+
+  Result<ContentId> OwnContentId(const Dewey& dewey) const override {
+    return store_->ContentFeatureOf(dewey);
+  }
+
+ private:
+  const ShreddedStore* store_;
+};
+
+/// Document-backed provider (tests and small examples; no shredding pass).
+class DocumentMetadata : public NodeMetadata {
+ public:
+  explicit DocumentMetadata(const Document* doc) : doc_(doc) {}
+
+  Result<std::vector<std::string>> AncestorLabels(const Dewey& dewey) const override {
+    NodeId id;
+    XKS_ASSIGN_OR_RETURN(id, doc_->FindByDewey(dewey));
+    std::vector<std::string> labels;
+    while (id != kNullNode) {
+      labels.push_back(doc_->node(id).label);
+      id = doc_->node(id).parent;
+    }
+    std::reverse(labels.begin(), labels.end());
+    return labels;
+  }
+
+  Result<ContentId> OwnContentId(const Dewey& dewey) const override {
+    NodeId id;
+    XKS_ASSIGN_OR_RETURN(id, doc_->FindByDewey(dewey));
+    return ContentIdOf(ContentWords(*doc_, id));
+  }
+
+ private:
+  const Document* doc_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_CORE_METADATA_H_

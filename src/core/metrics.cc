@@ -1,0 +1,71 @@
+#include "src/core/metrics.h"
+
+#include <algorithm>
+
+namespace xks {
+
+double QueryEffectiveness::cfr() const {
+  if (rtf_count == 0) return 1.0;
+  return static_cast<double>(common_count) / static_cast<double>(rtf_count);
+}
+
+double QueryEffectiveness::apr() const {
+  const size_t differing = rtf_count - common_count;
+  if (differing == 0) return 0.0;
+  double sum = 0;
+  for (double r : ratios) sum += r;
+  return sum / static_cast<double>(differing);
+}
+
+double QueryEffectiveness::max_apr() const {
+  double max = 0;
+  for (double r : ratios) max = std::max(max, r);
+  return max;
+}
+
+double QueryEffectiveness::apr_prime() const {
+  const size_t differing = rtf_count - common_count;
+  if (differing <= 1) return 0.0;
+  double sum = 0;
+  double max = 0;
+  for (double r : ratios) {
+    sum += r;
+    max = std::max(max, r);
+  }
+  return (sum - max) / static_cast<double>(differing - 1);
+}
+
+Result<QueryEffectiveness> CompareEffectiveness(const SearchResult& valid_rtf,
+                                                const SearchResult& max_match) {
+  if (valid_rtf.fragments.size() != max_match.fragments.size()) {
+    return Status::InvalidArgument(
+        "result sets have different fragment counts; were they produced with "
+        "the same LCA semantics?");
+  }
+  QueryEffectiveness eff;
+  eff.rtf_count = valid_rtf.fragments.size();
+  eff.ratios.reserve(eff.rtf_count);
+  for (size_t i = 0; i < eff.rtf_count; ++i) {
+    const FragmentResult& v = valid_rtf.fragments[i];
+    const FragmentResult& x = max_match.fragments[i];
+    if (v.rtf.root != x.rtf.root) {
+      return Status::InvalidArgument("fragment roots are not aligned at index " +
+                                     std::to_string(i));
+    }
+    std::vector<Dewey> va = v.fragment.NodeSet();
+    std::vector<Dewey> xa = x.fragment.NodeSet();
+    if (va == xa) {
+      ++eff.common_count;
+      eff.ratios.push_back(0.0);
+      continue;
+    }
+    const size_t removed = CountSetDifference(xa, va);
+    eff.ratios.push_back(xa.empty()
+                             ? 0.0
+                             : static_cast<double>(removed) /
+                                   static_cast<double>(xa.size()));
+  }
+  return eff;
+}
+
+}  // namespace xks

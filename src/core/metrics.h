@@ -1,0 +1,42 @@
+// Effectiveness metrics of Section 5.1: CFR, APR, APR′ and Max APR.
+
+#ifndef XKS_CORE_METRICS_H_
+#define XKS_CORE_METRICS_H_
+
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace xks {
+
+/// Per-query effectiveness comparison of ValidRTF (V) against MaxMatch (X)
+/// over the shared interesting-LCA set A.
+struct QueryEffectiveness {
+  /// |A| — number of RTFs.
+  size_t rtf_count = 0;
+  /// |V ∩ X| — fragments with identical node sets.
+  size_t common_count = 0;
+  /// Per-fragment pruning ratios |x_a − v_a| / |x_a| for every a in A.
+  std::vector<double> ratios;
+
+  /// CFR = |V∩X| / |A|; 1.0 when the result sets agree completely (and for
+  /// empty A).
+  double cfr() const;
+  /// APR = Σ ratios / |V − V∩X|; 0 when no fragment differs.
+  double apr() const;
+  /// Max APR = the largest per-fragment ratio.
+  double max_apr() const;
+  /// APR′ = APR after discarding the single extreme fragment; 0 when at
+  /// most one fragment differs.
+  double apr_prime() const;
+};
+
+/// Compares aligned results. Both must come from the same query and LCA
+/// semantics (same fragment roots in the same order); anything else is an
+/// InvalidArgument.
+Result<QueryEffectiveness> CompareEffectiveness(const SearchResult& valid_rtf,
+                                                const SearchResult& max_match);
+
+}  // namespace xks
+
+#endif  // XKS_CORE_METRICS_H_

@@ -1,0 +1,42 @@
+#include "src/core/node_info.h"
+
+#include <algorithm>
+#include <map>
+
+namespace xks {
+
+std::vector<LabelItem> BuildLabelItems(const FragmentTree& tree, FragmentNodeId id,
+                                       size_t k) {
+  std::vector<LabelItem> items;
+  std::map<std::string, size_t> index;
+  for (FragmentNodeId child : tree.node(id).children) {
+    const FragmentNode& c = tree.node(child);
+    auto [it, inserted] = index.emplace(c.label, items.size());
+    if (inserted) {
+      items.push_back(LabelItem{});
+      items.back().label = c.label;
+    }
+    LabelItem& item = items[it->second];
+    ++item.counter;
+    item.chk_list.push_back(PaperKeyNumber(c.klist, k));
+    item.chcid_list.push_back(c.cid);
+    item.ch_list.push_back(child);
+  }
+  for (LabelItem& item : items) {
+    std::sort(item.chk_list.begin(), item.chk_list.end());
+    item.chk_list.erase(std::unique(item.chk_list.begin(), item.chk_list.end()),
+                        item.chk_list.end());
+  }
+  return items;
+}
+
+bool KeyNumberCovered(uint64_t key, const std::vector<uint64_t>& chk_list) {
+  // chk_list is sorted; only numbers greater than `key` can strictly cover it.
+  auto it = std::upper_bound(chk_list.begin(), chk_list.end(), key);
+  for (; it != chk_list.end(); ++it) {
+    if ((key & *it) == key) return true;
+  }
+  return false;
+}
+
+}  // namespace xks

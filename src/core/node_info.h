@@ -1,0 +1,45 @@
+// The "Children Info" half of the paper's Section 4.1 node data structure.
+//
+// For a fragment node, its children are grouped into one item per distinct
+// label, each carrying: counter (children with that label), chkList (the
+// sorted distinct key numbers of their kLists), chcIDList (their cIDs) and
+// chList (references to the children). pruneRTF walks these items to decide
+// which children are valid contributors.
+
+#ifndef XKS_CORE_NODE_INFO_H_
+#define XKS_CORE_NODE_INFO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/fragment.h"
+
+namespace xks {
+
+/// One per-label item of a node's chlList.
+struct LabelItem {
+  std::string label;
+  /// Number of children bearing this label.
+  uint32_t counter = 0;
+  /// Sorted distinct paper key numbers of the children's kLists.
+  std::vector<uint64_t> chk_list;
+  /// The children's cIDs, in child document order.
+  std::vector<ContentId> chcid_list;
+  /// The children themselves, in document order.
+  std::vector<FragmentNodeId> ch_list;
+};
+
+/// Builds the chlList of `id`'s children. `k` is the query size (needed for
+/// the paper's MSB-first key-number encoding). Items appear in order of
+/// first child occurrence.
+std::vector<LabelItem> BuildLabelItems(const FragmentTree& tree, FragmentNodeId id,
+                                       size_t k);
+
+/// True iff `key` is strictly covered by some larger element of the sorted
+/// `chk_list` (the paper's coverage probe: compare only against numbers
+/// greater than `key`, test (key AND other) == key).
+bool KeyNumberCovered(uint64_t key, const std::vector<uint64_t>& chk_list);
+
+}  // namespace xks
+
+#endif  // XKS_CORE_NODE_INFO_H_

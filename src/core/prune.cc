@@ -1,0 +1,104 @@
+#include "src/core/prune.h"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/core/node_info.h"
+
+namespace xks {
+namespace {
+
+/// Children of `id` surviving the contributor test: no sibling of any label
+/// strictly covers the child's keyword set.
+std::vector<FragmentNodeId> KeepByContributor(const FragmentTree& tree,
+                                              FragmentNodeId id) {
+  const std::vector<FragmentNodeId>& children = tree.node(id).children;
+  std::vector<FragmentNodeId> kept;
+  for (FragmentNodeId child : children) {
+    const KeywordMask mask = tree.node(child).klist;
+    bool covered = false;
+    for (FragmentNodeId sibling : children) {
+      if (sibling != child && IsStrictSubsetMask(mask, tree.node(sibling).klist)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) kept.push_back(child);
+  }
+  return kept;
+}
+
+/// Children of `id` surviving the valid-contributor test (Definition 4).
+std::vector<FragmentNodeId> KeepByValidContributor(const FragmentTree& tree,
+                                                   FragmentNodeId id, size_t k) {
+  std::vector<FragmentNodeId> kept;
+  for (const LabelItem& item : BuildLabelItems(tree, id, k)) {
+    if (item.counter == 1) {
+      // Rule 1: a unique label is always a valid contributor.
+      kept.push_back(item.ch_list[0]);
+      continue;
+    }
+    std::map<uint64_t, std::set<ContentId>> used;  // key number → kept cIDs
+    for (size_t i = 0; i < item.ch_list.size(); ++i) {
+      const uint64_t key = PaperKeyNumber(tree.node(item.ch_list[i]).klist, k);
+      const ContentId& cid = item.chcid_list[i];
+      auto it = used.find(key);
+      if (it != used.end()) {
+        // Rule 2.(b): same keyword set as an already-kept sibling; survive
+        // only with distinct content.
+        if (it->second.insert(cid).second) kept.push_back(item.ch_list[i]);
+        continue;
+      }
+      // Rule 2.(a): die when a same-label sibling strictly covers the set.
+      if (KeyNumberCovered(key, item.chk_list)) continue;
+      used[key].insert(cid);
+      kept.push_back(item.ch_list[i]);
+    }
+  }
+  // Restore document order across label groups.
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+}  // namespace
+
+FragmentTree PruneFragment(const FragmentTree& tree, PruningPolicy policy,
+                           size_t k) {
+  FragmentTree out;
+  if (tree.empty()) return out;
+
+  FragmentNode root_copy = tree.node(tree.root());
+  root_copy.children.clear();
+  out.CreateRoot(std::move(root_copy));
+
+  // BFS; pairs of (source node, destination node).
+  std::deque<std::pair<FragmentNodeId, FragmentNodeId>> queue;
+  queue.emplace_back(tree.root(), out.root());
+  while (!queue.empty()) {
+    auto [src, dst] = queue.front();
+    queue.pop_front();
+    std::vector<FragmentNodeId> kept;
+    switch (policy) {
+      case PruningPolicy::kNone:
+        kept = tree.node(src).children;
+        break;
+      case PruningPolicy::kContributor:
+        kept = KeepByContributor(tree, src);
+        break;
+      case PruningPolicy::kValidContributor:
+        kept = KeepByValidContributor(tree, src, k);
+        break;
+    }
+    for (FragmentNodeId child : kept) {
+      FragmentNode copy = tree.node(child);
+      copy.children.clear();
+      FragmentNodeId new_id = out.AddChild(dst, std::move(copy));
+      queue.emplace_back(child, new_id);
+    }
+  }
+  return out;
+}
+
+}  // namespace xks

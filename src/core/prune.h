@@ -1,0 +1,40 @@
+// Fragment pruning: the pruning step of pruneRTF (both filtering policies).
+
+#ifndef XKS_CORE_PRUNE_H_
+#define XKS_CORE_PRUNE_H_
+
+#include <cstddef>
+
+#include "src/core/fragment.h"
+
+namespace xks {
+
+/// Which filtering mechanism prunes a fragment.
+enum class PruningPolicy {
+  /// Keep everything (the raw RTF).
+  kNone,
+  /// MaxMatch's contributor (Liu & Chen): discard a child when some sibling
+  /// (any label) has a strictly larger tree keyword set. Exhibits the false
+  /// positive and redundancy problems by design.
+  kContributor,
+  /// The paper's valid contributor (Definition 4): per-label grouping;
+  /// unique labels always survive; within a label group a child dies when a
+  /// same-label sibling strictly covers its keyword set, and duplicates
+  /// (equal keyword set, equal cID) are reduced to their first occurrence.
+  kValidContributor,
+};
+
+/// Returns the pruned copy of `tree` under `policy`. `k` is the query size
+/// (for key-number encoding). Discarding a child removes its whole subtree;
+/// the root always survives. Node kList/cID values are preserved from the
+/// unpruned tree (they describe the raw RTF, as in the paper's Figure 4).
+///
+/// Faithfulness note: duplicate detection tracks cIDs per key number, which
+/// is Definition 4's pairing of "equal TK" with "equal TC"; the paper's
+/// pseudo-code shares one usedCIDs set across a label item, which would also
+/// discard a child whose cID collides with a *different*-keyword-set sibling.
+FragmentTree PruneFragment(const FragmentTree& tree, PruningPolicy policy, size_t k);
+
+}  // namespace xks
+
+#endif  // XKS_CORE_PRUNE_H_

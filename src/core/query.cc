@@ -1,0 +1,113 @@
+#include "src/core/query.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+#include "src/text/stopwords.h"
+#include "src/text/tokenizer.h"
+
+namespace xks {
+
+Result<KeywordQuery> KeywordQuery::Parse(const std::string& text) {
+  std::vector<QueryTerm> terms;
+  for (const std::string& token : SplitString(text, " \t\r\n")) {
+    size_t colon = token.find(':');
+    if (colon != std::string::npos) {
+      // Label-constrained term "label:word".
+      std::vector<std::string> label_words = TokenizeWords(token.substr(0, colon));
+      std::vector<std::string> words = TokenizeWords(token.substr(colon + 1));
+      if (label_words.size() != 1 || words.empty()) {
+        return Status::InvalidArgument("malformed label constraint '" + token +
+                                       "' (expected label:word)");
+      }
+      for (std::string& w : words) {
+        terms.push_back(QueryTerm{std::move(w), label_words[0]});
+      }
+      continue;
+    }
+    for (std::string& w : TokenizeWords(token)) {
+      terms.push_back(QueryTerm{std::move(w), ""});
+    }
+  }
+  return FromTerms(std::move(terms));
+}
+
+Result<KeywordQuery> KeywordQuery::FromKeywords(std::vector<std::string> keywords) {
+  std::vector<QueryTerm> terms;
+  terms.reserve(keywords.size());
+  for (std::string& raw : keywords) {
+    terms.push_back(QueryTerm{std::move(raw), ""});
+  }
+  return FromTerms(std::move(terms));
+}
+
+Result<KeywordQuery> KeywordQuery::FromTerms(std::vector<QueryTerm> terms) {
+  KeywordQuery query;
+  for (QueryTerm& raw : terms) {
+    QueryTerm term{AsciiLower(raw.word), AsciiLower(raw.label)};
+    if (term.word.empty() || IsStopWord(term.word)) continue;
+    if (std::find(query.terms_.begin(), query.terms_.end(), term) !=
+        query.terms_.end()) {
+      continue;  // duplicate term
+    }
+    query.keywords_.push_back(term.word);
+    query.terms_.push_back(std::move(term));
+  }
+  if (query.terms_.empty()) {
+    return Status::InvalidArgument("query has no usable keywords");
+  }
+  if (query.terms_.size() > kMaxQueryKeywords) {
+    return Status::InvalidArgument(
+        StrFormat("query has %zu terms; the library supports at most %zu",
+                  query.terms_.size(), kMaxQueryKeywords));
+  }
+  return query;
+}
+
+bool KeywordQuery::has_label_constraints() const {
+  for (const QueryTerm& term : terms_) {
+    if (term.constrained()) return true;
+  }
+  return false;
+}
+
+std::string KeywordQuery::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(terms_.size());
+  for (const QueryTerm& term : terms_) {
+    parts.push_back(term.constrained() ? term.label + ":" + term.word
+                                       : term.word);
+  }
+  return JoinStrings(parts, " ");
+}
+
+uint64_t PaperKeyNumber(KeywordMask mask, size_t k) {
+  uint64_t key = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (mask & (KeywordMask{1} << i)) {
+      key |= uint64_t{1} << (k - 1 - i);
+    }
+  }
+  return key;
+}
+
+KeywordMask MaskFromPaperKeyNumber(uint64_t key_number, size_t k) {
+  KeywordMask mask = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (key_number & (uint64_t{1} << (k - 1 - i))) {
+      mask |= KeywordMask{1} << i;
+    }
+  }
+  return mask;
+}
+
+std::string KListString(KeywordMask mask, size_t k) {
+  std::string out;
+  for (size_t i = 0; i < k; ++i) {
+    if (i > 0) out.push_back(' ');
+    out.push_back((mask & (KeywordMask{1} << i)) ? '1' : '0');
+  }
+  return out;
+}
+
+}  // namespace xks

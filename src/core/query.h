@@ -1,0 +1,84 @@
+// Keyword queries.
+
+#ifndef XKS_CORE_QUERY_H_
+#define XKS_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/lca/lca.h"
+
+namespace xks {
+
+/// One query term: a keyword, optionally constrained to nodes with a given
+/// label ("title:xml" matches the word only inside <title> elements —
+/// the label-constrained semantics of XSearch [5], which the paper's
+/// related-work section lists as the natural query extension).
+struct QueryTerm {
+  std::string word;
+  /// Empty = unconstrained.
+  std::string label;
+
+  bool constrained() const { return !label.empty(); }
+  bool operator==(const QueryTerm&) const = default;
+};
+
+/// A parsed keyword query Q = {w1, ..., wk}: lowercased, stop-words removed,
+/// duplicates removed with first-occurrence order preserved.
+class KeywordQuery {
+ public:
+  /// Parses free text ("XML keyword search", "title:xml keyword"). Fails
+  /// when no usable keyword survives normalization, a label constraint is
+  /// malformed, or more than kMaxQueryKeywords terms remain.
+  static Result<KeywordQuery> Parse(const std::string& text);
+
+  /// Builds from pre-normalized keywords (generators and tests).
+  static Result<KeywordQuery> FromKeywords(std::vector<std::string> keywords);
+
+  /// Builds from explicit terms.
+  static Result<KeywordQuery> FromTerms(std::vector<QueryTerm> terms);
+
+  const std::vector<std::string>& keywords() const { return keywords_; }
+  size_t size() const { return keywords_.size(); }
+  const std::string& keyword(size_t i) const { return keywords_[i]; }
+  const QueryTerm& term(size_t i) const { return terms_[i]; }
+  const std::vector<QueryTerm>& terms() const { return terms_; }
+
+  /// True iff any term carries a label constraint.
+  bool has_label_constraints() const;
+
+  /// Internal mask bit for keyword i (LSB order).
+  KeywordMask BitFor(size_t i) const { return KeywordMask{1} << i; }
+
+  /// The all-keywords mask.
+  KeywordMask full_mask() const { return FullMask(keywords_.size()); }
+
+  /// "liu keyword" / "title:xml keyword" — canonical display form.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> keywords_;
+  std::vector<QueryTerm> terms_;
+};
+
+/// The paper's integer encoding of a kList (Section 4.1): keyword 1 is the
+/// most significant bit, so for Q3 = "VLDB title XML keyword search" the
+/// kList [0 1 1 1 1] has key number 15. Converts from the internal LSB mask.
+uint64_t PaperKeyNumber(KeywordMask mask, size_t k);
+
+/// Inverse of PaperKeyNumber.
+KeywordMask MaskFromPaperKeyNumber(uint64_t key_number, size_t k);
+
+/// "0 1 1 1 1" rendering of a kList.
+std::string KListString(KeywordMask mask, size_t k);
+
+/// True iff `a` is a strict subset of `b` ("covered by" in the paper's
+/// pruning step: a != b and (a AND b) == a).
+inline bool IsStrictSubsetMask(KeywordMask a, KeywordMask b) {
+  return a != b && (a & b) == a;
+}
+
+}  // namespace xks
+
+#endif  // XKS_CORE_QUERY_H_

@@ -1,0 +1,91 @@
+#include "src/core/ranking.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/string_util.h"
+
+namespace xks {
+
+std::string FragmentScore::ToString() const {
+  return StrFormat(
+      "total=%.4f (specificity=%.3f proximity=%.3f compactness=%.3f "
+      "slca=%.0f concentration=%.3f)",
+      total, specificity, proximity, compactness, slca, match_concentration);
+}
+
+std::vector<FragmentScore> RankFragments(const SearchResult& result, size_t k,
+                                         const RankingWeights& weights) {
+  std::vector<FragmentScore> scores;
+  scores.reserve(result.fragments.size());
+  if (result.fragments.empty()) return scores;
+
+  size_t max_depth = 1;
+  for (const FragmentResult& f : result.fragments) {
+    max_depth = std::max(max_depth, f.rtf.root.depth());
+  }
+
+  for (size_t i = 0; i < result.fragments.size(); ++i) {
+    const FragmentResult& f = result.fragments[i];
+    FragmentScore score;
+    score.fragment_index = i;
+
+    score.specificity =
+        static_cast<double>(f.rtf.root.depth()) / static_cast<double>(max_depth);
+
+    // Average path length from the root to each keyword node, in edges;
+    // a fragment equal to its own keyword node has distance 0 → proximity 1.
+    double total_distance = 0;
+    for (const RtfKeywordNode& kn : f.rtf.knodes) {
+      total_distance +=
+          static_cast<double>(kn.dewey.depth() - f.rtf.root.depth());
+    }
+    const double avg_distance =
+        f.rtf.knodes.empty()
+            ? 0.0
+            : total_distance / static_cast<double>(f.rtf.knodes.size());
+    score.proximity = 1.0 / (1.0 + avg_distance);
+
+    const size_t fragment_nodes = std::max<size_t>(1, f.fragment.size());
+    score.compactness = static_cast<double>(f.fragment.KeywordNodeCount()) /
+                        static_cast<double>(fragment_nodes);
+
+    score.slca = f.rtf.root_is_slca ? 1.0 : 0.0;
+
+    double matched_bits = 0;
+    for (const RtfKeywordNode& kn : f.rtf.knodes) {
+      matched_bits += static_cast<double>(std::popcount(kn.mask));
+    }
+    score.match_concentration =
+        f.rtf.knodes.empty() || k == 0
+            ? 0.0
+            : matched_bits /
+                  (static_cast<double>(f.rtf.knodes.size()) *
+                   static_cast<double>(k));
+
+    score.total = weights.specificity * score.specificity +
+                  weights.proximity * score.proximity +
+                  weights.compactness * score.compactness +
+                  weights.slca_bonus * score.slca +
+                  weights.match_concentration * score.match_concentration;
+    scores.push_back(score);
+  }
+
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const FragmentScore& a, const FragmentScore& b) {
+                     return a.total > b.total;
+                   });
+  return scores;
+}
+
+std::vector<size_t> TopFragments(const SearchResult& result, size_t k,
+                                 size_t limit, const RankingWeights& weights) {
+  std::vector<FragmentScore> scores = RankFragments(result, k, weights);
+  std::vector<size_t> top;
+  for (size_t i = 0; i < scores.size() && i < limit; ++i) {
+    top.push_back(scores[i].fragment_index);
+  }
+  return top;
+}
+
+}  // namespace xks

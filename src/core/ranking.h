@@ -1,0 +1,68 @@
+// Fragment ranking — the paper's stated future work ("the ranking of the
+// retrieved meaningful RTFs is still needed ... this is also a part of our
+// future work", Section 7).
+//
+// The score follows the XRank/XSearch intuitions the paper cites ([4], [5]):
+// deeper result roots are more specific, compact fragments with short
+// root→keyword paths are more relevant, SLCA-rooted fragments (no nested
+// result inside) are preferred, and keyword nodes matching many query
+// keywords at once beat scattered single matches. All components are
+// normalized to [0, 1] and combined linearly with configurable weights, so
+// rankings are deterministic and explainable.
+
+#ifndef XKS_CORE_RANKING_H_
+#define XKS_CORE_RANKING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace xks {
+
+/// Linear combination weights; defaults follow the common XKS heuristics
+/// (specificity dominates, then proximity/compactness).
+struct RankingWeights {
+  /// Depth of the RTF root relative to the deepest root in the result set.
+  double specificity = 0.40;
+  /// Inverse of the average root→keyword-node path length.
+  double proximity = 0.25;
+  /// Keyword nodes per fragment node (dense fragments beat sprawling ones).
+  double compactness = 0.20;
+  /// Bonus for SLCA-rooted fragments.
+  double slca_bonus = 0.10;
+  /// Average fraction of query keywords matched per keyword node (a node
+  /// matching the whole query at once is the strongest signal).
+  double match_concentration = 0.05;
+};
+
+/// Score breakdown for one fragment.
+struct FragmentScore {
+  /// Index into SearchResult::fragments.
+  size_t fragment_index = 0;
+  double specificity = 0;
+  double proximity = 0;
+  double compactness = 0;
+  double slca = 0;
+  double match_concentration = 0;
+  /// The weighted total.
+  double total = 0;
+
+  /// One-line "component=value" rendering for EXPLAIN-style output.
+  std::string ToString() const;
+};
+
+/// Scores every fragment of `result` and returns them sorted by descending
+/// total score (stable: document order breaks ties). `k` is the query size.
+std::vector<FragmentScore> RankFragments(const SearchResult& result, size_t k,
+                                         const RankingWeights& weights = {});
+
+/// Convenience: the indices of the top `limit` fragments in rank order.
+std::vector<size_t> TopFragments(const SearchResult& result, size_t k,
+                                 size_t limit,
+                                 const RankingWeights& weights = {});
+
+}  // namespace xks
+
+#endif  // XKS_CORE_RANKING_H_

@@ -1,0 +1,69 @@
+#include "src/core/render.h"
+
+#include "src/xml/writer.h"
+
+namespace xks {
+namespace {
+
+Status RenderNode(const Document& doc, const FragmentTree& fragment,
+                  FragmentNodeId id, const RenderOptions& options, size_t depth,
+                  std::string* out) {
+  const FragmentNode& n = fragment.node(id);
+  NodeId doc_id;
+  XKS_ASSIGN_OR_RETURN(doc_id, doc.FindByDewey(n.dewey));
+  const Node& source = doc.node(doc_id);
+  const bool pretty = !options.indent.empty();
+
+  if (pretty) {
+    for (size_t i = 0; i < depth; ++i) out->append(options.indent);
+  }
+  out->push_back('<');
+  out->append(source.label);
+  if (options.include_attributes) {
+    for (const Attribute& a : source.attributes) {
+      out->push_back(' ');
+      out->append(a.name);
+      out->append("=\"");
+      out->append(EscapeXmlAttribute(a.value));
+      out->push_back('"');
+    }
+  }
+  const bool with_text =
+      !source.text.empty() && (n.is_keyword_node || options.include_internal_text);
+  if (!with_text && n.children.empty()) {
+    out->append("/>");
+    if (pretty) out->push_back('\n');
+    return Status::OK();
+  }
+  out->push_back('>');
+  if (with_text) out->append(EscapeXmlText(source.text));
+  if (!n.children.empty()) {
+    if (pretty) out->push_back('\n');
+    for (FragmentNodeId child : n.children) {
+      XKS_RETURN_IF_ERROR(
+          RenderNode(doc, fragment, child, options, depth + 1, out));
+    }
+    if (pretty) {
+      for (size_t i = 0; i < depth; ++i) out->append(options.indent);
+    }
+  }
+  out->append("</");
+  out->append(source.label);
+  out->push_back('>');
+  if (pretty) out->push_back('\n');
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> RenderFragmentXml(const Document& doc,
+                                      const FragmentTree& fragment,
+                                      const RenderOptions& options) {
+  std::string out;
+  if (fragment.empty()) return out;
+  XKS_RETURN_IF_ERROR(
+      RenderNode(doc, fragment, fragment.root(), options, 0, &out));
+  return out;
+}
+
+}  // namespace xks

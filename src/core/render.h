@@ -1,0 +1,39 @@
+// Fragment rendering: materialize a result fragment as XML text.
+//
+// Fragment trees carry structure, labels and search metadata; the original
+// attributes and text live in the source document. Given both, this module
+// reconstructs a self-contained XML snippet for each meaningful RTF — the
+// presentation layer the paper's snippet-generation reference [25] motivates.
+
+#ifndef XKS_CORE_RENDER_H_
+#define XKS_CORE_RENDER_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/core/fragment.h"
+#include "src/xml/dom.h"
+
+namespace xks {
+
+/// Rendering knobs.
+struct RenderOptions {
+  /// Pretty-print indentation; empty for compact output.
+  std::string indent = "  ";
+  /// Emit text content for non-keyword (path) nodes too. Keyword nodes
+  /// always carry their text.
+  bool include_internal_text = false;
+  /// Emit attributes from the source document.
+  bool include_attributes = true;
+};
+
+/// Renders `fragment` against its source document. Fails with NotFound when
+/// the fragment references nodes absent from `doc` (i.e. the fragment was
+/// produced from a different document).
+Result<std::string> RenderFragmentXml(const Document& doc,
+                                      const FragmentTree& fragment,
+                                      const RenderOptions& options = {});
+
+}  // namespace xks
+
+#endif  // XKS_CORE_RENDER_H_

@@ -1,0 +1,357 @@
+#include "src/core/rtf.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+#include "src/lca/merge.h"
+
+namespace xks {
+
+std::vector<Rtf> GetRtfs(const std::vector<Dewey>& lcas, const KeywordLists& lists) {
+  std::vector<Rtf> rtfs(lcas.size());
+  for (size_t i = 0; i < lcas.size(); ++i) rtfs[i].root = lcas[i];
+  if (lcas.empty()) return rtfs;
+
+  // Merge sweep: walk keyword nodes in document order while maintaining the
+  // stack of LCA nodes that are ancestors-or-self of the current position;
+  // the stack top is then the *last* LCA in preorder that covers the node
+  // (Algorithm 1, getRTF line 4).
+  size_t next = 0;
+  std::vector<size_t> stack;
+  MergePostings(lists, [&](const Dewey& d, KeywordMask mask) {
+    while (next < lcas.size() && lcas[next] <= d) {
+      while (!stack.empty() && !lcas[stack.back()].IsAncestorOrSelf(lcas[next])) {
+        stack.pop_back();
+      }
+      stack.push_back(next);
+      ++next;
+    }
+    while (!stack.empty() && !lcas[stack.back()].IsAncestorOrSelf(d)) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      rtfs[stack.back()].knodes.push_back(RtfKeywordNode{d, mask});
+    }
+  });
+  return rtfs;
+}
+
+std::vector<Rtf> GetRtfsOracle(const std::vector<Dewey>& lcas,
+                               const KeywordLists& lists) {
+  std::vector<Rtf> rtfs(lcas.size());
+  for (size_t i = 0; i < lcas.size(); ++i) rtfs[i].root = lcas[i];
+  MergePostings(lists, [&](const Dewey& d, KeywordMask mask) {
+    // Deepest LCA ancestor by linear scan.
+    size_t best = lcas.size();
+    for (size_t i = 0; i < lcas.size(); ++i) {
+      if (lcas[i].IsAncestorOrSelf(d) &&
+          (best == lcas.size() || lcas[i].depth() > lcas[best].depth())) {
+        best = i;
+      }
+    }
+    if (best != lcas.size()) rtfs[best].knodes.push_back(RtfKeywordNode{d, mask});
+  });
+  return rtfs;
+}
+
+Result<FragmentTree> BuildFragmentTree(const Rtf& rtf, const NodeMetadata& metadata) {
+  FragmentTree tree;
+  std::vector<std::string> root_labels;
+  XKS_ASSIGN_OR_RETURN(root_labels, metadata.AncestorLabels(rtf.root));
+  if (root_labels.size() != rtf.root.depth()) {
+    return Status::Internal("ancestor labels disagree with Dewey depth for " +
+                            rtf.root.ToString());
+  }
+  FragmentNode root;
+  root.dewey = rtf.root;
+  root.label = root_labels.back();
+  tree.CreateRoot(std::move(root));
+
+  std::unordered_map<Dewey, FragmentNodeId, DeweyHash> ids;
+  ids.emplace(rtf.root, tree.root());
+
+  for (const RtfKeywordNode& knode : rtf.knodes) {
+    if (!rtf.root.IsAncestorOrSelf(knode.dewey)) {
+      return Status::Internal("keyword node " + knode.dewey.ToString() +
+                              " outside RTF rooted at " + rtf.root.ToString());
+    }
+    std::vector<std::string> labels;
+    XKS_ASSIGN_OR_RETURN(labels, metadata.AncestorLabels(knode.dewey));
+    if (labels.size() != knode.dewey.depth()) {
+      return Status::Internal("ancestor labels disagree with Dewey depth for " +
+                              knode.dewey.ToString());
+    }
+    // Materialize the path from the RTF root down to the keyword node.
+    FragmentNodeId current = tree.root();
+    for (size_t depth = rtf.root.depth() + 1; depth <= knode.dewey.depth(); ++depth) {
+      Dewey prefix(std::vector<uint32_t>(
+          knode.dewey.components().begin(),
+          knode.dewey.components().begin() + static_cast<long>(depth)));
+      auto it = ids.find(prefix);
+      if (it != ids.end()) {
+        current = it->second;
+        continue;
+      }
+      FragmentNode node;
+      node.dewey = prefix;
+      node.label = labels[depth - 1];
+      FragmentNodeId id = tree.AddChild(current, std::move(node));
+      ids.emplace(std::move(prefix), id);
+      current = id;
+    }
+    FragmentNode& leaf = tree.mutable_node(current);
+    leaf.is_keyword_node = true;
+    leaf.klist |= knode.mask;
+    XKS_ASSIGN_OR_RETURN(leaf.cid, metadata.OwnContentId(knode.dewey));
+  }
+
+  // Transfer kList and cID to every ancestor (the information-transfer the
+  // paper adds to pruneRTF, lines 11-12). Parents always precede children in
+  // the arena, so one reverse pass folds bottom-up.
+  for (FragmentNodeId id = static_cast<FragmentNodeId>(tree.size()) - 1; id > 0; --id) {
+    const FragmentNode& n = tree.node(id);
+    FragmentNode& parent = tree.mutable_node(n.parent);
+    parent.klist |= n.klist;
+    parent.cid.Merge(n.cid);
+  }
+  return tree;
+}
+
+namespace {
+
+/// Bottom-up Definition-2 evaluation state.
+struct DefinitionContext {
+  std::vector<std::vector<Dewey>> keyword_sets;  // D_i
+  size_t budget = 0;                             // remaining LCA evaluations
+};
+
+Dewey LcaOfUnionParts(const std::vector<std::vector<Dewey>>& parts) {
+  Dewey lca;
+  for (const auto& part : parts) {
+    for (const Dewey& d : part) lca = Dewey::Lca(lca, d);
+  }
+  return lca;
+}
+
+/// Enumerates every nonempty subset of `pool` and calls visit(subset);
+/// returns false when visit returns false (early exit).
+bool ForEachNonemptySubset(const std::vector<Dewey>& pool,
+                           const std::function<bool(const std::vector<Dewey>&)>& visit) {
+  const size_t n = pool.size();
+  std::vector<Dewey> subset;
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    subset.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) subset.push_back(pool[i]);
+    }
+    if (!visit(subset)) return false;
+  }
+  return true;
+}
+
+/// Condition 1: every sub-combination of the partition keeps the same LCA.
+bool Condition1Holds(const std::vector<std::vector<Dewey>>& partition,
+                     const Dewey& lca, DefinitionContext* ctx) {
+  // Recursive product over per-keyword nonempty subsets.
+  std::vector<std::vector<Dewey>> chosen(partition.size());
+  std::function<bool(size_t)> recurse = [&](size_t i) -> bool {
+    if (i == partition.size()) {
+      if (ctx->budget > 0) --ctx->budget;
+      return LcaOfUnionParts(chosen) == lca;
+    }
+    return ForEachNonemptySubset(partition[i], [&](const std::vector<Dewey>& s) {
+      chosen[i] = s;
+      return recurse(i + 1);
+    });
+  };
+  return recurse(0);
+}
+
+/// Condition 2 (maximality): no unclaimed extension of one keyword's part
+/// keeps the LCA unchanged.
+bool Condition2Violated(const std::vector<std::vector<Dewey>>& partition,
+                        const std::vector<std::vector<Dewey>>& available_extra,
+                        const Dewey& lca, DefinitionContext* ctx) {
+  for (size_t i = 0; i < partition.size(); ++i) {
+    bool found = !ForEachNonemptySubset(
+        available_extra[i], [&](const std::vector<Dewey>& extra) {
+          if (ctx->budget > 0) --ctx->budget;
+          Dewey extended = lca;  // lca already covers the partition
+          for (const Dewey& d : extra) extended = Dewey::Lca(extended, d);
+          return extended != lca;  // keep scanning while LCA changes
+        });
+    if (found) return true;
+  }
+  return false;
+}
+
+/// Condition 3 (no lowering): no sub-part of one keyword's part combines
+/// with unclaimed choices for the other keywords into a strictly lower LCA.
+bool Condition3Violated(const std::vector<std::vector<Dewey>>& partition,
+                        const std::vector<std::vector<Dewey>>& available,
+                        const Dewey& lca, DefinitionContext* ctx) {
+  const size_t k = partition.size();
+  for (size_t i = 0; i < k; ++i) {
+    bool violated = !ForEachNonemptySubset(
+        partition[i], [&](const std::vector<Dewey>& sub) {
+          // Fold the sub-part, then search the other keywords' choices for a
+          // strictly lower combined LCA. Greedy per-keyword minimization is
+          // unsound, so enumerate.
+          std::vector<std::vector<Dewey>> chosen(k);
+          chosen[i] = sub;
+          std::function<bool(size_t)> recurse = [&](size_t j) -> bool {
+            if (j == k) {
+              if (ctx->budget > 0) --ctx->budget;
+              Dewey combined = LcaOfUnionParts(chosen);
+              return !lca.IsAncestor(combined);  // continue while not lower
+            }
+            if (j == i) return recurse(j + 1);
+            return ForEachNonemptySubset(available[j],
+                                         [&](const std::vector<Dewey>& s) {
+                                           chosen[j] = s;
+                                           return recurse(j + 1);
+                                         });
+          };
+          return recurse(0);  // false (stop) as soon as a lower LCA is found
+        });
+    if (violated) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<EctEnumeration> RtfsByDefinition(const KeywordLists& lists,
+                                        size_t max_combinations) {
+  EctEnumeration out;
+  if (AnyListEmpty(lists)) return out;
+  const size_t k = lists.size();
+
+  DefinitionContext ctx;
+  ctx.budget = max_combinations * 64;
+  uint64_t combinations = 1;
+  for (const PostingList* list : lists) {
+    if (list->size() > 20) {
+      return Status::InvalidArgument("keyword list too large for enumeration");
+    }
+    combinations *= (uint64_t{1} << list->size()) - 1;
+    if (combinations > max_combinations) {
+      return Status::InvalidArgument(
+          StrFormat("ECT would hold %llu combinations (cap %zu)",
+                    static_cast<unsigned long long>(combinations),
+                    max_combinations));
+    }
+    ctx.keyword_sets.emplace_back(list->begin(), list->end());
+  }
+
+  // Definition 1: enumerate the distinct unions (ECT_Q). Example 3: 11
+  // distinct combinations for "Liu Keyword" on Figure 1(a), not 21.
+  std::set<std::vector<Dewey>> unions;
+  {
+    std::vector<Dewey> current;
+    std::function<void(size_t)> recurse = [&](size_t i) {
+      if (i == k) {
+        std::vector<Dewey> v = current;
+        SortUniqueDeweys(&v);
+        unions.insert(std::move(v));
+        return;
+      }
+      ForEachNonemptySubset(ctx.keyword_sets[i], [&](const std::vector<Dewey>& s) {
+        size_t before = current.size();
+        current.insert(current.end(), s.begin(), s.end());
+        recurse(i + 1);
+        current.resize(before);
+        return true;
+      });
+    };
+    recurse(0);
+  }
+  out.partition_count = unions.size();
+
+  // Group unions by their LCA and evaluate bottom-up (deepest LCA first:
+  // reverse document order visits descendants before ancestors).
+  std::map<Dewey, std::vector<std::vector<Dewey>>> by_lca;
+  for (const std::vector<Dewey>& v : unions) {
+    Dewey lca;
+    for (const Dewey& d : v) lca = Dewey::Lca(lca, d);
+    by_lca[lca].push_back(v);
+  }
+
+  std::set<Dewey> claimed;
+  std::vector<Rtf> accepted;
+  for (auto it = by_lca.rbegin(); it != by_lca.rend(); ++it) {
+    const Dewey& lca = it->first;
+    // Unclaimed extras per keyword (for conditions 2 and 3).
+    std::vector<std::vector<Dewey>> available(k);
+    for (size_t i = 0; i < k; ++i) {
+      for (const Dewey& d : ctx.keyword_sets[i]) {
+        if (claimed.count(d) == 0) available[i].push_back(d);
+      }
+    }
+    const std::vector<Dewey>* best = nullptr;
+    for (const std::vector<Dewey>& v : it->second) {
+      // Uniqueness requirement: partitions are disjoint.
+      bool overlaps = false;
+      for (const Dewey& d : v) {
+        if (claimed.count(d) > 0) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (overlaps) continue;
+      // Split the union into per-keyword parts P_i = V ∩ D_i.
+      std::vector<std::vector<Dewey>> partition(k);
+      std::vector<std::vector<Dewey>> extra(k);  // available − P_i
+      bool part_missing = false;
+      for (size_t i = 0; i < k; ++i) {
+        for (const Dewey& d : available[i]) {
+          if (std::binary_search(v.begin(), v.end(), d)) {
+            partition[i].push_back(d);
+          } else {
+            extra[i].push_back(d);
+          }
+        }
+        if (partition[i].empty()) part_missing = true;
+      }
+      if (part_missing) continue;  // keyword only covered by claimed nodes
+      if (ctx.budget == 0) {
+        return Status::InvalidArgument("Definition-2 evaluation budget exhausted");
+      }
+      if (!Condition1Holds(partition, lca, &ctx)) continue;
+      if (Condition2Violated(partition, extra, lca, &ctx)) continue;
+      std::vector<std::vector<Dewey>> avail_full(k);
+      for (size_t i = 0; i < k; ++i) {
+        avail_full[i] = partition[i];
+        avail_full[i].insert(avail_full[i].end(), extra[i].begin(), extra[i].end());
+      }
+      if (Condition3Violated(partition, avail_full, lca, &ctx)) continue;
+      if (best == nullptr || v.size() > best->size()) best = &v;
+    }
+    if (best != nullptr) {
+      Rtf rtf;
+      rtf.root = lca;
+      for (const Dewey& d : *best) {
+        KeywordMask mask = 0;
+        for (size_t i = 0; i < k; ++i) {
+          if (std::binary_search(ctx.keyword_sets[i].begin(),
+                                 ctx.keyword_sets[i].end(), d)) {
+            mask |= KeywordMask{1} << i;
+          }
+        }
+        rtf.knodes.push_back(RtfKeywordNode{d, mask});
+        claimed.insert(d);
+      }
+      accepted.push_back(std::move(rtf));
+    }
+  }
+  std::sort(accepted.begin(), accepted.end(),
+            [](const Rtf& a, const Rtf& b) { return a.root < b.root; });
+  out.rtfs = std::move(accepted);
+  return out;
+}
+
+}  // namespace xks

@@ -1,0 +1,26 @@
+#include "src/core/validrtf.h"
+
+namespace xks {
+
+SearchOptions ValidRtfOptions() {
+  SearchOptions options;
+  options.semantics = LcaSemantics::kElca;
+  options.elca_algorithm = ElcaAlgorithm::kIndexedStack;
+  options.pruning = PruningPolicy::kValidContributor;
+  return options;
+}
+
+Result<SearchResult> ValidRtfSearch(const ShreddedStore& store,
+                                    const KeywordQuery& query) {
+  SearchEngine engine(&store);
+  return engine.Search(query, ValidRtfOptions());
+}
+
+Result<SearchResult> ValidRtfSearch(const ShreddedStore& store,
+                                    const std::string& query_text) {
+  KeywordQuery query;
+  XKS_ASSIGN_OR_RETURN(query, KeywordQuery::Parse(query_text));
+  return ValidRtfSearch(store, query);
+}
+
+}  // namespace xks

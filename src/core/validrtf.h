@@ -1,0 +1,24 @@
+// ValidRTF — the paper's algorithm (Algorithm 1) as a ready-made facade.
+
+#ifndef XKS_CORE_VALIDRTF_H_
+#define XKS_CORE_VALIDRTF_H_
+
+#include "src/core/engine.h"
+
+namespace xks {
+
+/// The ValidRTF configuration: Indexed Stack ELCAs + valid-contributor
+/// pruning (the paper's defaults).
+SearchOptions ValidRtfOptions();
+
+/// Runs ValidRTF: all meaningful RTFs for `query` over `store`.
+Result<SearchResult> ValidRtfSearch(const ShreddedStore& store,
+                                    const KeywordQuery& query);
+
+/// Parses `query_text` and runs ValidRTF.
+Result<SearchResult> ValidRtfSearch(const ShreddedStore& store,
+                                    const std::string& query_text);
+
+}  // namespace xks
+
+#endif  // XKS_CORE_VALIDRTF_H_

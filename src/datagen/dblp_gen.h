@@ -1,0 +1,36 @@
+// Deterministic DBLP-like dataset generator.
+//
+// Stands in for the dblp20040213 snapshot (197.6 MB) the paper uses: flat
+// bibliographic records (article / inproceedings) under one root, each with
+// author+, title, year, venue, pages, ee, url children. The 20 workload
+// keywords are injected at the paper's frequencies scaled by
+// DblpOptions::scale, so the frequency *profile* of Section 5.1 is preserved
+// at any size. Generation is pure function of the options (see
+// src/common/random.h).
+
+#ifndef XKS_DATAGEN_DBLP_GEN_H_
+#define XKS_DATAGEN_DBLP_GEN_H_
+
+#include <cstdint>
+
+#include "src/xml/dom.h"
+
+namespace xks {
+
+/// Generator knobs.
+struct DblpOptions {
+  uint64_t seed = 42;
+  /// Fraction of the real dblp20040213 (~460k records, 197.6 MB). The
+  /// default yields ~4.6k records; the Figure 5/6 benches use 0.05.
+  double scale = 0.01;
+};
+
+/// Generates the document (Dewey codes assigned).
+Document GenerateDblp(const DblpOptions& options);
+
+/// Number of records the options produce (exposed for benches/tests).
+size_t DblpRecordCount(const DblpOptions& options);
+
+}  // namespace xks
+
+#endif  // XKS_DATAGEN_DBLP_GEN_H_

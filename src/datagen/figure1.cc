@@ -1,0 +1,79 @@
+#include "src/datagen/figure1.h"
+
+#include "src/xml/parser.h"
+
+namespace xks {
+
+const std::string& Figure1aXml() {
+  static const std::string kXml = R"(<Publications>
+  <title>VLDB</title>
+  <year>2008</year>
+  <Articles>
+    <article>
+      <authors>
+        <author><name>Ziyang Liu</name></author>
+      </authors>
+      <title>Relevant Match for XML Keyword Search</title>
+      <abstract>We study how keyword match semantics identify relevant results over XML data, and improve keyword search quality.</abstract>
+      <references>
+        <ref>Ziyang Liu and Yi Chen. Identifying meaningful return information in XML keyword search.</ref>
+      </references>
+    </article>
+    <article>
+      <authors>
+        <author><name>Raymond Wong</name></author>
+        <author><name>Ada Fu</name></author>
+      </authors>
+      <title>Efficient Skyline Query Processing with Variable User Preferences on Nominal Attributes</title>
+      <abstract>We propose dynamic skyline query evaluation over nominal attributes using variable preferences.</abstract>
+    </article>
+  </Articles>
+</Publications>
+)";
+  return kXml;
+}
+
+const std::string& Figure1bXml() {
+  static const std::string kXml = R"(<team>
+  <name>Grizzlies</name>
+  <players>
+    <player>
+      <name>Pau Gassol</name>
+      <nationality>Spain</nationality>
+      <position>forward</position>
+    </player>
+    <player>
+      <name>Mike Conley</name>
+      <nationality>USA</nationality>
+      <position>guard</position>
+    </player>
+    <player>
+      <name>Rudy Gay</name>
+      <nationality>USA</nationality>
+      <position>forward</position>
+    </player>
+  </players>
+</team>
+)";
+  return kXml;
+}
+
+Result<Document> Figure1aDocument() { return ParseXml(Figure1aXml()); }
+
+Result<Document> Figure1bDocument() { return ParseXml(Figure1bXml()); }
+
+const std::string& PaperQuery(int number) {
+  static const std::string kQueries[] = {
+      "",
+      "Wong Fu Dynamic Skyline Query",
+      "Liu Keyword",
+      "VLDB title XML keyword search",
+      "Grizzlies position",
+      "Grizzlies Gassol position",
+  };
+  static const std::string kEmpty;
+  if (number < 1 || number > 5) return kEmpty;
+  return kQueries[number];
+}
+
+}  // namespace xks

@@ -1,0 +1,42 @@
+// The paper's running-example data (Figure 1) and queries Q1–Q5.
+//
+// Reconstructed so that every keyword-node set, LCA/SLCA/ELCA, RTF and
+// pruning decision worked through in Examples 1–7 is reproduced exactly:
+//  * Figure 1(a): the Publications instance. Node 0.0 is <title>VLDB</title>
+//    (which is why the paper's D2 for Q3 contains 0.0 — labels participate
+//    in content sets), 0.2.0 is the XML-keyword-search article, 0.2.1 the
+//    skyline article.
+//  * Figure 1(b):(1): the team/players segment borrowed from MaxMatch.
+//  * Q1–Q5 recovered from the examples:
+//      Q1 = "Wong Fu Dynamic Skyline Query"   (Example 2: false positive)
+//      Q2 = "Liu Keyword"                     (Examples 1/3/4)
+//      Q3 = "VLDB title XML keyword search"   (Section 4.1, Examples 6/7)
+//      Q4 = "Grizzlies position"              (Example 2: redundancy)
+//      Q5 = "Grizzlies Gassol position"       (Examples 2/5: positive case)
+
+#ifndef XKS_DATAGEN_FIGURE1_H_
+#define XKS_DATAGEN_FIGURE1_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/xml/dom.h"
+
+namespace xks {
+
+/// The XML text of Figure 1(a).
+const std::string& Figure1aXml();
+
+/// The XML text of Figure 1(b):(1).
+const std::string& Figure1bXml();
+
+/// Parsed documents (Dewey codes assigned).
+Result<Document> Figure1aDocument();
+Result<Document> Figure1bDocument();
+
+/// The five sample queries of Figure 1(b):(2).
+const std::string& PaperQuery(int number);  // 1..5
+
+}  // namespace xks
+
+#endif  // XKS_DATAGEN_FIGURE1_H_

@@ -1,0 +1,123 @@
+#include "src/datagen/vocab.h"
+
+namespace xks {
+
+const std::vector<std::string>& FillerWords() {
+  static const std::vector<std::string> kWords = {
+      "abstraction", "adaptive",   "aggregate",  "analysis",   "annotation",
+      "answering",   "approach",   "architecture", "arrays",   "assessment",
+      "association", "asynchronous", "authority", "automatic", "bandwidth",
+      "baseline",    "behavior",   "benchmark",  "binding",    "blocks",
+      "boundary",    "branch",     "buffer",     "caching",    "calculus",
+      "capacity",    "cardinality", "cascade",   "channel",    "classification",
+      "clustering",  "coding",     "collection", "combination", "communication",
+      "compiler",    "complexity", "composition", "compression", "computation",
+      "concurrency", "configuration", "connection", "consistency", "constraint",
+      "construction", "container", "convergence", "coordination", "correlation",
+      "coverage",    "criteria",   "cube",       "cursor",     "database",
+      "decomposition", "dependency", "deployment", "derivation", "detection",
+      "diagram",     "dictionary", "dimension",  "discovery",  "distribution",
+      "document",    "domain",     "duplicate",  "encoding",   "engine",
+      "entropy",     "enumeration", "environment", "equivalence", "estimation",
+      "evaluation",  "evolution",  "execution",  "expansion",  "exploration",
+      "expression",  "extension",  "extraction", "factorization", "feedback",
+      "filtering",   "foundation", "framework",  "frequency",  "function",
+      "generation",  "grammar",    "granularity", "heuristic", "hierarchy",
+      "histogram",   "identification", "implementation", "indexing", "inference",
+      "instance",    "integration", "interaction", "interface", "interpretation",
+      "iteration",   "join",       "kernel",     "knowledge",  "language",
+      "latency",     "lattice",    "learning",   "lineage",    "linkage",
+      "locality",    "logic",      "maintenance", "management", "mapping",
+      "materialization", "measurement", "mechanism", "mediator", "membership",
+      "memory",      "migration",  "mining",     "mobility",   "modeling",
+      "monitoring",  "navigation", "negotiation", "network",   "normalization",
+      "notation",    "notification", "numeric",  "observation", "ontology",
+      "operator",    "optimization", "ordering", "overhead",   "overlay",
+      "parallel",    "parsing",    "partition",  "performance", "persistence",
+      "perspective", "pipeline",   "placement",  "planning",   "prediction",
+      "preservation", "principle", "probability", "processing", "programming",
+      "projection",  "propagation", "protocol",  "provenance", "publishing",
+      "ranking",     "reasoning",  "recovery",   "reduction",  "refinement",
+      "regression",  "relation",   "relevance",  "reliability", "replication",
+      "repository",  "representation", "reputation", "resolution", "resource",
+      "routing",     "sampling",   "scalability", "scheduling", "schema",
+      "segmentation", "selection", "sensitivity", "sequence",   "service",
+      "signature",   "simulation", "skew",       "snapshot",   "specification",
+      "stability",   "statistics", "storage",    "streaming",  "structure",
+      "summarization", "synchronization", "synthesis", "taxonomy", "technique",
+      "template",    "throughput", "tolerance",  "topology",   "tracking",
+      "transaction", "transformation", "translation", "traversal", "tuning",
+      "validation",  "variance",   "verification", "versioning", "visualization",
+      "vocabulary",  "warehouse",  "wavelet",    "workflow",   "workload",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> kNames = {
+      "Alice",  "Boris",   "Carla",  "Daniel", "Elena",  "Felix",  "Grace",
+      "Hiro",   "Irene",   "Jorge",  "Katrin", "Lars",   "Mina",   "Nikolai",
+      "Olga",   "Pedro",   "Qing",   "Rosa",   "Stefan", "Tamara", "Umberto",
+      "Viktor", "Wanda",   "Xiang",  "Yusuf",  "Zofia",  "Amara",  "Bruno",
+      "Chiara", "Dmitri",  "Esther", "Farid",  "Giulia", "Hassan", "Ingrid",
+      "Joon",   "Kemal",   "Lucia",  "Marco",  "Nadia",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string> kNames = {
+      "Almeida",   "Bergstrom", "Castillo", "Dubois",   "Eriksson", "Fontana",
+      "Gutierrez", "Hoffmann",  "Ivanov",   "Jansen",   "Kowalski", "Lindberg",
+      "Moreau",    "Nakamura",  "Olofsson", "Petrov",   "Quintero", "Rossi",
+      "Schneider", "Takahashi", "Ullmann",  "Vasquez",  "Weber",    "Xu",
+      "Yamamoto",  "Zhao",      "Andersen", "Bianchi",  "Costa",    "Dimitrov",
+      "Engel",     "Ferreira",  "Galindo",  "Haugen",   "Iversen",  "Jimenez",
+      "Keller",    "Lombardi",  "Marchetti", "Novak",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& CityNames() {
+  static const std::vector<std::string> kCities = {
+      "Lisbon",  "Marseille", "Tampere",  "Gdansk",   "Valencia", "Bergen",
+      "Graz",    "Utrecht",   "Porto",    "Aarhus",   "Leipzig",  "Bologna",
+      "Brno",    "Ghent",     "Malmo",    "Nantes",   "Zaragoza", "Krakow",
+      "Turku",   "Salzburg",
+  };
+  return kCities;
+}
+
+const std::vector<std::string>& CountryNames() {
+  static const std::vector<std::string> kCountries = {
+      "Portugal", "France", "Finland", "Poland",  "Spain",   "Norway",
+      "Austria",  "Netherlands", "Denmark", "Germany", "Italy", "Belgium",
+      "Sweden",   "Czechia",
+  };
+  return kCountries;
+}
+
+const std::vector<std::string>& VenueNames() {
+  static const std::vector<std::string> kVenues = {
+      "ICDE", "CIKM", "WWW",  "DASFAA", "EDBT", "SSDBM", "WISE", "ER",
+      "DEXA", "ICDT", "MDM",  "WebDB",
+  };
+  return kVenues;
+}
+
+std::string FillerSentence(Rng* rng, size_t words) {
+  const std::vector<std::string>& pool = FillerWords();
+  std::string out;
+  for (size_t i = 0; i < words; ++i) {
+    std::string word = rng->Choice(pool);
+    if (i == 0 && !word.empty()) {
+      word[0] = static_cast<char>(word[0] - 'a' + 'A');
+    } else {
+      out.push_back(' ');
+    }
+    out += word;
+  }
+  return out;
+}
+
+}  // namespace xks

@@ -1,0 +1,43 @@
+// Deterministic word pools for the synthetic dataset generators.
+//
+// The filler pools intentionally exclude the Section-5.1 workload keywords
+// (and English stop words), so every occurrence of a workload keyword in a
+// generated dataset comes from the frequency-controlled injection pools and
+// the shredded frequency table matches the targets exactly.
+
+#ifndef XKS_DATAGEN_VOCAB_H_
+#define XKS_DATAGEN_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace xks {
+
+/// General filler words (lowercase, no stop words, no workload keywords).
+const std::vector<std::string>& FillerWords();
+
+/// Person first names (capitalized).
+const std::vector<std::string>& FirstNames();
+
+/// Person last names (capitalized).
+const std::vector<std::string>& LastNames();
+
+/// City names for addresses.
+const std::vector<std::string>& CityNames();
+
+/// Country names.
+const std::vector<std::string>& CountryNames();
+
+/// Conference/journal venue names for DBLP booktitle fields (the two
+/// venue keywords "sigmod"/"vldb" are injected separately).
+const std::vector<std::string>& VenueNames();
+
+/// A sentence of `words` filler words drawn with `rng`, capitalized first
+/// word, space separated.
+std::string FillerSentence(Rng* rng, size_t words);
+
+}  // namespace xks
+
+#endif  // XKS_DATAGEN_VOCAB_H_

@@ -1,0 +1,105 @@
+#include "src/datagen/workloads.h"
+
+namespace xks {
+
+const std::vector<WorkloadKeyword>& DblpKeywords() {
+  static const std::vector<WorkloadKeyword> kKeywords = {
+      {"keyword", 'k', {90}},        {"similarity", 's', {1242}},
+      {"recognition", 'r', {6447}},  {"algorithm", 'a', {14181}},
+      {"data", 'd', {25840}},        {"probabilistic", 'p', {2284}},
+      {"xml", 'x', {2121}},          {"dynamic", 'y', {7281}},
+      {"sigmod", 'g', {3983}},       {"tree", 't', {3549}},
+      {"query", 'q', {3560}},        {"automata", 'u', {3337}},
+      {"pattern", 'n', {6513}},      {"retrieval", 'v', {5111}},
+      {"efficient", 'e', {8279}},    {"understanding", 'i', {1450}},
+      {"searching", 'c', {4618}},    {"vldb", 'b', {2313}},
+      {"henry", 'h', {1322}},        {"semantics", 'm', {3694}},
+  };
+  return kKeywords;
+}
+
+const std::vector<WorkloadKeyword>& XmarkKeywords() {
+  static const std::vector<WorkloadKeyword> kKeywords = {
+      {"particle", 'a', {12, 33, 69}},
+      {"dominator", 'n', {56, 150, 285}},
+      {"threshold", 't', {123, 405, 804}},
+      {"chronicle", 'c', {426, 1286, 2568}},
+      {"method", 'm', {552, 1667, 3356}},
+      {"strings", 's', {615, 1847, 3620}},
+      {"unjust", 'u', {1000, 3044, 6150}},
+      {"invention", 'i', {1546, 4715, 9404}},
+      {"egypt", 'e', {2064, 5255, 12466}},
+      {"leon", 'l', {2519, 7647, 15210}},
+      {"preventions", 'v', {66216, 199365, 397672}},
+      {"description", 'd', {11681, 35168, 70230}},
+      {"order", 'o', {12705, 38141, 76271}},
+  };
+  return kKeywords;
+}
+
+std::vector<std::string> ExpandLabel(const std::string& label,
+                                     const std::vector<WorkloadKeyword>& table) {
+  std::vector<std::string> keywords;
+  for (char c : label) {
+    for (const WorkloadKeyword& kw : table) {
+      if (kw.abbrev == c) {
+        keywords.push_back(kw.word);
+        break;
+      }
+    }
+  }
+  return keywords;
+}
+
+namespace {
+
+std::vector<WorkloadQuery> BuildWorkload(const std::vector<std::string>& labels,
+                                         const std::vector<WorkloadKeyword>& table) {
+  std::vector<WorkloadQuery> queries;
+  queries.reserve(labels.size());
+  for (const std::string& label : labels) {
+    queries.push_back(WorkloadQuery{label, ExpandLabel(label, table)});
+  }
+  return queries;
+}
+
+}  // namespace
+
+const std::vector<WorkloadQuery>& DblpWorkload() {
+  static const std::vector<WorkloadQuery> kQueries = BuildWorkload(
+      {
+          "ks",            // keyword similarity           (2, both rare)
+          "kr",            // keyword recognition          (2, rare+mid)
+          "ka",            // keyword algorithm            (2, rare+frequent)
+          "drp",           // data retrieval probabilistic (3)
+          "xayg",          // xml algorithm dynamic sigmod (4)
+          "tqg",           // tree query sigmod            (3)
+          "psx",           // probabilistic similarity xml (3)
+          "tnax",          // tree pattern algorithm xml   (4)
+          "xkqe",          // xml keyword query efficient  (4)
+          "ypbh",          // dynamic probabilistic vldb henry (4)
+          "xkqac",         // xml keyword query algorithm searching (5)
+          "xvtdr",         // xml retrieval tree data recognition (5)
+          "xdkqab",        // 6 keywords
+          "aynbvxdkq",     // 9 keywords
+          "uchkngkems",    // 8 distinct after dedup
+          "ksradpxygtqub", // 13 keywords, full mix
+      },
+      DblpKeywords());
+  return kQueries;
+}
+
+const std::vector<WorkloadQuery>& XmarkWorkload() {
+  // Exactly the 24 labels on the x-axes of Figures 5(b-d)/6(b-d).
+  static const std::vector<WorkloadQuery> kQueries = BuildWorkload(
+      {
+          "at",       "ad",    "av",    "cm",    "do",     "vd",
+          "tcm",      "cms",   "iel",   "sdc",   "vdo",    "atcm",
+          "cmsu",     "suie",  "iadm",  "vdoi",  "tcmsuiel", "atcms",
+          "atcmd",    "atcmv", "atcdv", "atcdve", "atcmve", "dtcmvo",
+      },
+      XmarkKeywords());
+  return kQueries;
+}
+
+}  // namespace xks

@@ -1,0 +1,57 @@
+// The Section-5.1 experiment workloads: seeded keywords with their paper
+// frequencies, the per-keyword abbreviation scheme, and the query sets of
+// Figures 5 and 6.
+//
+// The XMark query labels are readable in the paper (at, ad, av, ..., dtcmvo)
+// and are reproduced verbatim under the letter mapping below ("vdo =
+// preventions description order" is anchored in the text). The DBLP labels
+// are corrupted in the PDF extraction, so the DBLP workload reconstructs 16
+// queries with the same shape: sizes 2..12 mixing low- and high-frequency
+// keywords (see DESIGN.md, substitutions).
+
+#ifndef XKS_DATAGEN_WORKLOADS_H_
+#define XKS_DATAGEN_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xks {
+
+/// One seeded workload keyword.
+struct WorkloadKeyword {
+  std::string word;
+  /// Abbreviation letter used in query labels.
+  char abbrev;
+  /// Paper frequency in DBLP, or in XMark {standard, data1, data2}.
+  std::vector<uint64_t> paper_frequencies;
+};
+
+/// The 20 DBLP keywords with the dblp20040213 frequencies.
+const std::vector<WorkloadKeyword>& DblpKeywords();
+
+/// The 13 XMark keywords with (standard, data1, data2) frequencies.
+const std::vector<WorkloadKeyword>& XmarkKeywords();
+
+/// One benchmark query.
+struct WorkloadQuery {
+  /// Abbreviation label ("vdo").
+  std::string label;
+  /// The expanded keywords ("preventions description order").
+  std::vector<std::string> keywords;
+};
+
+/// The 16 reconstructed DBLP queries of Figures 5(a)/6(a).
+const std::vector<WorkloadQuery>& DblpWorkload();
+
+/// The paper's 24 XMark queries of Figures 5(b-d)/6(b-d).
+const std::vector<WorkloadQuery>& XmarkWorkload();
+
+/// Expands an abbreviation label ("vdo") against a keyword table; unknown
+/// letters are skipped.
+std::vector<std::string> ExpandLabel(const std::string& label,
+                                     const std::vector<WorkloadKeyword>& table);
+
+}  // namespace xks
+
+#endif  // XKS_DATAGEN_WORKLOADS_H_

@@ -1,0 +1,334 @@
+#include "src/datagen/xmark_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/string_util.h"
+#include "src/datagen/vocab.h"
+#include "src/datagen/workloads.h"
+
+namespace xks {
+namespace {
+
+/// Ratio of our scale-1.0 document to the real 111.1 MB standard document;
+/// keyword frequencies are scaled by this times XmarkOptions::scale.
+constexpr double kSizeRatio = 1.0 / 20.0;
+
+/// Per-scale-unit entity counts (≈ 1/20 of XMark sf=1).
+constexpr size_t kItemsPerScale = 1088;  // across the six regions
+constexpr size_t kPeoplePerScale = 1275;
+constexpr size_t kOpenAuctionsPerScale = 600;
+constexpr size_t kClosedAuctionsPerScale = 488;
+constexpr size_t kCategoriesPerScale = 50;
+
+const char* kRegions[] = {"africa", "asia",     "australia",
+                          "europe", "namerica", "samerica"};
+
+struct Builder {
+  Document doc;
+  Rng rng;
+  std::vector<NodeId> text_slots;  // candidate nodes for keyword injection
+  size_t num_people = 0;
+  size_t num_items = 0;
+  size_t num_categories = 0;
+
+  explicit Builder(uint64_t seed) : rng(seed) {}
+
+  NodeId Text(NodeId parent, const char* label, const std::string& content,
+              bool injectable = false) {
+    NodeId id = doc.AddNode(parent, label);
+    doc.AppendText(id, content);
+    if (injectable) text_slots.push_back(id);
+    return id;
+  }
+
+  /// Low-entropy sentence: words drawn from a small per-topic slice of the
+  /// filler pool. Real XMark text is built from a narrow vocabulary, which
+  /// is what makes sibling subtrees with identical tree content sets (the
+  /// redundancy the valid contributor prunes in Figure 6) plausible.
+  std::string TopicSentence(size_t words) {
+    const std::vector<std::string>& pool = FillerWords();
+    constexpr size_t kTopicWidth = 12;
+    const size_t topics = pool.size() / kTopicWidth;
+    const size_t topic = rng.Uniform(topics);
+    std::string out;
+    for (size_t i = 0; i < words; ++i) {
+      const std::string& word =
+          pool[topic * kTopicWidth + rng.Uniform(kTopicWidth)];
+      if (i > 0) out.push_back(' ');
+      out += word;
+    }
+    return out;
+  }
+
+  std::string PersonRef() {
+    return StrFormat("person%llu", static_cast<unsigned long long>(
+                                       rng.Uniform(std::max<size_t>(1, num_people))));
+  }
+
+  std::string ItemRef() {
+    return StrFormat("item%llu", static_cast<unsigned long long>(
+                                     rng.Uniform(std::max<size_t>(1, num_items))));
+  }
+
+  std::string CategoryRef() {
+    return StrFormat("category%llu",
+                     static_cast<unsigned long long>(
+                         rng.Uniform(std::max<size_t>(1, num_categories))));
+  }
+
+  /// description → text | parlist(listitem+) with bounded recursion; this is
+  /// the deep XMark shape behind the Figure 6 extreme fragments.
+  void Description(NodeId parent, int depth = 0) {
+    NodeId description = doc.AddNode(parent, "description");
+    FillDescription(description, depth);
+  }
+
+  void FillDescription(NodeId node, int depth) {
+    if (depth >= 2 || rng.Bernoulli(0.7)) {
+      Text(node, "text", TopicSentence(8 + rng.Uniform(10)),
+           /*injectable=*/true);
+      return;
+    }
+    NodeId parlist = doc.AddNode(node, "parlist");
+    const size_t items = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < items; ++i) {
+      NodeId listitem = doc.AddNode(parlist, "listitem");
+      FillDescription(listitem, depth + 1);
+    }
+  }
+
+  void Annotation(NodeId parent) {
+    NodeId annotation = doc.AddNode(parent, "annotation");
+    Text(annotation, "author", PersonRef());
+    Description(annotation);
+    Text(annotation, "happiness", std::to_string(1 + rng.Uniform(10)));
+  }
+};
+
+}  // namespace
+
+Document GenerateXmark(const XmarkOptions& options) {
+  Builder b(options.seed);
+  const double s = options.scale;
+  auto scaled = [&](size_t per_scale) {
+    return std::max<size_t>(6, static_cast<size_t>(std::llround(
+                                   static_cast<double>(per_scale) * s)));
+  };
+  const size_t num_items = scaled(kItemsPerScale);
+  const size_t num_people = scaled(kPeoplePerScale);
+  const size_t num_open = scaled(kOpenAuctionsPerScale);
+  const size_t num_closed = scaled(kClosedAuctionsPerScale);
+  const size_t num_categories = scaled(kCategoriesPerScale);
+  b.num_people = num_people;
+  b.num_items = num_items;
+  b.num_categories = num_categories;
+
+  NodeId site = *b.doc.CreateRoot("site");
+
+  // regions: six continents sharing the items round-robin-randomly.
+  NodeId regions = b.doc.AddNode(site, "regions");
+  NodeId region_nodes[6];
+  for (int r = 0; r < 6; ++r) region_nodes[r] = b.doc.AddNode(regions, kRegions[r]);
+  for (size_t i = 0; i < num_items; ++i) {
+    NodeId item = b.doc.AddNode(region_nodes[b.rng.Uniform(6)], "item");
+    b.doc.AddAttribute(item, "id", StrFormat("item%zu", i));
+    b.Text(item, "location", b.rng.Choice(CountryNames()));
+    b.Text(item, "quantity", std::to_string(1 + b.rng.Uniform(5)));
+    b.Text(item, "name", b.TopicSentence(2 + b.rng.Uniform(2)), true);
+    b.Text(item, "payment", "Money Creditcard");
+    b.Description(item);
+    NodeId shipping = b.doc.AddNode(item, "shipping");
+    b.doc.AppendText(shipping, "Will ship internationally");
+    const size_t cats = 1 + b.rng.Uniform(3);
+    for (size_t c = 0; c < cats; ++c) {
+      NodeId incategory = b.doc.AddNode(item, "incategory");
+      b.doc.AddAttribute(incategory, "category", b.CategoryRef());
+    }
+    if (b.rng.Bernoulli(0.6)) {
+      NodeId mailbox = b.doc.AddNode(item, "mailbox");
+      const size_t mails = 1 + b.rng.Uniform(2);
+      for (size_t m = 0; m < mails; ++m) {
+        NodeId mail = b.doc.AddNode(mailbox, "mail");
+        b.Text(mail, "from", b.rng.Choice(FirstNames()) + " " +
+                                 b.rng.Choice(LastNames()));
+        b.Text(mail, "to",
+               b.rng.Choice(FirstNames()) + " " + b.rng.Choice(LastNames()));
+        b.Text(mail, "date", StrFormat("%02llu/%02llu/2008",
+                                       static_cast<unsigned long long>(
+                                           1 + b.rng.Uniform(12)),
+                                       static_cast<unsigned long long>(
+                                           1 + b.rng.Uniform(28))));
+        b.Text(mail, "text", b.TopicSentence(10 + b.rng.Uniform(15)), true);
+      }
+    }
+  }
+
+  // categories.
+  NodeId categories = b.doc.AddNode(site, "categories");
+  for (size_t c = 0; c < num_categories; ++c) {
+    NodeId category = b.doc.AddNode(categories, "category");
+    b.doc.AddAttribute(category, "id", StrFormat("category%zu", c));
+    b.Text(category, "name", b.TopicSentence(1 + b.rng.Uniform(2)), true);
+    b.Description(category);
+  }
+
+  // catgraph.
+  NodeId catgraph = b.doc.AddNode(site, "catgraph");
+  for (size_t e = 0; e < num_categories; ++e) {
+    NodeId edge = b.doc.AddNode(catgraph, "edge");
+    b.doc.AddAttribute(edge, "from", b.CategoryRef());
+    b.doc.AddAttribute(edge, "to", b.CategoryRef());
+  }
+
+  // people.
+  NodeId people = b.doc.AddNode(site, "people");
+  for (size_t p = 0; p < num_people; ++p) {
+    NodeId person = b.doc.AddNode(people, "person");
+    b.doc.AddAttribute(person, "id", StrFormat("person%zu", p));
+    std::string first = b.rng.Choice(FirstNames());
+    std::string last = b.rng.Choice(LastNames());
+    b.Text(person, "name", first + " " + last);
+    b.Text(person, "emailaddress",
+           StrFormat("mailto:%s@example.net", AsciiLower(last).c_str()));
+    if (b.rng.Bernoulli(0.5)) {
+      b.Text(person, "phone", StrFormat("+%llu", static_cast<unsigned long long>(
+                                                     b.rng.Uniform(99999999))));
+    }
+    if (b.rng.Bernoulli(0.4)) {
+      NodeId address = b.doc.AddNode(person, "address");
+      b.Text(address, "street",
+             StrFormat("%llu %s St", static_cast<unsigned long long>(
+                                         1 + b.rng.Uniform(99)),
+                       b.rng.Choice(LastNames()).c_str()));
+      b.Text(address, "city", b.rng.Choice(CityNames()));
+      b.Text(address, "country", b.rng.Choice(CountryNames()));
+      b.Text(address, "zipcode", std::to_string(b.rng.Uniform(99999)));
+    }
+    if (b.rng.Bernoulli(0.6)) {
+      NodeId profile = b.doc.AddNode(person, "profile");
+      b.doc.AddAttribute(profile, "income",
+                         std::to_string(20000 + b.rng.Uniform(80000)));
+      const size_t interests = b.rng.Uniform(4);
+      for (size_t i = 0; i < interests; ++i) {
+        NodeId interest = b.doc.AddNode(profile, "interest");
+        b.doc.AddAttribute(interest, "category", b.CategoryRef());
+      }
+      if (b.rng.Bernoulli(0.5)) {
+        b.Text(profile, "education",
+               b.rng.Bernoulli(0.5) ? "Graduate School" : "College");
+      }
+      b.Text(profile, "business", b.rng.Bernoulli(0.3) ? "Yes" : "No");
+      if (b.rng.Bernoulli(0.6)) {
+        b.Text(profile, "age", std::to_string(18 + b.rng.Uniform(50)));
+      }
+    }
+    if (b.rng.Bernoulli(0.3)) {
+      b.Text(person, "creditcard",
+             StrFormat("%04llu %04llu %04llu %04llu",
+                       static_cast<unsigned long long>(b.rng.Uniform(10000)),
+                       static_cast<unsigned long long>(b.rng.Uniform(10000)),
+                       static_cast<unsigned long long>(b.rng.Uniform(10000)),
+                       static_cast<unsigned long long>(b.rng.Uniform(10000))));
+    }
+  }
+
+  // open auctions.
+  NodeId open_auctions = b.doc.AddNode(site, "open_auctions");
+  for (size_t a = 0; a < num_open; ++a) {
+    NodeId auction = b.doc.AddNode(open_auctions, "open_auction");
+    b.doc.AddAttribute(auction, "id", StrFormat("open_auction%zu", a));
+    b.Text(auction, "initial", StrFormat("%llu.%02llu",
+                                         static_cast<unsigned long long>(
+                                             1 + b.rng.Uniform(300)),
+                                         static_cast<unsigned long long>(
+                                             b.rng.Uniform(100))));
+    const size_t bidders = b.rng.Uniform(4);
+    for (size_t bid = 0; bid < bidders; ++bid) {
+      NodeId bidder = b.doc.AddNode(auction, "bidder");
+      b.Text(bidder, "date", StrFormat("%02llu/%02llu/2008",
+                                       static_cast<unsigned long long>(
+                                           1 + b.rng.Uniform(12)),
+                                       static_cast<unsigned long long>(
+                                           1 + b.rng.Uniform(28))));
+      b.Text(bidder, "time", StrFormat("%02llu:%02llu:%02llu",
+                                       static_cast<unsigned long long>(
+                                           b.rng.Uniform(24)),
+                                       static_cast<unsigned long long>(
+                                           b.rng.Uniform(60)),
+                                       static_cast<unsigned long long>(
+                                           b.rng.Uniform(60))));
+      NodeId personref = b.doc.AddNode(bidder, "personref");
+      b.doc.AddAttribute(personref, "person", b.PersonRef());
+      b.Text(bidder, "increase", StrFormat("%llu.%02llu",
+                                           static_cast<unsigned long long>(
+                                               1 + b.rng.Uniform(50)),
+                                           static_cast<unsigned long long>(
+                                               b.rng.Uniform(100))));
+    }
+    NodeId itemref = b.doc.AddNode(auction, "itemref");
+    b.doc.AddAttribute(itemref, "item", b.ItemRef());
+    NodeId seller = b.doc.AddNode(auction, "seller");
+    b.doc.AddAttribute(seller, "person", b.PersonRef());
+    b.Annotation(auction);
+    b.Text(auction, "quantity", std::to_string(1 + b.rng.Uniform(5)));
+    b.Text(auction, "type", b.rng.Bernoulli(0.5) ? "Regular" : "Featured");
+    NodeId interval = b.doc.AddNode(auction, "interval");
+    b.Text(interval, "start", "01/01/2008");
+    b.Text(interval, "end", "12/31/2008");
+  }
+
+  // closed auctions.
+  NodeId closed_auctions = b.doc.AddNode(site, "closed_auctions");
+  for (size_t a = 0; a < num_closed; ++a) {
+    NodeId auction = b.doc.AddNode(closed_auctions, "closed_auction");
+    NodeId seller = b.doc.AddNode(auction, "seller");
+    b.doc.AddAttribute(seller, "person", b.PersonRef());
+    NodeId buyer = b.doc.AddNode(auction, "buyer");
+    b.doc.AddAttribute(buyer, "person", b.PersonRef());
+    NodeId itemref = b.doc.AddNode(auction, "itemref");
+    b.doc.AddAttribute(itemref, "item", b.ItemRef());
+    b.Text(auction, "price", StrFormat("%llu.%02llu",
+                                       static_cast<unsigned long long>(
+                                           1 + b.rng.Uniform(500)),
+                                       static_cast<unsigned long long>(
+                                           b.rng.Uniform(100))));
+    b.Text(auction, "date", "06/15/2008");
+    b.Text(auction, "quantity", std::to_string(1 + b.rng.Uniform(3)));
+    b.Text(auction, "type", b.rng.Bernoulli(0.5) ? "Regular" : "Featured");
+    b.Annotation(auction);
+  }
+
+  // Keyword injection at the paper's scaled frequencies. "description"
+  // occurs naturally as an element label at XMark-typical rates, so it is
+  // not injected as text. Half of all injections land in a small hot-slot
+  // pool so multi-keyword co-occurrence (and the Figure 5(b-d) RTF counts)
+  // scales with the data instead of collapsing to the document root.
+  const int column = std::clamp(options.frequency_column, 0, 2);
+  const size_t hot_count = std::max<size_t>(20, b.text_slots.size() / 150);
+  std::vector<NodeId> hot_slots(hot_count);
+  for (size_t h = 0; h < hot_count; ++h) {
+    hot_slots[h] = b.text_slots[b.rng.Uniform(b.text_slots.size())];
+  }
+  for (const WorkloadKeyword& kw : XmarkKeywords()) {
+    if (kw.word == "description") continue;
+    const double target = static_cast<double>(kw.paper_frequencies[column]) *
+                          kSizeRatio *
+                          (column == 0 ? s : s / (column == 1 ? 3.0 : 6.0));
+    const uint64_t count =
+        std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(target)));
+    for (uint64_t c = 0; c < count; ++c) {
+      NodeId slot = b.rng.Bernoulli(0.5)
+                        ? hot_slots[b.rng.Uniform(hot_count)]
+                        : b.rng.Choice(b.text_slots);
+      b.doc.AppendText(slot, kw.word);
+    }
+  }
+
+  b.doc.AssignDeweys();
+  return b.doc;
+}
+
+}  // namespace xks

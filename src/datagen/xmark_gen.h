@@ -1,0 +1,38 @@
+// Deterministic XMark-like dataset generator.
+//
+// Stands in for the XMark benchmark documents the paper evaluates on
+// (standard 111.1 MB, data1 334.9 MB, data2 669.6 MB). The generator
+// reproduces the XMark schema — site / regions(6) / items, categories,
+// catgraph, people, open_auctions, closed_auctions — including the deep
+// recursive description/parlist/listitem structure that drives the paper's
+// "extreme fragment" behaviour in Figure 6. The 13 workload keywords are
+// injected at the paper's frequencies scaled to the generated size, so the
+// standard : data1 : data2 profile (1 : 3 : 6) is preserved.
+
+#ifndef XKS_DATAGEN_XMARK_GEN_H_
+#define XKS_DATAGEN_XMARK_GEN_H_
+
+#include <cstdint>
+
+#include "src/xml/dom.h"
+
+namespace xks {
+
+/// Generator knobs.
+struct XmarkOptions {
+  uint64_t seed = 7;
+  /// 1.0 ≈ 1/20 of the real XMark standard document; the Figure 5/6 benches
+  /// use {1.0, 3.0, 6.0} for standard/data1/data2 and scale keyword
+  /// frequencies by the same factor (times the 1/20 size ratio).
+  double scale = 1.0;
+  /// Which frequency column of the paper's table to target: 0 = standard,
+  /// 1 = data1, 2 = data2. Kept separate from `scale` so tests can pin both.
+  int frequency_column = 0;
+};
+
+/// Generates the document (Dewey codes assigned).
+Document GenerateXmark(const XmarkOptions& options);
+
+}  // namespace xks
+
+#endif  // XKS_DATAGEN_XMARK_GEN_H_

@@ -1,0 +1,74 @@
+#include "src/index/inverted_index.h"
+
+#include <algorithm>
+
+namespace xks {
+
+size_t LowerBoundPosting(const PostingList& postings, const Dewey& d) {
+  return static_cast<size_t>(
+      std::lower_bound(postings.begin(), postings.end(), d) - postings.begin());
+}
+
+const Dewey& ClosestPosting(const PostingList& postings, const Dewey& d) {
+  size_t i = LowerBoundPosting(postings, d);
+  if (i == postings.size()) return postings.back();
+  if (i == 0) return postings.front();
+  // Tie-break by comparing the depth of the LCA with d: the candidate whose
+  // LCA with d is deeper is "closer" in the tree sense that the SLCA
+  // algorithms need; fall back to the left neighbour.
+  const Dewey& right = postings[i];
+  const Dewey& left = postings[i - 1];
+  size_t left_lca = Dewey::Lca(left, d).depth();
+  size_t right_lca = Dewey::Lca(right, d).depth();
+  return right_lca > left_lca ? right : left;
+}
+
+const Dewey* LeftMatch(const PostingList& postings, const Dewey& d) {
+  size_t i = static_cast<size_t>(
+      std::upper_bound(postings.begin(), postings.end(), d) - postings.begin());
+  return i == 0 ? nullptr : &postings[i - 1];
+}
+
+const Dewey* RightMatch(const PostingList& postings, const Dewey& d) {
+  size_t i = LowerBoundPosting(postings, d);
+  return i == postings.size() ? nullptr : &postings[i];
+}
+
+bool AnyPostingInRange(const PostingList& postings, const Dewey& begin,
+                       const Dewey& end) {
+  size_t i = LowerBoundPosting(postings, begin);
+  return i < postings.size() && postings[i] < end;
+}
+
+size_t CountPostingsInRange(const PostingList& postings, const Dewey& begin,
+                            const Dewey& end) {
+  size_t lo = LowerBoundPosting(postings, begin);
+  size_t hi = LowerBoundPosting(postings, end);
+  return hi - lo;
+}
+
+InvertedIndex InvertedIndex::Build(const ValueTable& values) {
+  InvertedIndex index;
+  for (const ValueRow& row : values.rows()) {
+    index.postings_[row.keyword].push_back(row.dewey);
+  }
+  for (auto& [word, list] : index.postings_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    index.total_postings_ += list.size();
+  }
+  return index;
+}
+
+const PostingList* InvertedIndex::Find(const std::string& word) const {
+  auto it = postings_.find(word);
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+const PostingList& InvertedIndex::FindOrEmpty(const std::string& word) const {
+  static const PostingList kEmpty;
+  const PostingList* list = Find(word);
+  return list == nullptr ? kEmpty : *list;
+}
+
+}  // namespace xks

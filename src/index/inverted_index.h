@@ -1,0 +1,79 @@
+// Inverted keyword index: word → sorted Dewey posting list.
+//
+// Built from the value table; this is the artifact the paper's SQL lookup
+// produces ("collect the Dewey codes of the keyword nodes"), and the input
+// every LCA algorithm in src/lca/ operates on. Posting lists are sorted in
+// document order, enabling the binary-search probes (closest match left and
+// right, subtree-range emptiness) that Scan Eager / Indexed Lookup Eager /
+// Indexed Stack rely on.
+
+#ifndef XKS_INDEX_INVERTED_INDEX_H_
+#define XKS_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/tables.h"
+#include "src/xml/dewey.h"
+
+namespace xks {
+
+/// A sorted, deduplicated Dewey posting list for one word.
+using PostingList = std::vector<Dewey>;
+
+/// Binary-search helpers over a sorted posting list. All take the list by
+/// reference and never allocate.
+
+/// Index of the first posting >= `d`; postings.size() when none.
+size_t LowerBoundPosting(const PostingList& postings, const Dewey& d);
+
+/// The posting closest to `d` in document-order distance, preferring the
+/// left neighbour on ties (lm/rm "closest match" of Xu & Papakonstantinou).
+/// Requires a non-empty list.
+const Dewey& ClosestPosting(const PostingList& postings, const Dewey& d);
+
+/// Rightmost posting <= `d` (lm); nullptr when all postings are > d.
+const Dewey* LeftMatch(const PostingList& postings, const Dewey& d);
+
+/// Leftmost posting >= `d` (rm); nullptr when all postings are < d.
+const Dewey* RightMatch(const PostingList& postings, const Dewey& d);
+
+/// True iff some posting lies in the half-open document-order range
+/// [begin, end) — e.g. a subtree range [v, v.SubtreeEnd()).
+bool AnyPostingInRange(const PostingList& postings, const Dewey& begin,
+                       const Dewey& end);
+
+/// Number of postings in [begin, end).
+size_t CountPostingsInRange(const PostingList& postings, const Dewey& begin,
+                            const Dewey& end);
+
+/// The index itself.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Builds the index from a value table (one posting per value row).
+  static InvertedIndex Build(const ValueTable& values);
+
+  /// Posting list for `word` (already lowercased), or nullptr when the word
+  /// does not occur.
+  const PostingList* Find(const std::string& word) const;
+
+  /// Posting list for `word`; the empty list when absent.
+  const PostingList& FindOrEmpty(const std::string& word) const;
+
+  size_t vocabulary_size() const { return postings_.size(); }
+
+  /// Total number of postings across all words.
+  size_t total_postings() const { return total_postings_; }
+
+ private:
+  std::unordered_map<std::string, PostingList> postings_;
+  size_t total_postings_ = 0;
+};
+
+}  // namespace xks
+
+#endif  // XKS_INDEX_INVERTED_INDEX_H_

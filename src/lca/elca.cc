@@ -1,0 +1,139 @@
+#include "src/lca/elca.h"
+
+#include <algorithm>
+
+#include "src/lca/merge.h"
+#include "src/lca/slca.h"
+
+namespace xks {
+namespace {
+
+/// The distinct children of `v` that are ancestors-or-self of a node in the
+/// sorted list `marks` (strictly below v). Because "contains all keywords"
+/// propagates upward, the maximal contains-all strict descendants of any
+/// node are exactly its contains-all children, and a child is contains-all
+/// iff it covers an SLCA; `marks` is therefore the SLCA list in the indexed
+/// algorithm and the contains-all list in the brute-force oracle.
+std::vector<Dewey> CoveringChildren(const Dewey& v, const std::vector<Dewey>& marks) {
+  std::vector<Dewey> children;
+  const Dewey end = v.SubtreeEnd();
+  auto it = std::upper_bound(marks.begin(), marks.end(), v);
+  while (it != marks.end() && *it < end) {
+    const Dewey& mark = *it;
+    Dewey child = v.Child(mark[v.depth()]);
+    Dewey child_end = child.SubtreeEnd();
+    children.push_back(std::move(child));
+    // Skip every mark inside this child: they map to the same child.
+    it = std::lower_bound(it, marks.end(), child_end);
+  }
+  return children;
+}
+
+/// True iff, for every list, subtree(v) still holds a posting after
+/// excluding the given contains-all children subtrees.
+bool HasResidualWitnessForEveryList(const Dewey& v,
+                                    const std::vector<Dewey>& excluded_children,
+                                    const KeywordLists& lists) {
+  const Dewey end = v.SubtreeEnd();
+  for (const PostingList* list : lists) {
+    size_t total = CountPostingsInRange(*list, v, end);
+    if (total == 0) return false;
+    size_t covered = 0;
+    for (const Dewey& child : excluded_children) {
+      covered += CountPostingsInRange(*list, child, child.SubtreeEnd());
+    }
+    if (total <= covered) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Dewey> ElcaBruteForce(const KeywordLists& lists) {
+  std::vector<Dewey> result;
+  if (AnyListEmpty(lists)) return result;
+  // Every ELCA is a contains-all node (its residual already covers all
+  // keywords), so testing the contains-all closure is exhaustive.
+  std::vector<Dewey> contains_all = ContainsAllNodesBruteForce(lists);
+  for (const Dewey& v : contains_all) {
+    std::vector<Dewey> children = CoveringChildren(v, contains_all);
+    if (HasResidualWitnessForEveryList(v, children, lists)) {
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
+std::vector<Dewey> ElcaStackMerge(const KeywordLists& lists) {
+  std::vector<Dewey> result;
+  if (AnyListEmpty(lists)) return result;
+  const KeywordMask full = FullMask(lists.size());
+
+  struct Entry {
+    Dewey node;
+    /// Keywords anywhere in the processed part of this subtree.
+    KeywordMask total = 0;
+    /// Keywords outside every maximal contains-all descendant subtree.
+    KeywordMask residual = 0;
+  };
+  std::vector<Entry> stack;
+
+  auto finalize = [&](Entry&& e, Entry* parent) {
+    const bool contains_all = e.total == full;
+    if (e.residual == full) result.push_back(e.node);
+    if (parent != nullptr) {
+      parent->total |= e.total;
+      // A contains-all child is itself the maximal excluded subtree from the
+      // parent's point of view; otherwise its exclusions are the parent's.
+      if (!contains_all) parent->residual |= e.residual;
+    }
+  };
+
+  MergePostings(lists, [&](const Dewey& p, KeywordMask mask) {
+    while (!stack.empty() && !stack.back().node.IsAncestorOrSelf(p)) {
+      Entry top = std::move(stack.back());
+      stack.pop_back();
+      const Dewey junction = Dewey::Lca(top.node, p);
+      if (stack.empty() || stack.back().node.IsAncestor(junction)) {
+        stack.push_back(Entry{junction});
+      }
+      finalize(std::move(top), stack.empty() ? nullptr : &stack.back());
+    }
+    stack.push_back(Entry{p, mask, mask});
+  });
+  while (!stack.empty()) {
+    Entry top = std::move(stack.back());
+    stack.pop_back();
+    finalize(std::move(top), stack.empty() ? nullptr : &stack.back());
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<Dewey> ElcaIndexedStack(const KeywordLists& lists) {
+  std::vector<Dewey> result;
+  if (AnyListEmpty(lists)) return result;
+  // Candidate set: the smallest contains-all ancestor of every posting in
+  // the smallest list. Every ELCA has a residual witness in that list whose
+  // smallest contains-all ancestor is the ELCA itself, so this set is a
+  // superset of the answer.
+  const size_t smallest = SmallestListIndex(lists);
+  std::vector<Dewey> candidates;
+  candidates.reserve(lists[smallest]->size());
+  for (const Dewey& v : *lists[smallest]) {
+    candidates.push_back(SmallestContainsAllAncestor(v, lists));
+  }
+  SortUniqueDeweys(&candidates);
+  // Verification probes exclude the contains-all children, which are the
+  // children covering an SLCA.
+  const std::vector<Dewey> slcas = SlcaIndexedLookup(lists);
+  for (const Dewey& v : candidates) {
+    std::vector<Dewey> children = CoveringChildren(v, slcas);
+    if (HasResidualWitnessForEveryList(v, children, lists)) {
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
+}  // namespace xks

@@ -1,0 +1,39 @@
+// ELCA algorithms — "all the interesting LCA nodes".
+//
+// The paper's getLCA stage is the Indexed Stack algorithm of Xu &
+// Papakonstantinou (EDBT 2008), which returns the Exclusive LCAs: nodes
+// whose subtree still covers every keyword after excluding each maximal
+// contains-all strict-descendant subtree. Three implementations of the same
+// semantics:
+//  * ElcaBruteForce — exhaustive counting oracle.
+//  * ElcaStackMerge — sort-merge with a path stack carrying (total,
+//    residual) keyword masks; O(Σ|S_i| · d). The classic DIL-style pass.
+//  * ElcaIndexedStack — the indexed approach of EDBT'08 reconstructed:
+//    candidates are generated from the smallest list by the
+//    smallest-contains-all-ancestor kernel, then verified with
+//    binary-search range counts against the contains-all children derived
+//    from the SLCA set. O(|S_1|·k·d·log + |SLCA|·k·log).
+//
+// All three are cross-checked in tests/elca_test.cc on randomized trees.
+
+#ifndef XKS_LCA_ELCA_H_
+#define XKS_LCA_ELCA_H_
+
+#include <vector>
+
+#include "src/lca/lca.h"
+
+namespace xks {
+
+/// Exhaustive oracle.
+std::vector<Dewey> ElcaBruteForce(const KeywordLists& lists);
+
+/// Stack-based sort-merge.
+std::vector<Dewey> ElcaStackMerge(const KeywordLists& lists);
+
+/// Indexed Stack reconstruction (the paper's getLCA).
+std::vector<Dewey> ElcaIndexedStack(const KeywordLists& lists);
+
+}  // namespace xks
+
+#endif  // XKS_LCA_ELCA_H_

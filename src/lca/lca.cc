@@ -1,0 +1,164 @@
+#include "src/lca/lca.h"
+
+#include <algorithm>
+
+#include "src/lca/merge.h"
+
+namespace xks {
+
+bool AnyListEmpty(const KeywordLists& lists) {
+  if (lists.empty()) return true;
+  for (const PostingList* list : lists) {
+    if (list == nullptr || list->empty()) return true;
+  }
+  return false;
+}
+
+size_t SmallestListIndex(const KeywordLists& lists) {
+  size_t best = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i]->size() < lists[best]->size()) best = i;
+  }
+  return best;
+}
+
+bool ContainsAllKeywords(const Dewey& v, const KeywordLists& lists) {
+  const Dewey end = v.SubtreeEnd();
+  for (const PostingList* list : lists) {
+    if (!AnyPostingInRange(*list, v, end)) return false;
+  }
+  return true;
+}
+
+Dewey SmallestContainsAllAncestor(const Dewey& v, const KeywordLists& lists) {
+  Dewey x = v;
+  for (const PostingList* list : lists) {
+    x = Dewey::Lca(x, ClosestPosting(*list, x));
+  }
+  return x;
+}
+
+void SortUniqueDeweys(std::vector<Dewey>* nodes) {
+  std::sort(nodes->begin(), nodes->end());
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+std::vector<Dewey> ContainsAllNodesBruteForce(const KeywordLists& lists) {
+  std::vector<Dewey> result;
+  if (AnyListEmpty(lists)) return result;
+  // Every contains-all node is an ancestor-or-self of each list's postings,
+  // so the prefix closure of (any) one list enumerates all candidates.
+  std::vector<Dewey> candidates;
+  for (const Dewey& d : *lists[0]) {
+    for (size_t depth = 1; depth <= d.depth(); ++depth) {
+      candidates.emplace_back(std::vector<uint32_t>(
+          d.components().begin(),
+          d.components().begin() + static_cast<long>(depth)));
+    }
+  }
+  SortUniqueDeweys(&candidates);
+  for (const Dewey& c : candidates) {
+    if (ContainsAllKeywords(c, lists)) result.push_back(c);
+  }
+  return result;
+}
+
+std::vector<Dewey> FullLcaBruteForce(const KeywordLists& lists) {
+  std::vector<Dewey> result;
+  if (AnyListEmpty(lists)) return result;
+  for (const Dewey& v : ContainsAllNodesBruteForce(lists)) {
+    const Dewey end = v.SubtreeEnd();
+    // lca(tuple) == v iff some witness sits at v itself, or two witnesses
+    // can be put into different children of v.
+    bool witness_at_v = false;
+    for (const PostingList* list : lists) {
+      size_t i = LowerBoundPosting(*list, v);
+      if (i < list->size() && (*list)[i] == v) {
+        witness_at_v = true;
+        break;
+      }
+    }
+    if (witness_at_v) {
+      result.push_back(v);
+      continue;
+    }
+    if (lists.size() < 2) continue;
+    // No witness sits at v, so a tuple with LCA exactly v exists iff the
+    // postings within v are not all confined to one common child subtree:
+    // pick the two diverging witnesses and fill the rest arbitrarily.
+    bool all_in_one_child;
+    const PostingList& first = *lists[0];
+    size_t lo = LowerBoundPosting(first, v);
+    // All postings of list 0 within v are strict descendants here.
+    uint32_t shared_child = (first)[lo][v.depth()];
+    all_in_one_child = true;
+    for (const PostingList* list : lists) {
+      size_t i = LowerBoundPosting(*list, v);
+      size_t j = LowerBoundPosting(*list, end);
+      for (size_t p = i; p < j; ++p) {
+        if ((*list)[p][v.depth()] != shared_child) {
+          all_in_one_child = false;
+          break;
+        }
+      }
+      if (!all_in_one_child) break;
+    }
+    if (!all_in_one_child) result.push_back(v);
+  }
+  return result;
+}
+
+
+std::vector<Dewey> FullLcaStackMerge(const KeywordLists& lists) {
+  std::vector<Dewey> result;
+  if (AnyListEmpty(lists)) return result;
+  const KeywordMask full = FullMask(lists.size());
+
+  struct Entry {
+    Dewey node;
+    KeywordMask total = 0;
+    /// A posting sits at the node itself.
+    bool direct = false;
+    /// Distinct children that contributed postings.
+    uint32_t contributing_children = 0;
+  };
+  std::vector<Entry> stack;
+
+  // A witness tuple with LCA exactly v exists iff v contains all keywords
+  // and either some witness can sit at v itself, or witnesses can be placed
+  // in two different children (see FullLcaBruteForce for the argument).
+  auto finalize = [&](Entry&& e, Entry* parent) {
+    if (e.total == full && (e.direct || e.contributing_children >= 2)) {
+      result.push_back(e.node);
+    }
+    if (parent != nullptr) {
+      parent->total |= e.total;
+      parent->contributing_children += 1;
+    }
+  };
+
+  MergePostings(lists, [&](const Dewey& p, KeywordMask mask) {
+    while (!stack.empty() && !stack.back().node.IsAncestorOrSelf(p)) {
+      Entry top = std::move(stack.back());
+      stack.pop_back();
+      const Dewey junction = Dewey::Lca(top.node, p);
+      if (stack.empty() || stack.back().node.IsAncestor(junction)) {
+        stack.push_back(Entry{junction});
+      }
+      finalize(std::move(top), stack.empty() ? nullptr : &stack.back());
+    }
+    Entry entry;
+    entry.node = p;
+    entry.total = mask;
+    entry.direct = true;
+    stack.push_back(std::move(entry));
+  });
+  while (!stack.empty()) {
+    Entry top = std::move(stack.back());
+    stack.pop_back();
+    finalize(std::move(top), stack.empty() ? nullptr : &stack.back());
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+}  // namespace xks

@@ -1,0 +1,77 @@
+// Shared machinery for the LCA algorithm family.
+//
+// All algorithms consume keyword node lists: one sorted Dewey posting list
+// per query keyword (D_i in the paper). They return sorted node lists.
+//
+// Terminology used across src/lca/ (following Xu & Papakonstantinou):
+//  * a node v "contains all keywords" when subtree(v) holds at least one
+//    posting from every list;
+//  * SLCA: minimal contains-all nodes (no contains-all strict descendant);
+//  * ELCA ("all the interesting LCA nodes" that [12]'s Indexed Stack returns
+//    and that the paper's getLCA uses): nodes that still contain every
+//    keyword after excluding each maximal contains-all strict-descendant
+//    subtree. SLCA ⊆ ELCA.
+
+#ifndef XKS_LCA_LCA_H_
+#define XKS_LCA_LCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/inverted_index.h"
+#include "src/xml/dewey.h"
+
+namespace xks {
+
+/// One posting list per query keyword. Lists are borrowed, never owned.
+using KeywordLists = std::vector<const PostingList*>;
+
+/// Internal keyword mask: bit i (LSB order) = keyword i. Queries are capped
+/// at 64 keywords, far beyond anything in the paper's workloads.
+using KeywordMask = uint64_t;
+
+inline constexpr size_t kMaxQueryKeywords = 64;
+
+/// The all-keywords mask for `k` lists.
+inline KeywordMask FullMask(size_t k) {
+  return k >= 64 ? ~KeywordMask{0} : ((KeywordMask{1} << k) - 1);
+}
+
+/// True iff any list is null/empty (no node can contain all keywords) or
+/// there are no lists at all.
+bool AnyListEmpty(const KeywordLists& lists);
+
+/// Index of the shortest list (the algorithms iterate over it).
+size_t SmallestListIndex(const KeywordLists& lists);
+
+/// True iff subtree(v) holds at least one posting from every list
+/// (O(k log n) range probes).
+bool ContainsAllKeywords(const Dewey& v, const KeywordLists& lists);
+
+/// The smallest (deepest) ancestor-or-self of `v` whose subtree contains all
+/// keywords. This is the per-witness kernel shared by Indexed Lookup SLCA
+/// and the ELCA candidate generator: fold x := lca(x, closest(S_i, x)) over
+/// the lists. Requires no empty list.
+Dewey SmallestContainsAllAncestor(const Dewey& v, const KeywordLists& lists);
+
+/// Sorts and deduplicates a node list in document order.
+void SortUniqueDeweys(std::vector<Dewey>* nodes);
+
+/// All "contains-all" nodes, computed exhaustively from the prefix closure
+/// of the first list's postings (test oracle; also documents the semantics).
+std::vector<Dewey> ContainsAllNodesBruteForce(const KeywordLists& lists);
+
+/// Full LCA semantics of [4] (XRank): every node that is the LCA of some
+/// witness tuple (x_1,...,x_k), x_i from list i. Exhaustive oracle used by
+/// tests and the quickstart illustration; equals the contains-all nodes that
+/// either hold a posting themselves or branch over two lists.
+std::vector<Dewey> FullLcaBruteForce(const KeywordLists& lists);
+
+/// Efficient full-LCA computation: one stack-merge pass, O(Σ|S_i| · d).
+/// A contains-all node is a full LCA iff it holds a posting itself or
+/// received contributions from at least two distinct children.
+std::vector<Dewey> FullLcaStackMerge(const KeywordLists& lists);
+
+}  // namespace xks
+
+#endif  // XKS_LCA_LCA_H_

@@ -1,0 +1,55 @@
+// K-way merge of keyword posting lists into one document-order event stream.
+
+#ifndef XKS_LCA_MERGE_H_
+#define XKS_LCA_MERGE_H_
+
+#include <functional>
+#include <queue>
+
+#include "src/lca/lca.h"
+
+namespace xks {
+
+/// Calls emit(node, mask) once per distinct Dewey across all lists, in
+/// ascending document order; `mask` has bit i set when list i holds the node.
+/// Heap-based k-way merge: O(Σ|S_i| · log k) comparisons.
+inline void MergePostings(
+    const KeywordLists& lists,
+    const std::function<void(const Dewey&, KeywordMask)>& emit) {
+  struct Head {
+    const Dewey* dewey;
+    size_t list;
+    size_t pos;
+  };
+  auto greater = [](const Head& a, const Head& b) { return *a.dewey > *b.dewey; };
+  std::priority_queue<Head, std::vector<Head>, decltype(greater)> heap(greater);
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (lists[i] != nullptr && !lists[i]->empty()) {
+      heap.push(Head{&(*lists[i])[0], i, 0});
+    }
+  }
+  while (!heap.empty()) {
+    Head head = heap.top();
+    heap.pop();
+    const Dewey& current = *head.dewey;
+    KeywordMask mask = KeywordMask{1} << head.list;
+    auto advance = [&](Head h) {
+      if (h.pos + 1 < lists[h.list]->size()) {
+        heap.push(Head{&(*lists[h.list])[h.pos + 1], h.list, h.pos + 1});
+      }
+    };
+    advance(head);
+    // Fold in every other list holding the same node.
+    while (!heap.empty() && *heap.top().dewey == current) {
+      Head dup = heap.top();
+      heap.pop();
+      mask |= KeywordMask{1} << dup.list;
+      advance(dup);
+    }
+    emit(current, mask);
+  }
+}
+
+}  // namespace xks
+
+#endif  // XKS_LCA_MERGE_H_

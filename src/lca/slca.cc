@@ -1,0 +1,133 @@
+#include "src/lca/slca.h"
+
+#include <algorithm>
+
+#include "src/lca/merge.h"
+
+namespace xks {
+
+std::vector<Dewey> SlcaBruteForce(const KeywordLists& lists) {
+  std::vector<Dewey> contains_all = ContainsAllNodesBruteForce(lists);
+  // Minimal elements: in sorted order any strict descendant of c would
+  // immediately follow c, so checking the successor suffices.
+  std::vector<Dewey> result;
+  for (size_t i = 0; i < contains_all.size(); ++i) {
+    if (i + 1 < contains_all.size() &&
+        contains_all[i].IsAncestor(contains_all[i + 1])) {
+      continue;
+    }
+    result.push_back(contains_all[i]);
+  }
+  return result;
+}
+
+std::vector<Dewey> SlcaIndexedLookup(const KeywordLists& lists) {
+  std::vector<Dewey> result;
+  if (AnyListEmpty(lists)) return result;
+  const size_t smallest = SmallestListIndex(lists);
+  std::vector<Dewey> candidates;
+  candidates.reserve(lists[smallest]->size());
+  for (const Dewey& v : *lists[smallest]) {
+    candidates.push_back(SmallestContainsAllAncestor(v, lists));
+  }
+  SortUniqueDeweys(&candidates);
+  // Every SLCA appears among the candidates (witness inside it) and no
+  // candidate is a strict descendant of an SLCA, so the SLCAs are exactly
+  // the candidates with no candidate strictly below them.
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (i + 1 < candidates.size() && candidates[i].IsAncestor(candidates[i + 1])) {
+      continue;
+    }
+    result.push_back(candidates[i]);
+  }
+  return result;
+}
+
+std::vector<Dewey> SlcaScanEager(const KeywordLists& lists) {
+  std::vector<Dewey> result;
+  if (AnyListEmpty(lists)) return result;
+  const size_t smallest = SmallestListIndex(lists);
+  const PostingList& witnesses = *lists[smallest];
+
+  // One monotone cursor per list: cursor[i] is the first posting > v. As
+  // the witnesses ascend, each cursor only moves forward, so the whole pass
+  // is O(Σ|S_i|) cursor steps (the "eager scan" of the SIGMOD'05 paper).
+  std::vector<size_t> cursor(lists.size(), 0);
+  std::vector<Dewey> candidates;
+  candidates.reserve(witnesses.size());
+  for (const Dewey& v : witnesses) {
+    // The smallest contains-all ancestor of v is the shallowest over the
+    // lists of "smallest ancestor of v containing some posting of list i"
+    // (each is an ancestor of v, so they form a chain).
+    Dewey x = v;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (i == smallest) continue;
+      const PostingList& list = *lists[i];
+      size_t& c = cursor[i];
+      while (c < list.size() && list[c] <= v) ++c;
+      const Dewey* left = c > 0 ? &list[c - 1] : nullptr;
+      const Dewey* right = c < list.size() ? &list[c] : nullptr;
+      Dewey left_lca = left ? Dewey::Lca(*left, v) : Dewey();
+      Dewey right_lca = right ? Dewey::Lca(*right, v) : Dewey();
+      const Dewey& xi =
+          left_lca.depth() >= right_lca.depth() ? left_lca : right_lca;
+      if (xi.empty()) return result;  // unreachable: list is non-empty
+      if (xi.depth() < x.depth()) x = xi;
+    }
+    candidates.push_back(std::move(x));
+  }
+  SortUniqueDeweys(&candidates);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (i + 1 < candidates.size() && candidates[i].IsAncestor(candidates[i + 1])) {
+      continue;
+    }
+    result.push_back(candidates[i]);
+  }
+  return result;
+}
+
+std::vector<Dewey> SlcaStackMerge(const KeywordLists& lists) {
+  std::vector<Dewey> result;
+  if (AnyListEmpty(lists)) return result;
+  const KeywordMask full = FullMask(lists.size());
+
+  struct Entry {
+    Dewey node;
+    KeywordMask total = 0;
+    bool has_full_descendant = false;
+  };
+  std::vector<Entry> stack;
+
+  auto finalize = [&](Entry&& e, Entry* parent) {
+    const bool contains_all = e.total == full;
+    if (contains_all && !e.has_full_descendant) result.push_back(e.node);
+    if (parent != nullptr) {
+      parent->total |= e.total;
+      parent->has_full_descendant |= contains_all || e.has_full_descendant;
+    }
+  };
+
+  MergePostings(lists, [&](const Dewey& p, KeywordMask mask) {
+    while (!stack.empty() && !stack.back().node.IsAncestorOrSelf(p)) {
+      Entry top = std::move(stack.back());
+      stack.pop_back();
+      const Dewey junction = Dewey::Lca(top.node, p);
+      if (!stack.empty() && stack.back().node.IsAncestor(junction)) {
+        stack.push_back(Entry{junction});
+      } else if (stack.empty()) {
+        stack.push_back(Entry{junction});
+      }
+      finalize(std::move(top), stack.empty() ? nullptr : &stack.back());
+    }
+    stack.push_back(Entry{p, mask});
+  });
+  while (!stack.empty()) {
+    Entry top = std::move(stack.back());
+    stack.pop_back();
+    finalize(std::move(top), stack.empty() ? nullptr : &stack.back());
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace xks

@@ -1,0 +1,41 @@
+// SLCA algorithms (Smallest Lowest Common Ancestors).
+//
+// Three interchangeable implementations of the same semantics — the minimal
+// contains-all nodes:
+//  * SlcaBruteForce — exhaustive oracle over the prefix closure; O(n·d·k·log)
+//    but obviously correct; used by tests and tiny inputs.
+//  * SlcaIndexedLookup — Xu & Papakonstantinou's Indexed Lookup Eager
+//    (SIGMOD'05): iterate the smallest list, binary-search the others.
+//    O(|S_1| · k·d·log |S_max|).
+//  * SlcaScanEager — the same paper's Scan Eager: one monotone cursor per
+//    list instead of binary searches; O(Σ|S_i| · d) — wins when the lists
+//    have comparable sizes.
+//  * SlcaStackMerge — sort-merge of all lists with a path stack;
+//    O(Σ|S_i| · d · log k).
+//
+// bench/micro_lca sweeps the crossover between the last two.
+
+#ifndef XKS_LCA_SLCA_H_
+#define XKS_LCA_SLCA_H_
+
+#include <vector>
+
+#include "src/lca/lca.h"
+
+namespace xks {
+
+/// Exhaustive oracle.
+std::vector<Dewey> SlcaBruteForce(const KeywordLists& lists);
+
+/// Indexed Lookup Eager.
+std::vector<Dewey> SlcaIndexedLookup(const KeywordLists& lists);
+
+/// Scan Eager (monotone cursors).
+std::vector<Dewey> SlcaScanEager(const KeywordLists& lists);
+
+/// Stack-based sort-merge.
+std::vector<Dewey> SlcaStackMerge(const KeywordLists& lists);
+
+}  // namespace xks
+
+#endif  // XKS_LCA_SLCA_H_

@@ -1,0 +1,86 @@
+#include "src/storage/shredder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/text/stopwords.h"
+#include "src/text/tokenizer.h"
+
+namespace xks {
+namespace {
+
+/// Collects (word, source) pairs for one node, counting every occurrence
+/// into the frequency table and deduplicating per node (a value row records
+/// membership of a word in Cv, not its multiplicity).
+void EmitValueRows(const Document& doc, NodeId id, uint32_t label_id,
+                   ShreddedTables* out) {
+  const Node& n = doc.node(id);
+  std::vector<std::pair<std::string, ValueSource>> words;
+  auto add = [&](ValueSource source) {
+    return [&out, &words, source](std::string&& w) {
+      if (IsStopWord(w)) return;
+      out->values.CountWord(w);
+      words.emplace_back(std::move(w), source);
+    };
+  };
+  ForEachWord(n.label, add(ValueSource::kLabel));
+  for (const Attribute& a : n.attributes) {
+    ForEachWord(a.name, add(ValueSource::kAttribute));
+    ForEachWord(a.value, add(ValueSource::kAttribute));
+  }
+  ForEachWord(n.text, add(ValueSource::kText));
+
+  // Deduplicate per word, keeping the first (highest-priority) source.
+  std::stable_sort(words.begin(), words.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i > 0 && words[i].first == words[i - 1].first) continue;
+    ValueRow row;
+    row.keyword = words[i].first;
+    row.label_id = label_id;
+    row.dewey = n.dewey;
+    row.source = words[i].second;
+    out->values.Append(std::move(row));
+  }
+}
+
+}  // namespace
+
+ShreddedTables Shred(const Document& doc) {
+  ShreddedTables out;
+  if (doc.empty()) return out;
+
+  // Recursion-free preorder walk carrying the ancestor label-id path.
+  struct Frame {
+    NodeId id;
+    size_t path_len;  // label_path prefix length when entering this node
+  };
+  std::vector<uint32_t> path;
+  std::vector<Frame> stack = {{doc.root(), 0}};
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    path.resize(frame.path_len);
+
+    const Node& n = doc.node(frame.id);
+    uint32_t label_id = out.labels.Intern(n.label);
+    path.push_back(label_id);
+
+    ElementRow row;
+    row.label_id = label_id;
+    row.dewey = n.dewey;
+    row.level = static_cast<uint32_t>(n.dewey.depth());
+    row.label_path = path;
+    row.content_feature = ContentIdOf(ContentWords(doc, frame.id));
+    out.elements.Append(std::move(row));
+
+    EmitValueRows(doc, frame.id, label_id, &out);
+
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back({*it, path.size()});
+    }
+  }
+  return out;
+}
+
+}  // namespace xks

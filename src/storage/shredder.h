@@ -1,0 +1,30 @@
+// Shredding: Document → the three relational tables.
+
+#ifndef XKS_STORAGE_SHREDDER_H_
+#define XKS_STORAGE_SHREDDER_H_
+
+#include "src/storage/tables.h"
+#include "src/xml/dom.h"
+
+namespace xks {
+
+/// Output of one shredding pass.
+struct ShreddedTables {
+  LabelTable labels;
+  ElementTable elements;
+  ValueTable values;
+};
+
+/// Shreds `doc` (which must already have Dewey codes assigned) into the
+/// paper's three tables. Per node it:
+///   * interns the label and emits an element row with the node's level,
+///     the ancestor label-number-sequence and the cID of its own content;
+///   * emits one value row per distinct word of Cv (label + attributes +
+///     text, stop-words filtered), tagged with the word's source;
+///   * counts every word occurrence into the frequency table (pre-dedup,
+///     matching the Section 5.1 frequency numbers).
+ShreddedTables Shred(const Document& doc);
+
+}  // namespace xks
+
+#endif  // XKS_STORAGE_SHREDDER_H_

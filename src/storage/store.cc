@@ -1,0 +1,121 @@
+#include "src/storage/store.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "src/common/string_util.h"
+#include "src/storage/shredder.h"
+
+namespace xks {
+namespace {
+
+constexpr char kMagic[] = "XKS1";
+
+}  // namespace
+
+ShreddedStore ShreddedStore::Build(const Document& doc) {
+  ShreddedStore store;
+  store.tables_ = Shred(doc);
+  store.index_ = InvertedIndex::Build(store.tables_.values);
+  return store;
+}
+
+const PostingList& ShreddedStore::KeywordNodes(const std::string& word) const {
+  return index_.FindOrEmpty(AsciiLower(word));
+}
+
+PostingList ShreddedStore::KeywordNodesWithLabel(const std::string& word,
+                                                 const std::string& label) const {
+  PostingList filtered;
+  // Labels are interned in their original case; constraints compare
+  // case-insensitively, consistent with content matching.
+  const std::string wanted = AsciiLower(label);
+  std::vector<bool> matching_ids(tables_.labels.size(), false);
+  bool any = false;
+  for (uint32_t id = 0; id < tables_.labels.size(); ++id) {
+    if (AsciiLower(tables_.labels.Name(id)) == wanted) {
+      matching_ids[id] = true;
+      any = true;
+    }
+  }
+  if (!any) return filtered;
+  for (const Dewey& d : KeywordNodes(word)) {
+    Result<const ElementRow*> row = tables_.elements.Find(d);
+    if (row.ok() && matching_ids[(*row)->label_id]) filtered.push_back(d);
+  }
+  return filtered;
+}
+
+Result<std::string> ShreddedStore::LabelOf(const Dewey& dewey) const {
+  const ElementRow* row = nullptr;
+  XKS_ASSIGN_OR_RETURN(row, tables_.elements.Find(dewey));
+  return tables_.labels.Name(row->label_id);
+}
+
+Result<std::vector<std::string>> ShreddedStore::AncestorLabels(
+    const Dewey& dewey) const {
+  const ElementRow* row = nullptr;
+  XKS_ASSIGN_OR_RETURN(row, tables_.elements.Find(dewey));
+  std::vector<std::string> labels;
+  labels.reserve(row->label_path.size());
+  for (uint32_t id : row->label_path) labels.push_back(tables_.labels.Name(id));
+  return labels;
+}
+
+Result<ContentId> ShreddedStore::ContentFeatureOf(const Dewey& dewey) const {
+  const ElementRow* row = nullptr;
+  XKS_ASSIGN_OR_RETURN(row, tables_.elements.Find(dewey));
+  return row->content_feature;
+}
+
+uint64_t ShreddedStore::WordFrequency(const std::string& word) const {
+  return tables_.values.Frequency(AsciiLower(word));
+}
+
+void ShreddedStore::EncodeTo(std::string* dst) const {
+  dst->append(kMagic, 4);
+  tables_.labels.Encode(dst);
+  tables_.elements.Encode(dst);
+  tables_.values.Encode(dst);
+}
+
+Result<ShreddedStore> ShreddedStore::DecodeFrom(std::string_view data) {
+  if (data.size() < 4 || data.substr(0, 4) != kMagic) {
+    return Status::Corruption("bad store magic");
+  }
+  Decoder decoder(data.substr(4));
+  ShreddedStore store;
+  XKS_RETURN_IF_ERROR(store.tables_.labels.Decode(&decoder));
+  XKS_RETURN_IF_ERROR(store.tables_.elements.Decode(&decoder));
+  XKS_RETURN_IF_ERROR(store.tables_.values.Decode(&decoder));
+  if (!decoder.done()) return Status::Corruption("trailing bytes in store file");
+  store.index_ = InvertedIndex::Build(store.tables_.values);
+  return store;
+}
+
+Status ShreddedStore::Save(const std::string& path) const {
+  std::string buffer;
+  EncodeTo(&buffer);
+  std::unique_ptr<FILE, int (*)(FILE*)> f(std::fopen(path.c_str(), "wb"),
+                                          &std::fclose);
+  if (f == nullptr) return Status::IoError("cannot open '" + path + "' for write");
+  size_t written = std::fwrite(buffer.data(), 1, buffer.size(), f.get());
+  if (written != buffer.size()) return Status::IoError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Result<ShreddedStore> ShreddedStore::Load(const std::string& path) {
+  std::unique_ptr<FILE, int (*)(FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                          &std::fclose);
+  if (f == nullptr) return Status::IoError("cannot open '" + path + "' for read");
+  std::string buffer;
+  char chunk[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f.get())) > 0) {
+    buffer.append(chunk, n);
+  }
+  if (std::ferror(f.get())) return Status::IoError("read error on '" + path + "'");
+  return DecodeFrom(buffer);
+}
+
+}  // namespace xks

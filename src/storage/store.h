@@ -1,0 +1,75 @@
+// ShreddedStore: the embedded stand-in for the paper's PostgreSQL platform.
+
+#ifndef XKS_STORAGE_STORE_H_
+#define XKS_STORAGE_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/index/inverted_index.h"
+#include "src/storage/shredder.h"
+#include "src/storage/tables.h"
+#include "src/xml/dom.h"
+
+namespace xks {
+
+/// Bundles the three shredded tables with the inverted index built over the
+/// value table, plus binary persistence. This is the complete query-time
+/// substrate: given a keyword query, the store produces the sorted keyword
+/// node lists (what the paper fetched via SQL) and answers the per-node
+/// metadata probes the RTF construction needs (label, ancestor labels, cID).
+class ShreddedStore {
+ public:
+  ShreddedStore() = default;
+
+  /// Shreds `doc` and builds the index. The document itself is not retained;
+  /// everything query time needs lives in the tables.
+  static ShreddedStore Build(const Document& doc);
+
+  const LabelTable& labels() const { return tables_.labels; }
+  const ElementTable& elements() const { return tables_.elements; }
+  const ValueTable& values() const { return tables_.values; }
+  const InvertedIndex& index() const { return index_; }
+
+  /// Sorted keyword-node Dewey list for `word` (lowercased by the caller or
+  /// not — the store lowercases defensively). Empty when the word is absent
+  /// or a stop word.
+  const PostingList& KeywordNodes(const std::string& word) const;
+
+  /// Label-constrained keyword nodes: the subset of KeywordNodes(word) whose
+  /// element label is `label` (XSearch-style "label:word" terms). Returns an
+  /// owned, sorted list; empty when the word or label is unknown.
+  PostingList KeywordNodesWithLabel(const std::string& word,
+                                    const std::string& label) const;
+
+  /// Label string of the node at `dewey`.
+  Result<std::string> LabelOf(const Dewey& dewey) const;
+
+  /// Labels of the ancestors-or-self on the path root → `dewey`, rebuilt
+  /// from the element table's label-number-sequence.
+  Result<std::vector<std::string>> AncestorLabels(const Dewey& dewey) const;
+
+  /// cID (own-content feature) of the node at `dewey`.
+  Result<ContentId> ContentFeatureOf(const Dewey& dewey) const;
+
+  /// Shred-time frequency of `word`.
+  uint64_t WordFrequency(const std::string& word) const;
+
+  /// Serializes the store to `path` / restores it. The format is the
+  /// library's own compact binary layout (magic "XKS1").
+  Status Save(const std::string& path) const;
+  static Result<ShreddedStore> Load(const std::string& path);
+
+  /// Encode/decode against in-memory buffers (used by Save/Load and tests).
+  void EncodeTo(std::string* dst) const;
+  static Result<ShreddedStore> DecodeFrom(std::string_view data);
+
+ private:
+  ShreddedTables tables_;
+  InvertedIndex index_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_STORAGE_STORE_H_

@@ -1,0 +1,164 @@
+#include "src/storage/tables.h"
+
+#include <algorithm>
+
+namespace xks {
+
+void EncodeDewey(std::string* dst, const Dewey& dewey) {
+  PutVarint32(dst, static_cast<uint32_t>(dewey.depth()));
+  for (uint32_t c : dewey.components()) PutVarint32(dst, c);
+}
+
+Status DecodeDewey(Decoder* decoder, Dewey* dewey) {
+  uint32_t n = 0;
+  XKS_RETURN_IF_ERROR(decoder->GetVarint32(&n));
+  if (n > 1u << 20) return Status::Corruption("implausible Dewey depth");
+  std::vector<uint32_t> components(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    XKS_RETURN_IF_ERROR(decoder->GetVarint32(&components[i]));
+  }
+  *dewey = Dewey(std::move(components));
+  return Status::OK();
+}
+
+uint32_t LabelTable::Intern(const std::string& label) {
+  auto it = ids_.find(label);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.push_back(label);
+  ids_.emplace(label, id);
+  return id;
+}
+
+uint32_t LabelTable::Lookup(const std::string& label) const {
+  auto it = ids_.find(label);
+  return it == ids_.end() ? kNoLabelId : it->second;
+}
+
+void LabelTable::Encode(std::string* dst) const {
+  PutVarint64(dst, names_.size());
+  for (const std::string& name : names_) PutLengthPrefixed(dst, name);
+}
+
+Status LabelTable::Decode(Decoder* decoder) {
+  names_.clear();
+  ids_.clear();
+  uint64_t n = 0;
+  XKS_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+  names_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    XKS_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&name));
+    ids_.emplace(name, static_cast<uint32_t>(names_.size()));
+    names_.push_back(std::move(name));
+  }
+  return Status::OK();
+}
+
+void ElementTable::Append(ElementRow row) {
+  by_dewey_.emplace(row.dewey, static_cast<uint32_t>(rows_.size()));
+  rows_.push_back(std::move(row));
+}
+
+Result<const ElementRow*> ElementTable::Find(const Dewey& dewey) const {
+  auto it = by_dewey_.find(dewey);
+  if (it == by_dewey_.end()) {
+    return Status::NotFound("element row for Dewey " + dewey.ToString());
+  }
+  return &rows_[it->second];
+}
+
+void ElementTable::Encode(std::string* dst) const {
+  PutVarint64(dst, rows_.size());
+  for (const ElementRow& row : rows_) {
+    PutVarint32(dst, row.label_id);
+    EncodeDewey(dst, row.dewey);
+    PutVarint32(dst, row.level);
+    PutVarint32(dst, static_cast<uint32_t>(row.label_path.size()));
+    for (uint32_t id : row.label_path) PutVarint32(dst, id);
+    PutLengthPrefixed(dst, row.content_feature.min_word);
+    PutLengthPrefixed(dst, row.content_feature.max_word);
+  }
+}
+
+Status ElementTable::Decode(Decoder* decoder) {
+  rows_.clear();
+  by_dewey_.clear();
+  uint64_t n = 0;
+  XKS_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+  rows_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ElementRow row;
+    XKS_RETURN_IF_ERROR(decoder->GetVarint32(&row.label_id));
+    XKS_RETURN_IF_ERROR(DecodeDewey(decoder, &row.dewey));
+    XKS_RETURN_IF_ERROR(decoder->GetVarint32(&row.level));
+    uint32_t path_len = 0;
+    XKS_RETURN_IF_ERROR(decoder->GetVarint32(&path_len));
+    row.label_path.resize(path_len);
+    for (uint32_t j = 0; j < path_len; ++j) {
+      XKS_RETURN_IF_ERROR(decoder->GetVarint32(&row.label_path[j]));
+    }
+    XKS_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&row.content_feature.min_word));
+    XKS_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&row.content_feature.max_word));
+    Append(std::move(row));
+  }
+  return Status::OK();
+}
+
+uint64_t ValueTable::Frequency(const std::string& word) const {
+  auto it = frequencies_.find(word);
+  return it == frequencies_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> ValueTable::FrequencyTable() const {
+  std::vector<std::pair<std::string, uint64_t>> table(frequencies_.begin(),
+                                                      frequencies_.end());
+  std::sort(table.begin(), table.end());
+  return table;
+}
+
+void ValueTable::Encode(std::string* dst) const {
+  PutVarint64(dst, rows_.size());
+  for (const ValueRow& row : rows_) {
+    PutLengthPrefixed(dst, row.keyword);
+    PutVarint32(dst, row.label_id);
+    EncodeDewey(dst, row.dewey);
+    dst->push_back(static_cast<char>(row.source));
+  }
+  PutVarint64(dst, frequencies_.size());
+  for (const auto& [word, count] : FrequencyTable()) {
+    PutLengthPrefixed(dst, word);
+    PutVarint64(dst, count);
+  }
+}
+
+Status ValueTable::Decode(Decoder* decoder) {
+  rows_.clear();
+  frequencies_.clear();
+  uint64_t n = 0;
+  XKS_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+  rows_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ValueRow row;
+    XKS_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&row.keyword));
+    XKS_RETURN_IF_ERROR(decoder->GetVarint32(&row.label_id));
+    XKS_RETURN_IF_ERROR(DecodeDewey(decoder, &row.dewey));
+    uint32_t source = 0;
+    XKS_RETURN_IF_ERROR(decoder->GetVarint32(&source));
+    if (source > 2) return Status::Corruption("bad ValueSource");
+    row.source = static_cast<ValueSource>(source);
+    rows_.push_back(std::move(row));
+  }
+  uint64_t vocab = 0;
+  XKS_RETURN_IF_ERROR(decoder->GetVarint64(&vocab));
+  for (uint64_t i = 0; i < vocab; ++i) {
+    std::string word;
+    uint64_t count = 0;
+    XKS_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&word));
+    XKS_RETURN_IF_ERROR(decoder->GetVarint64(&count));
+    frequencies_.emplace(std::move(word), count);
+  }
+  return Status::OK();
+}
+
+}  // namespace xks

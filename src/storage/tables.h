@@ -1,0 +1,136 @@
+// The paper's shredded relational schema (Section 5.2), embedded.
+//
+// The authors shred XML into PostgreSQL with three tables:
+//   label   (label, ID)
+//   element (node's label, Dewey, level, label-number-sequence, content-feature)
+//   value   (node's label, Dewey, attribute, keyword)
+// We reproduce the same three tables as in-process column-store-style
+// structures with binary persistence (see store.h). The algorithms consume
+// exactly what the paper's SQL produced: keyword rows from `value`, ancestor
+// label sequences and content features from `element`.
+
+#ifndef XKS_STORAGE_TABLES_H_
+#define XKS_STORAGE_TABLES_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/codec.h"
+#include "src/common/result.h"
+#include "src/text/content.h"
+#include "src/xml/dewey.h"
+
+namespace xks {
+
+/// Sentinel for "label not interned".
+inline constexpr uint32_t kNoLabelId = UINT32_MAX;
+
+/// label(label, ID): bidirectional dictionary of distinct element labels.
+class LabelTable {
+ public:
+  /// Returns the id of `label`, interning it if new.
+  uint32_t Intern(const std::string& label);
+
+  /// Returns the id of `label`, or kNoLabelId when unknown.
+  uint32_t Lookup(const std::string& label) const;
+
+  /// The label string for `id`. Requires a valid id.
+  const std::string& Name(uint32_t id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+  void Encode(std::string* dst) const;
+  Status Decode(Decoder* decoder);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+/// One row of element(label, dewey, level, label-number-sequence, cID).
+struct ElementRow {
+  uint32_t label_id = kNoLabelId;
+  Dewey dewey;
+  /// Depth of the node; equals dewey.depth().
+  uint32_t level = 0;
+  /// Label ids of the ancestors-or-self on the path root → node ("label
+  /// number sequence", used to rebuild ancestor labels without the document).
+  std::vector<uint32_t> label_path;
+  /// cID of the node's own content set Cv (min/max word feature).
+  ContentId content_feature;
+};
+
+/// element table: rows in document (Dewey) order with a hash lookup.
+class ElementTable {
+ public:
+  /// Appends a row; rows must arrive in document order.
+  void Append(ElementRow row);
+
+  size_t size() const { return rows_.size(); }
+  const ElementRow& row(size_t i) const { return rows_[i]; }
+
+  /// Finds the row for `dewey`; NotFound when absent.
+  Result<const ElementRow*> Find(const Dewey& dewey) const;
+
+  void Encode(std::string* dst) const;
+  Status Decode(Decoder* decoder);
+
+ private:
+  std::vector<ElementRow> rows_;
+  std::unordered_map<Dewey, uint32_t, DeweyHash> by_dewey_;
+};
+
+/// Where a value-table word came from inside its node.
+enum class ValueSource : uint8_t {
+  kLabel = 0,      ///< the element's own label
+  kAttribute = 1,  ///< an attribute name or value
+  kText = 2,       ///< character data
+};
+
+/// One row of value(label, dewey, attribute, keyword): node `dewey` (labelled
+/// `label_id`) contains the word `keyword`, originating from `source`.
+struct ValueRow {
+  std::string keyword;
+  uint32_t label_id = kNoLabelId;
+  Dewey dewey;
+  ValueSource source = ValueSource::kText;
+};
+
+/// value table: flat rows plus shred-time word frequencies (Section 5.1
+/// records the frequency of interesting words during shredding).
+class ValueTable {
+ public:
+  void Append(ValueRow row) { rows_.push_back(std::move(row)); }
+
+  size_t size() const { return rows_.size(); }
+  const ValueRow& row(size_t i) const { return rows_[i]; }
+  const std::vector<ValueRow>& rows() const { return rows_; }
+
+  /// Bumps the occurrence counter for `word`.
+  void CountWord(const std::string& word) { ++frequencies_[word]; }
+
+  /// Total occurrences of `word` in the shredded data (0 when absent).
+  uint64_t Frequency(const std::string& word) const;
+
+  /// All (word, frequency) pairs, sorted by word.
+  std::vector<std::pair<std::string, uint64_t>> FrequencyTable() const;
+
+  void Encode(std::string* dst) const;
+  Status Decode(Decoder* decoder);
+
+ private:
+  std::vector<ValueRow> rows_;
+  std::unordered_map<std::string, uint64_t> frequencies_;
+};
+
+/// Encodes a Dewey code into `dst` (varint count + components).
+void EncodeDewey(std::string* dst, const Dewey& dewey);
+
+/// Decodes a Dewey code.
+Status DecodeDewey(Decoder* decoder, Dewey* dewey);
+
+}  // namespace xks
+
+#endif  // XKS_STORAGE_TABLES_H_

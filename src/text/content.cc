@@ -1,0 +1,54 @@
+#include "src/text/content.h"
+
+#include <algorithm>
+
+#include "src/text/stopwords.h"
+#include "src/text/tokenizer.h"
+
+namespace xks {
+
+void ContentId::Absorb(std::string_view word) {
+  if (word.empty()) return;
+  if (empty()) {
+    min_word = word;
+    max_word = word;
+    return;
+  }
+  if (word < min_word) min_word = word;
+  if (word > max_word) max_word = word;
+}
+
+void ContentId::Merge(const ContentId& other) {
+  if (other.empty()) return;
+  Absorb(other.min_word);
+  Absorb(other.max_word);
+}
+
+std::string ContentId::ToString() const {
+  return "(" + min_word + "," + max_word + ")";
+}
+
+std::vector<std::string> ContentWords(const Document& doc, NodeId id) {
+  const Node& n = doc.node(id);
+  std::vector<std::string> words;
+  auto add = [&](std::string&& w) {
+    if (!IsStopWord(w)) words.push_back(std::move(w));
+  };
+  ForEachWord(n.label, add);
+  ForEachWord(n.text, add);
+  for (const Attribute& a : n.attributes) {
+    ForEachWord(a.name, add);
+    ForEachWord(a.value, add);
+  }
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+  return words;
+}
+
+ContentId ContentIdOf(const std::vector<std::string>& words) {
+  ContentId id;
+  for (const std::string& w : words) id.Absorb(w);
+  return id;
+}
+
+}  // namespace xks

@@ -1,0 +1,50 @@
+// Node content sets (Cv) and the cID content feature.
+//
+// Cv is "the word set implied in v's label, text and attributes" (paper
+// Section 1). The cID of a content set is its (min, max) word pair in lexical
+// order — the approximate content feature Section 4.1 introduces so that
+// duplicate-content tests (valid-contributor rule 2.(b)) are O(1) instead of
+// full set comparisons. bench/ablation_cid quantifies the approximation.
+
+#ifndef XKS_TEXT_CONTENT_H_
+#define XKS_TEXT_CONTENT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/xml/dom.h"
+
+namespace xks {
+
+/// The (min, max) lexical word pair of a content set. The empty cID is the
+/// identity for Merge, so tree content features can be folded bottom-up.
+struct ContentId {
+  std::string min_word;
+  std::string max_word;
+
+  bool empty() const { return min_word.empty() && max_word.empty(); }
+
+  /// Widens this cID to cover `word`.
+  void Absorb(std::string_view word);
+
+  /// Widens this cID to cover everything `other` covers.
+  void Merge(const ContentId& other);
+
+  /// "(min,max)" rendering for logs and the element table.
+  std::string ToString() const;
+
+  bool operator==(const ContentId&) const = default;
+  auto operator<=>(const ContentId&) const = default;
+};
+
+/// Computes Cv for one node: lowercased words from its label, its text and
+/// its attribute names/values, stop-words removed, sorted and deduplicated.
+std::vector<std::string> ContentWords(const Document& doc, NodeId id);
+
+/// Computes the cID of a word list.
+ContentId ContentIdOf(const std::vector<std::string>& words);
+
+}  // namespace xks
+
+#endif  // XKS_TEXT_CONTENT_H_

@@ -1,0 +1,33 @@
+#include "src/text/stopwords.h"
+
+#include <algorithm>
+#include <array>
+
+namespace xks {
+namespace {
+
+// The classic Lucene StandardAnalyzer English stop set, extended with the
+// handful of extra function words from the list the paper cites ([22]).
+// Kept sorted so membership is a binary search.
+constexpr std::array<std::string_view, 48> kStopWords = {
+    "a",     "about", "an",    "and",   "are",   "as",    "at",    "be",
+    "but",   "by",    "for",   "from",  "he",    "her",   "his",   "how",
+    "if",    "in",    "into",  "is",    "it",    "its",   "no",    "not",
+    "of",    "on",    "or",    "she",   "such",  "that",  "the",   "their",
+    "then",  "there", "these", "they",  "this",  "to",    "was",   "we",
+    "were",  "what",  "when",  "where", "which", "who",   "will",  "with",
+};
+
+}  // namespace
+
+bool IsStopWord(std::string_view word) {
+  return std::binary_search(kStopWords.begin(), kStopWords.end(), word);
+}
+
+const std::vector<std::string_view>& StopWordList() {
+  static const std::vector<std::string_view> list(kStopWords.begin(),
+                                                  kStopWords.end());
+  return list;
+}
+
+}  // namespace xks

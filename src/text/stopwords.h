@@ -1,0 +1,27 @@
+// English stop-word filtering.
+//
+// The paper's platform filters stop words with Lucene's StopFilter
+// (Section 5.2, [21][22]). This module carries the classic English stop-word
+// list used by Lucene's StandardAnalyzer and applies the same filtering at
+// shred time: stop words never become index terms, so they can never be
+// query keywords, but they still participate in content sets only as far as
+// the paper's pipeline allows (they don't — shredding drops them entirely,
+// like the authors' value table does).
+
+#ifndef XKS_TEXT_STOPWORDS_H_
+#define XKS_TEXT_STOPWORDS_H_
+
+#include <string_view>
+#include <vector>
+
+namespace xks {
+
+/// True iff `word` (already lowercased) is an English stop word.
+bool IsStopWord(std::string_view word);
+
+/// The full stop-word list, sorted, for documentation and tests.
+const std::vector<std::string_view>& StopWordList();
+
+}  // namespace xks
+
+#endif  // XKS_TEXT_STOPWORDS_H_

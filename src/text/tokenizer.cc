@@ -1,0 +1,33 @@
+#include "src/text/tokenizer.h"
+
+#include <functional>
+
+#include "src/common/string_util.h"
+
+namespace xks {
+
+void ForEachWord(std::string_view text,
+                 const std::function<void(std::string&&)>& emit) {
+  size_t start = 0;
+  auto flush = [&](size_t end) {
+    if (end > start) {
+      std::string word = AsciiLower(text.substr(start, end - start));
+      emit(std::move(word));
+    }
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (!IsAlnumAscii(text[i])) {
+      flush(i);
+      start = i + 1;
+    }
+  }
+  flush(text.size());
+}
+
+std::vector<std::string> TokenizeWords(std::string_view text) {
+  std::vector<std::string> words;
+  ForEachWord(text, [&](std::string&& w) { words.push_back(std::move(w)); });
+  return words;
+}
+
+}  // namespace xks

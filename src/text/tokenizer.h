@@ -1,0 +1,28 @@
+// Word tokenization for node content sets.
+//
+// The paper builds content sets Cv from "the word set implied in v's label,
+// text and attributes" and compares words in lexical order case-insensitively
+// (e.g. "attribute" < "Chen" < "XML" in Example 7). We therefore tokenize on
+// non-alphanumeric boundaries and ASCII-lowercase every token.
+
+#ifndef XKS_TEXT_TOKENIZER_H_
+#define XKS_TEXT_TOKENIZER_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xks {
+
+/// Splits `text` into lowercased alphanumeric words. "XML-keyword search"
+/// yields {"xml", "keyword", "search"}.
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+/// Calls `emit(word)` for every lowercased word in `text`, avoiding the
+/// intermediate vector on hot shredding paths.
+void ForEachWord(std::string_view text, const std::function<void(std::string&&)>& emit);
+
+}  // namespace xks
+
+#endif  // XKS_TEXT_TOKENIZER_H_

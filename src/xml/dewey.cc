@@ -1,0 +1,105 @@
+#include "src/xml/dewey.h"
+
+#include <algorithm>
+
+namespace xks {
+
+Result<Dewey> Dewey::Parse(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty Dewey string");
+  }
+  std::vector<uint32_t> components;
+  uint64_t current = 0;
+  bool have_digit = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      current = current * 10 + static_cast<uint64_t>(c - '0');
+      if (current > UINT32_MAX) {
+        return Status::OutOfRange("Dewey component overflow in '" + text + "'");
+      }
+      have_digit = true;
+    } else if (c == '.') {
+      if (!have_digit) {
+        return Status::InvalidArgument("malformed Dewey string '" + text + "'");
+      }
+      components.push_back(static_cast<uint32_t>(current));
+      current = 0;
+      have_digit = false;
+    } else {
+      return Status::InvalidArgument("invalid character in Dewey string '" + text + "'");
+    }
+  }
+  if (!have_digit) {
+    return Status::InvalidArgument("malformed Dewey string '" + text + "'");
+  }
+  components.push_back(static_cast<uint32_t>(current));
+  return Dewey(std::move(components));
+}
+
+std::string Dewey::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+Dewey Dewey::Child(uint32_t ordinal) const {
+  Dewey child = *this;
+  child.components_.push_back(ordinal);
+  return child;
+}
+
+Dewey Dewey::Parent() const {
+  if (components_.empty()) return Dewey();
+  Dewey parent = *this;
+  parent.components_.pop_back();
+  return parent;
+}
+
+bool Dewey::IsAncestorOrSelf(const Dewey& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  return std::equal(components_.begin(), components_.end(),
+                    other.components_.begin());
+}
+
+bool Dewey::IsAncestor(const Dewey& other) const {
+  return components_.size() < other.components_.size() && IsAncestorOrSelf(other);
+}
+
+Dewey Dewey::Lca(const Dewey& a, const Dewey& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  size_t n = std::min(a.components_.size(), b.components_.size());
+  size_t i = 0;
+  while (i < n && a.components_[i] == b.components_[i]) ++i;
+  return Dewey(std::vector<uint32_t>(a.components_.begin(),
+                                     a.components_.begin() + static_cast<long>(i)));
+}
+
+Dewey Dewey::SubtreeEnd() const {
+  Dewey end = *this;
+  end.components_.back() += 1;
+  return end;
+}
+
+size_t Dewey::Hash() const {
+  // FNV-1a over the component bytes.
+  uint64_t h = 1469598103934665603ULL;
+  for (uint32_t c : components_) {
+    for (int i = 0; i < 4; ++i) {
+      h ^= (c >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return static_cast<size_t>(h);
+}
+
+Dewey LcaOfSet(const std::vector<Dewey>& codes) {
+  Dewey lca;
+  for (const Dewey& d : codes) lca = Dewey::Lca(lca, d);
+  return lca;
+}
+
+}  // namespace xks

@@ -1,0 +1,93 @@
+// Dewey codes: ordinal path identifiers for XML tree nodes.
+//
+// The Dewey code of a node is the sequence of child ordinals on the path from
+// the document root (code {0}) to the node; e.g. "0.2.0.1" (paper Figure 1(a)).
+// Lexicographic comparison of Dewey codes equals preorder document order
+// (paper footnote 5), and the longest common prefix of two codes is the code
+// of their lowest common ancestor. These two facts drive every LCA algorithm
+// in src/lca/.
+
+#ifndef XKS_XML_DEWEY_H_
+#define XKS_XML_DEWEY_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace xks {
+
+/// Value-type Dewey code. The empty code is "null" (no node); the document
+/// root is Dewey{0}.
+class Dewey {
+ public:
+  Dewey() = default;
+  Dewey(std::initializer_list<uint32_t> components) : components_(components) {}
+  explicit Dewey(std::vector<uint32_t> components)
+      : components_(std::move(components)) {}
+
+  /// The document root code, {0}.
+  static Dewey Root() { return Dewey{0}; }
+
+  /// Parses "0.2.0.1". Fails on empty input, non-digits, or overflow.
+  static Result<Dewey> Parse(const std::string& text);
+
+  /// "0.2.0.1"; "" for the null code.
+  std::string ToString() const;
+
+  bool empty() const { return components_.empty(); }
+  size_t depth() const { return components_.size(); }
+  const std::vector<uint32_t>& components() const { return components_; }
+  uint32_t operator[](size_t i) const { return components_[i]; }
+
+  /// The code of the i-th child of this node.
+  Dewey Child(uint32_t ordinal) const;
+
+  /// The parent code; the null code for the root and for the null code.
+  Dewey Parent() const;
+
+  /// True iff this is an ancestor of `other` or equal to it (prefix test).
+  bool IsAncestorOrSelf(const Dewey& other) const;
+
+  /// True iff this is a strict ancestor of `other`.
+  bool IsAncestor(const Dewey& other) const;
+
+  /// The lowest common ancestor code (longest common prefix). LCA with the
+  /// null code is the other argument, so the null code is an identity for
+  /// folds over node sets.
+  static Dewey Lca(const Dewey& a, const Dewey& b);
+
+  /// The smallest code strictly greater (in document order) than every code
+  /// in this node's subtree: this code with its last component incremented.
+  /// [*this, SubtreeEnd()) is exactly the subtree range in any sorted list.
+  /// Requires !empty().
+  Dewey SubtreeEnd() const;
+
+  /// Lexicographic three-way comparison == document (preorder) order.
+  std::strong_ordering operator<=>(const Dewey& other) const {
+    return components_ <=> other.components_;
+  }
+  bool operator==(const Dewey& other) const = default;
+
+  /// Stable hash for unordered containers.
+  size_t Hash() const;
+
+ private:
+  std::vector<uint32_t> components_;
+};
+
+/// std::hash adapter.
+struct DeweyHash {
+  size_t operator()(const Dewey& d) const { return d.Hash(); }
+};
+
+/// Computes the LCA of a non-empty set of codes.
+Dewey LcaOfSet(const std::vector<Dewey>& codes);
+
+}  // namespace xks
+
+#endif  // XKS_XML_DEWEY_H_

@@ -1,0 +1,104 @@
+#include "src/xml/dom.h"
+
+#include <algorithm>
+
+namespace xks {
+
+Result<NodeId> Document::CreateRoot(std::string label) {
+  if (!nodes_.empty()) {
+    return Status::AlreadyExists("document already has a root");
+  }
+  Node root;
+  root.label = std::move(label);
+  nodes_.push_back(std::move(root));
+  return NodeId{0};
+}
+
+NodeId Document::AddNode(NodeId parent, std::string label) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.label = std::move(label);
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+void Document::AppendText(NodeId id, std::string_view text) {
+  Node& n = nodes_[static_cast<size_t>(id)];
+  if (!n.text.empty()) n.text.push_back(' ');
+  n.text.append(text);
+}
+
+void Document::AddAttribute(NodeId id, std::string name, std::string value) {
+  nodes_[static_cast<size_t>(id)].attributes.push_back(
+      Attribute{std::move(name), std::move(value)});
+}
+
+void Document::AssignDeweys() {
+  if (nodes_.empty()) return;
+  // Iterative preorder; children ordinals are their positions in `children`.
+  nodes_[0].dewey = Dewey::Root();
+  std::vector<NodeId> stack = {0};
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<size_t>(id)];
+    for (uint32_t i = 0; i < n.children.size(); ++i) {
+      NodeId child = n.children[i];
+      nodes_[static_cast<size_t>(child)].dewey = n.dewey.Child(i);
+      stack.push_back(child);
+    }
+  }
+}
+
+Result<NodeId> Document::FindByDewey(const Dewey& dewey) const {
+  if (nodes_.empty() || dewey.empty() || dewey[0] != 0) {
+    return Status::NotFound("no node with Dewey code " + dewey.ToString());
+  }
+  NodeId id = 0;
+  for (size_t i = 1; i < dewey.depth(); ++i) {
+    const Node& n = nodes_[static_cast<size_t>(id)];
+    uint32_t ordinal = dewey[i];
+    if (ordinal >= n.children.size()) {
+      return Status::NotFound("no node with Dewey code " + dewey.ToString());
+    }
+    id = n.children[ordinal];
+  }
+  return id;
+}
+
+void Document::PreOrder(const std::function<bool(NodeId)>& visit) const {
+  if (nodes_.empty()) return;
+  std::vector<NodeId> stack = {0};
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    if (!visit(id)) continue;
+    const Node& n = nodes_[static_cast<size_t>(id)];
+    // Push children in reverse so they pop in document order.
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+}
+
+size_t Document::Depth(NodeId id) const {
+  size_t depth = 0;
+  while (id != kNullNode) {
+    ++depth;
+    id = nodes_[static_cast<size_t>(id)].parent;
+  }
+  return depth;
+}
+
+size_t Document::MaxDepth() const {
+  size_t max_depth = 0;
+  PreOrder([&](NodeId id) {
+    max_depth = std::max(max_depth, Depth(id));
+    return true;
+  });
+  return max_depth;
+}
+
+}  // namespace xks

@@ -1,0 +1,112 @@
+// Arena-based XML document model.
+//
+// The model follows the paper's Section 1: an XML tree T = (r, V, E, Σ, λ)
+// where every node has a label and leaf nodes may carry text. Text is stored
+// on its owning element (the paper's model, footnote 1 — unlike MaxMatch's
+// original model there is no separate node per text value). Attributes hang
+// off their element. Only elements receive Dewey codes.
+//
+// Nodes live in one contiguous arena inside Document and are addressed by
+// dense NodeId, which keeps traversal cache-friendly for multi-hundred-MB
+// shredding runs.
+
+#ifndef XKS_XML_DOM_H_
+#define XKS_XML_DOM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/xml/dewey.h"
+
+namespace xks {
+
+/// Dense node handle inside one Document.
+using NodeId = int32_t;
+
+/// Sentinel "no node" id.
+inline constexpr NodeId kNullNode = -1;
+
+/// One name="value" attribute.
+struct Attribute {
+  std::string name;
+  std::string value;
+
+  bool operator==(const Attribute&) const = default;
+};
+
+/// One element node. All fields are plain data; Document owns the arena.
+struct Node {
+  /// Element name (λ(v) in the paper).
+  std::string label;
+  /// Concatenated direct text content ("value" of the node).
+  std::string text;
+  std::vector<Attribute> attributes;
+  NodeId parent = kNullNode;
+  /// Element children in document order; the ordinal of a child in this
+  /// vector is the final component of its Dewey code.
+  std::vector<NodeId> children;
+  /// Assigned by Document::AssignDeweys().
+  Dewey dewey;
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+/// An XML document: a node arena plus the root id.
+///
+/// Build with AddNode/AppendText/AddAttribute (the parser does this), then
+/// call AssignDeweys() once. Copyable; copying copies the arena.
+class Document {
+ public:
+  Document() = default;
+
+  /// Creates the root node. Fails if a root already exists.
+  Result<NodeId> CreateRoot(std::string label);
+
+  /// Appends a child element under `parent`. Requires a valid parent id.
+  NodeId AddNode(NodeId parent, std::string label);
+
+  /// Appends text content to node `id` (multiple chunks are concatenated
+  /// with a single separating space so word boundaries survive).
+  void AppendText(NodeId id, std::string_view text);
+
+  /// Adds an attribute to node `id`.
+  void AddAttribute(NodeId id, std::string name, std::string value);
+
+  /// Assigns Dewey codes to every node (root = {0}). Must be called after
+  /// the tree is complete and before FindByDewey / shredding.
+  void AssignDeweys();
+
+  /// Number of element nodes.
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  NodeId root() const { return nodes_.empty() ? kNullNode : 0; }
+
+  const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  Node& mutable_node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
+
+  /// Resolves a Dewey code to a node by walking child ordinals.
+  /// Fails with NotFound when the code does not address a node.
+  Result<NodeId> FindByDewey(const Dewey& dewey) const;
+
+  /// Visits every node in preorder (document order). The visitor receives
+  /// the node id; returning false prunes that node's subtree.
+  void PreOrder(const std::function<bool(NodeId)>& visit) const;
+
+  /// Depth of node `id` (root depth is 1, matching Dewey length).
+  size_t Depth(NodeId id) const;
+
+  /// Maximum node depth; 0 for an empty document.
+  size_t MaxDepth() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_XML_DOM_H_

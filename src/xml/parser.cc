@@ -1,0 +1,380 @@
+#include "src/xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "src/common/string_util.h"
+
+namespace xks {
+namespace {
+
+bool IsNameStartChar(unsigned char c) {
+  return std::isalpha(c) || c == '_' || c == ':' || c >= 0x80;
+}
+
+bool IsNameChar(unsigned char c) {
+  return IsNameStartChar(c) || std::isdigit(c) || c == '-' || c == '.';
+}
+
+bool IsXmlSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Expands one entity/char reference starting at the '&'. On success returns
+/// the expansion and advances *pos past the ';'. `lenient` controls undefined
+/// named entities (pass through the raw reference text).
+Status ExpandReference(std::string_view input, size_t* pos, bool lenient,
+                       std::string* out) {
+  size_t start = *pos;  // at '&'
+  size_t semi = input.find(';', start);
+  if (semi == std::string_view::npos || semi - start > 32) {
+    return Status::ParseError("unterminated entity reference");
+  }
+  std::string_view body = input.substr(start + 1, semi - start - 1);
+  if (body.empty()) return Status::ParseError("empty entity reference");
+  if (body[0] == '#') {
+    // Character reference.
+    uint64_t code = 0;
+    bool ok = body.size() > 1;
+    if (body.size() > 2 && (body[1] == 'x' || body[1] == 'X')) {
+      for (size_t i = 2; i < body.size() && ok; ++i) {
+        char c = body[i];
+        uint32_t digit;
+        if (c >= '0' && c <= '9') digit = static_cast<uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f') digit = static_cast<uint32_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F') digit = static_cast<uint32_t>(c - 'A' + 10);
+        else { ok = false; break; }
+        code = code * 16 + digit;
+        if (code > 0x10FFFF) ok = false;
+      }
+      ok = ok && body.size() > 2;
+    } else {
+      for (size_t i = 1; i < body.size() && ok; ++i) {
+        char c = body[i];
+        if (c < '0' || c > '9') { ok = false; break; }
+        code = code * 10 + static_cast<uint64_t>(c - '0');
+        if (code > 0x10FFFF) ok = false;
+      }
+    }
+    if (!ok || code == 0) return Status::ParseError("malformed character reference");
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  } else if (body == "amp") {
+    out->push_back('&');
+  } else if (body == "lt") {
+    out->push_back('<');
+  } else if (body == "gt") {
+    out->push_back('>');
+  } else if (body == "quot") {
+    out->push_back('"');
+  } else if (body == "apos") {
+    out->push_back('\'');
+  } else if (lenient) {
+    out->append(input.substr(start, semi - start + 1));
+  } else {
+    return Status::ParseError("undefined entity '&" + std::string(body) + ";'");
+  }
+  *pos = semi + 1;
+  return Status::OK();
+}
+
+/// Cursor over the input with line/column tracking for error messages.
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Result<Document> Run() {
+    SkipBom();
+    XKS_RETURN_IF_ERROR(SkipProlog());
+    if (Eof() || Peek() != '<') {
+      return Error("expected root element");
+    }
+    Document doc;
+    XKS_RETURN_IF_ERROR(ParseElement(&doc, kNullNode, 0));
+    XKS_RETURN_IF_ERROR(SkipMisc());
+    if (!Eof()) return Error("content after root element");
+    doc.AssignDeweys();
+    return doc;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool LookingAt(std::string_view token) const {
+    return input_.substr(pos_, token.size()) == token;
+  }
+
+  void Advance(size_t n = 1) {
+    for (size_t i = 0; i < n && pos_ < input_.size(); ++i, ++pos_) {
+      if (input_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+    }
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(StrFormat("%zu:%zu: %s", line_, col_, message.c_str()));
+  }
+
+  void SkipBom() {
+    if (LookingAt("\xEF\xBB\xBF")) Advance(3);
+  }
+
+  void SkipWhitespace() {
+    while (!Eof() && IsXmlSpace(Peek())) Advance();
+  }
+
+  /// Skips comments, PIs and whitespace.
+  Status SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (LookingAt("<!--")) {
+        XKS_RETURN_IF_ERROR(SkipComment());
+      } else if (LookingAt("<?")) {
+        XKS_RETURN_IF_ERROR(SkipPi());
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status SkipProlog() {
+    if (LookingAt("<?xml")) {
+      XKS_RETURN_IF_ERROR(SkipPi());
+    }
+    XKS_RETURN_IF_ERROR(SkipMisc());
+    if (LookingAt("<!DOCTYPE")) {
+      XKS_RETURN_IF_ERROR(SkipDoctype());
+      XKS_RETURN_IF_ERROR(SkipMisc());
+    }
+    return Status::OK();
+  }
+
+  Status SkipComment() {
+    Advance(4);  // <!--
+    size_t end = input_.find("-->", pos_);
+    if (end == std::string_view::npos) return Error("unterminated comment");
+    Advance(end - pos_ + 3);
+    return Status::OK();
+  }
+
+  Status SkipPi() {
+    Advance(2);  // <?
+    size_t end = input_.find("?>", pos_);
+    if (end == std::string_view::npos) return Error("unterminated processing instruction");
+    Advance(end - pos_ + 2);
+    return Status::OK();
+  }
+
+  Status SkipDoctype() {
+    Advance(9);  // <!DOCTYPE
+    int bracket_depth = 0;
+    while (!Eof()) {
+      char c = Peek();
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+        if (bracket_depth < 0) return Error("unbalanced ']' in DOCTYPE");
+      } else if (c == '>' && bracket_depth == 0) {
+        Advance();
+        return Status::OK();
+      }
+      Advance();
+    }
+    return Error("unterminated DOCTYPE");
+  }
+
+  Result<std::string> ParseName() {
+    if (Eof() || !IsNameStartChar(static_cast<unsigned char>(Peek()))) {
+      return Error("expected a name");
+    }
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(static_cast<unsigned char>(Peek()))) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseAttributeValue() {
+    if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected a quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    std::string value;
+    while (!Eof() && Peek() != quote) {
+      char c = Peek();
+      if (c == '<') return Error("'<' in attribute value");
+      if (c == '&') {
+        Status s = ExpandReference(input_, &pos_, options_.allow_undefined_entities,
+                                   &value);
+        if (!s.ok()) return Error(s.message());
+        continue;
+      }
+      value.push_back(c);
+      Advance();
+    }
+    if (Eof()) return Error("unterminated attribute value");
+    Advance();  // closing quote
+    return value;
+  }
+
+  /// Parses one element (recursively) and attaches it under `parent`.
+  Status ParseElement(Document* doc, NodeId parent, size_t depth) {
+    if (depth > options_.max_depth) return Error("maximum nesting depth exceeded");
+    Advance();  // '<'
+    std::string name;
+    {
+      Result<std::string> r = ParseName();
+      if (!r.ok()) return r.status();
+      name = std::move(r).value();
+    }
+    NodeId id;
+    if (parent == kNullNode) {
+      Result<NodeId> r = doc->CreateRoot(std::move(name));
+      if (!r.ok()) return r.status();
+      id = r.value();
+    } else {
+      id = doc->AddNode(parent, std::move(name));
+    }
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (Eof()) return Error("unterminated start tag");
+      char c = Peek();
+      if (c == '>') {
+        Advance();
+        break;
+      }
+      if (c == '/') {
+        if (!LookingAt("/>")) return Error("expected '/>'");
+        Advance(2);
+        return Status::OK();  // empty element
+      }
+      Result<std::string> attr_name = ParseName();
+      if (!attr_name.ok()) return attr_name.status();
+      SkipWhitespace();
+      if (Eof() || Peek() != '=') return Error("expected '=' after attribute name");
+      Advance();
+      SkipWhitespace();
+      Result<std::string> attr_value = ParseAttributeValue();
+      if (!attr_value.ok()) return attr_value.status();
+      // Duplicate attribute names are a well-formedness error.
+      for (const Attribute& a : doc->node(id).attributes) {
+        if (a.name == attr_name.value()) {
+          return Error("duplicate attribute '" + attr_name.value() + "'");
+        }
+      }
+      doc->AddAttribute(id, std::move(attr_name).value(), std::move(attr_value).value());
+    }
+
+    // Content.
+    std::string text;
+    auto flush_text = [&]() {
+      std::string_view t = text;
+      if (!options_.keep_whitespace_text) {
+        t = TrimWhitespace(t);
+      }
+      if (!t.empty()) doc->AppendText(id, t);
+      text.clear();
+    };
+    while (true) {
+      if (Eof()) return Error("unterminated element '" + doc->node(id).label + "'");
+      char c = Peek();
+      if (c == '<') {
+        if (LookingAt("</")) {
+          flush_text();
+          Advance(2);
+          Result<std::string> close_name = ParseName();
+          if (!close_name.ok()) return close_name.status();
+          if (close_name.value() != doc->node(id).label) {
+            return Error("mismatched end tag '</" + close_name.value() +
+                         ">' for '<" + doc->node(id).label + ">'");
+          }
+          SkipWhitespace();
+          if (Eof() || Peek() != '>') return Error("expected '>' in end tag");
+          Advance();
+          return Status::OK();
+        }
+        if (LookingAt("<!--")) {
+          XKS_RETURN_IF_ERROR(SkipComment());
+          continue;
+        }
+        if (LookingAt("<![CDATA[")) {
+          Advance(9);
+          size_t end = input_.find("]]>", pos_);
+          if (end == std::string_view::npos) return Error("unterminated CDATA section");
+          text.append(input_.substr(pos_, end - pos_));
+          Advance(end - pos_ + 3);
+          continue;
+        }
+        if (LookingAt("<?")) {
+          XKS_RETURN_IF_ERROR(SkipPi());
+          continue;
+        }
+        if (LookingAt("<!")) return Error("unexpected markup declaration in content");
+        flush_text();
+        XKS_RETURN_IF_ERROR(ParseElement(doc, id, depth + 1));
+        continue;
+      }
+      if (c == '&') {
+        Status s = ExpandReference(input_, &pos_, options_.allow_undefined_entities,
+                                   &text);
+        if (!s.ok()) return Error(s.message());
+        continue;
+      }
+      if (c == ']' && LookingAt("]]>")) return Error("']]>' in character data");
+      text.push_back(c);
+      Advance();
+    }
+  }
+
+  std::string_view input_;
+  const ParseOptions& options_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+};
+
+}  // namespace
+
+Result<Document> ParseXml(std::string_view input, const ParseOptions& options) {
+  Parser parser(input, options);
+  return parser.Run();
+}
+
+Result<std::string> UnescapeXml(std::string_view text, bool allow_undefined_entities) {
+  std::string out;
+  out.reserve(text.size());
+  size_t pos = 0;
+  while (pos < text.size()) {
+    if (text[pos] == '&') {
+      XKS_RETURN_IF_ERROR(
+          ExpandReference(text, &pos, allow_undefined_entities, &out));
+    } else {
+      out.push_back(text[pos]);
+      ++pos;
+    }
+  }
+  return out;
+}
+
+}  // namespace xks

@@ -1,0 +1,46 @@
+// Hand-written, non-validating XML parser.
+//
+// Replaces the Xerces 2.9.0 dependency of the paper's platform (Section 5.2).
+// Supports elements, attributes (single or double quoted), character data,
+// CDATA sections, comments, processing instructions, the XML declaration, a
+// skipped DOCTYPE (including an internal subset), and the five predefined
+// entities plus decimal/hexadecimal character references. Errors carry
+// line:column positions.
+
+#ifndef XKS_XML_PARSER_H_
+#define XKS_XML_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/xml/dom.h"
+
+namespace xks {
+
+/// Parser behaviour knobs.
+struct ParseOptions {
+  /// Keep text consisting only of whitespace (markup indentation). The
+  /// shredding pipeline never wants it, so the default drops it.
+  bool keep_whitespace_text = false;
+
+  /// When an undefined entity reference (e.g. "&uuml;") is met: if true, the
+  /// reference is passed through literally as text; if false, parsing fails.
+  /// Real-world DBLP is full of named entities, so the default is lenient.
+  bool allow_undefined_entities = true;
+
+  /// Maximum element nesting depth, a guard against pathological inputs
+  /// (the parser recurses per level).
+  size_t max_depth = 2000;
+};
+
+/// Parses a complete XML document from `input`. On success the returned
+/// Document already has Dewey codes assigned.
+Result<Document> ParseXml(std::string_view input, const ParseOptions& options = {});
+
+/// Unescapes XML character data: expands the predefined entities and
+/// character references. Exposed for tests and for the writer round-trip.
+Result<std::string> UnescapeXml(std::string_view text, bool allow_undefined_entities);
+
+}  // namespace xks
+
+#endif  // XKS_XML_PARSER_H_

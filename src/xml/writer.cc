@@ -1,0 +1,103 @@
+#include "src/xml/writer.h"
+
+namespace xks {
+namespace {
+
+void AppendEscaped(std::string_view text, bool attribute, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out->append("&amp;");
+        break;
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      case '"':
+        if (attribute) {
+          out->append("&quot;");
+        } else {
+          out->push_back(c);
+        }
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void WriteNode(const Document& doc, NodeId id, const WriteOptions& options,
+               size_t depth, std::string* out) {
+  const Node& n = doc.node(id);
+  const bool pretty = !options.indent.empty();
+  if (pretty) {
+    for (size_t i = 0; i < depth; ++i) out->append(options.indent);
+  }
+  out->push_back('<');
+  out->append(n.label);
+  for (const Attribute& a : n.attributes) {
+    out->push_back(' ');
+    out->append(a.name);
+    out->append("=\"");
+    AppendEscaped(a.value, /*attribute=*/true, out);
+    out->push_back('"');
+  }
+  if (n.text.empty() && n.children.empty()) {
+    out->append("/>");
+    if (pretty) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  if (!n.text.empty()) {
+    AppendEscaped(n.text, /*attribute=*/false, out);
+  }
+  if (!n.children.empty()) {
+    if (pretty) out->push_back('\n');
+    for (NodeId child : n.children) {
+      WriteNode(doc, child, options, depth + 1, out);
+    }
+    if (pretty) {
+      for (size_t i = 0; i < depth; ++i) out->append(options.indent);
+    }
+  }
+  out->append("</");
+  out->append(n.label);
+  out->push_back('>');
+  if (pretty) out->push_back('\n');
+}
+
+}  // namespace
+
+std::string EscapeXmlText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  AppendEscaped(text, /*attribute=*/false, &out);
+  return out;
+}
+
+std::string EscapeXmlAttribute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  AppendEscaped(text, /*attribute=*/true, &out);
+  return out;
+}
+
+std::string WriteXml(const Document& doc, NodeId id, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out.append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    if (!options.indent.empty()) out.push_back('\n');
+  }
+  if (id != kNullNode) {
+    WriteNode(doc, id, options, 0, &out);
+  }
+  return out;
+}
+
+std::string WriteXml(const Document& doc, const WriteOptions& options) {
+  return WriteXml(doc, doc.root(), options);
+}
+
+}  // namespace xks

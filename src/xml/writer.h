@@ -1,0 +1,36 @@
+// XML serialization: Document (sub)trees back to text.
+
+#ifndef XKS_XML_WRITER_H_
+#define XKS_XML_WRITER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/xml/dom.h"
+
+namespace xks {
+
+/// Serialization knobs.
+struct WriteOptions {
+  /// Pretty-print with this indentation per level; empty means compact
+  /// single-line output.
+  std::string indent = "  ";
+  /// Emit an "<?xml version=...?>" declaration before the root.
+  bool declaration = false;
+};
+
+/// Escapes `text` for use as XML character data.
+std::string EscapeXmlText(std::string_view text);
+
+/// Escapes `text` for use inside a double-quoted attribute value.
+std::string EscapeXmlAttribute(std::string_view text);
+
+/// Serializes the subtree rooted at `id` of `doc`.
+std::string WriteXml(const Document& doc, NodeId id, const WriteOptions& options = {});
+
+/// Serializes the whole document.
+std::string WriteXml(const Document& doc, const WriteOptions& options = {});
+
+}  // namespace xks
+
+#endif  // XKS_XML_WRITER_H_

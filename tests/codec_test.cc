@@ -1,0 +1,111 @@
+#include "src/common/codec.h"
+
+#include <gtest/gtest.h>
+
+namespace xks {
+namespace {
+
+TEST(CodecTest, Varint64RoundTrip) {
+  const uint64_t values[] = {0,      1,        127,        128,
+                             16383,  16384,    (1ULL << 32), UINT64_MAX};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Decoder dec(buf);
+  for (uint64_t expected : values) {
+    uint64_t v = 0;
+    ASSERT_TRUE(dec.GetVarint64(&v).ok());
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodecTest, Varint32RoundTrip) {
+  std::string buf;
+  PutVarint32(&buf, 0);
+  PutVarint32(&buf, UINT32_MAX);
+  Decoder dec(buf);
+  uint32_t a = 1, b = 0;
+  ASSERT_TRUE(dec.GetVarint32(&a).ok());
+  ASSERT_TRUE(dec.GetVarint32(&b).ok());
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, UINT32_MAX);
+}
+
+TEST(CodecTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, uint64_t{UINT32_MAX} + 1);
+  Decoder dec(buf);
+  uint32_t v = 0;
+  EXPECT_EQ(dec.GetVarint32(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, SmallVarintsAreOneByte) {
+  std::string buf;
+  PutVarint64(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  PutVarint64(&buf, 128);
+  EXPECT_EQ(buf.size(), 3u);  // +2 bytes
+}
+
+TEST(CodecTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  Decoder dec(buf);
+  std::string s;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s).ok());
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s).ok());
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s).ok());
+  EXPECT_EQ(s.size(), 1000u);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodecTest, TruncatedVarintFails) {
+  std::string buf;
+  PutVarint64(&buf, 1 << 20);
+  buf.resize(buf.size() - 1);
+  Decoder dec(buf);
+  uint64_t v = 0;
+  EXPECT_EQ(dec.GetVarint64(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, TruncatedStringFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello world");
+  buf.resize(buf.size() - 3);
+  Decoder dec(buf);
+  std::string s;
+  EXPECT_EQ(dec.GetLengthPrefixed(&s).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, EmptyBufferFails) {
+  Decoder dec("");
+  uint64_t v = 0;
+  EXPECT_FALSE(dec.GetVarint64(&v).ok());
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodecTest, RemainingTracksPosition) {
+  std::string buf;
+  PutVarint64(&buf, 5);
+  PutVarint64(&buf, 6);
+  Decoder dec(buf);
+  EXPECT_EQ(dec.remaining(), 2u);
+  uint64_t v;
+  ASSERT_TRUE(dec.GetVarint64(&v).ok());
+  EXPECT_EQ(dec.remaining(), 1u);
+}
+
+TEST(CodecTest, MalformedUnterminatedVarint) {
+  // Ten continuation bytes: varint too long.
+  std::string buf(10, '\x80');
+  Decoder dec(buf);
+  uint64_t v = 0;
+  EXPECT_EQ(dec.GetVarint64(&v).code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,115 @@
+#include "src/text/content.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xml/parser.h"
+
+namespace xks {
+namespace {
+
+TEST(ContentIdTest, EmptyIsIdentity) {
+  ContentId id;
+  EXPECT_TRUE(id.empty());
+  ContentId other;
+  other.Absorb("word");
+  id.Merge(other);
+  EXPECT_EQ(id, other);
+}
+
+TEST(ContentIdTest, AbsorbTracksMinMax) {
+  ContentId id;
+  id.Absorb("keyword");
+  EXPECT_EQ(id.min_word, "keyword");
+  EXPECT_EQ(id.max_word, "keyword");
+  id.Absorb("xml");
+  EXPECT_EQ(id.min_word, "keyword");
+  EXPECT_EQ(id.max_word, "xml");
+  id.Absorb("abstract");
+  EXPECT_EQ(id.min_word, "abstract");
+  EXPECT_EQ(id.max_word, "xml");
+  id.Absorb("match");  // interior word: no change
+  EXPECT_EQ(id.ToString(), "(abstract,xml)");
+}
+
+TEST(ContentIdTest, MergeWidens) {
+  ContentId a;
+  a.Absorb("match");
+  a.Absorb("search");
+  ContentId b;
+  b.Absorb("chen");
+  b.Absorb("xml");
+  a.Merge(b);
+  EXPECT_EQ(a.min_word, "chen");
+  EXPECT_EQ(a.max_word, "xml");
+}
+
+TEST(ContentIdTest, MergeWithEmptyIsNoop) {
+  ContentId a;
+  a.Absorb("x");
+  ContentId before = a;
+  a.Merge(ContentId{});
+  EXPECT_EQ(a, before);
+}
+
+TEST(ContentIdTest, ComparisonIsLexicographicPair) {
+  ContentId a{"alpha", "beta"};
+  ContentId b{"alpha", "gamma"};
+  ContentId c{"beta", "beta"};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (ContentId{"alpha", "beta"}));
+}
+
+TEST(ContentWordsTest, LabelTextAndAttributesParticipate) {
+  // The paper's Cv: "the word set implied in v's label, text and attributes".
+  Result<Document> doc = ParseXml(R"(<title lang="English">XML Keyword</title>)");
+  ASSERT_TRUE(doc.ok());
+  std::vector<std::string> words = ContentWords(*doc, doc->root());
+  EXPECT_EQ(words, (std::vector<std::string>{"english", "keyword", "lang",
+                                             "title", "xml"}));
+}
+
+TEST(ContentWordsTest, StopWordsRemoved) {
+  Result<Document> doc = ParseXml("<ref>Liu and Chen on the search</ref>");
+  ASSERT_TRUE(doc.ok());
+  std::vector<std::string> words = ContentWords(*doc, doc->root());
+  EXPECT_EQ(words, (std::vector<std::string>{"chen", "liu", "ref", "search"}));
+}
+
+TEST(ContentWordsTest, SortedAndDeduplicated) {
+  // Note: the label "a" itself is a stop word and is filtered out.
+  Result<Document> doc = ParseXml("<a>zz aa zz aa</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ContentWords(*doc, doc->root()),
+            (std::vector<std::string>{"aa", "zz"}));
+}
+
+TEST(ContentWordsTest, OnlyOwnContentNotDescendants) {
+  Result<Document> doc = ParseXml("<outer><inner>hidden</inner></outer>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ContentWords(*doc, doc->root()),
+            (std::vector<std::string>{"outer"}));
+}
+
+TEST(ContentIdOfTest, PaperTitleExample) {
+  // Section 4.1: sorted tree content set {keyword, match, relevant, search,
+  // xml} has cID (keyword, xml).
+  ContentId id = ContentIdOf({"keyword", "match", "relevant", "search", "xml"});
+  EXPECT_EQ(id.min_word, "keyword");
+  EXPECT_EQ(id.max_word, "xml");
+}
+
+TEST(ContentIdOfTest, EmptyWordList) {
+  EXPECT_TRUE(ContentIdOf({}).empty());
+}
+
+TEST(ContentIdOfTest, ApproximationCanCollide) {
+  // Two different sets with the same cID — the documented approximation the
+  // cID ablation bench quantifies.
+  ContentId a = ContentIdOf({"alpha", "omega"});
+  ContentId b = ContentIdOf({"alpha", "middle", "omega"});
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace xks

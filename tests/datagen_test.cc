@@ -1,0 +1,233 @@
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "src/datagen/dblp_gen.h"
+#include "src/datagen/figure1.h"
+#include "src/datagen/vocab.h"
+#include "src/datagen/workloads.h"
+#include "src/datagen/xmark_gen.h"
+#include "src/storage/store.h"
+#include "src/text/stopwords.h"
+#include "src/xml/writer.h"
+
+namespace xks {
+namespace {
+
+TEST(Figure1Test, DocumentsParse) {
+  Result<Document> a = Figure1aDocument();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->node(a->root()).label, "Publications");
+  Result<Document> b = Figure1bDocument();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->node(b->root()).label, "team");
+}
+
+TEST(Figure1Test, KeyDeweysExist) {
+  Document a = *Figure1aDocument();
+  for (const char* code : {"0.0", "0.2.0", "0.2.0.0.0.0", "0.2.0.1", "0.2.0.2",
+                           "0.2.0.3.0", "0.2.1", "0.2.1.1", "0.2.1.2"}) {
+    EXPECT_TRUE(a.FindByDewey(*Dewey::Parse(code)).ok()) << code;
+  }
+  Document b = *Figure1bDocument();
+  for (const char* code : {"0.0", "0.1.0.2", "0.1.1.2", "0.1.2.2"}) {
+    EXPECT_TRUE(b.FindByDewey(*Dewey::Parse(code)).ok()) << code;
+  }
+}
+
+TEST(Figure1Test, QueriesDefined) {
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_FALSE(PaperQuery(i).empty()) << "Q" << i;
+  }
+  EXPECT_TRUE(PaperQuery(0).empty());
+  EXPECT_TRUE(PaperQuery(6).empty());
+  EXPECT_EQ(PaperQuery(3), "VLDB title XML keyword search");
+  EXPECT_EQ(PaperQuery(4), "Grizzlies position");
+}
+
+TEST(VocabTest, PoolsAreUsableAndClean) {
+  EXPECT_GE(FillerWords().size(), 150u);
+  for (const std::string& w : FillerWords()) {
+    EXPECT_FALSE(IsStopWord(w)) << w;
+    // No filler word collides with a workload keyword.
+    for (const WorkloadKeyword& kw : DblpKeywords()) EXPECT_NE(w, kw.word);
+    for (const WorkloadKeyword& kw : XmarkKeywords()) EXPECT_NE(w, kw.word);
+  }
+  EXPECT_GE(FirstNames().size(), 30u);
+  EXPECT_GE(LastNames().size(), 30u);
+}
+
+TEST(VocabTest, FillerSentenceShape) {
+  Rng rng(5);
+  std::string s = FillerSentence(&rng, 5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(s[0] >= 'A' && s[0] <= 'Z');
+  EXPECT_EQ(std::count(s.begin(), s.end(), ' '), 4);
+}
+
+TEST(WorkloadTest, DblpKeywordTable) {
+  EXPECT_EQ(DblpKeywords().size(), 20u);
+  // Paper frequencies spot checks.
+  for (const WorkloadKeyword& kw : DblpKeywords()) {
+    ASSERT_EQ(kw.paper_frequencies.size(), 1u);
+    if (kw.word == "keyword") {
+      EXPECT_EQ(kw.paper_frequencies[0], 90u);
+    }
+    if (kw.word == "data") {
+      EXPECT_EQ(kw.paper_frequencies[0], 25840u);
+    }
+  }
+}
+
+TEST(WorkloadTest, XmarkKeywordTable) {
+  EXPECT_EQ(XmarkKeywords().size(), 13u);
+  for (const WorkloadKeyword& kw : XmarkKeywords()) {
+    ASSERT_EQ(kw.paper_frequencies.size(), 3u);
+    // The paper's 1 : ~3 : ~6 size ratios show in the frequencies.
+    EXPECT_GT(kw.paper_frequencies[1], kw.paper_frequencies[0]);
+    EXPECT_GT(kw.paper_frequencies[2], kw.paper_frequencies[1]);
+  }
+}
+
+TEST(WorkloadTest, VdoAnchorFromPaper) {
+  // "vdo" = "preventions description order" is anchored in Section 5.1.
+  std::vector<std::string> expanded = ExpandLabel("vdo", XmarkKeywords());
+  EXPECT_EQ(expanded, (std::vector<std::string>{"preventions", "description",
+                                                "order"}));
+}
+
+TEST(WorkloadTest, XmarkWorkloadIsThePaper24) {
+  const auto& queries = XmarkWorkload();
+  ASSERT_EQ(queries.size(), 24u);
+  EXPECT_EQ(queries.front().label, "at");
+  EXPECT_EQ(queries.back().label, "dtcmvo");
+  for (const WorkloadQuery& q : queries) {
+    EXPECT_EQ(q.keywords.size(), q.label.size()) << q.label;
+  }
+}
+
+TEST(WorkloadTest, DblpWorkloadShape) {
+  const auto& queries = DblpWorkload();
+  ASSERT_EQ(queries.size(), 16u);
+  EXPECT_EQ(queries.front().keywords.size(), 2u);
+  // Sizes span 2..13 mixing frequencies.
+  size_t max_size = 0;
+  for (const WorkloadQuery& q : queries) {
+    EXPECT_FALSE(q.keywords.empty()) << q.label;
+    max_size = std::max(max_size, q.keywords.size());
+  }
+  EXPECT_GE(max_size, 10u);
+}
+
+TEST(DblpGenTest, Deterministic) {
+  DblpOptions options;
+  options.scale = 0.001;
+  Document a = GenerateDblp(options);
+  Document b = GenerateDblp(options);
+  ASSERT_EQ(a.size(), b.size());
+  WriteOptions wo;
+  wo.indent = "";
+  EXPECT_EQ(WriteXml(a, wo), WriteXml(b, wo));
+  options.seed = 43;
+  Document c = GenerateDblp(options);
+  EXPECT_NE(WriteXml(a, wo), WriteXml(c, wo));
+}
+
+TEST(DblpGenTest, StructureIsFlatRecords) {
+  DblpOptions options;
+  options.scale = 0.001;
+  Document doc = GenerateDblp(options);
+  const Node& root = doc.node(doc.root());
+  EXPECT_EQ(root.label, "dblp");
+  EXPECT_EQ(root.children.size(), DblpRecordCount(options));
+  for (NodeId rec : root.children) {
+    const std::string& label = doc.node(rec).label;
+    EXPECT_TRUE(label == "article" || label == "inproceedings") << label;
+    // Each record has at least author, title, year, venue, pages, ee.
+    EXPECT_GE(doc.node(rec).children.size(), 6u);
+  }
+}
+
+TEST(DblpGenTest, KeywordFrequenciesMatchScaledTargets) {
+  DblpOptions options;
+  options.scale = 0.002;
+  Document doc = GenerateDblp(options);
+  ShreddedStore store = ShreddedStore::Build(doc);
+  for (const WorkloadKeyword& kw : DblpKeywords()) {
+    const uint64_t expected = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::llround(static_cast<double>(kw.paper_frequencies[0]) *
+                            options.scale)));
+    EXPECT_EQ(store.WordFrequency(kw.word), expected) << kw.word;
+  }
+}
+
+TEST(XmarkGenTest, Deterministic) {
+  XmarkOptions options;
+  options.scale = 0.02;
+  Document a = GenerateXmark(options);
+  Document b = GenerateXmark(options);
+  WriteOptions wo;
+  wo.indent = "";
+  EXPECT_EQ(WriteXml(a, wo), WriteXml(b, wo));
+}
+
+TEST(XmarkGenTest, SchemaShape) {
+  XmarkOptions options;
+  options.scale = 0.02;
+  Document doc = GenerateXmark(options);
+  const Node& site = doc.node(doc.root());
+  EXPECT_EQ(site.label, "site");
+  ASSERT_EQ(site.children.size(), 6u);
+  EXPECT_EQ(doc.node(site.children[0]).label, "regions");
+  EXPECT_EQ(doc.node(site.children[1]).label, "categories");
+  EXPECT_EQ(doc.node(site.children[2]).label, "catgraph");
+  EXPECT_EQ(doc.node(site.children[3]).label, "people");
+  EXPECT_EQ(doc.node(site.children[4]).label, "open_auctions");
+  EXPECT_EQ(doc.node(site.children[5]).label, "closed_auctions");
+  EXPECT_EQ(doc.node(site.children[0]).children.size(), 6u);  // six regions
+}
+
+TEST(XmarkGenTest, DeepRecursiveDescriptions) {
+  XmarkOptions options;
+  options.scale = 0.05;
+  Document doc = GenerateXmark(options);
+  // parlist/listitem recursion must appear (drives the extreme fragments).
+  bool saw_parlist = false;
+  size_t max_depth = 0;
+  doc.PreOrder([&](NodeId id) {
+    if (doc.node(id).label == "parlist") saw_parlist = true;
+    max_depth = std::max(max_depth, doc.node(id).dewey.depth());
+    return true;
+  });
+  EXPECT_TRUE(saw_parlist);
+  EXPECT_GE(max_depth, 8u);
+}
+
+TEST(XmarkGenTest, SizeScalesLinearly) {
+  XmarkOptions small;
+  small.scale = 0.02;
+  XmarkOptions large;
+  large.scale = 0.06;
+  size_t small_size = GenerateXmark(small).size();
+  size_t large_size = GenerateXmark(large).size();
+  EXPECT_GT(large_size, 2 * small_size);
+  EXPECT_LT(large_size, 5 * small_size);
+}
+
+TEST(XmarkGenTest, WorkloadKeywordsAllPresent) {
+  XmarkOptions options;
+  options.scale = 0.05;
+  Document doc = GenerateXmark(options);
+  ShreddedStore store = ShreddedStore::Build(doc);
+  for (const WorkloadKeyword& kw : XmarkKeywords()) {
+    if (kw.word == "dominator") continue;  // unused in the query workload
+    EXPECT_GE(store.WordFrequency(kw.word), 1u) << kw.word;
+  }
+  // The high-frequency keywords dominate the low-frequency ones.
+  EXPECT_GT(store.WordFrequency("preventions"), store.WordFrequency("particle"));
+  EXPECT_GT(store.WordFrequency("order"), store.WordFrequency("chronicle"));
+}
+
+}  // namespace
+}  // namespace xks

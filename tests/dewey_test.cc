@@ -1,0 +1,197 @@
+#include "src/xml/dewey.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <unordered_set>
+
+#include "src/common/random.h"
+
+namespace xks {
+namespace {
+
+TEST(DeweyTest, ParseAndToString) {
+  Result<Dewey> d = Dewey::Parse("0.2.0.1");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->ToString(), "0.2.0.1");
+  EXPECT_EQ(d->depth(), 4u);
+  EXPECT_EQ((*d)[0], 0u);
+  EXPECT_EQ((*d)[1], 2u);
+}
+
+TEST(DeweyTest, ParseSingleComponent) {
+  Result<Dewey> d = Dewey::Parse("0");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, Dewey::Root());
+}
+
+TEST(DeweyTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Dewey::Parse("").ok());
+  EXPECT_FALSE(Dewey::Parse(".").ok());
+  EXPECT_FALSE(Dewey::Parse("0.").ok());
+  EXPECT_FALSE(Dewey::Parse(".0").ok());
+  EXPECT_FALSE(Dewey::Parse("0..1").ok());
+  EXPECT_FALSE(Dewey::Parse("0.a").ok());
+  EXPECT_FALSE(Dewey::Parse("0 1").ok());
+}
+
+TEST(DeweyTest, ParseRejectsOverflow) {
+  EXPECT_FALSE(Dewey::Parse("99999999999").ok());
+  EXPECT_TRUE(Dewey::Parse("4294967295").ok());  // UINT32_MAX fits
+}
+
+TEST(DeweyTest, NullCode) {
+  Dewey null;
+  EXPECT_TRUE(null.empty());
+  EXPECT_EQ(null.ToString(), "");
+  EXPECT_EQ(null.depth(), 0u);
+}
+
+TEST(DeweyTest, ChildAndParent) {
+  Dewey root = Dewey::Root();
+  Dewey child = root.Child(2).Child(0);
+  EXPECT_EQ(child.ToString(), "0.2.0");
+  EXPECT_EQ(child.Parent().ToString(), "0.2");
+  EXPECT_EQ(root.Parent(), Dewey());
+  EXPECT_EQ(Dewey().Parent(), Dewey());
+}
+
+TEST(DeweyTest, DocumentOrderIsLexicographic) {
+  // Preorder: ancestors before descendants, siblings left to right.
+  Dewey a{0};
+  Dewey b{0, 1};
+  Dewey c{0, 1, 5};
+  Dewey d{0, 2};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+  EXPECT_LT(b, d);
+}
+
+TEST(DeweyTest, OrderingComparesComponentsNumerically) {
+  // 0.10 sorts after 0.9 (numeric, not string, comparison).
+  EXPECT_LT((Dewey{0, 9}), (Dewey{0, 10}));
+}
+
+TEST(DeweyTest, AncestorOrSelf) {
+  Dewey a{0, 2};
+  EXPECT_TRUE(a.IsAncestorOrSelf(a));
+  EXPECT_TRUE(a.IsAncestorOrSelf(Dewey{0, 2, 0, 1}));
+  EXPECT_FALSE(a.IsAncestorOrSelf(Dewey{0, 1}));
+  EXPECT_FALSE(a.IsAncestorOrSelf(Dewey{0}));
+  EXPECT_FALSE(a.IsAncestorOrSelf(Dewey{0, 20}));  // not a prefix componentwise
+}
+
+TEST(DeweyTest, StrictAncestor) {
+  Dewey a{0, 2};
+  EXPECT_FALSE(a.IsAncestor(a));
+  EXPECT_TRUE(a.IsAncestor(Dewey{0, 2, 3}));
+  EXPECT_TRUE(Dewey::Root().IsAncestor(a));
+}
+
+TEST(DeweyTest, LcaIsLongestCommonPrefix) {
+  EXPECT_EQ(Dewey::Lca(Dewey{0, 2, 0, 1}, Dewey{0, 2, 1}), (Dewey{0, 2}));
+  EXPECT_EQ(Dewey::Lca(Dewey{0, 2}, Dewey{0, 2, 5}), (Dewey{0, 2}));
+  EXPECT_EQ(Dewey::Lca(Dewey{0, 1}, Dewey{0, 2}), (Dewey{0}));
+  EXPECT_EQ(Dewey::Lca(Dewey{0}, Dewey{0}), (Dewey{0}));
+}
+
+TEST(DeweyTest, LcaWithNullIsIdentity) {
+  EXPECT_EQ(Dewey::Lca(Dewey(), Dewey{0, 3}), (Dewey{0, 3}));
+  EXPECT_EQ(Dewey::Lca(Dewey{0, 3}, Dewey()), (Dewey{0, 3}));
+}
+
+TEST(DeweyTest, LcaOfSetFolds) {
+  std::vector<Dewey> set = {{0, 2, 0, 1}, {0, 2, 0, 3}, {0, 2, 1}};
+  EXPECT_EQ(LcaOfSet(set), (Dewey{0, 2}));
+  EXPECT_EQ(LcaOfSet({{0, 5, 5}}), (Dewey{0, 5, 5}));
+}
+
+TEST(DeweyTest, SubtreeEndBoundsExactlyTheSubtree) {
+  Dewey v{0, 2};
+  Dewey end = v.SubtreeEnd();
+  EXPECT_EQ(end, (Dewey{0, 3}));
+  // Everything in the subtree is in [v, end).
+  EXPECT_LE(v, v);
+  EXPECT_LT((Dewey{0, 2, 9, 9}), end);
+  // First node outside.
+  EXPECT_GE((Dewey{0, 3}), end);
+  EXPECT_LT((Dewey{0, 1, 99}), v);
+}
+
+TEST(DeweyTest, HashConsistentWithEquality) {
+  Dewey a{0, 2, 1};
+  Dewey b{0, 2, 1};
+  Dewey c{0, 2, 2};
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());  // overwhelmingly likely for FNV
+  std::unordered_set<Dewey, DeweyHash> set;
+  set.insert(a);
+  set.insert(b);
+  set.insert(c);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(DeweyTest, RoundTripRandomized) {
+  Rng rng(123);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<uint32_t> components;
+    size_t depth = 1 + rng.Uniform(8);
+    for (size_t d = 0; d < depth; ++d) {
+      components.push_back(static_cast<uint32_t>(rng.Uniform(1000)));
+    }
+    Dewey dewey(components);
+    Result<Dewey> parsed = Dewey::Parse(dewey.ToString());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, dewey);
+  }
+}
+
+TEST(DeweyTest, LcaPropertiesRandomized) {
+  // lca is commutative, idempotent, and an ancestor-or-self of both args.
+  Rng rng(77);
+  auto random_dewey = [&rng]() {
+    std::vector<uint32_t> c = {0};
+    size_t depth = rng.Uniform(6);
+    for (size_t d = 0; d < depth; ++d) {
+      c.push_back(static_cast<uint32_t>(rng.Uniform(4)));
+    }
+    return Dewey(c);
+  };
+  for (int i = 0; i < 500; ++i) {
+    Dewey a = random_dewey();
+    Dewey b = random_dewey();
+    Dewey lca = Dewey::Lca(a, b);
+    EXPECT_EQ(lca, Dewey::Lca(b, a));
+    EXPECT_EQ(Dewey::Lca(a, a), a);
+    EXPECT_TRUE(lca.IsAncestorOrSelf(a));
+    EXPECT_TRUE(lca.IsAncestorOrSelf(b));
+    // No deeper common ancestor: extending the LCA by one component of `a`
+    // must not cover `b` (unless lca == a already).
+    if (lca != a && lca != b) {
+      Dewey deeper = lca.Child(a[lca.depth()]);
+      EXPECT_FALSE(deeper.IsAncestorOrSelf(b));
+    }
+  }
+}
+
+TEST(DeweyTest, SubtreeRangeMatchesIsAncestorRandomized) {
+  Rng rng(99);
+  auto random_dewey = [&rng]() {
+    std::vector<uint32_t> c = {0};
+    size_t depth = rng.Uniform(5);
+    for (size_t d = 0; d < depth; ++d) {
+      c.push_back(static_cast<uint32_t>(rng.Uniform(3)));
+    }
+    return Dewey(c);
+  };
+  for (int i = 0; i < 1000; ++i) {
+    Dewey v = random_dewey();
+    Dewey x = random_dewey();
+    bool in_range = v <= x && x < v.SubtreeEnd();
+    EXPECT_EQ(in_range, v.IsAncestorOrSelf(x))
+        << "v=" << v.ToString() << " x=" << x.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace xks

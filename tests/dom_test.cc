@@ -1,0 +1,146 @@
+#include "src/xml/dom.h"
+
+#include <gtest/gtest.h>
+
+namespace xks {
+namespace {
+
+Document SmallTree() {
+  // root(a) → b(text "hello"), c → d
+  Document doc;
+  NodeId root = *doc.CreateRoot("a");
+  NodeId b = doc.AddNode(root, "b");
+  doc.AppendText(b, "hello");
+  NodeId c = doc.AddNode(root, "c");
+  doc.AddNode(c, "d");
+  doc.AssignDeweys();
+  return doc;
+}
+
+TEST(DomTest, EmptyDocument) {
+  Document doc;
+  EXPECT_TRUE(doc.empty());
+  EXPECT_EQ(doc.root(), kNullNode);
+  EXPECT_EQ(doc.MaxDepth(), 0u);
+}
+
+TEST(DomTest, CreateRootOnlyOnce) {
+  Document doc;
+  ASSERT_TRUE(doc.CreateRoot("a").ok());
+  EXPECT_EQ(doc.CreateRoot("b").status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DomTest, StructureAndParents) {
+  Document doc = SmallTree();
+  EXPECT_EQ(doc.size(), 4u);
+  const Node& root = doc.node(doc.root());
+  EXPECT_EQ(root.label, "a");
+  EXPECT_EQ(root.parent, kNullNode);
+  ASSERT_EQ(root.children.size(), 2u);
+  const Node& b = doc.node(root.children[0]);
+  EXPECT_EQ(b.label, "b");
+  EXPECT_EQ(b.text, "hello");
+  EXPECT_TRUE(b.is_leaf());
+  const Node& c = doc.node(root.children[1]);
+  EXPECT_EQ(c.label, "c");
+  EXPECT_EQ(doc.node(c.children[0]).parent, root.children[1]);
+}
+
+TEST(DomTest, AppendTextConcatenatesWithSpace) {
+  Document doc;
+  NodeId root = *doc.CreateRoot("a");
+  doc.AppendText(root, "one");
+  doc.AppendText(root, "two");
+  EXPECT_EQ(doc.node(root).text, "one two");
+}
+
+TEST(DomTest, Attributes) {
+  Document doc;
+  NodeId root = *doc.CreateRoot("a");
+  doc.AddAttribute(root, "id", "x1");
+  doc.AddAttribute(root, "lang", "en");
+  ASSERT_EQ(doc.node(root).attributes.size(), 2u);
+  EXPECT_EQ(doc.node(root).attributes[0].name, "id");
+  EXPECT_EQ(doc.node(root).attributes[1].value, "en");
+}
+
+TEST(DomTest, DeweyAssignment) {
+  Document doc = SmallTree();
+  EXPECT_EQ(doc.node(doc.root()).dewey, Dewey::Root());
+  const Node& root = doc.node(doc.root());
+  EXPECT_EQ(doc.node(root.children[0]).dewey, (Dewey{0, 0}));
+  EXPECT_EQ(doc.node(root.children[1]).dewey, (Dewey{0, 1}));
+  NodeId d = doc.node(root.children[1]).children[0];
+  EXPECT_EQ(doc.node(d).dewey, (Dewey{0, 1, 0}));
+}
+
+TEST(DomTest, FindByDewey) {
+  Document doc = SmallTree();
+  Result<NodeId> found = doc.FindByDewey(Dewey{0, 1, 0});
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(doc.node(*found).label, "d");
+  EXPECT_TRUE(doc.FindByDewey(Dewey{0}).ok());
+  EXPECT_FALSE(doc.FindByDewey(Dewey{0, 5}).ok());
+  EXPECT_FALSE(doc.FindByDewey(Dewey{1}).ok());
+  EXPECT_FALSE(doc.FindByDewey(Dewey{0, 1, 0, 0}).ok());
+  EXPECT_FALSE(doc.FindByDewey(Dewey()).ok());
+}
+
+TEST(DomTest, PreOrderVisitsDocumentOrder) {
+  Document doc = SmallTree();
+  std::vector<std::string> labels;
+  doc.PreOrder([&](NodeId id) {
+    labels.push_back(doc.node(id).label);
+    return true;
+  });
+  EXPECT_EQ(labels, (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(DomTest, PreOrderPrunesWhenVisitorReturnsFalse) {
+  Document doc = SmallTree();
+  std::vector<std::string> labels;
+  doc.PreOrder([&](NodeId id) {
+    labels.push_back(doc.node(id).label);
+    return doc.node(id).label != "c";  // prune below c
+  });
+  EXPECT_EQ(labels, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(DomTest, DepthAndMaxDepth) {
+  Document doc = SmallTree();
+  EXPECT_EQ(doc.Depth(doc.root()), 1u);
+  EXPECT_EQ(doc.MaxDepth(), 3u);
+}
+
+TEST(DomTest, CopyIsIndependent) {
+  Document doc = SmallTree();
+  Document copy = doc;
+  copy.AddNode(copy.root(), "extra");
+  EXPECT_EQ(doc.size(), 4u);
+  EXPECT_EQ(copy.size(), 5u);
+}
+
+TEST(DomTest, DeweyOrderEqualsPreorderRandomized) {
+  // Build a fan-out tree and check lexicographic Dewey order == preorder.
+  Document doc;
+  NodeId root = *doc.CreateRoot("r");
+  for (int i = 0; i < 3; ++i) {
+    NodeId a = doc.AddNode(root, "a");
+    for (int j = 0; j < 3; ++j) {
+      NodeId b = doc.AddNode(a, "b");
+      for (int l = 0; l < 2; ++l) doc.AddNode(b, "c");
+    }
+  }
+  doc.AssignDeweys();
+  std::vector<Dewey> order;
+  doc.PreOrder([&](NodeId id) {
+    order.push_back(doc.node(id).dewey);
+    return true;
+  });
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]);
+  }
+}
+
+}  // namespace
+}  // namespace xks

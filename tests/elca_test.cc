@@ -1,0 +1,176 @@
+#include "src/lca/elca.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lca/slca.h"
+#include "tests/test_util.h"
+
+namespace xks {
+namespace {
+
+PostingList MakeList(std::initializer_list<std::initializer_list<uint32_t>> codes) {
+  PostingList list;
+  for (auto code : codes) list.emplace_back(std::vector<uint32_t>(code));
+  return list;
+}
+
+using ElcaFn = std::vector<Dewey> (*)(const KeywordLists&);
+
+class ElcaAlgorithmTest : public ::testing::TestWithParam<ElcaFn> {};
+
+TEST_P(ElcaAlgorithmTest, EmptyInputs) {
+  ElcaFn elca = GetParam();
+  EXPECT_TRUE(elca({}).empty());
+  PostingList a = MakeList({{0, 1}});
+  PostingList empty;
+  EXPECT_TRUE(elca({&a, &empty}).empty());
+}
+
+TEST_P(ElcaAlgorithmTest, SingleKeywordAllNodes) {
+  ElcaFn elca = GetParam();
+  // For one keyword every keyword node is an ELCA (its own occurrence is
+  // never inside an excluded subtree).
+  PostingList w1 = MakeList({{0, 1}, {0, 1, 0}, {0, 2}});
+  EXPECT_EQ(elca({&w1}),
+            (std::vector<Dewey>{Dewey{0, 1}, Dewey{0, 1, 0}, Dewey{0, 2}}));
+}
+
+TEST_P(ElcaAlgorithmTest, SlcaOnlyCase) {
+  ElcaFn elca = GetParam();
+  PostingList w1 = MakeList({{0, 0}});
+  PostingList w2 = MakeList({{0, 1}});
+  EXPECT_EQ(elca({&w1, &w2}), (std::vector<Dewey>{Dewey{0}}));
+}
+
+TEST_P(ElcaAlgorithmTest, AncestorWithResidualWitnessesIsElca) {
+  ElcaFn elca = GetParam();
+  // Paper Example 1 shape (Q2): an inner node holds both keywords itself
+  // (the "ref" node) and the outer article still has its own name/title
+  // witnesses → both are ELCAs.
+  //   article = 0.2; name = 0.2.0 (w1), title = 0.2.1 (w2),
+  //   ref = 0.2.3 in both lists.
+  PostingList w1 = MakeList({{0, 2, 0}, {0, 2, 3}});
+  PostingList w2 = MakeList({{0, 2, 1}, {0, 2, 3}});
+  EXPECT_EQ(elca({&w1, &w2}),
+            (std::vector<Dewey>{Dewey{0, 2}, Dewey{0, 2, 3}}));
+}
+
+TEST_P(ElcaAlgorithmTest, AncestorWithoutResidualIsNotElca) {
+  ElcaFn elca = GetParam();
+  // Root contains all keywords but only through the contains-all child 0.2;
+  // its residual (0.1's w1) misses w2 → root is not an ELCA.
+  PostingList w1 = MakeList({{0, 1}, {0, 2, 0}});
+  PostingList w2 = MakeList({{0, 2, 1}});
+  EXPECT_EQ(elca({&w1, &w2}), (std::vector<Dewey>{Dewey{0, 2}}));
+}
+
+TEST_P(ElcaAlgorithmTest, ResidualSpreadAcrossTwoChildren) {
+  ElcaFn elca = GetParam();
+  // Root has contains-all child 0.0 plus residual witnesses w1@0.1, w2@0.2
+  // → root IS an ELCA alongside the inner one.
+  PostingList w1 = MakeList({{0, 0, 0}, {0, 1}});
+  PostingList w2 = MakeList({{0, 0, 1}, {0, 2}});
+  EXPECT_EQ(elca({&w1, &w2}), (std::vector<Dewey>{Dewey{0}, Dewey{0, 0}}));
+}
+
+TEST_P(ElcaAlgorithmTest, ChainOfContainsAllNodes) {
+  ElcaFn elca = GetParam();
+  // 0 → 0.0 → 0.0.0 all contain everything; only the deepest is an ELCA,
+  // the chain above has no residual witnesses.
+  PostingList w1 = MakeList({{0, 0, 0, 0}});
+  PostingList w2 = MakeList({{0, 0, 0, 1}});
+  EXPECT_EQ(elca({&w1, &w2}), (std::vector<Dewey>{Dewey{0, 0, 0}}));
+}
+
+TEST_P(ElcaAlgorithmTest, WitnessAtTheNodeItselfCountsAsResidual) {
+  ElcaFn elca = GetParam();
+  // 0.1 matches w1 in its own content and has a contains-all child; the
+  // child's subtree is excluded but the self-occurrence plus w2 at another
+  // child keeps 0.1 an ELCA.
+  PostingList w1 = MakeList({{0, 1}, {0, 1, 0, 0}});
+  PostingList w2 = MakeList({{0, 1, 0, 1}, {0, 1, 1}});
+  EXPECT_EQ(elca({&w1, &w2}),
+            (std::vector<Dewey>{Dewey{0, 1}, Dewey{0, 1, 0}}));
+}
+
+TEST_P(ElcaAlgorithmTest, SlcaIsAlwaysSubsetOfElca) {
+  ElcaFn elca = GetParam();
+  PostingList w1 = MakeList({{0, 0, 0}, {0, 1}, {0, 2, 0}});
+  PostingList w2 = MakeList({{0, 0, 1}, {0, 2, 1}});
+  KeywordLists lists = {&w1, &w2};
+  std::vector<Dewey> elcas = elca(lists);
+  for (const Dewey& s : SlcaBruteForce(lists)) {
+    EXPECT_TRUE(std::binary_search(elcas.begin(), elcas.end(), s))
+        << s.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ElcaAlgorithmTest,
+                         ::testing::Values(&ElcaBruteForce, &ElcaStackMerge,
+                                           &ElcaIndexedStack),
+                         [](const ::testing::TestParamInfo<ElcaFn>& info) {
+                           if (info.param == &ElcaBruteForce) return "BruteForce";
+                           if (info.param == &ElcaStackMerge) return "StackMerge";
+                           return "IndexedStack";
+                         });
+
+struct RandomCase {
+  uint64_t seed;
+  size_t tree_size;
+  size_t k;
+  double density;
+};
+
+class ElcaEquivalenceTest : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(ElcaEquivalenceTest, AllAlgorithmsAgree) {
+  const RandomCase& c = GetParam();
+  RandomLcaInstance instance =
+      MakeRandomLcaInstance(c.seed, c.tree_size, c.k, c.density);
+  KeywordLists lists = instance.Views();
+  std::vector<Dewey> brute = ElcaBruteForce(lists);
+  EXPECT_EQ(ElcaStackMerge(lists), brute) << "seed=" << c.seed;
+  EXPECT_EQ(ElcaIndexedStack(lists), brute) << "seed=" << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, ElcaEquivalenceTest,
+    ::testing::Values(RandomCase{21, 20, 2, 0.2}, RandomCase{22, 20, 2, 0.5},
+                      RandomCase{23, 50, 2, 0.1}, RandomCase{24, 50, 3, 0.2},
+                      RandomCase{25, 80, 3, 0.05}, RandomCase{26, 80, 4, 0.3},
+                      RandomCase{27, 120, 2, 0.02}, RandomCase{28, 120, 5, 0.15},
+                      RandomCase{29, 200, 3, 0.1}, RandomCase{30, 200, 4, 0.05},
+                      RandomCase{31, 300, 2, 0.3}, RandomCase{32, 300, 6, 0.1},
+                      RandomCase{33, 60, 3, 0.8}, RandomCase{34, 40, 8, 0.4},
+                      RandomCase{35, 500, 3, 0.05}, RandomCase{36, 500, 4, 0.2}),
+    [](const ::testing::TestParamInfo<RandomCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+TEST(ElcaStressTest, ManySeedsAgainstBruteForce) {
+  for (uint64_t seed = 200; seed < 260; ++seed) {
+    RandomLcaInstance instance = MakeRandomLcaInstance(
+        seed, /*tree_size=*/30 + seed % 60, /*k=*/2 + seed % 4,
+        /*density=*/0.05 + 0.02 * static_cast<double>(seed % 10));
+    KeywordLists lists = instance.Views();
+    std::vector<Dewey> brute = ElcaBruteForce(lists);
+    EXPECT_EQ(ElcaStackMerge(lists), brute) << "seed=" << seed;
+    EXPECT_EQ(ElcaIndexedStack(lists), brute) << "seed=" << seed;
+  }
+}
+
+TEST(ElcaStressTest, SlcaSubsetInvariantRandomized) {
+  for (uint64_t seed = 300; seed < 330; ++seed) {
+    RandomLcaInstance instance =
+        MakeRandomLcaInstance(seed, /*tree_size=*/60, /*k=*/3, /*density=*/0.15);
+    KeywordLists lists = instance.Views();
+    std::vector<Dewey> elcas = ElcaStackMerge(lists);
+    for (const Dewey& s : SlcaStackMerge(lists)) {
+      EXPECT_TRUE(std::binary_search(elcas.begin(), elcas.end(), s))
+          << "seed=" << seed << " slca=" << s.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,179 @@
+#include "src/core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/maxmatch.h"
+#include "src/core/validrtf.h"
+#include "src/xml/parser.h"
+
+namespace xks {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two self-contained records plus one stray keyword node.
+    Result<Document> doc = ParseXml(
+        "<lib>"
+        "<rec><t>alpha</t><u>beta</u></rec>"
+        "<rec><t>alpha</t><u>beta</u></rec>"
+        "<stray>alpha</stray>"
+        "</lib>");
+    ASSERT_TRUE(doc.ok());
+    store_ = ShreddedStore::Build(*doc);
+  }
+
+  SearchResult Run(const std::string& text, const SearchOptions& options) {
+    SearchEngine engine(&store_);
+    Result<SearchResult> r = engine.Search(*KeywordQuery::Parse(text), options);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  ShreddedStore store_;
+};
+
+TEST_F(EngineTest, ElcaSemanticsFindsBothRecords) {
+  SearchResult r = Run("alpha beta", ValidRtfOptions());
+  ASSERT_EQ(r.rtf_count(), 2u);
+  EXPECT_EQ(r.fragments[0].rtf.root, (Dewey{0, 0}));
+  EXPECT_EQ(r.fragments[1].rtf.root, (Dewey{0, 1}));
+}
+
+TEST_F(EngineTest, SlcaSemanticsMatches) {
+  SearchOptions options = MaxMatchOriginalOptions();
+  SearchResult r = Run("alpha beta", options);
+  ASSERT_EQ(r.rtf_count(), 2u);
+  EXPECT_TRUE(r.fragments[0].rtf.root_is_slca);
+  EXPECT_TRUE(r.fragments[1].rtf.root_is_slca);
+}
+
+TEST_F(EngineTest, MissingKeywordYieldsNoResults) {
+  SearchResult r = Run("alpha zzz_missing", ValidRtfOptions());
+  EXPECT_EQ(r.rtf_count(), 0u);
+}
+
+TEST_F(EngineTest, SingleKeywordReturnsEveryKeywordNode) {
+  SearchResult r = Run("alpha", ValidRtfOptions());
+  EXPECT_EQ(r.rtf_count(), 3u);  // two <t> nodes plus <stray>
+}
+
+TEST_F(EngineTest, AllElcaAlgorithmsAgree) {
+  SearchOptions a = ValidRtfOptions();
+  a.elca_algorithm = ElcaAlgorithm::kIndexedStack;
+  SearchOptions b = ValidRtfOptions();
+  b.elca_algorithm = ElcaAlgorithm::kStackMerge;
+  SearchOptions c = ValidRtfOptions();
+  c.elca_algorithm = ElcaAlgorithm::kBruteForce;
+  SearchResult ra = Run("alpha beta", a);
+  SearchResult rb = Run("alpha beta", b);
+  SearchResult rc = Run("alpha beta", c);
+  ASSERT_EQ(ra.rtf_count(), rb.rtf_count());
+  ASSERT_EQ(ra.rtf_count(), rc.rtf_count());
+  for (size_t i = 0; i < ra.rtf_count(); ++i) {
+    EXPECT_EQ(ra.fragments[i].fragment.NodeSet(), rb.fragments[i].fragment.NodeSet());
+    EXPECT_EQ(ra.fragments[i].fragment.NodeSet(), rc.fragments[i].fragment.NodeSet());
+  }
+}
+
+TEST_F(EngineTest, RawFragmentsOnlyWhenRequested) {
+  SearchOptions options = ValidRtfOptions();
+  SearchResult r = Run("alpha beta", options);
+  EXPECT_TRUE(r.fragments[0].raw.empty());
+  options.keep_raw_fragments = true;
+  r = Run("alpha beta", options);
+  EXPECT_FALSE(r.fragments[0].raw.empty());
+  EXPECT_GE(r.fragments[0].raw.size(), r.fragments[0].fragment.size());
+}
+
+TEST_F(EngineTest, PruningNoneKeepsRawTree) {
+  SearchOptions options = ValidRtfOptions();
+  options.pruning = PruningPolicy::kNone;
+  options.keep_raw_fragments = true;
+  SearchResult r = Run("alpha beta", options);
+  EXPECT_EQ(r.fragments[0].fragment.NodeSet(), r.fragments[0].raw.NodeSet());
+}
+
+TEST_F(EngineTest, KeywordNodeCountSumsPostings) {
+  SearchResult r = Run("alpha beta", ValidRtfOptions());
+  EXPECT_EQ(r.keyword_node_count, 5u);  // 3 alpha + 2 beta
+}
+
+TEST_F(EngineTest, TimingsPopulated) {
+  SearchResult r = Run("alpha beta", ValidRtfOptions());
+  EXPECT_GE(r.timings.get_keyword_nodes_ms, 0.0);
+  EXPECT_GE(r.timings.post_retrieval_ms(), 0.0);
+  EXPECT_GE(r.timings.post_retrieval_ms(),
+            r.timings.get_lca_ms + r.timings.get_rtf_ms);
+}
+
+TEST_F(EngineTest, StageFunctionsExposed) {
+  SearchEngine engine(&store_);
+  KeywordQuery q = *KeywordQuery::Parse("alpha beta");
+  SearchEngine::KeywordNodeLists lists = engine.GetKeywordNodes(q);
+  ASSERT_EQ(lists.views.size(), 2u);
+  EXPECT_EQ(lists.views[0]->size(), 3u);
+  EXPECT_TRUE(lists.owned.empty());  // no constrained terms
+  std::vector<Dewey> lcas = SearchEngine::GetLca(lists.views, ValidRtfOptions());
+  EXPECT_EQ(lcas.size(), 2u);
+}
+
+TEST_F(EngineTest, LabelConstrainedTermNarrowsResults) {
+  // "alpha" occurs in <t> (twice) and in <stray>; constraining to t:alpha
+  // drops the stray keyword node entirely.
+  SearchResult unconstrained = Run("alpha", ValidRtfOptions());
+  EXPECT_EQ(unconstrained.rtf_count(), 3u);
+  SearchResult constrained = Run("t:alpha", ValidRtfOptions());
+  EXPECT_EQ(constrained.rtf_count(), 2u);
+  for (const FragmentResult& f : constrained.fragments) {
+    EXPECT_EQ(f.fragment.node(f.fragment.root()).label, "t");
+  }
+}
+
+TEST_F(EngineTest, LabelConstrainedMultiKeyword) {
+  // Both records match "t:alpha beta"; the stray alpha cannot contribute.
+  SearchResult r = Run("t:alpha beta", ValidRtfOptions());
+  ASSERT_EQ(r.rtf_count(), 2u);
+  EXPECT_EQ(r.keyword_node_count, 4u);  // 2 filtered alpha + 2 beta
+}
+
+TEST_F(EngineTest, UnknownLabelConstraintYieldsNoResults) {
+  SearchResult r = Run("nosuchlabel:alpha beta", ValidRtfOptions());
+  EXPECT_EQ(r.rtf_count(), 0u);
+}
+
+TEST_F(EngineTest, SlcaFlagDisabled) {
+  SearchOptions options = ValidRtfOptions();
+  options.flag_slca_roots = false;
+  SearchResult r = Run("alpha beta", options);
+  for (const FragmentResult& f : r.fragments) {
+    EXPECT_FALSE(f.rtf.root_is_slca);
+  }
+}
+
+TEST_F(EngineTest, ValidRtfSearchConvenienceWrappers) {
+  Result<SearchResult> r = ValidRtfSearch(store_, "alpha beta");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rtf_count(), 2u);
+  Result<SearchResult> bad = ValidRtfSearch(store_, "   ");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(EngineTest, MaxMatchWrappers) {
+  KeywordQuery q = *KeywordQuery::Parse("alpha beta");
+  Result<SearchResult> revised = MaxMatchSearch(store_, q);
+  ASSERT_TRUE(revised.ok());
+  Result<SearchResult> original = MaxMatchOriginalSearch(store_, q);
+  ASSERT_TRUE(original.ok());
+  EXPECT_EQ(revised->rtf_count(), original->rtf_count());
+}
+
+TEST_F(EngineTest, StopWordQueryKeywordIgnored) {
+  // "the" never reaches the index; "alpha the beta" behaves as "alpha beta".
+  SearchResult with_stop = Run("alpha the beta", ValidRtfOptions());
+  SearchResult without = Run("alpha beta", ValidRtfOptions());
+  EXPECT_EQ(with_stop.rtf_count(), without.rtf_count());
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,86 @@
+#include "src/core/fragment.h"
+
+#include <gtest/gtest.h>
+
+namespace xks {
+namespace {
+
+FragmentTree SampleTree() {
+  // article(0.2) → title(0.2.0)*, abstract(0.2.1)*
+  FragmentTree tree;
+  FragmentNode root;
+  root.dewey = Dewey{0, 2};
+  root.label = "article";
+  root.klist = 0b11;
+  FragmentNodeId r = tree.CreateRoot(std::move(root));
+  FragmentNode title;
+  title.dewey = Dewey{0, 2, 0};
+  title.label = "title";
+  title.klist = 0b01;
+  title.is_keyword_node = true;
+  tree.AddChild(r, std::move(title));
+  FragmentNode abstract;
+  abstract.dewey = Dewey{0, 2, 1};
+  abstract.label = "abstract";
+  abstract.klist = 0b10;
+  abstract.is_keyword_node = true;
+  tree.AddChild(r, std::move(abstract));
+  return tree;
+}
+
+TEST(FragmentTreeTest, EmptyTree) {
+  FragmentTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.root(), kNullFragmentNode);
+  EXPECT_TRUE(tree.NodeSet().empty());
+  EXPECT_TRUE(tree.ToTreeString().empty());
+}
+
+TEST(FragmentTreeTest, StructureAndParents) {
+  FragmentTree tree = SampleTree();
+  EXPECT_EQ(tree.size(), 3u);
+  const FragmentNode& root = tree.node(tree.root());
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(tree.node(root.children[0]).label, "title");
+  EXPECT_EQ(tree.node(root.children[0]).parent, tree.root());
+  EXPECT_EQ(root.parent, kNullFragmentNode);
+}
+
+TEST(FragmentTreeTest, NodeSetSorted) {
+  FragmentTree tree = SampleTree();
+  std::vector<Dewey> set = tree.NodeSet();
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set[0], (Dewey{0, 2}));
+  EXPECT_EQ(set[1], (Dewey{0, 2, 0}));
+  EXPECT_EQ(set[2], (Dewey{0, 2, 1}));
+}
+
+TEST(FragmentTreeTest, KeywordNodeCount) {
+  EXPECT_EQ(SampleTree().KeywordNodeCount(), 2u);
+}
+
+TEST(FragmentTreeTest, ToTreeStringShape) {
+  std::string s = SampleTree().ToTreeString(2);
+  EXPECT_NE(s.find("article (0.2) [1 1]"), std::string::npos) << s;
+  EXPECT_NE(s.find("  title (0.2.0) [1 0] *"), std::string::npos) << s;
+  EXPECT_NE(s.find("  abstract (0.2.1) [0 1] *"), std::string::npos) << s;
+}
+
+TEST(CountSetDifferenceTest, Basic) {
+  std::vector<Dewey> a = {{0}, {0, 1}, {0, 2}};
+  std::vector<Dewey> b = {{0}, {0, 2}};
+  EXPECT_EQ(CountSetDifference(a, b), 1u);
+  EXPECT_EQ(CountSetDifference(b, a), 0u);
+  EXPECT_EQ(CountSetDifference(a, a), 0u);
+  EXPECT_EQ(CountSetDifference(a, {}), 3u);
+  EXPECT_EQ(CountSetDifference({}, a), 0u);
+}
+
+TEST(CountSetDifferenceTest, DisjointSets) {
+  std::vector<Dewey> a = {{0, 1}, {0, 3}};
+  std::vector<Dewey> b = {{0, 2}, {0, 4}};
+  EXPECT_EQ(CountSetDifference(a, b), 2u);
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,243 @@
+// Cross-module integration: generators → shredding → store → both engines →
+// metrics, with structural invariants checked on every fragment.
+
+#include <atomic>
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "src/core/maxmatch.h"
+#include "src/core/metrics.h"
+#include "src/core/validrtf.h"
+#include "src/datagen/dblp_gen.h"
+#include "src/datagen/workloads.h"
+#include "src/datagen/xmark_gen.h"
+#include "src/storage/store.h"
+
+namespace xks {
+namespace {
+
+void CheckFragmentInvariants(const SearchResult& result, size_t k) {
+  // Roots strictly increasing in document order.
+  for (size_t i = 1; i < result.fragments.size(); ++i) {
+    EXPECT_LT(result.fragments[i - 1].rtf.root, result.fragments[i].rtf.root);
+  }
+  for (const FragmentResult& f : result.fragments) {
+    // Every keyword node sits under the root and carries a non-empty mask.
+    EXPECT_FALSE(f.rtf.knodes.empty());
+    KeywordMask seen = 0;
+    for (const RtfKeywordNode& kn : f.rtf.knodes) {
+      EXPECT_TRUE(f.rtf.root.IsAncestorOrSelf(kn.dewey));
+      EXPECT_NE(kn.mask, 0u);
+      seen |= kn.mask;
+    }
+    // An RTF covers the whole query (keyword requirement).
+    EXPECT_EQ(seen, FullMask(k));
+    // The pruned fragment is rooted at the RTF root and non-empty.
+    ASSERT_FALSE(f.fragment.empty());
+    EXPECT_EQ(f.fragment.node(f.fragment.root()).dewey, f.rtf.root);
+    // Parent links and Dewey nesting are consistent.
+    for (size_t i = 0; i < f.fragment.size(); ++i) {
+      const FragmentNode& n = f.fragment.node(static_cast<FragmentNodeId>(i));
+      if (n.parent != kNullFragmentNode) {
+        const FragmentNode& p = f.fragment.node(n.parent);
+        EXPECT_TRUE(p.dewey.IsAncestor(n.dewey));
+        EXPECT_EQ(p.dewey.depth() + 1, n.dewey.depth());
+      }
+    }
+  }
+}
+
+class DblpIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpOptions options;
+    options.scale = 0.003;  // ~1.4k records
+    store_ = new ShreddedStore(ShreddedStore::Build(GenerateDblp(options)));
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    store_ = nullptr;
+  }
+  static ShreddedStore* store_;
+};
+
+ShreddedStore* DblpIntegrationTest::store_ = nullptr;
+
+TEST_F(DblpIntegrationTest, WholeWorkloadRunsOnBothEngines) {
+  for (const WorkloadQuery& wq : DblpWorkload()) {
+    KeywordQuery query = *KeywordQuery::FromKeywords(wq.keywords);
+    Result<SearchResult> valid = ValidRtfSearch(*store_, query);
+    ASSERT_TRUE(valid.ok()) << wq.label;
+    Result<SearchResult> max = MaxMatchSearch(*store_, query);
+    ASSERT_TRUE(max.ok()) << wq.label;
+    CheckFragmentInvariants(*valid, query.size());
+    CheckFragmentInvariants(*max, query.size());
+    // Same LCA set → aligned fragments.
+    Result<QueryEffectiveness> eff = CompareEffectiveness(*valid, *max);
+    ASSERT_TRUE(eff.ok()) << wq.label;
+    EXPECT_GE(eff->cfr(), 0.0);
+    EXPECT_LE(eff->cfr(), 1.0);
+    EXPECT_LE(eff->apr_prime(), eff->max_apr() + 1e-12) << wq.label;
+  }
+}
+
+TEST_F(DblpIntegrationTest, ValidRtfNeverPrunesKeywordCoverage) {
+  // After pruning, the fragment still covers every query keyword: the root
+  // keeps the full kList and at least one keyword node per keyword remains.
+  KeywordQuery query = *KeywordQuery::Parse("xml keyword");
+  Result<SearchResult> result = ValidRtfSearch(*store_, query);
+  ASSERT_TRUE(result.ok());
+  for (const FragmentResult& f : result->fragments) {
+    KeywordMask covered = 0;
+    for (size_t i = 0; i < f.fragment.size(); ++i) {
+      const FragmentNode& n = f.fragment.node(static_cast<FragmentNodeId>(i));
+      if (n.is_keyword_node) covered |= n.klist;
+    }
+    EXPECT_EQ(covered & FullMask(query.size()), FullMask(query.size()));
+  }
+}
+
+TEST_F(DblpIntegrationTest, StoreRoundTripPreservesSearchResults) {
+  std::string path = ::testing::TempDir() + "/xks_integration_store.bin";
+  ASSERT_TRUE(store_->Save(path).ok());
+  Result<ShreddedStore> loaded = ShreddedStore::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  KeywordQuery query = *KeywordQuery::Parse("keyword algorithm");
+  Result<SearchResult> before = ValidRtfSearch(*store_, query);
+  Result<SearchResult> after = ValidRtfSearch(*loaded, query);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(before->rtf_count(), after->rtf_count());
+  for (size_t i = 0; i < before->rtf_count(); ++i) {
+    EXPECT_EQ(before->fragments[i].fragment.NodeSet(),
+              after->fragments[i].fragment.NodeSet());
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(DblpIntegrationTest, DblpRecordsAreSelfComplete) {
+  // The paper's observation behind Figure 6(a): real-world bibliographic
+  // records produce regular RTFs that both mechanisms leave alone (APR' = 0)
+  // — differences concentrate in the extreme fragment near the root.
+  KeywordQuery query = *KeywordQuery::Parse("keyword similarity");
+  Result<SearchResult> valid = ValidRtfSearch(*store_, query);
+  Result<SearchResult> max = MaxMatchSearch(*store_, query);
+  ASSERT_TRUE(valid.ok());
+  ASSERT_TRUE(max.ok());
+  Result<QueryEffectiveness> eff = CompareEffectiveness(*valid, *max);
+  ASSERT_TRUE(eff.ok());
+  size_t differing = 0;
+  for (size_t i = 0; i < eff->ratios.size(); ++i) {
+    if (eff->ratios[i] > 0) ++differing;
+  }
+  // At most a handful of fragments differ by pruning ratio.
+  EXPECT_LE(differing, eff->rtf_count / 2 + 1);
+}
+
+class XmarkIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    XmarkOptions options;
+    options.scale = 0.12;
+    store_ = new ShreddedStore(ShreddedStore::Build(GenerateXmark(options)));
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    store_ = nullptr;
+  }
+  static ShreddedStore* store_;
+};
+
+ShreddedStore* XmarkIntegrationTest::store_ = nullptr;
+
+TEST_F(XmarkIntegrationTest, WholeWorkloadRunsOnBothEngines) {
+  for (const WorkloadQuery& wq : XmarkWorkload()) {
+    KeywordQuery query = *KeywordQuery::FromKeywords(wq.keywords);
+    Result<SearchResult> valid = ValidRtfSearch(*store_, query);
+    ASSERT_TRUE(valid.ok()) << wq.label;
+    Result<SearchResult> max = MaxMatchSearch(*store_, query);
+    ASSERT_TRUE(max.ok()) << wq.label;
+    CheckFragmentInvariants(*valid, query.size());
+    Result<QueryEffectiveness> eff = CompareEffectiveness(*valid, *max);
+    ASSERT_TRUE(eff.ok()) << wq.label;
+  }
+}
+
+TEST_F(XmarkIntegrationTest, ElcaAlgorithmsAgreeOnRealWorkload) {
+  SearchEngine engine(store_);
+  for (const WorkloadQuery& wq : XmarkWorkload()) {
+    if (wq.keywords.size() > 4) continue;  // keep brute force tractable
+    KeywordQuery query = *KeywordQuery::FromKeywords(wq.keywords);
+    SearchEngine::KeywordNodeLists keyword_nodes = engine.GetKeywordNodes(query);
+    const KeywordLists& lists = keyword_nodes.views;
+    SearchOptions indexed;
+    indexed.elca_algorithm = ElcaAlgorithm::kIndexedStack;
+    SearchOptions merged;
+    merged.elca_algorithm = ElcaAlgorithm::kStackMerge;
+    EXPECT_EQ(SearchEngine::GetLca(lists, indexed),
+              SearchEngine::GetLca(lists, merged))
+        << wq.label;
+  }
+}
+
+TEST_F(XmarkIntegrationTest, ConcurrentSearchesAreConsistent) {
+  // The engine and store are read-only at query time; concurrent searches
+  // must produce identical results to a serial run.
+  KeywordQuery query = *KeywordQuery::FromKeywords(
+      ExpandLabel("vdo", XmarkKeywords()));
+  Result<SearchResult> serial = ValidRtfSearch(*store_, query);
+  ASSERT_TRUE(serial.ok());
+  std::vector<std::vector<Dewey>> expected;
+  for (const FragmentResult& f : serial->fragments) {
+    expected.push_back(f.fragment.NodeSet());
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 5;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int round = 0; round < kRounds; ++round) {
+        Result<SearchResult> r = ValidRtfSearch(*store_, query);
+        if (!r.ok() || r->rtf_count() != expected.size()) {
+          ++mismatches;
+          return;
+        }
+        for (size_t i = 0; i < expected.size(); ++i) {
+          if (r->fragments[i].fragment.NodeSet() != expected[i]) {
+            ++mismatches;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(XmarkIntegrationTest, ValidRtfPrunesDuplicatesOnXmark) {
+  // Synthetic data has low-entropy text → duplicate contents appear and the
+  // valid contributor prunes strictly more than the contributor on at least
+  // one workload query (the Figure 6(b-d) effect: APR' > 0).
+  bool found_extra_pruning = false;
+  for (const WorkloadQuery& wq : XmarkWorkload()) {
+    KeywordQuery query = *KeywordQuery::FromKeywords(wq.keywords);
+    Result<SearchResult> valid = ValidRtfSearch(*store_, query);
+    Result<SearchResult> max = MaxMatchSearch(*store_, query);
+    ASSERT_TRUE(valid.ok());
+    ASSERT_TRUE(max.ok());
+    Result<QueryEffectiveness> eff = CompareEffectiveness(*valid, *max);
+    ASSERT_TRUE(eff.ok());
+    if (eff->max_apr() > 0) {
+      found_extra_pruning = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_extra_pruning);
+}
+
+}  // namespace
+}  // namespace xks

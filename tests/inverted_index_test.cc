@@ -1,0 +1,96 @@
+#include "src/index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/storage/shredder.h"
+#include "src/xml/parser.h"
+
+namespace xks {
+namespace {
+
+PostingList MakeList(std::initializer_list<std::initializer_list<uint32_t>> codes) {
+  PostingList list;
+  for (auto code : codes) list.emplace_back(std::vector<uint32_t>(code));
+  return list;
+}
+
+TEST(PostingOpsTest, LowerBound) {
+  PostingList list = MakeList({{0, 1}, {0, 3}, {0, 5}});
+  EXPECT_EQ(LowerBoundPosting(list, Dewey{0, 0}), 0u);
+  EXPECT_EQ(LowerBoundPosting(list, Dewey{0, 1}), 0u);
+  EXPECT_EQ(LowerBoundPosting(list, Dewey{0, 2}), 1u);
+  EXPECT_EQ(LowerBoundPosting(list, Dewey{0, 9}), 3u);
+}
+
+TEST(PostingOpsTest, LeftAndRightMatch) {
+  PostingList list = MakeList({{0, 1}, {0, 3}});
+  EXPECT_EQ(*LeftMatch(list, Dewey{0, 2}), (Dewey{0, 1}));
+  EXPECT_EQ(*LeftMatch(list, Dewey{0, 3}), (Dewey{0, 3}));  // <=
+  EXPECT_EQ(LeftMatch(list, Dewey{0, 0}), nullptr);
+  EXPECT_EQ(*RightMatch(list, Dewey{0, 2}), (Dewey{0, 3}));
+  EXPECT_EQ(*RightMatch(list, Dewey{0, 1}), (Dewey{0, 1}));  // >=
+  EXPECT_EQ(RightMatch(list, Dewey{0, 4}), nullptr);
+}
+
+TEST(PostingOpsTest, ClosestPrefersDeeperLca) {
+  // Query point 0.2.5; left neighbour 0.2.1 shares prefix 0.2 (depth 2),
+  // right neighbour 0.3 shares only 0 (depth 1) → left wins.
+  PostingList list = MakeList({{0, 2, 1}, {0, 3}});
+  EXPECT_EQ(ClosestPosting(list, Dewey{0, 2, 5}), (Dewey{0, 2, 1}));
+  // Flip: left shares depth 1, right shares depth 2.
+  PostingList list2 = MakeList({{0, 1}, {0, 2, 9}});
+  EXPECT_EQ(ClosestPosting(list2, Dewey{0, 2, 5}), (Dewey{0, 2, 9}));
+}
+
+TEST(PostingOpsTest, ClosestAtBoundaries) {
+  PostingList list = MakeList({{0, 2}, {0, 4}});
+  EXPECT_EQ(ClosestPosting(list, Dewey{0, 0}), (Dewey{0, 2}));  // before all
+  EXPECT_EQ(ClosestPosting(list, Dewey{0, 9}), (Dewey{0, 4}));  // after all
+  EXPECT_EQ(ClosestPosting(list, Dewey{0, 2}), (Dewey{0, 2}));  // exact
+}
+
+TEST(PostingOpsTest, ClosestDescendantSharesFullPrefix) {
+  // A posting inside the query node's subtree shares the whole node prefix.
+  PostingList list = MakeList({{0, 1}, {0, 2, 3, 1}});
+  EXPECT_EQ(ClosestPosting(list, Dewey{0, 2}), (Dewey{0, 2, 3, 1}));
+}
+
+TEST(PostingOpsTest, RangeQueries) {
+  PostingList list = MakeList({{0, 1}, {0, 2, 0}, {0, 2, 5}, {0, 3}});
+  Dewey v{0, 2};
+  Dewey end = v.SubtreeEnd();
+  EXPECT_TRUE(AnyPostingInRange(list, v, end));
+  EXPECT_EQ(CountPostingsInRange(list, v, end), 2u);
+  EXPECT_FALSE(AnyPostingInRange(list, Dewey{0, 4}, Dewey{0, 5}));
+  EXPECT_EQ(CountPostingsInRange(list, Dewey{0}, Dewey{1}), 4u);
+}
+
+TEST(InvertedIndexTest, BuildFromValueTable) {
+  Result<Document> doc =
+      ParseXml("<r><a>xml search</a><b>xml</b><c>other</c></r>");
+  ASSERT_TRUE(doc.ok());
+  ShreddedTables tables = Shred(*doc);
+  InvertedIndex index = InvertedIndex::Build(tables.values);
+  const PostingList* xml = index.Find("xml");
+  ASSERT_NE(xml, nullptr);
+  ASSERT_EQ(xml->size(), 2u);
+  EXPECT_EQ((*xml)[0], (Dewey{0, 0}));
+  EXPECT_EQ((*xml)[1], (Dewey{0, 1}));
+  EXPECT_EQ(index.Find("absent"), nullptr);
+  EXPECT_TRUE(index.FindOrEmpty("absent").empty());
+  EXPECT_GE(index.vocabulary_size(), 5u);  // xml, search, other, b, c, r...
+  EXPECT_GE(index.total_postings(), 5u);
+}
+
+TEST(InvertedIndexTest, PostingsDeduplicated) {
+  // The same word at the same node from two sources yields one posting.
+  Result<Document> doc = ParseXml(R"(<r><title title="title">title</title></r>)");
+  ASSERT_TRUE(doc.ok());
+  ShreddedTables tables = Shred(*doc);
+  InvertedIndex index = InvertedIndex::Build(tables.values);
+  ASSERT_NE(index.Find("title"), nullptr);
+  EXPECT_EQ(index.Find("title")->size(), 1u);
+}
+
+}  // namespace
+}  // namespace xks

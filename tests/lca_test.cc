@@ -1,0 +1,215 @@
+#include "src/lca/lca.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xks {
+namespace {
+
+PostingList MakeList(std::initializer_list<std::initializer_list<uint32_t>> codes) {
+  PostingList list;
+  for (auto code : codes) list.emplace_back(std::vector<uint32_t>(code));
+  return list;
+}
+
+TEST(LcaHelpersTest, AnyListEmpty) {
+  PostingList a = MakeList({{0, 1}});
+  PostingList empty;
+  EXPECT_TRUE(AnyListEmpty({}));
+  EXPECT_TRUE(AnyListEmpty({&a, &empty}));
+  EXPECT_TRUE(AnyListEmpty({&a, nullptr}));
+  EXPECT_FALSE(AnyListEmpty({&a, &a}));
+}
+
+TEST(LcaHelpersTest, FullMask) {
+  EXPECT_EQ(FullMask(1), 0x1u);
+  EXPECT_EQ(FullMask(5), 0x1Fu);
+  EXPECT_EQ(FullMask(64), ~KeywordMask{0});
+}
+
+TEST(LcaHelpersTest, SmallestListIndex) {
+  PostingList a = MakeList({{0, 1}, {0, 2}});
+  PostingList b = MakeList({{0, 1}});
+  PostingList c = MakeList({{0, 1}, {0, 2}, {0, 3}});
+  KeywordLists lists = {&a, &b, &c};
+  EXPECT_EQ(SmallestListIndex(lists), 1u);
+}
+
+TEST(LcaHelpersTest, ContainsAllKeywords) {
+  PostingList w1 = MakeList({{0, 0, 1}});
+  PostingList w2 = MakeList({{0, 1}});
+  KeywordLists lists = {&w1, &w2};
+  EXPECT_TRUE(ContainsAllKeywords(Dewey{0}, lists));
+  EXPECT_FALSE(ContainsAllKeywords(Dewey{0, 0}, lists));
+  EXPECT_FALSE(ContainsAllKeywords(Dewey{0, 1}, lists));
+}
+
+TEST(LcaHelpersTest, ContainsAllWithPostingAtNodeItself) {
+  PostingList w1 = MakeList({{0, 2}});
+  KeywordLists lists = {&w1};
+  EXPECT_TRUE(ContainsAllKeywords(Dewey{0, 2}, lists));
+}
+
+TEST(SmallestContainsAllAncestorTest, SimpleCases) {
+  // Tree: 0 → {0.0 (w1), 0.1 (w2)}.
+  PostingList w1 = MakeList({{0, 0}});
+  PostingList w2 = MakeList({{0, 1}});
+  KeywordLists lists = {&w1, &w2};
+  EXPECT_EQ(SmallestContainsAllAncestor(Dewey{0, 0}, lists), (Dewey{0}));
+  EXPECT_EQ(SmallestContainsAllAncestor(Dewey{0, 1}, lists), (Dewey{0}));
+}
+
+TEST(SmallestContainsAllAncestorTest, StaysLowWhenPossible) {
+  // 0.2 holds both keywords below it; a witness inside stays at 0.2.
+  PostingList w1 = MakeList({{0, 2, 0}, {0, 5}});
+  PostingList w2 = MakeList({{0, 2, 1}});
+  KeywordLists lists = {&w1, &w2};
+  EXPECT_EQ(SmallestContainsAllAncestor(Dewey{0, 2, 0}, lists), (Dewey{0, 2}));
+  // A witness outside 0.2 must go to the root.
+  EXPECT_EQ(SmallestContainsAllAncestor(Dewey{0, 5}, lists), (Dewey{0}));
+}
+
+TEST(SmallestContainsAllAncestorTest, SelfWitness) {
+  // A node containing every keyword itself is its own answer.
+  PostingList w1 = MakeList({{0, 3}});
+  PostingList w2 = MakeList({{0, 3}});
+  KeywordLists lists = {&w1, &w2};
+  EXPECT_EQ(SmallestContainsAllAncestor(Dewey{0, 3}, lists), (Dewey{0, 3}));
+}
+
+TEST(SmallestContainsAllAncestorTest, MatchesBruteForceRandomized) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    RandomLcaInstance instance =
+        MakeRandomLcaInstance(seed, /*tree_size=*/40, /*k=*/3, /*density=*/0.15);
+    KeywordLists lists = instance.Views();
+    for (const Dewey& witness : instance.lists[0]) {
+      Dewey got = SmallestContainsAllAncestor(witness, lists);
+      // Oracle: walk ancestors of the witness from deepest to root.
+      Dewey expected;
+      for (size_t depth = witness.depth(); depth >= 1; --depth) {
+        Dewey prefix(std::vector<uint32_t>(
+            witness.components().begin(),
+            witness.components().begin() + static_cast<long>(depth)));
+        if (ContainsAllKeywords(prefix, lists)) {
+          expected = prefix;
+          break;
+        }
+      }
+      EXPECT_EQ(got, expected) << "seed=" << seed << " witness=" << witness.ToString();
+    }
+  }
+}
+
+TEST(ContainsAllNodesBruteForceTest, EnumeratesExactly) {
+  // 0 → {0.0 (w1 w2 below), 0.1 (w1 only)}.
+  PostingList w1 = MakeList({{0, 0, 0}, {0, 1}});
+  PostingList w2 = MakeList({{0, 0, 1}});
+  KeywordLists lists = {&w1, &w2};
+  std::vector<Dewey> nodes = ContainsAllNodesBruteForce(lists);
+  EXPECT_EQ(nodes, (std::vector<Dewey>{Dewey{0}, Dewey{0, 0}}));
+}
+
+TEST(ContainsAllNodesBruteForceTest, EmptyOnMissingKeyword) {
+  PostingList w1 = MakeList({{0, 1}});
+  PostingList empty;
+  EXPECT_TRUE(ContainsAllNodesBruteForce({&w1, &empty}).empty());
+}
+
+TEST(FullLcaBruteForceTest, WitnessAtNodeItself) {
+  // Single keyword: full LCAs are exactly the keyword nodes.
+  PostingList w1 = MakeList({{0, 1}, {0, 1, 2}});
+  std::vector<Dewey> lcas = FullLcaBruteForce({&w1});
+  EXPECT_EQ(lcas, (std::vector<Dewey>{Dewey{0, 1}, Dewey{0, 1, 2}}));
+}
+
+TEST(FullLcaBruteForceTest, BranchingNode) {
+  // w1 at 0.0, w2 at 0.1 → only the root is an LCA of a witness pair.
+  PostingList w1 = MakeList({{0, 0}});
+  PostingList w2 = MakeList({{0, 1}});
+  std::vector<Dewey> lcas = FullLcaBruteForce({&w1, &w2});
+  EXPECT_EQ(lcas, (std::vector<Dewey>{Dewey{0}}));
+}
+
+TEST(FullLcaBruteForceTest, ConfinedToOneChildExcluded) {
+  // All witnesses live under 0.2 → the root cannot be the LCA of any pair,
+  // even though it contains all keywords.
+  PostingList w1 = MakeList({{0, 2, 0}});
+  PostingList w2 = MakeList({{0, 2, 1}});
+  std::vector<Dewey> lcas = FullLcaBruteForce({&w1, &w2});
+  EXPECT_EQ(lcas, (std::vector<Dewey>{Dewey{0, 2}}));
+}
+
+TEST(FullLcaBruteForceTest, AncestorLcaWithSpreadWitnesses) {
+  // Example 1's shape: an SLCA plus an ancestor LCA reachable by choosing
+  // witnesses from different children.
+  PostingList w1 = MakeList({{0, 2, 0}, {0, 3}});
+  PostingList w2 = MakeList({{0, 2, 1}});
+  std::vector<Dewey> lcas = FullLcaBruteForce({&w1, &w2});
+  EXPECT_EQ(lcas, (std::vector<Dewey>{Dewey{0}, Dewey{0, 2}}));
+}
+
+using FullLcaFn = std::vector<Dewey> (*)(const KeywordLists&);
+
+class FullLcaAlgorithmTest : public ::testing::TestWithParam<FullLcaFn> {};
+
+TEST_P(FullLcaAlgorithmTest, WitnessAtNodeItself) {
+  FullLcaFn full_lca = GetParam();
+  PostingList w1 = MakeList({{0, 1}, {0, 1, 2}});
+  EXPECT_EQ(full_lca({&w1}),
+            (std::vector<Dewey>{Dewey{0, 1}, Dewey{0, 1, 2}}));
+}
+
+TEST_P(FullLcaAlgorithmTest, BranchingAndConfinement) {
+  FullLcaFn full_lca = GetParam();
+  PostingList w1 = MakeList({{0, 2, 0}});
+  PostingList w2 = MakeList({{0, 2, 1}});
+  // All witnesses under 0.2: the root is not a full LCA.
+  EXPECT_EQ(full_lca({&w1, &w2}), (std::vector<Dewey>{Dewey{0, 2}}));
+}
+
+TEST_P(FullLcaAlgorithmTest, PaperQ2Shape) {
+  FullLcaFn full_lca = GetParam();
+  // Example 1's shape: SLCA at the ref node, LCA at the article reachable
+  // by spreading witnesses — both are full LCAs.
+  PostingList w1 = MakeList({{0, 2, 0}, {0, 2, 3}});  // name, ref
+  PostingList w2 = MakeList({{0, 2, 1}, {0, 2, 3}});  // title, ref
+  EXPECT_EQ(full_lca({&w1, &w2}),
+            (std::vector<Dewey>{Dewey{0, 2}, Dewey{0, 2, 3}}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, FullLcaAlgorithmTest,
+                         ::testing::Values(&FullLcaBruteForce,
+                                           &FullLcaStackMerge),
+                         [](const ::testing::TestParamInfo<FullLcaFn>& info) {
+                           return info.param == &FullLcaBruteForce
+                                      ? "BruteForce"
+                                      : "StackMerge";
+                         });
+
+TEST(FullLcaStackMergeTest, MatchesBruteForceRandomized) {
+  for (uint64_t seed = 900; seed < 980; ++seed) {
+    RandomLcaInstance instance = MakeRandomLcaInstance(
+        seed, /*tree_size=*/20 + seed % 70, /*k=*/2 + seed % 4,
+        /*density=*/0.05 + 0.02 * static_cast<double>(seed % 10));
+    KeywordLists lists = instance.Views();
+    EXPECT_EQ(FullLcaStackMerge(lists), FullLcaBruteForce(lists))
+        << "seed=" << seed;
+  }
+}
+
+TEST(FullLcaStackMergeTest, EmptyInputs) {
+  EXPECT_TRUE(FullLcaStackMerge({}).empty());
+  PostingList a = MakeList({{0, 1}});
+  PostingList empty;
+  EXPECT_TRUE(FullLcaStackMerge({&a, &empty}).empty());
+}
+
+TEST(SortUniqueDeweysTest, SortsAndDedupes) {
+  std::vector<Dewey> v = {{0, 2}, {0, 1}, {0, 2}, {0}};
+  SortUniqueDeweys(&v);
+  EXPECT_EQ(v, (std::vector<Dewey>{Dewey{0}, Dewey{0, 1}, Dewey{0, 2}}));
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,131 @@
+#include "src/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace xks {
+namespace {
+
+/// Builds a one-chain fragment tree over `deweys` (first is the root).
+FragmentTree Chain(std::initializer_list<std::initializer_list<uint32_t>> deweys) {
+  FragmentTree tree;
+  FragmentNodeId parent = kNullFragmentNode;
+  for (auto code : deweys) {
+    FragmentNode node;
+    node.dewey = Dewey(std::vector<uint32_t>(code));
+    node.label = "n";
+    if (parent == kNullFragmentNode) {
+      parent = tree.CreateRoot(std::move(node));
+    } else {
+      parent = tree.AddChild(parent, std::move(node));
+    }
+  }
+  return tree;
+}
+
+SearchResult MakeResult(std::vector<FragmentTree> trees) {
+  SearchResult result;
+  for (FragmentTree& tree : trees) {
+    FragmentResult f;
+    f.rtf.root = tree.node(tree.root()).dewey;
+    f.fragment = std::move(tree);
+    result.fragments.push_back(std::move(f));
+  }
+  return result;
+}
+
+TEST(MetricsTest, IdenticalResultsGiveCfrOne) {
+  SearchResult v = MakeResult({Chain({{0}, {0, 1}})});
+  SearchResult x = MakeResult({Chain({{0}, {0, 1}})});
+  Result<QueryEffectiveness> eff = CompareEffectiveness(v, x);
+  ASSERT_TRUE(eff.ok());
+  EXPECT_EQ(eff->rtf_count, 1u);
+  EXPECT_EQ(eff->common_count, 1u);
+  EXPECT_DOUBLE_EQ(eff->cfr(), 1.0);
+  EXPECT_DOUBLE_EQ(eff->apr(), 0.0);
+  EXPECT_DOUBLE_EQ(eff->max_apr(), 0.0);
+  EXPECT_DOUBLE_EQ(eff->apr_prime(), 0.0);
+}
+
+TEST(MetricsTest, PrunedNodesCounted) {
+  // MaxMatch kept 4 nodes, ValidRTF kept 2 of them → ratio 2/4.
+  SearchResult v = MakeResult({Chain({{0}, {0, 1}})});
+  SearchResult x = MakeResult({Chain({{0}, {0, 1}, {0, 1, 0}, {0, 1, 0, 0}})});
+  Result<QueryEffectiveness> eff = CompareEffectiveness(v, x);
+  ASSERT_TRUE(eff.ok());
+  EXPECT_DOUBLE_EQ(eff->cfr(), 0.0);
+  EXPECT_DOUBLE_EQ(eff->apr(), 0.5);
+  EXPECT_DOUBLE_EQ(eff->max_apr(), 0.5);
+  EXPECT_DOUBLE_EQ(eff->apr_prime(), 0.0);  // single differing fragment
+}
+
+TEST(MetricsTest, ValidRtfKeepingMoreGivesZeroRatio) {
+  // The false positive fix: ValidRTF keeps nodes MaxMatch dropped;
+  // |x_a − v_a| = 0 although the fragments differ.
+  SearchResult v = MakeResult({Chain({{0}, {0, 1}, {0, 2}})});
+  SearchResult x = MakeResult({Chain({{0}, {0, 1}})});
+  Result<QueryEffectiveness> eff = CompareEffectiveness(v, x);
+  ASSERT_TRUE(eff.ok());
+  EXPECT_DOUBLE_EQ(eff->cfr(), 0.0);
+  EXPECT_DOUBLE_EQ(eff->apr(), 0.0);
+}
+
+TEST(MetricsTest, MixedFragments) {
+  // Three RTFs: identical, mildly pruned (1/2), heavily pruned (3/4).
+  SearchResult v = MakeResult({
+      Chain({{0, 1}}),
+      Chain({{0, 2}}),
+      Chain({{0, 3}}),
+  });
+  SearchResult x = MakeResult({
+      Chain({{0, 1}}),
+      Chain({{0, 2}, {0, 2, 0}}),
+      Chain({{0, 3}, {0, 3, 0}, {0, 3, 1}, {0, 3, 2}}),
+  });
+  Result<QueryEffectiveness> eff = CompareEffectiveness(v, x);
+  ASSERT_TRUE(eff.ok());
+  EXPECT_EQ(eff->rtf_count, 3u);
+  EXPECT_EQ(eff->common_count, 1u);
+  EXPECT_NEAR(eff->cfr(), 1.0 / 3.0, 1e-12);
+  // APR = (0 + 1/2 + 3/4) / 2.
+  EXPECT_NEAR(eff->apr(), 0.625, 1e-12);
+  EXPECT_NEAR(eff->max_apr(), 0.75, 1e-12);
+  // APR' discards the extreme 3/4: (0 + 1/2) / 1.
+  EXPECT_NEAR(eff->apr_prime(), 0.5, 1e-12);
+}
+
+TEST(MetricsTest, EmptyResults) {
+  SearchResult v = MakeResult({});
+  SearchResult x = MakeResult({});
+  Result<QueryEffectiveness> eff = CompareEffectiveness(v, x);
+  ASSERT_TRUE(eff.ok());
+  EXPECT_EQ(eff->rtf_count, 0u);
+  EXPECT_DOUBLE_EQ(eff->cfr(), 1.0);
+  EXPECT_DOUBLE_EQ(eff->apr(), 0.0);
+}
+
+TEST(MetricsTest, MisalignedCountsRejected) {
+  SearchResult v = MakeResult({Chain({{0}})});
+  SearchResult x = MakeResult({});
+  EXPECT_FALSE(CompareEffectiveness(v, x).ok());
+}
+
+TEST(MetricsTest, MisalignedRootsRejected) {
+  SearchResult v = MakeResult({Chain({{0, 1}})});
+  SearchResult x = MakeResult({Chain({{0, 2}})});
+  EXPECT_FALSE(CompareEffectiveness(v, x).ok());
+}
+
+TEST(MetricsTest, AprPrimeWithTwoEqualExtremes) {
+  // Two differing fragments with equal ratios: APR' keeps one of them.
+  SearchResult v = MakeResult({Chain({{0, 1}}), Chain({{0, 2}})});
+  SearchResult x = MakeResult({Chain({{0, 1}, {0, 1, 0}}),
+                               Chain({{0, 2}, {0, 2, 0}})});
+  Result<QueryEffectiveness> eff = CompareEffectiveness(v, x);
+  ASSERT_TRUE(eff.ok());
+  EXPECT_DOUBLE_EQ(eff->apr(), 0.5);
+  EXPECT_DOUBLE_EQ(eff->apr_prime(), 0.5);
+  EXPECT_DOUBLE_EQ(eff->max_apr(), 0.5);
+}
+
+}  // namespace
+}  // namespace xks

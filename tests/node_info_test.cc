@@ -1,0 +1,117 @@
+#include "src/core/node_info.h"
+
+#include <gtest/gtest.h>
+
+namespace xks {
+namespace {
+
+/// Builds a parent with children described by (label, klist, cid) triples.
+FragmentTree TreeWithChildren(
+    const std::vector<std::tuple<std::string, KeywordMask, ContentId>>& children) {
+  FragmentTree tree;
+  FragmentNode root;
+  root.dewey = Dewey{0};
+  root.label = "root";
+  FragmentNodeId r = tree.CreateRoot(std::move(root));
+  uint32_t ordinal = 0;
+  for (const auto& [label, klist, cid] : children) {
+    FragmentNode child;
+    child.dewey = Dewey{0, ordinal++};
+    child.label = label;
+    child.klist = klist;
+    child.cid = cid;
+    tree.AddChild(r, std::move(child));
+  }
+  return tree;
+}
+
+TEST(BuildLabelItemsTest, GroupsByDistinctLabel) {
+  FragmentTree tree = TreeWithChildren({
+      {"article", 0b01, {}},
+      {"article", 0b10, {}},
+      {"title", 0b11, {}},
+  });
+  std::vector<LabelItem> items = BuildLabelItems(tree, tree.root(), 2);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].label, "article");
+  EXPECT_EQ(items[0].counter, 2u);
+  EXPECT_EQ(items[1].label, "title");
+  EXPECT_EQ(items[1].counter, 1u);
+}
+
+TEST(BuildLabelItemsTest, PaperFigure4cBottom) {
+  // Node "0" of Figure 4(c): two label items ("title", "articles") for the
+  // children 0.0 (key 24) and 0.2 (key 15) under Q3 (k=5).
+  FragmentTree tree = TreeWithChildren({
+      {"title", 0b00011, {"vldb", "vldb"}},      // vldb+title → key 24
+      {"articles", 0b11110, {"chen", "xml"}},    // title..search → key 15
+  });
+  std::vector<LabelItem> items = BuildLabelItems(tree, tree.root(), 5);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].label, "title");
+  EXPECT_EQ(items[0].chk_list, (std::vector<uint64_t>{24}));
+  EXPECT_EQ(items[1].label, "articles");
+  EXPECT_EQ(items[1].chk_list, (std::vector<uint64_t>{15}));
+}
+
+TEST(BuildLabelItemsTest, ChkListSortedDistinct) {
+  FragmentTree tree = TreeWithChildren({
+      {"p", 0b10, {}},
+      {"p", 0b01, {}},
+      {"p", 0b10, {}},
+  });
+  std::vector<LabelItem> items = BuildLabelItems(tree, tree.root(), 2);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].counter, 3u);
+  // Internal 0b10 → paper key 1; 0b01 → paper key 2.
+  EXPECT_EQ(items[0].chk_list, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(items[0].ch_list.size(), 3u);
+  EXPECT_EQ(items[0].chcid_list.size(), 3u);
+}
+
+TEST(BuildLabelItemsTest, LeafHasNoItems) {
+  FragmentTree tree = TreeWithChildren({});
+  EXPECT_TRUE(BuildLabelItems(tree, tree.root(), 2).empty());
+}
+
+TEST(KeyNumberCoveredTest, PaperExample) {
+  // Example from Section 4.1: chkList [7, 15]; 7 is covered by 15.
+  std::vector<uint64_t> chk = {7, 15};
+  EXPECT_TRUE(KeyNumberCovered(7, chk));
+  EXPECT_FALSE(KeyNumberCovered(15, chk));
+}
+
+TEST(KeyNumberCoveredTest, EqualKeyIsNotCoverage) {
+  std::vector<uint64_t> chk = {7};
+  EXPECT_FALSE(KeyNumberCovered(7, chk));
+}
+
+TEST(KeyNumberCoveredTest, LargerButNotSuperset) {
+  // 9 > 6 numerically but 6 & 9 != 6.
+  std::vector<uint64_t> chk = {6, 9};
+  EXPECT_FALSE(KeyNumberCovered(6, chk));
+}
+
+TEST(KeyNumberCoveredTest, CoverageAmongMany) {
+  std::vector<uint64_t> chk = {1, 2, 3, 8, 11};
+  EXPECT_TRUE(KeyNumberCovered(1, chk));   // 1 ⊂ 3
+  EXPECT_TRUE(KeyNumberCovered(2, chk));   // 2 ⊂ 3
+  EXPECT_TRUE(KeyNumberCovered(3, chk));   // 3 ⊂ 11
+  EXPECT_TRUE(KeyNumberCovered(8, chk));   // 8 ⊂ 11
+  EXPECT_FALSE(KeyNumberCovered(11, chk));
+}
+
+TEST(BuildLabelItemsTest, ItemsInFirstOccurrenceOrder) {
+  FragmentTree tree = TreeWithChildren({
+      {"z_label", 0b1, {}},
+      {"a_label", 0b1, {}},
+      {"z_label", 0b1, {}},
+  });
+  std::vector<LabelItem> items = BuildLabelItems(tree, tree.root(), 1);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].label, "z_label");  // first seen, despite sorting after
+  EXPECT_EQ(items[1].label, "a_label");
+}
+
+}  // namespace
+}  // namespace xks

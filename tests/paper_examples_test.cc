@@ -1,0 +1,336 @@
+// End-to-end reproduction of the paper's worked examples (Examples 1-7,
+// Figures 2-4) on the reconstructed Figure 1 data.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/maxmatch.h"
+#include "src/core/metrics.h"
+#include "src/core/validrtf.h"
+#include "src/datagen/figure1.h"
+#include "src/lca/elca.h"
+#include "src/lca/slca.h"
+
+namespace xks {
+namespace {
+
+std::vector<Dewey> Set(std::initializer_list<const char*> codes) {
+  std::vector<Dewey> out;
+  for (const char* c : codes) out.push_back(*Dewey::Parse(c));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class Figure1aTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    store_ = new ShreddedStore(ShreddedStore::Build(*Figure1aDocument()));
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    store_ = nullptr;
+  }
+
+  static SearchResult Run(const std::string& query_text,
+                          const SearchOptions& options) {
+    SearchEngine engine(store_);
+    KeywordQuery query = *KeywordQuery::Parse(query_text);
+    Result<SearchResult> result = engine.Search(query, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  static ShreddedStore* store_;
+};
+
+ShreddedStore* Figure1aTest::store_ = nullptr;
+
+// --- Example 6: getKeywordNodes for Q3 ---
+
+TEST_F(Figure1aTest, Example6KeywordNodeSets) {
+  EXPECT_EQ(store_->KeywordNodes("vldb"), Set({"0.0"}));
+  EXPECT_EQ(store_->KeywordNodes("title"), Set({"0.0", "0.2.0.1", "0.2.1.1"}));
+  const std::vector<Dewey> xks_nodes = Set({"0.2.0.1", "0.2.0.2", "0.2.0.3.0"});
+  EXPECT_EQ(store_->KeywordNodes("xml"), xks_nodes);
+  EXPECT_EQ(store_->KeywordNodes("keyword"), xks_nodes);
+  EXPECT_EQ(store_->KeywordNodes("search"), xks_nodes);
+}
+
+TEST_F(Figure1aTest, Example3KeywordNodeSetsForQ2) {
+  // D1 (liu) = {n, r}; D2 (keyword) = {t, r, a}.
+  EXPECT_EQ(store_->KeywordNodes("liu"), Set({"0.2.0.0.0.0", "0.2.0.3.0"}));
+  EXPECT_EQ(store_->KeywordNodes("keyword"),
+            Set({"0.2.0.1", "0.2.0.2", "0.2.0.3.0"}));
+}
+
+// --- Example 6 / Example 1: getLCA ---
+
+TEST_F(Figure1aTest, Example6Q3HasSingleLcaAtRoot) {
+  SearchResult result = Run(PaperQuery(3), ValidRtfOptions());
+  ASSERT_EQ(result.rtf_count(), 1u);
+  EXPECT_EQ(result.fragments[0].rtf.root, Dewey::Root());
+  EXPECT_TRUE(result.fragments[0].rtf.root_is_slca);
+}
+
+TEST_F(Figure1aTest, Example1Q2SlcaVersusElca) {
+  // SLCA semantics returns only the ref node; ELCA also surfaces the outer
+  // article — the paper's motivating example for going beyond SLCA.
+  KeywordLists lists = {&store_->KeywordNodes("liu"),
+                        &store_->KeywordNodes("keyword")};
+  EXPECT_EQ(SlcaIndexedLookup(lists), Set({"0.2.0.3.0"}));
+  EXPECT_EQ(ElcaIndexedStack(lists), Set({"0.2.0", "0.2.0.3.0"}));
+}
+
+TEST_F(Figure1aTest, Q1HasUniqueSlcaAtSecondArticle) {
+  SearchResult result = Run(PaperQuery(1), ValidRtfOptions());
+  ASSERT_EQ(result.rtf_count(), 1u);
+  EXPECT_EQ(result.fragments[0].rtf.root, *Dewey::Parse("0.2.1"));
+  EXPECT_TRUE(result.fragments[0].rtf.root_is_slca);
+}
+
+// --- Example 4: the two RTFs of Q2 ---
+
+TEST_F(Figure1aTest, Example4Q2RtfPartitions) {
+  SearchResult result = Run(PaperQuery(2), ValidRtfOptions());
+  ASSERT_EQ(result.rtf_count(), 2u);
+  // RTF {n, t, a} rooted at the article.
+  const Rtf& article = result.fragments[0].rtf;
+  EXPECT_EQ(article.root, *Dewey::Parse("0.2.0"));
+  std::vector<Dewey> knodes;
+  for (const RtfKeywordNode& kn : article.knodes) knodes.push_back(kn.dewey);
+  EXPECT_EQ(knodes, Set({"0.2.0.0.0.0", "0.2.0.1", "0.2.0.2"}));
+  EXPECT_FALSE(article.root_is_slca);
+  // RTF {r} rooted at (and consisting of) the ref node.
+  const Rtf& ref = result.fragments[1].rtf;
+  EXPECT_EQ(ref.root, *Dewey::Parse("0.2.0.3.0"));
+  ASSERT_EQ(ref.knodes.size(), 1u);
+  EXPECT_EQ(ref.knodes[0].dewey, *Dewey::Parse("0.2.0.3.0"));
+  EXPECT_EQ(ref.knodes[0].mask, 0b11u);  // matches both keywords
+  EXPECT_TRUE(ref.root_is_slca);
+}
+
+// --- Example 7 / Figure 4: node structure key numbers for Q3 ---
+
+TEST_F(Figure1aTest, Example7KeyNumbers) {
+  SearchOptions options = ValidRtfOptions();
+  options.keep_raw_fragments = true;
+  SearchResult result = Run(PaperQuery(3), options);
+  ASSERT_EQ(result.rtf_count(), 1u);
+  const FragmentTree& raw = result.fragments[0].raw;
+  const size_t k = 5;
+
+  auto key_of = [&](const char* dewey_text) -> uint64_t {
+    Dewey d = *Dewey::Parse(dewey_text);
+    for (size_t i = 0; i < raw.size(); ++i) {
+      const FragmentNode& n = raw.node(static_cast<FragmentNodeId>(i));
+      if (n.dewey == d) return PaperKeyNumber(n.klist, k);
+    }
+    ADD_FAILURE() << "node " << dewey_text << " not in raw fragment";
+    return 0;
+  };
+
+  // Figure 4(b)/(c): node 0.2 has kList [0 1 1 1 1] → 15; node 0.2.1 has
+  // [0 1 0 0 0] → 8; node 0.0 carries VLDB+title → 24; the root → 31.
+  EXPECT_EQ(key_of("0.2"), 15u);
+  EXPECT_EQ(key_of("0.2.1"), 8u);
+  EXPECT_EQ(key_of("0.2.0"), 15u);
+  EXPECT_EQ(key_of("0.0"), 24u);
+  EXPECT_EQ(key_of("0"), 31u);
+}
+
+// --- Figure 2(c)/(d): raw and meaningful RTF for Q3 ---
+
+TEST_F(Figure1aTest, Q3RawRtfIsFigure2c) {
+  SearchOptions options = ValidRtfOptions();
+  options.keep_raw_fragments = true;
+  SearchResult result = Run(PaperQuery(3), options);
+  EXPECT_EQ(result.fragments[0].raw.NodeSet(),
+            Set({"0", "0.0", "0.2", "0.2.0", "0.2.0.1", "0.2.0.2", "0.2.0.3",
+                 "0.2.0.3.0", "0.2.1", "0.2.1.1"}));
+}
+
+TEST_F(Figure1aTest, Q3ValidRtfIsFigure2d) {
+  // Example 7: the article 0.2.1 (key 8, covered by 15) is pruned; the
+  // title/abstract/references children of 0.2.0 survive by rule 1.
+  SearchResult result = Run(PaperQuery(3), ValidRtfOptions());
+  EXPECT_EQ(result.fragments[0].fragment.NodeSet(),
+            Set({"0", "0.0", "0.2", "0.2.0", "0.2.0.1", "0.2.0.2", "0.2.0.3",
+                 "0.2.0.3.0"}));
+}
+
+TEST_F(Figure1aTest, Q3MaxMatchOverPrunes) {
+  // The contributor discards abstract and references (their {xml, keyword,
+  // search} is a strict subset of the title's {title, xml, keyword,
+  // search}) — the false positive problem on Q3.
+  SearchResult result = Run(PaperQuery(3), MaxMatchOptions());
+  EXPECT_EQ(result.fragments[0].fragment.NodeSet(),
+            Set({"0", "0.0", "0.2", "0.2.0", "0.2.0.1"}));
+}
+
+// --- Example 2 / Figure 3(b)(c): the false positive problem on Q1 ---
+
+TEST_F(Figure1aTest, Q1ValidRtfKeepsTitleFigure3b) {
+  SearchResult result = Run(PaperQuery(1), ValidRtfOptions());
+  ASSERT_EQ(result.rtf_count(), 1u);
+  EXPECT_EQ(result.fragments[0].fragment.NodeSet(),
+            Set({"0.2.1", "0.2.1.0", "0.2.1.0.0", "0.2.1.0.0.0", "0.2.1.0.1",
+                 "0.2.1.0.1.0", "0.2.1.1", "0.2.1.2"}));
+}
+
+TEST_F(Figure1aTest, Q1MaxMatchDiscardsTitleFigure3c) {
+  SearchResult result = Run(PaperQuery(1), MaxMatchOptions());
+  ASSERT_EQ(result.rtf_count(), 1u);
+  EXPECT_EQ(result.fragments[0].fragment.NodeSet(),
+            Set({"0.2.1", "0.2.1.0", "0.2.1.0.0", "0.2.1.0.0.0", "0.2.1.0.1",
+                 "0.2.1.0.1.0", "0.2.1.2"}));
+}
+
+// --- Figure 2(a): original (SLCA) MaxMatch only sees the ref fragment ---
+
+TEST_F(Figure1aTest, Q2OriginalMaxMatchReturnsOnlySlcaFragment) {
+  SearchResult result = Run(PaperQuery(2), MaxMatchOriginalOptions());
+  ASSERT_EQ(result.rtf_count(), 1u);
+  EXPECT_EQ(result.fragments[0].rtf.root, *Dewey::Parse("0.2.0.3.0"));
+  EXPECT_EQ(result.fragments[0].fragment.NodeSet(), Set({"0.2.0.3.0"}));
+}
+
+// --- Pruning statistics across the pipeline ---
+
+TEST_F(Figure1aTest, Q3PruningStats) {
+  SearchResult valid = Run(PaperQuery(3), ValidRtfOptions());
+  // Raw Figure 2(c) has 10 nodes; the meaningful RTF (Figure 2(d)) keeps 8.
+  EXPECT_EQ(valid.pruning.raw_nodes, 10u);
+  EXPECT_EQ(valid.pruning.kept_nodes, 8u);
+  EXPECT_EQ(valid.pruning.pruned_nodes(), 2u);
+  SearchResult max = Run(PaperQuery(3), MaxMatchOptions());
+  EXPECT_EQ(max.pruning.kept_nodes, 5u);
+  EXPECT_GT(max.pruning.pruning_ratio(), valid.pruning.pruning_ratio());
+}
+
+// --- Label-constrained query terms (XSearch-style extension) ---
+
+TEST_F(Figure1aTest, LabelConstrainedKeywordNarrowsToTitles) {
+  // Unconstrained "keyword" matches title, abstract and ref of the first
+  // article; "title:keyword" leaves only the title node.
+  EXPECT_EQ(store_->KeywordNodes("keyword").size(), 3u);
+  PostingList constrained = store_->KeywordNodesWithLabel("keyword", "title");
+  ASSERT_EQ(constrained.size(), 1u);
+  EXPECT_EQ(constrained[0], *Dewey::Parse("0.2.0.1"));
+  // End to end: "liu title:keyword" keeps only the article RTF (the ref no
+  // longer matches the second keyword).
+  SearchResult result = Run("liu title:keyword", ValidRtfOptions());
+  ASSERT_EQ(result.rtf_count(), 1u);
+  EXPECT_EQ(result.fragments[0].rtf.root, *Dewey::Parse("0.2.0"));
+}
+
+// --- Q2: both mechanisms agree (all labels distinct) ---
+
+TEST_F(Figure1aTest, Q2BothMechanismsAgree) {
+  SearchResult valid = Run(PaperQuery(2), ValidRtfOptions());
+  SearchResult max = Run(PaperQuery(2), MaxMatchOptions());
+  Result<QueryEffectiveness> eff = CompareEffectiveness(valid, max);
+  ASSERT_TRUE(eff.ok());
+  EXPECT_DOUBLE_EQ(eff->cfr(), 1.0);
+  EXPECT_DOUBLE_EQ(eff->apr(), 0.0);
+}
+
+class Figure1bTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    store_ = new ShreddedStore(ShreddedStore::Build(*Figure1bDocument()));
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    store_ = nullptr;
+  }
+
+  static SearchResult Run(const std::string& query_text,
+                          const SearchOptions& options) {
+    SearchEngine engine(store_);
+    KeywordQuery query = *KeywordQuery::Parse(query_text);
+    Result<SearchResult> result = engine.Search(query, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  static ShreddedStore* store_;
+};
+
+ShreddedStore* Figure1bTest::store_ = nullptr;
+
+// --- Example 2 / Figure 3(d): the redundancy problem on Q4 ---
+
+TEST_F(Figure1bTest, Q4MaxMatchKeepsDuplicateForwardFigure3d) {
+  SearchResult result = Run(PaperQuery(4), MaxMatchOptions());
+  ASSERT_EQ(result.rtf_count(), 1u);
+  EXPECT_EQ(result.fragments[0].fragment.NodeSet(),
+            Set({"0", "0.0", "0.1", "0.1.0", "0.1.0.2", "0.1.1", "0.1.1.2",
+                 "0.1.2", "0.1.2.2"}));
+}
+
+TEST_F(Figure1bTest, Q4ValidRtfDropsDuplicateForward) {
+  // Example 5: TC(0.1.0) = TC(0.1.2) = {position, forward} → the second
+  // forward player is discarded; the result keeps {forward, guard}.
+  SearchResult result = Run(PaperQuery(4), ValidRtfOptions());
+  ASSERT_EQ(result.rtf_count(), 1u);
+  EXPECT_EQ(result.fragments[0].fragment.NodeSet(),
+            Set({"0", "0.0", "0.1", "0.1.0", "0.1.0.2", "0.1.1", "0.1.1.2"}));
+}
+
+TEST_F(Figure1bTest, Q4TreeContentSetsMatchExample5) {
+  SearchOptions options = ValidRtfOptions();
+  options.keep_raw_fragments = true;
+  SearchResult result = Run(PaperQuery(4), options);
+  const FragmentTree& raw = result.fragments[0].raw;
+  auto cid_of = [&](const char* dewey_text) -> ContentId {
+    Dewey d = *Dewey::Parse(dewey_text);
+    for (size_t i = 0; i < raw.size(); ++i) {
+      const FragmentNode& n = raw.node(static_cast<FragmentNodeId>(i));
+      if (n.dewey == d) return n.cid;
+    }
+    ADD_FAILURE() << dewey_text << " missing";
+    return {};
+  };
+  // TC(player) = content of its position keyword node only.
+  EXPECT_EQ(cid_of("0.1.0"), (ContentId{"forward", "position"}));
+  EXPECT_EQ(cid_of("0.1.1"), (ContentId{"guard", "position"}));
+  EXPECT_EQ(cid_of("0.1.2"), (ContentId{"forward", "position"}));
+}
+
+TEST_F(Figure1bTest, Q4EffectivenessMetrics) {
+  SearchResult valid = Run(PaperQuery(4), ValidRtfOptions());
+  SearchResult max = Run(PaperQuery(4), MaxMatchOptions());
+  Result<QueryEffectiveness> eff = CompareEffectiveness(valid, max);
+  ASSERT_TRUE(eff.ok());
+  EXPECT_DOUBLE_EQ(eff->cfr(), 0.0);            // the single RTF differs
+  EXPECT_NEAR(eff->apr(), 2.0 / 9.0, 1e-12);    // 2 of 9 nodes pruned away
+  EXPECT_NEAR(eff->max_apr(), 2.0 / 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(eff->apr_prime(), 0.0);      // only one differing RTF
+}
+
+// --- Example 2/5 positive case: Q5 ---
+
+TEST_F(Figure1bTest, Q5BothMechanismsReturnGassolFigure3a) {
+  // dMatch(0.1.0) = {gassol, position} strictly covers the other players'
+  // {position} → both mechanisms keep only the Gassol player, plus the team
+  // name matching "grizzlies".
+  const std::vector<Dewey> expected =
+      Set({"0", "0.0", "0.1", "0.1.0", "0.1.0.0", "0.1.0.2"});
+  SearchResult valid = Run(PaperQuery(5), ValidRtfOptions());
+  ASSERT_EQ(valid.rtf_count(), 1u);
+  EXPECT_EQ(valid.fragments[0].fragment.NodeSet(), expected);
+  SearchResult max = Run(PaperQuery(5), MaxMatchOptions());
+  EXPECT_EQ(max.fragments[0].fragment.NodeSet(), expected);
+  Result<QueryEffectiveness> eff = CompareEffectiveness(valid, max);
+  ASSERT_TRUE(eff.ok());
+  EXPECT_DOUBLE_EQ(eff->cfr(), 1.0);
+}
+
+TEST_F(Figure1bTest, Q5SingleElcaAtRoot) {
+  SearchResult result = Run(PaperQuery(5), ValidRtfOptions());
+  ASSERT_EQ(result.rtf_count(), 1u);
+  EXPECT_EQ(result.fragments[0].rtf.root, Dewey::Root());
+}
+
+}  // namespace
+}  // namespace xks

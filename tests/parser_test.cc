@@ -1,0 +1,249 @@
+#include "src/xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace xks {
+namespace {
+
+Document MustParse(std::string_view xml, const ParseOptions& options = {}) {
+  Result<Document> doc = ParseXml(xml, options);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(doc).value();
+}
+
+TEST(ParserTest, MinimalDocument) {
+  Document doc = MustParse("<a/>");
+  EXPECT_EQ(doc.size(), 1u);
+  EXPECT_EQ(doc.node(doc.root()).label, "a");
+  EXPECT_TRUE(doc.node(doc.root()).text.empty());
+}
+
+TEST(ParserTest, TextContent) {
+  Document doc = MustParse("<a>hello world</a>");
+  EXPECT_EQ(doc.node(doc.root()).text, "hello world");
+}
+
+TEST(ParserTest, NestedElements) {
+  Document doc = MustParse("<a><b><c>x</c></b><d/></a>");
+  const Node& root = doc.node(doc.root());
+  ASSERT_EQ(root.children.size(), 2u);
+  const Node& b = doc.node(root.children[0]);
+  EXPECT_EQ(b.label, "b");
+  EXPECT_EQ(doc.node(b.children[0]).text, "x");
+  EXPECT_EQ(doc.node(root.children[1]).label, "d");
+}
+
+TEST(ParserTest, Attributes) {
+  Document doc = MustParse(R"(<a id="1" name='two'/>)");
+  const Node& root = doc.node(doc.root());
+  ASSERT_EQ(root.attributes.size(), 2u);
+  EXPECT_EQ(root.attributes[0].name, "id");
+  EXPECT_EQ(root.attributes[0].value, "1");
+  EXPECT_EQ(root.attributes[1].value, "two");
+}
+
+TEST(ParserTest, AttributeEntityExpansion) {
+  Document doc = MustParse(R"(<a t="&lt;x&gt; &amp; &quot;y&quot;"/>)");
+  EXPECT_EQ(doc.node(doc.root()).attributes[0].value, "<x> & \"y\"");
+}
+
+TEST(ParserTest, DuplicateAttributeRejected) {
+  EXPECT_FALSE(ParseXml(R"(<a x="1" x="2"/>)").ok());
+}
+
+TEST(ParserTest, PredefinedEntities) {
+  Document doc = MustParse("<a>&lt;tag&gt; &amp; &apos;q&apos; &quot;p&quot;</a>");
+  EXPECT_EQ(doc.node(doc.root()).text, "<tag> & 'q' \"p\"");
+}
+
+TEST(ParserTest, NumericCharacterReferences) {
+  Document doc = MustParse("<a>&#65;&#x42;&#x43a;</a>");
+  EXPECT_EQ(doc.node(doc.root()).text, "AB\xD0\xBA");  // 'A', 'B', U+043A
+}
+
+TEST(ParserTest, UndefinedEntityLenientByDefault) {
+  Document doc = MustParse("<a>M&uuml;ller</a>");
+  EXPECT_EQ(doc.node(doc.root()).text, "M&uuml;ller");
+}
+
+TEST(ParserTest, UndefinedEntityStrictFails) {
+  ParseOptions options;
+  options.allow_undefined_entities = false;
+  EXPECT_FALSE(ParseXml("<a>&uuml;</a>", options).ok());
+}
+
+TEST(ParserTest, MalformedCharacterReference) {
+  EXPECT_FALSE(ParseXml("<a>&#;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#xZZ;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#0;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#x110000;</a>").ok());
+}
+
+TEST(ParserTest, CdataSection) {
+  Document doc = MustParse("<a><![CDATA[<not> & parsed]]></a>");
+  EXPECT_EQ(doc.node(doc.root()).text, "<not> & parsed");
+}
+
+TEST(ParserTest, CommentsSkipped) {
+  // Per XML semantics a comment does not break character data: "x" and "y"
+  // join into one text chunk.
+  Document doc = MustParse("<!-- head --><a>x<!-- mid -->y</a><!-- tail -->");
+  EXPECT_EQ(doc.node(doc.root()).text, "xy");
+  EXPECT_EQ(doc.size(), 1u);
+}
+
+TEST(ParserTest, ProcessingInstructionsSkipped) {
+  Document doc = MustParse("<?xml version=\"1.0\"?><a><?php echo ?>x</a>");
+  EXPECT_EQ(doc.node(doc.root()).text, "x");
+}
+
+TEST(ParserTest, DoctypeSkippedIncludingInternalSubset) {
+  Document doc = MustParse(
+      "<!DOCTYPE dblp [<!ELEMENT dblp (article)*> <!ENTITY x \"y\">]><a/>");
+  EXPECT_EQ(doc.node(doc.root()).label, "a");
+}
+
+TEST(ParserTest, ByteOrderMarkSkipped) {
+  Document doc = MustParse("\xEF\xBB\xBF<a/>");
+  EXPECT_EQ(doc.node(doc.root()).label, "a");
+}
+
+TEST(ParserTest, WhitespaceOnlyTextDroppedByDefault) {
+  Document doc = MustParse("<a>\n  <b/>\n  <c/>\n</a>");
+  EXPECT_TRUE(doc.node(doc.root()).text.empty());
+}
+
+TEST(ParserTest, WhitespaceKeptWhenRequested) {
+  ParseOptions options;
+  options.keep_whitespace_text = true;
+  Document doc = MustParse("<a> <b/></a>", options);
+  EXPECT_EQ(doc.node(doc.root()).text, " ");
+}
+
+TEST(ParserTest, MixedContentMergedWithSpaces) {
+  Document doc = MustParse("<a>one<b/>two<c/>three</a>");
+  EXPECT_EQ(doc.node(doc.root()).text, "one two three");
+}
+
+TEST(ParserTest, DeweysAssignedAfterParse) {
+  Document doc = MustParse("<a><b/><c><d/></c></a>");
+  NodeId d = *doc.FindByDewey(Dewey{0, 1, 0});
+  EXPECT_EQ(doc.node(d).label, "d");
+}
+
+TEST(ParserTest, MismatchedTagsRejected) {
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());
+}
+
+TEST(ParserTest, UnterminatedConstructsRejected) {
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a").ok());
+  EXPECT_FALSE(ParseXml("<a attr=\"x>").ok());
+  EXPECT_FALSE(ParseXml("<a><!-- comment </a>").ok());
+  EXPECT_FALSE(ParseXml("<a><![CDATA[ x </a>").ok());
+  EXPECT_FALSE(ParseXml("<!DOCTYPE a [ <a/>").ok());
+}
+
+TEST(ParserTest, ContentAfterRootRejected) {
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("<a/>text").ok());
+  EXPECT_TRUE(ParseXml("<a/>  <!-- ok -->  ").ok());
+}
+
+TEST(ParserTest, EmptyAndGarbageInputRejected) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("   ").ok());
+  EXPECT_FALSE(ParseXml("no markup").ok());
+  EXPECT_FALSE(ParseXml("<>").ok());
+  EXPECT_FALSE(ParseXml("<1tag/>").ok());
+}
+
+TEST(ParserTest, BareAmpersandRejected) {
+  EXPECT_FALSE(ParseXml("<a>fish & chips</a>").ok());
+}
+
+TEST(ParserTest, LtInAttributeRejected) {
+  EXPECT_FALSE(ParseXml("<a x=\"<\"/>").ok());
+}
+
+TEST(ParserTest, ErrorsCarryLineAndColumn) {
+  Result<Document> r = ParseXml("<a>\n  <b>\n</a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("3:"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserTest, MaxDepthGuard) {
+  ParseOptions options;
+  options.max_depth = 10;
+  std::string deep;
+  for (int i = 0; i < 12; ++i) deep += "<a>";
+  deep += "x";
+  for (int i = 0; i < 12; ++i) deep += "</a>";
+  EXPECT_FALSE(ParseXml(deep, options).ok());
+  EXPECT_TRUE(ParseXml("<a><a><a/></a></a>", options).ok());
+}
+
+TEST(ParserTest, NamesAllowXmlCharacters) {
+  Document doc = MustParse("<ns:a-b.c_1><x_y/></ns:a-b.c_1>");
+  EXPECT_EQ(doc.node(doc.root()).label, "ns:a-b.c_1");
+}
+
+TEST(ParserTest, Utf8PassThrough) {
+  Document doc = MustParse("<a>\xC3\xA9l\xC3\xA8ve</a>");
+  EXPECT_EQ(doc.node(doc.root()).text, "\xC3\xA9l\xC3\xA8ve");
+}
+
+TEST(ParserTest, MutationFuzzNeverCrashes) {
+  // Byte-level mutations of a valid document must always come back as a
+  // clean Status — parse errors are fine, crashes and hangs are not.
+  const std::string base =
+      R"(<lib count="2"><book id="a&amp;1"><title>X &lt; Y</title>)"
+      R"(<![CDATA[raw]]><!-- c --></book><book/><ref x='y'>&#65;</ref></lib>)";
+  Rng rng(4242);
+  size_t parsed_ok = 0;
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = base;
+    const size_t edits = 1 + rng.Uniform(4);
+    for (size_t e = 0; e < edits; ++e) {
+      const size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:  // flip
+          mutated[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:  // delete
+          mutated.erase(pos, 1);
+          break;
+        default:  // duplicate
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    Result<Document> result = ParseXml(mutated);
+    if (result.ok()) {
+      ++parsed_ok;
+      // Whatever parsed must be a sane tree.
+      EXPECT_LE(result->size(), mutated.size());
+    }
+  }
+  // Some mutations (e.g. inside text) must still parse.
+  EXPECT_GT(parsed_ok, 0u);
+}
+
+TEST(UnescapeXmlTest, Basic) {
+  Result<std::string> r = UnescapeXml("a&lt;b&amp;c", true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "a<b&c");
+}
+
+TEST(UnescapeXmlTest, FailsOnBadReference) {
+  EXPECT_FALSE(UnescapeXml("&#xGG;", true).ok());
+  EXPECT_FALSE(UnescapeXml("&unterminated", true).ok());
+}
+
+}  // namespace
+}  // namespace xks

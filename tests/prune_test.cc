@@ -1,0 +1,242 @@
+#include "src/core/prune.h"
+
+#include <gtest/gtest.h>
+
+namespace xks {
+namespace {
+
+/// Handy builder for pruning scenarios.
+class TreeBuilder {
+ public:
+  TreeBuilder() {
+    FragmentNode root;
+    root.dewey = Dewey{0};
+    root.label = "root";
+    tree_.CreateRoot(std::move(root));
+  }
+
+  FragmentNodeId Add(FragmentNodeId parent, std::string label, KeywordMask klist,
+                     ContentId cid = {}, bool keyword = false) {
+    FragmentNode node;
+    node.dewey = NextDewey(parent);
+    node.label = std::move(label);
+    node.klist = klist;
+    node.cid = std::move(cid);
+    node.is_keyword_node = keyword;
+    return tree_.AddChild(parent, std::move(node));
+  }
+
+  FragmentNodeId root() const { return tree_.root(); }
+  FragmentTree& tree() { return tree_; }
+
+ private:
+  Dewey NextDewey(FragmentNodeId parent) {
+    const FragmentNode& p = tree_.node(parent);
+    return p.dewey.Child(static_cast<uint32_t>(p.children.size()));
+  }
+
+  FragmentTree tree_;
+};
+
+std::vector<std::string> Labels(const FragmentTree& tree) {
+  std::vector<std::string> labels;
+  for (size_t i = 0; i < tree.size(); ++i) {
+    labels.push_back(tree.node(static_cast<FragmentNodeId>(i)).label);
+  }
+  return labels;
+}
+
+TEST(PruneTest, NonePolicyKeepsEverything) {
+  TreeBuilder b;
+  b.Add(b.root(), "a", 0b01);
+  b.Add(b.root(), "b", 0b10);
+  FragmentTree pruned = PruneFragment(b.tree(), PruningPolicy::kNone, 2);
+  EXPECT_EQ(pruned.size(), 3u);
+}
+
+TEST(PruneTest, EmptyTreeSafe) {
+  FragmentTree empty;
+  EXPECT_TRUE(PruneFragment(empty, PruningPolicy::kValidContributor, 2).empty());
+}
+
+TEST(PruneTest, RootAlwaysSurvives) {
+  TreeBuilder b;
+  FragmentTree pruned =
+      PruneFragment(b.tree(), PruningPolicy::kValidContributor, 1);
+  EXPECT_EQ(pruned.size(), 1u);
+  EXPECT_EQ(pruned.node(pruned.root()).label, "root");
+}
+
+// --- contributor (MaxMatch) policy ---
+
+TEST(PruneContributorTest, StrictSubsetAcrossDifferentLabelsDiscarded) {
+  // The false positive problem: title {s,q} ⊂ abstract {d,s,q} gets title
+  // discarded even though its label is unique.
+  TreeBuilder b;
+  b.Add(b.root(), "authors", 0b011);
+  b.Add(b.root(), "title", 0b100);
+  b.Add(b.root(), "abstract", 0b110);  // covers title? 0b100 ⊂ 0b110
+  FragmentTree pruned = PruneFragment(b.tree(), PruningPolicy::kContributor, 3);
+  EXPECT_EQ(Labels(pruned), (std::vector<std::string>{"root", "authors", "abstract"}));
+}
+
+TEST(PruneContributorTest, EqualMasksBothKept) {
+  // The redundancy problem: equal dMatch survives, duplicates included.
+  TreeBuilder b;
+  b.Add(b.root(), "player", 0b1, {"forward", "position"});
+  b.Add(b.root(), "player", 0b1, {"guard", "position"});
+  b.Add(b.root(), "player", 0b1, {"forward", "position"});
+  FragmentTree pruned = PruneFragment(b.tree(), PruningPolicy::kContributor, 1);
+  EXPECT_EQ(pruned.size(), 4u);
+}
+
+TEST(PruneContributorTest, DiscardedSubtreeRemovedEntirely) {
+  TreeBuilder b;
+  FragmentNodeId weak = b.Add(b.root(), "x", 0b01);
+  b.Add(weak, "inner", 0b01);
+  b.Add(b.root(), "y", 0b11);
+  FragmentTree pruned = PruneFragment(b.tree(), PruningPolicy::kContributor, 2);
+  EXPECT_EQ(Labels(pruned), (std::vector<std::string>{"root", "y"}));
+}
+
+TEST(PruneContributorTest, RecursesIntoKeptChildren) {
+  TreeBuilder b;
+  FragmentNodeId kept = b.Add(b.root(), "x", 0b11);
+  b.Add(kept, "weak", 0b01);
+  b.Add(kept, "strong", 0b11);
+  FragmentTree pruned = PruneFragment(b.tree(), PruningPolicy::kContributor, 2);
+  EXPECT_EQ(Labels(pruned), (std::vector<std::string>{"root", "x", "strong"}));
+}
+
+// --- valid contributor policy ---
+
+TEST(PruneValidTest, UniqueLabelAlwaysSurvives) {
+  // Rule 1 fixes the false positive problem of the case above.
+  TreeBuilder b;
+  b.Add(b.root(), "authors", 0b011);
+  b.Add(b.root(), "title", 0b100);
+  b.Add(b.root(), "abstract", 0b110);
+  FragmentTree pruned =
+      PruneFragment(b.tree(), PruningPolicy::kValidContributor, 3);
+  EXPECT_EQ(pruned.size(), 4u);
+}
+
+TEST(PruneValidTest, SameLabelStrictSubsetDiscarded) {
+  // Rule 2.(a): article {title} ⊂ article {title,xml,keyword,search}.
+  TreeBuilder b;
+  b.Add(b.root(), "article", 0b11110);
+  b.Add(b.root(), "article", 0b00010);
+  FragmentTree pruned =
+      PruneFragment(b.tree(), PruningPolicy::kValidContributor, 5);
+  ASSERT_EQ(pruned.size(), 2u);
+  EXPECT_EQ(pruned.node(1).klist, 0b11110u);
+}
+
+TEST(PruneValidTest, EqualMasksDeduplicatedByCid) {
+  // Rule 2.(b): three players, two with identical content → one dropped.
+  TreeBuilder b;
+  b.Add(b.root(), "player", 0b1, {"forward", "position"});
+  b.Add(b.root(), "player", 0b1, {"guard", "position"});
+  b.Add(b.root(), "player", 0b1, {"forward", "position"});
+  FragmentTree pruned =
+      PruneFragment(b.tree(), PruningPolicy::kValidContributor, 1);
+  ASSERT_EQ(pruned.size(), 3u);
+  // First occurrence of (forward,position) and the distinct (guard,position).
+  EXPECT_EQ(pruned.node(1).cid, (ContentId{"forward", "position"}));
+  EXPECT_EQ(pruned.node(2).cid, (ContentId{"guard", "position"}));
+}
+
+TEST(PruneValidTest, ThreeWayDuplicateKeepsExactlyFirst) {
+  TreeBuilder b;
+  b.Add(b.root(), "p", 0b1, {"same", "same"});
+  b.Add(b.root(), "p", 0b1, {"same", "same"});
+  b.Add(b.root(), "p", 0b1, {"same", "same"});
+  FragmentTree pruned =
+      PruneFragment(b.tree(), PruningPolicy::kValidContributor, 1);
+  EXPECT_EQ(pruned.size(), 2u);
+  EXPECT_EQ(pruned.node(1).dewey, (Dewey{0, 0}));
+}
+
+TEST(PruneValidTest, SameCidDifferentMasksBothSurvive) {
+  // Definition 4 pairs TK-equality with TC-equality: a cID collision across
+  // *different* keyword sets must not discard (see prune.h faithfulness
+  // note — the paper's pseudo-code would wrongly drop the third child).
+  TreeBuilder b;
+  b.Add(b.root(), "p", 0b01, {"x", "x"});
+  b.Add(b.root(), "p", 0b10, {"y", "y"});
+  b.Add(b.root(), "p", 0b10, {"x", "x"});  // same cid as first, mask of second
+  FragmentTree pruned =
+      PruneFragment(b.tree(), PruningPolicy::kValidContributor, 2);
+  EXPECT_EQ(pruned.size(), 4u);
+}
+
+TEST(PruneValidTest, CoveredChildDiscardedEvenWithUniqueCid) {
+  TreeBuilder b;
+  b.Add(b.root(), "p", 0b11, {"a", "b"});
+  b.Add(b.root(), "p", 0b01, {"c", "d"});
+  FragmentTree pruned =
+      PruneFragment(b.tree(), PruningPolicy::kValidContributor, 2);
+  EXPECT_EQ(pruned.size(), 2u);
+  EXPECT_EQ(pruned.node(1).klist, 0b11u);
+}
+
+TEST(PruneValidTest, MixedLabelsPruneIndependently) {
+  // Coverage only applies within a label group.
+  TreeBuilder b;
+  b.Add(b.root(), "a", 0b01);   // unique label → kept (despite ⊂ b's mask)
+  b.Add(b.root(), "b", 0b11);
+  b.Add(b.root(), "c", 0b01);   // unique label → kept
+  b.Add(b.root(), "b", 0b01);   // covered within the b group → discarded
+  FragmentTree pruned =
+      PruneFragment(b.tree(), PruningPolicy::kValidContributor, 2);
+  EXPECT_EQ(pruned.size(), 4u);
+  std::vector<std::string> labels = Labels(pruned);
+  EXPECT_EQ(std::count(labels.begin(), labels.end(), "b"), 1);
+}
+
+TEST(PruneValidTest, DocumentOrderPreservedAcrossLabelGroups) {
+  TreeBuilder b;
+  b.Add(b.root(), "z", 0b1, {"z1", "z1"});
+  b.Add(b.root(), "a", 0b1, {"a1", "a1"});
+  b.Add(b.root(), "z", 0b1, {"z2", "z2"});
+  FragmentTree pruned =
+      PruneFragment(b.tree(), PruningPolicy::kValidContributor, 1);
+  const FragmentNode& root = pruned.node(pruned.root());
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(pruned.node(root.children[0]).dewey, (Dewey{0, 0}));
+  EXPECT_EQ(pruned.node(root.children[1]).dewey, (Dewey{0, 1}));
+  EXPECT_EQ(pruned.node(root.children[2]).dewey, (Dewey{0, 2}));
+}
+
+TEST(PruneValidTest, RecursionAppliesAtEveryLevel) {
+  TreeBuilder b;
+  FragmentNodeId mid = b.Add(b.root(), "mid", 0b11);
+  b.Add(mid, "leaf", 0b01, {"l1", "l1"});
+  b.Add(mid, "leaf", 0b11, {"l2", "l2"});
+  FragmentTree pruned =
+      PruneFragment(b.tree(), PruningPolicy::kValidContributor, 2);
+  // leaf 0b01 covered by sibling leaf 0b11.
+  EXPECT_EQ(pruned.size(), 3u);
+}
+
+TEST(PruneValidTest, DiscardedSubtreeDoesNotResurface) {
+  TreeBuilder b;
+  FragmentNodeId weak = b.Add(b.root(), "p", 0b01);
+  b.Add(weak, "inner", 0b01);
+  b.Add(b.root(), "p", 0b11);
+  FragmentTree pruned =
+      PruneFragment(b.tree(), PruningPolicy::kValidContributor, 2);
+  EXPECT_EQ(Labels(pruned), (std::vector<std::string>{"root", "p"}));
+}
+
+TEST(PruneValidTest, KlistAndCidMetadataPreserved) {
+  TreeBuilder b;
+  b.Add(b.root(), "x", 0b10, {"m", "n"});
+  FragmentTree pruned =
+      PruneFragment(b.tree(), PruningPolicy::kValidContributor, 2);
+  EXPECT_EQ(pruned.node(1).klist, 0b10u);
+  EXPECT_EQ(pruned.node(1).cid, (ContentId{"m", "n"}));
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,125 @@
+#include "src/core/query.h"
+
+#include <gtest/gtest.h>
+
+namespace xks {
+namespace {
+
+TEST(KeywordQueryTest, ParseBasic) {
+  Result<KeywordQuery> q = KeywordQuery::Parse("XML keyword search");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->keywords(),
+            (std::vector<std::string>{"xml", "keyword", "search"}));
+  EXPECT_EQ(q->size(), 3u);
+  EXPECT_EQ(q->ToString(), "xml keyword search");
+}
+
+TEST(KeywordQueryTest, ParseLowercasesAndDeduplicates) {
+  Result<KeywordQuery> q = KeywordQuery::Parse("Data DATA data Query");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->keywords(), (std::vector<std::string>{"data", "query"}));
+}
+
+TEST(KeywordQueryTest, ParseDropsStopWords) {
+  Result<KeywordQuery> q = KeywordQuery::Parse("the state of the art");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->keywords(), (std::vector<std::string>{"state", "art"}));
+}
+
+TEST(KeywordQueryTest, ParseFailsOnEmpty) {
+  EXPECT_FALSE(KeywordQuery::Parse("").ok());
+  EXPECT_FALSE(KeywordQuery::Parse("the of and").ok());
+  EXPECT_FALSE(KeywordQuery::Parse("..,,!!").ok());
+}
+
+TEST(KeywordQueryTest, FromKeywordsPreservesOrder) {
+  Result<KeywordQuery> q = KeywordQuery::FromKeywords({"Liu", "Keyword"});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->keyword(0), "liu");
+  EXPECT_EQ(q->keyword(1), "keyword");
+}
+
+TEST(KeywordQueryTest, TooManyKeywordsRejected) {
+  std::vector<std::string> words;
+  for (int i = 0; i < 70; ++i) words.push_back("w" + std::to_string(i));
+  EXPECT_FALSE(KeywordQuery::FromKeywords(words).ok());
+}
+
+TEST(KeywordQueryTest, LabelConstrainedTerms) {
+  Result<KeywordQuery> q = KeywordQuery::Parse("title:XML keyword");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->size(), 2u);
+  EXPECT_EQ(q->term(0).word, "xml");
+  EXPECT_EQ(q->term(0).label, "title");
+  EXPECT_TRUE(q->term(0).constrained());
+  EXPECT_EQ(q->term(1).word, "keyword");
+  EXPECT_FALSE(q->term(1).constrained());
+  EXPECT_TRUE(q->has_label_constraints());
+  EXPECT_EQ(q->ToString(), "title:xml keyword");
+}
+
+TEST(KeywordQueryTest, MalformedLabelConstraints) {
+  EXPECT_FALSE(KeywordQuery::Parse(":xml").ok());
+  EXPECT_FALSE(KeywordQuery::Parse("title:").ok());
+  EXPECT_FALSE(KeywordQuery::Parse("a b:xml c:").ok());
+}
+
+TEST(KeywordQueryTest, SameWordDifferentConstraintsKept) {
+  Result<KeywordQuery> q = KeywordQuery::Parse("title:xml xml");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->size(), 2u);
+  EXPECT_TRUE(q->term(0).constrained());
+  EXPECT_FALSE(q->term(1).constrained());
+}
+
+TEST(KeywordQueryTest, UnconstrainedQueriesHaveNoConstraints) {
+  Result<KeywordQuery> q = KeywordQuery::Parse("xml keyword");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->has_label_constraints());
+}
+
+TEST(KeywordQueryTest, MasksAndBits) {
+  KeywordQuery q = *KeywordQuery::Parse("a1 b2 c3");
+  EXPECT_EQ(q.BitFor(0), 0x1u);
+  EXPECT_EQ(q.BitFor(2), 0x4u);
+  EXPECT_EQ(q.full_mask(), 0x7u);
+}
+
+TEST(PaperKeyNumberTest, MsbFirstConventionFromSection41) {
+  // Q3 = "VLDB title XML keyword search": kList [0 1 1 1 1] → 15.
+  const size_t k = 5;
+  KeywordMask mask = 0b11110;  // internal LSB: keywords 1..4 present
+  EXPECT_EQ(PaperKeyNumber(mask, k), 15u);
+  // kList [0 1 0 0 0] (only "title") → 8.
+  EXPECT_EQ(PaperKeyNumber(0b00010, k), 8u);
+  // kList [1 1 0 0 0] (VLDB + title) → 24.
+  EXPECT_EQ(PaperKeyNumber(0b00011, k), 24u);
+  // All keywords → 31.
+  EXPECT_EQ(PaperKeyNumber(0b11111, k), 31u);
+}
+
+TEST(PaperKeyNumberTest, RoundTrip) {
+  const size_t k = 7;
+  for (uint64_t key = 0; key < (1u << k); ++key) {
+    KeywordMask mask = MaskFromPaperKeyNumber(key, k);
+    EXPECT_EQ(PaperKeyNumber(mask, k), key);
+  }
+}
+
+TEST(KListStringTest, RendersPaperStyle) {
+  EXPECT_EQ(KListString(0b11110, 5), "0 1 1 1 1");
+  EXPECT_EQ(KListString(0b00001, 5), "1 0 0 0 0");
+  EXPECT_EQ(KListString(0, 3), "0 0 0");
+}
+
+TEST(IsStrictSubsetMaskTest, PaperCoverageSemantics) {
+  // "7 AND 15 = true" example: 7 ⊂ 15.
+  EXPECT_TRUE(IsStrictSubsetMask(7, 15));
+  EXPECT_FALSE(IsStrictSubsetMask(15, 7));
+  EXPECT_FALSE(IsStrictSubsetMask(7, 7));    // equality is not strict
+  EXPECT_FALSE(IsStrictSubsetMask(9, 6));    // disjoint
+  EXPECT_TRUE(IsStrictSubsetMask(0, 1));     // empty set is a subset
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,144 @@
+#include "src/core/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/validrtf.h"
+#include "src/datagen/figure1.h"
+#include "src/storage/store.h"
+#include "src/xml/parser.h"
+
+namespace xks {
+namespace {
+
+SearchResult Search(const ShreddedStore& store, const std::string& text) {
+  Result<SearchResult> r = ValidRtfSearch(store, text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(RankingTest, EmptyResult) {
+  SearchResult empty;
+  EXPECT_TRUE(RankFragments(empty, 2).empty());
+  EXPECT_TRUE(TopFragments(empty, 2, 5).empty());
+}
+
+TEST(RankingTest, DeeperSlcaRootOutranksShallowAncestor) {
+  // Q2 on Figure 1(a): the ref node (deep, SLCA, matches both keywords in
+  // one node) must outrank the article fragment (shallower, scattered).
+  ShreddedStore store = ShreddedStore::Build(*Figure1aDocument());
+  SearchResult result = Search(store, PaperQuery(2));
+  ASSERT_EQ(result.rtf_count(), 2u);
+  std::vector<FragmentScore> scores = RankFragments(result, 2);
+  ASSERT_EQ(scores.size(), 2u);
+  const FragmentResult& best = result.fragments[scores[0].fragment_index];
+  EXPECT_EQ(best.rtf.root, *Dewey::Parse("0.2.0.3.0"));
+  EXPECT_GT(scores[0].total, scores[1].total);
+}
+
+TEST(RankingTest, ComponentsInUnitRange) {
+  ShreddedStore store = ShreddedStore::Build(*Figure1aDocument());
+  for (int q = 1; q <= 3; ++q) {
+    SearchResult result = Search(store, PaperQuery(q));
+    for (const FragmentScore& s :
+         RankFragments(result, result.fragments.empty()
+                                   ? 1
+                                   : result.fragments[0].rtf.knodes.size())) {
+      EXPECT_GE(s.specificity, 0.0);
+      EXPECT_LE(s.specificity, 1.0);
+      EXPECT_GE(s.proximity, 0.0);
+      EXPECT_LE(s.proximity, 1.0);
+      EXPECT_GE(s.compactness, 0.0);
+      EXPECT_LE(s.compactness, 1.0);
+      EXPECT_GE(s.match_concentration, 0.0);
+      EXPECT_LE(s.match_concentration, 1.0);
+      EXPECT_TRUE(s.slca == 0.0 || s.slca == 1.0);
+    }
+  }
+}
+
+TEST(RankingTest, WeightsChangeOrdering) {
+  ShreddedStore store = ShreddedStore::Build(*Figure1aDocument());
+  SearchResult result = Search(store, PaperQuery(2));
+  ASSERT_EQ(result.rtf_count(), 2u);
+  // All weight on proximity: the single-node ref fragment (distance 0) wins.
+  RankingWeights proximity_only;
+  proximity_only.specificity = 0;
+  proximity_only.proximity = 1;
+  proximity_only.compactness = 0;
+  proximity_only.slca_bonus = 0;
+  proximity_only.match_concentration = 0;
+  std::vector<FragmentScore> scores = RankFragments(result, 2, proximity_only);
+  EXPECT_EQ(result.fragments[scores[0].fragment_index].rtf.root,
+            *Dewey::Parse("0.2.0.3.0"));
+  // All weight on compactness with zero elsewhere: totals reflect keyword
+  // density only.
+  RankingWeights compact_only;
+  compact_only.specificity = 0;
+  compact_only.proximity = 0;
+  compact_only.compactness = 1;
+  compact_only.slca_bonus = 0;
+  compact_only.match_concentration = 0;
+  for (const FragmentScore& s : RankFragments(result, 2, compact_only)) {
+    EXPECT_DOUBLE_EQ(s.total, s.compactness);
+  }
+}
+
+TEST(RankingTest, StableTieBreakByDocumentOrder) {
+  // Two identical sibling records tie exactly; document order must break it.
+  Result<Document> doc = ParseXml(
+      "<r><rec><t>alpha</t><u>beta</u></rec><rec><t>alpha</t><u>beta</u></rec></r>");
+  ASSERT_TRUE(doc.ok());
+  ShreddedStore store = ShreddedStore::Build(*doc);
+  SearchResult result = Search(store, "alpha beta");
+  ASSERT_EQ(result.rtf_count(), 2u);
+  std::vector<FragmentScore> scores = RankFragments(result, 2);
+  EXPECT_DOUBLE_EQ(scores[0].total, scores[1].total);
+  EXPECT_EQ(scores[0].fragment_index, 0u);
+  EXPECT_EQ(scores[1].fragment_index, 1u);
+}
+
+TEST(RankingTest, TopFragmentsLimits) {
+  ShreddedStore store = ShreddedStore::Build(*Figure1aDocument());
+  SearchResult result = Search(store, PaperQuery(2));
+  EXPECT_EQ(TopFragments(result, 2, 1).size(), 1u);
+  EXPECT_EQ(TopFragments(result, 2, 10).size(), 2u);
+  EXPECT_TRUE(TopFragments(result, 2, 0).empty());
+}
+
+TEST(RankingTest, ScoreToStringMentionsComponents) {
+  FragmentScore s;
+  s.total = 0.5;
+  s.specificity = 1.0;
+  std::string text = s.ToString();
+  EXPECT_NE(text.find("total="), std::string::npos);
+  EXPECT_NE(text.find("specificity="), std::string::npos);
+}
+
+TEST(RankingTest, MatchConcentrationFavorsAllInOneNode) {
+  // One record matches both keywords in a single node; another spreads them
+  // over two nodes at the same depth.
+  Result<Document> doc = ParseXml(
+      "<r>"
+      "<rec><t>alpha beta</t></rec>"
+      "<rec><t>alpha</t><t>beta</t></rec>"
+      "</r>");
+  ASSERT_TRUE(doc.ok());
+  ShreddedStore store = ShreddedStore::Build(*doc);
+  SearchResult result = Search(store, "alpha beta");
+  ASSERT_EQ(result.rtf_count(), 2u);
+  RankingWeights concentration_only;
+  concentration_only.specificity = 0;
+  concentration_only.proximity = 0;
+  concentration_only.compactness = 0;
+  concentration_only.slca_bonus = 0;
+  concentration_only.match_concentration = 1;
+  std::vector<FragmentScore> scores =
+      RankFragments(result, 2, concentration_only);
+  const FragmentResult& best = result.fragments[scores[0].fragment_index];
+  // The all-in-one-node result is the <t> holding both words.
+  EXPECT_EQ(best.rtf.knodes.size(), 1u);
+  EXPECT_GT(scores[0].total, scores[1].total);
+}
+
+}  // namespace
+}  // namespace xks

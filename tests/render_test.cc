@@ -1,0 +1,122 @@
+#include "src/core/render.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/validrtf.h"
+#include "src/datagen/figure1.h"
+#include "src/storage/store.h"
+#include "src/xml/parser.h"
+
+namespace xks {
+namespace {
+
+struct Harness {
+  Document doc;
+  ShreddedStore store;
+  SearchResult result;
+};
+
+Harness MakeHarness(const std::string& xml, const std::string& query) {
+  Harness s;
+  Result<Document> doc = ParseXml(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  s.doc = std::move(doc).value();
+  s.store = ShreddedStore::Build(s.doc);
+  Result<SearchResult> r = ValidRtfSearch(s.store, query);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  s.result = std::move(r).value();
+  return s;
+}
+
+TEST(RenderTest, EmptyFragment) {
+  Document doc;
+  FragmentTree empty;
+  Result<std::string> out = RenderFragmentXml(doc, empty);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(RenderTest, KeywordNodesCarryText) {
+  Harness s = MakeHarness("<r><a>alpha</a><b>beta</b></r>", "alpha beta");
+  ASSERT_EQ(s.result.rtf_count(), 1u);
+  RenderOptions options;
+  options.indent = "";
+  Result<std::string> out =
+      RenderFragmentXml(s.doc, s.result.fragments[0].fragment, options);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "<r><a>alpha</a><b>beta</b></r>");
+}
+
+TEST(RenderTest, InternalTextSkippedByDefault) {
+  Harness s = MakeHarness("<r>internal words<a>alpha</a><b>beta</b></r>", "alpha beta");
+  RenderOptions options;
+  options.indent = "";
+  Result<std::string> out =
+      RenderFragmentXml(s.doc, s.result.fragments[0].fragment, options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->find("internal"), std::string::npos);
+  options.include_internal_text = true;
+  out = RenderFragmentXml(s.doc, s.result.fragments[0].fragment, options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("internal words"), std::string::npos);
+}
+
+TEST(RenderTest, AttributesPreserved) {
+  Harness s = MakeHarness(R"(<r><item id="i1"><name>alpha</name></item><x>beta</x></r>)",
+                "alpha beta");
+  RenderOptions options;
+  options.indent = "";
+  Result<std::string> out =
+      RenderFragmentXml(s.doc, s.result.fragments[0].fragment, options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("id=\"i1\""), std::string::npos);
+  options.include_attributes = false;
+  out = RenderFragmentXml(s.doc, s.result.fragments[0].fragment, options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->find("id="), std::string::npos);
+}
+
+TEST(RenderTest, EscapingApplied) {
+  Harness s = MakeHarness("<r><a>alpha &lt;tag&gt; &amp; more</a><b>beta</b></r>",
+                "alpha beta");
+  RenderOptions options;
+  options.indent = "";
+  Result<std::string> out =
+      RenderFragmentXml(s.doc, s.result.fragments[0].fragment, options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("&lt;tag&gt; &amp; more"), std::string::npos);
+}
+
+TEST(RenderTest, RenderedSnippetReparses) {
+  // Round-trip: the rendered fragment is well-formed XML.
+  Harness s = MakeHarness(Figure1aXml(), PaperQuery(3));
+  ASSERT_EQ(s.result.rtf_count(), 1u);
+  Result<std::string> out =
+      RenderFragmentXml(s.doc, s.result.fragments[0].fragment);
+  ASSERT_TRUE(out.ok());
+  Result<Document> reparsed = ParseXml(*out);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << *out;
+  // The snippet has exactly the fragment's node count.
+  EXPECT_EQ(reparsed->size(), s.result.fragments[0].fragment.size());
+}
+
+TEST(RenderTest, PrunedSubtreesAbsent) {
+  // Q3: the skyline article 0.2.1 is pruned; it must not be rendered.
+  Harness s = MakeHarness(Figure1aXml(), PaperQuery(3));
+  Result<std::string> out =
+      RenderFragmentXml(s.doc, s.result.fragments[0].fragment);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->find("Skyline"), std::string::npos);
+  EXPECT_NE(out->find("Relevant Match for XML Keyword Search"), std::string::npos);
+}
+
+TEST(RenderTest, WrongDocumentFails) {
+  Harness s = MakeHarness("<r><a>alpha</a><b>beta</b></r>", "alpha beta");
+  Result<Document> other = ParseXml("<solo/>");
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(
+      RenderFragmentXml(*other, s.result.fragments[0].fragment).ok());
+}
+
+}  // namespace
+}  // namespace xks

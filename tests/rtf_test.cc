@@ -1,0 +1,214 @@
+#include "src/core/rtf.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lca/elca.h"
+#include "src/xml/parser.h"
+#include "tests/test_util.h"
+
+namespace xks {
+namespace {
+
+PostingList MakeList(std::initializer_list<std::initializer_list<uint32_t>> codes) {
+  PostingList list;
+  for (auto code : codes) list.emplace_back(std::vector<uint32_t>(code));
+  return list;
+}
+
+std::vector<Dewey> MakeLcas(
+    std::initializer_list<std::initializer_list<uint32_t>> codes) {
+  std::vector<Dewey> lcas;
+  for (auto code : codes) lcas.emplace_back(std::vector<uint32_t>(code));
+  return lcas;
+}
+
+TEST(GetRtfsTest, DispatchesToDeepestAncestor) {
+  // LCAs: 0 and 0.2; keyword nodes inside 0.2 go to 0.2, others to 0.
+  std::vector<Dewey> lcas = MakeLcas({{0}, {0, 2}});
+  PostingList w1 = MakeList({{0, 1}, {0, 2, 0}});
+  PostingList w2 = MakeList({{0, 2, 1}, {0, 3}});
+  std::vector<Rtf> rtfs = GetRtfs(lcas, {&w1, &w2});
+  ASSERT_EQ(rtfs.size(), 2u);
+  EXPECT_EQ(rtfs[0].root, (Dewey{0}));
+  ASSERT_EQ(rtfs[0].knodes.size(), 2u);
+  EXPECT_EQ(rtfs[0].knodes[0].dewey, (Dewey{0, 1}));
+  EXPECT_EQ(rtfs[0].knodes[0].mask, 0b01u);
+  EXPECT_EQ(rtfs[0].knodes[1].dewey, (Dewey{0, 3}));
+  EXPECT_EQ(rtfs[0].knodes[1].mask, 0b10u);
+  EXPECT_EQ(rtfs[1].root, (Dewey{0, 2}));
+  ASSERT_EQ(rtfs[1].knodes.size(), 2u);
+  EXPECT_EQ(rtfs[1].knodes[0].dewey, (Dewey{0, 2, 0}));
+  EXPECT_EQ(rtfs[1].knodes[1].dewey, (Dewey{0, 2, 1}));
+}
+
+TEST(GetRtfsTest, LcaNodeCanBeItsOwnKeywordNode) {
+  std::vector<Dewey> lcas = MakeLcas({{0, 2}});
+  PostingList w1 = MakeList({{0, 2}});
+  std::vector<Rtf> rtfs = GetRtfs(lcas, {&w1});
+  ASSERT_EQ(rtfs.size(), 1u);
+  ASSERT_EQ(rtfs[0].knodes.size(), 1u);
+  EXPECT_EQ(rtfs[0].knodes[0].dewey, (Dewey{0, 2}));
+}
+
+TEST(GetRtfsTest, KeywordNodeOutsideEveryLcaDropped) {
+  std::vector<Dewey> lcas = MakeLcas({{0, 2}});
+  PostingList w1 = MakeList({{0, 1}, {0, 2, 0}});  // 0.1 outside
+  std::vector<Rtf> rtfs = GetRtfs(lcas, {&w1});
+  ASSERT_EQ(rtfs.size(), 1u);
+  ASSERT_EQ(rtfs[0].knodes.size(), 1u);
+  EXPECT_EQ(rtfs[0].knodes[0].dewey, (Dewey{0, 2, 0}));
+}
+
+TEST(GetRtfsTest, MaskMergesAcrossLists) {
+  std::vector<Dewey> lcas = MakeLcas({{0}});
+  PostingList w1 = MakeList({{0, 1}});
+  PostingList w2 = MakeList({{0, 1}});
+  std::vector<Rtf> rtfs = GetRtfs(lcas, {&w1, &w2});
+  ASSERT_EQ(rtfs[0].knodes.size(), 1u);
+  EXPECT_EQ(rtfs[0].knodes[0].mask, 0b11u);
+}
+
+TEST(GetRtfsTest, EmptyLcaList) {
+  PostingList w1 = MakeList({{0, 1}});
+  EXPECT_TRUE(GetRtfs({}, {&w1}).empty());
+}
+
+TEST(GetRtfsTest, SiblingLcasSplitKeywordNodes) {
+  std::vector<Dewey> lcas = MakeLcas({{0, 1}, {0, 3}});
+  PostingList w1 = MakeList({{0, 1, 0}, {0, 3, 0}});
+  PostingList w2 = MakeList({{0, 1, 1}, {0, 3, 1}});
+  std::vector<Rtf> rtfs = GetRtfs(lcas, {&w1, &w2});
+  ASSERT_EQ(rtfs.size(), 2u);
+  EXPECT_EQ(rtfs[0].knodes.size(), 2u);
+  EXPECT_EQ(rtfs[1].knodes.size(), 2u);
+}
+
+TEST(GetRtfsTest, MatchesOracleRandomized) {
+  for (uint64_t seed = 400; seed < 440; ++seed) {
+    RandomLcaInstance instance = MakeRandomLcaInstance(
+        seed, /*tree_size=*/50 + seed % 40, /*k=*/2 + seed % 3,
+        /*density=*/0.1 + 0.02 * static_cast<double>(seed % 5));
+    KeywordLists lists = instance.Views();
+    std::vector<Dewey> lcas = ElcaBruteForce(lists);
+    std::vector<Rtf> fast = GetRtfs(lcas, lists);
+    std::vector<Rtf> oracle = GetRtfsOracle(lcas, lists);
+    ASSERT_EQ(fast.size(), oracle.size()) << "seed=" << seed;
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].root, oracle[i].root) << "seed=" << seed;
+      EXPECT_EQ(fast[i].knodes, oracle[i].knodes)
+          << "seed=" << seed << " root=" << fast[i].root.ToString();
+    }
+  }
+}
+
+TEST(GetRtfsTest, EveryElcaRtfIsNonEmptyRandomized) {
+  // ELCA semantics guarantees residual witnesses: no RTF can be empty.
+  for (uint64_t seed = 500; seed < 530; ++seed) {
+    RandomLcaInstance instance =
+        MakeRandomLcaInstance(seed, /*tree_size=*/60, /*k=*/3, /*density=*/0.15);
+    KeywordLists lists = instance.Views();
+    std::vector<Rtf> rtfs = GetRtfs(ElcaBruteForce(lists), lists);
+    for (const Rtf& rtf : rtfs) {
+      EXPECT_FALSE(rtf.knodes.empty())
+          << "seed=" << seed << " root=" << rtf.root.ToString();
+    }
+  }
+}
+
+class BuildFragmentTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Document> doc = ParseXml(
+        "<pub>"
+        "<articles>"
+        "<article><title>alpha xml</title><abstract>beta xml</abstract></article>"
+        "</articles>"
+        "</pub>");
+    ASSERT_TRUE(doc.ok());
+    doc_ = std::move(doc).value();
+  }
+  Document doc_;
+};
+
+TEST_F(BuildFragmentTreeTest, MaterializesPathNodes) {
+  Rtf rtf;
+  rtf.root = Dewey{0};
+  rtf.knodes = {{Dewey{0, 0, 0, 0}, 0b01}, {Dewey{0, 0, 0, 1}, 0b10}};
+  DocumentMetadata metadata(&doc_);
+  Result<FragmentTree> tree = BuildFragmentTree(rtf, metadata);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->size(), 5u);  // pub, articles, article, title, abstract
+  const FragmentNode& root = tree->node(tree->root());
+  EXPECT_EQ(root.label, "pub");
+  EXPECT_EQ(root.klist, 0b11u);
+  EXPECT_FALSE(root.is_keyword_node);
+  // Path labels come from metadata.
+  std::vector<Dewey> nodes = tree->NodeSet();
+  EXPECT_EQ(nodes, (std::vector<Dewey>{Dewey{0},
+                                       Dewey{0, 0},
+                                       Dewey{0, 0, 0},
+                                       Dewey{0, 0, 0, 0},
+                                       Dewey{0, 0, 0, 1}}));
+}
+
+TEST_F(BuildFragmentTreeTest, KListAndCidTransferToAncestors) {
+  Rtf rtf;
+  rtf.root = Dewey{0, 0, 0};
+  rtf.knodes = {{Dewey{0, 0, 0, 0}, 0b01}, {Dewey{0, 0, 0, 1}, 0b10}};
+  DocumentMetadata metadata(&doc_);
+  Result<FragmentTree> tree = BuildFragmentTree(rtf, metadata);
+  ASSERT_TRUE(tree.ok());
+  const FragmentNode& article = tree->node(tree->root());
+  EXPECT_EQ(article.klist, 0b11u);
+  // title content: {alpha, title, xml}; abstract: {abstract, beta, xml};
+  // the article's folded cID spans (abstract, xml).
+  EXPECT_EQ(article.cid.min_word, "abstract");
+  EXPECT_EQ(article.cid.max_word, "xml");
+  const FragmentNode& title = tree->node(article.children[0]);
+  EXPECT_TRUE(title.is_keyword_node);
+  EXPECT_EQ(title.cid.min_word, "alpha");
+  EXPECT_EQ(title.cid.max_word, "xml");
+}
+
+TEST_F(BuildFragmentTreeTest, RootCanBeKeywordNode) {
+  Rtf rtf;
+  rtf.root = Dewey{0, 0, 0, 0};
+  rtf.knodes = {{Dewey{0, 0, 0, 0}, 0b11}};
+  DocumentMetadata metadata(&doc_);
+  Result<FragmentTree> tree = BuildFragmentTree(rtf, metadata);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 1u);
+  EXPECT_TRUE(tree->node(tree->root()).is_keyword_node);
+  EXPECT_EQ(tree->node(tree->root()).label, "title");
+}
+
+TEST_F(BuildFragmentTreeTest, KeywordNodeOutsideRootFails) {
+  Rtf rtf;
+  rtf.root = Dewey{0, 0, 0, 0};
+  rtf.knodes = {{Dewey{0, 0, 0, 1}, 0b1}};
+  DocumentMetadata metadata(&doc_);
+  EXPECT_FALSE(BuildFragmentTree(rtf, metadata).ok());
+}
+
+TEST_F(BuildFragmentTreeTest, UnknownDeweyFails) {
+  Rtf rtf;
+  rtf.root = Dewey{0};
+  rtf.knodes = {{Dewey{0, 9, 9}, 0b1}};
+  DocumentMetadata metadata(&doc_);
+  EXPECT_FALSE(BuildFragmentTree(rtf, metadata).ok());
+}
+
+TEST_F(BuildFragmentTreeTest, ChildrenInDocumentOrder) {
+  Rtf rtf;
+  rtf.root = Dewey{0, 0, 0};
+  rtf.knodes = {{Dewey{0, 0, 0, 0}, 0b1}, {Dewey{0, 0, 0, 1}, 0b1}};
+  DocumentMetadata metadata(&doc_);
+  Result<FragmentTree> tree = BuildFragmentTree(rtf, metadata);
+  ASSERT_TRUE(tree.ok());
+  const FragmentNode& root = tree->node(tree->root());
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_LT(tree->node(root.children[0]).dewey, tree->node(root.children[1]).dewey);
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,146 @@
+#include "src/storage/shredder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xml/parser.h"
+
+namespace xks {
+namespace {
+
+Document Parse(std::string_view xml) {
+  Result<Document> doc = ParseXml(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(doc).value();
+}
+
+TEST(ShredderTest, EmptyDocumentYieldsEmptyTables) {
+  Document doc;
+  ShreddedTables tables = Shred(doc);
+  EXPECT_EQ(tables.labels.size(), 0u);
+  EXPECT_EQ(tables.elements.size(), 0u);
+  EXPECT_EQ(tables.values.size(), 0u);
+}
+
+TEST(ShredderTest, LabelTableInternsDistinctLabels) {
+  Document doc = Parse("<a><b/><b/><c/></a>");
+  ShreddedTables tables = Shred(doc);
+  EXPECT_EQ(tables.labels.size(), 3u);  // a, b, c
+  EXPECT_NE(tables.labels.Lookup("a"), kNoLabelId);
+  EXPECT_NE(tables.labels.Lookup("b"), kNoLabelId);
+  EXPECT_EQ(tables.labels.Lookup("zz"), kNoLabelId);
+}
+
+TEST(ShredderTest, ElementRowsInDocumentOrder) {
+  Document doc = Parse("<a><b><c/></b><d/></a>");
+  ShreddedTables tables = Shred(doc);
+  ASSERT_EQ(tables.elements.size(), 4u);
+  EXPECT_EQ(tables.elements.row(0).dewey, Dewey::Root());
+  EXPECT_EQ(tables.elements.row(1).dewey, (Dewey{0, 0}));
+  EXPECT_EQ(tables.elements.row(2).dewey, (Dewey{0, 0, 0}));
+  EXPECT_EQ(tables.elements.row(3).dewey, (Dewey{0, 1}));
+  for (size_t i = 1; i < tables.elements.size(); ++i) {
+    EXPECT_LT(tables.elements.row(i - 1).dewey, tables.elements.row(i).dewey);
+  }
+}
+
+TEST(ShredderTest, LevelEqualsDeweyDepth) {
+  Document doc = Parse("<a><b><c/></b></a>");
+  ShreddedTables tables = Shred(doc);
+  for (size_t i = 0; i < tables.elements.size(); ++i) {
+    EXPECT_EQ(tables.elements.row(i).level, tables.elements.row(i).dewey.depth());
+  }
+}
+
+TEST(ShredderTest, LabelNumberSequenceRebuildsAncestorLabels) {
+  Document doc = Parse("<pub><articles><article/></articles></pub>");
+  ShreddedTables tables = Shred(doc);
+  const ElementRow& leaf = tables.elements.row(2);
+  ASSERT_EQ(leaf.label_path.size(), 3u);
+  EXPECT_EQ(tables.labels.Name(leaf.label_path[0]), "pub");
+  EXPECT_EQ(tables.labels.Name(leaf.label_path[1]), "articles");
+  EXPECT_EQ(tables.labels.Name(leaf.label_path[2]), "article");
+}
+
+TEST(ShredderTest, SiblingPathsDoNotLeakAcrossSubtrees) {
+  // Regression guard for the explicit path-stack handling: the second
+  // branch's label path must not contain labels from the first branch.
+  Document doc = Parse("<r><x><deep/></x><y><other/></y></r>");
+  ShreddedTables tables = Shred(doc);
+  const ElementRow& other = tables.elements.row(4);
+  ASSERT_EQ(other.label_path.size(), 3u);
+  EXPECT_EQ(tables.labels.Name(other.label_path[1]), "y");
+}
+
+TEST(ShredderTest, ContentFeatureIsOwnContentOnly) {
+  Document doc = Parse("<title>match search</title>");
+  ShreddedTables tables = Shred(doc);
+  const ContentId& cid = tables.elements.row(0).content_feature;
+  EXPECT_EQ(cid.min_word, "match");
+  EXPECT_EQ(cid.max_word, "title");  // label participates
+}
+
+TEST(ShredderTest, ValueRowsCoverLabelAttributeText) {
+  Document doc = Parse(R"(<title lang="english">xml</title>)");
+  ShreddedTables tables = Shred(doc);
+  ASSERT_EQ(tables.values.size(), 4u);  // title, lang, english, xml
+  bool saw_label = false, saw_attr = false, saw_text = false;
+  for (size_t i = 0; i < tables.values.size(); ++i) {
+    const ValueRow& row = tables.values.row(i);
+    if (row.keyword == "title") {
+      saw_label = row.source == ValueSource::kLabel;
+    } else if (row.keyword == "xml") {
+      saw_text = row.source == ValueSource::kText;
+    } else if (row.keyword == "lang" || row.keyword == "english") {
+      saw_attr |= row.source == ValueSource::kAttribute;
+    }
+  }
+  EXPECT_TRUE(saw_label);
+  EXPECT_TRUE(saw_attr);
+  EXPECT_TRUE(saw_text);
+}
+
+TEST(ShredderTest, ValueRowsDeduplicatePerNode) {
+  Document doc = Parse("<a>data data data</a>");
+  ShreddedTables tables = Shred(doc);
+  EXPECT_EQ(tables.values.size(), 1u);  // "a" label is a stop word; one "data"
+  EXPECT_EQ(tables.values.row(0).keyword, "data");
+}
+
+TEST(ShredderTest, FrequenciesCountOccurrencesNotMembership) {
+  Document doc = Parse("<a>data data data</a>");
+  ShreddedTables tables = Shred(doc);
+  EXPECT_EQ(tables.values.Frequency("data"), 3u);
+  EXPECT_EQ(tables.values.Frequency("absent"), 0u);
+}
+
+TEST(ShredderTest, StopWordsNeverBecomeValues) {
+  Document doc = Parse("<ref>the quick and the dead</ref>");
+  ShreddedTables tables = Shred(doc);
+  for (size_t i = 0; i < tables.values.size(); ++i) {
+    EXPECT_NE(tables.values.row(i).keyword, "the");
+    EXPECT_NE(tables.values.row(i).keyword, "and");
+  }
+  EXPECT_EQ(tables.values.Frequency("the"), 0u);
+}
+
+TEST(ShredderTest, FrequencyTableSorted) {
+  Document doc = Parse("<r>zeta alpha zeta</r>");
+  ShreddedTables tables = Shred(doc);
+  auto table = tables.values.FrequencyTable();
+  ASSERT_EQ(table.size(), 3u);  // alpha, r, zeta
+  EXPECT_EQ(table[0].first, "alpha");
+  EXPECT_EQ(table[2].first, "zeta");
+  EXPECT_EQ(table[2].second, 2u);
+}
+
+TEST(ShredderTest, ElementTableFindByDewey) {
+  Document doc = Parse("<a><b/><c/></a>");
+  ShreddedTables tables = Shred(doc);
+  Result<const ElementRow*> row = tables.elements.Find(Dewey{0, 1});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(tables.labels.Name((*row)->label_id), "c");
+  EXPECT_FALSE(tables.elements.Find(Dewey{0, 9}).ok());
+}
+
+}  // namespace
+}  // namespace xks

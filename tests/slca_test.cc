@@ -1,0 +1,153 @@
+#include "src/lca/slca.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xks {
+namespace {
+
+PostingList MakeList(std::initializer_list<std::initializer_list<uint32_t>> codes) {
+  PostingList list;
+  for (auto code : codes) list.emplace_back(std::vector<uint32_t>(code));
+  return list;
+}
+
+using SlcaFn = std::vector<Dewey> (*)(const KeywordLists&);
+
+class SlcaAlgorithmTest : public ::testing::TestWithParam<SlcaFn> {};
+
+TEST_P(SlcaAlgorithmTest, EmptyInputs) {
+  SlcaFn slca = GetParam();
+  EXPECT_TRUE(slca({}).empty());
+  PostingList a = MakeList({{0, 1}});
+  PostingList empty;
+  EXPECT_TRUE(slca({&a, &empty}).empty());
+}
+
+TEST_P(SlcaAlgorithmTest, SingleKeywordDeepestNodes) {
+  SlcaFn slca = GetParam();
+  // Nested keyword nodes: only the deepest-in-chain survive.
+  PostingList w1 = MakeList({{0, 1}, {0, 1, 0}, {0, 2}});
+  std::vector<Dewey> result = slca({&w1});
+  EXPECT_EQ(result, (std::vector<Dewey>{Dewey{0, 1, 0}, Dewey{0, 2}}));
+}
+
+TEST_P(SlcaAlgorithmTest, TwoKeywordsSimpleBranch) {
+  SlcaFn slca = GetParam();
+  PostingList w1 = MakeList({{0, 0}});
+  PostingList w2 = MakeList({{0, 1}});
+  EXPECT_EQ(slca({&w1, &w2}), (std::vector<Dewey>{Dewey{0}}));
+}
+
+TEST_P(SlcaAlgorithmTest, MinimalityPrunesAncestors) {
+  SlcaFn slca = GetParam();
+  // Both keywords under 0.2 and also spread at the top: SLCA = {0.2} only?
+  // No: w1 at 0.5 with w2 only under 0.2 → the pair (0.5, 0.2.x) has lca 0,
+  // but 0 has the contains-all descendant 0.2, so 0 is not an SLCA.
+  PostingList w1 = MakeList({{0, 2, 0}, {0, 5}});
+  PostingList w2 = MakeList({{0, 2, 1}});
+  EXPECT_EQ(slca({&w1, &w2}), (std::vector<Dewey>{Dewey{0, 2}}));
+}
+
+TEST_P(SlcaAlgorithmTest, MultipleIndependentSlcas) {
+  SlcaFn slca = GetParam();
+  PostingList w1 = MakeList({{0, 1, 0}, {0, 3, 0}});
+  PostingList w2 = MakeList({{0, 1, 1}, {0, 3, 1}});
+  EXPECT_EQ(slca({&w1, &w2}),
+            (std::vector<Dewey>{Dewey{0, 1}, Dewey{0, 3}}));
+}
+
+TEST_P(SlcaAlgorithmTest, KeywordNodeItselfCanBeSlca) {
+  SlcaFn slca = GetParam();
+  // One node matches both keywords.
+  PostingList w1 = MakeList({{0, 4}});
+  PostingList w2 = MakeList({{0, 4}});
+  EXPECT_EQ(slca({&w1, &w2}), (std::vector<Dewey>{Dewey{0, 4}}));
+}
+
+TEST_P(SlcaAlgorithmTest, AncestorKeywordNodeAbsorbed) {
+  SlcaFn slca = GetParam();
+  // w1 at 0.2 (ancestor) and w2 at 0.2.3 → SLCA is 0.2 (the pair's LCA),
+  // and no deeper node contains both.
+  PostingList w1 = MakeList({{0, 2}});
+  PostingList w2 = MakeList({{0, 2, 3}});
+  EXPECT_EQ(slca({&w1, &w2}), (std::vector<Dewey>{Dewey{0, 2}}));
+}
+
+TEST_P(SlcaAlgorithmTest, ThreeKeywords) {
+  SlcaFn slca = GetParam();
+  PostingList w1 = MakeList({{0, 0, 0}, {0, 1, 0}});
+  PostingList w2 = MakeList({{0, 0, 1}, {0, 1, 1}});
+  PostingList w3 = MakeList({{0, 1, 2}});
+  // Only 0.1 covers all three.
+  EXPECT_EQ(slca({&w1, &w2, &w3}), (std::vector<Dewey>{Dewey{0, 1}}));
+}
+
+TEST_P(SlcaAlgorithmTest, DuplicateNodeAcrossLists) {
+  SlcaFn slca = GetParam();
+  PostingList w1 = MakeList({{0, 0}, {0, 1}});
+  PostingList w2 = MakeList({{0, 1}, {0, 2}});
+  // 0.1 matches both on its own.
+  EXPECT_EQ(slca({&w1, &w2}), (std::vector<Dewey>{Dewey{0, 1}}));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SlcaAlgorithmTest,
+                         ::testing::Values(&SlcaBruteForce, &SlcaIndexedLookup,
+                                           &SlcaScanEager, &SlcaStackMerge),
+                         [](const ::testing::TestParamInfo<SlcaFn>& info) {
+                           if (info.param == &SlcaBruteForce) return "BruteForce";
+                           if (info.param == &SlcaIndexedLookup) return "IndexedLookup";
+                           if (info.param == &SlcaScanEager) return "ScanEager";
+                           return "StackMerge";
+                         });
+
+struct RandomCase {
+  uint64_t seed;
+  size_t tree_size;
+  size_t k;
+  double density;
+};
+
+class SlcaEquivalenceTest : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(SlcaEquivalenceTest, AllAlgorithmsAgree) {
+  const RandomCase& c = GetParam();
+  RandomLcaInstance instance =
+      MakeRandomLcaInstance(c.seed, c.tree_size, c.k, c.density);
+  KeywordLists lists = instance.Views();
+  std::vector<Dewey> brute = SlcaBruteForce(lists);
+  EXPECT_EQ(SlcaIndexedLookup(lists), brute) << "seed=" << c.seed;
+  EXPECT_EQ(SlcaScanEager(lists), brute) << "seed=" << c.seed;
+  EXPECT_EQ(SlcaStackMerge(lists), brute) << "seed=" << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, SlcaEquivalenceTest,
+    ::testing::Values(RandomCase{1, 20, 2, 0.2}, RandomCase{2, 20, 2, 0.5},
+                      RandomCase{3, 50, 2, 0.1}, RandomCase{4, 50, 3, 0.2},
+                      RandomCase{5, 80, 3, 0.05}, RandomCase{6, 80, 4, 0.3},
+                      RandomCase{7, 120, 2, 0.02}, RandomCase{8, 120, 5, 0.15},
+                      RandomCase{9, 200, 3, 0.1}, RandomCase{10, 200, 4, 0.05},
+                      RandomCase{11, 300, 2, 0.3}, RandomCase{12, 300, 6, 0.1},
+                      RandomCase{13, 60, 3, 0.8}, RandomCase{14, 40, 8, 0.4},
+                      RandomCase{15, 500, 3, 0.05}, RandomCase{16, 500, 4, 0.2}),
+    [](const ::testing::TestParamInfo<RandomCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+TEST(SlcaStressTest, ManySeedsAgainstBruteForce) {
+  for (uint64_t seed = 100; seed < 160; ++seed) {
+    RandomLcaInstance instance = MakeRandomLcaInstance(
+        seed, /*tree_size=*/30 + seed % 50, /*k=*/2 + seed % 3,
+        /*density=*/0.05 + 0.02 * static_cast<double>(seed % 10));
+    KeywordLists lists = instance.Views();
+    std::vector<Dewey> brute = SlcaBruteForce(lists);
+    EXPECT_EQ(SlcaIndexedLookup(lists), brute) << "seed=" << seed;
+    EXPECT_EQ(SlcaScanEager(lists), brute) << "seed=" << seed;
+    EXPECT_EQ(SlcaStackMerge(lists), brute) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,107 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+
+namespace xks {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::ParseError("p").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::NotFound("n").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("o").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::IoError("i").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Corruption("c").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::AlreadyExists("a").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Unsupported("u").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, NonOkToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(Status::NotFound("missing row").ToString(), "NotFound: missing row");
+  EXPECT_EQ(Status(StatusCode::kParseError, "").ToString(), "ParseError");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+}
+
+Status Fails() { return Status::IoError("disk"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UseReturnIfError(bool fail) {
+  XKS_RETURN_IF_ERROR(fail ? Fails() : Succeeds());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UseReturnIfError(false).ok());
+  EXPECT_EQ(UseReturnIfError(true).code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  int h;
+  XKS_ASSIGN_OR_RETURN(h, Half(x));
+  int q;
+  XKS_ASSIGN_OR_RETURN(q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  Result<int> r = Quarter(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3, second Half fails
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,45 @@
+#include "src/text/stopwords.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace xks {
+namespace {
+
+TEST(StopWordsTest, CommonWordsAreStopWords) {
+  for (const char* w : {"the", "a", "an", "and", "or", "of", "to", "in", "is"}) {
+    EXPECT_TRUE(IsStopWord(w)) << w;
+  }
+}
+
+TEST(StopWordsTest, ContentWordsAreNot) {
+  for (const char* w : {"xml", "keyword", "search", "skyline", "position",
+                        "grizzlies", "data", "query"}) {
+    EXPECT_FALSE(IsStopWord(w)) << w;
+  }
+}
+
+TEST(StopWordsTest, CaseSensitiveByContract) {
+  // Callers must lowercase first; uppercase forms are not in the list.
+  EXPECT_FALSE(IsStopWord("The"));
+}
+
+TEST(StopWordsTest, EmptyStringIsNotAStopWord) {
+  EXPECT_FALSE(IsStopWord(""));
+}
+
+TEST(StopWordsTest, ListIsSortedAndUnique) {
+  const auto& list = StopWordList();
+  EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+  EXPECT_EQ(std::adjacent_find(list.begin(), list.end()), list.end());
+  EXPECT_GE(list.size(), 40u);
+}
+
+TEST(StopWordsTest, EveryListedWordIsDetected) {
+  for (std::string_view w : StopWordList()) {
+    EXPECT_TRUE(IsStopWord(w)) << w;
+  }
+}
+
+}  // namespace
+}  // namespace xks

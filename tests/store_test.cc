@@ -1,0 +1,125 @@
+#include "src/storage/store.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "src/datagen/figure1.h"
+#include "src/xml/parser.h"
+
+namespace xks {
+namespace {
+
+ShreddedStore BuildFromXml(std::string_view xml) {
+  Result<Document> doc = ParseXml(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return ShreddedStore::Build(*doc);
+}
+
+TEST(StoreTest, KeywordNodesSortedAndLowercased) {
+  ShreddedStore store = BuildFromXml("<r><a>XML</a><b>xml</b><c>Xml</c></r>");
+  const PostingList& postings = store.KeywordNodes("XML");
+  ASSERT_EQ(postings.size(), 3u);
+  EXPECT_EQ(postings[0], (Dewey{0, 0}));
+  EXPECT_EQ(postings[2], (Dewey{0, 2}));
+  EXPECT_TRUE(std::is_sorted(postings.begin(), postings.end()));
+}
+
+TEST(StoreTest, AbsentWordGivesEmptyList) {
+  ShreddedStore store = BuildFromXml("<r>content</r>");
+  EXPECT_TRUE(store.KeywordNodes("missing").empty());
+  EXPECT_TRUE(store.KeywordNodes("the").empty());  // stop word
+}
+
+TEST(StoreTest, LabelOf) {
+  ShreddedStore store = BuildFromXml("<pub><article/></pub>");
+  Result<std::string> label = store.LabelOf(Dewey{0, 0});
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(*label, "article");
+  EXPECT_FALSE(store.LabelOf(Dewey{0, 7}).ok());
+}
+
+TEST(StoreTest, AncestorLabels) {
+  ShreddedStore store = BuildFromXml("<a><b><c/></b></a>");
+  Result<std::vector<std::string>> labels = store.AncestorLabels(Dewey{0, 0, 0});
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(*labels, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StoreTest, ContentFeature) {
+  ShreddedStore store = BuildFromXml("<r><title>zeta alpha</title></r>");
+  Result<ContentId> cid = store.ContentFeatureOf(Dewey{0, 0});
+  ASSERT_TRUE(cid.ok());
+  EXPECT_EQ(cid->min_word, "alpha");
+  EXPECT_EQ(cid->max_word, "zeta");
+}
+
+TEST(StoreTest, WordFrequencyCaseInsensitive) {
+  ShreddedStore store = BuildFromXml("<r>Data DATA data</r>");
+  EXPECT_EQ(store.WordFrequency("DATA"), 3u);
+}
+
+TEST(StoreTest, EncodeDecodeRoundTrip) {
+  Result<Document> doc = Figure1aDocument();
+  ASSERT_TRUE(doc.ok());
+  ShreddedStore store = ShreddedStore::Build(*doc);
+  std::string buffer;
+  store.EncodeTo(&buffer);
+  Result<ShreddedStore> restored = ShreddedStore::DecodeFrom(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored->labels().size(), store.labels().size());
+  EXPECT_EQ(restored->elements().size(), store.elements().size());
+  EXPECT_EQ(restored->values().size(), store.values().size());
+  EXPECT_EQ(restored->index().vocabulary_size(), store.index().vocabulary_size());
+  EXPECT_EQ(restored->KeywordNodes("keyword"), store.KeywordNodes("keyword"));
+  EXPECT_EQ(restored->WordFrequency("xml"), store.WordFrequency("xml"));
+  Result<std::vector<std::string>> labels =
+      restored->AncestorLabels(Dewey{0, 2, 0, 1});
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->back(), "title");
+}
+
+TEST(StoreTest, DecodeRejectsBadMagic) {
+  EXPECT_EQ(ShreddedStore::DecodeFrom("JUNKdata").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ShreddedStore::DecodeFrom("XK").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(StoreTest, DecodeRejectsTruncation) {
+  ShreddedStore store = BuildFromXml("<r><a>word</a></r>");
+  std::string buffer;
+  store.EncodeTo(&buffer);
+  for (size_t cut : {buffer.size() - 1, buffer.size() / 2, size_t{5}}) {
+    Result<ShreddedStore> r = ShreddedStore::DecodeFrom(buffer.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(StoreTest, DecodeRejectsTrailingGarbage) {
+  ShreddedStore store = BuildFromXml("<r>x</r>");
+  std::string buffer;
+  store.EncodeTo(&buffer);
+  buffer += "extra";
+  EXPECT_FALSE(ShreddedStore::DecodeFrom(buffer).ok());
+}
+
+TEST(StoreTest, SaveAndLoadFile) {
+  std::string path = ::testing::TempDir() + "/xks_store_test.bin";
+  {
+    ShreddedStore store = BuildFromXml("<r><a>alpha</a><b>beta</b></r>");
+    ASSERT_TRUE(store.Save(path).ok());
+  }
+  Result<ShreddedStore> loaded = ShreddedStore::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->KeywordNodes("alpha").size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, LoadMissingFileFails) {
+  EXPECT_EQ(ShreddedStore::Load("/nonexistent/path/file.bin").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,74 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace xks {
+namespace {
+
+TEST(AsciiLowerTest, LowersOnlyAsciiLetters) {
+  EXPECT_EQ(AsciiLower("XML Keyword"), "xml keyword");
+  EXPECT_EQ(AsciiLower("already"), "already");
+  EXPECT_EQ(AsciiLower("MiXeD123!"), "mixed123!");
+  EXPECT_EQ(AsciiLower(""), "");
+}
+
+TEST(IsAlnumAsciiTest, Classification) {
+  EXPECT_TRUE(IsAlnumAscii('a'));
+  EXPECT_TRUE(IsAlnumAscii('Z'));
+  EXPECT_TRUE(IsAlnumAscii('0'));
+  EXPECT_TRUE(IsAlnumAscii('9'));
+  EXPECT_FALSE(IsAlnumAscii(' '));
+  EXPECT_FALSE(IsAlnumAscii('-'));
+  EXPECT_FALSE(IsAlnumAscii('\0'));
+}
+
+TEST(SplitStringTest, BasicSplit) {
+  std::vector<std::string> parts = SplitString("a,b,c", ",");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitStringTest, DropsEmptyPieces) {
+  EXPECT_EQ(SplitString(",,a,,b,,", ",").size(), 2u);
+  EXPECT_TRUE(SplitString("", ",").empty());
+  EXPECT_TRUE(SplitString(",,,", ",").empty());
+}
+
+TEST(SplitStringTest, MultipleDelimiters) {
+  std::vector<std::string> parts = SplitString("a b\tc\nd", " \t\n");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[3], "d");
+}
+
+TEST(JoinStringsTest, Joins) {
+  EXPECT_EQ(JoinStrings({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  abc  "), "abc");
+  EXPECT_EQ(TrimWhitespace("\t\n abc"), "abc");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" a b "), "a b");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("keyword search", "keyword"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("abc", "abcd"));
+  EXPECT_FALSE(StartsWith("abc", "b"));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%zu", static_cast<size_t>(7)), "7");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+  EXPECT_EQ(StrFormat("%05.2f", 3.14159), "03.14");
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,99 @@
+// Shared helpers for randomized property tests.
+
+#ifndef XKS_TESTS_TEST_UTIL_H_
+#define XKS_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/index/inverted_index.h"
+#include "src/lca/lca.h"
+#include "src/xml/dewey.h"
+#include "src/xml/dom.h"
+
+namespace xks {
+
+/// A random prefix-closed Dewey set (a tree shape), sorted in document
+/// order. Root is always present.
+inline std::vector<Dewey> RandomTreeNodes(Rng* rng, size_t target_count,
+                                          uint32_t max_fanout, size_t max_depth) {
+  std::vector<Dewey> nodes = {Dewey::Root()};
+  std::map<Dewey, uint32_t> child_count;
+  while (nodes.size() < target_count) {
+    const Dewey& parent = nodes[rng->Uniform(nodes.size())];
+    if (parent.depth() >= max_depth) continue;
+    uint32_t& count = child_count[parent];
+    if (count >= max_fanout) continue;
+    nodes.push_back(parent.Child(count));
+    ++count;
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+/// A sorted random subset of `nodes`, each node kept with probability `p`;
+/// guaranteed non-empty (one node is forced in when the draw is empty).
+inline PostingList RandomPostings(Rng* rng, const std::vector<Dewey>& nodes,
+                                  double p) {
+  PostingList list;
+  for (const Dewey& d : nodes) {
+    if (rng->Bernoulli(p)) list.push_back(d);
+  }
+  if (list.empty()) list.push_back(nodes[rng->Uniform(nodes.size())]);
+  std::sort(list.begin(), list.end());
+  return list;
+}
+
+/// Builds `k` random posting lists over one random tree.
+struct RandomLcaInstance {
+  std::vector<Dewey> tree;
+  std::vector<PostingList> lists;
+
+  KeywordLists Views() const {
+    KeywordLists views;
+    for (const PostingList& list : lists) views.push_back(&list);
+    return views;
+  }
+};
+
+inline RandomLcaInstance MakeRandomLcaInstance(uint64_t seed, size_t tree_size,
+                                               size_t k, double density) {
+  Rng rng(seed);
+  RandomLcaInstance instance;
+  instance.tree = RandomTreeNodes(&rng, tree_size, /*max_fanout=*/4,
+                                  /*max_depth=*/7);
+  for (size_t i = 0; i < k; ++i) {
+    instance.lists.push_back(RandomPostings(&rng, instance.tree, density));
+  }
+  return instance;
+}
+
+/// A random small Document whose node labels and one-word texts are drawn
+/// from tiny pools, for end-to-end engine property tests. Small pools make
+/// label collisions and duplicate contents (the valid-contributor corner
+/// cases) common.
+inline Document RandomDocument(uint64_t seed, size_t target_count) {
+  Rng rng(seed);
+  static const std::vector<std::string> kLabels = {"r", "x", "y", "z", "w"};
+  static const std::vector<std::string> kWords = {"apple",  "berry", "cedar",
+                                                  "dune",   "ember", "fig"};
+  Document doc;
+  NodeId root = *doc.CreateRoot("r");
+  std::vector<NodeId> ids = {root};
+  while (doc.size() < target_count) {
+    NodeId parent = ids[rng.Uniform(ids.size())];
+    NodeId child = doc.AddNode(parent, rng.Choice(kLabels));
+    if (rng.Bernoulli(0.7)) doc.AppendText(child, rng.Choice(kWords));
+    if (rng.Bernoulli(0.2)) doc.AppendText(child, rng.Choice(kWords));
+    ids.push_back(child);
+  }
+  doc.AssignDeweys();
+  return doc;
+}
+
+}  // namespace xks
+
+#endif  // XKS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,61 @@
+#include "src/text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace xks {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  EXPECT_EQ(TokenizeWords("XML-keyword search"),
+            (std::vector<std::string>{"xml", "keyword", "search"}));
+}
+
+TEST(TokenizerTest, Lowercases) {
+  EXPECT_EQ(TokenizeWords("VLDB SIGMOD"),
+            (std::vector<std::string>{"vldb", "sigmod"}));
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  EXPECT_EQ(TokenizeWords("year 2008, pages 10-20"),
+            (std::vector<std::string>{"year", "2008", "pages", "10", "20"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(TokenizeWords("").empty());
+  EXPECT_TRUE(TokenizeWords("—…!!??,,").empty());
+}
+
+TEST(TokenizerTest, SingleWord) {
+  EXPECT_EQ(TokenizeWords("skyline"), (std::vector<std::string>{"skyline"}));
+}
+
+TEST(TokenizerTest, LeadingTrailingSeparators) {
+  EXPECT_EQ(TokenizeWords("  (query)  "), (std::vector<std::string>{"query"}));
+}
+
+TEST(TokenizerTest, ApostropheSplits) {
+  EXPECT_EQ(TokenizeWords("don't"), (std::vector<std::string>{"don", "t"}));
+}
+
+TEST(TokenizerTest, PreservesDuplicates) {
+  EXPECT_EQ(TokenizeWords("data data data").size(), 3u);
+}
+
+TEST(TokenizerTest, ForEachWordStreams) {
+  size_t count = 0;
+  std::string last;
+  ForEachWord("alpha beta gamma", [&](std::string&& w) {
+    ++count;
+    last = w;
+  });
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(last, "gamma");
+}
+
+TEST(TokenizerTest, MixedAlnumStaysTogether) {
+  EXPECT_EQ(TokenizeWords("x86 arch64"),
+            (std::vector<std::string>{"x86", "arch64"}));
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,102 @@
+#include "src/xml/writer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xml/parser.h"
+
+namespace xks {
+namespace {
+
+TEST(WriterTest, EscapeText) {
+  EXPECT_EQ(EscapeXmlText("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(EscapeXmlText("plain"), "plain");
+  EXPECT_EQ(EscapeXmlText("\"quotes\""), "\"quotes\"");  // fine in text
+}
+
+TEST(WriterTest, EscapeAttribute) {
+  EXPECT_EQ(EscapeXmlAttribute("a\"b"), "a&quot;b");
+  EXPECT_EQ(EscapeXmlAttribute("<&>"), "&lt;&amp;&gt;");
+}
+
+TEST(WriterTest, CompactOutput) {
+  Document doc;
+  NodeId root = *doc.CreateRoot("a");
+  NodeId b = doc.AddNode(root, "b");
+  doc.AppendText(b, "x");
+  doc.AddNode(root, "c");
+  doc.AssignDeweys();
+  WriteOptions options;
+  options.indent = "";
+  EXPECT_EQ(WriteXml(doc, options), "<a><b>x</b><c/></a>");
+}
+
+TEST(WriterTest, PrettyOutput) {
+  Document doc;
+  NodeId root = *doc.CreateRoot("a");
+  doc.AddNode(root, "b");
+  doc.AssignDeweys();
+  EXPECT_EQ(WriteXml(doc), "<a>\n  <b/>\n</a>\n");
+}
+
+TEST(WriterTest, AttributesEscaped) {
+  Document doc;
+  NodeId root = *doc.CreateRoot("a");
+  doc.AddAttribute(root, "x", "v<1>&\"2\"");
+  doc.AssignDeweys();
+  WriteOptions options;
+  options.indent = "";
+  EXPECT_EQ(WriteXml(doc, options), "<a x=\"v&lt;1&gt;&amp;&quot;2&quot;\"/>");
+}
+
+TEST(WriterTest, Declaration) {
+  Document doc;
+  (void)*doc.CreateRoot("a");
+  doc.AssignDeweys();
+  WriteOptions options;
+  options.indent = "";
+  options.declaration = true;
+  EXPECT_EQ(WriteXml(doc, options),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+}
+
+TEST(WriterTest, SubtreeSerialization) {
+  Result<Document> doc = ParseXml("<a><b><c>deep</c></b><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  NodeId b = *doc->FindByDewey(Dewey{0, 0});
+  WriteOptions options;
+  options.indent = "";
+  EXPECT_EQ(WriteXml(*doc, b, options), "<b><c>deep</c></b>");
+}
+
+TEST(WriterTest, RoundTripThroughParser) {
+  const std::string original =
+      R"(<lib count="2"><book id="a&amp;1"><title>X &lt; Y</title></book>)"
+      R"(<book id="b"><title>Z</title><note>n1 n2</note></book></lib>)";
+  Result<Document> doc = ParseXml(original);
+  ASSERT_TRUE(doc.ok());
+  WriteOptions options;
+  options.indent = "";
+  std::string written = WriteXml(*doc, options);
+  Result<Document> reparsed = ParseXml(written);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(doc->size(), reparsed->size());
+  // Compare structure node by node.
+  for (size_t i = 0; i < doc->size(); ++i) {
+    NodeId id = static_cast<NodeId>(i);
+    EXPECT_EQ(doc->node(id).label, reparsed->node(id).label);
+    EXPECT_EQ(doc->node(id).text, reparsed->node(id).text);
+    EXPECT_EQ(doc->node(id).attributes, reparsed->node(id).attributes);
+    EXPECT_EQ(doc->node(id).dewey, reparsed->node(id).dewey);
+  }
+}
+
+TEST(WriterTest, TextWithChildrenKeepsTextBeforeChildren) {
+  Result<Document> doc = ParseXml("<a>lead<b/></a>");
+  ASSERT_TRUE(doc.ok());
+  WriteOptions options;
+  options.indent = "";
+  EXPECT_EQ(WriteXml(*doc, options), "<a>lead<b/></a>");
+}
+
+}  // namespace
+}  // namespace xks
