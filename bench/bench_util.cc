@@ -2,27 +2,28 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
-#include "src/core/maxmatch.h"
-#include "src/core/validrtf.h"
+#include "src/common/io.h"
+#include "src/common/string_util.h"
 
 namespace xks {
 
-BenchRow MeasureQuery(const ShreddedStore& store, const WorkloadQuery& query,
+BenchRow MeasureQuery(const Database& db, const WorkloadQuery& query,
                       int runs) {
   BenchRow row;
   row.label = query.label;
-  Result<KeywordQuery> parsed = KeywordQuery::FromKeywords(query.keywords);
-  if (!parsed.ok()) return row;
-
-  SearchEngine engine(&store);
+  const SearchRequest valid_request =
+      SearchRequest::Exhaustive(query.keywords, PruningPolicy::kValidContributor);
+  const SearchRequest max_request =
+      SearchRequest::Exhaustive(query.keywords, PruningPolicy::kContributor);
   double valid_total = 0;
   double max_total = 0;
-  SearchResult last_valid;
-  SearchResult last_max;
+  SearchResponse last_valid;
+  SearchResponse last_max;
   for (int run = 0; run < runs; ++run) {
-    Result<SearchResult> valid = engine.Search(*parsed, ValidRtfOptions());
-    Result<SearchResult> max = engine.Search(*parsed, MaxMatchOptions());
+    Result<SearchResponse> valid = db.Search(valid_request);
+    Result<SearchResponse> max = db.Search(max_request);
     if (!valid.ok() || !max.ok()) return row;
     if (run == 0) continue;  // discard the first processing (paper protocol)
     valid_total += valid->timings.post_retrieval_ms();
@@ -35,22 +36,33 @@ BenchRow MeasureQuery(const ShreddedStore& store, const WorkloadQuery& query,
   const int counted = runs > 1 ? runs - 1 : 1;
   row.validrtf_ms = valid_total / counted;
   row.maxmatch_ms = max_total / counted;
-  row.rtfs = last_valid.rtf_count();
+  row.rtfs = last_valid.hits.size();
   row.keyword_nodes = last_valid.keyword_node_count;
-  Result<QueryEffectiveness> eff = CompareEffectiveness(last_valid, last_max);
+  Result<QueryEffectiveness> eff =
+      CompareHitEffectiveness(last_valid.hits, last_max.hits);
   if (eff.ok()) row.effectiveness = std::move(eff).value();
   return row;
 }
 
-std::vector<BenchRow> MeasureWorkload(const ShreddedStore& store,
+std::vector<BenchRow> MeasureWorkload(const Database& db,
                                       const std::vector<WorkloadQuery>& workload,
                                       int runs) {
   std::vector<BenchRow> rows;
   rows.reserve(workload.size());
   for (const WorkloadQuery& query : workload) {
-    rows.push_back(MeasureQuery(store, query, runs));
+    rows.push_back(MeasureQuery(db, query, runs));
   }
   return rows;
+}
+
+Database BuildCorpus(const std::string& name, const Document& doc) {
+  Database db;
+  Result<DocumentId> added = db.AddDocument(name, doc);
+  if (!added.ok() || !db.Build().ok()) {
+    std::fprintf(stderr, "failed to build corpus '%s'\n", name.c_str());
+    std::exit(1);
+  }
+  return db;
 }
 
 void PrintFigure5(const std::string& title, const std::vector<BenchRow>& rows) {
@@ -75,9 +87,63 @@ void PrintFigure6(const std::string& title, const std::vector<BenchRow>& rows) {
 }
 
 double ArgScale(int argc, char** argv, int index, double fallback) {
-  if (argc <= index) return fallback;
-  double value = std::atof(argv[index]);
-  return value > 0 ? value : fallback;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) continue;
+    if (++positional == index) {
+      double value = std::atof(argv[i]);
+      return value > 0 ? value : fallback;
+    }
+  }
+  return fallback;
+}
+
+std::string ArgJsonPath(int argc, char** argv) {
+  constexpr const char* kFlag = "--json=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      return argv[i] + std::strlen(kFlag);
+    }
+  }
+  return "";
+}
+
+bool WriteBenchJsonRaw(const std::string& path, const std::string& bench_name,
+                       const std::string& datasets_json) {
+  Status written = WriteStringToFile(path, "{\"bench\": \"" + bench_name +
+                                               "\", \"datasets\": " +
+                                               datasets_json + "}\n");
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+bool WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const std::vector<BenchDataset>& datasets) {
+  std::string out = "[";
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    const BenchDataset& ds = datasets[d];
+    if (d > 0) out += ", ";
+    out += StrFormat("{\"name\": \"%s\", \"scale\": %g, \"rows\": [",
+                     ds.name.c_str(), ds.scale);
+    for (size_t i = 0; i < ds.rows.size(); ++i) {
+      const BenchRow& row = ds.rows[i];
+      if (i > 0) out += ", ";
+      out += StrFormat(
+          "{\"label\": \"%s\", \"keyword_nodes\": %zu, \"rtfs\": %zu, "
+          "\"maxmatch_ms\": %.6f, \"validrtf_ms\": %.6f, \"cfr\": %.6f, "
+          "\"apr_prime\": %.6f, \"max_apr\": %.6f}",
+          row.label.c_str(), row.keyword_nodes, row.rtfs, row.maxmatch_ms,
+          row.validrtf_ms, row.effectiveness.cfr(),
+          row.effectiveness.apr_prime(), row.effectiveness.max_apr());
+    }
+    out += "]}";
+  }
+  out += "]";
+  return WriteBenchJsonRaw(path, bench_name, out);
 }
 
 }  // namespace xks

@@ -1,8 +1,13 @@
-// Shared harness code for the figure-reproduction benches.
+// Shared harness code for the figure-reproduction benches, running through
+// the corpus API (xks::Database).
 //
 // Follows the paper's protocol (Section 5.1): every query runs 6 times, the
 // first (cold) run is discarded, the remaining 5 are averaged; reported time
 // is the post-retrieval time (after keyword-node Dewey codes are fetched).
+//
+// Every driver also supports --json=<path>: the measured rows are written as
+// a machine-readable JSON document, the input bench/run_all.sh merges into
+// the per-PR BENCH_*.json trajectory file.
 
 #ifndef XKS_BENCH_BENCH_UTIL_H_
 #define XKS_BENCH_BENCH_UTIL_H_
@@ -10,9 +15,9 @@
 #include <string>
 #include <vector>
 
-#include "src/core/metrics.h"
+#include "src/api/database.h"
+#include "src/api/effectiveness.h"
 #include "src/datagen/workloads.h"
-#include "src/storage/store.h"
 
 namespace xks {
 
@@ -27,14 +32,18 @@ struct BenchRow {
   QueryEffectiveness effectiveness;
 };
 
-/// Runs one workload query through both engines per the paper's protocol.
-BenchRow MeasureQuery(const ShreddedStore& store, const WorkloadQuery& query,
+/// Runs one workload query through both pruning configurations per the
+/// paper's protocol.
+BenchRow MeasureQuery(const Database& db, const WorkloadQuery& query,
                       int runs = 6);
 
 /// Runs a whole workload.
-std::vector<BenchRow> MeasureWorkload(const ShreddedStore& store,
+std::vector<BenchRow> MeasureWorkload(const Database& db,
                                       const std::vector<WorkloadQuery>& workload,
                                       int runs = 6);
+
+/// Builds a one-document corpus around `doc` (driver convenience).
+Database BuildCorpus(const std::string& name, const Document& doc);
 
 /// Figure-5-style table: per query label, MaxMatch ms, ValidRTF ms, #RTFs.
 void PrintFigure5(const std::string& title, const std::vector<BenchRow>& rows);
@@ -43,7 +52,32 @@ void PrintFigure5(const std::string& title, const std::vector<BenchRow>& rows);
 void PrintFigure6(const std::string& title, const std::vector<BenchRow>& rows);
 
 /// Reads a positive double from argv[index], falling back to `fallback`.
+/// "--flag" / "--flag=value" arguments do not count toward `index`.
 double ArgScale(int argc, char** argv, int index, double fallback);
+
+/// The value of a "--json=<path>" argument; empty when absent.
+std::string ArgJsonPath(int argc, char** argv);
+
+/// One measured dataset: the rows plus the generation parameters, one entry
+/// of the emitted JSON document.
+struct BenchDataset {
+  std::string name;
+  double scale = 0;
+  std::vector<BenchRow> rows;
+};
+
+/// Writes `datasets` to `path` as one JSON document:
+///   {"bench": <bench_name>, "datasets": [{"name": ..., "scale": ...,
+///    "rows": [{"label": ..., "validrtf_ms": ...}, ...]}, ...]}
+/// Returns false (after printing the error) when the file cannot be written.
+bool WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const std::vector<BenchDataset>& datasets);
+
+/// Writes an already-assembled datasets array ("[...]") under the standard
+/// {"bench": ..., "datasets": ...} envelope (drivers whose rows are not
+/// BenchRows, e.g. keyword frequencies). Same reporting as WriteBenchJson.
+bool WriteBenchJsonRaw(const std::string& path, const std::string& bench_name,
+                       const std::string& datasets_json);
 
 }  // namespace xks
 

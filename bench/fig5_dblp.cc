@@ -1,5 +1,6 @@
 // Figure 5(a): ValidRTF vs MaxMatch elapsed time and RTF counts per query on
-// the DBLP dataset. Usage: fig5_dblp [scale] (default 0.02 ≈ 9.2k records).
+// the DBLP dataset. Usage: fig5_dblp [scale] [--json=out.json]
+// (default scale 0.02 ≈ 9.2k records).
 
 #include <cstdio>
 
@@ -14,13 +15,20 @@ int main(int argc, char** argv) {
               options.scale, DblpRecordCount(options));
   Document doc = GenerateDblp(options);
   std::printf("document nodes: %zu\n", doc.size());
-  ShreddedStore store = ShreddedStore::Build(doc);
-  std::printf("index: %zu words / %zu postings\n",
-              store.index().vocabulary_size(), store.index().total_postings());
+  Database db = BuildCorpus("dblp", doc);
+  std::printf("corpus: %zu words / %zu postings\n", db.vocabulary_size(),
+              db.total_postings());
 
-  std::vector<BenchRow> rows = MeasureWorkload(store, DblpWorkload());
+  std::vector<BenchRow> rows = MeasureWorkload(db, DblpWorkload());
   PrintFigure5("Figure 5(a) — dblp: per-query time (post keyword-node "
                "retrieval) and #RTFs",
                rows);
+
+  std::string json_path = ArgJsonPath(argc, argv);
+  if (!json_path.empty() &&
+      !WriteBenchJson(json_path, "fig5_dblp",
+                      {BenchDataset{"dblp", options.scale, rows}})) {
+    return 1;
+  }
   return 0;
 }

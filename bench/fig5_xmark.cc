@@ -1,6 +1,6 @@
 // Figure 5(b-d): ValidRTF vs MaxMatch per query on the three XMark datasets
 // (standard : data1 : data2 sizes in the paper's 1 : 3 : 6 ratio).
-// Usage: fig5_xmark [base_scale] (default 0.4).
+// Usage: fig5_xmark [base_scale] [--json=out.json] (default 0.4).
 
 #include <cstdio>
 
@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
       {"xmark data2", "Figure 5(d)", 6.0, 2},
   };
 
+  std::vector<BenchDataset> measured;
   for (const auto& ds : datasets) {
     XmarkOptions options;
     options.scale = base * ds.factor;
@@ -30,12 +31,17 @@ int main(int argc, char** argv) {
     Document doc = GenerateXmark(options);
     std::printf("document nodes: %zu, max depth %zu\n", doc.size(),
                 doc.MaxDepth());
-    ShreddedStore store = ShreddedStore::Build(doc);
-    std::printf("index: %zu words / %zu postings\n",
-                store.index().vocabulary_size(),
-                store.index().total_postings());
-    std::vector<BenchRow> rows = MeasureWorkload(store, XmarkWorkload());
+    Database db = BuildCorpus(ds.name, doc);
+    std::printf("corpus: %zu words / %zu postings\n", db.vocabulary_size(),
+                db.total_postings());
+    std::vector<BenchRow> rows = MeasureWorkload(db, XmarkWorkload());
     PrintFigure5(std::string(ds.figure) + " — " + ds.name, rows);
+    measured.push_back(BenchDataset{ds.name, options.scale, std::move(rows)});
+  }
+
+  std::string json_path = ArgJsonPath(argc, argv);
+  if (!json_path.empty() && !WriteBenchJson(json_path, "fig5_xmark", measured)) {
+    return 1;
   }
   return 0;
 }

@@ -1,5 +1,6 @@
 // Figure 6(a): effectiveness of ValidRTF over MaxMatch on DBLP — CFR, APR'
-// and Max APR per query. Usage: fig6_dblp [scale] (default 0.02).
+// and Max APR per query. Usage: fig6_dblp [scale] [--json=out.json]
+// (default scale 0.02).
 
 #include <cstdio>
 
@@ -12,10 +13,9 @@ int main(int argc, char** argv) {
   options.scale = ArgScale(argc, argv, 1, 0.02);
   std::printf("fig6_dblp: generating DBLP at scale %.4f (%zu records)\n",
               options.scale, DblpRecordCount(options));
-  Document doc = GenerateDblp(options);
-  ShreddedStore store = ShreddedStore::Build(doc);
+  Database db = BuildCorpus("dblp", GenerateDblp(options));
 
-  std::vector<BenchRow> rows = MeasureWorkload(store, DblpWorkload(), /*runs=*/2);
+  std::vector<BenchRow> rows = MeasureWorkload(db, DblpWorkload(), /*runs=*/2);
   PrintFigure6("Figure 6(a) — dblp: CFR / APR' / Max APR per query", rows);
 
   // The paper's headline observations for 6(a), printed as a check-list.
@@ -28,5 +28,12 @@ int main(int argc, char** argv) {
   std::printf("\nobservations: APR'=0 on %zu/%zu queries (paper: all), "
               "CFR<1 on %zu/%zu queries (paper: all)\n",
               apr_prime_zero, rows.size(), cfr_below_one, rows.size());
+
+  std::string json_path = ArgJsonPath(argc, argv);
+  if (!json_path.empty() &&
+      !WriteBenchJson(json_path, "fig6_dblp",
+                      {BenchDataset{"dblp", options.scale, rows}})) {
+    return 1;
+  }
   return 0;
 }

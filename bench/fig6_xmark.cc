@@ -1,5 +1,6 @@
 // Figure 6(b-d): effectiveness of ValidRTF over MaxMatch on the XMark
-// series — CFR, APR' and Max APR per query. Usage: fig6_xmark [base_scale].
+// series — CFR, APR' and Max APR per query.
+// Usage: fig6_xmark [base_scale] [--json=out.json].
 
 #include <algorithm>
 #include <cstdio>
@@ -21,16 +22,16 @@ int main(int argc, char** argv) {
       {"xmark data2", "Figure 6(d)", 6.0, 2},
   };
 
+  std::vector<BenchDataset> measured;
   for (const auto& ds : datasets) {
     XmarkOptions options;
     options.scale = base * ds.factor;
     options.frequency_column = ds.column;
     std::printf("\n%s: generating %s at scale %.3f\n", ds.figure, ds.name,
                 options.scale);
-    Document doc = GenerateXmark(options);
-    ShreddedStore store = ShreddedStore::Build(doc);
+    Database db = BuildCorpus(ds.name, GenerateXmark(options));
     std::vector<BenchRow> rows =
-        MeasureWorkload(store, XmarkWorkload(), /*runs=*/2);
+        MeasureWorkload(db, XmarkWorkload(), /*runs=*/2);
     PrintFigure6(std::string(ds.figure) + " — " + ds.name, rows);
 
     size_t apr_prime_positive = 0;
@@ -42,6 +43,12 @@ int main(int argc, char** argv) {
     std::printf("\nobservations: APR'>0 on %zu/%zu queries (paper: all), "
                 "Max APR peak %.3f (paper: close to 1)\n",
                 apr_prime_positive, rows.size(), max_apr_peak);
+    measured.push_back(BenchDataset{ds.name, options.scale, std::move(rows)});
+  }
+
+  std::string json_path = ArgJsonPath(argc, argv);
+  if (!json_path.empty() && !WriteBenchJson(json_path, "fig6_xmark", measured)) {
+    return 1;
   }
   return 0;
 }

@@ -1,8 +1,10 @@
-// Substrate throughput: XML parsing, shredding, index building and store
-// (de)serialization on generated DBLP data.
+// Substrate throughput: XML parsing, shredding, index building, store
+// (de)serialization and corpus-level (XKS2) persistence + top-k serving on
+// generated DBLP data.
 
 #include <benchmark/benchmark.h>
 
+#include "src/api/database.h"
 #include "src/datagen/dblp_gen.h"
 #include "src/storage/shredder.h"
 #include "src/storage/store.h"
@@ -78,6 +80,52 @@ void BM_StoreDecode(benchmark::State& state) {
       static_cast<int64_t>(state.iterations() * buffer.size()));
 }
 BENCHMARK(BM_StoreDecode);
+
+/// A three-document corpus exercising the multi-document XKS2 paths.
+Database MakeCorpus() {
+  Database db;
+  for (int i = 0; i < 3; ++i) {
+    DblpOptions options;
+    options.scale = 0.003;
+    options.seed = 1000 + i;
+    (void)db.AddDocument("dblp" + std::to_string(i), GenerateDblp(options));
+  }
+  (void)db.Build();
+  return db;
+}
+
+void BM_CorpusEncode(benchmark::State& state) {
+  Database db = MakeCorpus();
+  for (auto _ : state) {
+    std::string buffer;
+    db.EncodeTo(&buffer);
+    benchmark::DoNotOptimize(buffer);
+  }
+}
+BENCHMARK(BM_CorpusEncode);
+
+void BM_CorpusDecode(benchmark::State& state) {
+  Database db = MakeCorpus();
+  std::string buffer;
+  db.EncodeTo(&buffer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Database::DecodeFrom(buffer));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * buffer.size()));
+}
+BENCHMARK(BM_CorpusDecode);
+
+void BM_CorpusSearchTopK(benchmark::State& state) {
+  Database db = MakeCorpus();
+  SearchRequest request = SearchRequest::ValidRtf("xml keyword");
+  request.top_k = static_cast<size_t>(state.range(0));
+  request.include_snippets = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Search(request));
+  }
+}
+BENCHMARK(BM_CorpusSearchTopK)->Arg(1)->Arg(10)->Arg(100);
 
 }  // namespace
 }  // namespace xks

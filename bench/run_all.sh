@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Runs all 9 bench binaries in machine-readable mode and merges their JSON
+# into one trajectory file (default BENCH_pr2.json at the repo root).
+#
+#   bench/run_all.sh [build_dir] [output.json]
+#
+# The figure drivers run at reduced scales so the whole sweep stays under a
+# few minutes; the Google Benchmark micros run with a short min_time. The
+# output is one JSON object keyed by bench binary name, each value being the
+# binary's own JSON document ({"bench": ..., "datasets": [...]} for the
+# figure drivers, Google Benchmark's context/benchmarks document for the
+# micros).
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUTPUT="${2:-BENCH_pr2.json}"
+BENCH_DIR="${BUILD_DIR}/bench"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+if [ ! -d "${BENCH_DIR}" ]; then
+  echo "error: '${BENCH_DIR}' not found — build with -DXKS_BUILD_BENCH=ON first" >&2
+  exit 1
+fi
+
+# Figure drivers: our own --json emission.
+"${BENCH_DIR}/fig5_dblp" 0.005 "--json=${TMP_DIR}/fig5_dblp.json"
+"${BENCH_DIR}/fig6_dblp" 0.005 "--json=${TMP_DIR}/fig6_dblp.json"
+"${BENCH_DIR}/fig5_xmark" 0.1 "--json=${TMP_DIR}/fig5_xmark.json"
+"${BENCH_DIR}/fig6_xmark" 0.1 "--json=${TMP_DIR}/fig6_xmark.json"
+"${BENCH_DIR}/table_keyword_freq" 0.005 0.1 "--json=${TMP_DIR}/table_keyword_freq.json"
+
+# Google Benchmark micros: native JSON reporters.
+for micro in ablation_cid micro_lca micro_parse_shred micro_prune; do
+  "${BENCH_DIR}/${micro}" \
+    --benchmark_format=console \
+    --benchmark_out_format=json \
+    --benchmark_out="${TMP_DIR}/${micro}.json" \
+    --benchmark_min_time=0.05
+done
+
+# Merge: {"bench_name": <document>, ...}.
+{
+  printf '{\n'
+  first=1
+  for f in fig5_dblp fig6_dblp fig5_xmark fig6_xmark table_keyword_freq \
+           ablation_cid micro_lca micro_parse_shred micro_prune; do
+    [ "${first}" -eq 1 ] || printf ',\n'
+    first=0
+    printf '"%s": ' "${f}"
+    cat "${TMP_DIR}/${f}.json"
+  done
+  printf '\n}\n'
+} > "${OUTPUT}"
+
+echo "merged 9 bench reports into ${OUTPUT}"

@@ -2,11 +2,13 @@
 // workload keywords in our generated datasets, next to the paper's counts
 // (ours are scaled; the *profile* — which keywords are rare/frequent, and
 // the 1:3:6 growth across the XMark series — is what must match).
-// Usage: table_keyword_freq [dblp_scale] [xmark_base_scale]
+// Usage: table_keyword_freq [dblp_scale] [xmark_base_scale] [--json=out.json]
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "src/common/string_util.h"
 #include "src/datagen/dblp_gen.h"
 #include "src/datagen/xmark_gen.h"
 
@@ -15,19 +17,29 @@ int main(int argc, char** argv) {
   const double dblp_scale = ArgScale(argc, argv, 1, 0.02);
   const double xmark_base = ArgScale(argc, argv, 2, 0.4);
 
+  std::string json = "[";
+
   {
     DblpOptions options;
     options.scale = dblp_scale;
-    Document doc = GenerateDblp(options);
-    ShreddedStore store = ShreddedStore::Build(doc);
+    Database db = BuildCorpus("dblp", GenerateDblp(options));
     std::printf("Keywords for DBLP (scale %.4f, %zu records):\n", dblp_scale,
                 DblpRecordCount(options));
     std::printf("%-16s %12s %12s\n", "keyword", "ours", "paper");
+    json += StrFormat("{\"name\": \"dblp\", \"scale\": %g, \"rows\": [",
+                      dblp_scale);
+    bool first = true;
     for (const WorkloadKeyword& kw : DblpKeywords()) {
+      const uint64_t ours = db.WordFrequency(kw.word);
       std::printf("%-16s %12llu %12llu\n", kw.word.c_str(),
-                  static_cast<unsigned long long>(store.WordFrequency(kw.word)),
+                  static_cast<unsigned long long>(ours),
                   static_cast<unsigned long long>(kw.paper_frequencies[0]));
+      json += StrFormat("%s{\"keyword\": \"%s\", \"frequency\": %llu}",
+                        first ? "" : ", ", kw.word.c_str(),
+                        static_cast<unsigned long long>(ours));
+      first = false;
     }
+    json += "]}";
   }
 
   {
@@ -36,16 +48,28 @@ int main(int argc, char** argv) {
                 "data2", "p.std", "p.data1", "p.data2");
     uint64_t ours[13][3] = {};
     const double factors[3] = {1.0, 3.0, 6.0};
+    static const char* kColumnNames[3] = {"xmark standard", "xmark data1",
+                                          "xmark data2"};
     for (int column = 0; column < 3; ++column) {
       XmarkOptions options;
       options.scale = xmark_base * factors[column];
       options.frequency_column = column;
-      Document doc = GenerateXmark(options);
-      ShreddedStore store = ShreddedStore::Build(doc);
+      Database db = BuildCorpus(kColumnNames[column], GenerateXmark(options));
       int i = 0;
       for (const WorkloadKeyword& kw : XmarkKeywords()) {
-        ours[i++][column] = store.WordFrequency(kw.word);
+        ours[i++][column] = db.WordFrequency(kw.word);
       }
+      json += StrFormat(", {\"name\": \"%s\", \"scale\": %g, \"rows\": [",
+                        kColumnNames[column], options.scale);
+      bool first = true;
+      i = 0;
+      for (const WorkloadKeyword& kw : XmarkKeywords()) {
+        json += StrFormat("%s{\"keyword\": \"%s\", \"frequency\": %llu}",
+                          first ? "" : ", ", kw.word.c_str(),
+                          static_cast<unsigned long long>(ours[i++][column]));
+        first = false;
+      }
+      json += "]}";
     }
     int i = 0;
     for (const WorkloadKeyword& kw : XmarkKeywords()) {
@@ -59,6 +83,13 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(kw.paper_frequencies[2]));
       ++i;
     }
+  }
+  json += "]";
+
+  std::string json_path = ArgJsonPath(argc, argv);
+  if (!json_path.empty() &&
+      !WriteBenchJsonRaw(json_path, "table_keyword_freq", json)) {
+    return 1;
   }
   return 0;
 }

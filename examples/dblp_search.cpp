@@ -1,4 +1,6 @@
-// DBLP scenario: generate a bibliography, search it, compare mechanisms.
+// DBLP scenario: a generated bibliography served through the corpus API —
+// ranked top-k pages, cursor pagination, and the ValidRTF/MaxMatch
+// effectiveness comparison.
 //
 //   ./dblp_search                 # default scale, demo queries
 //   ./dblp_search 0.01 "xml keyword query"
@@ -6,12 +8,9 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/core/maxmatch.h"
-#include "src/core/metrics.h"
-#include "src/core/ranking.h"
-#include "src/core/validrtf.h"
+#include "src/api/database.h"
+#include "src/api/effectiveness.h"
 #include "src/datagen/dblp_gen.h"
-#include "src/datagen/workloads.h"
 
 int main(int argc, char** argv) {
   using namespace xks;
@@ -22,9 +21,14 @@ int main(int argc, char** argv) {
               options.scale, DblpRecordCount(options));
   Document doc = GenerateDblp(options);
   std::printf("shredding %zu nodes...\n", doc.size());
-  ShreddedStore store = ShreddedStore::Build(doc);
-  std::printf("index: %zu distinct words, %zu postings\n\n",
-              store.index().vocabulary_size(), store.index().total_postings());
+
+  Database db;
+  if (!db.AddDocument("dblp", doc).ok() || !db.Build().ok()) {
+    std::printf("failed to build the corpus\n");
+    return 1;
+  }
+  std::printf("corpus: %zu document(s), %zu distinct words, %zu postings\n\n",
+              db.document_count(), db.vocabulary_size(), db.total_postings());
 
   std::vector<std::string> queries;
   if (argc > 2) {
@@ -35,32 +39,56 @@ int main(int argc, char** argv) {
   }
 
   for (const std::string& text : queries) {
-    Result<KeywordQuery> query = KeywordQuery::Parse(text);
-    if (!query.ok()) continue;
-    Result<SearchResult> valid = ValidRtfSearch(store, *query);
-    Result<SearchResult> max = MaxMatchSearch(store, *query);
-    if (!valid.ok() || !max.ok()) {
-      std::printf("query '%s' failed\n", text.c_str());
+    // Ranked first page of three, with per-stage statistics.
+    SearchRequest request = SearchRequest::ValidRtf(text);
+    request.top_k = 3;
+    request.include_stats = true;
+    Result<SearchResponse> page = db.Search(request);
+    if (!page.ok()) {
+      std::printf("query '%s' failed: %s\n", text.c_str(),
+                  page.status().ToString().c_str());
       continue;
     }
-    std::printf("query \"%s\": %zu RTFs, ValidRTF %.2f ms, MaxMatch %.2f ms\n",
-                query->ToString().c_str(), valid->rtf_count(),
-                valid->timings.post_retrieval_ms(),
-                max->timings.post_retrieval_ms());
-    Result<QueryEffectiveness> eff = CompareEffectiveness(*valid, *max);
-    if (eff.ok()) {
-      std::printf("  CFR=%.3f APR=%.3f MaxAPR=%.3f\n", eff->cfr(), eff->apr(),
-                  eff->max_apr());
+    std::printf("query \"%s\": %zu RTFs, post-retrieval %.2f ms\n",
+                page->parsed_query.ToString().c_str(), page->total_hits,
+                page->timings.post_retrieval_ms());
+    if (!page->hits.empty()) {
+      const Hit& top = page->hits.front();
+      std::printf("  top hit (doc '%s', root %s, score %.3f):\n%s",
+                  top.document_name.c_str(), top.rtf.root.ToString().c_str(),
+                  top.score, top.snippet.c_str());
     }
-    // Show the top-ranked fragment (ranking is the paper's future work,
-    // implemented in src/core/ranking.h).
-    std::vector<FragmentScore> scores = RankFragments(*valid, query->size());
-    if (!scores.empty()) {
-      const FragmentScore& top = scores.front();
-      const FragmentResult& f = valid->fragments[top.fragment_index];
-      std::printf("  top-ranked fragment (root %s, %s):\n%s",
-                  f.rtf.root.ToString().c_str(), top.ToString().c_str(),
-                  f.fragment.ToTreeString(query->size()).c_str());
+    if (!page->next_cursor.empty()) {
+      // Fetch the second page through the cursor.
+      SearchRequest next = request;
+      next.cursor = page->next_cursor;
+      next.include_snippets = false;
+      Result<SearchResponse> second = db.Search(next);
+      if (second.ok()) {
+        std::printf("  next page via cursor: %zu more hit(s)%s\n",
+                    second->hits.size(),
+                    second->next_cursor.empty() ? "" : " (+ further pages)");
+      }
+    }
+
+    // Effectiveness comparison needs aligned, unranked, unbounded responses.
+    SearchRequest valid_all = SearchRequest::ValidRtf(text);
+    valid_all.top_k = 0;
+    valid_all.rank = false;
+    valid_all.include_snippets = false;
+    SearchRequest max_all = SearchRequest::MaxMatch(text);
+    max_all.top_k = 0;
+    max_all.rank = false;
+    max_all.include_snippets = false;
+    Result<SearchResponse> valid = db.Search(valid_all);
+    Result<SearchResponse> max = db.Search(max_all);
+    if (valid.ok() && max.ok()) {
+      Result<QueryEffectiveness> eff =
+          CompareHitEffectiveness(valid->hits, max->hits);
+      if (eff.ok()) {
+        std::printf("  CFR=%.3f APR=%.3f MaxAPR=%.3f\n", eff->cfr(), eff->apr(),
+                    eff->max_apr());
+      }
     }
     std::printf("\n");
   }

@@ -1,52 +1,54 @@
-// Quickstart: run ValidRTF and MaxMatch on the paper's Figure 1 data.
+// Quickstart: the corpus API on the paper's Figure 1 data.
 //
-// Reproduces the paper's running examples: queries Q1-Q5, the SLCA/ELCA
-// distinction of Example 1, the false-positive fix (Q1) and the redundancy
-// fix (Q4).
+// Builds one xks::Database holding both Figure 1 instances as separate
+// documents, then reproduces the paper's running examples through
+// SearchRequest/SearchResponse: queries Q1-Q5, the SLCA/ELCA distinction of
+// Example 1, the false-positive fix (Q1) and the redundancy fix (Q4).
 //
 //   ./quickstart            # all five queries
 //   ./quickstart "Liu Keyword"
 
 #include <cstdio>
 
-#include "src/core/maxmatch.h"
-#include "src/core/validrtf.h"
+#include "src/api/database.h"
 #include "src/datagen/figure1.h"
 
 namespace {
 
 using namespace xks;
 
-void RunQuery(const ShreddedStore& store, const std::string& text) {
-  Result<KeywordQuery> query = KeywordQuery::Parse(text);
-  if (!query.ok()) {
-    std::printf("bad query '%s': %s\n", text.c_str(),
-                query.status().ToString().c_str());
-    return;
-  }
-  std::printf("=== query: \"%s\" ===\n", query->ToString().c_str());
-
-  Result<SearchResult> valid = ValidRtfSearch(store, *query);
+void RunQuery(const Database& db, DocumentId doc, const std::string& text) {
+  // Unranked, unbounded page: every meaningful RTF in document order, so the
+  // ValidRTF and MaxMatch hit lists below stay aligned.
+  SearchRequest valid_request = SearchRequest::ValidRtf(text);
+  valid_request.documents = {doc};
+  valid_request.top_k = 0;
+  valid_request.rank = false;
+  Result<SearchResponse> valid = db.Search(valid_request);
   if (!valid.ok()) {
-    std::printf("ValidRTF failed: %s\n", valid.status().ToString().c_str());
+    std::printf("bad query '%s': %s\n", text.c_str(),
+                valid.status().ToString().c_str());
     return;
   }
-  std::printf("ValidRTF: %zu meaningful RTF(s)\n", valid->rtf_count());
-  for (const FragmentResult& f : valid->fragments) {
-    std::printf("-- RTF rooted at %s%s\n", f.rtf.root.ToString().c_str(),
-                f.rtf.root_is_slca ? " (SLCA)" : "");
-    std::printf("%s", f.fragment.ToTreeString(query->size()).c_str());
+  std::printf("=== query: \"%s\" ===\n", valid->parsed_query.ToString().c_str());
+  std::printf("ValidRTF: %zu meaningful RTF(s)\n", valid->hits.size());
+  for (const Hit& hit : valid->hits) {
+    std::printf("-- RTF rooted at %s%s in '%s'\n", hit.rtf.root.ToString().c_str(),
+                hit.rtf.root_is_slca ? " (SLCA)" : "", hit.document_name.c_str());
+    std::printf("%s", hit.snippet.c_str());
   }
 
-  Result<SearchResult> max = MaxMatchSearch(store, *query);
+  SearchRequest max_request = SearchRequest::MaxMatch(text);
+  max_request.documents = {doc};
+  max_request.top_k = 0;
+  max_request.rank = false;
+  Result<SearchResponse> max = db.Search(max_request);
   if (!max.ok()) return;
-  for (size_t i = 0; i < max->rtf_count(); ++i) {
-    const auto& mm = max->fragments[i].fragment;
-    const auto& vr = valid->fragments[i].fragment;
-    if (mm.NodeSet() != vr.NodeSet()) {
+  for (size_t i = 0; i < max->hits.size() && i < valid->hits.size(); ++i) {
+    if (max->hits[i].fragment.NodeSet() != valid->hits[i].fragment.NodeSet()) {
       std::printf("-- MaxMatch differs on RTF %s (contributor filtering):\n%s",
-                  max->fragments[i].rtf.root.ToString().c_str(),
-                  mm.ToTreeString(query->size()).c_str());
+                  max->hits[i].rtf.root.ToString().c_str(),
+                  max->hits[i].snippet.c_str());
     }
   }
   std::printf("\n");
@@ -62,22 +64,28 @@ int main(int argc, char** argv) {
     std::printf("failed to load Figure 1 data\n");
     return 1;
   }
-  ShreddedStore store_a = ShreddedStore::Build(*fig1a);
-  ShreddedStore store_b = ShreddedStore::Build(*fig1b);
+
+  Database db;
+  Result<DocumentId> publications = db.AddDocument("publications", *fig1a);
+  Result<DocumentId> team = db.AddDocument("team", *fig1b);
+  if (!publications.ok() || !team.ok() || !db.Build().ok()) {
+    std::printf("failed to build the corpus\n");
+    return 1;
+  }
 
   if (argc > 1) {
-    RunQuery(store_a, argv[1]);
+    RunQuery(db, *publications, argv[1]);
     return 0;
   }
 
   std::printf("Figure 1(a): Publications instance (%zu nodes)\n\n",
               fig1a->size());
-  RunQuery(store_a, PaperQuery(1));
-  RunQuery(store_a, PaperQuery(2));
-  RunQuery(store_a, PaperQuery(3));
+  RunQuery(db, *publications, PaperQuery(1));
+  RunQuery(db, *publications, PaperQuery(2));
+  RunQuery(db, *publications, PaperQuery(3));
   std::printf("Figure 1(b): team/players instance (%zu nodes)\n\n",
               fig1b->size());
-  RunQuery(store_b, PaperQuery(4));
-  RunQuery(store_b, PaperQuery(5));
+  RunQuery(db, *team, PaperQuery(4));
+  RunQuery(db, *team, PaperQuery(5));
   return 0;
 }

@@ -1,22 +1,29 @@
-// xks_tool: shred an arbitrary XML file and run keyword queries against it.
+// xks_tool: build a searchable corpus from XML files and run keyword
+// queries against it through the xks::Database API.
 //
-//   ./xks_tool shred  input.xml store.bin       # parse + shred + persist
-//   ./xks_tool search store.bin "xml keyword"   # query a persisted store
-//   ./xks_tool query  input.xml "xml keyword"   # one-shot parse + query
+//   ./xks_tool shred  corpus.db a.xml [b.xml ...]   # parse + shred + persist
+//   ./xks_tool search corpus.db "xml keyword"       # query a persisted corpus
+//   ./xks_tool query  input.xml "xml keyword"       # one-shot parse + query
 //
-// Queries support label constraints ("title:xml keyword"). The search/query
-// commands print each meaningful RTF as an indented tree (ValidRTF
-// semantics; pass --maxmatch to compare). In query mode, --xml renders each
-// fragment as an XML snippet with the original attributes and text.
+// Queries support label constraints ("title:xml keyword"). search/query
+// flags:
+//   --maxmatch       contributor pruning (compare against ValidRTF)
+//   --topk N         page size (default 10; 0 = everything)
+//   --cursor TOKEN   continue from a previous page's next-cursor
+//   --doc NAME       restrict the search to one document of the corpus
+//   --stats          print per-stage timings and pruning counters
+//   --xml            (query mode) render fragments as XML snippets
+//
+// search also accepts legacy single-document XKS1 store files.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
+#include <string>
 
-#include "src/core/maxmatch.h"
+#include "src/api/database.h"
+#include "src/common/io.h"
 #include "src/core/render.h"
-#include "src/core/validrtf.h"
 #include "src/xml/parser.h"
 
 namespace {
@@ -26,51 +33,109 @@ using namespace xks;
 int Usage() {
   std::printf(
       "usage:\n"
-      "  xks_tool shred  <input.xml> <store.bin>\n"
-      "  xks_tool search <store.bin> <query> [--maxmatch]\n"
-      "  xks_tool query  <input.xml> <query> [--maxmatch] [--xml]\n");
+      "  xks_tool shred  <corpus.db> <input.xml> [input2.xml ...]\n"
+      "  xks_tool search <corpus.db> <query> [--maxmatch] [--topk N]\n"
+      "                  [--cursor TOKEN] [--doc NAME] [--stats]\n"
+      "  xks_tool query  <input.xml> <query> [--maxmatch] [--xml] [--topk N]\n");
   return 2;
 }
 
-Result<std::string> ReadFile(const char* path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError(std::string("cannot open ") + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
+/// Flags shared by the search/query commands.
+struct Flags {
+  bool maxmatch = false;
+  bool render_xml = false;
+  bool stats = false;
+  bool valid = true;
+  size_t top_k = 10;
+  std::string cursor;
+  std::string doc_name;
+};
 
-int RunSearch(const ShreddedStore& store, const char* query_text, bool maxmatch,
-              const Document* doc_for_rendering) {
-  Result<KeywordQuery> query = KeywordQuery::Parse(query_text);
-  if (!query.ok()) {
-    std::printf("bad query: %s\n", query.status().ToString().c_str());
-    return 1;
-  }
-  Result<SearchResult> result = maxmatch ? MaxMatchSearch(store, *query)
-                                         : ValidRtfSearch(store, *query);
-  if (!result.ok()) {
-    std::printf("search failed: %s\n", result.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("%zu meaningful RTF(s) for \"%s\" [%s]\n", result->rtf_count(),
-              query->ToString().c_str(), maxmatch ? "MaxMatch" : "ValidRTF");
-  for (const FragmentResult& f : result->fragments) {
-    std::printf("-- root %s%s\n", f.rtf.root.ToString().c_str(),
-                f.rtf.root_is_slca ? " (SLCA)" : "");
-    if (doc_for_rendering != nullptr) {
-      Result<std::string> xml = RenderFragmentXml(*doc_for_rendering, f.fragment);
-      if (xml.ok()) std::printf("%s", xml->c_str());
-    } else {
-      std::printf("%s", f.fragment.ToTreeString(query->size()).c_str());
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--maxmatch") == 0) flags.maxmatch = true;
+    if (std::strcmp(argv[i], "--xml") == 0) flags.render_xml = true;
+    if (std::strcmp(argv[i], "--stats") == 0) flags.stats = true;
+    if (std::strcmp(argv[i], "--topk") == 0 && i + 1 < argc) {
+      const char* value = argv[++i];
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || *value == '-') {
+        std::printf("bad --topk value '%s' (expected a non-negative integer)\n",
+                    value);
+        flags.valid = false;
+      } else {
+        flags.top_k = static_cast<size_t>(parsed);
+      }
+    }
+    if (std::strcmp(argv[i], "--cursor") == 0 && i + 1 < argc) {
+      flags.cursor = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--doc") == 0 && i + 1 < argc) {
+      flags.doc_name = argv[++i];
     }
   }
-  std::printf("timings: keyword nodes %.2fms, post-retrieval %.2fms; "
-              "pruned %zu of %zu raw nodes (%.1f%%)\n",
-              result->timings.get_keyword_nodes_ms,
-              result->timings.post_retrieval_ms(),
-              result->pruning.pruned_nodes(), result->pruning.raw_nodes,
-              100.0 * result->pruning.pruning_ratio());
+  return flags;
+}
+
+std::string BaseName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+int RunSearch(const Database& db, const char* query_text, const Flags& flags,
+              const Document* doc_for_rendering) {
+  SearchRequest request;
+  request.query = query_text;
+  if (flags.maxmatch) request.pruning = PruningPolicy::kContributor;
+  request.top_k = flags.top_k;
+  request.cursor = flags.cursor;
+  request.include_stats = flags.stats;
+  // XML rendering replaces the tree-string snippet entirely.
+  request.include_snippets = doc_for_rendering == nullptr;
+  if (!flags.doc_name.empty()) {
+    Result<DocumentId> doc = db.FindDocument(flags.doc_name);
+    if (!doc.ok()) {
+      std::printf("%s\n", doc.status().ToString().c_str());
+      return 1;
+    }
+    request.documents = {*doc};
+  }
+
+  Result<SearchResponse> response = db.Search(request);
+  if (!response.ok()) {
+    std::printf("search failed: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu%s hit(s) for \"%s\" [%s], showing %zu\n",
+              response->total_hits, response->total_is_exact ? "" : "+",
+              response->parsed_query.ToString().c_str(),
+              flags.maxmatch ? "MaxMatch" : "ValidRTF", response->hits.size());
+  for (const Hit& hit : response->hits) {
+    std::printf("-- doc '%s' root %s%s score %.3f\n", hit.document_name.c_str(),
+                hit.rtf.root.ToString().c_str(),
+                hit.rtf.root_is_slca ? " (SLCA)" : "", hit.score);
+    if (doc_for_rendering != nullptr) {
+      Result<std::string> xml = RenderFragmentXml(*doc_for_rendering, hit.fragment);
+      if (xml.ok()) std::printf("%s", xml->c_str());
+    } else {
+      std::printf("%s", hit.snippet.c_str());
+    }
+  }
+  if (!response->next_cursor.empty()) {
+    std::printf("next page: --cursor %s\n", response->next_cursor.c_str());
+  }
+  if (flags.stats) {
+    std::printf("timings: keyword nodes %.2fms, post-retrieval %.2fms; "
+                "pruned %zu of %zu raw nodes (%.1f%%); %zu keyword node(s), "
+                "%zu document(s) searched\n",
+                response->timings.get_keyword_nodes_ms,
+                response->timings.post_retrieval_ms(),
+                response->pruning.pruned_nodes(), response->pruning.raw_nodes,
+                100.0 * response->pruning.pruning_ratio(),
+                response->keyword_node_count, response->documents_searched);
+  }
   return 0;
 }
 
@@ -79,46 +144,50 @@ int RunSearch(const ShreddedStore& store, const char* query_text, bool maxmatch,
 int main(int argc, char** argv) {
   using namespace xks;
   if (argc < 4) return Usage();
-  bool maxmatch = false;
-  bool render_xml = false;
-  for (int i = 4; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--maxmatch") == 0) maxmatch = true;
-    if (std::strcmp(argv[i], "--xml") == 0) render_xml = true;
-  }
 
   if (std::strcmp(argv[1], "shred") == 0) {
-    Result<std::string> text = ReadFile(argv[2]);
-    if (!text.ok()) {
-      std::printf("%s\n", text.status().ToString().c_str());
+    Database db;
+    for (int i = 3; i < argc; ++i) {
+      Result<std::string> text = ReadFileToString(argv[i]);
+      if (!text.ok()) {
+        std::printf("%s\n", text.status().ToString().c_str());
+        return 1;
+      }
+      Result<DocumentId> doc = db.AddDocumentXml(BaseName(argv[i]), *text);
+      if (!doc.ok()) {
+        std::printf("%s: %s\n", argv[i], doc.status().ToString().c_str());
+        return 1;
+      }
+    }
+    Status built = db.Build();
+    if (!built.ok()) {
+      std::printf("%s\n", built.ToString().c_str());
       return 1;
     }
-    Result<Document> doc = ParseXml(*text);
-    if (!doc.ok()) {
-      std::printf("parse error: %s\n", doc.status().ToString().c_str());
+    Status saved = db.Save(argv[2]);
+    if (!saved.ok()) {
+      std::printf("%s\n", saved.ToString().c_str());
       return 1;
     }
-    ShreddedStore store = ShreddedStore::Build(*doc);
-    Status s = store.Save(argv[3]);
-    if (!s.ok()) {
-      std::printf("%s\n", s.ToString().c_str());
-      return 1;
-    }
-    std::printf("shredded %zu nodes, %zu distinct words → %s\n", doc->size(),
-                store.index().vocabulary_size(), argv[3]);
+    std::printf("shredded %zu document(s), %zu distinct words, %zu postings → %s\n",
+                db.document_count(), db.vocabulary_size(), db.total_postings(),
+                argv[2]);
     return 0;
   }
 
   if (std::strcmp(argv[1], "search") == 0) {
-    Result<ShreddedStore> store = ShreddedStore::Load(argv[2]);
-    if (!store.ok()) {
-      std::printf("%s\n", store.status().ToString().c_str());
+    Flags flags = ParseFlags(argc, argv, 4);
+    if (!flags.valid) return Usage();
+    Result<Database> db = Database::Load(argv[2]);
+    if (!db.ok()) {
+      std::printf("%s\n", db.status().ToString().c_str());
       return 1;
     }
-    return RunSearch(*store, argv[3], maxmatch, /*doc_for_rendering=*/nullptr);
+    return RunSearch(*db, argv[3], flags, /*doc_for_rendering=*/nullptr);
   }
 
   if (std::strcmp(argv[1], "query") == 0) {
-    Result<std::string> text = ReadFile(argv[2]);
+    Result<std::string> text = ReadFileToString(argv[2]);
     if (!text.ok()) {
       std::printf("%s\n", text.status().ToString().c_str());
       return 1;
@@ -128,9 +197,15 @@ int main(int argc, char** argv) {
       std::printf("parse error: %s\n", doc.status().ToString().c_str());
       return 1;
     }
-    ShreddedStore store = ShreddedStore::Build(*doc);
-    return RunSearch(store, argv[3], maxmatch,
-                     render_xml ? &doc.value() : nullptr);
+    Database db;
+    Flags flags = ParseFlags(argc, argv, 4);
+    if (!flags.valid) return Usage();
+    if (!db.AddDocument(BaseName(argv[2]), *doc).ok() || !db.Build().ok()) {
+      std::printf("failed to build the corpus\n");
+      return 1;
+    }
+    return RunSearch(db, argv[3], flags,
+                     flags.render_xml ? &doc.value() : nullptr);
   }
 
   return Usage();

@@ -1,6 +1,6 @@
-// XMark scenario: the paper's synthetic auction site, including the deep
-// description/parlist structure that produces the "extreme fragments" of
-// Figure 6.
+// XMark scenario through the corpus API: the paper's synthetic auction site,
+// including the deep description/parlist structure that produces the
+// "extreme fragments" of Figure 6.
 //
 //   ./xmark_search                # default scale, paper workload sample
 //   ./xmark_search 0.2 "vdo"      # scale + a workload label or free text
@@ -8,11 +8,23 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/core/maxmatch.h"
-#include "src/core/metrics.h"
-#include "src/core/validrtf.h"
+#include "src/api/database.h"
+#include "src/api/effectiveness.h"
 #include "src/datagen/workloads.h"
 #include "src/datagen/xmark_gen.h"
+
+namespace {
+
+using namespace xks;
+
+SearchRequest WorkloadRequest(const WorkloadQuery& wq, PruningPolicy pruning) {
+  SearchRequest request = SearchRequest::Exhaustive(wq.keywords, pruning);
+  // Unexpanded labels fall back to free text.
+  if (wq.keywords.empty()) request.query = wq.label;
+  return request;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace xks;
@@ -22,9 +34,14 @@ int main(int argc, char** argv) {
   std::printf("generating XMark-like data at scale %.3f...\n", options.scale);
   Document doc = GenerateXmark(options);
   std::printf("document: %zu nodes, max depth %zu\n", doc.size(), doc.MaxDepth());
-  ShreddedStore store = ShreddedStore::Build(doc);
-  std::printf("index: %zu distinct words, %zu postings\n\n",
-              store.index().vocabulary_size(), store.index().total_postings());
+
+  Database db;
+  if (!db.AddDocument("xmark", doc).ok() || !db.Build().ok()) {
+    std::printf("failed to build the corpus\n");
+    return 1;
+  }
+  std::printf("corpus: %zu distinct words, %zu postings\n\n",
+              db.vocabulary_size(), db.total_postings());
 
   std::vector<WorkloadQuery> workload;
   if (argc > 2) {
@@ -47,21 +64,21 @@ int main(int argc, char** argv) {
   }
 
   for (const WorkloadQuery& wq : workload) {
-    Result<KeywordQuery> query =
-        wq.keywords.empty() ? KeywordQuery::Parse(wq.label)
-                            : KeywordQuery::FromKeywords(wq.keywords);
-    if (!query.ok()) {
+    Result<SearchResponse> valid =
+        db.Search(WorkloadRequest(wq, PruningPolicy::kValidContributor));
+    Result<SearchResponse> max =
+        db.Search(WorkloadRequest(wq, PruningPolicy::kContributor));
+    if (!valid.ok() || !max.ok()) {
       std::printf("bad query '%s'\n", wq.label.c_str());
       continue;
     }
-    Result<SearchResult> valid = ValidRtfSearch(store, *query);
-    Result<SearchResult> max = MaxMatchSearch(store, *query);
-    if (!valid.ok() || !max.ok()) continue;
-    Result<QueryEffectiveness> eff = CompareEffectiveness(*valid, *max);
-    std::printf("%-10s (%s)\n", wq.label.c_str(), query->ToString().c_str());
-    std::printf("  RTFs=%zu  ValidRTF=%.2fms  MaxMatch=%.2fms", valid->rtf_count(),
-                valid->timings.post_retrieval_ms(),
+    std::printf("%-10s (%s)\n", wq.label.c_str(),
+                valid->parsed_query.ToString().c_str());
+    std::printf("  RTFs=%zu  ValidRTF=%.2fms  MaxMatch=%.2fms",
+                valid->total_hits, valid->timings.post_retrieval_ms(),
                 max->timings.post_retrieval_ms());
+    Result<QueryEffectiveness> eff =
+        CompareHitEffectiveness(valid->hits, max->hits);
     if (eff.ok()) {
       std::printf("  CFR=%.3f APR'=%.3f MaxAPR=%.3f", eff->cfr(),
                   eff->apr_prime(), eff->max_apr());

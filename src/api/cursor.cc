@@ -1,0 +1,65 @@
+#include "src/api/cursor.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace xks {
+namespace {
+
+constexpr std::string_view kPrefix = "xksc1:";
+
+/// Parses a full run of hex digits; false on empty/overlong/non-hex input.
+bool ParseHex64(std::string_view text, uint64_t* value) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t v = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint64_t>(digit);
+  }
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeCursor(const PageCursor& cursor) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%s%" PRIx64 ":%" PRIx64,
+                std::string(kPrefix).c_str(), cursor.fingerprint, cursor.offset);
+  return buffer;
+}
+
+Result<PageCursor> DecodeCursor(std::string_view token) {
+  if (token.substr(0, kPrefix.size()) != kPrefix) {
+    return Status::InvalidArgument("unrecognized cursor");
+  }
+  std::string_view body = token.substr(kPrefix.size());
+  size_t colon = body.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument("malformed cursor");
+  }
+  PageCursor cursor;
+  if (!ParseHex64(body.substr(0, colon), &cursor.fingerprint) ||
+      !ParseHex64(body.substr(colon + 1), &cursor.offset)) {
+    return Status::InvalidArgument("malformed cursor");
+  }
+  return cursor;
+}
+
+uint64_t Fnv1a64(std::string_view data, uint64_t seed) {
+  uint64_t hash = seed;
+  for (char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace xks

@@ -1,0 +1,41 @@
+// Opaque pagination cursors for Database::Search.
+//
+// A cursor is the pair (offset, fingerprint): how many hits the client has
+// consumed, and a hash binding the cursor to the request that produced it
+// (query, pipeline configuration, ranking weights, document selection and
+// the corpus revision — document names plus per-document table sizes).
+// Replaying a cursor against a different request — or against a corpus
+// whose shape changed underneath it — is rejected instead of silently
+// returning a misaligned page.
+
+#ifndef XKS_API_CURSOR_H_
+#define XKS_API_CURSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace xks {
+
+/// Decoded cursor state.
+struct PageCursor {
+  /// Hits already served; the next page starts here.
+  uint64_t offset = 0;
+  /// Request/corpus fingerprint the cursor is bound to.
+  uint64_t fingerprint = 0;
+};
+
+/// Renders a cursor as an opaque token ("xksc1:<fingerprint>:<offset>").
+std::string EncodeCursor(const PageCursor& cursor);
+
+/// Parses a token produced by EncodeCursor; InvalidArgument on anything else.
+Result<PageCursor> DecodeCursor(std::string_view token);
+
+/// FNV-1a 64-bit hash, the fingerprint building block.
+uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0xcbf29ce484222325ull);
+
+}  // namespace xks
+
+#endif  // XKS_API_CURSOR_H_

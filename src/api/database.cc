@@ -1,0 +1,325 @@
+#include "src/api/database.h"
+
+#include <algorithm>
+
+#include "src/api/cursor.h"
+#include "src/common/codec.h"
+#include "src/common/io.h"
+#include "src/xml/parser.h"
+
+namespace xks {
+namespace {
+
+constexpr char kCorpusMagic[] = "XKS2";
+constexpr char kLegacyMagic[] = "XKS1";
+
+/// One pre-page candidate: a fragment of one executed document.
+struct Candidate {
+  size_t doc_index = 0;
+  size_t fragment_index = 0;
+  double score = 0;
+};
+
+/// Binds a cursor to the request shape: normalized query, pipeline
+/// configuration, paging mode and the exact document selection.
+uint64_t RequestFingerprint(const KeywordQuery& query,
+                            const SearchRequest& request,
+                            const std::vector<DocumentId>& documents,
+                            uint64_t corpus_revision) {
+  std::string material = query.ToString();
+  material.push_back('\0');
+  material.push_back(static_cast<char>(request.semantics));
+  material.push_back(static_cast<char>(request.elca_algorithm));
+  material.push_back(static_cast<char>(request.slca_algorithm));
+  material.push_back(static_cast<char>(request.pruning));
+  material.push_back(request.rank ? 1 : 0);
+  if (request.rank) {
+    // Ranking weights change the merge order, so a cursor must not survive
+    // a weight change. Raw IEEE-754 bytes keep the hash deterministic.
+    const double weights[] = {
+        request.weights.specificity, request.weights.proximity,
+        request.weights.compactness, request.weights.slca_bonus,
+        request.weights.match_concentration};
+    material.append(reinterpret_cast<const char*>(weights), sizeof(weights));
+  }
+  PutVarint64(&material, request.top_k);
+  PutVarint64(&material, corpus_revision);
+  for (DocumentId id : documents) PutVarint32(&material, id);
+  return Fnv1a64(material);
+}
+
+SearchOptions PipelineOptions(const SearchRequest& request) {
+  SearchOptions options;
+  options.semantics = request.semantics;
+  options.elca_algorithm = request.elca_algorithm;
+  options.slca_algorithm = request.slca_algorithm;
+  options.pruning = request.pruning;
+  options.keep_raw_fragments = request.include_raw_fragments;
+  return options;
+}
+
+}  // namespace
+
+Result<DocumentId> Database::AddDocument(const std::string& name,
+                                         const Document& doc) {
+  if (name.empty()) {
+    return Status::InvalidArgument("document name must not be empty");
+  }
+  if (by_name_.contains(name)) {
+    return Status::AlreadyExists("document '" + name + "' already in corpus");
+  }
+  if (documents_.size() >= UINT32_MAX) {
+    return Status::OutOfRange("corpus is full");
+  }
+  DocumentId id = static_cast<DocumentId>(documents_.size());
+  documents_.push_back(DocumentEntry{name, ShreddedStore::Build(doc)});
+  by_name_.emplace(name, id);
+  built_ = false;
+  return id;
+}
+
+Result<DocumentId> Database::AddDocumentXml(const std::string& name,
+                                            std::string_view xml) {
+  Document doc;
+  XKS_ASSIGN_OR_RETURN(doc, ParseXml(xml));
+  return AddDocument(name, doc);
+}
+
+Status Database::Build() {
+  if (documents_.empty()) {
+    return Status::InvalidArgument("cannot build an empty corpus");
+  }
+  corpus_frequency_.clear();
+  total_postings_ = 0;
+  // The revision hashes the corpus shape (names + table sizes) so cursors
+  // handed out against one corpus are rejected by any corpus that differs —
+  // including a same-size rebuild from different inputs.
+  std::string shape;
+  for (const DocumentEntry& entry : documents_) {
+    for (const auto& [word, count] : entry.store.values().FrequencyTable()) {
+      corpus_frequency_[word] += count;
+    }
+    total_postings_ += entry.store.index().total_postings();
+    PutLengthPrefixed(&shape, entry.name);
+    PutVarint64(&shape, entry.store.labels().size());
+    PutVarint64(&shape, entry.store.elements().size());
+    PutVarint64(&shape, entry.store.values().size());
+    PutVarint64(&shape, entry.store.index().vocabulary_size());
+  }
+  revision_ = Fnv1a64(shape);
+  built_ = true;
+  return Status::OK();
+}
+
+Result<DocumentId> Database::FindDocument(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no document named '" + name + "'");
+  }
+  return it->second;
+}
+
+uint64_t Database::WordFrequency(const std::string& word) const {
+  auto it = corpus_frequency_.find(word);
+  return it == corpus_frequency_.end() ? 0 : it->second;
+}
+
+Result<SearchResponse> Database::Search(const SearchRequest& request) const {
+  if (!built_) {
+    return Status::InvalidArgument(
+        "Database::Build() must be called before Search()");
+  }
+
+  // Resolve the query.
+  KeywordQuery query;
+  if (!request.terms.empty()) {
+    XKS_ASSIGN_OR_RETURN(query, KeywordQuery::FromTerms(request.terms));
+  } else {
+    XKS_ASSIGN_OR_RETURN(query, KeywordQuery::Parse(request.query));
+  }
+
+  // Resolve the document selection (dedupe, preserve order, validate).
+  std::vector<DocumentId> documents;
+  if (request.documents.empty()) {
+    documents.resize(documents_.size());
+    for (size_t i = 0; i < documents.size(); ++i) {
+      documents[i] = static_cast<DocumentId>(i);
+    }
+  } else {
+    for (DocumentId id : request.documents) {
+      if (id >= documents_.size()) {
+        return Status::NotFound("unknown document id " + std::to_string(id));
+      }
+      if (std::find(documents.begin(), documents.end(), id) == documents.end()) {
+        documents.push_back(id);
+      }
+    }
+  }
+
+  // Resolve the page window.
+  const uint64_t fingerprint =
+      RequestFingerprint(query, request, documents, revision_);
+  size_t offset = 0;
+  if (!request.cursor.empty()) {
+    PageCursor cursor;
+    XKS_ASSIGN_OR_RETURN(cursor, DecodeCursor(request.cursor));
+    if (cursor.fingerprint != fingerprint) {
+      return Status::InvalidArgument(
+          "cursor does not belong to this request (query, configuration or "
+          "corpus changed)");
+    }
+    offset = static_cast<size_t>(cursor.offset);
+  }
+
+  SearchResponse response;
+  response.parsed_query = query;
+
+  // Phase 1: fan the stateless executor out over the selected documents.
+  // Without ranking, hits already arrive in final order, so the scan stops
+  // once the page plus one look-ahead hit (the next_cursor probe) is known.
+  const SearchOptions options = PipelineOptions(request);
+  // Overflow-safe: a forged cursor with a huge offset degrades to a full
+  // scan (empty page, exact totals), never a silently truncated one.
+  const size_t needed = request.top_k == 0 ||
+                                offset > SIZE_MAX - request.top_k - 1
+                            ? SIZE_MAX
+                            : offset + request.top_k + 1;
+  std::vector<SearchResult> results(documents.size());
+  std::vector<Candidate> candidates;
+  size_t scanned = 0;
+  for (size_t di = 0; di < documents.size(); ++di) {
+    XKS_ASSIGN_OR_RETURN(
+        results[di], ExecuteSearch(store(documents[di]), query, options));
+    ++scanned;
+    const SearchResult& result = results[di];
+    if (request.rank) {
+      for (const FragmentScore& scored :
+           RankFragments(result, query.size(), request.weights)) {
+        candidates.push_back(Candidate{di, scored.fragment_index, scored.total});
+      }
+    } else {
+      for (size_t fi = 0; fi < result.fragments.size(); ++fi) {
+        candidates.push_back(Candidate{di, fi, 0.0});
+      }
+    }
+    if (request.include_stats) {
+      response.timings.Accumulate(result.timings);
+      response.pruning.Accumulate(result.pruning);
+      response.keyword_node_count += result.keyword_node_count;
+    }
+    if (!request.rank && candidates.size() >= needed) break;
+  }
+  response.documents_searched = scanned;
+  response.total_hits = candidates.size();
+  response.total_is_exact = scanned == documents.size();
+
+  // Phase 2: corpus-level merge. Ties break on (document id, document
+  // order), keeping pagination deterministic.
+  if (request.rank) {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       if (a.score != b.score) return a.score > b.score;
+                       if (a.doc_index != b.doc_index) {
+                         return a.doc_index < b.doc_index;
+                       }
+                       return a.fragment_index < b.fragment_index;
+                     });
+  }
+
+  // Phase 3: cut the requested page and materialize its hits.
+  const size_t begin = std::min(offset, candidates.size());
+  const size_t end = request.top_k == 0
+                         ? candidates.size()
+                         : std::min(begin + request.top_k, candidates.size());
+  response.hits.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    const Candidate& candidate = candidates[i];
+    FragmentResult& fragment =
+        results[candidate.doc_index].fragments[candidate.fragment_index];
+    Hit hit;
+    hit.document = documents[candidate.doc_index];
+    hit.document_name = documents_[hit.document].name;
+    hit.score = candidate.score;
+    if (request.include_snippets) {
+      hit.snippet = fragment.fragment.ToTreeString(query.size());
+    }
+    hit.rtf = std::move(fragment.rtf);
+    hit.fragment = std::move(fragment.fragment);
+    if (request.include_raw_fragments) hit.raw = std::move(fragment.raw);
+    response.hits.push_back(std::move(hit));
+  }
+  if (end < candidates.size()) {
+    response.next_cursor = EncodeCursor(PageCursor{end, fingerprint});
+  }
+  return response;
+}
+
+void Database::EncodeTo(std::string* dst) const {
+  dst->append(kCorpusMagic, 4);
+  PutVarint64(dst, documents_.size());
+  for (const DocumentEntry& entry : documents_) {
+    PutLengthPrefixed(dst, entry.name);
+    std::string blob;
+    entry.store.EncodeTo(&blob);
+    PutLengthPrefixed(dst, blob);
+  }
+}
+
+Result<Database> Database::DecodeFrom(std::string_view data,
+                                      const std::string& legacy_name) {
+  if (data.size() >= 4 && data.substr(0, 4) == kLegacyMagic) {
+    // Legacy single-document store: surface as a one-document corpus.
+    ShreddedStore store;
+    XKS_ASSIGN_OR_RETURN(store, ShreddedStore::DecodeFrom(data));
+    Database db;
+    db.documents_.push_back(DocumentEntry{legacy_name, std::move(store)});
+    db.by_name_.emplace(legacy_name, 0);
+    XKS_RETURN_IF_ERROR(db.Build());
+    return db;
+  }
+  if (data.size() < 4 || data.substr(0, 4) != kCorpusMagic) {
+    return Status::Corruption("bad corpus magic");
+  }
+  Decoder decoder(data.substr(4));
+  uint64_t count = 0;
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&count));
+  if (count == 0) return Status::Corruption("empty corpus file");
+  if (count > decoder.remaining()) {
+    return Status::Corruption("implausible corpus document count");
+  }
+  Database db;
+  db.documents_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DocumentEntry entry;
+    XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&entry.name));
+    if (entry.name.empty()) return Status::Corruption("empty document name");
+    if (db.by_name_.contains(entry.name)) {
+      return Status::Corruption("duplicate document name '" + entry.name + "'");
+    }
+    std::string blob;
+    XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&blob));
+    XKS_ASSIGN_OR_RETURN(entry.store, ShreddedStore::DecodeFrom(blob));
+    db.by_name_.emplace(entry.name, static_cast<DocumentId>(i));
+    db.documents_.push_back(std::move(entry));
+  }
+  if (!decoder.done()) {
+    return Status::Corruption("trailing bytes in corpus file");
+  }
+  XKS_RETURN_IF_ERROR(db.Build());
+  return db;
+}
+
+Status Database::Save(const std::string& path) const {
+  std::string buffer;
+  EncodeTo(&buffer);
+  return WriteStringToFile(path, buffer);
+}
+
+Result<Database> Database::Load(const std::string& path,
+                                const std::string& legacy_name) {
+  std::string buffer;
+  XKS_ASSIGN_OR_RETURN(buffer, ReadFileToString(path));
+  return DecodeFrom(buffer, legacy_name);
+}
+
+}  // namespace xks

@@ -1,0 +1,122 @@
+// xks::Database — the corpus-level entry point of the library.
+//
+// A Database owns N shredded documents behind doc-id-qualified addressing,
+// is built incrementally (AddDocument → Build), answers SearchRequests with
+// ranked, paginated SearchResponses, and persists the whole corpus as one
+// artifact (magic "XKS2"; legacy single-document "XKS1" stores load
+// transparently as a one-document corpus).
+//
+// Query execution fans the stateless per-document pipeline
+// (src/core/engine.h) out over the selected documents and merges at the
+// corpus level:
+//  * rank = true   — every selected document is executed, per-document
+//    scores (src/core/ranking.h) are merged into one descending order, and
+//    the requested page is cut from it. Scores are normalized per document,
+//    so cross-document order is heuristic — the trade-off that keeps
+//    per-document execution independent (and shardable).
+//  * rank = false  — hits stream in (document id, document order), and the
+//    corpus scan stops early as soon as the requested page (plus one
+//    look-ahead hit for next_cursor) is filled.
+//
+// All methods are non-throwing; errors surface as Status/Result. A built
+// Database is immutable and safe to Search from concurrent threads.
+
+#ifndef XKS_API_DATABASE_H_
+#define XKS_API_DATABASE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/api/search_types.h"
+#include "src/common/result.h"
+#include "src/storage/store.h"
+#include "src/xml/dom.h"
+
+namespace xks {
+
+class Database {
+ public:
+  Database() = default;
+
+  /// Shreds `doc` and adds it to the corpus under `name`. Names must be
+  /// unique and non-empty. Invalidates Build (call Build again before
+  /// searching).
+  Result<DocumentId> AddDocument(const std::string& name, const Document& doc);
+
+  /// Parses `xml` and adds the document.
+  Result<DocumentId> AddDocumentXml(const std::string& name,
+                                    std::string_view xml);
+
+  /// Finalizes the corpus: computes corpus-level statistics and makes the
+  /// database searchable. Idempotent; fails on an empty corpus.
+  Status Build();
+
+  /// True once Build has run and no document was added since.
+  bool built() const { return built_; }
+
+  size_t document_count() const { return documents_.size(); }
+
+  /// Name of document `id`. Requires a valid id.
+  const std::string& document_name(DocumentId id) const {
+    return documents_[id].name;
+  }
+
+  /// Id of the document named `name`; NotFound when absent.
+  Result<DocumentId> FindDocument(const std::string& name) const;
+
+  /// The underlying shredded document — internal building block access for
+  /// benches and stage-level tooling. Requires a valid id.
+  const ShreddedStore& store(DocumentId id) const {
+    return documents_[id].store;
+  }
+
+  /// Corpus-wide shred-time frequency of `word` (summed across documents).
+  /// Requires built().
+  uint64_t WordFrequency(const std::string& word) const;
+
+  /// Distinct indexed words across the corpus. Requires built().
+  size_t vocabulary_size() const { return corpus_frequency_.size(); }
+
+  /// Total postings across all documents. Requires built().
+  size_t total_postings() const { return total_postings_; }
+
+  /// Answers one request. Fails when the database is not built, the query
+  /// does not normalize to any usable keyword, a document id is unknown, or
+  /// the cursor does not belong to this request.
+  Result<SearchResponse> Search(const SearchRequest& request) const;
+
+  /// Persists the corpus to `path` (format "XKS2") / restores it. Load also
+  /// accepts a legacy single-document "XKS1" store, surfacing it as a
+  /// one-document corpus named after `legacy_name`.
+  Status Save(const std::string& path) const;
+  static Result<Database> Load(const std::string& path,
+                               const std::string& legacy_name = "document");
+
+  /// Encode/decode against in-memory buffers (used by Save/Load and tests).
+  void EncodeTo(std::string* dst) const;
+  static Result<Database> DecodeFrom(std::string_view data,
+                                     const std::string& legacy_name = "document");
+
+ private:
+  struct DocumentEntry {
+    std::string name;
+    ShreddedStore store;
+  };
+
+  std::vector<DocumentEntry> documents_;
+  std::unordered_map<std::string, DocumentId> by_name_;
+  /// Corpus-level word → total shred-time frequency; built by Build().
+  std::unordered_map<std::string, uint64_t> corpus_frequency_;
+  size_t total_postings_ = 0;
+  /// Hash of the corpus shape (names + per-document table sizes), folded
+  /// into cursor fingerprints so a cursor dies with the corpus it came
+  /// from. Computed by Build().
+  uint64_t revision_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace xks
+
+#endif  // XKS_API_DATABASE_H_

@@ -1,0 +1,29 @@
+#include "src/api/effectiveness.h"
+
+#include <string>
+
+namespace xks {
+
+Result<QueryEffectiveness> CompareHitEffectiveness(
+    const std::vector<Hit>& valid_rtf, const std::vector<Hit>& max_match) {
+  if (valid_rtf.size() != max_match.size()) {
+    return Status::InvalidArgument(
+        "hit lists have different sizes; were they produced with the same "
+        "LCA semantics, ranking off and an unbounded page?");
+  }
+  QueryEffectiveness eff;
+  eff.rtf_count = valid_rtf.size();
+  eff.ratios.reserve(eff.rtf_count);
+  for (size_t i = 0; i < eff.rtf_count; ++i) {
+    const Hit& v = valid_rtf[i];
+    const Hit& x = max_match[i];
+    if (v.document != x.document || v.rtf.root != x.rtf.root) {
+      return Status::InvalidArgument("hits are not aligned at index " +
+                                     std::to_string(i));
+    }
+    AccumulateFragmentRatio(v.fragment, x.fragment, &eff);
+  }
+  return eff;
+}
+
+}  // namespace xks

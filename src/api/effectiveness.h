@@ -1,0 +1,23 @@
+// Effectiveness metrics over API hits: the Section-5.1 CFR/APR comparison
+// (src/core/metrics.h) lifted to corpus-level responses.
+
+#ifndef XKS_API_EFFECTIVENESS_H_
+#define XKS_API_EFFECTIVENESS_H_
+
+#include <vector>
+
+#include "src/api/search_types.h"
+#include "src/core/metrics.h"
+
+namespace xks {
+
+/// Compares the aligned hit lists of a ValidRTF response (V) and a MaxMatch
+/// response (X). Both must come from the same query, LCA semantics and
+/// document selection with ranking off and an unbounded page — anything
+/// whose (document, root) sequences disagree is an InvalidArgument.
+Result<QueryEffectiveness> CompareHitEffectiveness(
+    const std::vector<Hit>& valid_rtf, const std::vector<Hit>& max_match);
+
+}  // namespace xks
+
+#endif  // XKS_API_EFFECTIVENESS_H_

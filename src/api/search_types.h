@@ -1,0 +1,141 @@
+// The corpus-level request/response vocabulary of the public API.
+//
+// xks::Database answers a SearchRequest with a SearchResponse: a bounded,
+// optionally ranked page of Hits drawn from every document of the corpus,
+// plus an opaque cursor for the next page. These types are the stable
+// surface future scaling work (sharding, result caching, concurrent
+// serving) slots behind; the per-document pipeline types of src/core stay
+// internal building blocks.
+
+#ifndef XKS_API_SEARCH_TYPES_H_
+#define XKS_API_SEARCH_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/query.h"
+#include "src/core/ranking.h"
+
+namespace xks {
+
+/// Identifies one document inside a Database. Ids are dense and assigned in
+/// AddDocument order; they are stable across Save/Load.
+using DocumentId = uint32_t;
+
+/// A corpus-level search request.
+struct SearchRequest {
+  /// Free-text query ("xml keyword", "title:xml search"); parsed with
+  /// KeywordQuery::Parse. Ignored when `terms` is non-empty.
+  std::string query;
+  /// Pre-parsed terms (generators, tests); takes precedence over `query`.
+  std::vector<QueryTerm> terms;
+
+  /// Restrict the search to these documents; empty = the whole corpus.
+  /// Duplicates are ignored; unknown ids fail the request.
+  std::vector<DocumentId> documents;
+
+  /// LCA semantics and per-semantics algorithm selection.
+  LcaSemantics semantics = LcaSemantics::kElca;
+  ElcaAlgorithm elca_algorithm = ElcaAlgorithm::kIndexedStack;
+  SlcaAlgorithm slca_algorithm = SlcaAlgorithm::kIndexedLookup;
+  /// Pruning policy: kValidContributor = ValidRTF, kContributor = MaxMatch.
+  PruningPolicy pruning = PruningPolicy::kValidContributor;
+
+  /// Page size; 0 = unbounded (every hit in one page, no cursor).
+  size_t top_k = 10;
+  /// Opaque continuation token from a previous response's `next_cursor`;
+  /// empty = first page. A cursor is only valid for the request that
+  /// produced it (same query, configuration and corpus).
+  std::string cursor;
+
+  /// Rank hits by fragment score (src/core/ranking.h) before paging; when
+  /// false, hits arrive in (document id, document order) and the corpus scan
+  /// stops early once the page is filled.
+  bool rank = true;
+  RankingWeights weights;
+
+  /// Attach the rendered fragment tree text to each returned hit.
+  bool include_snippets = true;
+  /// Keep the unpruned fragment tree on each returned hit.
+  bool include_raw_fragments = false;
+  /// Populate the response's timings / pruning / keyword-node statistics.
+  bool include_stats = false;
+
+  /// The paper's ValidRTF configuration over free text.
+  static SearchRequest ValidRtf(std::string query_text) {
+    SearchRequest request;
+    request.query = std::move(query_text);
+    return request;
+  }
+
+  /// The revised-MaxMatch comparison configuration over free text.
+  static SearchRequest MaxMatch(std::string query_text) {
+    SearchRequest request;
+    request.query = std::move(query_text);
+    request.pruning = PruningPolicy::kContributor;
+    return request;
+  }
+
+  /// An exhaustive, unranked request over pre-normalized keywords: every
+  /// hit in document order, no snippets, statistics on — the shape the
+  /// effectiveness metrics and the paper-protocol benches consume.
+  static SearchRequest Exhaustive(const std::vector<std::string>& keywords,
+                                  PruningPolicy pruning_policy) {
+    SearchRequest request;
+    request.terms.reserve(keywords.size());
+    for (const std::string& keyword : keywords) {
+      request.terms.push_back(QueryTerm{keyword, ""});
+    }
+    request.pruning = pruning_policy;
+    request.top_k = 0;
+    request.rank = false;
+    request.include_snippets = false;
+    request.include_stats = true;
+    return request;
+  }
+};
+
+/// One ranked result: a meaningful RTF from one document of the corpus.
+struct Hit {
+  /// The document the fragment came from.
+  DocumentId document = 0;
+  std::string document_name;
+  /// The raw RTF: root Dewey code, keyword nodes, SLCA flag.
+  Rtf rtf;
+  /// Ranking score in [0, 1]; 0 when the request disabled ranking.
+  double score = 0;
+  /// The meaningful (pruned) fragment tree.
+  FragmentTree fragment;
+  /// The unpruned tree; only when SearchRequest::include_raw_fragments.
+  FragmentTree raw;
+  /// Rendered fragment text; only when SearchRequest::include_snippets.
+  std::string snippet;
+};
+
+/// A page of corpus-level results.
+struct SearchResponse {
+  std::vector<Hit> hits;
+  /// Pass as SearchRequest::cursor to fetch the next page; empty when the
+  /// result set is exhausted.
+  std::string next_cursor;
+  /// Total matching RTFs discovered across the scanned documents. A lower
+  /// bound when `total_is_exact` is false (early-terminated unranked scan).
+  size_t total_hits = 0;
+  bool total_is_exact = true;
+  /// Documents actually executed (≤ the requested set under early
+  /// termination).
+  size_t documents_searched = 0;
+  /// The normalized query ("liu keyword" — lowercased, stop words removed).
+  KeywordQuery parsed_query;
+
+  /// Aggregate statistics; only when SearchRequest::include_stats.
+  StageTimings timings;
+  PruningStats pruning;
+  size_t keyword_node_count = 0;
+};
+
+}  // namespace xks
+
+#endif  // XKS_API_SEARCH_TYPES_H_

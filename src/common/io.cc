@@ -1,0 +1,35 @@
+#include "src/common/io.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace xks {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::unique_ptr<FILE, int (*)(FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                          &std::fclose);
+  if (f == nullptr) return Status::IoError("cannot open '" + path + "' for read");
+  std::string buffer;
+  char chunk[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f.get())) > 0) {
+    buffer.append(chunk, n);
+  }
+  if (std::ferror(f.get())) return Status::IoError("read error on '" + path + "'");
+  return buffer;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& data) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open '" + path + "' for write");
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  // fclose flushes the stdio buffer; a failure there (ENOSPC, writeback
+  // error) means the file is truncated even when fwrite reported success.
+  int closed = std::fclose(f);
+  if (written != data.size() || closed != 0) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace xks

@@ -1,0 +1,20 @@
+// Whole-file binary I/O helpers shared by the persistence layers.
+
+#ifndef XKS_COMMON_IO_H_
+#define XKS_COMMON_IO_H_
+
+#include <string>
+
+#include "src/common/result.h"
+
+namespace xks {
+
+/// Reads the entire file at `path` into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `data` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, const std::string& data);
+
+}  // namespace xks
+
+#endif  // XKS_COMMON_IO_H_

@@ -17,26 +17,25 @@ double MsSince(Clock::time_point start) {
 
 }  // namespace
 
-SearchEngine::KeywordNodeLists SearchEngine::GetKeywordNodes(
-    const KeywordQuery& query) const {
+KeywordNodeLists GetKeywordNodes(const ShreddedStore& store,
+                                 const KeywordQuery& query) {
   KeywordNodeLists lists;
   // Reserve exactly so pointers into `owned` stay stable.
   lists.owned.reserve(query.size());
   lists.views.reserve(query.size());
   for (const QueryTerm& term : query.terms()) {
     if (term.constrained()) {
-      lists.owned.push_back(
-          store_->KeywordNodesWithLabel(term.word, term.label));
+      lists.owned.push_back(store.KeywordNodesWithLabel(term.word, term.label));
       lists.views.push_back(&lists.owned.back());
     } else {
-      lists.views.push_back(&store_->KeywordNodes(term.word));
+      lists.views.push_back(&store.KeywordNodes(term.word));
     }
   }
   return lists;
 }
 
-std::vector<Dewey> SearchEngine::GetLca(const KeywordLists& lists,
-                                        const SearchOptions& options) {
+std::vector<Dewey> GetLcaNodes(const KeywordLists& lists,
+                               const SearchOptions& options) {
   if (options.semantics == LcaSemantics::kSlca) {
     switch (options.slca_algorithm) {
       case SlcaAlgorithm::kIndexedLookup:
@@ -60,18 +59,19 @@ std::vector<Dewey> SearchEngine::GetLca(const KeywordLists& lists,
   return {};
 }
 
-Result<SearchResult> SearchEngine::Search(const KeywordQuery& query,
-                                          const SearchOptions& options) const {
+Result<SearchResult> ExecuteSearch(const ShreddedStore& store,
+                                   const KeywordQuery& query,
+                                   const SearchOptions& options) {
   SearchResult result;
 
   auto t0 = Clock::now();
-  KeywordNodeLists keyword_nodes = GetKeywordNodes(query);
+  KeywordNodeLists keyword_nodes = GetKeywordNodes(store, query);
   const KeywordLists& lists = keyword_nodes.views;
   for (const PostingList* list : lists) result.keyword_node_count += list->size();
   result.timings.get_keyword_nodes_ms = MsSince(t0);
 
   auto t1 = Clock::now();
-  std::vector<Dewey> lcas = GetLca(lists, options);
+  std::vector<Dewey> lcas = GetLcaNodes(lists, options);
   result.timings.get_lca_ms = MsSince(t1);
 
   auto t2 = Clock::now();
@@ -88,7 +88,7 @@ Result<SearchResult> SearchEngine::Search(const KeywordQuery& query,
   result.timings.get_rtf_ms = MsSince(t2);
 
   auto t3 = Clock::now();
-  StoreMetadata metadata(store_);
+  StoreMetadata metadata(&store);
   result.fragments.reserve(rtfs.size());
   for (Rtf& rtf : rtfs) {
     FragmentResult fragment;

@@ -1,4 +1,5 @@
-// SearchEngine: the four-stage pipeline of Algorithm 1.
+// The four-stage pipeline of Algorithm 1, as a stateless per-document
+// executor:
 //
 //   getKeywordNodes → getLCA → getRTF → pruneRTF
 //
@@ -6,6 +7,11 @@
 // they share the first three stages and differ in the pruning policy
 // (Section 4.3 claim (4) — and bench/micro_prune measures exactly that).
 // The original MaxMatch of [1] is the SLCA-semantics configuration.
+//
+// ExecuteSearch runs the pipeline against one shredded document; the
+// corpus-level request/response surface (src/api/database.h) invokes it once
+// per document and merges the per-document results. SearchEngine is a thin
+// stateful wrapper kept for unit tests and single-document callers.
 
 #ifndef XKS_CORE_ENGINE_H_
 #define XKS_CORE_ENGINE_H_
@@ -66,6 +72,14 @@ struct StageTimings {
   /// The paper's Figure 5 measure: elapsed time after the keyword-node
   /// Dewey codes have been retrieved.
   double post_retrieval_ms() const { return get_lca_ms + get_rtf_ms + prune_ms; }
+
+  /// Accumulates another document's stage times (corpus-level totals).
+  void Accumulate(const StageTimings& other) {
+    get_keyword_nodes_ms += other.get_keyword_nodes_ms;
+    get_lca_ms += other.get_lca_ms;
+    get_rtf_ms += other.get_rtf_ms;
+    prune_ms += other.prune_ms;
+  }
 };
 
 /// Aggregate pruning statistics across all fragments of one query.
@@ -83,9 +97,14 @@ struct PruningStats {
                : static_cast<double>(pruned_nodes()) /
                      static_cast<double>(raw_nodes);
   }
+
+  void Accumulate(const PruningStats& other) {
+    raw_nodes += other.raw_nodes;
+    kept_nodes += other.kept_nodes;
+  }
 };
 
-/// A complete query answer.
+/// A complete single-document query answer.
 struct SearchResult {
   std::vector<FragmentResult> fragments;
   StageTimings timings;
@@ -96,30 +115,53 @@ struct SearchResult {
   size_t rtf_count() const { return fragments.size(); }
 };
 
-/// The pipeline, bound to one shredded store.
+/// Stage-1 output: one posting-list view per query term. Label-constrained
+/// terms materialize their filtered lists into `owned`; unconstrained terms
+/// view the index directly. `views` stays valid as long as this struct and
+/// the store are alive.
+struct KeywordNodeLists {
+  std::vector<PostingList> owned;
+  KeywordLists views;
+};
+
+/// Stage 1: keyword-node posting lists for the query, in term order.
+KeywordNodeLists GetKeywordNodes(const ShreddedStore& store,
+                                 const KeywordQuery& query);
+
+/// Stage 2: interesting LCA nodes under the configured semantics.
+std::vector<Dewey> GetLcaNodes(const KeywordLists& lists,
+                               const SearchOptions& options);
+
+/// Runs the full pipeline against one shredded document. Stateless: every
+/// invocation is independent, so callers may execute documents concurrently.
+Result<SearchResult> ExecuteSearch(const ShreddedStore& store,
+                                   const KeywordQuery& query,
+                                   const SearchOptions& options = {});
+
+/// Thin wrapper binding the executor to one store (unit tests and
+/// single-document callers; production code goes through xks::Database).
 class SearchEngine {
  public:
   explicit SearchEngine(const ShreddedStore* store) : store_(store) {}
 
+  using KeywordNodeLists = xks::KeywordNodeLists;
+
   /// Runs the full pipeline.
   Result<SearchResult> Search(const KeywordQuery& query,
-                              const SearchOptions& options = {}) const;
-
-  /// Stage-1 output: one posting-list view per query term. Label-constrained
-  /// terms materialize their filtered lists into `owned`; unconstrained
-  /// terms view the index directly. `views` stays valid as long as this
-  /// struct and the store are alive.
-  struct KeywordNodeLists {
-    std::vector<PostingList> owned;
-    KeywordLists views;
-  };
+                              const SearchOptions& options = {}) const {
+    return ExecuteSearch(*store_, query, options);
+  }
 
   /// Stage 1: keyword-node posting lists for the query, in term order.
-  KeywordNodeLists GetKeywordNodes(const KeywordQuery& query) const;
+  KeywordNodeLists GetKeywordNodes(const KeywordQuery& query) const {
+    return xks::GetKeywordNodes(*store_, query);
+  }
 
   /// Stage 2: interesting LCA nodes under the configured semantics.
   static std::vector<Dewey> GetLca(const KeywordLists& lists,
-                                   const SearchOptions& options);
+                                   const SearchOptions& options) {
+    return GetLcaNodes(lists, options);
+  }
 
  private:
   const ShreddedStore* store_;

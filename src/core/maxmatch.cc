@@ -20,14 +20,12 @@ SearchOptions MaxMatchOriginalOptions() {
 
 Result<SearchResult> MaxMatchSearch(const ShreddedStore& store,
                                     const KeywordQuery& query) {
-  SearchEngine engine(&store);
-  return engine.Search(query, MaxMatchOptions());
+  return ExecuteSearch(store, query, MaxMatchOptions());
 }
 
 Result<SearchResult> MaxMatchOriginalSearch(const ShreddedStore& store,
                                             const KeywordQuery& query) {
-  SearchEngine engine(&store);
-  return engine.Search(query, MaxMatchOriginalOptions());
+  return ExecuteSearch(store, query, MaxMatchOriginalOptions());
 }
 
 }  // namespace xks

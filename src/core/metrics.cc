@@ -35,6 +35,22 @@ double QueryEffectiveness::apr_prime() const {
   return (sum - max) / static_cast<double>(differing - 1);
 }
 
+void AccumulateFragmentRatio(const FragmentTree& valid_fragment,
+                             const FragmentTree& max_fragment,
+                             QueryEffectiveness* eff) {
+  std::vector<Dewey> va = valid_fragment.NodeSet();
+  std::vector<Dewey> xa = max_fragment.NodeSet();
+  if (va == xa) {
+    ++eff->common_count;
+    eff->ratios.push_back(0.0);
+    return;
+  }
+  const size_t removed = CountSetDifference(xa, va);
+  eff->ratios.push_back(xa.empty() ? 0.0
+                                   : static_cast<double>(removed) /
+                                         static_cast<double>(xa.size()));
+}
+
 Result<QueryEffectiveness> CompareEffectiveness(const SearchResult& valid_rtf,
                                                 const SearchResult& max_match) {
   if (valid_rtf.fragments.size() != max_match.fragments.size()) {
@@ -52,18 +68,7 @@ Result<QueryEffectiveness> CompareEffectiveness(const SearchResult& valid_rtf,
       return Status::InvalidArgument("fragment roots are not aligned at index " +
                                      std::to_string(i));
     }
-    std::vector<Dewey> va = v.fragment.NodeSet();
-    std::vector<Dewey> xa = x.fragment.NodeSet();
-    if (va == xa) {
-      ++eff.common_count;
-      eff.ratios.push_back(0.0);
-      continue;
-    }
-    const size_t removed = CountSetDifference(xa, va);
-    eff.ratios.push_back(xa.empty()
-                             ? 0.0
-                             : static_cast<double>(removed) /
-                                   static_cast<double>(xa.size()));
+    AccumulateFragmentRatio(v.fragment, x.fragment, &eff);
   }
   return eff;
 }

@@ -31,6 +31,14 @@ struct QueryEffectiveness {
   double apr_prime() const;
 };
 
+/// Folds one aligned fragment pair into `eff`: bumps common_count when the
+/// node sets are identical, and appends the per-fragment pruning ratio
+/// |x − v| / |x|. Shared by the core- and API-level comparisons so the
+/// metric definition lives in one place.
+void AccumulateFragmentRatio(const FragmentTree& valid_fragment,
+                             const FragmentTree& max_fragment,
+                             QueryEffectiveness* eff);
+
 /// Compares aligned results. Both must come from the same query and LCA
 /// semantics (same fragment roots in the same order); anything else is an
 /// InvalidArgument.

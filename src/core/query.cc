@@ -14,6 +14,10 @@ Result<KeywordQuery> KeywordQuery::Parse(const std::string& text) {
     size_t colon = token.find(':');
     if (colon != std::string::npos) {
       // Label-constrained term "label:word".
+      if (token.find(':', colon + 1) != std::string::npos) {
+        return Status::InvalidArgument("malformed label constraint '" + token +
+                                       "' (more than one ':')");
+      }
       std::vector<std::string> label_words = TokenizeWords(token.substr(0, colon));
       std::vector<std::string> words = TokenizeWords(token.substr(colon + 1));
       if (label_words.size() != 1 || words.empty()) {

@@ -12,8 +12,7 @@ SearchOptions ValidRtfOptions() {
 
 Result<SearchResult> ValidRtfSearch(const ShreddedStore& store,
                                     const KeywordQuery& query) {
-  SearchEngine engine(&store);
-  return engine.Search(query, ValidRtfOptions());
+  return ExecuteSearch(store, query, ValidRtfOptions());
 }
 
 Result<SearchResult> ValidRtfSearch(const ShreddedStore& store,

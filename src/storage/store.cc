@@ -1,8 +1,6 @@
 #include "src/storage/store.h"
 
-#include <cstdio>
-#include <memory>
-
+#include "src/common/io.h"
 #include "src/common/string_util.h"
 #include "src/storage/shredder.h"
 
@@ -96,25 +94,12 @@ Result<ShreddedStore> ShreddedStore::DecodeFrom(std::string_view data) {
 Status ShreddedStore::Save(const std::string& path) const {
   std::string buffer;
   EncodeTo(&buffer);
-  std::unique_ptr<FILE, int (*)(FILE*)> f(std::fopen(path.c_str(), "wb"),
-                                          &std::fclose);
-  if (f == nullptr) return Status::IoError("cannot open '" + path + "' for write");
-  size_t written = std::fwrite(buffer.data(), 1, buffer.size(), f.get());
-  if (written != buffer.size()) return Status::IoError("short write to '" + path + "'");
-  return Status::OK();
+  return WriteStringToFile(path, buffer);
 }
 
 Result<ShreddedStore> ShreddedStore::Load(const std::string& path) {
-  std::unique_ptr<FILE, int (*)(FILE*)> f(std::fopen(path.c_str(), "rb"),
-                                          &std::fclose);
-  if (f == nullptr) return Status::IoError("cannot open '" + path + "' for read");
   std::string buffer;
-  char chunk[1 << 16];
-  size_t n = 0;
-  while ((n = std::fread(chunk, 1, sizeof(chunk), f.get())) > 0) {
-    buffer.append(chunk, n);
-  }
-  if (std::ferror(f.get())) return Status::IoError("read error on '" + path + "'");
+  XKS_ASSIGN_OR_RETURN(buffer, ReadFileToString(path));
   return DecodeFrom(buffer);
 }
 

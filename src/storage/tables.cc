@@ -12,7 +12,11 @@ void EncodeDewey(std::string* dst, const Dewey& dewey) {
 Status DecodeDewey(Decoder* decoder, Dewey* dewey) {
   uint32_t n = 0;
   XKS_RETURN_IF_ERROR(decoder->GetVarint32(&n));
-  if (n > 1u << 20) return Status::Corruption("implausible Dewey depth");
+  // Every component takes at least one encoded byte, so a count beyond the
+  // bytes left is corruption — reject before allocating for it.
+  if (n > 1u << 20 || n > decoder->remaining()) {
+    return Status::Corruption("implausible Dewey depth");
+  }
   std::vector<uint32_t> components(n);
   for (uint32_t i = 0; i < n; ++i) {
     XKS_RETURN_IF_ERROR(decoder->GetVarint32(&components[i]));
@@ -45,6 +49,11 @@ Status LabelTable::Decode(Decoder* decoder) {
   ids_.clear();
   uint64_t n = 0;
   XKS_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+  // Each entry consumes at least one byte of input; anything larger than the
+  // bytes left cannot be a valid count (and must not drive a reserve).
+  if (n > decoder->remaining()) {
+    return Status::Corruption("implausible label count");
+  }
   names_.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     std::string name;
@@ -86,6 +95,9 @@ Status ElementTable::Decode(Decoder* decoder) {
   by_dewey_.clear();
   uint64_t n = 0;
   XKS_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+  if (n > decoder->remaining()) {
+    return Status::Corruption("implausible element row count");
+  }
   rows_.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     ElementRow row;
@@ -94,6 +106,9 @@ Status ElementTable::Decode(Decoder* decoder) {
     XKS_RETURN_IF_ERROR(decoder->GetVarint32(&row.level));
     uint32_t path_len = 0;
     XKS_RETURN_IF_ERROR(decoder->GetVarint32(&path_len));
+    if (path_len > decoder->remaining()) {
+      return Status::Corruption("implausible label path length");
+    }
     row.label_path.resize(path_len);
     for (uint32_t j = 0; j < path_len; ++j) {
       XKS_RETURN_IF_ERROR(decoder->GetVarint32(&row.label_path[j]));
@@ -137,6 +152,9 @@ Status ValueTable::Decode(Decoder* decoder) {
   frequencies_.clear();
   uint64_t n = 0;
   XKS_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+  if (n > decoder->remaining()) {
+    return Status::Corruption("implausible value row count");
+  }
   rows_.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     ValueRow row;
@@ -151,6 +169,9 @@ Status ValueTable::Decode(Decoder* decoder) {
   }
   uint64_t vocab = 0;
   XKS_RETURN_IF_ERROR(decoder->GetVarint64(&vocab));
+  if (vocab > decoder->remaining()) {
+    return Status::Corruption("implausible vocabulary size");
+  }
   for (uint64_t i = 0; i < vocab; ++i) {
     std::string word;
     uint64_t count = 0;

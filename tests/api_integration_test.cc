@@ -1,0 +1,215 @@
+// End-to-end integration through the public API only: a multi-document
+// corpus of generated datasets served via xks::Database — doc-qualified
+// hits, top-k + cursor pagination, ranking, persistence and legacy loading.
+// No direct ShreddedStore/SearchEngine use: this is the path external
+// callers take.
+
+#include <atomic>
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "src/api/database.h"
+#include "src/api/effectiveness.h"
+#include "src/datagen/dblp_gen.h"
+#include "src/datagen/figure1.h"
+#include "src/datagen/workloads.h"
+#include "src/datagen/xmark_gen.h"
+
+namespace xks {
+namespace {
+
+void CheckHitInvariants(const std::vector<Hit>& hits, size_t k) {
+  for (const Hit& hit : hits) {
+    EXPECT_FALSE(hit.document_name.empty());
+    // Every keyword node sits under the root and carries a non-empty mask.
+    EXPECT_FALSE(hit.rtf.knodes.empty());
+    KeywordMask seen = 0;
+    for (const RtfKeywordNode& kn : hit.rtf.knodes) {
+      EXPECT_TRUE(hit.rtf.root.IsAncestorOrSelf(kn.dewey));
+      EXPECT_NE(kn.mask, 0u);
+      seen |= kn.mask;
+    }
+    // An RTF covers the whole query (keyword requirement).
+    EXPECT_EQ(seen, FullMask(k));
+    // The pruned fragment is rooted at the RTF root and non-empty.
+    ASSERT_FALSE(hit.fragment.empty());
+    EXPECT_EQ(hit.fragment.node(hit.fragment.root()).dewey, hit.rtf.root);
+  }
+}
+
+class ApiIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    Result<Document> fig1a = Figure1aDocument();
+    Result<Document> fig1b = Figure1bDocument();
+    ASSERT_TRUE(fig1a.ok());
+    ASSERT_TRUE(fig1b.ok());
+    ASSERT_TRUE(db_->AddDocument("publications", *fig1a).ok());
+    ASSERT_TRUE(db_->AddDocument("team", *fig1b).ok());
+    DblpOptions dblp;
+    dblp.scale = 0.002;  // ~900 records
+    ASSERT_TRUE(db_->AddDocument("dblp", GenerateDblp(dblp)).ok());
+    XmarkOptions xmark;
+    xmark.scale = 0.08;
+    ASSERT_TRUE(db_->AddDocument("xmark", GenerateXmark(xmark)).ok());
+    ASSERT_TRUE(db_->Build().ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* ApiIntegrationTest::db_ = nullptr;
+
+TEST_F(ApiIntegrationTest, CorpusHoldsFourDocuments) {
+  EXPECT_EQ(db_->document_count(), 4u);
+  EXPECT_EQ(*db_->FindDocument("publications"), 0u);
+  EXPECT_EQ(*db_->FindDocument("xmark"), 3u);
+  EXPECT_FALSE(db_->FindDocument("absent").ok());
+}
+
+TEST_F(ApiIntegrationTest, WorkloadRunsThroughTheApi) {
+  for (const WorkloadQuery& wq : DblpWorkload()) {
+    SearchRequest request;
+    for (const std::string& keyword : wq.keywords) {
+      request.terms.push_back(QueryTerm{keyword, ""});
+    }
+    request.top_k = 0;
+    request.rank = false;
+    Result<SearchResponse> response = db_->Search(request);
+    ASSERT_TRUE(response.ok()) << wq.label;
+    CheckHitInvariants(response->hits, response->parsed_query.size());
+  }
+}
+
+TEST_F(ApiIntegrationTest, QueryMatchingSeveralDocumentsMergesHits) {
+  // "keyword" occurs in the Figure 1(a) instance and in generated DBLP.
+  SearchRequest request = SearchRequest::ValidRtf("keyword");
+  request.top_k = 0;
+  request.rank = false;
+  Result<SearchResponse> response = db_->Search(request);
+  ASSERT_TRUE(response.ok());
+  bool from_publications = false;
+  bool from_dblp = false;
+  for (const Hit& hit : response->hits) {
+    if (hit.document_name == "publications") from_publications = true;
+    if (hit.document_name == "dblp") from_dblp = true;
+  }
+  EXPECT_TRUE(from_publications);
+  EXPECT_TRUE(from_dblp);
+  // Unranked hits arrive grouped by ascending document id.
+  for (size_t i = 1; i < response->hits.size(); ++i) {
+    EXPECT_LE(response->hits[i - 1].document, response->hits[i].document);
+  }
+}
+
+TEST_F(ApiIntegrationTest, RankedPaginationIsConsistentAcrossPages) {
+  SearchRequest all = SearchRequest::ValidRtf("xml keyword");
+  all.top_k = 0;
+  Result<SearchResponse> reference = db_->Search(all);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_GE(reference->hits.size(), 2u);
+
+  const size_t page_size = (reference->hits.size() + 1) / 2;
+  SearchRequest paged = SearchRequest::ValidRtf("xml keyword");
+  paged.top_k = page_size;
+  Result<SearchResponse> first = db_->Search(paged);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->hits.size(), page_size);
+  ASSERT_FALSE(first->next_cursor.empty());
+
+  paged.cursor = first->next_cursor;
+  Result<SearchResponse> second = db_->Search(paged);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->hits.size() + second->hits.size(), reference->hits.size());
+
+  std::vector<Hit> collected;
+  for (Hit& hit : first->hits) collected.push_back(std::move(hit));
+  for (Hit& hit : second->hits) collected.push_back(std::move(hit));
+  for (size_t i = 0; i < collected.size(); ++i) {
+    EXPECT_EQ(collected[i].document, reference->hits[i].document);
+    EXPECT_EQ(collected[i].rtf.root, reference->hits[i].rtf.root);
+    EXPECT_EQ(collected[i].score, reference->hits[i].score);
+  }
+}
+
+TEST_F(ApiIntegrationTest, ValidRtfVersusMaxMatchEffectiveness) {
+  SearchRequest valid_request = SearchRequest::ValidRtf("xml keyword");
+  valid_request.top_k = 0;
+  valid_request.rank = false;
+  SearchRequest max_request = SearchRequest::MaxMatch("xml keyword");
+  max_request.top_k = 0;
+  max_request.rank = false;
+  Result<SearchResponse> valid = db_->Search(valid_request);
+  Result<SearchResponse> max = db_->Search(max_request);
+  ASSERT_TRUE(valid.ok());
+  ASSERT_TRUE(max.ok());
+  Result<QueryEffectiveness> eff =
+      CompareHitEffectiveness(valid->hits, max->hits);
+  ASSERT_TRUE(eff.ok()) << eff.status().ToString();
+  EXPECT_GE(eff->cfr(), 0.0);
+  EXPECT_LE(eff->cfr(), 1.0);
+}
+
+TEST_F(ApiIntegrationTest, SaveLoadRoundTripPreservesResults) {
+  std::string path = ::testing::TempDir() + "/xks_api_integration.db";
+  ASSERT_TRUE(db_->Save(path).ok());
+  Result<Database> loaded = Database::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->document_count(), db_->document_count());
+
+  SearchRequest request = SearchRequest::ValidRtf("keyword search");
+  request.top_k = 0;
+  Result<SearchResponse> before = db_->Search(request);
+  Result<SearchResponse> after = loaded->Search(request);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(before->hits.size(), after->hits.size());
+  for (size_t i = 0; i < before->hits.size(); ++i) {
+    EXPECT_EQ(before->hits[i].document_name, after->hits[i].document_name);
+    EXPECT_EQ(before->hits[i].fragment.NodeSet(),
+              after->hits[i].fragment.NodeSet());
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ApiIntegrationTest, ConcurrentSearchesAreConsistent) {
+  // A built Database is immutable; concurrent requests must agree with a
+  // serial run.
+  SearchRequest request = SearchRequest::ValidRtf("xml keyword search");
+  request.top_k = 5;
+  Result<SearchResponse> serial = db_->Search(request);
+  ASSERT_TRUE(serial.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 5;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int round = 0; round < kRounds; ++round) {
+        Result<SearchResponse> r = db_->Search(request);
+        if (!r.ok() || r->hits.size() != serial->hits.size()) {
+          ++mismatches;
+          return;
+        }
+        for (size_t i = 0; i < r->hits.size(); ++i) {
+          if (r->hits[i].document != serial->hits[i].document ||
+              r->hits[i].rtf.root != serial->hits[i].rtf.root) {
+            ++mismatches;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,370 @@
+// xks::Database unit tests: corpus building, doc-qualified search, top-k +
+// cursor pagination, ranking, persistence (XKS2 + legacy XKS1) and request
+// validation.
+
+#include "src/api/database.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "src/api/cursor.h"
+#include "src/xml/parser.h"
+
+namespace xks {
+namespace {
+
+/// Three small documents; "keyword" occurs in all, "skyline" only in c.
+Database MakeCorpus() {
+  Database db;
+  EXPECT_TRUE(db.AddDocumentXml(
+                    "a", "<lib><book><title>xml keyword search</title></book>"
+                         "<book><title>keyword proximity</title></book></lib>")
+                  .ok());
+  EXPECT_TRUE(db.AddDocumentXml(
+                    "b", "<lib><paper><title>keyword ranking</title></paper></lib>")
+                  .ok());
+  EXPECT_TRUE(db.AddDocumentXml(
+                    "c", "<lib><paper><title>skyline keyword query</title>"
+                         "</paper></lib>")
+                  .ok());
+  EXPECT_TRUE(db.Build().ok());
+  return db;
+}
+
+SearchRequest Unranked(const std::string& query, size_t top_k = 0) {
+  SearchRequest request;
+  request.query = query;
+  request.top_k = top_k;
+  request.rank = false;
+  return request;
+}
+
+TEST(DatabaseTest, RejectsEmptyAndDuplicateNames) {
+  Database db;
+  Result<Document> doc = ParseXml("<r>x</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(db.AddDocument("", *doc).status().code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(db.AddDocument("dup", *doc).ok());
+  EXPECT_EQ(db.AddDocument("dup", *doc).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, SearchRequiresBuild) {
+  Database db;
+  ASSERT_TRUE(db.AddDocumentXml("a", "<r>word</r>").ok());
+  EXPECT_FALSE(db.Search(Unranked("word")).ok());
+  ASSERT_TRUE(db.Build().ok());
+  EXPECT_TRUE(db.Search(Unranked("word")).ok());
+  // Adding another document invalidates the build.
+  ASSERT_TRUE(db.AddDocumentXml("b", "<r>word</r>").ok());
+  EXPECT_FALSE(db.Search(Unranked("word")).ok());
+}
+
+TEST(DatabaseTest, BuildFailsOnEmptyCorpus) {
+  Database db;
+  EXPECT_FALSE(db.Build().ok());
+}
+
+TEST(DatabaseTest, AddDocumentXmlPropagatesParseErrors) {
+  Database db;
+  EXPECT_FALSE(db.AddDocumentXml("bad", "<r><unclosed></r>").ok());
+}
+
+TEST(DatabaseTest, MultiDocumentHitsAreDocQualified) {
+  Database db = MakeCorpus();
+  EXPECT_EQ(db.document_count(), 3u);
+  Result<SearchResponse> response = db.Search(Unranked("keyword"));
+  ASSERT_TRUE(response.ok());
+  // One RTF per matching title; every document matches "keyword".
+  ASSERT_EQ(response->hits.size(), 4u);
+  EXPECT_EQ(response->hits[0].document, *db.FindDocument("a"));
+  EXPECT_EQ(response->hits[0].document_name, "a");
+  EXPECT_EQ(response->hits[2].document_name, "b");
+  EXPECT_EQ(response->hits[3].document_name, "c");
+  EXPECT_TRUE(response->next_cursor.empty());
+  EXPECT_TRUE(response->total_is_exact);
+  EXPECT_EQ(response->total_hits, 4u);
+}
+
+TEST(DatabaseTest, DocumentRestrictionAndUnknownIds) {
+  Database db = MakeCorpus();
+  SearchRequest request = Unranked("keyword");
+  request.documents = {*db.FindDocument("c")};
+  Result<SearchResponse> response = db.Search(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->hits.size(), 1u);
+  EXPECT_EQ(response->hits[0].document_name, "c");
+
+  request.documents = {99};
+  EXPECT_EQ(db.Search(request).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, PaginationWalksTheFullResultSet) {
+  Database db = MakeCorpus();
+  Result<SearchResponse> all = db.Search(Unranked("keyword"));
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->hits.size(), 4u);
+
+  // Page through with top_k=2 and compare against the unbounded run.
+  SearchRequest paged = Unranked("keyword", /*top_k=*/2);
+  std::vector<Hit> collected;
+  std::string cursor;
+  for (int page = 0; page < 10; ++page) {
+    paged.cursor = cursor;
+    Result<SearchResponse> response = db.Search(paged);
+    ASSERT_TRUE(response.ok());
+    EXPECT_LE(response->hits.size(), 2u);
+    for (Hit& hit : response->hits) collected.push_back(std::move(hit));
+    cursor = response->next_cursor;
+    if (cursor.empty()) break;
+  }
+  ASSERT_EQ(collected.size(), all->hits.size());
+  for (size_t i = 0; i < collected.size(); ++i) {
+    EXPECT_EQ(collected[i].document, all->hits[i].document);
+    EXPECT_EQ(collected[i].rtf.root, all->hits[i].rtf.root);
+    EXPECT_EQ(collected[i].fragment.NodeSet(), all->hits[i].fragment.NodeSet());
+  }
+}
+
+TEST(DatabaseTest, EarlyTerminationSkipsTrailingDocuments) {
+  Database db = MakeCorpus();
+  // Document "a" alone fills a one-hit page plus the look-ahead probe, so
+  // the scan never reaches "b" or "c".
+  Result<SearchResponse> response = db.Search(Unranked("keyword", /*top_k=*/1));
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->hits.size(), 1u);
+  EXPECT_EQ(response->hits[0].document_name, "a");
+  EXPECT_EQ(response->documents_searched, 1u);
+  EXPECT_FALSE(response->total_is_exact);
+  EXPECT_FALSE(response->next_cursor.empty());
+}
+
+TEST(DatabaseTest, RankedSearchOrdersByDescendingScore) {
+  Database db = MakeCorpus();
+  SearchRequest request;
+  request.query = "keyword";
+  request.top_k = 0;
+  request.rank = true;
+  Result<SearchResponse> response = db.Search(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->hits.size(), 4u);
+  for (size_t i = 1; i < response->hits.size(); ++i) {
+    EXPECT_GE(response->hits[i - 1].score, response->hits[i].score);
+  }
+}
+
+TEST(DatabaseTest, CursorIsBoundToItsRequest) {
+  Database db = MakeCorpus();
+  Result<SearchResponse> page = db.Search(Unranked("keyword", /*top_k=*/2));
+  ASSERT_TRUE(page.ok());
+  ASSERT_FALSE(page->next_cursor.empty());
+
+  // Same cursor, different query → rejected.
+  SearchRequest other = Unranked("skyline", /*top_k=*/2);
+  other.cursor = page->next_cursor;
+  EXPECT_EQ(db.Search(other).status().code(), StatusCode::kInvalidArgument);
+
+  // Same cursor, different pruning policy → rejected.
+  SearchRequest different_config = Unranked("keyword", /*top_k=*/2);
+  different_config.pruning = PruningPolicy::kContributor;
+  different_config.cursor = page->next_cursor;
+  EXPECT_FALSE(db.Search(different_config).ok());
+
+  // Garbage cursors → rejected.
+  SearchRequest garbage = Unranked("keyword", /*top_k=*/2);
+  garbage.cursor = "not-a-cursor";
+  EXPECT_EQ(db.Search(garbage).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, CursorDiesWithTheCorpus) {
+  Database db = MakeCorpus();
+  Result<SearchResponse> page = db.Search(Unranked("keyword", /*top_k=*/2));
+  ASSERT_TRUE(page.ok());
+  ASSERT_FALSE(page->next_cursor.empty());
+
+  // A different corpus with the same document count and ids must reject the
+  // replayed cursor — the revision hash differs.
+  Database other;
+  ASSERT_TRUE(other.AddDocumentXml("x", "<r><t>keyword one</t></r>").ok());
+  ASSERT_TRUE(other.AddDocumentXml("y", "<r><t>keyword two</t></r>").ok());
+  ASSERT_TRUE(other.AddDocumentXml("z", "<r><t>keyword three</t></r>").ok());
+  ASSERT_TRUE(other.Build().ok());
+  SearchRequest replay = Unranked("keyword", /*top_k=*/2);
+  replay.cursor = page->next_cursor;
+  EXPECT_EQ(other.Search(replay).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, RankedCursorIsBoundToWeights) {
+  Database db = MakeCorpus();
+  SearchRequest request;
+  request.query = "keyword";
+  request.top_k = 2;  // rank defaults to true
+  Result<SearchResponse> page = db.Search(request);
+  ASSERT_TRUE(page.ok());
+  ASSERT_FALSE(page->next_cursor.empty());
+
+  // Different ranking weights reorder the merge → the cursor must die.
+  SearchRequest reweighted = request;
+  reweighted.weights.specificity = 0.9;
+  reweighted.cursor = page->next_cursor;
+  EXPECT_EQ(db.Search(reweighted).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Unchanged weights keep it valid.
+  request.cursor = page->next_cursor;
+  EXPECT_TRUE(db.Search(request).ok());
+}
+
+TEST(DatabaseTest, SnippetAndRawFragmentOptIns) {
+  Database db = MakeCorpus();
+  SearchRequest request = Unranked("keyword", 1);
+  request.include_snippets = false;
+  Result<SearchResponse> bare = db.Search(request);
+  ASSERT_TRUE(bare.ok());
+  ASSERT_EQ(bare->hits.size(), 1u);
+  EXPECT_TRUE(bare->hits[0].snippet.empty());
+  EXPECT_TRUE(bare->hits[0].raw.empty());
+
+  request.include_snippets = true;
+  request.include_raw_fragments = true;
+  Result<SearchResponse> full = db.Search(request);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->hits[0].snippet.empty());
+  EXPECT_FALSE(full->hits[0].raw.empty());
+  EXPECT_GE(full->hits[0].raw.size(), full->hits[0].fragment.size());
+}
+
+TEST(DatabaseTest, StatsOptIn) {
+  Database db = MakeCorpus();
+  Result<SearchResponse> plain = db.Search(Unranked("keyword"));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->keyword_node_count, 0u);
+
+  SearchRequest with_stats = Unranked("keyword");
+  with_stats.include_stats = true;
+  Result<SearchResponse> stats = db.Search(with_stats);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->keyword_node_count, 4u);
+  EXPECT_GT(stats->pruning.raw_nodes, 0u);
+}
+
+TEST(DatabaseTest, CorpusStatistics) {
+  Database db = MakeCorpus();
+  // "keyword" appears once per title across the three documents, 4 total.
+  EXPECT_EQ(db.WordFrequency("keyword"), 4u);
+  EXPECT_EQ(db.WordFrequency("skyline"), 1u);
+  EXPECT_EQ(db.WordFrequency("absent"), 0u);
+  EXPECT_GT(db.vocabulary_size(), 0u);
+  EXPECT_GT(db.total_postings(), 0u);
+}
+
+TEST(DatabaseTest, EncodeDecodeRoundTrip) {
+  Database db = MakeCorpus();
+  std::string buffer;
+  db.EncodeTo(&buffer);
+  Result<Database> restored = Database::DecodeFrom(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->document_count(), 3u);
+  EXPECT_EQ(restored->document_name(0), "a");
+  EXPECT_EQ(restored->document_name(2), "c");
+  EXPECT_TRUE(restored->built());
+
+  Result<SearchResponse> before = db.Search(Unranked("keyword"));
+  Result<SearchResponse> after = restored->Search(Unranked("keyword"));
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(before->hits.size(), after->hits.size());
+  for (size_t i = 0; i < before->hits.size(); ++i) {
+    EXPECT_EQ(before->hits[i].document, after->hits[i].document);
+    EXPECT_EQ(before->hits[i].fragment.NodeSet(),
+              after->hits[i].fragment.NodeSet());
+  }
+}
+
+TEST(DatabaseTest, SaveAndLoadFile) {
+  std::string path = ::testing::TempDir() + "/xks_database_test.db";
+  {
+    Database db = MakeCorpus();
+    ASSERT_TRUE(db.Save(path).ok());
+  }
+  Result<Database> loaded = Database::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->document_count(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, LoadsLegacySingleDocumentStore) {
+  // A pre-corpus XKS1 file surfaces as a one-document corpus.
+  std::string path = ::testing::TempDir() + "/xks_database_legacy.bin";
+  {
+    Result<Document> doc = ParseXml("<r><a>legacy keyword</a></r>");
+    ASSERT_TRUE(doc.ok());
+    ShreddedStore store = ShreddedStore::Build(*doc);
+    ASSERT_TRUE(store.Save(path).ok());
+  }
+  Result<Database> loaded = Database::Load(path, "legacy");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->document_count(), 1u);
+  EXPECT_EQ(loaded->document_name(0), "legacy");
+  Result<SearchResponse> response = loaded->Search(Unranked("keyword"));
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->hits.size(), 1u);
+  EXPECT_EQ(response->hits[0].document_name, "legacy");
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, DecodeRejectsCorruptCorpora) {
+  EXPECT_EQ(Database::DecodeFrom("JUNKdata").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(Database::DecodeFrom("XK").status().code(),
+            StatusCode::kCorruption);
+
+  Database db = MakeCorpus();
+  std::string buffer;
+  db.EncodeTo(&buffer);
+  // Every strict prefix of a valid encoding must fail cleanly, never crash.
+  for (size_t cut = 0; cut < buffer.size(); ++cut) {
+    EXPECT_FALSE(Database::DecodeFrom(buffer.substr(0, cut)).ok())
+        << "cut=" << cut;
+  }
+  EXPECT_FALSE(Database::DecodeFrom(buffer + "extra").ok());
+}
+
+TEST(DatabaseTest, TermsTakePrecedenceOverQueryText) {
+  Database db = MakeCorpus();
+  SearchRequest request;
+  request.query = "skyline";
+  request.terms = {QueryTerm{"ranking", ""}};
+  request.rank = false;
+  request.top_k = 0;
+  Result<SearchResponse> response = db.Search(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->parsed_query.ToString(), "ranking");
+  ASSERT_EQ(response->hits.size(), 1u);
+  EXPECT_EQ(response->hits[0].document_name, "b");
+}
+
+TEST(CursorTest, EncodeDecodeRoundTrip) {
+  PageCursor cursor;
+  cursor.offset = 12345;
+  cursor.fingerprint = 0xdeadbeefcafef00dull;
+  Result<PageCursor> decoded = DecodeCursor(EncodeCursor(cursor));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->offset, cursor.offset);
+  EXPECT_EQ(decoded->fingerprint, cursor.fingerprint);
+}
+
+TEST(CursorTest, RejectsMalformedTokens) {
+  EXPECT_FALSE(DecodeCursor("").ok());
+  EXPECT_FALSE(DecodeCursor("xksc1:").ok());
+  EXPECT_FALSE(DecodeCursor("xksc1:12").ok());
+  EXPECT_FALSE(DecodeCursor("xksc1:zz:1").ok());
+  EXPECT_FALSE(DecodeCursor("xksc1:1:").ok());
+  EXPECT_FALSE(DecodeCursor("other:1:2").ok());
+  EXPECT_FALSE(DecodeCursor("xksc1:11111111111111111:2").ok());
+}
+
+}  // namespace
+}  // namespace xks

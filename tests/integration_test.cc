@@ -1,46 +1,51 @@
-// Cross-module integration: generators → shredding → store → both engines →
-// metrics, with structural invariants checked on every fragment.
+// Cross-module integration: generators → corpus (xks::Database) → both
+// pruning configurations → metrics, with structural invariants checked on
+// every fragment. Queries run through the public request/response API; one
+// test additionally cross-checks the stage-level LCA algorithms against the
+// store building block directly.
 
 #include <atomic>
 #include <cstdio>
 #include <gtest/gtest.h>
 #include <thread>
 
-#include "src/core/maxmatch.h"
-#include "src/core/metrics.h"
-#include "src/core/validrtf.h"
+#include "src/api/database.h"
+#include "src/api/effectiveness.h"
 #include "src/datagen/dblp_gen.h"
 #include "src/datagen/workloads.h"
 #include "src/datagen/xmark_gen.h"
-#include "src/storage/store.h"
 
 namespace xks {
 namespace {
 
-void CheckFragmentInvariants(const SearchResult& result, size_t k) {
-  // Roots strictly increasing in document order.
-  for (size_t i = 1; i < result.fragments.size(); ++i) {
-    EXPECT_LT(result.fragments[i - 1].rtf.root, result.fragments[i].rtf.root);
+SearchRequest WorkloadRequest(const WorkloadQuery& wq, PruningPolicy pruning) {
+  return SearchRequest::Exhaustive(wq.keywords, pruning);
+}
+
+void CheckFragmentInvariants(const std::vector<Hit>& hits, size_t k) {
+  // Roots strictly increasing in document order (single-document corpus).
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LT(hits[i - 1].rtf.root, hits[i].rtf.root);
   }
-  for (const FragmentResult& f : result.fragments) {
+  for (const Hit& hit : hits) {
     // Every keyword node sits under the root and carries a non-empty mask.
-    EXPECT_FALSE(f.rtf.knodes.empty());
+    EXPECT_FALSE(hit.rtf.knodes.empty());
     KeywordMask seen = 0;
-    for (const RtfKeywordNode& kn : f.rtf.knodes) {
-      EXPECT_TRUE(f.rtf.root.IsAncestorOrSelf(kn.dewey));
+    for (const RtfKeywordNode& kn : hit.rtf.knodes) {
+      EXPECT_TRUE(hit.rtf.root.IsAncestorOrSelf(kn.dewey));
       EXPECT_NE(kn.mask, 0u);
       seen |= kn.mask;
     }
     // An RTF covers the whole query (keyword requirement).
     EXPECT_EQ(seen, FullMask(k));
     // The pruned fragment is rooted at the RTF root and non-empty.
-    ASSERT_FALSE(f.fragment.empty());
-    EXPECT_EQ(f.fragment.node(f.fragment.root()).dewey, f.rtf.root);
+    ASSERT_FALSE(hit.fragment.empty());
+    EXPECT_EQ(hit.fragment.node(hit.fragment.root()).dewey, hit.rtf.root);
     // Parent links and Dewey nesting are consistent.
-    for (size_t i = 0; i < f.fragment.size(); ++i) {
-      const FragmentNode& n = f.fragment.node(static_cast<FragmentNodeId>(i));
+    for (size_t i = 0; i < hit.fragment.size(); ++i) {
+      const FragmentNode& n = hit.fragment.node(static_cast<FragmentNodeId>(i));
       if (n.parent != kNullFragmentNode) {
-        const FragmentNode& p = f.fragment.node(n.parent);
+        const FragmentNode& p = hit.fragment.node(n.parent);
         EXPECT_TRUE(p.dewey.IsAncestor(n.dewey));
         EXPECT_EQ(p.dewey.depth() + 1, n.dewey.depth());
       }
@@ -53,28 +58,33 @@ class DblpIntegrationTest : public ::testing::Test {
   static void SetUpTestSuite() {
     DblpOptions options;
     options.scale = 0.003;  // ~1.4k records
-    store_ = new ShreddedStore(ShreddedStore::Build(GenerateDblp(options)));
+    db_ = new Database();
+    ASSERT_TRUE(db_->AddDocument("dblp", GenerateDblp(options)).ok());
+    ASSERT_TRUE(db_->Build().ok());
   }
   static void TearDownTestSuite() {
-    delete store_;
-    store_ = nullptr;
+    delete db_;
+    db_ = nullptr;
   }
-  static ShreddedStore* store_;
+  static Database* db_;
 };
 
-ShreddedStore* DblpIntegrationTest::store_ = nullptr;
+Database* DblpIntegrationTest::db_ = nullptr;
 
-TEST_F(DblpIntegrationTest, WholeWorkloadRunsOnBothEngines) {
+TEST_F(DblpIntegrationTest, WholeWorkloadRunsOnBothConfigurations) {
   for (const WorkloadQuery& wq : DblpWorkload()) {
-    KeywordQuery query = *KeywordQuery::FromKeywords(wq.keywords);
-    Result<SearchResult> valid = ValidRtfSearch(*store_, query);
+    Result<SearchResponse> valid =
+        db_->Search(WorkloadRequest(wq, PruningPolicy::kValidContributor));
     ASSERT_TRUE(valid.ok()) << wq.label;
-    Result<SearchResult> max = MaxMatchSearch(*store_, query);
+    Result<SearchResponse> max =
+        db_->Search(WorkloadRequest(wq, PruningPolicy::kContributor));
     ASSERT_TRUE(max.ok()) << wq.label;
-    CheckFragmentInvariants(*valid, query.size());
-    CheckFragmentInvariants(*max, query.size());
+    const size_t k = valid->parsed_query.size();
+    CheckFragmentInvariants(valid->hits, k);
+    CheckFragmentInvariants(max->hits, k);
     // Same LCA set → aligned fragments.
-    Result<QueryEffectiveness> eff = CompareEffectiveness(*valid, *max);
+    Result<QueryEffectiveness> eff =
+        CompareHitEffectiveness(valid->hits, max->hits);
     ASSERT_TRUE(eff.ok()) << wq.label;
     EXPECT_GE(eff->cfr(), 0.0);
     EXPECT_LE(eff->cfr(), 1.0);
@@ -85,33 +95,38 @@ TEST_F(DblpIntegrationTest, WholeWorkloadRunsOnBothEngines) {
 TEST_F(DblpIntegrationTest, ValidRtfNeverPrunesKeywordCoverage) {
   // After pruning, the fragment still covers every query keyword: the root
   // keeps the full kList and at least one keyword node per keyword remains.
-  KeywordQuery query = *KeywordQuery::Parse("xml keyword");
-  Result<SearchResult> result = ValidRtfSearch(*store_, query);
-  ASSERT_TRUE(result.ok());
-  for (const FragmentResult& f : result->fragments) {
+  SearchRequest request = SearchRequest::ValidRtf("xml keyword");
+  request.top_k = 0;
+  request.rank = false;
+  Result<SearchResponse> response = db_->Search(request);
+  ASSERT_TRUE(response.ok());
+  const size_t k = response->parsed_query.size();
+  for (const Hit& hit : response->hits) {
     KeywordMask covered = 0;
-    for (size_t i = 0; i < f.fragment.size(); ++i) {
-      const FragmentNode& n = f.fragment.node(static_cast<FragmentNodeId>(i));
+    for (size_t i = 0; i < hit.fragment.size(); ++i) {
+      const FragmentNode& n = hit.fragment.node(static_cast<FragmentNodeId>(i));
       if (n.is_keyword_node) covered |= n.klist;
     }
-    EXPECT_EQ(covered & FullMask(query.size()), FullMask(query.size()));
+    EXPECT_EQ(covered & FullMask(k), FullMask(k));
   }
 }
 
-TEST_F(DblpIntegrationTest, StoreRoundTripPreservesSearchResults) {
-  std::string path = ::testing::TempDir() + "/xks_integration_store.bin";
-  ASSERT_TRUE(store_->Save(path).ok());
-  Result<ShreddedStore> loaded = ShreddedStore::Load(path);
+TEST_F(DblpIntegrationTest, CorpusRoundTripPreservesSearchResults) {
+  std::string path = ::testing::TempDir() + "/xks_integration_corpus.db";
+  ASSERT_TRUE(db_->Save(path).ok());
+  Result<Database> loaded = Database::Load(path);
   ASSERT_TRUE(loaded.ok());
-  KeywordQuery query = *KeywordQuery::Parse("keyword algorithm");
-  Result<SearchResult> before = ValidRtfSearch(*store_, query);
-  Result<SearchResult> after = ValidRtfSearch(*loaded, query);
+  SearchRequest request = SearchRequest::ValidRtf("keyword algorithm");
+  request.top_k = 0;
+  request.rank = false;
+  Result<SearchResponse> before = db_->Search(request);
+  Result<SearchResponse> after = loaded->Search(request);
   ASSERT_TRUE(before.ok());
   ASSERT_TRUE(after.ok());
-  ASSERT_EQ(before->rtf_count(), after->rtf_count());
-  for (size_t i = 0; i < before->rtf_count(); ++i) {
-    EXPECT_EQ(before->fragments[i].fragment.NodeSet(),
-              after->fragments[i].fragment.NodeSet());
+  ASSERT_EQ(before->hits.size(), after->hits.size());
+  for (size_t i = 0; i < before->hits.size(); ++i) {
+    EXPECT_EQ(before->hits[i].fragment.NodeSet(),
+              after->hits[i].fragment.NodeSet());
   }
   std::remove(path.c_str());
 }
@@ -120,12 +135,15 @@ TEST_F(DblpIntegrationTest, DblpRecordsAreSelfComplete) {
   // The paper's observation behind Figure 6(a): real-world bibliographic
   // records produce regular RTFs that both mechanisms leave alone (APR' = 0)
   // — differences concentrate in the extreme fragment near the root.
-  KeywordQuery query = *KeywordQuery::Parse("keyword similarity");
-  Result<SearchResult> valid = ValidRtfSearch(*store_, query);
-  Result<SearchResult> max = MaxMatchSearch(*store_, query);
+  WorkloadQuery wq{"ks", {"keyword", "similarity"}};
+  Result<SearchResponse> valid =
+      db_->Search(WorkloadRequest(wq, PruningPolicy::kValidContributor));
+  Result<SearchResponse> max =
+      db_->Search(WorkloadRequest(wq, PruningPolicy::kContributor));
   ASSERT_TRUE(valid.ok());
   ASSERT_TRUE(max.ok());
-  Result<QueryEffectiveness> eff = CompareEffectiveness(*valid, *max);
+  Result<QueryEffectiveness> eff =
+      CompareHitEffectiveness(valid->hits, max->hits);
   ASSERT_TRUE(eff.ok());
   size_t differing = 0;
   for (size_t i = 0; i < eff->ratios.size(); ++i) {
@@ -140,57 +158,66 @@ class XmarkIntegrationTest : public ::testing::Test {
   static void SetUpTestSuite() {
     XmarkOptions options;
     options.scale = 0.12;
-    store_ = new ShreddedStore(ShreddedStore::Build(GenerateXmark(options)));
+    db_ = new Database();
+    ASSERT_TRUE(db_->AddDocument("xmark", GenerateXmark(options)).ok());
+    ASSERT_TRUE(db_->Build().ok());
   }
   static void TearDownTestSuite() {
-    delete store_;
-    store_ = nullptr;
+    delete db_;
+    db_ = nullptr;
   }
-  static ShreddedStore* store_;
+  static Database* db_;
 };
 
-ShreddedStore* XmarkIntegrationTest::store_ = nullptr;
+Database* XmarkIntegrationTest::db_ = nullptr;
 
-TEST_F(XmarkIntegrationTest, WholeWorkloadRunsOnBothEngines) {
+TEST_F(XmarkIntegrationTest, WholeWorkloadRunsOnBothConfigurations) {
   for (const WorkloadQuery& wq : XmarkWorkload()) {
-    KeywordQuery query = *KeywordQuery::FromKeywords(wq.keywords);
-    Result<SearchResult> valid = ValidRtfSearch(*store_, query);
+    Result<SearchResponse> valid =
+        db_->Search(WorkloadRequest(wq, PruningPolicy::kValidContributor));
     ASSERT_TRUE(valid.ok()) << wq.label;
-    Result<SearchResult> max = MaxMatchSearch(*store_, query);
+    Result<SearchResponse> max =
+        db_->Search(WorkloadRequest(wq, PruningPolicy::kContributor));
     ASSERT_TRUE(max.ok()) << wq.label;
-    CheckFragmentInvariants(*valid, query.size());
-    Result<QueryEffectiveness> eff = CompareEffectiveness(*valid, *max);
+    CheckFragmentInvariants(valid->hits, valid->parsed_query.size());
+    Result<QueryEffectiveness> eff =
+        CompareHitEffectiveness(valid->hits, max->hits);
     ASSERT_TRUE(eff.ok()) << wq.label;
   }
 }
 
 TEST_F(XmarkIntegrationTest, ElcaAlgorithmsAgreeOnRealWorkload) {
-  SearchEngine engine(store_);
+  // Stage-level cross-check on the store building block (internal API).
+  const ShreddedStore& store = db_->store(0);
   for (const WorkloadQuery& wq : XmarkWorkload()) {
     if (wq.keywords.size() > 4) continue;  // keep brute force tractable
     KeywordQuery query = *KeywordQuery::FromKeywords(wq.keywords);
-    SearchEngine::KeywordNodeLists keyword_nodes = engine.GetKeywordNodes(query);
+    KeywordNodeLists keyword_nodes = GetKeywordNodes(store, query);
     const KeywordLists& lists = keyword_nodes.views;
     SearchOptions indexed;
     indexed.elca_algorithm = ElcaAlgorithm::kIndexedStack;
     SearchOptions merged;
     merged.elca_algorithm = ElcaAlgorithm::kStackMerge;
-    EXPECT_EQ(SearchEngine::GetLca(lists, indexed),
-              SearchEngine::GetLca(lists, merged))
+    EXPECT_EQ(GetLcaNodes(lists, indexed), GetLcaNodes(lists, merged))
         << wq.label;
   }
 }
 
 TEST_F(XmarkIntegrationTest, ConcurrentSearchesAreConsistent) {
-  // The engine and store are read-only at query time; concurrent searches
-  // must produce identical results to a serial run.
-  KeywordQuery query = *KeywordQuery::FromKeywords(
-      ExpandLabel("vdo", XmarkKeywords()));
-  Result<SearchResult> serial = ValidRtfSearch(*store_, query);
+  // The database is read-only at query time; concurrent searches must
+  // produce identical results to a serial run.
+  SearchRequest request;
+  for (const std::string& keyword : ExpandLabel("vdo", XmarkKeywords())) {
+    request.terms.push_back(QueryTerm{keyword, ""});
+  }
+  request.top_k = 0;
+  request.rank = false;
+  request.include_snippets = false;
+  Result<SearchResponse> serial = db_->Search(request);
   ASSERT_TRUE(serial.ok());
   std::vector<std::vector<Dewey>> expected;
-  for (const FragmentResult& f : serial->fragments) {
-    expected.push_back(f.fragment.NodeSet());
+  for (const Hit& hit : serial->hits) {
+    expected.push_back(hit.fragment.NodeSet());
   }
 
   constexpr int kThreads = 4;
@@ -200,13 +227,13 @@ TEST_F(XmarkIntegrationTest, ConcurrentSearchesAreConsistent) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&]() {
       for (int round = 0; round < kRounds; ++round) {
-        Result<SearchResult> r = ValidRtfSearch(*store_, query);
-        if (!r.ok() || r->rtf_count() != expected.size()) {
+        Result<SearchResponse> r = db_->Search(request);
+        if (!r.ok() || r->hits.size() != expected.size()) {
           ++mismatches;
           return;
         }
         for (size_t i = 0; i < expected.size(); ++i) {
-          if (r->fragments[i].fragment.NodeSet() != expected[i]) {
+          if (r->hits[i].fragment.NodeSet() != expected[i]) {
             ++mismatches;
             return;
           }
@@ -224,12 +251,14 @@ TEST_F(XmarkIntegrationTest, ValidRtfPrunesDuplicatesOnXmark) {
   // one workload query (the Figure 6(b-d) effect: APR' > 0).
   bool found_extra_pruning = false;
   for (const WorkloadQuery& wq : XmarkWorkload()) {
-    KeywordQuery query = *KeywordQuery::FromKeywords(wq.keywords);
-    Result<SearchResult> valid = ValidRtfSearch(*store_, query);
-    Result<SearchResult> max = MaxMatchSearch(*store_, query);
+    Result<SearchResponse> valid =
+        db_->Search(WorkloadRequest(wq, PruningPolicy::kValidContributor));
+    Result<SearchResponse> max =
+        db_->Search(WorkloadRequest(wq, PruningPolicy::kContributor));
     ASSERT_TRUE(valid.ok());
     ASSERT_TRUE(max.ok());
-    Result<QueryEffectiveness> eff = CompareEffectiveness(*valid, *max);
+    Result<QueryEffectiveness> eff =
+        CompareHitEffectiveness(valid->hits, max->hits);
     ASSERT_TRUE(eff.ok());
     if (eff->max_apr() > 0) {
       found_extra_pruning = true;

@@ -62,6 +62,51 @@ TEST(KeywordQueryTest, MalformedLabelConstraints) {
   EXPECT_FALSE(KeywordQuery::Parse(":xml").ok());
   EXPECT_FALSE(KeywordQuery::Parse("title:").ok());
   EXPECT_FALSE(KeywordQuery::Parse("a b:xml c:").ok());
+  // More than one colon in a token is ambiguous, not a nested constraint.
+  EXPECT_FALSE(KeywordQuery::Parse("a:b:c").ok());
+  EXPECT_FALSE(KeywordQuery::Parse("::").ok());
+  EXPECT_FALSE(KeywordQuery::Parse("keyword a:b:c").ok());
+  // The status carries the offending token.
+  Result<KeywordQuery> q = KeywordQuery::Parse("a:b:c");
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().ToString().find("a:b:c"), std::string::npos);
+}
+
+TEST(KeywordQueryTest, AllStopWordInputFails) {
+  // Every token normalizes away: plain stop words, case variants, and a
+  // label-constrained stop word.
+  EXPECT_FALSE(KeywordQuery::Parse("the").ok());
+  EXPECT_FALSE(KeywordQuery::Parse("The OF And").ok());
+  EXPECT_FALSE(KeywordQuery::Parse("title:the").ok());
+  EXPECT_EQ(KeywordQuery::Parse("of the and").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(KeywordQueryTest, MaxQueryKeywordsBoundary) {
+  // Exactly kMaxQueryKeywords distinct terms parse; one more is rejected.
+  std::vector<std::string> words;
+  for (size_t i = 0; i < kMaxQueryKeywords; ++i) {
+    words.push_back("w" + std::to_string(i));
+  }
+  Result<KeywordQuery> at_limit = KeywordQuery::FromKeywords(words);
+  ASSERT_TRUE(at_limit.ok());
+  EXPECT_EQ(at_limit->size(), kMaxQueryKeywords);
+  EXPECT_EQ(at_limit->full_mask(), FullMask(kMaxQueryKeywords));
+
+  words.push_back("overflow");
+  Result<KeywordQuery> over_limit = KeywordQuery::FromKeywords(words);
+  EXPECT_EQ(over_limit.status().code(), StatusCode::kInvalidArgument);
+
+  // Duplicates collapse before the limit check: 65 tokens, 64 distinct.
+  words.back() = "w0";
+  EXPECT_TRUE(KeywordQuery::FromKeywords(words).ok());
+
+  // The same boundary through the free-text path.
+  std::string text;
+  for (size_t i = 0; i <= kMaxQueryKeywords; ++i) {
+    text += "w" + std::to_string(i) + " ";
+  }
+  EXPECT_FALSE(KeywordQuery::Parse(text).ok());
 }
 
 TEST(KeywordQueryTest, SameWordDifferentConstraintsKept) {

@@ -86,14 +86,37 @@ TEST(StoreTest, DecodeRejectsBadMagic) {
             StatusCode::kCorruption);
 }
 
-TEST(StoreTest, DecodeRejectsTruncation) {
-  ShreddedStore store = BuildFromXml("<r><a>word</a></r>");
+TEST(StoreTest, DecodeRejectsEveryTruncatedPrefix) {
+  // Every strict prefix of a valid encoding must come back as a Result
+  // error — a mid-stream EOF can never crash or be accepted.
+  Result<Document> doc = Figure1aDocument();
+  ASSERT_TRUE(doc.ok());
+  ShreddedStore store = ShreddedStore::Build(*doc);
   std::string buffer;
   store.EncodeTo(&buffer);
-  for (size_t cut : {buffer.size() - 1, buffer.size() / 2, size_t{5}}) {
+  for (size_t cut = 0; cut < buffer.size(); ++cut) {
     Result<ShreddedStore> r = ShreddedStore::DecodeFrom(buffer.substr(0, cut));
-    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+    ASSERT_FALSE(r.ok()) << "cut=" << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << "cut=" << cut;
   }
+}
+
+TEST(StoreTest, DecodeRejectsImplausibleCounts) {
+  // A corrupt count larger than the bytes left must fail before any
+  // allocation sized by it (truncated-varint floods, fuzzer food).
+  std::string buffer = "XKS1";
+  PutVarint64(&buffer, uint64_t{1} << 62);  // label count
+  EXPECT_EQ(ShreddedStore::DecodeFrom(buffer).status().code(),
+            StatusCode::kCorruption);
+
+  // Same through the Dewey depth field of an element row.
+  buffer = "XKS1";
+  PutVarint64(&buffer, 0);   // no labels
+  PutVarint64(&buffer, 1);   // one element row
+  PutVarint32(&buffer, 0);   // label_id
+  PutVarint32(&buffer, 512);  // Dewey depth with no components following
+  EXPECT_EQ(ShreddedStore::DecodeFrom(buffer).status().code(),
+            StatusCode::kCorruption);
 }
 
 TEST(StoreTest, DecodeRejectsTrailingGarbage) {
