@@ -10,13 +10,15 @@
 namespace xks {
 
 BenchRow MeasureQuery(const Database& db, const WorkloadQuery& query,
-                      int runs) {
+                      int runs, size_t parallelism) {
   BenchRow row;
   row.label = query.label;
-  const SearchRequest valid_request =
+  SearchRequest valid_request =
       SearchRequest::Exhaustive(query.keywords, PruningPolicy::kValidContributor);
-  const SearchRequest max_request =
+  SearchRequest max_request =
       SearchRequest::Exhaustive(query.keywords, PruningPolicy::kContributor);
+  valid_request.max_parallelism = parallelism;
+  max_request.max_parallelism = parallelism;
   double valid_total = 0;
   double max_total = 0;
   SearchResponse last_valid;
@@ -46,11 +48,11 @@ BenchRow MeasureQuery(const Database& db, const WorkloadQuery& query,
 
 std::vector<BenchRow> MeasureWorkload(const Database& db,
                                       const std::vector<WorkloadQuery>& workload,
-                                      int runs) {
+                                      int runs, size_t parallelism) {
   std::vector<BenchRow> rows;
   rows.reserve(workload.size());
   for (const WorkloadQuery& query : workload) {
-    rows.push_back(MeasureQuery(db, query, runs));
+    rows.push_back(MeasureQuery(db, query, runs, parallelism));
   }
   return rows;
 }
@@ -106,6 +108,22 @@ std::string ArgJsonPath(int argc, char** argv) {
     }
   }
   return "";
+}
+
+size_t ArgParallelism(int argc, char** argv, size_t fallback) {
+  constexpr const char* kFlag = "--parallelism=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) != 0) continue;
+    const char* value = argv[i] + std::strlen(kFlag);
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(value, &end, 10);
+    // strtoull wraps negatives to huge values; reject them explicitly so a
+    // typo'd "-1" does not silently benchmark maximum parallelism.
+    if (*value != '\0' && *value != '-' && *end == '\0') {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return fallback;
 }
 
 bool WriteBenchJsonRaw(const std::string& path, const std::string& bench_name,

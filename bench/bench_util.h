@@ -33,14 +33,16 @@ struct BenchRow {
 };
 
 /// Runs one workload query through both pruning configurations per the
-/// paper's protocol.
+/// paper's protocol. `parallelism` is SearchRequest::max_parallelism for
+/// the corpus scan (1 — the default — preserves the paper's serial
+/// protocol; results are identical at any value, only wall time moves).
 BenchRow MeasureQuery(const Database& db, const WorkloadQuery& query,
-                      int runs = 6);
+                      int runs = 6, size_t parallelism = 1);
 
 /// Runs a whole workload.
 std::vector<BenchRow> MeasureWorkload(const Database& db,
                                       const std::vector<WorkloadQuery>& workload,
-                                      int runs = 6);
+                                      int runs = 6, size_t parallelism = 1);
 
 /// Builds a one-document corpus around `doc` (driver convenience).
 Database BuildCorpus(const std::string& name, const Document& doc);
@@ -57,6 +59,10 @@ double ArgScale(int argc, char** argv, int index, double fallback);
 
 /// The value of a "--json=<path>" argument; empty when absent.
 std::string ArgJsonPath(int argc, char** argv);
+
+/// The value of a "--parallelism=<N>" argument; `fallback` when absent or
+/// unparsable. 0 means one worker per hardware thread.
+size_t ArgParallelism(int argc, char** argv, size_t fallback = 1);
 
 /// One measured dataset: the rows plus the generation parameters, one entry
 /// of the emitted JSON document.

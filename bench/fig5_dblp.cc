@@ -1,6 +1,8 @@
 // Figure 5(a): ValidRTF vs MaxMatch elapsed time and RTF counts per query on
-// the DBLP dataset. Usage: fig5_dblp [scale] [--json=out.json]
-// (default scale 0.02 ≈ 9.2k records).
+// the DBLP dataset.
+// Usage: fig5_dblp [scale] [--json=out.json] [--parallelism=N]
+// (default scale 0.02 ≈ 9.2k records; parallelism 1 = the paper's serial
+// protocol, N/0 shards the corpus scan across workers).
 
 #include <cstdio>
 
@@ -19,7 +21,8 @@ int main(int argc, char** argv) {
   std::printf("corpus: %zu words / %zu postings\n", db.vocabulary_size(),
               db.total_postings());
 
-  std::vector<BenchRow> rows = MeasureWorkload(db, DblpWorkload());
+  std::vector<BenchRow> rows =
+      MeasureWorkload(db, DblpWorkload(), /*runs=*/6, ArgParallelism(argc, argv));
   PrintFigure5("Figure 5(a) — dblp: per-query time (post keyword-node "
                "retrieval) and #RTFs",
                rows);

@@ -1,6 +1,7 @@
 // Figure 5(b-d): ValidRTF vs MaxMatch per query on the three XMark datasets
 // (standard : data1 : data2 sizes in the paper's 1 : 3 : 6 ratio).
-// Usage: fig5_xmark [base_scale] [--json=out.json] (default 0.4).
+// Usage: fig5_xmark [base_scale] [--json=out.json] [--parallelism=N]
+// (default scale 0.4, parallelism 1).
 
 #include <cstdio>
 
@@ -34,7 +35,9 @@ int main(int argc, char** argv) {
     Database db = BuildCorpus(ds.name, doc);
     std::printf("corpus: %zu words / %zu postings\n", db.vocabulary_size(),
                 db.total_postings());
-    std::vector<BenchRow> rows = MeasureWorkload(db, XmarkWorkload());
+    std::vector<BenchRow> rows = MeasureWorkload(db, XmarkWorkload(),
+                                                  /*runs=*/6,
+                                                  ArgParallelism(argc, argv));
     PrintFigure5(std::string(ds.figure) + " — " + ds.name, rows);
     measured.push_back(BenchDataset{ds.name, options.scale, std::move(rows)});
   }

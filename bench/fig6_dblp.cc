@@ -1,5 +1,6 @@
 // Figure 6(a): effectiveness of ValidRTF over MaxMatch on DBLP — CFR, APR'
-// and Max APR per query. Usage: fig6_dblp [scale] [--json=out.json]
+// and Max APR per query.
+// Usage: fig6_dblp [scale] [--json=out.json] [--parallelism=N]
 // (default scale 0.02).
 
 #include <cstdio>
@@ -15,7 +16,8 @@ int main(int argc, char** argv) {
               options.scale, DblpRecordCount(options));
   Database db = BuildCorpus("dblp", GenerateDblp(options));
 
-  std::vector<BenchRow> rows = MeasureWorkload(db, DblpWorkload(), /*runs=*/2);
+  std::vector<BenchRow> rows = MeasureWorkload(db, DblpWorkload(), /*runs=*/2,
+                                               ArgParallelism(argc, argv));
   PrintFigure6("Figure 6(a) — dblp: CFR / APR' / Max APR per query", rows);
 
   // The paper's headline observations for 6(a), printed as a check-list.

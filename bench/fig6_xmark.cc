@@ -1,6 +1,6 @@
 // Figure 6(b-d): effectiveness of ValidRTF over MaxMatch on the XMark
 // series — CFR, APR' and Max APR per query.
-// Usage: fig6_xmark [base_scale] [--json=out.json].
+// Usage: fig6_xmark [base_scale] [--json=out.json] [--parallelism=N].
 
 #include <algorithm>
 #include <cstdio>
@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
                 options.scale);
     Database db = BuildCorpus(ds.name, GenerateXmark(options));
     std::vector<BenchRow> rows =
-        MeasureWorkload(db, XmarkWorkload(), /*runs=*/2);
+        MeasureWorkload(db, XmarkWorkload(), /*runs=*/2,
+                        ArgParallelism(argc, argv));
     PrintFigure6(std::string(ds.figure) + " — " + ds.name, rows);
 
     size_t apr_prime_positive = 0;

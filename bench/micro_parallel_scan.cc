@@ -1,0 +1,112 @@
+// Corpus-scan sharding micro: one Database of 12 generated DBLP shards,
+// scanned at max_parallelism 1 / 2 / 4 / 8. Real (wall-clock) time is the
+// measure — the point of the worker pool is wall-clock latency, and summed
+// per-stage CPU time is parallelism-independent by design.
+//
+// Three request shapes:
+//   * ranked full scan      — every document executes; pure fan-out win.
+//   * unranked exhaustive   — every document executes, no ranking work.
+//   * unranked top-k        — the early-termination path; measures that the
+//     candidate high-water mark keeps a parallel scan from executing the
+//     whole corpus just because workers were available.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/api/database.h"
+#include "src/datagen/dblp_gen.h"
+#include "src/datagen/workloads.h"
+
+namespace xks {
+namespace {
+
+constexpr int kDocuments = 12;
+// Large enough that per-document pipeline work (hundreds of microseconds)
+// dominates worker spawn overhead, so the sharding speedup is visible.
+constexpr double kScalePerDocument = 0.02;  // ~9.2k records per shard
+
+const Database& SharedCorpus() {
+  static const Database* corpus = [] {
+    auto* db = new Database();
+    for (int d = 0; d < kDocuments; ++d) {
+      DblpOptions options;
+      options.seed = 1000 + static_cast<uint64_t>(d);
+      options.scale = kScalePerDocument;
+      Result<DocumentId> added =
+          db->AddDocument("dblp-" + std::to_string(d), GenerateDblp(options));
+      if (!added.ok()) std::abort();
+    }
+    if (!db->Build().ok()) std::abort();
+    return db;
+  }();
+  return *corpus;
+}
+
+/// A mid-size workload query ("is" — information system class keywords).
+SearchRequest ScanRequest() {
+  const std::vector<WorkloadQuery>& workload = DblpWorkload();
+  SearchRequest request;
+  request.terms.reserve(workload[1].keywords.size());
+  for (const std::string& keyword : workload[1].keywords) {
+    request.terms.push_back(QueryTerm{keyword, ""});
+  }
+  request.include_snippets = false;
+  return request;
+}
+
+void RunScan(benchmark::State& state, SearchRequest request) {
+  const Database& db = SharedCorpus();
+  request.max_parallelism = static_cast<size_t>(state.range(0));
+  size_t hits = 0;
+  size_t scanned = 0;
+  for (auto _ : state) {
+    Result<SearchResponse> response = db.Search(request);
+    if (!response.ok()) {
+      state.SkipWithError(response.status().ToString().c_str());
+      return;
+    }
+    hits = response->total_hits;
+    scanned = response->documents_searched;
+    benchmark::DoNotOptimize(response);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+  state.counters["docs_scanned"] = static_cast<double>(scanned);
+}
+
+void BM_RankedFullScan(benchmark::State& state) {
+  SearchRequest request = ScanRequest();
+  request.rank = true;
+  request.top_k = 10;
+  RunScan(state, std::move(request));
+}
+BENCHMARK(BM_RankedFullScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_UnrankedExhaustiveScan(benchmark::State& state) {
+  SearchRequest request = ScanRequest();
+  request.rank = false;
+  request.top_k = 0;
+  RunScan(state, std::move(request));
+}
+BENCHMARK(BM_UnrankedExhaustiveScan)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void BM_UnrankedEarlyTerminatingScan(benchmark::State& state) {
+  SearchRequest request = ScanRequest();
+  request.rank = false;
+  request.top_k = 5;
+  RunScan(state, std::move(request));
+}
+BENCHMARK(BM_UnrankedEarlyTerminatingScan)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace xks

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Runs all 9 bench binaries in machine-readable mode and merges their JSON
-# into one trajectory file (default BENCH_pr2.json at the repo root).
+# Runs all 10 bench binaries in machine-readable mode and merges their JSON
+# into one trajectory file (default BENCH_pr3.json at the repo root).
 #
 #   bench/run_all.sh [build_dir] [output.json]
 #
@@ -14,7 +14,7 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUTPUT="${2:-BENCH_pr2.json}"
+OUTPUT="${2:-BENCH_pr3.json}"
 BENCH_DIR="${BUILD_DIR}/bench"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
@@ -25,14 +25,14 @@ if [ ! -d "${BENCH_DIR}" ]; then
 fi
 
 # Figure drivers: our own --json emission.
-"${BENCH_DIR}/fig5_dblp" 0.005 "--json=${TMP_DIR}/fig5_dblp.json"
+"${BENCH_DIR}/fig5_dblp" 0.005 --parallelism=1 "--json=${TMP_DIR}/fig5_dblp.json"
 "${BENCH_DIR}/fig6_dblp" 0.005 "--json=${TMP_DIR}/fig6_dblp.json"
 "${BENCH_DIR}/fig5_xmark" 0.1 "--json=${TMP_DIR}/fig5_xmark.json"
 "${BENCH_DIR}/fig6_xmark" 0.1 "--json=${TMP_DIR}/fig6_xmark.json"
 "${BENCH_DIR}/table_keyword_freq" 0.005 0.1 "--json=${TMP_DIR}/table_keyword_freq.json"
 
 # Google Benchmark micros: native JSON reporters.
-for micro in ablation_cid micro_lca micro_parse_shred micro_prune; do
+for micro in ablation_cid micro_lca micro_parallel_scan micro_parse_shred micro_prune; do
   "${BENCH_DIR}/${micro}" \
     --benchmark_format=console \
     --benchmark_out_format=json \
@@ -45,7 +45,8 @@ done
   printf '{\n'
   first=1
   for f in fig5_dblp fig6_dblp fig5_xmark fig6_xmark table_keyword_freq \
-           ablation_cid micro_lca micro_parse_shred micro_prune; do
+           ablation_cid micro_lca micro_parallel_scan micro_parse_shred \
+           micro_prune; do
     [ "${first}" -eq 1 ] || printf ',\n'
     first=0
     printf '"%s": ' "${f}"
@@ -54,4 +55,4 @@ done
   printf '\n}\n'
 } > "${OUTPUT}"
 
-echo "merged 9 bench reports into ${OUTPUT}"
+echo "merged 10 bench reports into ${OUTPUT}"

@@ -11,6 +11,8 @@
 //   --topk N         page size (default 10; 0 = everything)
 //   --cursor TOKEN   continue from a previous page's next-cursor
 //   --doc NAME       restrict the search to one document of the corpus
+//   --parallelism N  concurrent document scans (0 = hardware threads,
+//                    default; 1 = serial). Results are identical either way.
 //   --stats          print per-stage timings and pruning counters
 //   --xml            (query mode) render fragments as XML snippets
 //
@@ -35,7 +37,8 @@ int Usage() {
       "usage:\n"
       "  xks_tool shred  <corpus.db> <input.xml> [input2.xml ...]\n"
       "  xks_tool search <corpus.db> <query> [--maxmatch] [--topk N]\n"
-      "                  [--cursor TOKEN] [--doc NAME] [--stats]\n"
+      "                  [--cursor TOKEN] [--doc NAME] [--parallelism N]\n"
+      "                  [--stats]\n"
       "  xks_tool query  <input.xml> <query> [--maxmatch] [--xml] [--topk N]\n");
   return 2;
 }
@@ -47,6 +50,7 @@ struct Flags {
   bool stats = false;
   bool valid = true;
   size_t top_k = 10;
+  size_t parallelism = 0;  // 0 = one worker per hardware thread
   std::string cursor;
   std::string doc_name;
 };
@@ -67,6 +71,19 @@ Flags ParseFlags(int argc, char** argv, int first) {
         flags.valid = false;
       } else {
         flags.top_k = static_cast<size_t>(parsed);
+      }
+    }
+    if (std::strcmp(argv[i], "--parallelism") == 0 && i + 1 < argc) {
+      const char* value = argv[++i];
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || *value == '-') {
+        std::printf(
+            "bad --parallelism value '%s' (expected a non-negative integer)\n",
+            value);
+        flags.valid = false;
+      } else {
+        flags.parallelism = static_cast<size_t>(parsed);
       }
     }
     if (std::strcmp(argv[i], "--cursor") == 0 && i + 1 < argc) {
@@ -90,6 +107,7 @@ int RunSearch(const Database& db, const char* query_text, const Flags& flags,
   request.query = query_text;
   if (flags.maxmatch) request.pruning = PruningPolicy::kContributor;
   request.top_k = flags.top_k;
+  request.max_parallelism = flags.parallelism;
   request.cursor = flags.cursor;
   request.include_stats = flags.stats;
   // XML rendering replaces the tree-string snippet entirely.

@@ -9,6 +9,8 @@ namespace {
 constexpr std::string_view kPrefix = "xksc1:";
 
 /// Parses a full run of hex digits; false on empty/overlong/non-hex input.
+/// Both cases are accepted (encode emits lowercase, but cursors that round-
+/// trip through case-normalizing clients must still decode).
 bool ParseHex64(std::string_view text, uint64_t* value) {
   if (text.empty() || text.size() > 16) return false;
   uint64_t v = 0;
@@ -18,6 +20,8 @@ bool ParseHex64(std::string_view text, uint64_t* value) {
       digit = c - '0';
     } else if (c >= 'a' && c <= 'f') {
       digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
     } else {
       return false;
     }

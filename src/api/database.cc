@@ -1,10 +1,12 @@
 #include "src/api/database.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/api/cursor.h"
 #include "src/common/codec.h"
 #include "src/common/io.h"
+#include "src/common/worker_pool.h"
 #include "src/xml/parser.h"
 
 namespace xks {
@@ -91,6 +93,7 @@ Status Database::Build() {
   }
   corpus_frequency_.clear();
   total_postings_ = 0;
+  corpus_max_depth_ = 1;
   // The revision hashes the corpus shape (names + table sizes) so cursors
   // handed out against one corpus are rejected by any corpus that differs —
   // including a same-size rebuild from different inputs.
@@ -100,6 +103,10 @@ Status Database::Build() {
       corpus_frequency_[word] += count;
     }
     total_postings_ += entry.store.index().total_postings();
+    for (size_t i = 0; i < entry.store.elements().size(); ++i) {
+      corpus_max_depth_ = std::max<size_t>(corpus_max_depth_,
+                                           entry.store.elements().row(i).level);
+    }
     PutLengthPrefixed(&shape, entry.name);
     PutVarint64(&shape, entry.store.labels().size());
     PutVarint64(&shape, entry.store.elements().size());
@@ -174,9 +181,12 @@ Result<SearchResponse> Database::Search(const SearchRequest& request) const {
   SearchResponse response;
   response.parsed_query = query;
 
-  // Phase 1: fan the stateless executor out over the selected documents.
-  // Without ranking, hits already arrive in final order, so the scan stops
-  // once the page plus one look-ahead hit (the next_cursor probe) is known.
+  // Phase 1: fan the stateless executor out over the selected documents,
+  // up to max_parallelism at a time, into per-document result slots.
+  // Documents are claimed in selection order, so the executed set is always
+  // a contiguous prefix of the selection. Without ranking, hits already
+  // arrive in final order, so dispatch stops once the page plus one
+  // look-ahead hit (the next_cursor probe) is known.
   const SearchOptions options = PipelineOptions(request);
   // Overflow-safe: a forged cursor with a huge offset degrades to a full
   // scan (empty page, exact totals), never a silently truncated one.
@@ -184,17 +194,68 @@ Result<SearchResponse> Database::Search(const SearchRequest& request) const {
                                 offset > SIZE_MAX - request.top_k - 1
                             ? SIZE_MAX
                             : offset + request.top_k + 1;
+  // Cross-document score comparability: every document normalizes
+  // specificity against the same corpus-wide depth. A single-document
+  // selection keeps the legacy result-set-relative scale (normalizer 0).
+  const size_t depth_normalizer = documents.size() > 1 ? corpus_max_depth_ : 0;
+
   std::vector<SearchResult> results(documents.size());
+  std::vector<Status> statuses(documents.size());
+  std::vector<std::vector<FragmentScore>> ranked(request.rank ? documents.size() : 0);
+  // High-water mark of unranked hits discovered so far; once it reaches
+  // `needed`, no further documents are dispatched (in-flight ones finish).
+  std::atomic<size_t> hits_seen{0};
+  // Per-document failures land in their slot instead of aborting the
+  // fan-out, so the replay below surfaces exactly the error a serial scan
+  // would have hit — or none at all, when early termination would have
+  // stopped the serial scan before reaching the failed document.
+  std::atomic<bool> failed{false};
+  const auto execute_document = [&](size_t di) -> Status {
+    Result<SearchResult> result =
+        ExecuteSearch(store(documents[di]), query, options);
+    if (!result.ok()) {
+      statuses[di] = result.status();
+      failed.store(true, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    results[di] = std::move(result).value();
+    if (request.rank) {
+      ranked[di] = RankFragments(results[di], query.size(), request.weights,
+                                 depth_normalizer);
+    } else {
+      hits_seen.fetch_add(results[di].fragments.size(),
+                          std::memory_order_relaxed);
+    }
+    return Status::OK();
+  };
+  ParallelForOptions fan_out;
+  fan_out.max_parallelism = request.max_parallelism;
+  if (!request.rank && needed != SIZE_MAX) {
+    fan_out.stop = [&hits_seen, &failed, needed] {
+      return failed.load(std::memory_order_relaxed) ||
+             hits_seen.load(std::memory_order_relaxed) >= needed;
+    };
+  } else {
+    fan_out.stop = [&failed] {
+      return failed.load(std::memory_order_relaxed);
+    };
+  }
+  size_t executed = 0;
+  XKS_ASSIGN_OR_RETURN(
+      executed, ParallelFor(documents.size(), execute_document, fan_out));
+
+  // Phase 1.5: replay the executed prefix in document order, reconstructing
+  // exactly the documents a serial scan would have covered. A parallel scan
+  // may overshoot (documents claimed before the stop condition fired);
+  // their slots are simply not consumed — that is what keeps responses
+  // byte-identical at every max_parallelism setting.
   std::vector<Candidate> candidates;
   size_t scanned = 0;
-  for (size_t di = 0; di < documents.size(); ++di) {
-    XKS_ASSIGN_OR_RETURN(
-        results[di], ExecuteSearch(store(documents[di]), query, options));
-    ++scanned;
+  for (size_t di = 0; di < executed; ++di) {
+    XKS_RETURN_IF_ERROR(statuses[di]);
     const SearchResult& result = results[di];
     if (request.rank) {
-      for (const FragmentScore& scored :
-           RankFragments(result, query.size(), request.weights)) {
+      for (const FragmentScore& scored : ranked[di]) {
         candidates.push_back(Candidate{di, scored.fragment_index, scored.total});
       }
     } else {
@@ -207,11 +268,13 @@ Result<SearchResponse> Database::Search(const SearchRequest& request) const {
       response.pruning.Accumulate(result.pruning);
       response.keyword_node_count += result.keyword_node_count;
     }
+    ++scanned;
     if (!request.rank && candidates.size() >= needed) break;
   }
   response.documents_searched = scanned;
   response.total_hits = candidates.size();
   response.total_is_exact = scanned == documents.size();
+  response.stats_are_exact = scanned == documents.size();
 
   // Phase 2: corpus-level merge. Ties break on (document id, document
   // order), keeping pagination deterministic.

@@ -7,19 +7,29 @@
 // transparently as a one-document corpus).
 //
 // Query execution fans the stateless per-document pipeline
-// (src/core/engine.h) out over the selected documents and merges at the
-// corpus level:
+// (src/core/engine.h) out over the selected documents — concurrently, up to
+// SearchRequest::max_parallelism workers — and merges at the corpus level:
 //  * rank = true   — every selected document is executed, per-document
 //    scores (src/core/ranking.h) are merged into one descending order, and
-//    the requested page is cut from it. Scores are normalized per document,
-//    so cross-document order is heuristic — the trade-off that keeps
-//    per-document execution independent (and shardable).
+//    the requested page is cut from it. Specificity is normalized by the
+//    corpus-wide element depth (corpus_max_depth), so scores from different
+//    documents are directly comparable; a single-document selection keeps
+//    the legacy result-set-relative normalization.
 //  * rank = false  — hits stream in (document id, document order), and the
-//    corpus scan stops early as soon as the requested page (plus one
-//    look-ahead hit for next_cursor) is filled.
+//    corpus scan stops dispatching documents as soon as the requested page
+//    (plus one look-ahead hit for next_cursor) is filled.
+//
+// The scan is sharded per document but observably serial: responses (hit
+// order, scores, totals, cursors) are byte-identical at every
+// max_parallelism, because executed documents always form a contiguous
+// prefix of the selection and the merge replays that prefix in document
+// order.
 //
 // All methods are non-throwing; errors surface as Status/Result. A built
-// Database is immutable and safe to Search from concurrent threads.
+// Database is immutable: Search shares only const document stores and
+// corpus statistics across its workers (the per-document executor is
+// stateless), so a Database may serve Search calls from any number of
+// threads concurrently.
 
 #ifndef XKS_API_DATABASE_H_
 #define XKS_API_DATABASE_H_
@@ -82,6 +92,11 @@ class Database {
   /// Total postings across all documents. Requires built().
   size_t total_postings() const { return total_postings_; }
 
+  /// Depth of the deepest element across the corpus — the shared specificity
+  /// normalizer that puts ranking scores from different documents on one
+  /// scale. Requires built().
+  size_t corpus_max_depth() const { return corpus_max_depth_; }
+
   /// Answers one request. Fails when the database is not built, the query
   /// does not normalize to any usable keyword, a document id is unknown, or
   /// the cursor does not belong to this request.
@@ -110,6 +125,8 @@ class Database {
   /// Corpus-level word → total shred-time frequency; built by Build().
   std::unordered_map<std::string, uint64_t> corpus_frequency_;
   size_t total_postings_ = 0;
+  /// Deepest element level across all documents; computed by Build().
+  size_t corpus_max_depth_ = 1;
   /// Hash of the corpus shape (names + per-document table sizes), folded
   /// into cursor fingerprints so a cursor dies with the corpus it came
   /// from. Computed by Build().

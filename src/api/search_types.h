@@ -43,6 +43,14 @@ struct SearchRequest {
   /// Pruning policy: kValidContributor = ValidRTF, kContributor = MaxMatch.
   PruningPolicy pruning = PruningPolicy::kValidContributor;
 
+  /// Maximum number of documents executed concurrently by the corpus scan.
+  /// 0 = one worker per hardware thread, 1 = serial scan on the calling
+  /// thread. Purely a throughput knob: the response (hit order, scores,
+  /// totals, cursors) is identical at every setting, so it is NOT part of
+  /// the cursor fingerprint — a cursor from a serial page continues under a
+  /// parallel scan and vice versa.
+  size_t max_parallelism = 0;
+
   /// Page size; 0 = unbounded (every hit in one page, no cursor).
   size_t top_k = 10;
   /// Opaque continuation token from a previous response's `next_cursor`;
@@ -124,13 +132,20 @@ struct SearchResponse {
   /// bound when `total_is_exact` is false (early-terminated unranked scan).
   size_t total_hits = 0;
   bool total_is_exact = true;
-  /// Documents actually executed (≤ the requested set under early
-  /// termination).
+  /// Documents whose results this response reflects (≤ the requested set
+  /// when the unranked scan terminated early).
   size_t documents_searched = 0;
   /// The normalized query ("liu keyword" — lowercased, stop words removed).
   KeywordQuery parsed_query;
 
   /// Aggregate statistics; only when SearchRequest::include_stats.
+  /// `stats_are_exact` is the dedicated partial-coverage signal: it is false
+  /// whenever the scan terminated early (documents_searched < the selected
+  /// set), in which case `timings`, `pruning`, `keyword_node_count` — and
+  /// `total_hits` — cover only the scanned prefix of the corpus and are
+  /// lower bounds, not corpus-wide truths. Always true for ranked requests
+  /// and for unranked requests that ran to completion.
+  bool stats_are_exact = true;
   StageTimings timings;
   PruningStats pruning;
   size_t keyword_node_count = 0;

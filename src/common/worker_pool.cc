@@ -1,0 +1,155 @@
+#include "src/common/worker_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace xks {
+
+WorkerPool::WorkerPool(size_t threads, size_t queue_capacity)
+    : queue_capacity_(std::max<size_t>(1, queue_capacity)) {
+  threads_.reserve(std::max<size_t>(1, threads));
+  for (size_t i = 0; i < std::max<size_t>(1, threads); ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_not_full_.wait(lock, [this] {
+      return queue_.size() < queue_capacity_ || shutdown_;
+    });
+    // Submitting into a destructing pool would drop the task silently;
+    // treat it as a caller bug but keep the process alive.
+    if (shutdown_) return;
+    queue_.push_back(std::move(task));
+  }
+  queue_not_empty_.notify_one();
+}
+
+void WorkerPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+size_t WorkerPool::DefaultParallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_not_empty_.wait(lock,
+                            [this] { return !queue_.empty() || shutdown_; });
+      // Drain the queue even during shutdown: every submitted task runs.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    queue_not_full_.notify_one();
+    try {
+      task();
+    } catch (...) {
+      // The task's exception must not take the worker (or the process)
+      // down; ParallelFor converts exceptions to Status before they get
+      // here, bare Submit callers are documented to not throw.
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+/// body() with exceptions folded into Status, so a throwing body surfaces
+/// as an error instead of tearing down a worker thread.
+Status RunBody(const std::function<Status(size_t)>& body, size_t index) {
+  try {
+    return body(index);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("parallel task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("parallel task threw a non-standard exception");
+  }
+}
+
+}  // namespace
+
+Result<size_t> ParallelFor(size_t count,
+                           const std::function<Status(size_t)>& body,
+                           const ParallelForOptions& options) {
+  const size_t parallelism =
+      std::min(count == 0 ? 1 : count, options.max_parallelism == 0
+                                           ? WorkerPool::DefaultParallelism()
+                                           : options.max_parallelism);
+  if (parallelism <= 1) {
+    size_t executed = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (options.stop && options.stop()) break;
+      XKS_RETURN_IF_ERROR(RunBody(body, i));
+      ++executed;
+    }
+    return executed;
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> halt{false};
+  std::mutex error_mutex;
+  size_t first_error_index = SIZE_MAX;
+  Status first_error = Status::OK();
+
+  const auto runner = [&] {
+    for (;;) {
+      if (halt.load(std::memory_order_acquire)) return;
+      if (options.stop && options.stop()) return;
+      // Claim-then-always-run keeps the executed set a contiguous prefix:
+      // a stop/halt observed after the claim does not abandon the index.
+      const size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) return;
+      Status status = RunBody(body, index);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (index < first_error_index) {
+          first_error_index = index;
+          first_error = std::move(status);
+        }
+        halt.store(true, std::memory_order_release);
+      }
+    }
+  };
+
+  {
+    // The calling thread is one of the runners: parallelism N spawns only
+    // N-1 threads, and the caller works instead of idling in the join.
+    WorkerPool pool(parallelism - 1, /*queue_capacity=*/parallelism - 1);
+    for (size_t i = 0; i + 1 < parallelism; ++i) pool.Submit(runner);
+    runner();
+    // Pool destruction drains the runners and joins the workers, which is
+    // the happens-before edge making every body's writes visible here.
+  }
+
+  if (first_error_index != SIZE_MAX) return first_error;
+  return std::min(count, next.load(std::memory_order_acquire));
+}
+
+}  // namespace xks

@@ -1,0 +1,96 @@
+// WorkerPool + ParallelFor: the in-process fan-out substrate the corpus
+// scan (src/api/database.cc) shards onto.
+//
+// WorkerPool is a fixed set of threads draining one bounded task queue.
+// Submit blocks while the queue is full (backpressure instead of unbounded
+// memory growth), tasks that throw are contained to the task (the worker
+// thread survives and keeps draining), and the destructor drains every
+// already-submitted task before joining.
+//
+// ParallelFor is the Status-propagating loop built on top: indices are
+// claimed in order off a shared counter, every claimed index runs to
+// completion, and dispatch stops once a body fails or the caller's stop
+// predicate fires. Because claiming is ordered and claimed work always
+// runs, the set of executed indices is always a contiguous prefix [0, n) —
+// the property that lets a parallel corpus scan reconstruct exactly the
+// documents a serial scan would have covered.
+
+#ifndef XKS_COMMON_WORKER_POOL_H_
+#define XKS_COMMON_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace xks {
+
+class WorkerPool {
+ public:
+  /// Spawns `threads` workers (at least one) sharing a queue that holds at
+  /// most `queue_capacity` waiting tasks.
+  explicit WorkerPool(size_t threads, size_t queue_capacity = 1024);
+
+  /// Drains every already-submitted task, then joins the workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues `task`; blocks while the queue is full. A task that throws is
+  /// swallowed by its worker (use ParallelFor for error reporting).
+  void Submit(std::function<void()> task);
+
+  /// Returns once every submitted task has finished and the queue is empty.
+  void WaitIdle();
+
+  size_t thread_count() const { return threads_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// permits 0 for "unknown").
+  static size_t DefaultParallelism();
+
+ private:
+  void WorkerLoop();
+
+  const size_t queue_capacity_;
+  std::mutex mutex_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  /// Tasks currently executing on a worker.
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Tuning/termination knobs for ParallelFor.
+struct ParallelForOptions {
+  /// Concurrent bodies; 0 = WorkerPool::DefaultParallelism(), 1 = run
+  /// inline on the calling thread.
+  size_t max_parallelism = 0;
+  /// Checked before each index is claimed; once it returns true no further
+  /// indices are dispatched (in-flight bodies still finish). Must be safe to
+  /// call from any worker thread.
+  std::function<bool()> stop;
+};
+
+/// Runs body(0) … body(count - 1), up to options.max_parallelism at a time,
+/// claiming indices in order. Dispatch stops when a body returns a non-OK
+/// Status, throws (converted to Status::Internal), or options.stop fires;
+/// indices already claimed always run to completion, so the executed set is
+/// a contiguous prefix. Returns the size of that prefix, or the
+/// lowest-index error among executed bodies.
+Result<size_t> ParallelFor(size_t count,
+                           const std::function<Status(size_t)>& body,
+                           const ParallelForOptions& options = {});
+
+}  // namespace xks
+
+#endif  // XKS_COMMON_WORKER_POOL_H_

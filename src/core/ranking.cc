@@ -15,14 +15,17 @@ std::string FragmentScore::ToString() const {
 }
 
 std::vector<FragmentScore> RankFragments(const SearchResult& result, size_t k,
-                                         const RankingWeights& weights) {
+                                         const RankingWeights& weights,
+                                         size_t depth_normalizer) {
   std::vector<FragmentScore> scores;
   scores.reserve(result.fragments.size());
   if (result.fragments.empty()) return scores;
 
-  size_t max_depth = 1;
-  for (const FragmentResult& f : result.fragments) {
-    max_depth = std::max(max_depth, f.rtf.root.depth());
+  size_t max_depth = std::max<size_t>(1, depth_normalizer);
+  if (depth_normalizer == 0) {
+    for (const FragmentResult& f : result.fragments) {
+      max_depth = std::max(max_depth, f.rtf.root.depth());
+    }
   }
 
   for (size_t i = 0; i < result.fragments.size(); ++i) {

@@ -55,8 +55,18 @@ struct FragmentScore {
 
 /// Scores every fragment of `result` and returns them sorted by descending
 /// total score (stable: document order breaks ties). `k` is the query size.
+///
+/// `depth_normalizer` is the depth the specificity component is measured
+/// against. 0 (the default) keeps the legacy single-document behavior:
+/// normalize by the deepest RTF root in `result` itself, which makes scores
+/// relative to that result set only. A corpus-level caller merging several
+/// documents must pass one shared normalizer (e.g. the deepest element in
+/// the corpus, see Database::corpus_max_depth) so scores from different
+/// documents live on one comparable scale; the value must be at least the
+/// deepest RTF root depth in any merged result set.
 std::vector<FragmentScore> RankFragments(const SearchResult& result, size_t k,
-                                         const RankingWeights& weights = {});
+                                         const RankingWeights& weights = {},
+                                         size_t depth_normalizer = 0);
 
 /// Convenience: the indices of the top `limit` fragments in rank order.
 std::vector<size_t> TopFragments(const SearchResult& result, size_t k,

@@ -4,6 +4,7 @@
 
 #include "src/api/database.h"
 
+#include <cctype>
 #include <cstdio>
 #include <gtest/gtest.h>
 
@@ -140,6 +141,64 @@ TEST(DatabaseTest, EarlyTerminationSkipsTrailingDocuments) {
   EXPECT_FALSE(response->next_cursor.empty());
 }
 
+TEST(DatabaseTest, RankedScoresAreComparableAcrossDocumentDepths) {
+  // Regression: specificity used to be normalized by each document's own
+  // deepest result root, so a shallow document's only hit scored a perfect
+  // specificity and could outrank a deep document's genuinely more specific
+  // hit. With the corpus-level normalizer the deep hit must win.
+  Database db;
+  ASSERT_TRUE(
+      db.AddDocumentXml("shallow", "<r><t>keyword</t></r>").ok());
+  ASSERT_TRUE(db.AddDocumentXml(
+                    "deep", "<r><a><b><c><t>keyword</t></c></b></a></r>")
+                  .ok());
+  ASSERT_TRUE(db.Build().ok());
+  EXPECT_GE(db.corpus_max_depth(), 5u);
+
+  SearchRequest request;
+  request.query = "keyword";
+  request.top_k = 0;
+  request.rank = true;
+  Result<SearchResponse> response = db.Search(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->hits.size(), 2u);
+  EXPECT_EQ(response->hits[0].document_name, "deep");
+  EXPECT_EQ(response->hits[1].document_name, "shallow");
+  // Strictly different scores, not a tie broken by document order.
+  EXPECT_GT(response->hits[0].score, response->hits[1].score);
+}
+
+TEST(DatabaseTest, SingleDocumentSelectionKeepsLegacyNormalization) {
+  // Restricting the search to one document falls back to result-set-
+  // relative specificity: the lone hit of a shallow document still scores
+  // a full specificity component, exactly as the pre-corpus API did.
+  Database db;
+  ASSERT_TRUE(db.AddDocumentXml("shallow", "<r><t>keyword</t></r>").ok());
+  ASSERT_TRUE(db.AddDocumentXml(
+                    "deep", "<r><a><b><c><t>keyword</t></c></b></a></r>")
+                  .ok());
+  ASSERT_TRUE(db.Build().ok());
+
+  SearchRequest request;
+  request.query = "keyword";
+  request.top_k = 0;
+  request.rank = true;
+  request.documents = {*db.FindDocument("shallow")};
+  Result<SearchResponse> restricted = db.Search(request);
+  ASSERT_TRUE(restricted.ok());
+  ASSERT_EQ(restricted->hits.size(), 1u);
+
+  Database alone;
+  ASSERT_TRUE(alone.AddDocumentXml("shallow", "<r><t>keyword</t></r>").ok());
+  ASSERT_TRUE(alone.Build().ok());
+  SearchRequest solo = request;
+  solo.documents.clear();
+  Result<SearchResponse> standalone = alone.Search(solo);
+  ASSERT_TRUE(standalone.ok());
+  ASSERT_EQ(standalone->hits.size(), 1u);
+  EXPECT_EQ(restricted->hits[0].score, standalone->hits[0].score);
+}
+
 TEST(DatabaseTest, RankedSearchOrdersByDescendingScore) {
   Database db = MakeCorpus();
   SearchRequest request;
@@ -234,6 +293,46 @@ TEST(DatabaseTest, SnippetAndRawFragmentOptIns) {
   EXPECT_FALSE(full->hits[0].snippet.empty());
   EXPECT_FALSE(full->hits[0].raw.empty());
   EXPECT_GE(full->hits[0].raw.size(), full->hits[0].fragment.size());
+}
+
+TEST(DatabaseTest, StatsAreExactSignalsPartialCoverage) {
+  Database db = MakeCorpus();
+  // Full unranked scan: statistics cover every document.
+  SearchRequest full = Unranked("keyword");
+  full.include_stats = true;
+  Result<SearchResponse> complete = db.Search(full);
+  ASSERT_TRUE(complete.ok());
+  EXPECT_TRUE(complete->stats_are_exact);
+  EXPECT_EQ(complete->documents_searched, db.document_count());
+
+  // Early-terminated scan: stats cover only the scanned prefix and must
+  // say so explicitly, not merely via total_is_exact.
+  SearchRequest partial = Unranked("keyword", /*top_k=*/1);
+  partial.include_stats = true;
+  Result<SearchResponse> truncated = db.Search(partial);
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_LT(truncated->documents_searched, db.document_count());
+  EXPECT_FALSE(truncated->stats_are_exact);
+  EXPECT_LT(truncated->keyword_node_count, complete->keyword_node_count);
+
+  // Ranked requests execute everything: always exact.
+  SearchRequest ranked;
+  ranked.query = "keyword";
+  ranked.top_k = 1;
+  ranked.include_stats = true;
+  Result<SearchResponse> scored = db.Search(ranked);
+  ASSERT_TRUE(scored.ok());
+  EXPECT_TRUE(scored->stats_are_exact);
+
+  // A restricted selection that completes is exact even though fewer
+  // documents than the corpus were touched.
+  SearchRequest restricted = Unranked("keyword");
+  restricted.include_stats = true;
+  restricted.documents = {*db.FindDocument("b")};
+  Result<SearchResponse> subset = db.Search(restricted);
+  ASSERT_TRUE(subset.ok());
+  EXPECT_EQ(subset->documents_searched, 1u);
+  EXPECT_TRUE(subset->stats_are_exact);
 }
 
 TEST(DatabaseTest, StatsOptIn) {
@@ -356,14 +455,48 @@ TEST(CursorTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(decoded->fingerprint, cursor.fingerprint);
 }
 
+TEST(CursorTest, AcceptsUppercaseAndMixedCaseHex) {
+  // A cursor round-tripped through a case-normalizing client (HTTP header
+  // canonicalization, copy-paste through a hex viewer) must still decode.
+  PageCursor cursor;
+  cursor.offset = 0xabc;
+  cursor.fingerprint = 0xdeadbeefcafef00dull;
+  std::string token = EncodeCursor(cursor);
+  // Encode stays lowercase...
+  EXPECT_EQ(token.find_first_of("ABCDEF"), std::string::npos);
+
+  // ...but decode takes uppercase and mixed case.
+  std::string upper = token;
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  upper.replace(0, 5, "xksc1");  // only the hex body is case-insensitive
+  Result<PageCursor> from_upper = DecodeCursor(upper);
+  ASSERT_TRUE(from_upper.ok()) << from_upper.status().ToString();
+  EXPECT_EQ(from_upper->offset, cursor.offset);
+  EXPECT_EQ(from_upper->fingerprint, cursor.fingerprint);
+
+  Result<PageCursor> mixed = DecodeCursor("xksc1:DeadBEEFcafeF00d:aBc");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed->offset, cursor.offset);
+  EXPECT_EQ(mixed->fingerprint, cursor.fingerprint);
+}
+
+TEST(CursorTest, UppercasePrefixIsStillRejected) {
+  // Only the hex segments are case-insensitive; the scheme tag is exact.
+  EXPECT_FALSE(DecodeCursor("XKSC1:1:2").ok());
+}
+
 TEST(CursorTest, RejectsMalformedTokens) {
   EXPECT_FALSE(DecodeCursor("").ok());
-  EXPECT_FALSE(DecodeCursor("xksc1:").ok());
-  EXPECT_FALSE(DecodeCursor("xksc1:12").ok());
-  EXPECT_FALSE(DecodeCursor("xksc1:zz:1").ok());
-  EXPECT_FALSE(DecodeCursor("xksc1:1:").ok());
+  EXPECT_FALSE(DecodeCursor("xksc1:").ok());          // empty both segments
+  EXPECT_FALSE(DecodeCursor("xksc1:12").ok());        // no separator
+  EXPECT_FALSE(DecodeCursor("xksc1:zz:1").ok());      // non-hex
+  EXPECT_FALSE(DecodeCursor("xksc1:GG:1").ok());      // non-hex, uppercase
+  EXPECT_FALSE(DecodeCursor("xksc1:1:").ok());        // empty offset segment
+  EXPECT_FALSE(DecodeCursor("xksc1::1").ok());        // empty fingerprint
   EXPECT_FALSE(DecodeCursor("other:1:2").ok());
+  // Overlong: 17 hex digits exceed 64 bits, lowercase or not.
   EXPECT_FALSE(DecodeCursor("xksc1:11111111111111111:2").ok());
+  EXPECT_FALSE(DecodeCursor("xksc1:1:AAAAAAAAAAAAAAAAA").ok());
 }
 
 }  // namespace

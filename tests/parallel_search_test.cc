@@ -1,0 +1,216 @@
+// Serial/parallel equivalence: Database::Search must produce byte-identical
+// SearchResponses at every max_parallelism setting — hit order, scores,
+// cursors, totals and deterministic statistics — across ranked and unranked
+// modes, multi-page cursor walks, and degenerate (single-document) corpora.
+// The parallel scan is an implementation detail; this suite is the contract
+// that keeps it invisible.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/database.h"
+#include "src/common/string_util.h"
+
+namespace xks {
+namespace {
+
+/// A 10-document corpus with deliberately uneven shape: variable hit counts
+/// per document (including zero), variable depths, so both the early-
+/// termination high-water mark and the ranked merge see interesting input.
+Database MakeUnevenCorpus() {
+  Database db;
+  for (int d = 0; d < 10; ++d) {
+    std::string xml = "<lib>";
+    // Document d carries (d * 3) % 7 matching books at depth 3...
+    const int hits = (d * 3) % 7;
+    for (int h = 0; h < hits; ++h) {
+      xml += StrFormat("<book><title>keyword study %d-%d</title></book>", d, h);
+    }
+    // ...plus, on every third document, a deeply nested match.
+    if (d % 3 == 0) {
+      xml += "<shelf><row><box><book><title>keyword deep</title></book>"
+             "</box></row></shelf>";
+    }
+    xml += StrFormat("<book><title>filler %d</title></book></lib>", d);
+    EXPECT_TRUE(db.AddDocumentXml("doc" + std::to_string(d), xml).ok());
+  }
+  EXPECT_TRUE(db.Build().ok());
+  return db;
+}
+
+void ExpectSameHit(const Hit& a, const Hit& b, const std::string& where) {
+  EXPECT_EQ(a.document, b.document) << where;
+  EXPECT_EQ(a.document_name, b.document_name) << where;
+  EXPECT_EQ(a.rtf.root, b.rtf.root) << where;
+  EXPECT_EQ(a.rtf.root_is_slca, b.rtf.root_is_slca) << where;
+  EXPECT_EQ(a.score, b.score) << where;  // bitwise: same ops, same order
+  EXPECT_EQ(a.fragment.NodeSet(), b.fragment.NodeSet()) << where;
+  EXPECT_EQ(a.snippet, b.snippet) << where;
+}
+
+/// Every deterministic response field; timings are wall-clock and excluded.
+void ExpectSameResponse(const SearchResponse& a, const SearchResponse& b,
+                        const std::string& where) {
+  EXPECT_EQ(a.total_hits, b.total_hits) << where;
+  EXPECT_EQ(a.total_is_exact, b.total_is_exact) << where;
+  EXPECT_EQ(a.stats_are_exact, b.stats_are_exact) << where;
+  EXPECT_EQ(a.documents_searched, b.documents_searched) << where;
+  EXPECT_EQ(a.next_cursor, b.next_cursor) << where;
+  EXPECT_EQ(a.pruning.raw_nodes, b.pruning.raw_nodes) << where;
+  EXPECT_EQ(a.pruning.kept_nodes, b.pruning.kept_nodes) << where;
+  EXPECT_EQ(a.keyword_node_count, b.keyword_node_count) << where;
+  ASSERT_EQ(a.hits.size(), b.hits.size()) << where;
+  for (size_t i = 0; i < a.hits.size(); ++i) {
+    ExpectSameHit(a.hits[i], b.hits[i], where + " hit " + std::to_string(i));
+  }
+}
+
+/// Walks every page of `request` at the given parallelism, returning the
+/// sequence of responses. Fails the test on any non-OK page.
+std::vector<SearchResponse> WalkPages(const Database& db,
+                                      SearchRequest request,
+                                      size_t parallelism) {
+  request.max_parallelism = parallelism;
+  std::vector<SearchResponse> pages;
+  std::string cursor;
+  for (int page = 0; page < 64; ++page) {
+    request.cursor = cursor;
+    Result<SearchResponse> response = db.Search(request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    if (!response.ok()) return pages;
+    cursor = response->next_cursor;
+    pages.push_back(std::move(response).value());
+    if (cursor.empty()) break;
+  }
+  return pages;
+}
+
+void ExpectEquivalentWalks(const Database& db, const SearchRequest& request,
+                           const std::string& label) {
+  const std::vector<SearchResponse> serial = WalkPages(db, request, 1);
+  for (size_t parallelism : {2u, 8u}) {
+    const std::vector<SearchResponse> parallel =
+        WalkPages(db, request, parallelism);
+    ASSERT_EQ(serial.size(), parallel.size())
+        << label << " p=" << parallelism;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ExpectSameResponse(serial[i], parallel[i],
+                         StrFormat("%s p=%zu page %zu", label.c_str(),
+                                   parallelism, i));
+    }
+  }
+}
+
+SearchRequest BaseRequest(bool rank, size_t top_k) {
+  SearchRequest request;
+  request.query = "keyword";
+  request.rank = rank;
+  request.top_k = top_k;
+  request.include_stats = true;
+  return request;
+}
+
+TEST(ParallelSearchTest, RankedMultiPageWalksAreIdentical) {
+  Database db = MakeUnevenCorpus();
+  ExpectEquivalentWalks(db, BaseRequest(/*rank=*/true, /*top_k=*/3),
+                        "ranked,k=3");
+}
+
+TEST(ParallelSearchTest, UnrankedEarlyTerminatingWalksAreIdentical) {
+  Database db = MakeUnevenCorpus();
+  ExpectEquivalentWalks(db, BaseRequest(/*rank=*/false, /*top_k=*/2),
+                        "unranked,k=2");
+}
+
+TEST(ParallelSearchTest, UnboundedPagesAreIdentical) {
+  Database db = MakeUnevenCorpus();
+  ExpectEquivalentWalks(db, BaseRequest(/*rank=*/true, /*top_k=*/0),
+                        "ranked,k=0");
+  ExpectEquivalentWalks(db, BaseRequest(/*rank=*/false, /*top_k=*/0),
+                        "unranked,k=0");
+}
+
+TEST(ParallelSearchTest, SingleDocumentCorpusIsIdentical) {
+  Database db;
+  ASSERT_TRUE(db.AddDocumentXml(
+                    "only", "<r><a><t>keyword one</t></a>"
+                            "<b><t>keyword two</t></b></r>")
+                  .ok());
+  ASSERT_TRUE(db.Build().ok());
+  ExpectEquivalentWalks(db, BaseRequest(/*rank=*/true, /*top_k=*/1),
+                        "single-doc ranked");
+  ExpectEquivalentWalks(db, BaseRequest(/*rank=*/false, /*top_k=*/1),
+                        "single-doc unranked");
+}
+
+TEST(ParallelSearchTest, RestrictedSelectionIsIdentical) {
+  Database db = MakeUnevenCorpus();
+  SearchRequest request = BaseRequest(/*rank=*/false, /*top_k=*/2);
+  request.documents = {7, 1, 4, 3};
+  ExpectEquivalentWalks(db, request, "restricted unranked");
+}
+
+TEST(ParallelSearchTest, CursorsCrossParallelismBoundaries) {
+  Database db = MakeUnevenCorpus();
+  // A cursor minted by a serial scan continues under a parallel scan (and
+  // back): max_parallelism is not part of the fingerprint.
+  SearchRequest request = BaseRequest(/*rank=*/true, /*top_k=*/4);
+  request.max_parallelism = 1;
+  Result<SearchResponse> first = db.Search(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first->next_cursor.empty());
+
+  SearchRequest continued = request;
+  continued.max_parallelism = 8;
+  continued.cursor = first->next_cursor;
+  Result<SearchResponse> parallel_second = db.Search(continued);
+  ASSERT_TRUE(parallel_second.ok());
+
+  request.cursor = first->next_cursor;
+  Result<SearchResponse> serial_second = db.Search(request);
+  ASSERT_TRUE(serial_second.ok());
+  ExpectSameResponse(*serial_second, *parallel_second, "cross-parallelism");
+}
+
+TEST(ParallelSearchTest, ConcurrentSearchesShareOneDatabase) {
+  // Search is const: hammer one Database from many threads (each itself
+  // fanning out) and spot-check against the serial answer. Under TSan this
+  // is the no-data-races certificate for the shared corpus state.
+  Database db = MakeUnevenCorpus();
+  SearchRequest request = BaseRequest(/*rank=*/true, /*top_k=*/5);
+  request.max_parallelism = 1;
+  Result<SearchResponse> expected = db.Search(request);
+  ASSERT_TRUE(expected.ok());
+
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&db, &expected, &mismatches] {
+      SearchRequest parallel = BaseRequest(/*rank=*/true, /*top_k=*/5);
+      parallel.max_parallelism = 4;
+      for (int round = 0; round < 5; ++round) {
+        Result<SearchResponse> got = db.Search(parallel);
+        if (!got.ok() || got->hits.size() != expected->hits.size() ||
+            got->next_cursor != expected->next_cursor) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < got->hits.size(); ++i) {
+          if (got->hits[i].document != expected->hits[i].document ||
+              got->hits[i].score != expected->hits[i].score) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,219 @@
+// WorkerPool / ParallelFor unit tests: queue draining, backpressure,
+// Status propagation, cooperative stop, exception containment, and the
+// contiguous-executed-prefix guarantee the corpus scan depends on.
+
+#include "src/common/worker_pool.h"
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xks {
+namespace {
+
+TEST(WorkerPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    WorkerPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(WorkerPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    WorkerPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No WaitIdle: destruction itself must run everything already queued.
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(WorkerPoolTest, BoundedQueueBackpressureStillCompletes) {
+  std::atomic<int> counter{0};
+  {
+    // Capacity far below the submission count forces Submit to block.
+    WorkerPool pool(2, /*queue_capacity=*/2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitIdle();
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(WorkerPoolTest, SurvivesThrowingTasks) {
+  std::atomic<int> counter{0};
+  {
+    WorkerPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([] { throw std::runtime_error("task boom"); });
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitIdle();
+  }
+  // Every non-throwing task still ran: the workers outlived the throwers.
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(WorkerPoolTest, AtLeastOneThread) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(WorkerPoolTest, DefaultParallelismIsPositive) {
+  EXPECT_GE(WorkerPool::DefaultParallelism(), 1u);
+}
+
+TEST(ParallelForTest, ZeroTasksSucceedImmediately) {
+  Result<size_t> executed =
+      ParallelFor(0, [](size_t) { return Status::OK(); });
+  ASSERT_TRUE(executed.ok());
+  EXPECT_EQ(*executed, 0u);
+}
+
+TEST(ParallelForTest, MoreTasksThanWorkersRunExactlyOnce) {
+  constexpr size_t kCount = 500;
+  std::vector<std::atomic<int>> runs(kCount);
+  ParallelForOptions options;
+  options.max_parallelism = 4;
+  Result<size_t> executed = ParallelFor(
+      kCount,
+      [&runs](size_t i) {
+        runs[i].fetch_add(1);
+        return Status::OK();
+      },
+      options);
+  ASSERT_TRUE(executed.ok());
+  EXPECT_EQ(*executed, kCount);
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(runs[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, PropagatesLowestIndexError) {
+  ParallelForOptions options;
+  options.max_parallelism = 4;
+  Result<size_t> executed = ParallelFor(
+      100,
+      [](size_t i) {
+        if (i == 17) return Status::NotFound("doc 17 vanished");
+        if (i == 60) return Status::Internal("doc 60 exploded");
+        return Status::OK();
+      },
+      options);
+  ASSERT_FALSE(executed.ok());
+  // Index 17 always runs (dispatch is ordered and 60 > 17 cannot halt
+  // dispatch before 17 was claimed), so its error wins.
+  EXPECT_EQ(executed.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(executed.status().message(), "doc 17 vanished");
+}
+
+TEST(ParallelForTest, SerialErrorStopsLaterIndices) {
+  std::atomic<size_t> highest{0};
+  ParallelForOptions options;
+  options.max_parallelism = 1;
+  Result<size_t> executed = ParallelFor(
+      100,
+      [&highest](size_t i) -> Status {
+        highest.store(i);
+        if (i == 5) return Status::Internal("stop here");
+        return Status::OK();
+      },
+      options);
+  ASSERT_FALSE(executed.ok());
+  EXPECT_EQ(highest.load(), 5u);
+}
+
+TEST(ParallelForTest, ExceptionsBecomeInternalStatus) {
+  ParallelForOptions options;
+  options.max_parallelism = 2;
+  Result<size_t> executed = ParallelFor(
+      10,
+      [](size_t i) -> Status {
+        if (i == 3) throw std::runtime_error("body boom");
+        return Status::OK();
+      },
+      options);
+  ASSERT_FALSE(executed.ok());
+  EXPECT_EQ(executed.status().code(), StatusCode::kInternal);
+}
+
+TEST(ParallelForTest, StopPredicateHaltsDispatch) {
+  std::atomic<size_t> done{0};
+  ParallelForOptions options;
+  options.max_parallelism = 2;
+  options.stop = [&done] { return done.load() >= 10; };
+  Result<size_t> executed = ParallelFor(
+      10000,
+      [&done](size_t) {
+        done.fetch_add(1);
+        return Status::OK();
+      },
+      options);
+  ASSERT_TRUE(executed.ok());
+  // Dispatch stops soon after the threshold: well short of the full range
+  // (each in-flight worker may add at most a few overshoot indices).
+  EXPECT_GE(*executed, 10u);
+  EXPECT_LT(*executed, 10000u);
+  EXPECT_EQ(done.load(), *executed);
+}
+
+TEST(ParallelForTest, ExecutedSetIsAContiguousPrefix) {
+  std::mutex mutex;
+  std::set<size_t> seen;
+  std::atomic<size_t> done{0};
+  ParallelForOptions options;
+  options.max_parallelism = 8;
+  options.stop = [&done] { return done.load() >= 25; };
+  Result<size_t> executed = ParallelFor(
+      1000,
+      [&](size_t i) {
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          seen.insert(i);
+        }
+        done.fetch_add(1);
+        return Status::OK();
+      },
+      options);
+  ASSERT_TRUE(executed.ok());
+  ASSERT_EQ(seen.size(), *executed);
+  // Every index below the returned count ran: no holes.
+  for (size_t i = 0; i < *executed; ++i) {
+    EXPECT_TRUE(seen.contains(i)) << "hole at " << i;
+  }
+}
+
+TEST(ParallelForTest, ParallelismOneMatchesSerialSemantics) {
+  std::vector<size_t> order;
+  ParallelForOptions options;
+  options.max_parallelism = 1;
+  size_t calls = 0;
+  options.stop = [&calls] { return calls >= 3; };
+  Result<size_t> executed = ParallelFor(
+      10,
+      [&](size_t i) {
+        order.push_back(i);
+        ++calls;
+        return Status::OK();
+      },
+      options);
+  ASSERT_TRUE(executed.ok());
+  EXPECT_EQ(*executed, 3u);
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace xks
