@@ -1,0 +1,141 @@
+// Incremental corpus mutation micro: the cost of AddDocument/RemoveDocument/
+// ReplaceDocument on an already-built Database across corpus sizes (4 / 16 /
+// 64 documents), against the cost of rebuilding the whole corpus from
+// scratch — the only option Build()-once callers had before snapshots.
+//
+// The claim under test is the O(changed doc) contract: a mutation pays for
+// shredding + stat-merging the one changed document and for publishing a
+// snapshot (live-document list + vocabulary copy), never for rescanning the
+// other documents' tables. AddRemoveOneDocument and ReplaceOneDocument must
+// therefore stay flat as the corpus grows 4 → 64 documents (the DBLP
+// generator draws from a fixed vocabulary, so the snapshot's vocabulary copy
+// saturates), while FullBuildFromScratch grows linearly — it re-shreds every
+// document.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "src/api/database.h"
+#include "src/datagen/dblp_gen.h"
+
+namespace xks {
+namespace {
+
+// Per-document scale: large enough that one document's pipeline work
+// dominates snapshot-publication overhead, small enough that the 64-document
+// corpus builds in milliseconds.
+constexpr double kScalePerDocument = 0.004;
+
+Document MakeShard(int index) {
+  DblpOptions options;
+  options.seed = 2000 + static_cast<uint64_t>(index);
+  options.scale = kScalePerDocument;
+  return GenerateDblp(options);
+}
+
+/// One extra document, shared by every mutation benchmark so the timed work
+/// is identical at every corpus size.
+const Document& ExtraDocument() {
+  static const Document* doc = new Document(MakeShard(999));
+  return *doc;
+}
+
+/// A built base corpus of `size` documents, cached per (benchmark, size) so
+/// one benchmark's mutations (tombstone slots from add+remove pairs) never
+/// leak into another's corpus. Within one benchmark the live set is
+/// invariant (add+remove pairs, same-content replaces); the only drift is
+/// the tombstone slot walk in snapshot publication, which at the iteration
+/// counts involved is nanoseconds against a multi-millisecond shred.
+Database& BaseCorpus(const std::string& tag, int size) {
+  static auto* corpora = new std::unordered_map<std::string, Database*>();
+  const std::string key = tag + "/" + std::to_string(size);
+  auto it = corpora->find(key);
+  if (it == corpora->end()) {
+    auto* db = new Database();
+    for (int d = 0; d < size; ++d) {
+      if (!db->AddDocument("dblp-" + std::to_string(d), MakeShard(d)).ok()) {
+        std::abort();
+      }
+    }
+    if (!db->Build().ok()) std::abort();
+    it = corpora->emplace(key, db).first;
+  }
+  return *it->second;
+}
+
+void BM_AddRemoveOneDocument(benchmark::State& state) {
+  Database& db = BaseCorpus("addremove", static_cast<int>(state.range(0)));
+  const Document& extra = ExtraDocument();
+  for (auto _ : state) {
+    Result<DocumentId> added = db.AddDocument("extra", extra);
+    if (!added.ok()) {
+      state.SkipWithError(added.status().ToString().c_str());
+      return;
+    }
+    Status removed = db.RemoveDocument(*added);
+    if (!removed.ok()) {
+      state.SkipWithError(removed.ToString().c_str());
+      return;
+    }
+  }
+  state.counters["corpus_docs"] = static_cast<double>(state.range(0));
+  state.counters["epoch"] = static_cast<double>(db.epoch());
+}
+BENCHMARK(BM_AddRemoveOneDocument)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ReplaceOneDocument(benchmark::State& state) {
+  Database& db = BaseCorpus("replace", static_cast<int>(state.range(0)));
+  const Document& replacement = ExtraDocument();
+  for (auto _ : state) {
+    Result<DocumentId> replaced = db.ReplaceDocument("dblp-0", replacement);
+    if (!replaced.ok()) {
+      state.SkipWithError(replaced.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(replaced);
+  }
+  state.counters["corpus_docs"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ReplaceOneDocument)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FullBuildFromScratch(benchmark::State& state) {
+  // The pre-snapshot alternative to an incremental mutation: re-shred and
+  // re-aggregate every document. Cost is linear in the corpus size.
+  const int size = static_cast<int>(state.range(0));
+  std::vector<Document> shards;
+  shards.reserve(size);
+  for (int d = 0; d < size; ++d) shards.push_back(MakeShard(d));
+  for (auto _ : state) {
+    Database db;
+    for (int d = 0; d < size; ++d) {
+      if (!db.AddDocument("dblp-" + std::to_string(d), shards[d]).ok()) {
+        state.SkipWithError("AddDocument failed");
+        return;
+      }
+    }
+    if (!db.Build().ok()) {
+      state.SkipWithError("Build failed");
+      return;
+    }
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["corpus_docs"] = static_cast<double>(size);
+}
+BENCHMARK(BM_FullBuildFromScratch)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SnapshotPin(benchmark::State& state) {
+  // Grabbing a consistent view for a search is one mutex-guarded
+  // shared_ptr copy, regardless of corpus size.
+  Database& db = BaseCorpus("pin", static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::shared_ptr<const Snapshot> snapshot = db.snapshot();
+    benchmark::DoNotOptimize(snapshot);
+  }
+  state.counters["corpus_docs"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SnapshotPin)->Arg(4)->Arg(64);
+
+}  // namespace
+}  // namespace xks

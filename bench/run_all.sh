@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Runs all 10 bench binaries in machine-readable mode and merges their JSON
-# into one trajectory file (default BENCH_pr3.json at the repo root).
+# Runs all 11 bench binaries in machine-readable mode and merges their JSON
+# into one trajectory file (default BENCH_pr4.json at the repo root).
 #
 #   bench/run_all.sh [build_dir] [output.json]
 #
@@ -14,7 +14,7 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUTPUT="${2:-BENCH_pr3.json}"
+OUTPUT="${2:-BENCH_pr4.json}"
 BENCH_DIR="${BUILD_DIR}/bench"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
@@ -32,7 +32,8 @@ fi
 "${BENCH_DIR}/table_keyword_freq" 0.005 0.1 "--json=${TMP_DIR}/table_keyword_freq.json"
 
 # Google Benchmark micros: native JSON reporters.
-for micro in ablation_cid micro_lca micro_parallel_scan micro_parse_shred micro_prune; do
+for micro in ablation_cid micro_incremental_build micro_lca micro_parallel_scan \
+             micro_parse_shred micro_prune; do
   "${BENCH_DIR}/${micro}" \
     --benchmark_format=console \
     --benchmark_out_format=json \
@@ -45,8 +46,8 @@ done
   printf '{\n'
   first=1
   for f in fig5_dblp fig6_dblp fig5_xmark fig6_xmark table_keyword_freq \
-           ablation_cid micro_lca micro_parallel_scan micro_parse_shred \
-           micro_prune; do
+           ablation_cid micro_incremental_build micro_lca micro_parallel_scan \
+           micro_parse_shred micro_prune; do
     [ "${first}" -eq 1 ] || printf ',\n'
     first=0
     printf '"%s": ' "${f}"
@@ -55,4 +56,4 @@ done
   printf '\n}\n'
 } > "${OUTPUT}"
 
-echo "merged 10 bench reports into ${OUTPUT}"
+echo "merged 11 bench reports into ${OUTPUT}"

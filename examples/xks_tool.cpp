@@ -1,9 +1,16 @@
-// xks_tool: build a searchable corpus from XML files and run keyword
-// queries against it through the xks::Database API.
+// xks_tool: build, mutate and search a persistent corpus through the
+// xks::Database API.
 //
-//   ./xks_tool shred  corpus.db a.xml [b.xml ...]   # parse + shred + persist
-//   ./xks_tool search corpus.db "xml keyword"       # query a persisted corpus
-//   ./xks_tool query  input.xml "xml keyword"       # one-shot parse + query
+//   ./xks_tool shred   corpus.db a.xml [b.xml ...]  # parse + shred + persist
+//   ./xks_tool search  corpus.db "xml keyword"      # query a persisted corpus
+//   ./xks_tool query   input.xml "xml keyword"      # one-shot parse + query
+//   ./xks_tool add     corpus.db new.xml [...]      # incremental add + save
+//   ./xks_tool remove  corpus.db docname            # remove by name + save
+//   ./xks_tool replace corpus.db docname new.xml    # replace content + save
+//
+// add/remove/replace are incremental (O(changed doc), no corpus rescan):
+// each publishes a new snapshot epoch, printed on success. Outstanding
+// search cursors die with the old epoch.
 //
 // Queries support label constraints ("title:xml keyword"). search/query
 // flags:
@@ -35,11 +42,14 @@ using namespace xks;
 int Usage() {
   std::printf(
       "usage:\n"
-      "  xks_tool shred  <corpus.db> <input.xml> [input2.xml ...]\n"
-      "  xks_tool search <corpus.db> <query> [--maxmatch] [--topk N]\n"
-      "                  [--cursor TOKEN] [--doc NAME] [--parallelism N]\n"
-      "                  [--stats]\n"
-      "  xks_tool query  <input.xml> <query> [--maxmatch] [--xml] [--topk N]\n");
+      "  xks_tool shred   <corpus.db> <input.xml> [input2.xml ...]\n"
+      "  xks_tool search  <corpus.db> <query> [--maxmatch] [--topk N]\n"
+      "                   [--cursor TOKEN] [--doc NAME] [--parallelism N]\n"
+      "                   [--stats]\n"
+      "  xks_tool query   <input.xml> <query> [--maxmatch] [--xml] [--topk N]\n"
+      "  xks_tool add     <corpus.db> <input.xml> [input2.xml ...]\n"
+      "  xks_tool remove  <corpus.db> <docname>\n"
+      "  xks_tool replace <corpus.db> <docname> <input.xml>\n");
   return 2;
 }
 
@@ -190,6 +200,89 @@ int main(int argc, char** argv) {
     std::printf("shredded %zu document(s), %zu distinct words, %zu postings → %s\n",
                 db.document_count(), db.vocabulary_size(), db.total_postings(),
                 argv[2]);
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "add") == 0) {
+    Result<Database> db = Database::Load(argv[2]);
+    if (!db.ok()) {
+      std::printf("%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    for (int i = 3; i < argc; ++i) {
+      Result<std::string> text = ReadFileToString(argv[i]);
+      if (!text.ok()) {
+        std::printf("%s\n", text.status().ToString().c_str());
+        return 1;
+      }
+      Result<DocumentId> doc = db->AddDocumentXml(BaseName(argv[i]), *text);
+      if (!doc.ok()) {
+        std::printf("%s: %s\n", argv[i], doc.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("added '%s' as document %u\n", BaseName(argv[i]).c_str(),
+                  *doc);
+    }
+    Status saved = db->Save(argv[2]);
+    if (!saved.ok()) {
+      std::printf("%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("corpus now at epoch %llu with %zu document(s) → %s\n",
+                static_cast<unsigned long long>(db->epoch()),
+                db->document_count(), argv[2]);
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "remove") == 0) {
+    Result<Database> db = Database::Load(argv[2]);
+    if (!db.ok()) {
+      std::printf("%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    Status removed = db->RemoveDocument(std::string(argv[3]));
+    if (!removed.ok()) {
+      std::printf("%s\n", removed.ToString().c_str());
+      return 1;
+    }
+    Status saved = db->Save(argv[2]);
+    if (!saved.ok()) {
+      std::printf("%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("removed '%s'; corpus now at epoch %llu with %zu "
+                "document(s) → %s\n",
+                argv[3], static_cast<unsigned long long>(db->epoch()),
+                db->document_count(), argv[2]);
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "replace") == 0) {
+    if (argc < 5) return Usage();
+    Result<Database> db = Database::Load(argv[2]);
+    if (!db.ok()) {
+      std::printf("%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    Result<std::string> text = ReadFileToString(argv[4]);
+    if (!text.ok()) {
+      std::printf("%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    Result<DocumentId> replaced = db->ReplaceDocumentXml(argv[3], *text);
+    if (!replaced.ok()) {
+      std::printf("%s\n", replaced.status().ToString().c_str());
+      return 1;
+    }
+    Status saved = db->Save(argv[2]);
+    if (!saved.ok()) {
+      std::printf("%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("replaced '%s' (document %u kept its id); corpus now at "
+                "epoch %llu → %s\n",
+                argv[3], *replaced,
+                static_cast<unsigned long long>(db->epoch()), argv[2]);
     return 0;
   }
 

@@ -6,7 +6,8 @@
 namespace xks {
 namespace {
 
-constexpr std::string_view kPrefix = "xksc1:";
+constexpr std::string_view kPrefix = "xksc2:";
+constexpr std::string_view kLegacyPrefix = "xksc1:";
 
 /// Parses a full run of hex digits; false on empty/overlong/non-hex input.
 /// Both cases are accepted (encode emits lowercase, but cursors that round-
@@ -34,24 +35,35 @@ bool ParseHex64(std::string_view text, uint64_t* value) {
 }  // namespace
 
 std::string EncodeCursor(const PageCursor& cursor) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%s%" PRIx64 ":%" PRIx64,
-                std::string(kPrefix).c_str(), cursor.fingerprint, cursor.offset);
+  char buffer[80];
+  std::snprintf(buffer, sizeof(buffer), "%s%" PRIx64 ":%" PRIx64 ":%" PRIx64,
+                std::string(kPrefix).c_str(), cursor.fingerprint, cursor.offset,
+                cursor.epoch);
   return buffer;
 }
 
 Result<PageCursor> DecodeCursor(std::string_view token) {
+  if (token.substr(0, kLegacyPrefix.size()) == kLegacyPrefix) {
+    return Status::InvalidArgument(
+        "legacy pre-epoch cursor (xksc1); re-issue the search to obtain a "
+        "fresh cursor");
+  }
   if (token.substr(0, kPrefix.size()) != kPrefix) {
     return Status::InvalidArgument("unrecognized cursor");
   }
   std::string_view body = token.substr(kPrefix.size());
-  size_t colon = body.find(':');
-  if (colon == std::string_view::npos) {
+  size_t first = body.find(':');
+  if (first == std::string_view::npos) {
+    return Status::InvalidArgument("malformed cursor");
+  }
+  size_t second = body.find(':', first + 1);
+  if (second == std::string_view::npos) {
     return Status::InvalidArgument("malformed cursor");
   }
   PageCursor cursor;
-  if (!ParseHex64(body.substr(0, colon), &cursor.fingerprint) ||
-      !ParseHex64(body.substr(colon + 1), &cursor.offset)) {
+  if (!ParseHex64(body.substr(0, first), &cursor.fingerprint) ||
+      !ParseHex64(body.substr(first + 1, second - first - 1), &cursor.offset) ||
+      !ParseHex64(body.substr(second + 1), &cursor.epoch)) {
     return Status::InvalidArgument("malformed cursor");
   }
   return cursor;

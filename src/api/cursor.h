@@ -1,12 +1,19 @@
 // Opaque pagination cursors for Database::Search.
 //
-// A cursor is the pair (offset, fingerprint): how many hits the client has
-// consumed, and a hash binding the cursor to the request that produced it
-// (query, pipeline configuration, ranking weights, document selection and
-// the corpus revision — document names plus per-document table sizes).
-// Replaying a cursor against a different request — or against a corpus
-// whose shape changed underneath it — is rejected instead of silently
-// returning a misaligned page.
+// A cursor is the triple (offset, fingerprint, epoch): how many hits the
+// client has consumed, a hash binding the cursor to the request that
+// produced it (query, pipeline configuration, ranking weights, document
+// selection and the corpus revision), and the epoch of the snapshot the
+// page was cut from. The epoch is checked first and separately: replaying a
+// cursor after the corpus mutated (any AddDocument / RemoveDocument /
+// ReplaceDocument published a newer snapshot) fails with a clean
+// FailedPrecondition("corpus changed") so the client knows to restart
+// pagination, while a cursor that belongs to a different request — or to a
+// different corpus that happens to sit at the same epoch — stays an
+// InvalidArgument. (A cursor from a different corpus at a *different*
+// epoch is indistinguishable from a post-mutation replay without a
+// persistent corpus identity, so it too reports FailedPrecondition;
+// either way the client's only correct move is to re-issue the search.)
 
 #ifndef XKS_API_CURSOR_H_
 #define XKS_API_CURSOR_H_
@@ -25,12 +32,17 @@ struct PageCursor {
   uint64_t offset = 0;
   /// Request/corpus fingerprint the cursor is bound to.
   uint64_t fingerprint = 0;
+  /// Epoch of the snapshot that minted the cursor. A mutation bumps the
+  /// corpus epoch, so a stale cursor is detectable before any fingerprint
+  /// comparison — and distinguishable from a plain wrong-request cursor.
+  uint64_t epoch = 0;
 };
 
-/// Renders a cursor as an opaque token ("xksc1:<fingerprint>:<offset>").
+/// Renders a cursor as an opaque token ("xksc2:<fingerprint>:<offset>:<epoch>").
 std::string EncodeCursor(const PageCursor& cursor);
 
-/// Parses a token produced by EncodeCursor; InvalidArgument on anything else.
+/// Parses a token produced by EncodeCursor; InvalidArgument on anything
+/// else, including the retired pre-epoch "xksc1" scheme.
 Result<PageCursor> DecodeCursor(std::string_view token);
 
 /// FNV-1a 64-bit hash, the fingerprint building block.

@@ -1,69 +1,34 @@
 #include "src/api/database.h"
 
 #include <algorithm>
-#include <atomic>
+#include <utility>
 
 #include "src/api/cursor.h"
 #include "src/common/codec.h"
 #include "src/common/io.h"
-#include "src/common/worker_pool.h"
 #include "src/xml/parser.h"
 
 namespace xks {
 namespace {
 
-constexpr char kCorpusMagic[] = "XKS2";
+constexpr char kCorpusMagic[] = "XKS3";
+constexpr char kCorpusMagicV2[] = "XKS2";
 constexpr char kLegacyMagic[] = "XKS1";
 
-/// One pre-page candidate: a fragment of one executed document.
-struct Candidate {
-  size_t doc_index = 0;
-  size_t fragment_index = 0;
-  double score = 0;
-};
-
-/// Binds a cursor to the request shape: normalized query, pipeline
-/// configuration, paging mode and the exact document selection.
-uint64_t RequestFingerprint(const KeywordQuery& query,
-                            const SearchRequest& request,
-                            const std::vector<DocumentId>& documents,
-                            uint64_t corpus_revision) {
-  std::string material = query.ToString();
-  material.push_back('\0');
-  material.push_back(static_cast<char>(request.semantics));
-  material.push_back(static_cast<char>(request.elca_algorithm));
-  material.push_back(static_cast<char>(request.slca_algorithm));
-  material.push_back(static_cast<char>(request.pruning));
-  material.push_back(request.rank ? 1 : 0);
-  if (request.rank) {
-    // Ranking weights change the merge order, so a cursor must not survive
-    // a weight change. Raw IEEE-754 bytes keep the hash deterministic.
-    const double weights[] = {
-        request.weights.specificity, request.weights.proximity,
-        request.weights.compactness, request.weights.slca_bonus,
-        request.weights.match_concentration};
-    material.append(reinterpret_cast<const char*>(weights), sizeof(weights));
-  }
-  PutVarint64(&material, request.top_k);
-  PutVarint64(&material, corpus_revision);
-  for (DocumentId id : documents) PutVarint32(&material, id);
-  return Fnv1a64(material);
-}
-
-SearchOptions PipelineOptions(const SearchRequest& request) {
-  SearchOptions options;
-  options.semantics = request.semantics;
-  options.elca_algorithm = request.elca_algorithm;
-  options.slca_algorithm = request.slca_algorithm;
-  options.pruning = request.pruning;
-  options.keep_raw_fragments = request.include_raw_fragments;
-  return options;
+/// Appends the shape of one store (table sizes) to revision material.
+void AppendStoreShape(std::string* material, const ShreddedStore& store) {
+  PutVarint64(material, store.labels().size());
+  PutVarint64(material, store.elements().size());
+  PutVarint64(material, store.values().size());
+  PutVarint64(material, store.index().vocabulary_size());
 }
 
 }  // namespace
 
-Result<DocumentId> Database::AddDocument(const std::string& name,
-                                         const Document& doc) {
+Database::Database() : mutex_(std::make_unique<std::mutex>()) {}
+
+Result<DocumentId> Database::AddStoreLocked(const std::string& name,
+                                            ShreddedStore store) {
   if (name.empty()) {
     return Status::InvalidArgument("document name must not be empty");
   }
@@ -74,10 +39,27 @@ Result<DocumentId> Database::AddDocument(const std::string& name,
     return Status::OutOfRange("corpus is full");
   }
   DocumentId id = static_cast<DocumentId>(documents_.size());
-  documents_.push_back(DocumentEntry{name, ShreddedStore::Build(doc)});
+  DocumentEntry entry;
+  entry.name = name;
+  entry.store = std::make_shared<const ShreddedStore>(std::move(store));
+  entry.stats = entry.store->ComputeStats();
+  entry.live = true;
+  MergeStatsLocked(entry.stats);
   by_name_.emplace(name, id);
-  built_ = false;
+  documents_.push_back(std::move(entry));
+  ++live_count_;
+  if (built_) {
+    BumpRevisionLocked('a', id, documents_.back());
+    ++epoch_;
+    PublishLocked();
+  }
   return id;
+}
+
+Result<DocumentId> Database::AddDocument(const std::string& name,
+                                         const Document& doc) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return AddStoreLocked(name, ShreddedStore::Build(doc));
 }
 
 Result<DocumentId> Database::AddDocumentXml(const std::string& name,
@@ -87,38 +69,191 @@ Result<DocumentId> Database::AddDocumentXml(const std::string& name,
   return AddDocument(name, doc);
 }
 
-Status Database::Build() {
-  if (documents_.empty()) {
-    return Status::InvalidArgument("cannot build an empty corpus");
+Status Database::RemoveLocked(DocumentId id) {
+  if (id >= documents_.size() || !documents_[id].live) {
+    return Status::NotFound("unknown document id " + std::to_string(id));
   }
-  corpus_frequency_.clear();
-  total_postings_ = 0;
-  corpus_max_depth_ = 1;
-  // The revision hashes the corpus shape (names + table sizes) so cursors
-  // handed out against one corpus are rejected by any corpus that differs —
-  // including a same-size rebuild from different inputs.
-  std::string shape;
-  for (const DocumentEntry& entry : documents_) {
-    for (const auto& [word, count] : entry.store.values().FrequencyTable()) {
-      corpus_frequency_[word] += count;
-    }
-    total_postings_ += entry.store.index().total_postings();
-    for (size_t i = 0; i < entry.store.elements().size(); ++i) {
-      corpus_max_depth_ = std::max<size_t>(corpus_max_depth_,
-                                           entry.store.elements().row(i).level);
-    }
-    PutLengthPrefixed(&shape, entry.name);
-    PutVarint64(&shape, entry.store.labels().size());
-    PutVarint64(&shape, entry.store.elements().size());
-    PutVarint64(&shape, entry.store.values().size());
-    PutVarint64(&shape, entry.store.index().vocabulary_size());
+  DocumentEntry& entry = documents_[id];
+  UnmergeStatsLocked(entry.stats);
+  by_name_.erase(entry.name);
+  if (built_) BumpRevisionLocked('r', id, entry);
+  // Tombstone the slot: the id is never reassigned, so every other id —
+  // and every persisted reference to one — stays stable.
+  entry.name.clear();
+  entry.store.reset();
+  entry.stats = DocumentStats{};
+  entry.live = false;
+  --live_count_;
+  if (built_) {
+    ++epoch_;
+    PublishLocked();
   }
-  revision_ = Fnv1a64(shape);
-  built_ = true;
   return Status::OK();
 }
 
+Status Database::RemoveDocument(DocumentId id) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return RemoveLocked(id);
+}
+
+Status Database::RemoveDocument(const std::string& name) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no document named '" + name + "'");
+  }
+  return RemoveLocked(it->second);
+}
+
+Status Database::ReplaceLocked(DocumentId id, const Document& doc) {
+  if (id >= documents_.size() || !documents_[id].live) {
+    return Status::NotFound("unknown document id " + std::to_string(id));
+  }
+  DocumentEntry& entry = documents_[id];
+  UnmergeStatsLocked(entry.stats);
+  entry.store = std::make_shared<const ShreddedStore>(ShreddedStore::Build(doc));
+  entry.stats = entry.store->ComputeStats();
+  MergeStatsLocked(entry.stats);
+  if (built_) {
+    BumpRevisionLocked('p', id, entry);
+    ++epoch_;
+    PublishLocked();
+  }
+  return Status::OK();
+}
+
+Status Database::ReplaceDocument(DocumentId id, const Document& doc) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return ReplaceLocked(id, doc);
+}
+
+Result<DocumentId> Database::ReplaceDocument(const std::string& name,
+                                             const Document& doc) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no document named '" + name + "'");
+  }
+  DocumentId id = it->second;
+  XKS_RETURN_IF_ERROR(ReplaceLocked(id, doc));
+  return id;
+}
+
+Result<DocumentId> Database::ReplaceDocumentXml(const std::string& name,
+                                                std::string_view xml) {
+  Document doc;
+  XKS_ASSIGN_OR_RETURN(doc, ParseXml(xml));
+  return ReplaceDocument(name, doc);
+}
+
+void Database::MergeStatsLocked(const DocumentStats& stats) {
+  for (const auto& [word, count] : stats.word_frequencies) {
+    corpus_frequency_[word] += count;
+  }
+  total_postings_ += stats.postings;
+  ++depth_census_[stats.max_depth];
+}
+
+void Database::UnmergeStatsLocked(const DocumentStats& stats) {
+  for (const auto& [word, count] : stats.word_frequencies) {
+    auto it = corpus_frequency_.find(word);
+    if (it == corpus_frequency_.end()) continue;  // defensive; cannot happen
+    if (it->second <= count) {
+      corpus_frequency_.erase(it);
+    } else {
+      it->second -= count;
+    }
+  }
+  total_postings_ -= stats.postings;
+  auto census = depth_census_.find(stats.max_depth);
+  if (census != depth_census_.end() && --census->second == 0) {
+    depth_census_.erase(census);
+  }
+}
+
+size_t Database::MaxDepthLocked() const {
+  return depth_census_.empty() ? 1 : depth_census_.rbegin()->first;
+}
+
+void Database::BumpRevisionLocked(char op, DocumentId id,
+                                  const DocumentEntry& entry) {
+  std::string material;
+  material.push_back(op);
+  PutVarint32(&material, id);
+  PutLengthPrefixed(&material, entry.name);
+  if (entry.store != nullptr) AppendStoreShape(&material, *entry.store);
+  revision_ = Fnv1a64(material, revision_);
+}
+
+void Database::PublishLocked() {
+  auto snapshot = std::shared_ptr<Snapshot>(new Snapshot());
+  snapshot->documents_.reserve(live_count_);
+  for (size_t id = 0; id < documents_.size(); ++id) {
+    const DocumentEntry& entry = documents_[id];
+    if (!entry.live) continue;
+    snapshot->documents_.push_back(Snapshot::Doc{
+        static_cast<DocumentId>(id), entry.name, entry.store});
+  }
+  snapshot->by_name_ = by_name_;
+  snapshot->frequency_ = corpus_frequency_;
+  snapshot->total_postings_ = total_postings_;
+  snapshot->corpus_max_depth_ = MaxDepthLocked();
+  snapshot->epoch_ = epoch_;
+  snapshot->revision_ = revision_;
+  snapshot_ = std::move(snapshot);
+}
+
+Status Database::Build() {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  if (built_) return Status::OK();
+  if (live_count_ == 0) {
+    return Status::InvalidArgument("cannot build an empty corpus");
+  }
+  // Seed the revision chain with the full corpus shape (ids + names +
+  // per-document table sizes) so cursors handed out against one corpus are
+  // rejected by any corpus that differs — including a same-size rebuild
+  // from different inputs. This is the only full-shape walk; mutations
+  // evolve the chain in O(changed doc).
+  std::string shape;
+  for (size_t id = 0; id < documents_.size(); ++id) {
+    const DocumentEntry& entry = documents_[id];
+    if (!entry.live) continue;
+    PutVarint32(&shape, static_cast<DocumentId>(id));
+    PutLengthPrefixed(&shape, entry.name);
+    AppendStoreShape(&shape, *entry.store);
+  }
+  revision_ = Fnv1a64(shape);
+  epoch_ = 1;
+  built_ = true;
+  PublishLocked();
+  return Status::OK();
+}
+
+bool Database::built() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return built_;
+}
+
+uint64_t Database::epoch() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return epoch_;
+}
+
+size_t Database::document_count() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return live_count_;
+}
+
+Result<std::string> Database::document_name(DocumentId id) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  if (id >= documents_.size() || !documents_[id].live) {
+    return Status::NotFound("unknown document id " + std::to_string(id));
+  }
+  return documents_[id].name;
+}
+
 Result<DocumentId> Database::FindDocument(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("no document named '" + name + "'");
@@ -126,204 +261,62 @@ Result<DocumentId> Database::FindDocument(const std::string& name) const {
   return it->second;
 }
 
+Result<std::shared_ptr<const ShreddedStore>> Database::store(
+    DocumentId id) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  if (id >= documents_.size() || !documents_[id].live) {
+    return Status::NotFound("unknown document id " + std::to_string(id));
+  }
+  return documents_[id].store;
+}
+
 uint64_t Database::WordFrequency(const std::string& word) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
   auto it = corpus_frequency_.find(word);
   return it == corpus_frequency_.end() ? 0 : it->second;
 }
 
+size_t Database::vocabulary_size() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return corpus_frequency_.size();
+}
+
+size_t Database::total_postings() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return total_postings_;
+}
+
+size_t Database::corpus_max_depth() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return MaxDepthLocked();
+}
+
+std::shared_ptr<const Snapshot> Database::snapshot() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return snapshot_;
+}
+
 Result<SearchResponse> Database::Search(const SearchRequest& request) const {
-  if (!built_) {
+  std::shared_ptr<const Snapshot> current = snapshot();
+  if (current == nullptr) {
     return Status::InvalidArgument(
         "Database::Build() must be called before Search()");
   }
-
-  // Resolve the query.
-  KeywordQuery query;
-  if (!request.terms.empty()) {
-    XKS_ASSIGN_OR_RETURN(query, KeywordQuery::FromTerms(request.terms));
-  } else {
-    XKS_ASSIGN_OR_RETURN(query, KeywordQuery::Parse(request.query));
-  }
-
-  // Resolve the document selection (dedupe, preserve order, validate).
-  std::vector<DocumentId> documents;
-  if (request.documents.empty()) {
-    documents.resize(documents_.size());
-    for (size_t i = 0; i < documents.size(); ++i) {
-      documents[i] = static_cast<DocumentId>(i);
-    }
-  } else {
-    for (DocumentId id : request.documents) {
-      if (id >= documents_.size()) {
-        return Status::NotFound("unknown document id " + std::to_string(id));
-      }
-      if (std::find(documents.begin(), documents.end(), id) == documents.end()) {
-        documents.push_back(id);
-      }
-    }
-  }
-
-  // Resolve the page window.
-  const uint64_t fingerprint =
-      RequestFingerprint(query, request, documents, revision_);
-  size_t offset = 0;
-  if (!request.cursor.empty()) {
-    PageCursor cursor;
-    XKS_ASSIGN_OR_RETURN(cursor, DecodeCursor(request.cursor));
-    if (cursor.fingerprint != fingerprint) {
-      return Status::InvalidArgument(
-          "cursor does not belong to this request (query, configuration or "
-          "corpus changed)");
-    }
-    offset = static_cast<size_t>(cursor.offset);
-  }
-
-  SearchResponse response;
-  response.parsed_query = query;
-
-  // Phase 1: fan the stateless executor out over the selected documents,
-  // up to max_parallelism at a time, into per-document result slots.
-  // Documents are claimed in selection order, so the executed set is always
-  // a contiguous prefix of the selection. Without ranking, hits already
-  // arrive in final order, so dispatch stops once the page plus one
-  // look-ahead hit (the next_cursor probe) is known.
-  const SearchOptions options = PipelineOptions(request);
-  // Overflow-safe: a forged cursor with a huge offset degrades to a full
-  // scan (empty page, exact totals), never a silently truncated one.
-  const size_t needed = request.top_k == 0 ||
-                                offset > SIZE_MAX - request.top_k - 1
-                            ? SIZE_MAX
-                            : offset + request.top_k + 1;
-  // Cross-document score comparability: every document normalizes
-  // specificity against the same corpus-wide depth. A single-document
-  // selection keeps the legacy result-set-relative scale (normalizer 0).
-  const size_t depth_normalizer = documents.size() > 1 ? corpus_max_depth_ : 0;
-
-  std::vector<SearchResult> results(documents.size());
-  std::vector<Status> statuses(documents.size());
-  std::vector<std::vector<FragmentScore>> ranked(request.rank ? documents.size() : 0);
-  // High-water mark of unranked hits discovered so far; once it reaches
-  // `needed`, no further documents are dispatched (in-flight ones finish).
-  std::atomic<size_t> hits_seen{0};
-  // Per-document failures land in their slot instead of aborting the
-  // fan-out, so the replay below surfaces exactly the error a serial scan
-  // would have hit — or none at all, when early termination would have
-  // stopped the serial scan before reaching the failed document.
-  std::atomic<bool> failed{false};
-  const auto execute_document = [&](size_t di) -> Status {
-    Result<SearchResult> result =
-        ExecuteSearch(store(documents[di]), query, options);
-    if (!result.ok()) {
-      statuses[di] = result.status();
-      failed.store(true, std::memory_order_relaxed);
-      return Status::OK();
-    }
-    results[di] = std::move(result).value();
-    if (request.rank) {
-      ranked[di] = RankFragments(results[di], query.size(), request.weights,
-                                 depth_normalizer);
-    } else {
-      hits_seen.fetch_add(results[di].fragments.size(),
-                          std::memory_order_relaxed);
-    }
-    return Status::OK();
-  };
-  ParallelForOptions fan_out;
-  fan_out.max_parallelism = request.max_parallelism;
-  if (!request.rank && needed != SIZE_MAX) {
-    fan_out.stop = [&hits_seen, &failed, needed] {
-      return failed.load(std::memory_order_relaxed) ||
-             hits_seen.load(std::memory_order_relaxed) >= needed;
-    };
-  } else {
-    fan_out.stop = [&failed] {
-      return failed.load(std::memory_order_relaxed);
-    };
-  }
-  size_t executed = 0;
-  XKS_ASSIGN_OR_RETURN(
-      executed, ParallelFor(documents.size(), execute_document, fan_out));
-
-  // Phase 1.5: replay the executed prefix in document order, reconstructing
-  // exactly the documents a serial scan would have covered. A parallel scan
-  // may overshoot (documents claimed before the stop condition fired);
-  // their slots are simply not consumed — that is what keeps responses
-  // byte-identical at every max_parallelism setting.
-  std::vector<Candidate> candidates;
-  size_t scanned = 0;
-  for (size_t di = 0; di < executed; ++di) {
-    XKS_RETURN_IF_ERROR(statuses[di]);
-    const SearchResult& result = results[di];
-    if (request.rank) {
-      for (const FragmentScore& scored : ranked[di]) {
-        candidates.push_back(Candidate{di, scored.fragment_index, scored.total});
-      }
-    } else {
-      for (size_t fi = 0; fi < result.fragments.size(); ++fi) {
-        candidates.push_back(Candidate{di, fi, 0.0});
-      }
-    }
-    if (request.include_stats) {
-      response.timings.Accumulate(result.timings);
-      response.pruning.Accumulate(result.pruning);
-      response.keyword_node_count += result.keyword_node_count;
-    }
-    ++scanned;
-    if (!request.rank && candidates.size() >= needed) break;
-  }
-  response.documents_searched = scanned;
-  response.total_hits = candidates.size();
-  response.total_is_exact = scanned == documents.size();
-  response.stats_are_exact = scanned == documents.size();
-
-  // Phase 2: corpus-level merge. Ties break on (document id, document
-  // order), keeping pagination deterministic.
-  if (request.rank) {
-    std::stable_sort(candidates.begin(), candidates.end(),
-                     [](const Candidate& a, const Candidate& b) {
-                       if (a.score != b.score) return a.score > b.score;
-                       if (a.doc_index != b.doc_index) {
-                         return a.doc_index < b.doc_index;
-                       }
-                       return a.fragment_index < b.fragment_index;
-                     });
-  }
-
-  // Phase 3: cut the requested page and materialize its hits.
-  const size_t begin = std::min(offset, candidates.size());
-  const size_t end = request.top_k == 0
-                         ? candidates.size()
-                         : std::min(begin + request.top_k, candidates.size());
-  response.hits.reserve(end - begin);
-  for (size_t i = begin; i < end; ++i) {
-    const Candidate& candidate = candidates[i];
-    FragmentResult& fragment =
-        results[candidate.doc_index].fragments[candidate.fragment_index];
-    Hit hit;
-    hit.document = documents[candidate.doc_index];
-    hit.document_name = documents_[hit.document].name;
-    hit.score = candidate.score;
-    if (request.include_snippets) {
-      hit.snippet = fragment.fragment.ToTreeString(query.size());
-    }
-    hit.rtf = std::move(fragment.rtf);
-    hit.fragment = std::move(fragment.fragment);
-    if (request.include_raw_fragments) hit.raw = std::move(fragment.raw);
-    response.hits.push_back(std::move(hit));
-  }
-  if (end < candidates.size()) {
-    response.next_cursor = EncodeCursor(PageCursor{end, fingerprint});
-  }
-  return response;
+  return current->Search(request);
 }
 
 void Database::EncodeTo(std::string* dst) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
   dst->append(kCorpusMagic, 4);
+  PutVarint64(dst, epoch_);
+  PutVarint64(dst, revision_);
   PutVarint64(dst, documents_.size());
   for (const DocumentEntry& entry : documents_) {
+    PutVarint64(dst, entry.live ? 1 : 0);
+    if (!entry.live) continue;
     PutLengthPrefixed(dst, entry.name);
     std::string blob;
-    entry.store.EncodeTo(&blob);
+    entry.store->EncodeTo(&blob);
     PutLengthPrefixed(dst, blob);
   }
 }
@@ -335,8 +328,42 @@ Result<Database> Database::DecodeFrom(std::string_view data,
     ShreddedStore store;
     XKS_ASSIGN_OR_RETURN(store, ShreddedStore::DecodeFrom(data));
     Database db;
-    db.documents_.push_back(DocumentEntry{legacy_name, std::move(store)});
-    db.by_name_.emplace(legacy_name, 0);
+    XKS_RETURN_IF_ERROR(
+        db.AddStoreLocked(legacy_name, std::move(store)).status());
+    XKS_RETURN_IF_ERROR(db.Build());
+    return db;
+  }
+  if (data.size() >= 4 && data.substr(0, 4) == kCorpusMagicV2) {
+    // Earlier multi-document corpus (pre-epoch): every slot is live, and
+    // Build() publishes it as epoch 1.
+    Decoder decoder(data.substr(4));
+    uint64_t count = 0;
+    XKS_RETURN_IF_ERROR(decoder.GetVarint64(&count));
+    if (count == 0) return Status::Corruption("empty corpus file");
+    if (count > decoder.remaining()) {
+      return Status::Corruption("implausible corpus document count");
+    }
+    Database db;
+    db.documents_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string name;
+      XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&name));
+      if (name.empty()) return Status::Corruption("empty document name");
+      std::string blob;
+      XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&blob));
+      ShreddedStore store;
+      XKS_ASSIGN_OR_RETURN(store, ShreddedStore::DecodeFrom(blob));
+      Result<DocumentId> added = db.AddStoreLocked(name, std::move(store));
+      if (!added.ok()) {
+        if (added.status().code() == StatusCode::kAlreadyExists) {
+          return Status::Corruption("duplicate document name '" + name + "'");
+        }
+        return added.status();
+      }
+    }
+    if (!decoder.done()) {
+      return Status::Corruption("trailing bytes in corpus file");
+    }
     XKS_RETURN_IF_ERROR(db.Build());
     return db;
   }
@@ -344,7 +371,11 @@ Result<Database> Database::DecodeFrom(std::string_view data,
     return Status::Corruption("bad corpus magic");
   }
   Decoder decoder(data.substr(4));
+  uint64_t epoch = 0;
+  uint64_t revision = 0;
   uint64_t count = 0;
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&epoch));
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&revision));
   XKS_RETURN_IF_ERROR(decoder.GetVarint64(&count));
   if (count == 0) return Status::Corruption("empty corpus file");
   if (count > decoder.remaining()) {
@@ -353,22 +384,49 @@ Result<Database> Database::DecodeFrom(std::string_view data,
   Database db;
   db.documents_.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
-    DocumentEntry entry;
-    XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&entry.name));
-    if (entry.name.empty()) return Status::Corruption("empty document name");
-    if (db.by_name_.contains(entry.name)) {
-      return Status::Corruption("duplicate document name '" + entry.name + "'");
+    uint64_t live = 0;
+    XKS_RETURN_IF_ERROR(decoder.GetVarint64(&live));
+    if (live > 1) return Status::Corruption("bad document liveness flag");
+    if (live == 0) {
+      // Tombstone: the slot keeps its id reserved.
+      db.documents_.push_back(DocumentEntry{});
+      continue;
     }
+    std::string name;
+    XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&name));
+    if (name.empty()) return Status::Corruption("empty document name");
     std::string blob;
     XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&blob));
-    XKS_ASSIGN_OR_RETURN(entry.store, ShreddedStore::DecodeFrom(blob));
-    db.by_name_.emplace(entry.name, static_cast<DocumentId>(i));
-    db.documents_.push_back(std::move(entry));
+    ShreddedStore store;
+    XKS_ASSIGN_OR_RETURN(store, ShreddedStore::DecodeFrom(blob));
+    Result<DocumentId> added = db.AddStoreLocked(name, std::move(store));
+    if (!added.ok()) {
+      if (added.status().code() == StatusCode::kAlreadyExists) {
+        return Status::Corruption("duplicate document name '" + name + "'");
+      }
+      return added.status();
+    }
   }
   if (!decoder.done()) {
     return Status::Corruption("trailing bytes in corpus file");
   }
-  XKS_RETURN_IF_ERROR(db.Build());
+  if (epoch == 0) {
+    // Saved before the first Build(). Like the legacy formats, loading
+    // publishes the corpus immediately (epoch 1) — a loaded database is
+    // always searchable.
+    if (db.live_count_ == 0) {
+      return Status::Corruption("corpus file with no live documents");
+    }
+    XKS_RETURN_IF_ERROR(db.Build());
+    return db;
+  }
+  // Restore the published state verbatim: same epoch, same revision — so
+  // surviving DocumentIds, statistics and even in-flight cursors keep
+  // working across the Save/Load round trip.
+  db.epoch_ = epoch;
+  db.revision_ = revision;
+  db.built_ = true;
+  db.PublishLocked();
   return db;
 }
 

@@ -1,45 +1,60 @@
 // xks::Database — the corpus-level entry point of the library.
 //
-// A Database owns N shredded documents behind doc-id-qualified addressing,
-// is built incrementally (AddDocument → Build), answers SearchRequests with
-// ranked, paginated SearchResponses, and persists the whole corpus as one
-// artifact (magic "XKS2"; legacy single-document "XKS1" stores load
-// transparently as a one-document corpus).
+// A Database is a mutable catalog of N shredded documents behind stable
+// doc-id addressing. It publishes its searchable state as a sequence of
+// immutable snapshots (src/api/snapshot.h): Build() publishes the first
+// one (epoch 1), and every subsequent mutation — AddDocument,
+// RemoveDocument, ReplaceDocument — merges or unmerges that one document's
+// statistics into the corpus aggregates in O(changed doc) and publishes the
+// next epoch. There is no full-corpus rescan on mutation, ever: each
+// catalog entry keeps its own word-frequency list, posting count and max
+// depth (DocumentStats), so corpus aggregates update by pure merge
+// arithmetic, and no other document's tables are ever re-read. (Publishing
+// the snapshot itself copies the aggregate index — the live-document list,
+// name map and vocabulary frequency map — so a mutation's total cost is
+// O(changed doc + vocabulary), independent of the other documents' count
+// and content; sharing those maps structurally is a roadmap item.)
 //
-// Query execution fans the stateless per-document pipeline
-// (src/core/engine.h) out over the selected documents — concurrently, up to
-// SearchRequest::max_parallelism workers — and merges at the corpus level:
-//  * rank = true   — every selected document is executed, per-document
-//    scores (src/core/ranking.h) are merged into one descending order, and
-//    the requested page is cut from it. Specificity is normalized by the
-//    corpus-wide element depth (corpus_max_depth), so scores from different
-//    documents are directly comparable; a single-document selection keeps
-//    the legacy result-set-relative normalization.
-//  * rank = false  — hits stream in (document id, document order), and the
-//    corpus scan stops dispatching documents as soon as the requested page
-//    (plus one look-ahead hit for next_cursor) is filled.
+// Lifecycle:
 //
-// The scan is sharded per document but observably serial: responses (hit
-// order, scores, totals, cursors) are byte-identical at every
-// max_parallelism, because executed documents always form a contiguous
-// prefix of the selection and the merge replays that prefix in document
-// order.
+//   Database db;
+//   db.AddDocumentXml("a", xml_a);     // stage documents
+//   db.Build();                        // publish snapshot, epoch 1
+//   db.Search(request);                // executes against epoch 1
+//   db.AddDocumentXml("b", xml_b);     // O(doc b) merge, publishes epoch 2
+//   db.RemoveDocument("a");            // O(doc a) unmerge, epoch 3;
+//                                      //   id of "a" is tombstoned forever
+//   db.ReplaceDocument("b", new_doc);  // keeps b's id, epoch 4
 //
-// All methods are non-throwing; errors surface as Status/Result. A built
-// Database is immutable: Search shares only const document stores and
-// corpus statistics across its workers (the per-document executor is
-// stateless), so a Database may serve Search calls from any number of
-// threads concurrently.
+// Concurrency: Search is const and safe from any number of threads, and
+// mutations may run concurrently with searches — Search pins the snapshot
+// that is current when it starts and executes entirely against it, while
+// mutations build the next snapshot on the side and swap it in under the
+// catalog mutex. In-flight and pinned snapshots stay alive (shared
+// ownership) until their last reader drops them. Mutations are serialized
+// against each other by the catalog mutex.
+//
+// Pagination across mutations: every response carries the epoch of the
+// snapshot it was cut from, folded into next_cursor. Replaying a cursor
+// after a mutation fails with FailedPrecondition("corpus changed ...") —
+// clients either restart pagination against the new corpus or pin
+// db.snapshot() up front and paginate against that fixed view.
+//
+// All methods are non-throwing; errors surface as Status/Result.
 
 #ifndef XKS_API_DATABASE_H_
 #define XKS_API_DATABASE_H_
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/api/search_types.h"
+#include "src/api/snapshot.h"
 #include "src/common/result.h"
 #include "src/storage/store.h"
 #include "src/xml/dom.h"
@@ -48,63 +63,106 @@ namespace xks {
 
 class Database {
  public:
-  Database() = default;
+  Database();
+  Database(Database&&) noexcept = default;
+  Database& operator=(Database&&) noexcept = default;
 
   /// Shreds `doc` and adds it to the corpus under `name`. Names must be
-  /// unique and non-empty. Invalidates Build (call Build again before
-  /// searching).
+  /// unique among live documents and non-empty. Before Build() this stages
+  /// the document; after Build() the document becomes searchable
+  /// immediately (a new snapshot is published, epoch + 1) — no rebuild, no
+  /// corpus rescan.
   Result<DocumentId> AddDocument(const std::string& name, const Document& doc);
 
   /// Parses `xml` and adds the document.
   Result<DocumentId> AddDocumentXml(const std::string& name,
                                     std::string_view xml);
 
-  /// Finalizes the corpus: computes corpus-level statistics and makes the
-  /// database searchable. Idempotent; fails on an empty corpus.
+  /// Removes document `id` from the corpus in O(changed doc): its
+  /// statistics are unmerged from the corpus aggregates and, once built, a
+  /// new snapshot without it is published. The id is tombstoned forever —
+  /// never reassigned — so surviving ids stay stable, including across
+  /// Save/Load. The name becomes available for reuse. NotFound for unknown
+  /// or already-removed ids.
+  Status RemoveDocument(DocumentId id);
+
+  /// Removes the document named `name`; NotFound when absent.
+  Status RemoveDocument(const std::string& name);
+
+  /// Replaces the content of document `id` with `doc`, keeping its id and
+  /// name. O(old doc + new doc): unmerge + merge, then publish. NotFound
+  /// for unknown or removed ids.
+  Status ReplaceDocument(DocumentId id, const Document& doc);
+
+  /// Replaces the document named `name`, returning its (unchanged) id.
+  Result<DocumentId> ReplaceDocument(const std::string& name,
+                                     const Document& doc);
+
+  /// Parses `xml` and replaces the document named `name`.
+  Result<DocumentId> ReplaceDocumentXml(const std::string& name,
+                                        std::string_view xml);
+
+  /// Publishes the first snapshot (epoch 1), making the corpus searchable.
+  /// Idempotent once built; fails on a corpus with no live documents.
+  /// Purely a publication point: corpus statistics are maintained
+  /// incrementally by the mutation methods, so Build() never rescans.
   Status Build();
 
-  /// True once Build has run and no document was added since.
-  bool built() const { return built_; }
+  /// True once Build() has published the first snapshot. Mutations after
+  /// Build() keep the database built (and searchable) — they publish new
+  /// snapshots instead of invalidating the old one.
+  bool built() const;
 
-  size_t document_count() const { return documents_.size(); }
+  /// Epoch of the currently published snapshot; 0 before Build().
+  uint64_t epoch() const;
 
-  /// Name of document `id`. Requires a valid id.
-  const std::string& document_name(DocumentId id) const {
-    return documents_[id].name;
-  }
+  /// Number of live (non-removed) documents.
+  size_t document_count() const;
 
-  /// Id of the document named `name`; NotFound when absent.
+  /// Name of document `id`; NotFound for out-of-range or removed ids.
+  Result<std::string> document_name(DocumentId id) const;
+
+  /// Id of the live document named `name`; NotFound when absent.
   Result<DocumentId> FindDocument(const std::string& name) const;
 
-  /// The underlying shredded document — internal building block access for
-  /// benches and stage-level tooling. Requires a valid id.
-  const ShreddedStore& store(DocumentId id) const {
-    return documents_[id].store;
-  }
+  /// The underlying shredded document — internal building-block access for
+  /// benches and stage-level tooling. NotFound for out-of-range or removed
+  /// ids. Shared ownership: the store stays valid even if the document is
+  /// removed or replaced afterwards.
+  Result<std::shared_ptr<const ShreddedStore>> store(DocumentId id) const;
 
-  /// Corpus-wide shred-time frequency of `word` (summed across documents).
-  /// Requires built().
+  /// Corpus-wide shred-time frequency of `word` (summed across live
+  /// documents), maintained incrementally.
   uint64_t WordFrequency(const std::string& word) const;
 
-  /// Distinct indexed words across the corpus. Requires built().
-  size_t vocabulary_size() const { return corpus_frequency_.size(); }
+  /// Distinct indexed words across the live documents.
+  size_t vocabulary_size() const;
 
-  /// Total postings across all documents. Requires built().
-  size_t total_postings() const { return total_postings_; }
+  /// Total postings across the live documents.
+  size_t total_postings() const;
 
-  /// Depth of the deepest element across the corpus — the shared specificity
-  /// normalizer that puts ranking scores from different documents on one
-  /// scale. Requires built().
-  size_t corpus_max_depth() const { return corpus_max_depth_; }
+  /// Depth of the deepest element across the live documents — the shared
+  /// specificity normalizer for cross-document ranking. Maintained as a
+  /// census of per-document max depths, so removal is O(log corpus), not a
+  /// rescan.
+  size_t corpus_max_depth() const;
 
-  /// Answers one request. Fails when the database is not built, the query
-  /// does not normalize to any usable keyword, a document id is unknown, or
-  /// the cursor does not belong to this request.
+  /// The currently published snapshot (nullptr before Build()). Pin it to
+  /// search / paginate against one immutable corpus state while the
+  /// catalog keeps mutating.
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Answers one request against the currently published snapshot.
+  /// Equivalent to snapshot()->Search(request); fails InvalidArgument when
+  /// the database is not built.
   Result<SearchResponse> Search(const SearchRequest& request) const;
 
-  /// Persists the corpus to `path` (format "XKS2") / restores it. Load also
-  /// accepts a legacy single-document "XKS1" store, surfacing it as a
-  /// one-document corpus named after `legacy_name`.
+  /// Persists the corpus to `path` (format "XKS3": epoch, revision and
+  /// tombstoned ids included, so DocumentIds — and live cursors — survive
+  /// the round trip) / restores it. Load also accepts the earlier
+  /// multi-document "XKS2" corpus format and the legacy single-document
+  /// "XKS1" store, surfacing the latter as a one-document corpus named
+  /// after `legacy_name`.
   Status Save(const std::string& path) const;
   static Result<Database> Load(const std::string& path,
                                const std::string& legacy_name = "document");
@@ -115,22 +173,62 @@ class Database {
                                      const std::string& legacy_name = "document");
 
  private:
+  /// One catalog slot. Slots are id-indexed and never erased: a removed
+  /// document leaves a tombstone (live = false, no store) so later ids keep
+  /// their meaning.
   struct DocumentEntry {
     std::string name;
-    ShreddedStore store;
+    std::shared_ptr<const ShreddedStore> store;
+    /// The document's own aggregates, kept so corpus statistics can be
+    /// unmerged in O(this doc) when it is removed or replaced.
+    DocumentStats stats;
+    bool live = false;
   };
 
-  std::vector<DocumentEntry> documents_;
-  std::unordered_map<std::string, DocumentId> by_name_;
-  /// Corpus-level word → total shred-time frequency; built by Build().
+  /// Shared add path (AddDocument + the decoders). Requires the lock.
+  Result<DocumentId> AddStoreLocked(const std::string& name,
+                                    ShreddedStore store);
+  Status RemoveLocked(DocumentId id);
+  Status ReplaceLocked(DocumentId id, const Document& doc);
+
+  /// O(changed doc) corpus-aggregate maintenance.
+  void MergeStatsLocked(const DocumentStats& stats);
+  void UnmergeStatsLocked(const DocumentStats& stats);
+  size_t MaxDepthLocked() const;
+
+  /// Evolves the corpus revision with one mutation record (op + id + name +
+  /// table shape). Only meaningful once built; Build() seeds the chain with
+  /// a full-shape hash.
+  void BumpRevisionLocked(char op, DocumentId id, const DocumentEntry& entry);
+
+  /// Builds and swaps in a fresh snapshot of the current catalog state.
+  void PublishLocked();
+
+  /// Serializes mutations and guards the catalog fields below; snapshots
+  /// themselves are immutable and need no locking. Held behind unique_ptr
+  /// so Database stays movable (Result<Database> returns by value).
+  mutable std::unique_ptr<std::mutex> mutex_;
+
+  std::vector<DocumentEntry> documents_;  ///< Id-indexed, tombstones kept.
+  std::unordered_map<std::string, DocumentId> by_name_;  ///< Live names only.
+  size_t live_count_ = 0;
+
+  /// Corpus aggregates, maintained incrementally by merge/unmerge.
   std::unordered_map<std::string, uint64_t> corpus_frequency_;
   size_t total_postings_ = 0;
-  /// Deepest element level across all documents; computed by Build().
-  size_t corpus_max_depth_ = 1;
-  /// Hash of the corpus shape (names + per-document table sizes), folded
-  /// into cursor fingerprints so a cursor dies with the corpus it came
-  /// from. Computed by Build().
+  /// Census of per-document max depths (depth → live-document count); the
+  /// corpus max depth is the largest key.
+  std::map<size_t, size_t> depth_census_;
+
+  /// Hash chain over the corpus shape: seeded by Build() from the full
+  /// shape, evolved per mutation, persisted in XKS3. Folded into cursor
+  /// fingerprints so a cursor dies with the corpus it came from.
   uint64_t revision_ = 0;
+  /// Publication counter: 0 = never built, 1 = first Build(), +1 per
+  /// mutation thereafter. Persisted in XKS3.
+  uint64_t epoch_ = 0;
+
+  std::shared_ptr<const Snapshot> snapshot_;
   bool built_ = false;
 };
 

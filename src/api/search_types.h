@@ -20,8 +20,11 @@
 
 namespace xks {
 
-/// Identifies one document inside a Database. Ids are dense and assigned in
-/// AddDocument order; they are stable across Save/Load.
+/// Identifies one document inside a Database. Ids are assigned in
+/// AddDocument order and are stable for the lifetime of the corpus —
+/// including across Save/Load and across mutations: RemoveDocument
+/// tombstones an id forever (it is never reassigned), and ReplaceDocument
+/// keeps the id of the document it replaces.
 using DocumentId = uint32_t;
 
 /// A corpus-level search request.
@@ -32,8 +35,10 @@ struct SearchRequest {
   /// Pre-parsed terms (generators, tests); takes precedence over `query`.
   std::vector<QueryTerm> terms;
 
-  /// Restrict the search to these documents; empty = the whole corpus.
-  /// Duplicates are ignored; unknown ids fail the request.
+  /// Restrict the search to these documents; empty = every live document.
+  /// Unknown (or removed) ids fail with NotFound, duplicate ids with
+  /// InvalidArgument — both validated in one place before any document
+  /// executes.
   std::vector<DocumentId> documents;
 
   /// LCA semantics and per-semantics algorithm selection.
@@ -55,7 +60,10 @@ struct SearchRequest {
   size_t top_k = 10;
   /// Opaque continuation token from a previous response's `next_cursor`;
   /// empty = first page. A cursor is only valid for the request that
-  /// produced it (same query, configuration and corpus).
+  /// produced it (same query, configuration and corpus) and for the corpus
+  /// epoch it was minted at: after any mutation, replaying it fails with
+  /// FailedPrecondition("corpus changed ...") — pin Database::snapshot() to
+  /// paginate consistently across mutations.
   std::string cursor;
 
   /// Rank hits by fragment score (src/core/ranking.h) before paging; when
@@ -135,6 +143,10 @@ struct SearchResponse {
   /// Documents whose results this response reflects (≤ the requested set
   /// when the unranked scan terminated early).
   size_t documents_searched = 0;
+  /// Epoch of the snapshot this page was cut from; next_cursor is only
+  /// redeemable while the corpus is still at this epoch (or against a
+  /// pinned Snapshot of it).
+  uint64_t epoch = 0;
   /// The normalized query ("liu keyword" — lowercased, stop words removed).
   KeywordQuery parsed_query;
 

@@ -1,0 +1,329 @@
+#include "src/api/snapshot.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "src/api/cursor.h"
+#include "src/common/codec.h"
+#include "src/common/worker_pool.h"
+
+namespace xks {
+namespace {
+
+/// One pre-page candidate: a fragment of one executed document.
+struct Candidate {
+  size_t doc_index = 0;
+  size_t fragment_index = 0;
+  double score = 0;
+};
+
+/// Binds a cursor to the request shape: normalized query, pipeline
+/// configuration, paging mode, the exact document selection and the corpus
+/// revision. The epoch is deliberately NOT part of the fingerprint — it is
+/// carried and checked separately so a stale-epoch cursor surfaces as
+/// FailedPrecondition instead of a generic fingerprint mismatch.
+uint64_t RequestFingerprint(const KeywordQuery& query,
+                            const SearchRequest& request,
+                            const std::vector<DocumentId>& documents,
+                            uint64_t corpus_revision) {
+  std::string material = query.ToString();
+  material.push_back('\0');
+  material.push_back(static_cast<char>(request.semantics));
+  material.push_back(static_cast<char>(request.elca_algorithm));
+  material.push_back(static_cast<char>(request.slca_algorithm));
+  material.push_back(static_cast<char>(request.pruning));
+  material.push_back(request.rank ? 1 : 0);
+  if (request.rank) {
+    // Ranking weights change the merge order, so a cursor must not survive
+    // a weight change. Raw IEEE-754 bytes keep the hash deterministic.
+    const double weights[] = {
+        request.weights.specificity, request.weights.proximity,
+        request.weights.compactness, request.weights.slca_bonus,
+        request.weights.match_concentration};
+    material.append(reinterpret_cast<const char*>(weights), sizeof(weights));
+  }
+  PutVarint64(&material, request.top_k);
+  PutVarint64(&material, corpus_revision);
+  for (DocumentId id : documents) PutVarint32(&material, id);
+  return Fnv1a64(material);
+}
+
+SearchOptions PipelineOptions(const SearchRequest& request) {
+  SearchOptions options;
+  options.semantics = request.semantics;
+  options.elca_algorithm = request.elca_algorithm;
+  options.slca_algorithm = request.slca_algorithm;
+  options.pruning = request.pruning;
+  options.keep_raw_fragments = request.include_raw_fragments;
+  return options;
+}
+
+/// The single validation point for the page window: the first hit index
+/// (cursor offset) plus the page size plus the one look-ahead hit must fit
+/// the addressable result range, or the request is rejected outright — a
+/// forged cursor can no longer push the window arithmetic into wraparound.
+Status ValidatePageWindow(uint64_t offset, size_t top_k) {
+  // The page cut indexes candidates with size_t; the first unserved hit
+  // (offset), the page end (offset + top_k) and the look-ahead probe (+1)
+  // must all be representable without wraparound.
+  const uint64_t max_index = static_cast<uint64_t>(SIZE_MAX);
+  if (offset >= max_index ||
+      (top_k != 0 && static_cast<uint64_t>(top_k) > max_index - offset - 1)) {
+    return Status::InvalidArgument(
+        "page window overflows: offset " + std::to_string(offset) +
+        " + top_k " + std::to_string(top_k) +
+        " exceeds the addressable result range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<DocumentId> Snapshot::document_ids() const {
+  std::vector<DocumentId> ids;
+  ids.reserve(documents_.size());
+  for (const Doc& doc : documents_) ids.push_back(doc.id);
+  return ids;
+}
+
+Result<size_t> Snapshot::IndexOf(DocumentId id) const {
+  auto it = std::lower_bound(
+      documents_.begin(), documents_.end(), id,
+      [](const Doc& doc, DocumentId wanted) { return doc.id < wanted; });
+  if (it == documents_.end() || it->id != id) {
+    return Status::NotFound("unknown document id " + std::to_string(id));
+  }
+  return static_cast<size_t>(it - documents_.begin());
+}
+
+Result<std::string> Snapshot::document_name(DocumentId id) const {
+  size_t index = 0;
+  XKS_ASSIGN_OR_RETURN(index, IndexOf(id));
+  return documents_[index].name;
+}
+
+Result<DocumentId> Snapshot::FindDocument(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no document named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<std::shared_ptr<const ShreddedStore>> Snapshot::store(
+    DocumentId id) const {
+  size_t index = 0;
+  XKS_ASSIGN_OR_RETURN(index, IndexOf(id));
+  return documents_[index].store;
+}
+
+uint64_t Snapshot::WordFrequency(const std::string& word) const {
+  auto it = frequency_.find(word);
+  return it == frequency_.end() ? 0 : it->second;
+}
+
+Status Snapshot::ResolveSelection(const std::vector<DocumentId>& requested,
+                                  std::vector<size_t>* selection) const {
+  selection->clear();
+  if (requested.empty()) {
+    selection->resize(documents_.size());
+    for (size_t i = 0; i < selection->size(); ++i) (*selection)[i] = i;
+    return Status::OK();
+  }
+  selection->reserve(requested.size());
+  for (DocumentId id : requested) {
+    size_t index = 0;
+    XKS_ASSIGN_OR_RETURN(index, IndexOf(id));
+    if (std::find(selection->begin(), selection->end(), index) !=
+        selection->end()) {
+      return Status::InvalidArgument("duplicate document id " +
+                                     std::to_string(id) +
+                                     " in request selection");
+    }
+    selection->push_back(index);
+  }
+  return Status::OK();
+}
+
+Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
+  // Resolve the query.
+  KeywordQuery query;
+  if (!request.terms.empty()) {
+    XKS_ASSIGN_OR_RETURN(query, KeywordQuery::FromTerms(request.terms));
+  } else {
+    XKS_ASSIGN_OR_RETURN(query, KeywordQuery::Parse(request.query));
+  }
+
+  // Resolve and validate the document selection (order preserved).
+  std::vector<size_t> selection;
+  XKS_RETURN_IF_ERROR(ResolveSelection(request.documents, &selection));
+  std::vector<DocumentId> selected_ids;
+  selected_ids.reserve(selection.size());
+  for (size_t index : selection) selected_ids.push_back(documents_[index].id);
+
+  // Resolve the page window. The epoch check runs before the fingerprint
+  // check so a post-mutation replay fails as "corpus changed", not as a
+  // generic wrong-request cursor.
+  const uint64_t fingerprint =
+      RequestFingerprint(query, request, selected_ids, revision_);
+  size_t offset = 0;
+  if (!request.cursor.empty()) {
+    PageCursor cursor;
+    XKS_ASSIGN_OR_RETURN(cursor, DecodeCursor(request.cursor));
+    if (cursor.epoch != epoch_) {
+      return Status::FailedPrecondition(
+          "corpus changed: cursor was minted at epoch " +
+          std::to_string(cursor.epoch) + " but the corpus is at epoch " +
+          std::to_string(epoch_) + "; restart pagination");
+    }
+    if (cursor.fingerprint != fingerprint) {
+      return Status::InvalidArgument(
+          "cursor does not belong to this request (query, configuration or "
+          "corpus changed)");
+    }
+    XKS_RETURN_IF_ERROR(ValidatePageWindow(cursor.offset, request.top_k));
+    offset = static_cast<size_t>(cursor.offset);
+  } else {
+    XKS_RETURN_IF_ERROR(ValidatePageWindow(0, request.top_k));
+  }
+
+  SearchResponse response;
+  response.parsed_query = query;
+  response.epoch = epoch_;
+
+  // Phase 1: fan the stateless executor out over the selected documents,
+  // up to max_parallelism at a time, into per-document result slots.
+  // Documents are claimed in selection order, so the executed set is always
+  // a contiguous prefix of the selection. Without ranking, hits already
+  // arrive in final order, so dispatch stops once the page plus one
+  // look-ahead hit (the next_cursor probe) is known.
+  const SearchOptions options = PipelineOptions(request);
+  const size_t needed =
+      request.top_k == 0 ? SIZE_MAX : offset + request.top_k + 1;
+  // Cross-document score comparability: every document normalizes
+  // specificity against the same corpus-wide depth. A single-document
+  // selection keeps the legacy result-set-relative scale (normalizer 0).
+  const size_t depth_normalizer = selection.size() > 1 ? corpus_max_depth_ : 0;
+
+  std::vector<SearchResult> results(selection.size());
+  std::vector<Status> statuses(selection.size());
+  std::vector<std::vector<FragmentScore>> ranked(request.rank ? selection.size()
+                                                              : 0);
+  // High-water mark of unranked hits discovered so far; once it reaches
+  // `needed`, no further documents are dispatched (in-flight ones finish).
+  std::atomic<size_t> hits_seen{0};
+  // Per-document failures land in their slot instead of aborting the
+  // fan-out, so the replay below surfaces exactly the error a serial scan
+  // would have hit — or none at all, when early termination would have
+  // stopped the serial scan before reaching the failed document.
+  std::atomic<bool> failed{false};
+  const auto execute_document = [&](size_t di) -> Status {
+    Result<SearchResult> result =
+        ExecuteSearch(*documents_[selection[di]].store, query, options);
+    if (!result.ok()) {
+      statuses[di] = result.status();
+      failed.store(true, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    results[di] = std::move(result).value();
+    if (request.rank) {
+      ranked[di] = RankFragments(results[di], query.size(), request.weights,
+                                 depth_normalizer);
+    } else {
+      hits_seen.fetch_add(results[di].fragments.size(),
+                          std::memory_order_relaxed);
+    }
+    return Status::OK();
+  };
+  ParallelForOptions fan_out;
+  fan_out.max_parallelism = request.max_parallelism;
+  if (!request.rank && needed != SIZE_MAX) {
+    fan_out.stop = [&hits_seen, &failed, needed] {
+      return failed.load(std::memory_order_relaxed) ||
+             hits_seen.load(std::memory_order_relaxed) >= needed;
+    };
+  } else {
+    fan_out.stop = [&failed] {
+      return failed.load(std::memory_order_relaxed);
+    };
+  }
+  size_t executed = 0;
+  XKS_ASSIGN_OR_RETURN(
+      executed, ParallelFor(selection.size(), execute_document, fan_out));
+
+  // Phase 1.5: replay the executed prefix in selection order, reconstructing
+  // exactly the documents a serial scan would have covered. A parallel scan
+  // may overshoot (documents claimed before the stop condition fired);
+  // their slots are simply not consumed — that is what keeps responses
+  // byte-identical at every max_parallelism setting.
+  std::vector<Candidate> candidates;
+  size_t scanned = 0;
+  for (size_t di = 0; di < executed; ++di) {
+    XKS_RETURN_IF_ERROR(statuses[di]);
+    const SearchResult& result = results[di];
+    if (request.rank) {
+      for (const FragmentScore& scored : ranked[di]) {
+        candidates.push_back(Candidate{di, scored.fragment_index, scored.total});
+      }
+    } else {
+      for (size_t fi = 0; fi < result.fragments.size(); ++fi) {
+        candidates.push_back(Candidate{di, fi, 0.0});
+      }
+    }
+    if (request.include_stats) {
+      response.timings.Accumulate(result.timings);
+      response.pruning.Accumulate(result.pruning);
+      response.keyword_node_count += result.keyword_node_count;
+    }
+    ++scanned;
+    if (!request.rank && candidates.size() >= needed) break;
+  }
+  response.documents_searched = scanned;
+  response.total_hits = candidates.size();
+  response.total_is_exact = scanned == selection.size();
+  response.stats_are_exact = scanned == selection.size();
+
+  // Phase 2: corpus-level merge. Ties break on (selection position,
+  // document order), keeping pagination deterministic.
+  if (request.rank) {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       if (a.score != b.score) return a.score > b.score;
+                       if (a.doc_index != b.doc_index) {
+                         return a.doc_index < b.doc_index;
+                       }
+                       return a.fragment_index < b.fragment_index;
+                     });
+  }
+
+  // Phase 3: cut the requested page and materialize its hits.
+  const size_t begin = std::min(offset, candidates.size());
+  const size_t end = request.top_k == 0
+                         ? candidates.size()
+                         : std::min(begin + request.top_k, candidates.size());
+  response.hits.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    const Candidate& candidate = candidates[i];
+    FragmentResult& fragment =
+        results[candidate.doc_index].fragments[candidate.fragment_index];
+    const Doc& doc = documents_[selection[candidate.doc_index]];
+    Hit hit;
+    hit.document = doc.id;
+    hit.document_name = doc.name;
+    hit.score = candidate.score;
+    if (request.include_snippets) {
+      hit.snippet = fragment.fragment.ToTreeString(query.size());
+    }
+    hit.rtf = std::move(fragment.rtf);
+    hit.fragment = std::move(fragment.fragment);
+    if (request.include_raw_fragments) hit.raw = std::move(fragment.raw);
+    response.hits.push_back(std::move(hit));
+  }
+  if (end < candidates.size()) {
+    response.next_cursor = EncodeCursor(PageCursor{end, fingerprint, epoch_});
+  }
+  return response;
+}
+
+}  // namespace xks

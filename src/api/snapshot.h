@@ -1,0 +1,127 @@
+// xks::Snapshot — an immutable, shareable view of the corpus at one epoch.
+//
+// A Snapshot is what Database::Search actually executes against: the set of
+// live documents (names + shredded stores, shared by reference) plus the
+// corpus-level statistics the ranked merge needs (word frequencies, total
+// postings, corpus_max_depth), stamped with the epoch and revision of the
+// catalog state it was published from. Snapshots are plain const data after
+// publication — no locks, no mutation — so
+//
+//  * any number of threads may Search one Snapshot concurrently,
+//  * a Search that is in flight (or a client paginating across requests)
+//    keeps its Snapshot alive via shared_ptr while the Database catalog
+//    mutates underneath it, and
+//  * a mutation never blocks on readers: the catalog publishes a fresh
+//    Snapshot and drops its reference to the old one, which dies with its
+//    last reader.
+//
+// Epoch semantics. Every published Snapshot carries a monotonically
+// increasing epoch (first Build() = 1, each AddDocument / RemoveDocument /
+// ReplaceDocument afterwards increments it). The epoch is folded into every
+// pagination cursor: replaying a cursor against a snapshot with a different
+// epoch fails with FailedPrecondition("corpus changed ..."), cleanly
+// distinguishing "the corpus state under your pagination is gone" from the
+// InvalidArgument a wrong-request (or same-epoch wrong-corpus) cursor
+// produces. To paginate consistently across mutations, pin one Snapshot
+// (Database::snapshot()) and keep issuing pages against it.
+
+#ifndef XKS_API_SNAPSHOT_H_
+#define XKS_API_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/api/search_types.h"
+#include "src/common/result.h"
+#include "src/storage/store.h"
+
+namespace xks {
+
+class Snapshot {
+ public:
+  /// Monotonic publication counter; 1 for the first Build().
+  uint64_t epoch() const { return epoch_; }
+
+  /// Hash of the corpus shape (surviving ids, names, table sizes), evolved
+  /// per mutation; folded into cursor fingerprints together with the epoch.
+  uint64_t revision() const { return revision_; }
+
+  /// Number of live documents in this view.
+  size_t document_count() const { return documents_.size(); }
+
+  /// Ids of the live documents, ascending. Ids are stable: removal
+  /// tombstones an id forever, it is never reassigned.
+  std::vector<DocumentId> document_ids() const;
+
+  /// Name of document `id`; NotFound for unknown or removed ids.
+  Result<std::string> document_name(DocumentId id) const;
+
+  /// Id of the live document named `name`; NotFound when absent.
+  Result<DocumentId> FindDocument(const std::string& name) const;
+
+  /// The underlying shredded document — internal building-block access for
+  /// benches and stage-level tooling. NotFound for unknown or removed ids.
+  /// The returned store is shared: it outlives both the Snapshot and any
+  /// subsequent catalog mutation.
+  Result<std::shared_ptr<const ShreddedStore>> store(DocumentId id) const;
+
+  /// Corpus-wide shred-time frequency of `word` across the live documents.
+  uint64_t WordFrequency(const std::string& word) const;
+
+  /// Distinct indexed words across the live documents.
+  size_t vocabulary_size() const { return frequency_.size(); }
+
+  /// Total postings across the live documents.
+  size_t total_postings() const { return total_postings_; }
+
+  /// Depth of the deepest element across the live documents — the shared
+  /// specificity normalizer that puts ranking scores from different
+  /// documents on one scale.
+  size_t corpus_max_depth() const { return corpus_max_depth_; }
+
+  /// Answers one request against this immutable view. Fails when the query
+  /// does not normalize to any usable keyword, the document selection names
+  /// an unknown/removed id or contains duplicates, the page window
+  /// overflows, or the cursor does not belong to this request
+  /// (InvalidArgument) / was minted at a different epoch
+  /// (FailedPrecondition).
+  Result<SearchResponse> Search(const SearchRequest& request) const;
+
+ private:
+  friend class Database;
+
+  /// One live document of the view.
+  struct Doc {
+    DocumentId id = 0;
+    std::string name;
+    std::shared_ptr<const ShreddedStore> store;
+  };
+
+  Snapshot() = default;
+
+  /// Index into documents_ for `id`; NotFound (with the canonical
+  /// "unknown document id" message) for unknown or removed ids.
+  Result<size_t> IndexOf(DocumentId id) const;
+
+  /// The single validation point for a request's document selection:
+  /// resolves ids to documents_ indices, rejecting unknown/removed ids
+  /// (NotFound) and duplicates (InvalidArgument) with explicit messages.
+  /// An empty request selection resolves to every live document.
+  Status ResolveSelection(const std::vector<DocumentId>& requested,
+                          std::vector<size_t>* selection) const;
+
+  std::vector<Doc> documents_;  ///< Live documents, ascending id.
+  std::unordered_map<std::string, DocumentId> by_name_;
+  std::unordered_map<std::string, uint64_t> frequency_;
+  size_t total_postings_ = 0;
+  size_t corpus_max_depth_ = 1;
+  uint64_t epoch_ = 0;
+  uint64_t revision_ = 0;
+};
+
+}  // namespace xks
+
+#endif  // XKS_API_SNAPSHOT_H_

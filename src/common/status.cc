@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
     case StatusCode::kInternal:
       return "Internal";
   }

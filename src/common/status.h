@@ -23,6 +23,7 @@ enum class StatusCode {
   kCorruption,
   kAlreadyExists,
   kUnsupported,
+  kFailedPrecondition,
   kInternal,
 };
 
@@ -68,6 +69,9 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

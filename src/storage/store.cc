@@ -1,5 +1,7 @@
 #include "src/storage/store.h"
 
+#include <algorithm>
+
 #include "src/common/io.h"
 #include "src/common/string_util.h"
 #include "src/storage/shredder.h"
@@ -68,6 +70,17 @@ Result<ContentId> ShreddedStore::ContentFeatureOf(const Dewey& dewey) const {
 
 uint64_t ShreddedStore::WordFrequency(const std::string& word) const {
   return tables_.values.Frequency(AsciiLower(word));
+}
+
+DocumentStats ShreddedStore::ComputeStats() const {
+  DocumentStats stats;
+  stats.word_frequencies = tables_.values.FrequencyTable();
+  stats.postings = index_.total_postings();
+  for (size_t i = 0; i < tables_.elements.size(); ++i) {
+    stats.max_depth =
+        std::max<size_t>(stats.max_depth, tables_.elements.row(i).level);
+  }
+  return stats;
 }
 
 void ShreddedStore::EncodeTo(std::string* dst) const {

@@ -14,6 +14,20 @@
 
 namespace xks {
 
+/// Per-document aggregate statistics, extracted once per store and merged /
+/// unmerged into corpus-level aggregates by the catalog (src/api/database.h).
+/// Keeping these per document is what makes corpus mutations O(changed doc):
+/// adding or removing a document only touches its own word list, posting
+/// count and depth — never the other documents' tables.
+struct DocumentStats {
+  /// (word, shred-time frequency), sorted by word.
+  std::vector<std::pair<std::string, uint64_t>> word_frequencies;
+  /// Total postings of the document's inverted index.
+  size_t postings = 0;
+  /// Depth of the document's deepest element (>= 1).
+  size_t max_depth = 1;
+};
+
 /// Bundles the three shredded tables with the inverted index built over the
 /// value table, plus binary persistence. This is the complete query-time
 /// substrate: given a keyword query, the store produces the sorted keyword
@@ -55,6 +69,11 @@ class ShreddedStore {
 
   /// Shred-time frequency of `word`.
   uint64_t WordFrequency(const std::string& word) const;
+
+  /// Extracts the document-level aggregates (word frequencies, posting
+  /// count, deepest element). O(document); called once per catalog mutation
+  /// on the changed document only.
+  DocumentStats ComputeStats() const;
 
   /// Serializes the store to `path` / restores it. The format is the
   /// library's own compact binary layout (magic "XKS1").

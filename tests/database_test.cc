@@ -57,9 +57,13 @@ TEST(DatabaseTest, SearchRequiresBuild) {
   EXPECT_FALSE(db.Search(Unranked("word")).ok());
   ASSERT_TRUE(db.Build().ok());
   EXPECT_TRUE(db.Search(Unranked("word")).ok());
-  // Adding another document invalidates the build.
+  // Adding another document after Build() does NOT invalidate the corpus:
+  // a new snapshot is published and the document is searchable immediately.
   ASSERT_TRUE(db.AddDocumentXml("b", "<r>word</r>").ok());
-  EXPECT_FALSE(db.Search(Unranked("word")).ok());
+  Result<SearchResponse> response = db.Search(Unranked("word"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->hits.size(), 2u);
+  EXPECT_TRUE(db.built());
 }
 
 TEST(DatabaseTest, BuildFailsOnEmptyCorpus) {
@@ -366,8 +370,8 @@ TEST(DatabaseTest, EncodeDecodeRoundTrip) {
   Result<Database> restored = Database::DecodeFrom(buffer);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ(restored->document_count(), 3u);
-  EXPECT_EQ(restored->document_name(0), "a");
-  EXPECT_EQ(restored->document_name(2), "c");
+  EXPECT_EQ(*restored->document_name(0), "a");
+  EXPECT_EQ(*restored->document_name(2), "c");
   EXPECT_TRUE(restored->built());
 
   Result<SearchResponse> before = db.Search(Unranked("keyword"));
@@ -406,7 +410,7 @@ TEST(DatabaseTest, LoadsLegacySingleDocumentStore) {
   Result<Database> loaded = Database::Load(path, "legacy");
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->document_count(), 1u);
-  EXPECT_EQ(loaded->document_name(0), "legacy");
+  EXPECT_EQ(*loaded->document_name(0), "legacy");
   Result<SearchResponse> response = loaded->Search(Unranked("keyword"));
   ASSERT_TRUE(response.ok());
   ASSERT_EQ(response->hits.size(), 1u);
@@ -445,14 +449,90 @@ TEST(DatabaseTest, TermsTakePrecedenceOverQueryText) {
   EXPECT_EQ(response->hits[0].document_name, "b");
 }
 
+TEST(DatabaseTest, DocumentAccessorsAreBoundsChecked) {
+  // Out-of-range ids used to index documents_ unchecked (UB); both
+  // accessors now answer NotFound instead.
+  Database db = MakeCorpus();
+  EXPECT_TRUE(db.document_name(0).ok());
+  EXPECT_TRUE(db.store(2).ok());
+
+  Result<std::string> name = db.document_name(99);
+  EXPECT_EQ(name.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(name.status().message().find("unknown document id 99"),
+            std::string::npos);
+  EXPECT_EQ(db.store(99).status().code(), StatusCode::kNotFound);
+
+  // Removed ids answer NotFound too, from both the catalog and its
+  // snapshot.
+  ASSERT_TRUE(db.RemoveDocument(*db.FindDocument("b")).ok());
+  EXPECT_EQ(db.document_name(1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.store(1).status().code(), StatusCode::kNotFound);
+  std::shared_ptr<const Snapshot> snapshot = db.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->document_name(1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(snapshot->store(1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(*snapshot->document_name(2), "c");
+}
+
+TEST(DatabaseTest, RejectsDuplicateDocumentIdsInSelection) {
+  Database db = MakeCorpus();
+  SearchRequest request = Unranked("keyword");
+  DocumentId a = *db.FindDocument("a");
+  request.documents = {a, *db.FindDocument("b"), a};
+  Result<SearchResponse> response = db.Search(request);
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(response.status().message().find("duplicate document id"),
+            std::string::npos);
+}
+
+TEST(DatabaseTest, UnknownSelectionIdsReportTheOffendingId) {
+  Database db = MakeCorpus();
+  SearchRequest request = Unranked("keyword");
+  request.documents = {0, 42};
+  Result<SearchResponse> response = db.Search(request);
+  EXPECT_EQ(response.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(response.status().message().find("unknown document id 42"),
+            std::string::npos);
+}
+
+TEST(DatabaseTest, RejectsOverflowingPageWindows) {
+  Database db = MakeCorpus();
+  // Mint a legitimate cursor, then forge its offset to the top of the
+  // range: offset + top_k + 1 would wrap, so the request is rejected
+  // instead of degrading into a misaligned scan.
+  SearchRequest request = Unranked("keyword", /*top_k=*/2);
+  Result<SearchResponse> page = db.Search(request);
+  ASSERT_TRUE(page.ok());
+  ASSERT_FALSE(page->next_cursor.empty());
+  Result<PageCursor> decoded = DecodeCursor(page->next_cursor);
+  ASSERT_TRUE(decoded.ok());
+
+  PageCursor forged = *decoded;
+  forged.offset = UINT64_MAX - 1;
+  request.cursor = EncodeCursor(forged);
+  Result<SearchResponse> overflowed = db.Search(request);
+  EXPECT_EQ(overflowed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(overflowed.status().message().find("page window overflows"),
+            std::string::npos);
+
+  // A top_k of SIZE_MAX cannot fit its look-ahead probe either.
+  SearchRequest huge = Unranked("keyword", /*top_k=*/SIZE_MAX);
+  Result<SearchResponse> rejected = db.Search(huge);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("page window overflows"),
+            std::string::npos);
+}
+
 TEST(CursorTest, EncodeDecodeRoundTrip) {
   PageCursor cursor;
   cursor.offset = 12345;
   cursor.fingerprint = 0xdeadbeefcafef00dull;
+  cursor.epoch = 42;
   Result<PageCursor> decoded = DecodeCursor(EncodeCursor(cursor));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->offset, cursor.offset);
   EXPECT_EQ(decoded->fingerprint, cursor.fingerprint);
+  EXPECT_EQ(decoded->epoch, cursor.epoch);
 }
 
 TEST(CursorTest, AcceptsUppercaseAndMixedCaseHex) {
@@ -461,6 +541,7 @@ TEST(CursorTest, AcceptsUppercaseAndMixedCaseHex) {
   PageCursor cursor;
   cursor.offset = 0xabc;
   cursor.fingerprint = 0xdeadbeefcafef00dull;
+  cursor.epoch = 0x2f;
   std::string token = EncodeCursor(cursor);
   // Encode stays lowercase...
   EXPECT_EQ(token.find_first_of("ABCDEF"), std::string::npos);
@@ -468,35 +549,48 @@ TEST(CursorTest, AcceptsUppercaseAndMixedCaseHex) {
   // ...but decode takes uppercase and mixed case.
   std::string upper = token;
   for (char& c : upper) c = static_cast<char>(std::toupper(c));
-  upper.replace(0, 5, "xksc1");  // only the hex body is case-insensitive
+  upper.replace(0, 5, "xksc2");  // only the hex body is case-insensitive
   Result<PageCursor> from_upper = DecodeCursor(upper);
   ASSERT_TRUE(from_upper.ok()) << from_upper.status().ToString();
   EXPECT_EQ(from_upper->offset, cursor.offset);
   EXPECT_EQ(from_upper->fingerprint, cursor.fingerprint);
+  EXPECT_EQ(from_upper->epoch, cursor.epoch);
 
-  Result<PageCursor> mixed = DecodeCursor("xksc1:DeadBEEFcafeF00d:aBc");
+  Result<PageCursor> mixed = DecodeCursor("xksc2:DeadBEEFcafeF00d:aBc:2F");
   ASSERT_TRUE(mixed.ok());
   EXPECT_EQ(mixed->offset, cursor.offset);
   EXPECT_EQ(mixed->fingerprint, cursor.fingerprint);
+  EXPECT_EQ(mixed->epoch, cursor.epoch);
 }
 
 TEST(CursorTest, UppercasePrefixIsStillRejected) {
   // Only the hex segments are case-insensitive; the scheme tag is exact.
-  EXPECT_FALSE(DecodeCursor("XKSC1:1:2").ok());
+  EXPECT_FALSE(DecodeCursor("XKSC2:1:2:3").ok());
+}
+
+TEST(CursorTest, RejectsLegacyPreEpochScheme) {
+  // xksc1 cursors predate epochs; they carry no epoch to validate against,
+  // so they are rejected with a message telling the client to re-search.
+  Result<PageCursor> legacy = DecodeCursor("xksc1:deadbeef:2");
+  EXPECT_EQ(legacy.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(legacy.status().message().find("legacy"), std::string::npos);
 }
 
 TEST(CursorTest, RejectsMalformedTokens) {
   EXPECT_FALSE(DecodeCursor("").ok());
-  EXPECT_FALSE(DecodeCursor("xksc1:").ok());          // empty both segments
-  EXPECT_FALSE(DecodeCursor("xksc1:12").ok());        // no separator
-  EXPECT_FALSE(DecodeCursor("xksc1:zz:1").ok());      // non-hex
-  EXPECT_FALSE(DecodeCursor("xksc1:GG:1").ok());      // non-hex, uppercase
-  EXPECT_FALSE(DecodeCursor("xksc1:1:").ok());        // empty offset segment
-  EXPECT_FALSE(DecodeCursor("xksc1::1").ok());        // empty fingerprint
-  EXPECT_FALSE(DecodeCursor("other:1:2").ok());
+  EXPECT_FALSE(DecodeCursor("xksc2:").ok());          // empty all segments
+  EXPECT_FALSE(DecodeCursor("xksc2:12").ok());        // no separator
+  EXPECT_FALSE(DecodeCursor("xksc2:1:2").ok());       // missing epoch segment
+  EXPECT_FALSE(DecodeCursor("xksc2:zz:1:1").ok());    // non-hex
+  EXPECT_FALSE(DecodeCursor("xksc2:GG:1:1").ok());    // non-hex, uppercase
+  EXPECT_FALSE(DecodeCursor("xksc2:1::1").ok());      // empty offset segment
+  EXPECT_FALSE(DecodeCursor("xksc2::1:1").ok());      // empty fingerprint
+  EXPECT_FALSE(DecodeCursor("xksc2:1:1:").ok());      // empty epoch segment
+  EXPECT_FALSE(DecodeCursor("other:1:2:3").ok());
   // Overlong: 17 hex digits exceed 64 bits, lowercase or not.
-  EXPECT_FALSE(DecodeCursor("xksc1:11111111111111111:2").ok());
-  EXPECT_FALSE(DecodeCursor("xksc1:1:AAAAAAAAAAAAAAAAA").ok());
+  EXPECT_FALSE(DecodeCursor("xksc2:11111111111111111:2:1").ok());
+  EXPECT_FALSE(DecodeCursor("xksc2:1:AAAAAAAAAAAAAAAAA:1").ok());
+  EXPECT_FALSE(DecodeCursor("xksc2:1:2:11111111111111111").ok());
 }
 
 }  // namespace

@@ -188,7 +188,9 @@ TEST_F(XmarkIntegrationTest, WholeWorkloadRunsOnBothConfigurations) {
 
 TEST_F(XmarkIntegrationTest, ElcaAlgorithmsAgreeOnRealWorkload) {
   // Stage-level cross-check on the store building block (internal API).
-  const ShreddedStore& store = db_->store(0);
+  Result<std::shared_ptr<const ShreddedStore>> shared = db_->store(0);
+  ASSERT_TRUE(shared.ok());
+  const ShreddedStore& store = **shared;
   for (const WorkloadQuery& wq : XmarkWorkload()) {
     if (wq.keywords.size() > 4) continue;  // keep brute force tractable
     KeywordQuery query = *KeywordQuery::FromKeywords(wq.keywords);

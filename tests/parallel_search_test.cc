@@ -176,6 +176,28 @@ TEST(ParallelSearchTest, CursorsCrossParallelismBoundaries) {
   ExpectSameResponse(*serial_second, *parallel_second, "cross-parallelism");
 }
 
+TEST(ParallelSearchTest, MutatedCorpusWalksAreIdentical) {
+  // The serial/parallel equivalence contract must survive the snapshot
+  // lifecycle: after removals (tombstoned ids), replacements and
+  // post-Build adds, responses stay byte-identical at every parallelism.
+  Database db = MakeUnevenCorpus();
+  ASSERT_TRUE(db.RemoveDocument("doc3").ok());
+  ASSERT_TRUE(db.RemoveDocument("doc7").ok());
+  ASSERT_TRUE(db
+                  .ReplaceDocumentXml(
+                      "doc5", "<lib><book><title>keyword rewritten</title>"
+                              "</book></lib>")
+                  .ok());
+  ASSERT_TRUE(db.AddDocumentXml(
+                    "late", "<lib><shelf><book><title>keyword late add"
+                            "</title></book></shelf></lib>")
+                  .ok());
+  ExpectEquivalentWalks(db, BaseRequest(/*rank=*/true, /*top_k=*/3),
+                        "mutated ranked,k=3");
+  ExpectEquivalentWalks(db, BaseRequest(/*rank=*/false, /*top_k=*/2),
+                        "mutated unranked,k=2");
+}
+
 TEST(ParallelSearchTest, ConcurrentSearchesShareOneDatabase) {
   // Search is const: hammer one Database from many threads (each itself
   // fanning out) and spot-check against the serial answer. Under TSan this

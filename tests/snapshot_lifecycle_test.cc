@@ -1,0 +1,435 @@
+// Snapshot-based corpus lifecycle: incremental AddDocument / RemoveDocument /
+// ReplaceDocument after Build(), epoch-tagged cursors (FailedPrecondition on
+// post-mutation replay), pinned-snapshot isolation, Save/Load round trips
+// after mutations (XKS3 tombstones + epoch/revision), and concurrent
+// Search-while-mutate hammering (the TSan certificate for the
+// publish-and-swap design).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/cursor.h"
+#include "src/api/database.h"
+#include "src/common/string_util.h"
+
+namespace xks {
+namespace {
+
+SearchRequest Unranked(const std::string& query, size_t top_k = 0) {
+  SearchRequest request;
+  request.query = query;
+  request.top_k = top_k;
+  request.rank = false;
+  return request;
+}
+
+/// Four small documents; every title matches "keyword".
+Database MakeCorpus() {
+  Database db;
+  EXPECT_TRUE(db.AddDocumentXml(
+                    "a", "<lib><book><title>xml keyword search</title></book>"
+                         "<book><title>keyword proximity</title></book></lib>")
+                  .ok());
+  EXPECT_TRUE(db.AddDocumentXml(
+                    "b", "<lib><paper><title>keyword ranking</title></paper></lib>")
+                  .ok());
+  EXPECT_TRUE(db.AddDocumentXml(
+                    "c", "<lib><paper><title>skyline keyword query</title>"
+                         "</paper></lib>")
+                  .ok());
+  EXPECT_TRUE(db.AddDocumentXml(
+                    "d", "<lib><book><title>fragment keyword pruning</title>"
+                         "</book></lib>")
+                  .ok());
+  EXPECT_TRUE(db.Build().ok());
+  return db;
+}
+
+std::vector<std::string> HitDocNames(const SearchResponse& response) {
+  std::vector<std::string> names;
+  for (const Hit& hit : response.hits) names.push_back(hit.document_name);
+  return names;
+}
+
+TEST(SnapshotLifecycleTest, AddAfterBuildIsSearchableImmediately) {
+  Database db = MakeCorpus();
+  EXPECT_EQ(db.epoch(), 1u);
+  Result<DocumentId> added = db.AddDocumentXml(
+      "e", "<lib><book><title>incremental keyword add</title></book></lib>");
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(*added, 4u);
+  EXPECT_TRUE(db.built());
+  EXPECT_EQ(db.epoch(), 2u);
+  EXPECT_EQ(db.document_count(), 5u);
+
+  Result<SearchResponse> response = db.Search(Unranked("keyword"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->epoch, 2u);
+  std::vector<std::string> names = HitDocNames(*response);
+  EXPECT_NE(std::find(names.begin(), names.end(), "e"), names.end());
+}
+
+TEST(SnapshotLifecycleTest, RemoveHidesHitsAndTombstonesTheId) {
+  Database db = MakeCorpus();
+  DocumentId b = *db.FindDocument("b");
+  ASSERT_TRUE(db.RemoveDocument(b).ok());
+  EXPECT_EQ(db.epoch(), 2u);
+  EXPECT_EQ(db.document_count(), 3u);
+
+  // The removed document's hits are gone; the survivors keep their ids.
+  Result<SearchResponse> response = db.Search(Unranked("keyword"));
+  ASSERT_TRUE(response.ok());
+  std::vector<std::string> names = HitDocNames(*response);
+  EXPECT_EQ(std::find(names.begin(), names.end(), "b"), names.end());
+  EXPECT_EQ(*db.FindDocument("c"), 2u);
+  EXPECT_EQ(*db.FindDocument("d"), 3u);
+
+  // The id is tombstoned, not recycled: a new document gets a fresh id even
+  // though it reuses the freed name.
+  Result<DocumentId> reborn =
+      db.AddDocumentXml("b", "<lib><t>keyword reborn</t></lib>");
+  ASSERT_TRUE(reborn.ok());
+  EXPECT_EQ(*reborn, 4u);
+
+  // Removing twice (or removing an unknown name) fails cleanly.
+  EXPECT_EQ(db.RemoveDocument(b).code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.RemoveDocument("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotLifecycleTest, ReplaceKeepsIdAndName) {
+  Database db = MakeCorpus();
+  DocumentId c = *db.FindDocument("c");
+  Result<DocumentId> replaced = db.ReplaceDocumentXml(
+      "c", "<lib><paper><title>replacement keyword content</title></paper>"
+           "</lib>");
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(*replaced, c);
+  EXPECT_EQ(db.epoch(), 2u);
+  EXPECT_EQ(db.document_count(), 4u);
+  EXPECT_EQ(*db.FindDocument("c"), c);
+
+  // Old content is gone, new content is live.
+  EXPECT_EQ(db.WordFrequency("skyline"), 0u);
+  EXPECT_EQ(db.WordFrequency("replacement"), 1u);
+  Result<SearchResponse> response = db.Search(Unranked("replacement"));
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->hits.size(), 1u);
+  EXPECT_EQ(response->hits[0].document, c);
+
+  EXPECT_EQ(db.ReplaceDocumentXml("ghost", "<r>x</r>").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SnapshotLifecycleTest, IncrementalStatsMatchAFreshBuild) {
+  // Drive the catalog through adds, removes and replaces, then rebuild the
+  // same final corpus from scratch: every corpus aggregate must agree —
+  // the merge/unmerge arithmetic cannot drift from the one-shot Build().
+  Database db = MakeCorpus();
+  ASSERT_TRUE(db.AddDocumentXml(
+                    "e", "<lib><deep><deeper><deepest><t>rare keyword</t>"
+                         "</deepest></deeper></deep></lib>")
+                  .ok());
+  ASSERT_TRUE(db.RemoveDocument("a").ok());
+  ASSERT_TRUE(db
+                  .ReplaceDocumentXml(
+                      "b", "<lib><paper><title>rewritten keyword set</title>"
+                           "</paper></lib>")
+                  .ok());
+  ASSERT_TRUE(db.RemoveDocument("e").ok());  // the deep doc leaves again
+
+  Database fresh;
+  ASSERT_TRUE(fresh
+                  .AddDocumentXml(
+                      "b", "<lib><paper><title>rewritten keyword set</title>"
+                           "</paper></lib>")
+                  .ok());
+  ASSERT_TRUE(fresh.AddDocumentXml(
+                       "c", "<lib><paper><title>skyline keyword query</title>"
+                            "</paper></lib>")
+                  .ok());
+  ASSERT_TRUE(fresh.AddDocumentXml(
+                       "d", "<lib><book><title>fragment keyword pruning</title>"
+                            "</book></lib>")
+                  .ok());
+  ASSERT_TRUE(fresh.Build().ok());
+
+  EXPECT_EQ(db.document_count(), fresh.document_count());
+  EXPECT_EQ(db.vocabulary_size(), fresh.vocabulary_size());
+  EXPECT_EQ(db.total_postings(), fresh.total_postings());
+  EXPECT_EQ(db.corpus_max_depth(), fresh.corpus_max_depth());
+  for (const char* word : {"keyword", "skyline", "rewritten", "rare", "xml",
+                           "proximity", "fragment"}) {
+    EXPECT_EQ(db.WordFrequency(word), fresh.WordFrequency(word)) << word;
+  }
+
+  // And the removed deep document's depth no longer dominates the census.
+  EXPECT_LT(db.corpus_max_depth(), 5u);
+}
+
+TEST(SnapshotLifecycleTest, StaleCursorFailsWithFailedPrecondition) {
+  Database db = MakeCorpus();
+  Result<SearchResponse> page = db.Search(Unranked("keyword", /*top_k=*/2));
+  ASSERT_TRUE(page.ok());
+  ASSERT_FALSE(page->next_cursor.empty());
+  EXPECT_EQ(page->epoch, 1u);
+
+  // Mutate: the catalog moves to epoch 2, the cursor was minted at epoch 1.
+  ASSERT_TRUE(db.RemoveDocument("d").ok());
+  SearchRequest replay = Unranked("keyword", /*top_k=*/2);
+  replay.cursor = page->next_cursor;
+  Result<SearchResponse> stale = db.Search(replay);
+  EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(stale.status().message().find("corpus changed"), std::string::npos);
+
+  // A fresh first page works fine and mints an epoch-2 cursor.
+  Result<SearchResponse> restarted = db.Search(Unranked("keyword", /*top_k=*/2));
+  ASSERT_TRUE(restarted.ok());
+  EXPECT_EQ(restarted->epoch, 2u);
+}
+
+TEST(SnapshotLifecycleTest, EveryMutationKindInvalidatesCursors) {
+  for (int kind = 0; kind < 3; ++kind) {
+    Database db = MakeCorpus();
+    Result<SearchResponse> page = db.Search(Unranked("keyword", /*top_k=*/2));
+    ASSERT_TRUE(page.ok());
+    ASSERT_FALSE(page->next_cursor.empty());
+    switch (kind) {
+      case 0:
+        ASSERT_TRUE(db.AddDocumentXml("x", "<r>keyword</r>").ok());
+        break;
+      case 1:
+        ASSERT_TRUE(db.RemoveDocument("a").ok());
+        break;
+      case 2:
+        ASSERT_TRUE(db.ReplaceDocumentXml("a", "<r>keyword</r>").ok());
+        break;
+    }
+    SearchRequest replay = Unranked("keyword", /*top_k=*/2);
+    replay.cursor = page->next_cursor;
+    EXPECT_EQ(db.Search(replay).status().code(),
+              StatusCode::kFailedPrecondition)
+        << "mutation kind " << kind;
+  }
+}
+
+TEST(SnapshotLifecycleTest, PinnedSnapshotOutlivesMutations) {
+  Database db = MakeCorpus();
+  std::shared_ptr<const Snapshot> pinned = db.snapshot();
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->epoch(), 1u);
+
+  Result<SearchResponse> before = pinned->Search(Unranked("keyword"));
+  ASSERT_TRUE(before.ok());
+
+  // Mutate the catalog heavily; the pinned view must not move.
+  ASSERT_TRUE(db.RemoveDocument("a").ok());
+  ASSERT_TRUE(db.ReplaceDocumentXml("b", "<r>other words</r>").ok());
+  ASSERT_TRUE(db.AddDocumentXml("z", "<r>keyword keyword</r>").ok());
+  EXPECT_EQ(db.epoch(), 4u);
+
+  EXPECT_EQ(pinned->epoch(), 1u);
+  EXPECT_EQ(pinned->document_count(), 4u);
+  Result<SearchResponse> after = pinned->Search(Unranked("keyword"));
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->hits.size(), before->hits.size());
+  for (size_t i = 0; i < after->hits.size(); ++i) {
+    EXPECT_EQ(after->hits[i].document, before->hits[i].document);
+    EXPECT_EQ(after->hits[i].fragment.NodeSet(),
+              before->hits[i].fragment.NodeSet());
+  }
+
+  // Cursors minted from the pinned snapshot keep paginating against it —
+  // even though the catalog has long moved on.
+  Result<SearchResponse> page = pinned->Search(Unranked("keyword", /*top_k=*/1));
+  ASSERT_TRUE(page.ok());
+  ASSERT_FALSE(page->next_cursor.empty());
+  SearchRequest next = Unranked("keyword", /*top_k=*/1);
+  next.cursor = page->next_cursor;
+  EXPECT_TRUE(pinned->Search(next).ok());
+  EXPECT_EQ(db.Search(next).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotLifecycleTest, SaveLoadAfterMutationsPreservesIdsEpochAndPages) {
+  Database db = MakeCorpus();
+  ASSERT_TRUE(db.RemoveDocument("b").ok());
+  ASSERT_TRUE(db
+                  .ReplaceDocumentXml(
+                      "c", "<lib><paper><title>replaced keyword body</title>"
+                           "</paper></lib>")
+                  .ok());
+  ASSERT_TRUE(db.AddDocumentXml("e", "<lib><t>keyword tail</t></lib>").ok());
+  EXPECT_EQ(db.epoch(), 4u);
+
+  // Mint a cursor before the round trip.
+  Result<SearchResponse> page = db.Search(Unranked("keyword", /*top_k=*/2));
+  ASSERT_TRUE(page.ok());
+  ASSERT_FALSE(page->next_cursor.empty());
+
+  std::string path = ::testing::TempDir() + "/xks_snapshot_lifecycle.db";
+  ASSERT_TRUE(db.Save(path).ok());
+  Result<Database> loaded = Database::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+
+  // Epoch, live set and surviving ids all round-trip; the tombstoned id
+  // stays dead.
+  EXPECT_EQ(loaded->epoch(), 4u);
+  EXPECT_EQ(loaded->document_count(), 4u);
+  EXPECT_EQ(*loaded->FindDocument("a"), *db.FindDocument("a"));
+  EXPECT_EQ(*loaded->FindDocument("c"), *db.FindDocument("c"));
+  EXPECT_EQ(*loaded->FindDocument("d"), *db.FindDocument("d"));
+  EXPECT_EQ(*loaded->FindDocument("e"), *db.FindDocument("e"));
+  EXPECT_EQ(loaded->document_name(1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(loaded->WordFrequency("keyword"), db.WordFrequency("keyword"));
+
+  // Byte-identical responses, including the cursor chain: a cursor minted
+  // before Save keeps working after Load (same epoch, same revision).
+  Result<SearchResponse> reloaded_page =
+      loaded->Search(Unranked("keyword", /*top_k=*/2));
+  ASSERT_TRUE(reloaded_page.ok());
+  EXPECT_EQ(reloaded_page->next_cursor, page->next_cursor);
+  EXPECT_EQ(reloaded_page->total_hits, page->total_hits);
+  ASSERT_EQ(reloaded_page->hits.size(), page->hits.size());
+  for (size_t i = 0; i < page->hits.size(); ++i) {
+    EXPECT_EQ(reloaded_page->hits[i].document, page->hits[i].document);
+    EXPECT_EQ(reloaded_page->hits[i].document_name,
+              page->hits[i].document_name);
+    EXPECT_EQ(reloaded_page->hits[i].snippet, page->hits[i].snippet);
+    EXPECT_EQ(reloaded_page->hits[i].fragment.NodeSet(),
+              page->hits[i].fragment.NodeSet());
+  }
+  SearchRequest continued = Unranked("keyword", /*top_k=*/2);
+  continued.cursor = page->next_cursor;
+  Result<SearchResponse> second = loaded->Search(continued);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  // A post-load mutation still epoch-bumps from the restored epoch.
+  ASSERT_TRUE(loaded->RemoveDocument("e").ok());
+  EXPECT_EQ(loaded->epoch(), 5u);
+}
+
+TEST(SnapshotLifecycleTest, EncodeDecodePreservesTombstonesInMemory) {
+  Database db = MakeCorpus();
+  ASSERT_TRUE(db.RemoveDocument("a").ok());
+  std::string buffer;
+  db.EncodeTo(&buffer);
+  // Corrupted prefixes fail cleanly, never crash.
+  for (size_t cut = 0; cut < buffer.size(); cut += 7) {
+    EXPECT_FALSE(Database::DecodeFrom(buffer.substr(0, cut)).ok())
+        << "cut=" << cut;
+  }
+  Result<Database> decoded = Database::DecodeFrom(buffer);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->document_count(), 3u);
+  EXPECT_EQ(decoded->document_name(0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(*decoded->document_name(1), "b");
+}
+
+TEST(SnapshotLifecycleTest, RemovalToEmptyCorpusStaysServable) {
+  Database db;
+  ASSERT_TRUE(db.AddDocumentXml("only", "<r>keyword</r>").ok());
+  ASSERT_TRUE(db.Build().ok());
+  ASSERT_TRUE(db.RemoveDocument("only").ok());
+  EXPECT_EQ(db.document_count(), 0u);
+  EXPECT_TRUE(db.built());
+  Result<SearchResponse> response = db.Search(Unranked("keyword"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->hits.empty());
+  EXPECT_EQ(response->total_hits, 0u);
+  EXPECT_TRUE(response->total_is_exact);
+
+  // The all-tombstone corpus round-trips: it loads back built, at the same
+  // epoch, still serving empty pages.
+  std::string buffer;
+  db.EncodeTo(&buffer);
+  Result<Database> loaded = Database::DecodeFrom(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->built());
+  EXPECT_EQ(loaded->epoch(), db.epoch());
+  EXPECT_EQ(loaded->document_count(), 0u);
+  Result<SearchResponse> reloaded = loaded->Search(Unranked("keyword"));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded->hits.empty());
+}
+
+TEST(SnapshotLifecycleTest, ConcurrentSearchAndMutateIsSafe) {
+  // The Search-while-mutate hammer: reader threads page through the corpus
+  // while the main thread adds, replaces and removes documents. Every
+  // response must be internally consistent (a page of some published
+  // snapshot); cursor replays may fail, but only with the two sanctioned
+  // rejections. Under TSan this is the no-data-races certificate for the
+  // snapshot publish-and-swap.
+  Database db = MakeCorpus();
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&db, &stop, &violations] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // One-shot searches against the live catalog.
+        SearchRequest request = Unranked("keyword", /*top_k=*/2);
+        request.max_parallelism = 2;
+        Result<SearchResponse> page = db.Search(request);
+        if (!page.ok()) {
+          violations.fetch_add(1);
+          continue;
+        }
+        // Replaying the cursor races with the mutator: success and
+        // FailedPrecondition are both legal, anything else is a bug.
+        if (!page->next_cursor.empty()) {
+          SearchRequest next = request;
+          next.cursor = page->next_cursor;
+          Result<SearchResponse> replay = db.Search(next);
+          if (!replay.ok() && replay.status().code() !=
+                                  StatusCode::kFailedPrecondition) {
+            violations.fetch_add(1);
+          }
+        }
+        // Pinned-snapshot pagination must always run to completion.
+        std::shared_ptr<const Snapshot> pinned = db.snapshot();
+        std::string cursor;
+        for (int hop = 0; hop < 8; ++hop) {
+          SearchRequest paged = Unranked("keyword", /*top_k=*/1);
+          paged.cursor = cursor;
+          Result<SearchResponse> fixed = pinned->Search(paged);
+          if (!fixed.ok()) {
+            violations.fetch_add(1);
+            break;
+          }
+          cursor = fixed->next_cursor;
+          if (cursor.empty()) break;
+        }
+      }
+    });
+  }
+
+  for (int round = 0; round < 30; ++round) {
+    const std::string name = "extra" + std::to_string(round);
+    Result<DocumentId> added = db.AddDocumentXml(
+        name, StrFormat("<r><t>keyword round %d</t></r>", round));
+    if (!added.ok()) violations.fetch_add(1);
+    if (round % 3 == 0) {
+      if (!db.ReplaceDocumentXml(name, "<r><t>keyword swapped</t></r>").ok()) {
+        violations.fetch_add(1);
+      }
+    }
+    if (round % 2 == 0) {
+      if (!db.RemoveDocument(name).ok()) violations.fetch_add(1);
+    }
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(db.epoch(), 1u + 30u + 10u + 15u);  // build + adds + replaces + removes
+}
+
+}  // namespace
+}  // namespace xks

@@ -24,6 +24,8 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::Corruption("c").code(), StatusCode::kCorruption);
   EXPECT_EQ(Status::AlreadyExists("a").code(), StatusCode::kAlreadyExists);
   EXPECT_EQ(Status::Unsupported("u").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::FailedPrecondition("f").code(),
+            StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
 }
@@ -43,6 +45,8 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
   EXPECT_EQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
+            "FailedPrecondition");
 }
 
 Status Fails() { return Status::IoError("disk"); }
