@@ -121,6 +121,9 @@ void BM_CorpusSearchTopK(benchmark::State& state) {
   SearchRequest request = SearchRequest::ValidRtf("xml keyword");
   request.top_k = static_cast<size_t>(state.range(0));
   request.include_snippets = false;
+  // Measures the uncached end-to-end search; the cached path has its own
+  // micro (bench/micro_result_cache.cc).
+  request.use_cache = false;
   for (auto _ : state) {
     benchmark::DoNotOptimize(db.Search(request));
   }

@@ -1,0 +1,177 @@
+// Result-cache micro: the same repeated-workload search measured four ways.
+//
+//   * disabled — request.use_cache = false: the pre-cache baseline.
+//   * cold     — a fresh (empty) cache per measurement: the fill path, i.e.
+//     baseline plus key construction + insertion overhead.
+//   * warm     — every document served from the cache: the payoff path.
+//     The acceptance target is warm ≥ 5x faster than cold on a repeated
+//     query workload.
+//   * eviction pressure — a byte budget far below the working set, so every
+//     search probes, misses, fills and evicts: the worst case, which must
+//     degrade toward the disabled numbers instead of falling off a cliff.
+//
+// The corpus matches bench/micro_parallel_scan (12 generated DBLP shards)
+// so cached vs uncached numbers can be read against the scan numbers.
+// Wall-clock (real) time, like the other corpus-level micros: the cache's
+// point is latency.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/api/database.h"
+#include "src/datagen/dblp_gen.h"
+#include "src/datagen/workloads.h"
+
+namespace xks {
+namespace {
+
+constexpr int kDocuments = 12;
+constexpr double kScalePerDocument = 0.02;  // ~9.2k records per shard
+
+Database MakeCorpus() {
+  Database db;
+  for (int d = 0; d < kDocuments; ++d) {
+    DblpOptions options;
+    options.seed = 1000 + static_cast<uint64_t>(d);
+    options.scale = kScalePerDocument;
+    Result<DocumentId> added =
+        db.AddDocument("dblp-" + std::to_string(d), GenerateDblp(options));
+    if (!added.ok()) std::abort();
+  }
+  if (!db.Build().ok()) std::abort();
+  return db;
+}
+
+const Database& SharedCorpus() {
+  static const Database* corpus = new Database(MakeCorpus());
+  return *corpus;
+}
+
+/// The repeated workload: every DBLP workload query as a ranked top-10
+/// request (the production shape — ranked, paged, snippets off).
+std::vector<SearchRequest> Workload() {
+  std::vector<SearchRequest> requests;
+  for (const WorkloadQuery& wq : DblpWorkload()) {
+    SearchRequest request;
+    request.terms.reserve(wq.keywords.size());
+    for (const std::string& keyword : wq.keywords) {
+      request.terms.push_back(QueryTerm{keyword, ""});
+    }
+    request.rank = true;
+    request.top_k = 10;
+    request.include_snippets = false;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+void RunWorkloadOnce(const Database& db, std::vector<SearchRequest>& requests,
+                     benchmark::State& state) {
+  for (SearchRequest& request : requests) {
+    Result<SearchResponse> response = db.Search(request);
+    if (!response.ok()) {
+      state.SkipWithError(response.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(response);
+  }
+}
+
+/// One pass over the whole workload with the cache bypassed.
+void BM_WorkloadDisabled(benchmark::State& state) {
+  const Database& db = SharedCorpus();
+  std::vector<SearchRequest> requests = Workload();
+  for (SearchRequest& request : requests) request.use_cache = false;
+  for (auto _ : state) RunWorkloadOnce(db, requests, state);
+  state.counters["queries"] = static_cast<double>(requests.size());
+}
+BENCHMARK(BM_WorkloadDisabled)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// One pass over the whole workload against an empty cache: every search
+/// fills. The republish that empties the cache runs outside the timer.
+void BM_WorkloadCold(benchmark::State& state) {
+  Database db = MakeCorpus();
+  std::vector<SearchRequest> requests = Workload();
+  for (auto _ : state) {
+    state.PauseTiming();
+    db.set_cache_config(CacheConfig{});  // fresh, empty cache
+    state.ResumeTiming();
+    RunWorkloadOnce(db, requests, state);
+  }
+  state.counters["queries"] = static_cast<double>(requests.size());
+}
+BENCHMARK(BM_WorkloadCold)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// One pass over the whole workload with every entry already resident —
+/// the repeated-workload payoff. Target: ≥ 5x faster than BM_WorkloadCold.
+void BM_WorkloadWarm(benchmark::State& state) {
+  Database db = MakeCorpus();
+  std::vector<SearchRequest> requests = Workload();
+  RunWorkloadOnce(db, requests, state);  // prime
+  for (auto _ : state) RunWorkloadOnce(db, requests, state);
+  const CacheStats stats = db.cache_stats();
+  state.counters["queries"] = static_cast<double>(requests.size());
+  state.counters["hit_rate"] = stats.hit_rate();
+}
+BENCHMARK(BM_WorkloadWarm)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// A single warm ranked query — the per-request latency floor of a hit.
+void BM_SingleQueryWarm(benchmark::State& state) {
+  Database db = MakeCorpus();
+  std::vector<SearchRequest> requests = Workload();
+  SearchRequest& request = requests[1];  // the mid-size "is" query
+  for (int prime = 0; prime < 2; ++prime) {
+    Result<SearchResponse> response = db.Search(request);
+    if (!response.ok()) {
+      state.SkipWithError(response.status().ToString().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(db.Search(request));
+}
+BENCHMARK(BM_SingleQueryWarm)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// The same single query with the cache bypassed, for the hit-vs-execute
+/// per-request ratio.
+void BM_SingleQueryDisabled(benchmark::State& state) {
+  const Database& db = SharedCorpus();
+  std::vector<SearchRequest> requests = Workload();
+  SearchRequest& request = requests[1];
+  request.use_cache = false;
+  for (auto _ : state) benchmark::DoNotOptimize(db.Search(request));
+}
+BENCHMARK(BM_SingleQueryDisabled)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Eviction pressure: a budget of roughly two queries' entries under a
+/// six-query rotation — every search misses, fills and evicts. This is the
+/// cache's worst case; it must track the disabled numbers (plus bounded
+/// bookkeeping), not collapse.
+void BM_WorkloadEvictionPressure(benchmark::State& state) {
+  Database db = MakeCorpus();
+  std::vector<SearchRequest> requests = Workload();
+  {
+    // Measure one query's worth of entries to size the squeeze.
+    Result<SearchResponse> response = db.Search(requests[0]);
+    if (!response.ok()) {
+      state.SkipWithError(response.status().ToString().c_str());
+      return;
+    }
+    CacheConfig config;
+    config.capacity_bytes = 2 * db.cache_stats().bytes_in_use;
+    config.max_entry_bytes = 0;
+    db.set_cache_config(config);
+  }
+  for (auto _ : state) RunWorkloadOnce(db, requests, state);
+  const CacheStats stats = db.cache_stats();
+  state.counters["queries"] = static_cast<double>(requests.size());
+  state.counters["evictions"] = static_cast<double>(stats.evictions);
+  state.counters["hit_rate"] = stats.hit_rate();
+}
+BENCHMARK(BM_WorkloadEvictionPressure)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xks

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Runs all 11 bench binaries in machine-readable mode and merges their JSON
-# into one trajectory file (default BENCH_pr4.json at the repo root).
+# Runs all 12 bench binaries in machine-readable mode and merges their JSON
+# into one trajectory file (default BENCH_pr5.json at the repo root).
 #
 #   bench/run_all.sh [build_dir] [output.json]
 #
@@ -14,7 +14,7 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUTPUT="${2:-BENCH_pr4.json}"
+OUTPUT="${2:-BENCH_pr5.json}"
 BENCH_DIR="${BUILD_DIR}/bench"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
@@ -33,7 +33,7 @@ fi
 
 # Google Benchmark micros: native JSON reporters.
 for micro in ablation_cid micro_incremental_build micro_lca micro_parallel_scan \
-             micro_parse_shred micro_prune; do
+             micro_parse_shred micro_prune micro_result_cache; do
   "${BENCH_DIR}/${micro}" \
     --benchmark_format=console \
     --benchmark_out_format=json \
@@ -47,7 +47,7 @@ done
   first=1
   for f in fig5_dblp fig6_dblp fig5_xmark fig6_xmark table_keyword_freq \
            ablation_cid micro_incremental_build micro_lca micro_parallel_scan \
-           micro_parse_shred micro_prune; do
+           micro_parse_shred micro_prune micro_result_cache; do
     [ "${first}" -eq 1 ] || printf ',\n'
     first=0
     printf '"%s": ' "${f}"
@@ -56,4 +56,4 @@ done
   printf '\n}\n'
 } > "${OUTPUT}"
 
-echo "merged 11 bench reports into ${OUTPUT}"
+echo "merged 12 bench reports into ${OUTPUT}"

@@ -7,10 +7,17 @@
 //   ./xks_tool add     corpus.db new.xml [...]      # incremental add + save
 //   ./xks_tool remove  corpus.db docname            # remove by name + save
 //   ./xks_tool replace corpus.db docname new.xml    # replace content + save
+//   ./xks_tool stats   corpus.db ["query"]          # corpus + cache counters
 //
 // add/remove/replace are incremental (O(changed doc), no corpus rescan):
 // each publishes a new snapshot epoch, printed on success. Outstanding
 // search cursors die with the old epoch.
+//
+// stats prints the corpus counters (documents, epoch, revision, vocabulary,
+// postings, depth) plus the result-cache configuration and its
+// hit/miss/eviction/bytes counters; with a query argument it runs the query
+// twice first — cold fill, then warm hit — so the counters show the cache
+// doing its job.
 //
 // Queries support label constraints ("title:xml keyword"). search/query
 // flags:
@@ -20,7 +27,10 @@
 //   --doc NAME       restrict the search to one document of the corpus
 //   --parallelism N  concurrent document scans (0 = hardware threads,
 //                    default; 1 = serial). Results are identical either way.
-//   --stats          print per-stage timings and pruning counters
+//   --cache=on|off   probe/fill the snapshot result cache (default on).
+//                    Results are identical either way; within one tool run
+//                    only repeated pages of one invocation can hit.
+//   --stats          print per-stage timings, pruning and cache counters
 //   --xml            (query mode) render fragments as XML snippets
 //
 // search also accepts legacy single-document XKS1 store files.
@@ -45,11 +55,12 @@ int Usage() {
       "  xks_tool shred   <corpus.db> <input.xml> [input2.xml ...]\n"
       "  xks_tool search  <corpus.db> <query> [--maxmatch] [--topk N]\n"
       "                   [--cursor TOKEN] [--doc NAME] [--parallelism N]\n"
-      "                   [--stats]\n"
+      "                   [--cache=on|off] [--stats]\n"
       "  xks_tool query   <input.xml> <query> [--maxmatch] [--xml] [--topk N]\n"
       "  xks_tool add     <corpus.db> <input.xml> [input2.xml ...]\n"
       "  xks_tool remove  <corpus.db> <docname>\n"
-      "  xks_tool replace <corpus.db> <docname> <input.xml>\n");
+      "  xks_tool replace <corpus.db> <docname> <input.xml>\n"
+      "  xks_tool stats   <corpus.db> [query]\n");
   return 2;
 }
 
@@ -59,6 +70,7 @@ struct Flags {
   bool render_xml = false;
   bool stats = false;
   bool valid = true;
+  bool use_cache = true;
   size_t top_k = 10;
   size_t parallelism = 0;  // 0 = one worker per hardware thread
   std::string cursor;
@@ -71,6 +83,14 @@ Flags ParseFlags(int argc, char** argv, int first) {
     if (std::strcmp(argv[i], "--maxmatch") == 0) flags.maxmatch = true;
     if (std::strcmp(argv[i], "--xml") == 0) flags.render_xml = true;
     if (std::strcmp(argv[i], "--stats") == 0) flags.stats = true;
+    if (std::strcmp(argv[i], "--cache=on") == 0) flags.use_cache = true;
+    if (std::strcmp(argv[i], "--cache=off") == 0) flags.use_cache = false;
+    if (std::strncmp(argv[i], "--cache=", 8) == 0 &&
+        std::strcmp(argv[i] + 8, "on") != 0 &&
+        std::strcmp(argv[i] + 8, "off") != 0) {
+      std::printf("bad --cache value '%s' (expected on or off)\n", argv[i] + 8);
+      flags.valid = false;
+    }
     if (std::strcmp(argv[i], "--topk") == 0 && i + 1 < argc) {
       const char* value = argv[++i];
       char* end = nullptr;
@@ -120,6 +140,7 @@ int RunSearch(const Database& db, const char* query_text, const Flags& flags,
   request.max_parallelism = flags.parallelism;
   request.cursor = flags.cursor;
   request.include_stats = flags.stats;
+  request.use_cache = flags.use_cache;
   // XML rendering replaces the tree-string snippet entirely.
   request.include_snippets = doc_for_rendering == nullptr;
   if (!flags.doc_name.empty()) {
@@ -163,7 +184,69 @@ int RunSearch(const Database& db, const char* query_text, const Flags& flags,
                 response->pruning.pruned_nodes(), response->pruning.raw_nodes,
                 100.0 * response->pruning.pruning_ratio(),
                 response->keyword_node_count, response->documents_searched);
+    CacheStats cache = db.cache_stats();
+    std::printf("cache: %s, %zu/%zu document(s) of this page from cache; "
+                "%llu hit(s), %llu miss(es), %llu eviction(s), %zu entr%s, "
+                "%zu of %zu bytes\n",
+                !flags.use_cache        ? "bypassed"
+                : response->served_from_cache ? "served this page"
+                : cache.enabled               ? "enabled"
+                                              : "disabled",
+                response->documents_from_cache, response->documents_searched,
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.evictions),
+                cache.entry_count, cache.entry_count == 1 ? "y" : "ies",
+                cache.bytes_in_use, cache.capacity_bytes);
   }
+  return 0;
+}
+
+int RunStats(const char* path, const char* query_text) {
+  Result<Database> db = Database::Load(path);
+  if (!db.ok()) {
+    std::printf("%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  if (query_text != nullptr) {
+    // Cold fill, then warm hit: the counters below show the cache working.
+    SearchRequest request;
+    request.query = query_text;
+    request.include_snippets = false;
+    for (int run = 0; run < 2; ++run) {
+      Result<SearchResponse> response = db->Search(request);
+      if (!response.ok()) {
+        std::printf("search failed: %s\n", response.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%s run: %zu hit(s)%s\n", run == 0 ? "cold" : "warm",
+                  response->total_hits,
+                  response->served_from_cache ? " (served from cache)" : "");
+    }
+  }
+  std::printf("corpus: %zu document(s), epoch %llu, revision %016llx\n",
+              db->document_count(),
+              static_cast<unsigned long long>(db->epoch()),
+              static_cast<unsigned long long>(db->snapshot()->revision()));
+  std::printf("index: %zu distinct word(s), %zu posting(s), max depth %zu\n",
+              db->vocabulary_size(), db->total_postings(),
+              db->corpus_max_depth());
+  CacheConfig config = db->cache_config();
+  CacheStats cache = db->cache_stats();
+  std::printf("cache config: %s, capacity %zu bytes, per-entry cap %zu bytes, "
+              "%zu shard(s)\n",
+              config.enabled ? "enabled" : "disabled", config.capacity_bytes,
+              config.max_entry_bytes, config.shards);
+  std::printf("cache stats: %llu hit(s), %llu miss(es), %llu insertion(s), "
+              "%llu eviction(s), %llu rejected, %zu entr%s, %zu bytes in "
+              "use, hit rate %.1f%%\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.insertions),
+              static_cast<unsigned long long>(cache.evictions),
+              static_cast<unsigned long long>(cache.rejected),
+              cache.entry_count, cache.entry_count == 1 ? "y" : "ies",
+              cache.bytes_in_use, 100.0 * cache.hit_rate());
   return 0;
 }
 
@@ -171,6 +254,9 @@ int RunSearch(const Database& db, const char* query_text, const Flags& flags,
 
 int main(int argc, char** argv) {
   using namespace xks;
+  if (argc >= 3 && std::strcmp(argv[1], "stats") == 0) {
+    return RunStats(argv[2], argc >= 4 ? argv[3] : nullptr);
+  }
   if (argc < 4) return Usage();
 
   if (std::strcmp(argv[1], "shred") == 0) {

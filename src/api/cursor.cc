@@ -69,13 +69,4 @@ Result<PageCursor> DecodeCursor(std::string_view token) {
   return cursor;
 }
 
-uint64_t Fnv1a64(std::string_view data, uint64_t seed) {
-  uint64_t hash = seed;
-  for (char c : data) {
-    hash ^= static_cast<uint8_t>(c);
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
-}
-
 }  // namespace xks

@@ -45,9 +45,6 @@ std::string EncodeCursor(const PageCursor& cursor);
 /// else, including the retired pre-epoch "xksc1" scheme.
 Result<PageCursor> DecodeCursor(std::string_view token);
 
-/// FNV-1a 64-bit hash, the fingerprint building block.
-uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0xcbf29ce484222325ull);
-
 }  // namespace xks
 
 #endif  // XKS_API_CURSOR_H_

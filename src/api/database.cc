@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <utility>
 
-#include "src/api/cursor.h"
 #include "src/common/codec.h"
+#include "src/common/fingerprint.h"
 #include "src/common/io.h"
 #include "src/xml/parser.h"
 
@@ -187,6 +187,12 @@ void Database::BumpRevisionLocked(char op, DocumentId id,
 
 void Database::PublishLocked() {
   auto snapshot = std::shared_ptr<Snapshot>(new Snapshot());
+  // Every published snapshot gets its own fresh cache: entries of the
+  // previous epoch die with the previous snapshot, so cache invalidation
+  // on mutation needs no explicit work at all.
+  if (cache_config_.enabled) {
+    snapshot->cache_ = std::make_shared<ResultCache>(cache_config_);
+  }
   snapshot->documents_.reserve(live_count_);
   for (size_t id = 0; id < documents_.size(); ++id) {
     const DocumentEntry& entry = documents_[id];
@@ -289,6 +295,25 @@ size_t Database::total_postings() const {
 size_t Database::corpus_max_depth() const {
   std::lock_guard<std::mutex> lock(*mutex_);
   return MaxDepthLocked();
+}
+
+void Database::set_cache_config(const CacheConfig& config) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  cache_config_ = config;
+  // Republish so the change takes effect immediately: same catalog state,
+  // same epoch and revision (this is a serving-configuration change, not a
+  // corpus mutation), fresh cache under the new configuration.
+  if (built_) PublishLocked();
+}
+
+CacheConfig Database::cache_config() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return cache_config_;
+}
+
+CacheStats Database::cache_stats() const {
+  std::shared_ptr<const Snapshot> current = snapshot();
+  return current != nullptr ? current->cache_stats() : CacheStats{};
 }
 
 std::shared_ptr<const Snapshot> Database::snapshot() const {

@@ -147,6 +147,21 @@ class Database {
   /// rescan.
   size_t corpus_max_depth() const;
 
+  /// Configures the per-snapshot result cache (src/cache/result_cache.h).
+  /// Every snapshot published from now on carries a fresh cache under this
+  /// configuration; if the database is already built, the current snapshot
+  /// is republished immediately (same epoch, same revision — outstanding
+  /// cursors keep working) so the change takes effect without a mutation.
+  /// Snapshots pinned earlier keep the cache they were published with.
+  void set_cache_config(const CacheConfig& config);
+  CacheConfig cache_config() const;
+
+  /// Counters of the currently published snapshot's cache; a zeroed struct
+  /// (enabled = false) before Build() or when the cache is disabled.
+  /// Counters reset whenever a new snapshot is published (every mutation) —
+  /// they describe the current epoch, not the process lifetime.
+  CacheStats cache_stats() const;
+
   /// The currently published snapshot (nullptr before Build()). Pin it to
   /// search / paginate against one immutable corpus state while the
   /// catalog keeps mutating.
@@ -227,6 +242,9 @@ class Database {
   /// Publication counter: 0 = never built, 1 = first Build(), +1 per
   /// mutation thereafter. Persisted in XKS3.
   uint64_t epoch_ = 0;
+
+  /// Result-cache configuration stamped onto every published snapshot.
+  CacheConfig cache_config_;
 
   std::shared_ptr<const Snapshot> snapshot_;
   bool built_ = false;

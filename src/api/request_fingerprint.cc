@@ -1,0 +1,51 @@
+#include "src/api/request_fingerprint.h"
+
+namespace xks {
+
+void AppendExecutionShape(Fingerprint* fp, const KeywordQuery& query,
+                          const SearchRequest& request) {
+  fp->PutString(query.ToString());
+  fp->PutByte(static_cast<uint8_t>(request.semantics));
+  fp->PutByte(static_cast<uint8_t>(request.elca_algorithm));
+  fp->PutByte(static_cast<uint8_t>(request.slca_algorithm));
+  fp->PutByte(static_cast<uint8_t>(request.pruning));
+}
+
+uint64_t CursorFingerprint(const KeywordQuery& query,
+                           const SearchRequest& request,
+                           const std::vector<DocumentId>& documents,
+                           uint64_t corpus_revision) {
+  Fingerprint fp;
+  AppendExecutionShape(&fp, query, request);
+  fp.PutBool(request.rank);
+  if (request.rank) {
+    // Ranking weights change the merge order, so a cursor must not survive
+    // a weight change. Raw IEEE-754 bytes keep the hash deterministic.
+    const double weights[] = {
+        request.weights.specificity, request.weights.proximity,
+        request.weights.compactness, request.weights.slca_bonus,
+        request.weights.match_concentration};
+    fp.PutDoubles(weights, sizeof(weights) / sizeof(weights[0]));
+  }
+  fp.PutVarint64(request.top_k);
+  fp.PutVarint64(corpus_revision);
+  for (DocumentId id : documents) fp.PutVarint32(id);
+  return fp.Digest64();
+}
+
+std::string CacheKeyPrefix(const KeywordQuery& query,
+                           const SearchRequest& request) {
+  Fingerprint fp;
+  AppendExecutionShape(&fp, query, request);
+  fp.PutBool(request.include_raw_fragments);
+  return fp.ConsumeMaterial();
+}
+
+CacheKey DocumentCacheKey(const std::string& prefix, DocumentId id) {
+  Fingerprint fp;
+  fp.PutString(prefix);
+  fp.PutVarint32(id);
+  return CacheKey::FromMaterial(fp.ConsumeMaterial());
+}
+
+}  // namespace xks

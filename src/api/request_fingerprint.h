@@ -1,0 +1,67 @@
+// Canonical request-fingerprint material, shared by the pagination cursor
+// and the snapshot result cache.
+//
+// Both identities start from the same question — "which fields of a
+// SearchRequest change the candidate lists the pipeline produces?" — and
+// both answer it with AppendExecutionShape, the single place that appends
+// those fields. On top of that shared prefix:
+//
+//   * CursorFingerprint adds what changes the *page* a cursor points into:
+//     ranking on/off and weights (merge order), top_k (page geometry), the
+//     corpus revision and the exact document selection. Presentation
+//     toggles (snippets, raw fragments, statistics) and max_parallelism are
+//     deliberately absent — a cursor survives flipping them.
+//
+//   * CacheKeyPrefix adds what changes the *cached value* beyond the
+//     execution shape: keep_raw_fragments (the entry either carries the
+//     unpruned trees or it does not). DocumentCacheKey then appends one
+//     document id, yielding the exact per-document key. Ranking, paging and
+//     selection are deliberately absent — one cached candidate list serves
+//     every ranking, every page and every selection that includes the
+//     document.
+//
+// Because both builders call AppendExecutionShape, a field added there is
+// automatically reflected in both identities; the two cannot drift apart.
+
+#ifndef XKS_API_REQUEST_FINGERPRINT_H_
+#define XKS_API_REQUEST_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/api/search_types.h"
+#include "src/cache/result_cache.h"
+#include "src/common/fingerprint.h"
+#include "src/core/query.h"
+
+namespace xks {
+
+/// Appends the execution shape: the normalized query plus the pipeline
+/// configuration (semantics, per-semantics algorithm, pruning policy) —
+/// every request field that changes the raw candidate set ExecuteSearch
+/// produces for a document. Any new such field MUST be appended here (and
+/// only here) so cursor and cache stay in lockstep.
+void AppendExecutionShape(Fingerprint* fp, const KeywordQuery& query,
+                          const SearchRequest& request);
+
+/// The cursor fingerprint: execution shape + merge order (rank + weights) +
+/// page geometry (top_k) + corpus revision + exact document selection.
+uint64_t CursorFingerprint(const KeywordQuery& query,
+                           const SearchRequest& request,
+                           const std::vector<DocumentId>& documents,
+                           uint64_t corpus_revision);
+
+/// The shared material prefix of every per-document cache key of one
+/// request: execution shape + keep_raw_fragments. Compute once per request,
+/// then stamp out per-document keys with DocumentCacheKey.
+std::string CacheKeyPrefix(const KeywordQuery& query,
+                           const SearchRequest& request);
+
+/// The exact cache key for one document: `prefix` (from CacheKeyPrefix)
+/// plus the document id.
+CacheKey DocumentCacheKey(const std::string& prefix, DocumentId id);
+
+}  // namespace xks
+
+#endif  // XKS_API_REQUEST_FINGERPRINT_H_

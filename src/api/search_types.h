@@ -72,6 +72,14 @@ struct SearchRequest {
   bool rank = true;
   RankingWeights weights;
 
+  /// Probe and fill the snapshot's result cache (when the Database's
+  /// CacheConfig enables one). Purely a throughput knob: a cache hit skips
+  /// the per-document pipeline but the response (hits, scores, totals,
+  /// cursors, deterministic statistics) is byte-identical either way, so it
+  /// is NOT part of the cursor fingerprint. Set false to bypass the cache
+  /// for one request (measurement runs, one-off scans not worth caching).
+  bool use_cache = true;
+
   /// Attach the rendered fragment tree text to each returned hit.
   bool include_snippets = true;
   /// Keep the unpruned fragment tree on each returned hit.
@@ -147,6 +155,14 @@ struct SearchResponse {
   /// redeemable while the corpus is still at this epoch (or against a
   /// pinned Snapshot of it).
   uint64_t epoch = 0;
+  /// True when every document this response reflects was answered from the
+  /// snapshot's result cache — no per-document pipeline ran. False for cold
+  /// or partially cold responses, for cache-bypassing requests, and when
+  /// the cache is disabled. Observational only: the response content is
+  /// identical either way.
+  bool served_from_cache = false;
+  /// How many of `documents_searched` were answered from the cache.
+  size_t documents_from_cache = 0;
   /// The normalized query ("liu keyword" — lowercased, stop words removed).
   KeywordQuery parsed_query;
 
@@ -157,6 +173,10 @@ struct SearchResponse {
   /// `total_hits` — cover only the scanned prefix of the corpus and are
   /// lower bounds, not corpus-wide truths. Always true for ranked requests
   /// and for unranked requests that ran to completion.
+  /// Documents served from the result cache contribute the statistics
+  /// recorded when their entry was filled: pruning and keyword-node
+  /// counters are exact replays, while timings describe the execution that
+  /// filled the entry, not the (near-free) hit itself.
   bool stats_are_exact = true;
   StageTimings timings;
   PruningStats pruning;

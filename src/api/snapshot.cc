@@ -5,7 +5,7 @@
 #include <cstdint>
 
 #include "src/api/cursor.h"
-#include "src/common/codec.h"
+#include "src/api/request_fingerprint.h"
 #include "src/common/worker_pool.h"
 
 namespace xks {
@@ -17,37 +17,6 @@ struct Candidate {
   size_t fragment_index = 0;
   double score = 0;
 };
-
-/// Binds a cursor to the request shape: normalized query, pipeline
-/// configuration, paging mode, the exact document selection and the corpus
-/// revision. The epoch is deliberately NOT part of the fingerprint — it is
-/// carried and checked separately so a stale-epoch cursor surfaces as
-/// FailedPrecondition instead of a generic fingerprint mismatch.
-uint64_t RequestFingerprint(const KeywordQuery& query,
-                            const SearchRequest& request,
-                            const std::vector<DocumentId>& documents,
-                            uint64_t corpus_revision) {
-  std::string material = query.ToString();
-  material.push_back('\0');
-  material.push_back(static_cast<char>(request.semantics));
-  material.push_back(static_cast<char>(request.elca_algorithm));
-  material.push_back(static_cast<char>(request.slca_algorithm));
-  material.push_back(static_cast<char>(request.pruning));
-  material.push_back(request.rank ? 1 : 0);
-  if (request.rank) {
-    // Ranking weights change the merge order, so a cursor must not survive
-    // a weight change. Raw IEEE-754 bytes keep the hash deterministic.
-    const double weights[] = {
-        request.weights.specificity, request.weights.proximity,
-        request.weights.compactness, request.weights.slca_bonus,
-        request.weights.match_concentration};
-    material.append(reinterpret_cast<const char*>(weights), sizeof(weights));
-  }
-  PutVarint64(&material, request.top_k);
-  PutVarint64(&material, corpus_revision);
-  for (DocumentId id : documents) PutVarint32(&material, id);
-  return Fnv1a64(material);
-}
 
 SearchOptions PipelineOptions(const SearchRequest& request) {
   SearchOptions options;
@@ -118,6 +87,10 @@ Result<std::shared_ptr<const ShreddedStore>> Snapshot::store(
   return documents_[index].store;
 }
 
+CacheStats Snapshot::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : CacheStats{};
+}
+
 uint64_t Snapshot::WordFrequency(const std::string& word) const {
   auto it = frequency_.find(word);
   return it == frequency_.end() ? 0 : it->second;
@@ -166,7 +139,7 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
   // check so a post-mutation replay fails as "corpus changed", not as a
   // generic wrong-request cursor.
   const uint64_t fingerprint =
-      RequestFingerprint(query, request, selected_ids, revision_);
+      CursorFingerprint(query, request, selected_ids, revision_);
   size_t offset = 0;
   if (!request.cursor.empty()) {
     PageCursor cursor;
@@ -206,7 +179,23 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
   // selection keeps the legacy result-set-relative scale (normalizer 0).
   const size_t depth_normalizer = selection.size() > 1 ? corpus_max_depth_ : 0;
 
-  std::vector<SearchResult> results(selection.size());
+  // The result cache, when this snapshot carries one and the request did
+  // not opt out. Shards probe and fill concurrently under the fan-out; a
+  // hit skips ExecuteSearch for that document, and everything downstream
+  // (ranking, merge, page cut) runs identically on cached and fresh
+  // candidate lists, which is what keeps responses byte-identical.
+  ResultCache* const cache =
+      (request.use_cache && cache_ != nullptr) ? cache_.get() : nullptr;
+  const std::string cache_prefix =
+      cache != nullptr ? CacheKeyPrefix(query, request) : std::string();
+
+  // Per-document slots hold shared candidate lists: a slot either references
+  // a cache entry (shared with other requests) or a fresh execution (shared
+  // with the cache it just filled). Slots the cache retains must stay
+  // intact, so the page cut below copies out of shared slots and moves only
+  // out of sole-owned ones.
+  std::vector<std::shared_ptr<const SearchResult>> results(selection.size());
+  std::vector<uint8_t> from_cache(selection.size(), 0);
   std::vector<Status> statuses(selection.size());
   std::vector<std::vector<FragmentScore>> ranked(request.rank ? selection.size()
                                                               : 0);
@@ -219,19 +208,33 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
   // stopped the serial scan before reaching the failed document.
   std::atomic<bool> failed{false};
   const auto execute_document = [&](size_t di) -> Status {
-    Result<SearchResult> result =
-        ExecuteSearch(*documents_[selection[di]].store, query, options);
-    if (!result.ok()) {
-      statuses[di] = result.status();
-      failed.store(true, std::memory_order_relaxed);
-      return Status::OK();
+    CacheKey key;
+    if (cache != nullptr) {
+      key = DocumentCacheKey(cache_prefix, documents_[selection[di]].id);
+      if (std::shared_ptr<const SearchResult> entry = cache->Get(key)) {
+        results[di] = std::move(entry);
+        from_cache[di] = 1;
+      }
     }
-    results[di] = std::move(result).value();
+    if (results[di] == nullptr) {
+      Result<SearchResult> result =
+          ExecuteSearch(*documents_[selection[di]].store, query, options);
+      if (!result.ok()) {
+        statuses[di] = result.status();
+        failed.store(true, std::memory_order_relaxed);
+        return Status::OK();
+      }
+      // Created non-const so the page cut may move out of it later if the
+      // cache did not retain it (std::const_pointer_cast stays legal).
+      auto fresh = std::make_shared<SearchResult>(std::move(result).value());
+      results[di] = fresh;
+      if (cache != nullptr) cache->Put(key, results[di]);
+    }
     if (request.rank) {
-      ranked[di] = RankFragments(results[di], query.size(), request.weights,
+      ranked[di] = RankFragments(*results[di], query.size(), request.weights,
                                  depth_normalizer);
     } else {
-      hits_seen.fetch_add(results[di].fragments.size(),
+      hits_seen.fetch_add(results[di]->fragments.size(),
                           std::memory_order_relaxed);
     }
     return Status::OK();
@@ -261,7 +264,8 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
   size_t scanned = 0;
   for (size_t di = 0; di < executed; ++di) {
     XKS_RETURN_IF_ERROR(statuses[di]);
-    const SearchResult& result = results[di];
+    const SearchResult& result = *results[di];
+    if (from_cache[di]) ++response.documents_from_cache;
     if (request.rank) {
       for (const FragmentScore& scored : ranked[di]) {
         candidates.push_back(Candidate{di, scored.fragment_index, scored.total});
@@ -283,6 +287,8 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
   response.total_hits = candidates.size();
   response.total_is_exact = scanned == selection.size();
   response.stats_are_exact = scanned == selection.size();
+  response.served_from_cache =
+      scanned > 0 && response.documents_from_cache == scanned;
 
   // Phase 2: corpus-level merge. Ties break on (selection position,
   // document order), keeping pagination deterministic.
@@ -297,16 +303,27 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
                      });
   }
 
-  // Phase 3: cut the requested page and materialize its hits.
+  // Phase 3: cut the requested page and materialize its hits. A slot whose
+  // candidate list is shared — the cache retained it, or it came from the
+  // cache and other requests may hold it — must stay intact, so its
+  // fragments are copied into the page. A slot this search solely owns
+  // (cache disabled, entry rejected or already evicted: use_count == 1, and
+  // nobody can re-acquire it since the cache no longer references it) keeps
+  // the cheaper move. Copies and moves produce identical bytes, so the
+  // response is unaffected either way.
   const size_t begin = std::min(offset, candidates.size());
   const size_t end = request.top_k == 0
                          ? candidates.size()
                          : std::min(begin + request.top_k, candidates.size());
+  std::vector<uint8_t> movable(selection.size(), 0);
+  for (size_t di = 0; di < scanned; ++di) {
+    movable[di] = results[di].use_count() == 1 ? 1 : 0;
+  }
   response.hits.reserve(end - begin);
   for (size_t i = begin; i < end; ++i) {
     const Candidate& candidate = candidates[i];
-    FragmentResult& fragment =
-        results[candidate.doc_index].fragments[candidate.fragment_index];
+    const FragmentResult& fragment =
+        results[candidate.doc_index]->fragments[candidate.fragment_index];
     const Doc& doc = documents_[selection[candidate.doc_index]];
     Hit hit;
     hit.document = doc.id;
@@ -315,9 +332,18 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
     if (request.include_snippets) {
       hit.snippet = fragment.fragment.ToTreeString(query.size());
     }
-    hit.rtf = std::move(fragment.rtf);
-    hit.fragment = std::move(fragment.fragment);
-    if (request.include_raw_fragments) hit.raw = std::move(fragment.raw);
+    if (movable[candidate.doc_index]) {
+      FragmentResult& owned =
+          std::const_pointer_cast<SearchResult>(results[candidate.doc_index])
+              ->fragments[candidate.fragment_index];
+      hit.rtf = std::move(owned.rtf);
+      hit.fragment = std::move(owned.fragment);
+      if (request.include_raw_fragments) hit.raw = std::move(owned.raw);
+    } else {
+      hit.rtf = fragment.rtf;
+      hit.fragment = fragment.fragment;
+      if (request.include_raw_fragments) hit.raw = fragment.raw;
+    }
     response.hits.push_back(std::move(hit));
   }
   if (end < candidates.size()) {

@@ -5,7 +5,9 @@
 // corpus-level statistics the ranked merge needs (word frequencies, total
 // postings, corpus_max_depth), stamped with the epoch and revision of the
 // catalog state it was published from. Snapshots are plain const data after
-// publication — no locks, no mutation — so
+// publication — no locks, no mutation (the one exception, the attached
+// result cache, is internally synchronized and semantically transparent: it
+// memoizes, never changes, what Search returns) — so
 //
 //  * any number of threads may Search one Snapshot concurrently,
 //  * a Search that is in flight (or a client paginating across requests)
@@ -35,6 +37,7 @@
 #include <vector>
 
 #include "src/api/search_types.h"
+#include "src/cache/result_cache.h"
 #include "src/common/result.h"
 #include "src/storage/store.h"
 
@@ -90,6 +93,13 @@ class Snapshot {
   /// (FailedPrecondition).
   Result<SearchResponse> Search(const SearchRequest& request) const;
 
+  /// Counters of this snapshot's result cache; a zeroed struct (enabled =
+  /// false) when the snapshot was published without one. The cache — and
+  /// these counters — live exactly as long as the snapshot: a catalog
+  /// mutation publishes a fresh snapshot with a fresh, empty cache, which
+  /// is what makes epoch invalidation free.
+  CacheStats cache_stats() const;
+
  private:
   friend class Database;
 
@@ -114,6 +124,10 @@ class Snapshot {
                           std::vector<size_t>* selection) const;
 
   std::vector<Doc> documents_;  ///< Live documents, ascending id.
+  /// Per-snapshot candidate-list cache; nullptr when disabled. The pointer
+  /// is set once at publication and never reseated, so const Search may use
+  /// the (internally synchronized) cache without any snapshot-level lock.
+  std::shared_ptr<ResultCache> cache_;
   std::unordered_map<std::string, DocumentId> by_name_;
   std::unordered_map<std::string, uint64_t> frequency_;
   size_t total_postings_ = 0;

@@ -1,0 +1,137 @@
+#include "src/cache/result_cache.h"
+
+#include <utility>
+
+#include "src/common/fingerprint.h"
+
+namespace xks {
+namespace {
+
+/// Flat bookkeeping charge per entry: list node, bucket slot, shared_ptr
+/// control block. A round constant — the goal is to keep thousands of tiny
+/// entries from looking free, not to model the allocator.
+constexpr size_t kEntryOverheadBytes = 128;
+
+size_t DeweyHeapBytes(const Dewey& dewey) {
+  return dewey.components().size() * sizeof(uint32_t);
+}
+
+size_t FragmentTreeBytes(const FragmentTree& tree) {
+  size_t bytes = tree.size() * sizeof(FragmentNode);
+  for (size_t i = 0; i < tree.size(); ++i) {
+    const FragmentNode& node = tree.node(static_cast<FragmentNodeId>(i));
+    bytes += DeweyHeapBytes(node.dewey);
+    bytes += node.label.size();
+    bytes += node.cid.min_word.size() + node.cid.max_word.size();
+    bytes += node.children.size() * sizeof(FragmentNodeId);
+  }
+  return bytes;
+}
+
+size_t RoundUpToPowerOfTwo(size_t value) {
+  size_t rounded = 1;
+  while (rounded < value) rounded <<= 1;
+  return rounded;
+}
+
+}  // namespace
+
+size_t ApproximateResultBytes(const SearchResult& result) {
+  size_t bytes = sizeof(SearchResult);
+  bytes += result.fragments.size() * sizeof(FragmentResult);
+  for (const FragmentResult& fragment : result.fragments) {
+    bytes += DeweyHeapBytes(fragment.rtf.root);
+    bytes += fragment.rtf.knodes.size() * sizeof(RtfKeywordNode);
+    for (const RtfKeywordNode& knode : fragment.rtf.knodes) {
+      bytes += DeweyHeapBytes(knode.dewey);
+    }
+    bytes += FragmentTreeBytes(fragment.fragment);
+    bytes += FragmentTreeBytes(fragment.raw);
+  }
+  return bytes;
+}
+
+CacheKey CacheKey::FromMaterial(std::string material) {
+  CacheKey key;
+  key.hash = Fnv1a64(material);
+  key.material = std::move(material);
+  return key;
+}
+
+ResultCache::ResultCache(const CacheConfig& config)
+    : config_(config),
+      shard_mask_(RoundUpToPowerOfTwo(config.shards == 0 ? 1 : config.shards) -
+                  1),
+      shard_capacity_bytes_(config.capacity_bytes / (shard_mask_ + 1)),
+      shards_(shard_mask_ + 1) {}
+
+std::shared_ptr<const SearchResult> ResultCache::Get(const CacheKey& key) {
+  Shard& shard = ShardFor(key.hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(KeyView{key.material, key.hash});
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ResultCache::Put(const CacheKey& key,
+                      std::shared_ptr<const SearchResult> value) {
+  const size_t charged =
+      key.material.size() + ApproximateResultBytes(*value) + kEntryOverheadBytes;
+  Shard& shard = ShardFor(key.hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (config_.max_entry_bytes != 0 && charged > config_.max_entry_bytes) {
+    ++shard.rejected;
+    return;
+  }
+  auto it = shard.index.find(KeyView{key.material, key.hash});
+  if (it != shard.index.end()) {
+    // Replace in place: keep the node (and the index's view into its
+    // material), swap the payload and re-charge.
+    std::list<Entry>::iterator entry = it->second;
+    shard.bytes -= entry->charged_bytes;
+    entry->value = std::move(value);
+    entry->charged_bytes = charged;
+    shard.bytes += charged;
+    shard.lru.splice(shard.lru.begin(), shard.lru, entry);
+  } else {
+    shard.lru.push_front(Entry{key.material, key.hash, std::move(value), charged});
+    shard.index.emplace(
+        KeyView{shard.lru.front().material, shard.lru.front().hash},
+        shard.lru.begin());
+    shard.bytes += charged;
+  }
+  ++shard.insertions;
+  // Trim back under budget, least recently used first. A new entry that
+  // alone busts the shard budget is trimmed right back out (front == back).
+  while (shard.bytes > shard_capacity_bytes_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.charged_bytes;
+    shard.index.erase(KeyView{victim.material, victim.hash});
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats stats;
+  stats.capacity_bytes = config_.capacity_bytes;
+  stats.enabled = config_.enabled;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.insertions += shard.insertions;
+    stats.evictions += shard.evictions;
+    stats.rejected += shard.rejected;
+    stats.entry_count += shard.lru.size();
+    stats.bytes_in_use += shard.bytes;
+  }
+  return stats;
+}
+
+}  // namespace xks

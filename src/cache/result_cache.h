@@ -1,0 +1,188 @@
+// xks::ResultCache — a sharded, thread-safe LRU over per-document candidate
+// lists.
+//
+// The unit of caching is one document's post-prune SearchResult: the output
+// of ExecuteSearch (keyword-node lookup → LCA grouping → RTF construction →
+// pruning) for one (query, pipeline configuration, document) triple —
+// everything that is expensive and deterministic, and nothing that is
+// request-presentation (ranking weights, page windows, snippets and
+// statistics toggles are all applied downstream of the cached value, so one
+// entry serves every ranking, every page and every presentation of the same
+// candidate list).
+//
+// Keys are exact, not probabilistic: the canonical key material (built by
+// src/api/request_fingerprint.h) is stored verbatim and compared on probe,
+// so a 64-bit hash collision can cost a miss-shaped extra comparison but can
+// never serve the wrong candidate list. The precomputed FNV-1a digest of
+// the material picks the shard and seeds the bucket hash.
+//
+// Sharding: entries are spread over N independently locked shards (N is
+// rounded up to a power of two). The byte budget is split evenly across
+// shards and each shard runs its own LRU list, so concurrent probes and
+// fills from the parallel corpus scan contend only when they land on the
+// same shard. Values are shared_ptr<const SearchResult>: a Get returns a
+// reference that stays valid after the entry is evicted — eviction drops
+// the cache's reference, readers keep theirs.
+//
+// Lifetime and invalidation: a ResultCache is owned by one Snapshot
+// (src/api/snapshot.h) and dies with it. Because a catalog mutation
+// publishes a fresh snapshot — and with it a fresh, empty cache — epoch
+// invalidation needs no version tags, no sweeps and no cross-epoch checks:
+// it is free by construction. A pinned old snapshot likewise keeps its own
+// warm cache for as long as the pin lives.
+
+#ifndef XKS_CACHE_RESULT_CACHE_H_
+#define XKS_CACHE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace xks {
+
+/// Tuning knobs for the per-snapshot result cache. Set on the Database
+/// (Database::set_cache_config) before or after Build(); every snapshot
+/// published afterwards carries a fresh cache under this configuration.
+struct CacheConfig {
+  /// Master switch; a disabled cache is never probed and never filled
+  /// (snapshots are published without one).
+  bool enabled = true;
+  /// Total byte budget across all shards. Entries are charged their
+  /// approximate deep size (ApproximateResultBytes) plus key and
+  /// bookkeeping overhead; the least-recently-used entries of a shard are
+  /// evicted once the shard exceeds its share.
+  size_t capacity_bytes = 64ull << 20;
+  /// Entries charged more than this are not cached at all (one giant
+  /// candidate list cannot wipe out a whole shard). 0 = no per-entry cap.
+  size_t max_entry_bytes = 4ull << 20;
+  /// Lock shards; rounded up to the next power of two, minimum 1. More
+  /// shards = less contention under the parallel corpus scan, at the cost
+  /// of coarser per-shard LRU and budget granularity.
+  size_t shards = 8;
+};
+
+/// A point-in-time aggregate of one cache's observability counters.
+struct CacheStats {
+  /// Probes answered from the cache / probes that missed.
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Entries ever stored (replacing an existing key counts again).
+  uint64_t insertions = 0;
+  /// Entries dropped by LRU byte-budget pressure.
+  uint64_t evictions = 0;
+  /// Fills refused because the entry exceeded max_entry_bytes.
+  uint64_t rejected = 0;
+  /// Current residency.
+  size_t entry_count = 0;
+  size_t bytes_in_use = 0;
+  /// Echo of the configuration, so one struct tells the whole story.
+  size_t capacity_bytes = 0;
+  bool enabled = false;
+
+  double hit_rate() const {
+    const uint64_t probes = hits + misses;
+    return probes == 0 ? 0.0 : static_cast<double>(hits) / probes;
+  }
+};
+
+/// An exact cache key: the canonical material plus its precomputed FNV-1a
+/// digest (shard selector and bucket hash). Build via
+/// src/api/request_fingerprint.h so the material stays canonical.
+struct CacheKey {
+  std::string material;
+  uint64_t hash = 0;
+
+  static CacheKey FromMaterial(std::string material);
+};
+
+/// Approximate deep size of one cached candidate list, in bytes: the
+/// structs themselves plus their heap payloads (Dewey components, labels,
+/// content-id words, child vectors). An estimate, not an accounting truth —
+/// it ignores allocator slack and vector over-capacity — but it is
+/// deterministic and proportional, which is all budget eviction needs.
+size_t ApproximateResultBytes(const SearchResult& result);
+
+class ResultCache {
+ public:
+  explicit ResultCache(const CacheConfig& config);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached candidate list for `key`, or nullptr on miss.
+  /// A hit refreshes the entry's LRU position in its shard.
+  std::shared_ptr<const SearchResult> Get(const CacheKey& key);
+
+  /// Stores `value` under `key`, replacing any existing entry, charging
+  /// ApproximateResultBytes(*value) plus key/bookkeeping overhead and
+  /// evicting the shard's LRU tail until the shard is back under budget.
+  /// Oversized values (max_entry_bytes) are counted as rejected and not
+  /// stored. `value` must be non-null.
+  void Put(const CacheKey& key, std::shared_ptr<const SearchResult> value);
+
+  /// Aggregates the counters of every shard. Individually consistent per
+  /// shard; the cross-shard sum is a momentary composite under concurrency.
+  CacheStats stats() const;
+
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::string material;
+    uint64_t hash = 0;
+    std::shared_ptr<const SearchResult> value;
+    size_t charged_bytes = 0;
+  };
+
+  /// Buckets are keyed by a view into the entry's own material (std::list
+  /// nodes never move, so the views stay valid), hashed by the precomputed
+  /// digest carried alongside.
+  struct KeyView {
+    std::string_view material;
+    uint64_t hash = 0;
+
+    bool operator==(const KeyView& other) const {
+      return material == other.material;
+    }
+  };
+  struct KeyViewHash {
+    size_t operator()(const KeyView& key) const {
+      return static_cast<size_t>(key.hash);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<KeyView, std::list<Entry>::iterator, KeyViewHash> index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t rejected = 0;
+  };
+
+  Shard& ShardFor(uint64_t hash) {
+    // The low bits feed the bucket hash; pick the shard from the high bits
+    // so the two selections stay independent.
+    return shards_[(hash >> 48) & shard_mask_];
+  }
+
+  const CacheConfig config_;
+  const size_t shard_mask_;
+  const size_t shard_capacity_bytes_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_CACHE_RESULT_CACHE_H_

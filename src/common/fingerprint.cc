@@ -1,0 +1,31 @@
+#include "src/common/fingerprint.h"
+
+#include <cstring>
+
+#include "src/common/codec.h"
+
+namespace xks {
+
+uint64_t Fnv1a64(std::string_view data, uint64_t seed) {
+  uint64_t hash = seed;
+  for (char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+void Fingerprint::PutVarint32(uint32_t value) {
+  xks::PutVarint32(&material_, value);
+}
+
+void Fingerprint::PutVarint64(uint64_t value) {
+  xks::PutVarint64(&material_, value);
+}
+
+void Fingerprint::PutDoubles(const double* values, size_t count) {
+  material_.append(reinterpret_cast<const char*>(values),
+                   count * sizeof(double));
+}
+
+}  // namespace xks

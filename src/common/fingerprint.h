@@ -1,0 +1,71 @@
+// Shared fingerprint/hashing primitives.
+//
+// Every identity hash in the system — pagination-cursor fingerprints, the
+// corpus revision chain, and the result-cache keys — is built the same way:
+// append the fields that matter to a byte string ("material") in a fixed
+// order, then hash it with FNV-1a. Fingerprint is that accumulator. Keeping
+// the accumulator (and the hash) in one place is what lets the cursor
+// fingerprint and the cache key share their common material prefix (see
+// src/api/request_fingerprint.h) so the two can never drift apart.
+//
+// The material encoding is deliberately simple rather than self-describing:
+// fixed-order appends with varint integers and NUL-terminated strings. Two
+// different field sequences can in principle produce the same material;
+// callers that mix variable-length strings with other fields must either
+// terminate them (PutString appends a NUL) or length-prefix them.
+
+#ifndef XKS_COMMON_FINGERPRINT_H_
+#define XKS_COMMON_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xks {
+
+/// FNV-1a 64-bit hash over `data`, chained through `seed` (pass a previous
+/// digest to extend a hash chain, as the corpus revision does).
+uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0xcbf29ce484222325ull);
+
+/// Accumulates fingerprint material and digests it on demand. The material
+/// itself is exposed so callers that need exact-match keys (the result
+/// cache) can store it verbatim instead of trusting a 64-bit digest.
+class Fingerprint {
+ public:
+  Fingerprint() = default;
+
+  /// Appends one raw byte.
+  void PutByte(uint8_t value) { material_.push_back(static_cast<char>(value)); }
+
+  /// Appends a bool as one byte (1/0).
+  void PutBool(bool value) { PutByte(value ? 1 : 0); }
+
+  /// Appends the string bytes followed by a NUL terminator, so a string
+  /// field cannot bleed into whatever is appended next.
+  void PutString(std::string_view value) {
+    material_.append(value.data(), value.size());
+    material_.push_back('\0');
+  }
+
+  /// Appends a varint-encoded integer.
+  void PutVarint32(uint32_t value);
+  void PutVarint64(uint64_t value);
+
+  /// Appends the raw IEEE-754 bytes of `count` doubles (deterministic,
+  /// unlike any decimal rendering).
+  void PutDoubles(const double* values, size_t count);
+
+  /// FNV-1a digest of the material accumulated so far.
+  uint64_t Digest64() const { return Fnv1a64(material_); }
+
+  const std::string& material() const { return material_; }
+  std::string ConsumeMaterial() { return std::move(material_); }
+
+ private:
+  std::string material_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_COMMON_FINGERPRINT_H_

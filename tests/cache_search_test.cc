@@ -1,0 +1,461 @@
+// The result cache seen through the public API: responses must be
+// byte-identical with the cache on, off, cold, warm, at every parallelism
+// setting and across pagination — the cache is a throughput knob, never a
+// semantics knob. Plus the lifecycle contracts: a mutation publishes a
+// fresh (cold) cache, a pinned snapshot keeps its warm one, and a
+// concurrent probe/fill/evict hammer (this binary runs under TSan in CI)
+// keeps serving correct responses under a deliberately tiny byte budget.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/database.h"
+#include "src/common/string_util.h"
+
+namespace xks {
+namespace {
+
+/// The uneven corpus of tests/parallel_search_test.cc: variable hit counts
+/// (including zero-hit documents) and variable depths, so early termination,
+/// the ranked merge and the cache all see interesting input.
+Database MakeUnevenCorpus() {
+  Database db;
+  for (int d = 0; d < 10; ++d) {
+    std::string xml = "<lib>";
+    const int hits = (d * 3) % 7;
+    for (int h = 0; h < hits; ++h) {
+      xml += StrFormat("<book><title>keyword study %d-%d</title></book>", d, h);
+    }
+    if (d % 3 == 0) {
+      xml +=
+          "<shelf><row><box><book><title>keyword deep</title></book>"
+          "</box></row></shelf>";
+    }
+    xml += StrFormat("<book><title>filler %d</title></book></lib>", d);
+    EXPECT_TRUE(db.AddDocumentXml("doc" + std::to_string(d), xml).ok());
+  }
+  EXPECT_TRUE(db.Build().ok());
+  return db;
+}
+
+void ExpectSameHit(const Hit& a, const Hit& b, const std::string& where) {
+  EXPECT_EQ(a.document, b.document) << where;
+  EXPECT_EQ(a.document_name, b.document_name) << where;
+  EXPECT_EQ(a.rtf.root, b.rtf.root) << where;
+  EXPECT_EQ(a.rtf.knodes, b.rtf.knodes) << where;
+  EXPECT_EQ(a.rtf.root_is_slca, b.rtf.root_is_slca) << where;
+  EXPECT_EQ(a.score, b.score) << where;  // bitwise: same ops, same order
+  EXPECT_EQ(a.fragment.NodeSet(), b.fragment.NodeSet()) << where;
+  EXPECT_EQ(a.raw.NodeSet(), b.raw.NodeSet()) << where;
+  EXPECT_EQ(a.snippet, b.snippet) << where;
+}
+
+/// Every deterministic response field. Timings are wall-clock and excluded;
+/// served_from_cache / documents_from_cache are the observability fields
+/// whose whole point is to differ between cold and warm, so they are
+/// asserted separately by the tests that care.
+void ExpectSameResponse(const SearchResponse& a, const SearchResponse& b,
+                        const std::string& where) {
+  EXPECT_EQ(a.total_hits, b.total_hits) << where;
+  EXPECT_EQ(a.total_is_exact, b.total_is_exact) << where;
+  EXPECT_EQ(a.stats_are_exact, b.stats_are_exact) << where;
+  EXPECT_EQ(a.documents_searched, b.documents_searched) << where;
+  EXPECT_EQ(a.next_cursor, b.next_cursor) << where;
+  EXPECT_EQ(a.epoch, b.epoch) << where;
+  EXPECT_EQ(a.pruning.raw_nodes, b.pruning.raw_nodes) << where;
+  EXPECT_EQ(a.pruning.kept_nodes, b.pruning.kept_nodes) << where;
+  EXPECT_EQ(a.keyword_node_count, b.keyword_node_count) << where;
+  ASSERT_EQ(a.hits.size(), b.hits.size()) << where;
+  for (size_t i = 0; i < a.hits.size(); ++i) {
+    ExpectSameHit(a.hits[i], b.hits[i], where + " hit " + std::to_string(i));
+  }
+}
+
+/// Walks every page of `request`, failing the test on any non-OK page.
+std::vector<SearchResponse> WalkPages(const Database& db, SearchRequest request,
+                                      bool use_cache, size_t parallelism) {
+  request.use_cache = use_cache;
+  request.max_parallelism = parallelism;
+  std::vector<SearchResponse> pages;
+  std::string cursor;
+  for (int page = 0; page < 64; ++page) {
+    request.cursor = cursor;
+    Result<SearchResponse> response = db.Search(request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    if (!response.ok()) break;
+    cursor = response->next_cursor;
+    pages.push_back(std::move(response).value());
+    if (cursor.empty()) break;
+  }
+  return pages;
+}
+
+SearchRequest PagedRequest(bool rank) {
+  SearchRequest request;
+  request.query = "keyword";
+  request.top_k = 3;
+  request.rank = rank;
+  request.include_stats = true;
+  return request;
+}
+
+TEST(CacheSearchTest, ColdAndWarmMatchUncachedAcrossParallelism) {
+  for (bool rank : {true, false}) {
+    Database db = MakeUnevenCorpus();
+    const SearchRequest request = PagedRequest(rank);
+    // Baseline: cache bypassed (the pre-cache behavior).
+    const std::vector<SearchResponse> baseline =
+        WalkPages(db, request, /*use_cache=*/false, /*parallelism=*/1);
+    ASSERT_GT(baseline.size(), 1u);  // multiple pages, cursors in play
+
+    for (size_t parallelism : {size_t{1}, size_t{2}, size_t{4}}) {
+      // Cold: fills the cache. Warm: served from it. All byte-identical.
+      const std::vector<SearchResponse> cold =
+          WalkPages(db, request, /*use_cache=*/true, parallelism);
+      const std::vector<SearchResponse> warm =
+          WalkPages(db, request, /*use_cache=*/true, parallelism);
+      const std::string where = std::string(rank ? "ranked" : "unranked") +
+                                " p" + std::to_string(parallelism);
+      ASSERT_EQ(cold.size(), baseline.size()) << where;
+      ASSERT_EQ(warm.size(), baseline.size()) << where;
+      for (size_t i = 0; i < baseline.size(); ++i) {
+        const std::string page = where + " page " + std::to_string(i);
+        ExpectSameResponse(cold[i], baseline[i], page + " (cold)");
+        ExpectSameResponse(warm[i], baseline[i], page + " (warm)");
+        // The cold walk executed (and filled) at least the deterministic
+        // replay prefix of every page, so the warm walk is fully warm.
+        EXPECT_TRUE(warm[i].served_from_cache) << page;
+        EXPECT_EQ(warm[i].documents_from_cache, warm[i].documents_searched)
+            << page;
+      }
+    }
+    EXPECT_GT(db.cache_stats().hits, 0u);
+  }
+}
+
+TEST(CacheSearchTest, RawFragmentRequestsMatchToo) {
+  Database db = MakeUnevenCorpus();
+  SearchRequest request = PagedRequest(/*rank=*/true);
+  request.include_raw_fragments = true;
+  const std::vector<SearchResponse> baseline =
+      WalkPages(db, request, /*use_cache=*/false, 1);
+  const std::vector<SearchResponse> cold = WalkPages(db, request, true, 2);
+  const std::vector<SearchResponse> warm = WalkPages(db, request, true, 2);
+  ASSERT_EQ(cold.size(), baseline.size());
+  ASSERT_EQ(warm.size(), baseline.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    ExpectSameResponse(cold[i], baseline[i], "raw cold " + std::to_string(i));
+    ExpectSameResponse(warm[i], baseline[i], "raw warm " + std::to_string(i));
+  }
+}
+
+TEST(CacheSearchTest, UnboundedPageServesIntactEntriesTwice) {
+  // top_k = 0 materializes every candidate. The first (cold) response fills
+  // the cache and must copy — not gut — the entries it just filled; if it
+  // moved out of them, this second walk would serve empty fragments.
+  Database db = MakeUnevenCorpus();
+  SearchRequest request;
+  request.query = "keyword";
+  request.top_k = 0;
+  request.rank = false;
+  request.include_stats = true;
+  const std::vector<SearchResponse> baseline =
+      WalkPages(db, request, /*use_cache=*/false, 1);
+  const std::vector<SearchResponse> first = WalkPages(db, request, true, 1);
+  const std::vector<SearchResponse> second = WalkPages(db, request, true, 1);
+  ASSERT_EQ(baseline.size(), 1u);
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  ASSERT_GT(baseline[0].hits.size(), 0u);
+  ExpectSameResponse(first[0], baseline[0], "unbounded cold");
+  ExpectSameResponse(second[0], baseline[0], "unbounded warm");
+  EXPECT_TRUE(second[0].served_from_cache);
+}
+
+TEST(CacheSearchTest, RankingWeightsShareCachedEntries) {
+  // The cache key excludes ranking: re-ranking a warm query with different
+  // weights must hit every entry (ranking runs downstream of the cache).
+  Database db = MakeUnevenCorpus();
+  SearchRequest request = PagedRequest(/*rank=*/true);
+  ASSERT_TRUE(db.Search(request).ok());  // fill
+  const CacheStats after_fill = db.cache_stats();
+  ASSERT_GT(after_fill.insertions, 0u);
+
+  request.weights.specificity = 0.9;
+  request.weights.proximity = 0.05;
+  Result<SearchResponse> reweighted = db.Search(request);
+  ASSERT_TRUE(reweighted.ok());
+  EXPECT_TRUE(reweighted->served_from_cache);
+  const CacheStats after_reweight = db.cache_stats();
+  EXPECT_EQ(after_reweight.misses, after_fill.misses);
+  EXPECT_GT(after_reweight.hits, after_fill.hits);
+}
+
+TEST(CacheSearchTest, SelectionsShareCachedEntries) {
+  // The cache key excludes the document selection: warming one document
+  // through a restricted search pre-warms it for the full-corpus search.
+  Database db = MakeUnevenCorpus();
+  SearchRequest request = PagedRequest(/*rank=*/true);
+  request.documents = {1};
+  ASSERT_TRUE(db.Search(request).ok());
+
+  request.documents.clear();
+  Result<SearchResponse> full = db.Search(request);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->documents_from_cache, 1u);
+  EXPECT_FALSE(full->served_from_cache);  // partially warm is not "served"
+}
+
+TEST(CacheSearchTest, EveryMutationPublishesAColdCache) {
+  Database db = MakeUnevenCorpus();
+  SearchRequest request = PagedRequest(/*rank=*/true);
+
+  const auto warm_and_check = [&](const std::string& where) {
+    ASSERT_TRUE(db.Search(request).ok()) << where;
+    Result<SearchResponse> again = db.Search(request);
+    ASSERT_TRUE(again.ok()) << where;
+    EXPECT_TRUE(again->served_from_cache) << where;
+    EXPECT_GT(db.cache_stats().hits, 0u) << where;
+  };
+
+  warm_and_check("initial");
+  ASSERT_TRUE(db.AddDocumentXml("extra", "<a><b>keyword add</b></a>").ok());
+  EXPECT_EQ(db.cache_stats().hits, 0u);
+  EXPECT_EQ(db.cache_stats().entry_count, 0u);
+  warm_and_check("after add");
+
+  ASSERT_TRUE(db.RemoveDocument("extra").ok());
+  EXPECT_EQ(db.cache_stats().hits, 0u);
+  warm_and_check("after remove");
+
+  ASSERT_TRUE(db.ReplaceDocumentXml("doc1", "<a><b>keyword new</b></a>").ok());
+  EXPECT_EQ(db.cache_stats().hits, 0u);
+  Result<SearchResponse> post_replace = db.Search(request);
+  ASSERT_TRUE(post_replace.ok());
+  // Cold again — and reflecting the replaced content, not a stale entry.
+  EXPECT_FALSE(post_replace->served_from_cache);
+}
+
+TEST(CacheSearchTest, PinnedSnapshotKeepsItsWarmCacheAcrossMutations) {
+  Database db = MakeUnevenCorpus();
+  std::shared_ptr<const Snapshot> pinned = db.snapshot();
+  ASSERT_NE(pinned, nullptr);
+
+  SearchRequest request = PagedRequest(/*rank=*/true);
+  ASSERT_TRUE(pinned->Search(request).ok());  // warm the pinned cache
+  Result<SearchResponse> baseline = pinned->Search(request);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_TRUE(baseline->served_from_cache);
+  const CacheStats warm = pinned->cache_stats();
+  ASSERT_GT(warm.hits, 0u);
+
+  // Mutate the catalog: the pinned snapshot (and its cache) must not care.
+  ASSERT_TRUE(db.AddDocumentXml("extra", "<a><b>keyword add</b></a>").ok());
+  Result<SearchResponse> after = pinned->Search(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->served_from_cache);
+  ExpectSameResponse(*after, *baseline, "pinned post-mutation");
+  EXPECT_GT(pinned->cache_stats().hits, warm.hits);
+  // The database's current snapshot runs a separate, cold cache.
+  EXPECT_EQ(db.cache_stats().hits, 0u);
+}
+
+TEST(CacheSearchTest, DisabledCacheNeverProbesOrFills) {
+  Database db = MakeUnevenCorpus();
+  CacheConfig config;
+  config.enabled = false;
+  db.set_cache_config(config);
+  EXPECT_FALSE(db.cache_config().enabled);
+
+  SearchRequest request = PagedRequest(/*rank=*/true);
+  for (int i = 0; i < 2; ++i) {
+    Result<SearchResponse> response = db.Search(request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response->served_from_cache);
+    EXPECT_EQ(response->documents_from_cache, 0u);
+  }
+  const CacheStats stats = db.cache_stats();
+  EXPECT_FALSE(stats.enabled);
+  EXPECT_EQ(stats.hits + stats.misses + stats.insertions, 0u);
+}
+
+TEST(CacheSearchTest, PerRequestOptOutBypassesTheCache) {
+  Database db = MakeUnevenCorpus();
+  SearchRequest request = PagedRequest(/*rank=*/true);
+  request.use_cache = false;
+  ASSERT_TRUE(db.Search(request).ok());
+  ASSERT_TRUE(db.Search(request).ok());
+  const CacheStats stats = db.cache_stats();
+  EXPECT_TRUE(stats.enabled);
+  EXPECT_EQ(stats.hits + stats.misses + stats.insertions, 0u);
+}
+
+TEST(CacheSearchTest, CursorsSurviveCacheReconfiguration) {
+  // set_cache_config republishes the snapshot (fresh cache) but is not a
+  // corpus mutation: same epoch, same revision, cursors keep working.
+  Database db = MakeUnevenCorpus();
+  SearchRequest request = PagedRequest(/*rank=*/true);
+  Result<SearchResponse> first = db.Search(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first->next_cursor.empty());
+  const uint64_t epoch_before = db.epoch();
+
+  CacheConfig config;
+  config.capacity_bytes = 1 << 20;
+  db.set_cache_config(config);
+  EXPECT_EQ(db.epoch(), epoch_before);
+  EXPECT_EQ(db.cache_stats().entry_count, 0u);  // fresh cache
+
+  request.cursor = first->next_cursor;
+  Result<SearchResponse> second = db.Search(request);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->epoch, epoch_before);
+}
+
+TEST(CacheSearchTest, TinyBudgetDegradesToCorrectMisses) {
+  // A cache too small to hold anything must behave exactly like no cache:
+  // every response correct, every fill immediately trimmed back out.
+  Database db = MakeUnevenCorpus();
+  CacheConfig config;
+  config.capacity_bytes = 8;  // below any entry's charge, even hitless docs
+  config.max_entry_bytes = 0;
+  config.shards = 1;
+  db.set_cache_config(config);
+
+  const SearchRequest request = PagedRequest(/*rank=*/true);
+  const std::vector<SearchResponse> baseline =
+      WalkPages(db, request, /*use_cache=*/false, 1);
+  const std::vector<SearchResponse> squeezed = WalkPages(db, request, true, 2);
+  ASSERT_EQ(squeezed.size(), baseline.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    ExpectSameResponse(squeezed[i], baseline[i],
+                       "tiny budget page " + std::to_string(i));
+    EXPECT_FALSE(squeezed[i].served_from_cache);
+  }
+  const CacheStats stats = db.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.entry_count, 0u);
+}
+
+TEST(CacheSearchTest, RandomizedRequestsMatchUncachedBaseline) {
+  // A small deterministic property sweep over request shapes: every cached
+  // response (cold or warm — both runs are compared) must equal the
+  // uncached baseline byte for byte.
+  Database db = MakeUnevenCorpus();
+  uint64_t rng = 0x9e3779b97f4a7c15ull;
+  const auto next = [&rng](uint64_t bound) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng % bound;
+  };
+  const std::vector<std::string> queries = {"keyword", "keyword study",
+                                            "filler", "deep keyword", "study"};
+  for (int round = 0; round < 40; ++round) {
+    SearchRequest request;
+    request.query = queries[next(queries.size())];
+    request.rank = next(2) == 0;
+    request.top_k = next(6);  // 0 = unbounded
+    request.pruning = next(2) == 0 ? PruningPolicy::kValidContributor
+                                   : PruningPolicy::kContributor;
+    request.semantics = next(4) == 0 ? LcaSemantics::kSlca : LcaSemantics::kElca;
+    request.include_stats = true;
+    request.include_raw_fragments = next(4) == 0;
+    if (next(3) == 0) {
+      request.documents = {static_cast<DocumentId>(next(10))};
+    }
+    const size_t parallelism = 1 + next(4);
+    const std::string where = "round " + std::to_string(round);
+
+    request.use_cache = false;
+    request.max_parallelism = 1;
+    Result<SearchResponse> baseline = db.Search(request);
+    ASSERT_TRUE(baseline.ok()) << where;
+
+    request.use_cache = true;
+    request.max_parallelism = parallelism;
+    Result<SearchResponse> cached = db.Search(request);
+    ASSERT_TRUE(cached.ok()) << where;
+    ExpectSameResponse(*cached, *baseline, where + " (first)");
+    Result<SearchResponse> again = db.Search(request);
+    ASSERT_TRUE(again.ok()) << where;
+    ExpectSameResponse(*again, *baseline, where + " (second)");
+  }
+}
+
+TEST(CacheSearchTest, ConcurrentProbeFillEvictHammerStaysCorrect) {
+  // Several threads hammer one snapshot with a rotating query workload
+  // against a cache sized to hold only a fraction of the working set, at
+  // parallelism 2, so probes, fills and evictions overlap freely. Every
+  // response must equal its precomputed uncached baseline. TSan (CI) runs
+  // this binary to certify the cache's synchronization.
+  Database db = MakeUnevenCorpus();
+  const std::vector<std::string> queries = {"keyword",      "keyword study",
+                                            "filler",       "deep keyword",
+                                            "study keyword", "keyword filler"};
+  std::vector<SearchResponse> baselines;
+  std::vector<SearchRequest> requests;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    SearchRequest request;
+    request.query = queries[q];
+    request.rank = q % 2 == 0;
+    request.top_k = 4;
+    request.include_stats = true;
+    request.max_parallelism = 2;
+    request.use_cache = false;
+    Result<SearchResponse> baseline = db.Search(request);
+    ASSERT_TRUE(baseline.ok());
+    baselines.push_back(std::move(baseline).value());
+    request.use_cache = true;
+    requests.push_back(std::move(request));
+  }
+
+  // Size the budget to roughly two queries' worth of entries.
+  {
+    SearchRequest fill = requests[0];
+    ASSERT_TRUE(db.Search(fill).ok());
+    const size_t one_query_bytes = db.cache_stats().bytes_in_use;
+    ASSERT_GT(one_query_bytes, 0u);
+    CacheConfig config;
+    config.capacity_bytes = 2 * one_query_bytes;
+    config.max_entry_bytes = 0;
+    config.shards = 2;
+    db.set_cache_config(config);  // republish: fresh cache under pressure
+  }
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kRounds = 60;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        const size_t q = (round + t) % requests.size();
+        Result<SearchResponse> response = db.Search(requests[q]);
+        EXPECT_TRUE(response.ok()) << response.status().ToString();
+        if (!response.ok()) return;
+        ExpectSameResponse(*response, baselines[q],
+                           "thread " + std::to_string(t) + " round " +
+                               std::to_string(round));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Interleaving decides which probes hit during the hammer (a lone thread
+  // cycling 6 queries through a 2-query budget can legitimately miss every
+  // time), so only the deterministic back-to-back pair pins down hits.
+  ASSERT_TRUE(db.Search(requests[0]).ok());
+  ASSERT_TRUE(db.Search(requests[0]).ok());
+  const CacheStats stats = db.cache_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GE(stats.hits + stats.misses, kThreads * kRounds);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,247 @@
+// The shared fingerprint machinery (src/common/fingerprint.h) and the
+// request-identity builders on top of it (src/api/request_fingerprint.h).
+//
+// Two contracts matter here. Stability: the same input always produces the
+// same material and digest, across calls and across runs (FNV-1a golden
+// vectors pin the hash itself). Sensitivity: the cursor fingerprint moves
+// with every request field that changes the page a cursor points into — and
+// ONLY those — while the cache key moves with every field that changes a
+// per-document candidate list, and only those. A field that drifts between
+// the two identities is exactly the bug the shared AppendExecutionShape
+// prefix exists to prevent.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/request_fingerprint.h"
+#include "src/common/fingerprint.h"
+
+namespace xks {
+namespace {
+
+// -- Fnv1a64 -----------------------------------------------------------------
+
+TEST(Fnv1a64Test, MatchesPublishedVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a64Test, SeedChainsLikeConcatenation) {
+  // Hashing "foo" then chaining "bar" through the seed must equal hashing
+  // "foobar" in one go — the property the corpus revision chain relies on.
+  EXPECT_EQ(Fnv1a64("bar", Fnv1a64("foo")), Fnv1a64("foobar"));
+}
+
+// -- Fingerprint accumulator -------------------------------------------------
+
+TEST(FingerprintTest, MaterialEncodingIsAsDocumented) {
+  Fingerprint fp;
+  fp.PutString("ab");
+  fp.PutByte(0x7f);
+  fp.PutBool(true);
+  fp.PutBool(false);
+  EXPECT_EQ(fp.material(), std::string("ab\0\x7f\x01\0", 6));
+}
+
+TEST(FingerprintTest, DigestIsFnvOfMaterial) {
+  Fingerprint fp;
+  fp.PutString("query");
+  fp.PutVarint64(12345);
+  EXPECT_EQ(fp.Digest64(), Fnv1a64(fp.material()));
+}
+
+TEST(FingerprintTest, StringTerminatorPreventsFieldBleed) {
+  // ("ab", "c") and ("a", "bc") must not collide.
+  Fingerprint left;
+  left.PutString("ab");
+  left.PutString("c");
+  Fingerprint right;
+  right.PutString("a");
+  right.PutString("bc");
+  EXPECT_NE(left.material(), right.material());
+}
+
+TEST(FingerprintTest, DoublesUseRawBytes) {
+  Fingerprint fp;
+  const double values[] = {0.25, -1.5};
+  fp.PutDoubles(values, 2);
+  EXPECT_EQ(fp.material().size(), 2 * sizeof(double));
+  EXPECT_EQ(fp.Digest64(), Fnv1a64(fp.material()));
+}
+
+// -- Request identities ------------------------------------------------------
+
+KeywordQuery BaseQuery() {
+  Result<KeywordQuery> query = KeywordQuery::Parse("xml keyword");
+  EXPECT_TRUE(query.ok());
+  return std::move(query).value();
+}
+
+SearchRequest BaseRequest() {
+  SearchRequest request;
+  request.query = "xml keyword";
+  request.top_k = 10;
+  return request;
+}
+
+uint64_t CursorFp(const SearchRequest& request) {
+  return CursorFingerprint(BaseQuery(), request, {0, 1, 2}, /*revision=*/42);
+}
+
+std::string CacheMaterial(const SearchRequest& request, DocumentId id = 7) {
+  return DocumentCacheKey(CacheKeyPrefix(BaseQuery(), request), id).material;
+}
+
+TEST(RequestFingerprintTest, StableAcrossCalls) {
+  const SearchRequest request = BaseRequest();
+  EXPECT_EQ(CursorFp(request), CursorFp(request));
+  EXPECT_EQ(CacheMaterial(request), CacheMaterial(request));
+  CacheKey key = DocumentCacheKey(CacheKeyPrefix(BaseQuery(), request), 7);
+  EXPECT_EQ(key.hash, Fnv1a64(key.material));
+}
+
+TEST(RequestFingerprintTest, CursorSensitiveToEveryResultShapingField) {
+  const SearchRequest base = BaseRequest();
+  const uint64_t fp = CursorFp(base);
+
+  {
+    Result<KeywordQuery> other = KeywordQuery::Parse("different terms");
+    ASSERT_TRUE(other.ok());
+    EXPECT_NE(CursorFingerprint(other.value(), base, {0, 1, 2}, 42), fp);
+  }
+  {
+    SearchRequest r = base;
+    r.semantics = LcaSemantics::kSlca;
+    EXPECT_NE(CursorFp(r), fp);
+  }
+  {
+    SearchRequest r = base;
+    r.elca_algorithm = ElcaAlgorithm::kStackMerge;
+    EXPECT_NE(CursorFp(r), fp);
+  }
+  {
+    SearchRequest r = base;
+    r.slca_algorithm = SlcaAlgorithm::kScanEager;
+    EXPECT_NE(CursorFp(r), fp);
+  }
+  {
+    SearchRequest r = base;
+    r.pruning = PruningPolicy::kContributor;
+    EXPECT_NE(CursorFp(r), fp);
+  }
+  {
+    SearchRequest r = base;
+    r.rank = false;
+    EXPECT_NE(CursorFp(r), fp);
+  }
+  {
+    SearchRequest r = base;
+    r.weights.specificity += 0.125;
+    EXPECT_NE(CursorFp(r), fp);
+  }
+  {
+    SearchRequest r = base;
+    r.weights.match_concentration += 0.125;
+    EXPECT_NE(CursorFp(r), fp);
+  }
+  {
+    SearchRequest r = base;
+    r.top_k = 11;
+    EXPECT_NE(CursorFp(r), fp);
+  }
+  // Corpus revision and document selection are fingerprint inputs too.
+  EXPECT_NE(CursorFingerprint(BaseQuery(), base, {0, 1, 2}, 43), fp);
+  EXPECT_NE(CursorFingerprint(BaseQuery(), base, {0, 1}, 42), fp);
+  EXPECT_NE(CursorFingerprint(BaseQuery(), base, {0, 2, 1}, 42), fp);
+}
+
+TEST(RequestFingerprintTest, CursorIgnoresPresentationAndThroughputFields) {
+  const SearchRequest base = BaseRequest();
+  const uint64_t fp = CursorFp(base);
+
+  SearchRequest r = base;
+  r.include_snippets = !base.include_snippets;
+  r.include_raw_fragments = !base.include_raw_fragments;
+  r.include_stats = !base.include_stats;
+  r.max_parallelism = 7;
+  r.use_cache = !base.use_cache;
+  r.cursor = "xksc2:1:2:3";
+  EXPECT_EQ(CursorFp(r), fp);
+}
+
+TEST(RequestFingerprintTest, CacheKeySensitiveToExecutionShape) {
+  const SearchRequest base = BaseRequest();
+  const std::string material = CacheMaterial(base);
+
+  {
+    Result<KeywordQuery> other = KeywordQuery::Parse("different terms");
+    ASSERT_TRUE(other.ok());
+    EXPECT_NE(DocumentCacheKey(CacheKeyPrefix(other.value(), base), 7).material,
+              material);
+  }
+  {
+    SearchRequest r = base;
+    r.semantics = LcaSemantics::kSlca;
+    EXPECT_NE(CacheMaterial(r), material);
+  }
+  {
+    SearchRequest r = base;
+    r.elca_algorithm = ElcaAlgorithm::kBruteForce;
+    EXPECT_NE(CacheMaterial(r), material);
+  }
+  {
+    SearchRequest r = base;
+    r.slca_algorithm = SlcaAlgorithm::kStackMerge;
+    EXPECT_NE(CacheMaterial(r), material);
+  }
+  {
+    SearchRequest r = base;
+    r.pruning = PruningPolicy::kContributor;
+    EXPECT_NE(CacheMaterial(r), material);
+  }
+  {
+    // keep_raw_fragments changes the cached value (the unpruned trees are
+    // either in the entry or not), so it must split the key space.
+    SearchRequest r = base;
+    r.include_raw_fragments = true;
+    EXPECT_NE(CacheMaterial(r), material);
+  }
+  // The document id is the final key component.
+  EXPECT_NE(CacheMaterial(base, 8), material);
+}
+
+TEST(RequestFingerprintTest, CacheKeyIgnoresRankingPagingAndSelection) {
+  // One cached candidate list serves every ranking, page and selection —
+  // these fields must NOT split the key space (they would destroy reuse).
+  const SearchRequest base = BaseRequest();
+  const std::string material = CacheMaterial(base);
+
+  SearchRequest r = base;
+  r.rank = !base.rank;
+  r.weights.specificity += 0.125;
+  r.top_k = 99;
+  r.cursor = "xksc2:1:2:3";
+  r.documents = {1, 2};
+  r.max_parallelism = 3;
+  r.include_snippets = !base.include_snippets;
+  r.include_stats = !base.include_stats;
+  r.use_cache = false;
+  EXPECT_EQ(CacheMaterial(r), material);
+}
+
+TEST(RequestFingerprintTest, CursorAndCacheShareTheExecutionShapePrefix) {
+  // The no-drift coupling: both identities start with the exact bytes
+  // AppendExecutionShape produces.
+  Fingerprint shape;
+  AppendExecutionShape(&shape, BaseQuery(), BaseRequest());
+  const std::string prefix = CacheKeyPrefix(BaseQuery(), BaseRequest());
+  ASSERT_GE(prefix.size(), shape.material().size());
+  EXPECT_EQ(prefix.substr(0, shape.material().size()), shape.material());
+}
+
+}  // namespace
+}  // namespace xks

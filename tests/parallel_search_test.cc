@@ -75,6 +75,12 @@ std::vector<SearchResponse> WalkPages(const Database& db,
                                       SearchRequest request,
                                       size_t parallelism) {
   request.max_parallelism = parallelism;
+  // This suite is the contract for the *uncached* parallel scan: with the
+  // default-on result cache, the serial baseline walk would fill the
+  // snapshot cache and every parallel walk would replay it, leaving the
+  // fan-out unexercised. Cached-vs-uncached equivalence has its own
+  // contract in tests/cache_search_test.cc.
+  request.use_cache = false;
   std::vector<SearchResponse> pages;
   std::string cursor;
   for (int page = 0; page < 64; ++page) {
@@ -111,6 +117,10 @@ SearchRequest BaseRequest(bool rank, size_t top_k) {
   request.rank = rank;
   request.top_k = top_k;
   request.include_stats = true;
+  // Keep every request in this suite on the uncached scan path (see the
+  // WalkPages comment); the cursor and concurrency tests below would
+  // otherwise certify cache replays instead of the fan-out.
+  request.use_cache = false;
   return request;
 }
 

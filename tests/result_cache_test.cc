@@ -1,0 +1,232 @@
+// xks::ResultCache in isolation: exact-match keys, LRU recency order under
+// byte-budget eviction, the per-entry size cap, counter accounting, and a
+// concurrent probe/fill/evict hammer (this binary runs under TSan in CI).
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/result_cache.h"
+
+namespace xks {
+namespace {
+
+/// A distinguishable candidate list: `marker` is stamped into the content
+/// (so a hammer hit can verify it got the right entry) and `label_bytes`
+/// inflates the approximate size.
+std::shared_ptr<const SearchResult> MakeResult(size_t label_bytes,
+                                               size_t marker) {
+  auto result = std::make_shared<SearchResult>();
+  FragmentResult fragment;
+  fragment.rtf.root = Dewey({1, static_cast<uint32_t>(marker)});
+  FragmentNode node;
+  node.dewey = Dewey({1});
+  node.label = std::string(label_bytes, 'x');
+  fragment.fragment.CreateRoot(node);
+  result->fragments.push_back(std::move(fragment));
+  result->keyword_node_count = marker;
+  return result;
+}
+
+CacheKey Key(const std::string& name) {
+  return CacheKey::FromMaterial("key:" + name);
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(CacheConfig{});
+  EXPECT_EQ(cache.Get(Key("a")), nullptr);
+
+  auto value = MakeResult(16, 1);
+  cache.Put(Key("a"), value);
+  std::shared_ptr<const SearchResult> hit = cache.Get(Key("a"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), value.get());
+
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entry_count, 1u);
+  EXPECT_GT(stats.bytes_in_use, 0u);
+  EXPECT_TRUE(stats.enabled);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(ResultCacheTest, ExactMaterialMatchNotJustHash) {
+  // Same hash, different material must miss: forge a key carrying another
+  // material's hash to prove the probe compares bytes, not digests.
+  ResultCache cache(CacheConfig{});
+  cache.Put(Key("a"), MakeResult(16, 1));
+  CacheKey forged = Key("a");
+  forged.material = "key:b";  // hash still Key("a")'s
+  EXPECT_EQ(cache.Get(forged), nullptr);
+}
+
+TEST(ResultCacheTest, ReplaceSameKeyKeepsOneEntry) {
+  ResultCache cache(CacheConfig{});
+  cache.Put(Key("a"), MakeResult(16, 1));
+  const size_t bytes_first = cache.stats().bytes_in_use;
+  cache.Put(Key("a"), MakeResult(512, 2));
+
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entry_count, 1u);
+  EXPECT_EQ(stats.insertions, 2u);
+  EXPECT_GT(stats.bytes_in_use, bytes_first);  // re-charged, not leaked
+
+  std::shared_ptr<const SearchResult> hit = cache.Get(Key("a"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->keyword_node_count, 2u);
+}
+
+/// The charge of one entry under `config`, observed through the counters
+/// (the bookkeeping overhead constant is internal, so measure it).
+size_t ObservedCharge(const CacheConfig& config, const std::string& name,
+                      size_t label_bytes) {
+  ResultCache probe(config);
+  probe.Put(Key(name), MakeResult(label_bytes, 0));
+  return probe.stats().bytes_in_use;
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedUnderBytePressure) {
+  CacheConfig config;
+  config.shards = 1;
+  const size_t charge = ObservedCharge(config, "a", 64);
+  ASSERT_GT(charge, 0u);
+  config.capacity_bytes = 2 * charge + charge / 2;  // room for two entries
+  ResultCache cache(config);
+
+  cache.Put(Key("a"), MakeResult(64, 1));
+  cache.Put(Key("b"), MakeResult(64, 2));
+  ASSERT_NE(cache.Get(Key("a")), nullptr);  // refresh a; b is now LRU
+  cache.Put(Key("c"), MakeResult(64, 3));   // over budget: b must go
+
+  EXPECT_EQ(cache.Get(Key("b")), nullptr);
+  EXPECT_NE(cache.Get(Key("a")), nullptr);
+  EXPECT_NE(cache.Get(Key("c")), nullptr);
+
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entry_count, 2u);
+  EXPECT_LE(stats.bytes_in_use, config.capacity_bytes);
+}
+
+TEST(ResultCacheTest, PerEntryCapRejectsOversizedValues) {
+  CacheConfig config;
+  config.shards = 1;
+  config.max_entry_bytes = 256;
+  ResultCache cache(config);
+
+  cache.Put(Key("big"), MakeResult(4096, 1));
+  EXPECT_EQ(cache.Get(Key("big")), nullptr);
+
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.entry_count, 0u);
+  EXPECT_EQ(stats.bytes_in_use, 0u);
+}
+
+TEST(ResultCacheTest, EntryLargerThanShardBudgetTrimsItselfOut) {
+  CacheConfig config;
+  config.shards = 1;
+  config.capacity_bytes = 64;  // smaller than any entry's charge
+  config.max_entry_bytes = 0;  // no per-entry cap: budget does the work
+  ResultCache cache(config);
+
+  cache.Put(Key("a"), MakeResult(512, 1));
+  EXPECT_EQ(cache.Get(Key("a")), nullptr);
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entry_count, 0u);
+  EXPECT_EQ(stats.bytes_in_use, 0u);
+}
+
+TEST(ResultCacheTest, EvictionDoesNotInvalidateHandedOutValues) {
+  CacheConfig config;
+  config.shards = 1;
+  config.capacity_bytes = 64;
+  config.max_entry_bytes = 0;
+  ResultCache cache(config);
+
+  auto value = MakeResult(512, 7);
+  cache.Put(Key("a"), value);  // immediately trimmed back out
+  EXPECT_EQ(cache.stats().entry_count, 0u);
+  // The caller's reference (and any reference a Get handed out before the
+  // eviction) stays fully usable.
+  EXPECT_EQ(value->keyword_node_count, 7u);
+  EXPECT_EQ(value->fragments.size(), 1u);
+}
+
+TEST(ResultCacheTest, ZeroShardConfigClampsToOne) {
+  CacheConfig config;
+  config.shards = 0;
+  ResultCache cache(config);
+  cache.Put(Key("a"), MakeResult(16, 1));
+  EXPECT_NE(cache.Get(Key("a")), nullptr);
+}
+
+TEST(ResultCacheTest, ApproximateBytesGrowWithPayload) {
+  auto small = MakeResult(8, 0);
+  auto large = MakeResult(4096, 0);
+  EXPECT_GT(ApproximateResultBytes(*large), ApproximateResultBytes(*small));
+  EXPECT_GE(ApproximateResultBytes(*large) - ApproximateResultBytes(*small),
+            4096u - 8u);
+}
+
+TEST(ResultCacheTest, ConcurrentProbeFillEvictHammer) {
+  // 8 threads over a 32-key space against a cache that can only hold a few
+  // entries per shard: every operation is a probe, every miss a fill, and
+  // the tiny budget keeps eviction running the whole time. Checks: hits
+  // return the right entry (exact-match keys), counters stay coherent, and
+  // TSan (CI) sees no races between Get/Put/stats.
+  CacheConfig config;
+  config.shards = 2;
+  const size_t charge = ObservedCharge(config, "00", 64);
+  config.capacity_bytes = 6 * charge;  // ~3 entries per shard
+  ResultCache cache(config);
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kOpsPerThread = 2000;
+  constexpr size_t kKeySpace = 32;
+  std::atomic<uint64_t> observed_hits{0};
+  std::atomic<uint64_t> observed_misses{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t op = 0; op < kOpsPerThread; ++op) {
+        const size_t k = (op * (t + 1) + t) % kKeySpace;
+        const std::string name =
+            std::string(1, static_cast<char>('a' + k / 8)) +
+            std::string(1, static_cast<char>('a' + k % 8));
+        CacheKey key = Key(name);
+        if (std::shared_ptr<const SearchResult> hit = cache.Get(key)) {
+          // Exact keys: a hit must carry this key's marker.
+          EXPECT_EQ(hit->keyword_node_count, k);
+          observed_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cache.Put(key, MakeResult(64, k));
+          observed_misses.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (op % 256 == 0) (void)cache.stats();  // stats race coverage
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, observed_hits.load());
+  EXPECT_EQ(stats.misses, observed_misses.load());
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kOpsPerThread);
+  EXPECT_EQ(stats.insertions, stats.misses);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes_in_use, config.capacity_bytes);
+}
+
+}  // namespace
+}  // namespace xks
