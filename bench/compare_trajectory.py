@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Gate the bench trajectory: fail when selected micros regress.
+
+Compares two merged trajectory files produced by bench/run_all.sh — a
+committed baseline (BENCH_pr5.json / BENCH_pr6.json) and a fresh run — and
+exits non-zero when any benchmark of the selected Google Benchmark micros
+got slower than the allowed ratio.
+
+    bench/compare_trajectory.py BASELINE.json CURRENT.json \
+        [--threshold 1.25] [--benches micro_parallel_scan micro_result_cache]
+
+Only per-iteration entries are compared (aggregate rows like _mean/_stddev
+are skipped), on cpu_time normalized to nanoseconds — cpu_time is far less
+sensitive than real_time to the noisy neighbours of shared CI runners. When
+a benchmark ran with --benchmark_repetitions, the median across repetitions
+is used on each side, which keeps one slow warm-up rep from tripping the
+gate.
+Benchmarks present on one side only are reported but do not fail the gate
+(renames and additions should not block unrelated PRs); a selected micro
+missing entirely from either file is an error, since that means the gate
+silently stopped gating.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_micro(path, doc, bench):
+    if bench not in doc:
+        sys.exit(f"error: {path} has no '{bench}' section — "
+                 "was it produced by bench/run_all.sh?")
+    samples = {}
+    for row in doc[bench].get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        unit = row.get("time_unit", "ns")
+        if unit not in _TO_NS:
+            sys.exit(f"error: unknown time_unit '{unit}' in {bench}")
+        samples.setdefault(row["name"], []).append(
+            row["cpu_time"] * _TO_NS[unit])
+    if not samples:
+        sys.exit(f"error: '{bench}' in {path} has no iteration rows")
+    return {name: statistics.median(values)
+            for name, values in samples.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="max allowed current/baseline cpu_time ratio")
+    parser.add_argument("--benches", nargs="+",
+                        default=["micro_parallel_scan", "micro_result_cache"],
+                        help="micro sections to gate on")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline_doc = json.load(f)
+    with open(args.current) as f:
+        current_doc = json.load(f)
+
+    regressions = []
+    for bench in args.benches:
+        base = load_micro(args.baseline, baseline_doc, bench)
+        cur = load_micro(args.current, current_doc, bench)
+        print(f"== {bench} (threshold {args.threshold:.2f}x) ==")
+        for name in sorted(base.keys() | cur.keys()):
+            if name not in base:
+                print(f"  NEW      {name}")
+                continue
+            if name not in cur:
+                print(f"  GONE     {name}")
+                continue
+            ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+            verdict = "REGRESS" if ratio > args.threshold else "ok"
+            print(f"  {verdict:<8} {name}: {base[name]:.0f}ns -> "
+                  f"{cur[name]:.0f}ns ({ratio:.2f}x)")
+            if ratio > args.threshold:
+                regressions.append((bench, name, ratio))
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) past "
+              f"{args.threshold:.2f}x:", file=sys.stderr)
+        for bench, name, ratio in regressions:
+            print(f"  {bench}/{name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print("\nbench trajectory OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,23 +1,39 @@
 #!/usr/bin/env bash
 # Runs all 12 bench binaries in machine-readable mode and merges their JSON
-# into one trajectory file (default BENCH_pr5.json at the repo root).
+# into one trajectory file (default BENCH_pr6.json at the repo root).
 #
 #   bench/run_all.sh [build_dir] [output.json]
 #
 # The figure drivers run at reduced scales so the whole sweep stays under a
-# few minutes; the Google Benchmark micros run with a short min_time. The
-# output is one JSON object keyed by bench binary name, each value being the
-# binary's own JSON document ({"bench": ..., "datasets": [...]} for the
-# figure drivers, Google Benchmark's context/benchmarks document for the
-# micros).
+# few minutes; the Google Benchmark micros run with a short min_time. Set
+# XKS_BENCH_FAST=1 (the PR CI bench-trajectory job does) to shrink the
+# figure-driver datasets and the ungated micros' min_time. The two micros the
+# regression gate (bench/compare_trajectory.py) compares always run at the
+# full min_time with repetitions, in fast and full mode alike — their rows
+# must be comparable between a committed full-run baseline and a fast CI
+# run, and short runs of sub-millisecond benches are dominated by warm-up
+# noise. The output is one JSON object
+# keyed by bench binary name, each value being the binary's own JSON
+# document ({"bench": ..., "datasets": [...]} for the figure drivers,
+# Google Benchmark's context/benchmarks document for the micros).
 
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUTPUT="${2:-BENCH_pr5.json}"
+OUTPUT="${2:-BENCH_pr6.json}"
 BENCH_DIR="${BUILD_DIR}/bench"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
+
+if [ "${XKS_BENCH_FAST:-0}" = "1" ]; then
+  DBLP_SCALE=0.002
+  XMARK_SCALE=0.04
+  MIN_TIME=0.02
+else
+  DBLP_SCALE=0.005
+  XMARK_SCALE=0.1
+  MIN_TIME=0.05
+fi
 
 if [ ! -d "${BENCH_DIR}" ]; then
   echo "error: '${BENCH_DIR}' not found — build with -DXKS_BUILD_BENCH=ON first" >&2
@@ -25,20 +41,31 @@ if [ ! -d "${BENCH_DIR}" ]; then
 fi
 
 # Figure drivers: our own --json emission.
-"${BENCH_DIR}/fig5_dblp" 0.005 --parallelism=1 "--json=${TMP_DIR}/fig5_dblp.json"
-"${BENCH_DIR}/fig6_dblp" 0.005 "--json=${TMP_DIR}/fig6_dblp.json"
-"${BENCH_DIR}/fig5_xmark" 0.1 "--json=${TMP_DIR}/fig5_xmark.json"
-"${BENCH_DIR}/fig6_xmark" 0.1 "--json=${TMP_DIR}/fig6_xmark.json"
-"${BENCH_DIR}/table_keyword_freq" 0.005 0.1 "--json=${TMP_DIR}/table_keyword_freq.json"
+"${BENCH_DIR}/fig5_dblp" "${DBLP_SCALE}" --parallelism=1 "--json=${TMP_DIR}/fig5_dblp.json"
+"${BENCH_DIR}/fig6_dblp" "${DBLP_SCALE}" "--json=${TMP_DIR}/fig6_dblp.json"
+"${BENCH_DIR}/fig5_xmark" "${XMARK_SCALE}" "--json=${TMP_DIR}/fig5_xmark.json"
+"${BENCH_DIR}/fig6_xmark" "${XMARK_SCALE}" "--json=${TMP_DIR}/fig6_xmark.json"
+"${BENCH_DIR}/table_keyword_freq" "${DBLP_SCALE}" "${XMARK_SCALE}" "--json=${TMP_DIR}/table_keyword_freq.json"
 
 # Google Benchmark micros: native JSON reporters.
-for micro in ablation_cid micro_incremental_build micro_lca micro_parallel_scan \
-             micro_parse_shred micro_prune micro_result_cache; do
+for micro in ablation_cid micro_incremental_build micro_lca \
+             micro_parse_shred micro_prune; do
   "${BENCH_DIR}/${micro}" \
     --benchmark_format=console \
     --benchmark_out_format=json \
     --benchmark_out="${TMP_DIR}/${micro}.json" \
-    --benchmark_min_time=0.05
+    --benchmark_min_time="${MIN_TIME}"
+done
+
+# Gated micros: fixed min_time + repetitions so any run of this script is
+# comparable to the committed baseline (the gate takes the per-name median).
+for micro in micro_parallel_scan micro_result_cache; do
+  "${BENCH_DIR}/${micro}" \
+    --benchmark_format=console \
+    --benchmark_out_format=json \
+    --benchmark_out="${TMP_DIR}/${micro}.json" \
+    --benchmark_min_time=0.05 \
+    --benchmark_repetitions=3
 done
 
 # Merge: {"bench_name": <document>, ...}.

@@ -1,0 +1,219 @@
+// xks_client — command-line client for the xksd daemon.
+//
+// Sends keyword queries over the wire protocol and prints one line per
+// reply plus a final tally, in a grep-friendly shape the CI server job
+// asserts against:
+//
+//   reply id=3 status=OK hits=10 total=27 epoch=1
+//   reply id=4 status=DeadlineExceeded message=...
+//   tally: sent=12 ok=4 deadline_exceeded=0 resource_exhausted=8 unavailable=0 other=0
+//
+// Modes:
+//   xks_client --port P "xml keyword"             one call, one reply
+//   xks_client --port P a b c                     three sequential calls
+//   xks_client --port P --count 32 --pipeline q   burst: 32 pipelined copies
+//                                                 (reply order is NOT send
+//                                                 order; ids match them up)
+//
+// Exit code: 0 when every reply is OK — or, under --expect-status NAME,
+// when at least one reply carries that status (how CI asserts that a tiny
+// deadline really produces DeadlineExceeded and a burst really sheds with
+// ResourceExhausted).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/server/client.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port PORT [options] QUERY [QUERY...]\n"
+      "  --host ADDR          server address (default 127.0.0.1)\n"
+      "  --deadline-ms N      per-request deadline (0 = none)\n"
+      "  --count N            send each QUERY N times (default 1)\n"
+      "  --pipeline           send all requests before reading any reply\n"
+      "  --top-k K            page size (default 10)\n"
+      "  --no-cache           bypass the server-side result cache\n"
+      "  --quiet              tally only, no per-reply lines\n"
+      "  --expect-status NAME succeed iff >=1 reply has this status code\n"
+      "                       (e.g. DeadlineExceeded, ResourceExhausted)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint64_t port = 0;
+  uint64_t deadline_ms = 0;
+  uint64_t count = 1;
+  uint64_t top_k = 10;
+  bool pipeline = false;
+  bool use_cache = true;
+  bool quiet = false;
+  std::string expect_status;
+  std::vector<std::string> queries;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "xks_client: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--count") {
+      count = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--top-k") {
+      top_k = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--pipeline") {
+      pipeline = true;
+    } else if (arg == "--no-cache") {
+      use_cache = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--expect-status") {
+      expect_status = next();
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "xks_client: unknown flag '%s'\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    } else {
+      queries.push_back(arg);
+    }
+  }
+  if (port == 0 || port > 65535 || queries.empty() || count == 0) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  auto connected = xks::XksClient::Connect(host, static_cast<uint16_t>(port));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "xks_client: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  xks::XksClient client = std::move(connected).value();
+
+  std::vector<xks::SearchRequest> requests;
+  for (const std::string& query : queries) {
+    for (uint64_t c = 0; c < count; ++c) {
+      xks::SearchRequest request;
+      request.query = query;
+      request.top_k = top_k;
+      request.deadline_ms = deadline_ms;
+      request.use_cache = use_cache;
+      requests.push_back(std::move(request));
+    }
+  }
+
+  uint64_t sent = 0;
+  uint64_t ok = 0, deadline = 0, exhausted = 0, unavailable = 0, other = 0;
+  uint64_t expected_seen = 0;
+  bool transport_error = false;
+
+  auto consume = [&](const xks::XksClient::Reply& reply) {
+    std::string code_name = "OK";
+    if (reply.outcome.ok()) {
+      ++ok;
+      const xks::SearchResponse& response = reply.outcome.value();
+      if (!quiet) {
+        std::printf("reply id=%llu status=OK hits=%zu total=%zu epoch=%llu\n",
+                    static_cast<unsigned long long>(reply.request_id),
+                    response.hits.size(), response.total_hits,
+                    static_cast<unsigned long long>(response.epoch));
+      }
+    } else {
+      const xks::Status& status = reply.outcome.status();
+      code_name = std::string(xks::StatusCodeName(status.code()));
+      switch (status.code()) {
+        case xks::StatusCode::kDeadlineExceeded:
+          ++deadline;
+          break;
+        case xks::StatusCode::kResourceExhausted:
+          ++exhausted;
+          break;
+        case xks::StatusCode::kUnavailable:
+          ++unavailable;
+          break;
+        default:
+          ++other;
+          break;
+      }
+      if (!quiet) {
+        std::printf("reply id=%llu status=%s message=%s\n",
+                    static_cast<unsigned long long>(reply.request_id),
+                    code_name.c_str(), status.message().c_str());
+      }
+    }
+    if (code_name == expect_status) ++expected_seen;
+  };
+
+  if (pipeline) {
+    for (size_t r = 0; r < requests.size(); ++r) {
+      const xks::Status status =
+          client.Send(static_cast<uint64_t>(r + 1), requests[r]);
+      if (!status.ok()) {
+        std::fprintf(stderr, "xks_client: send: %s\n",
+                     status.ToString().c_str());
+        transport_error = true;
+        break;
+      }
+      ++sent;
+    }
+    for (uint64_t r = 0; r < sent; ++r) {
+      auto reply = client.Receive();
+      if (!reply.ok()) {
+        std::fprintf(stderr, "xks_client: receive: %s\n",
+                     reply.status().ToString().c_str());
+        transport_error = true;
+        break;
+      }
+      consume(reply.value());
+    }
+  } else {
+    for (const xks::SearchRequest& request : requests) {
+      auto reply = client.Call(request);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "xks_client: call: %s\n",
+                     reply.status().ToString().c_str());
+        transport_error = true;
+        break;
+      }
+      ++sent;
+      consume(reply.value());
+    }
+  }
+
+  std::printf(
+      "tally: sent=%llu ok=%llu deadline_exceeded=%llu "
+      "resource_exhausted=%llu unavailable=%llu other=%llu\n",
+      static_cast<unsigned long long>(sent), static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(deadline),
+      static_cast<unsigned long long>(exhausted),
+      static_cast<unsigned long long>(unavailable),
+      static_cast<unsigned long long>(other));
+  std::fflush(stdout);
+
+  if (transport_error) return 1;
+  if (!expect_status.empty()) return expected_seen > 0 ? 0 : 1;
+  return ok == sent ? 0 : 1;
+}

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/cancel_token.h"
 #include "src/core/engine.h"
 #include "src/core/query.h"
 #include "src/core/ranking.h"
@@ -79,6 +80,21 @@ struct SearchRequest {
   /// is NOT part of the cursor fingerprint. Set false to bypass the cache
   /// for one request (measurement runs, one-off scans not worth caching).
   bool use_cache = true;
+
+  /// Wall-clock budget for this request in milliseconds, measured from
+  /// Search() entry; 0 = no deadline. An expired deadline makes Search
+  /// return DeadlineExceeded — never a partial response: dispatch stops
+  /// cooperatively mid-scan (the contiguous-prefix contract holds, claimed
+  /// documents finish) and the whole response is withheld. Purely an
+  /// execution knob, NOT part of the cursor fingerprint: a cursor minted
+  /// under one deadline continues under any other.
+  uint64_t deadline_ms = 0;
+  /// External cancellation (client disconnect, server shutdown): a token
+  /// whose source fires makes Search return Cancelled at the next
+  /// checkpoint, with the same no-partial-response guarantee as deadlines.
+  /// Combines with deadline_ms — the earlier of the two wins. The default
+  /// token never fires and costs nothing.
+  CancelToken cancel;
 
   /// Attach the rendered fragment tree text to each returned hit.
   bool include_snippets = true;

@@ -18,13 +18,15 @@ struct Candidate {
   double score = 0;
 };
 
-SearchOptions PipelineOptions(const SearchRequest& request) {
+SearchOptions PipelineOptions(const SearchRequest& request,
+                              const CancelToken& cancel) {
   SearchOptions options;
   options.semantics = request.semantics;
   options.elca_algorithm = request.elca_algorithm;
   options.slca_algorithm = request.slca_algorithm;
   options.pruning = request.pruning;
   options.keep_raw_fragments = request.include_raw_fragments;
+  options.cancel = cancel;
   return options;
 }
 
@@ -120,6 +122,18 @@ Status Snapshot::ResolveSelection(const std::vector<DocumentId>& requested,
 }
 
 Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
+  // The effective cancellation token: the caller's token tightened by the
+  // request's deadline budget (measured from here — entry). Every checkpoint
+  // below polls this one token, so explicit cancellation and deadlines share
+  // one code path; a request with neither costs nothing extra.
+  CancelToken cancel = request.cancel;
+  if (request.deadline_ms > 0) {
+    cancel = cancel.WithDeadlineAfter(
+        std::chrono::milliseconds(request.deadline_ms));
+  }
+  const bool cancellable = cancel.can_expire();
+  if (cancellable && cancel.cancelled()) return cancel.status();
+
   // Resolve the query.
   KeywordQuery query;
   if (!request.terms.empty()) {
@@ -171,7 +185,7 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
   // a contiguous prefix of the selection. Without ranking, hits already
   // arrive in final order, so dispatch stops once the page plus one
   // look-ahead hit (the next_cursor probe) is known.
-  const SearchOptions options = PipelineOptions(request);
+  const SearchOptions options = PipelineOptions(request, cancel);
   const size_t needed =
       request.top_k == 0 ? SIZE_MAX : offset + request.top_k + 1;
   // Cross-document score comparability: every document normalizes
@@ -241,6 +255,7 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
   };
   ParallelForOptions fan_out;
   fan_out.max_parallelism = request.max_parallelism;
+  fan_out.cancel = cancel;
   if (!request.rank && needed != SIZE_MAX) {
     fan_out.stop = [&hits_seen, &failed, needed] {
       return failed.load(std::memory_order_relaxed) ||
@@ -254,6 +269,13 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
   size_t executed = 0;
   XKS_ASSIGN_OR_RETURN(
       executed, ParallelFor(selection.size(), execute_document, fan_out));
+
+  // No partial-response leak on cancellation: a deadline or cancel that
+  // fired anywhere during the fan-out (stopping dispatch, or unwinding a
+  // document mid-pipeline) withholds the whole response. Checked before the
+  // replay so a response can never silently reflect a cancellation-truncated
+  // prefix as if it were an ordinary early termination.
+  if (cancellable && cancel.cancelled()) return cancel.status();
 
   // Phase 1.5: replay the executed prefix in selection order, reconstructing
   // exactly the documents a serial scan would have covered. A parallel scan

@@ -1,0 +1,34 @@
+#include "src/common/cancel_token.h"
+
+#include <algorithm>
+
+namespace xks {
+
+Status CancelToken::status() const {
+  if (flag_ != nullptr && flag_->load(std::memory_order_acquire)) {
+    return Status::Cancelled("request cancelled");
+  }
+  if (deadline_ != Clock::time_point::max() && Clock::now() >= deadline_) {
+    return Status::DeadlineExceeded("deadline exceeded");
+  }
+  return Status::OK();
+}
+
+CancelToken CancelToken::WithDeadline(Clock::time_point deadline) const {
+  CancelToken derived = *this;
+  derived.deadline_ = std::min(deadline_, deadline);
+  return derived;
+}
+
+CancelToken CancelToken::WithDeadlineAfter(
+    std::chrono::milliseconds budget) const {
+  return WithDeadline(Clock::now() + budget);
+}
+
+CancelToken CancelSource::token() const {
+  CancelToken token;
+  token.flag_ = flag_;
+  return token;
+}
+
+}  // namespace xks

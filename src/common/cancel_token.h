@@ -1,0 +1,98 @@
+// Cooperative cancellation for long-running work.
+//
+// A CancelSource owns a cancellation flag; the CancelTokens it hands out
+// observe that flag plus an optional deadline of their own. Work loops poll
+// token.cancelled() at natural checkpoints (between pipeline stages, before
+// claiming the next document of a corpus scan) and unwind with
+// token.status() — there is no preemption, which is exactly what makes
+// cancellation safe to thread through WorkerPool::ParallelFor and
+// ExecuteSearch: a cancelled scan stops *dispatching* new work while every
+// claimed unit still runs to completion, preserving the contiguous-prefix
+// contract the corpus merge depends on.
+//
+// Tokens are cheap value types. A default-constructed token can never fire
+// (no flag, no deadline) and its cancelled() is two branch-free compares, so
+// the uncancellable fast path — every pre-existing caller — pays nothing.
+// Deriving a deadline-bearing token (WithDeadline / WithDeadlineAfter)
+// shares the source's flag and tightens the deadline monotonically, so a
+// server can stack "client disconnected" (flag) on top of "request deadline"
+// (time) on top of a library caller's own budget, and the earliest of them
+// wins.
+//
+// Thread safety: CancelSource::Cancel and every CancelToken accessor may be
+// called concurrently from any thread.
+
+#ifndef XKS_COMMON_CANCEL_TOKEN_H_
+#define XKS_COMMON_CANCEL_TOKEN_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "src/common/status.h"
+
+namespace xks {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A token that can never fire.
+  CancelToken() = default;
+
+  /// True once the source fired or the deadline passed. Safe and cheap to
+  /// poll from any thread; tokens without a deadline never read the clock.
+  bool cancelled() const {
+    if (flag_ != nullptr && flag_->load(std::memory_order_acquire)) return true;
+    return deadline_ != Clock::time_point::max() && Clock::now() >= deadline_;
+  }
+
+  /// True when this token could ever fire (it observes a source or carries a
+  /// deadline). Lets hot loops skip the poll entirely for inert tokens.
+  bool can_expire() const {
+    return flag_ != nullptr || deadline_ != Clock::time_point::max();
+  }
+
+  /// Why the token fired: Cancelled when the source was fired (explicit
+  /// cancellation wins over a deadline that also happens to have passed),
+  /// DeadlineExceeded when only the deadline passed, OK while live.
+  Status status() const;
+
+  /// A derived token sharing this token's source, with its deadline
+  /// tightened to min(current, `deadline`). Never loosens.
+  CancelToken WithDeadline(Clock::time_point deadline) const;
+
+  /// WithDeadline(now + budget).
+  CancelToken WithDeadlineAfter(std::chrono::milliseconds budget) const;
+
+  bool has_deadline() const { return deadline_ != Clock::time_point::max(); }
+  Clock::time_point deadline() const { return deadline_; }
+
+ private:
+  friend class CancelSource;
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+  Clock::time_point deadline_ = Clock::time_point::max();
+};
+
+/// Owns the flag behind a family of CancelTokens.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Fires every token derived from this source. Idempotent, thread-safe.
+  void Cancel() { flag_->store(true, std::memory_order_release); }
+
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+  /// A token observing this source (no deadline; derive one with
+  /// CancelToken::WithDeadline as needed).
+  CancelToken token() const;
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_COMMON_CANCEL_TOKEN_H_

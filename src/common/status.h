@@ -25,6 +25,12 @@ enum class StatusCode {
   kUnsupported,
   kFailedPrecondition,
   kInternal,
+  // Appended by the query-service work (serialized over the wire by
+  // src/server/wire.cc, so this enum is append-only from here on).
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK", "ParseError", ...).
@@ -75,6 +81,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the operation succeeded.

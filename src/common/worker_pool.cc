@@ -102,10 +102,15 @@ Result<size_t> ParallelFor(size_t count,
       std::min(count == 0 ? 1 : count, options.max_parallelism == 0
                                            ? WorkerPool::DefaultParallelism()
                                            : options.max_parallelism);
+  // A token that can never fire must stay off the claim path entirely (it
+  // would otherwise cost a clock read per index for every legacy caller).
+  const bool cancellable = options.cancel.can_expire();
+
   if (parallelism <= 1) {
     size_t executed = 0;
     for (size_t i = 0; i < count; ++i) {
       if (options.stop && options.stop()) break;
+      if (cancellable && options.cancel.cancelled()) break;
       XKS_RETURN_IF_ERROR(RunBody(body, i));
       ++executed;
     }
@@ -122,6 +127,7 @@ Result<size_t> ParallelFor(size_t count,
     for (;;) {
       if (halt.load(std::memory_order_acquire)) return;
       if (options.stop && options.stop()) return;
+      if (cancellable && options.cancel.cancelled()) return;
       // Claim-then-always-run keeps the executed set a contiguous prefix:
       // a stop/halt observed after the claim does not abandon the index.
       const size_t index = next.fetch_add(1, std::memory_order_relaxed);

@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/cancel_token.h"
 #include "src/common/result.h"
 
 namespace xks {
@@ -79,6 +80,14 @@ struct ParallelForOptions {
   /// indices are dispatched (in-flight bodies still finish). Must be safe to
   /// call from any worker thread.
   std::function<bool()> stop;
+  /// Cooperative cancellation, checked exactly like `stop`: a fired token
+  /// (explicit cancel or expired deadline) stops further dispatch while
+  /// already-claimed indices run to completion, so the executed set is still
+  /// a contiguous prefix and ParallelFor still returns its size. Callers
+  /// that must distinguish "cancelled" from "ran out of work" inspect the
+  /// token afterwards; ParallelFor itself does not turn cancellation into an
+  /// error. Default-constructed tokens never fire and cost nothing.
+  CancelToken cancel;
 };
 
 /// Runs body(0) … body(count - 1), up to options.max_parallelism at a time,

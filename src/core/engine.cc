@@ -64,15 +64,23 @@ Result<SearchResult> ExecuteSearch(const ShreddedStore& store,
                                    const SearchOptions& options) {
   SearchResult result;
 
+  // Cancellation checkpoints sit at the stage boundaries plus inside the
+  // per-fragment prune loop (the only stage whose cost grows with the result
+  // set); the poll is skipped entirely for tokens that can never fire.
+  const bool cancellable = options.cancel.can_expire();
+  if (cancellable && options.cancel.cancelled()) return options.cancel.status();
+
   auto t0 = Clock::now();
   KeywordNodeLists keyword_nodes = GetKeywordNodes(store, query);
   const KeywordLists& lists = keyword_nodes.views;
   for (const PostingList* list : lists) result.keyword_node_count += list->size();
   result.timings.get_keyword_nodes_ms = MsSince(t0);
+  if (cancellable && options.cancel.cancelled()) return options.cancel.status();
 
   auto t1 = Clock::now();
   std::vector<Dewey> lcas = GetLcaNodes(lists, options);
   result.timings.get_lca_ms = MsSince(t1);
+  if (cancellable && options.cancel.cancelled()) return options.cancel.status();
 
   auto t2 = Clock::now();
   std::vector<Rtf> rtfs = GetRtfs(lcas, lists);
@@ -86,11 +94,15 @@ Result<SearchResult> ExecuteSearch(const ShreddedStore& store,
     }
   }
   result.timings.get_rtf_ms = MsSince(t2);
+  if (cancellable && options.cancel.cancelled()) return options.cancel.status();
 
   auto t3 = Clock::now();
   StoreMetadata metadata(&store);
   result.fragments.reserve(rtfs.size());
   for (Rtf& rtf : rtfs) {
+    if (cancellable && options.cancel.cancelled()) {
+      return options.cancel.status();
+    }
     FragmentResult fragment;
     FragmentTree raw;
     XKS_ASSIGN_OR_RETURN(raw, BuildFragmentTree(rtf, metadata));

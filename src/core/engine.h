@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "src/common/cancel_token.h"
 #include "src/core/metadata.h"
 #include "src/core/prune.h"
 #include "src/core/query.h"
@@ -51,6 +52,12 @@ struct SearchOptions {
   /// Mark RTFs whose root is also an SLCA (Section 2's "easy to distinguish
   /// the SLCA related RTFs"). Costs one extra SLCA pass under kElca.
   bool flag_slca_roots = true;
+  /// Cooperative cancellation: polled between pipeline stages and per
+  /// fragment in the prune loop. A fired token makes ExecuteSearch unwind
+  /// with its status (Cancelled / DeadlineExceeded) instead of a result; a
+  /// default token never fires and costs nothing. Not part of the result
+  /// cache key — a cancelled execution never produces a cacheable result.
+  CancelToken cancel;
 };
 
 /// One query result: the raw RTF plus its (pruned) fragment tree.

@@ -1,0 +1,115 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "src/server/wire.h"
+
+namespace xks {
+
+Result<XksClient> XksClient::Connect(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad server address '" + host +
+                                   "' (numeric IPv4 expected)");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status =
+        Status::IoError("connect " + host + ":" + std::to_string(port) + ": " +
+                        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return XksClient(fd);
+}
+
+XksClient::XksClient(XksClient&& other) noexcept
+    : fd_(other.fd_), next_request_id_(other.next_request_id_) {
+  other.fd_ = -1;
+}
+
+XksClient& XksClient::operator=(XksClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+XksClient::~XksClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status XksClient::Send(uint64_t request_id, const SearchRequest& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  Frame frame;
+  frame.kind = FrameKind::kSearchRequest;
+  frame.request_id = request_id;
+  frame.body = EncodeSearchRequest(request);
+  return WriteFrame(fd_, frame);
+}
+
+Result<XksClient::Reply> XksClient::Receive() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  Frame frame;
+  XKS_ASSIGN_OR_RETURN(frame, ReadFrame(fd_));
+  Reply reply;
+  reply.request_id = frame.request_id;
+  switch (frame.kind) {
+    case FrameKind::kSearchResponse: {
+      reply.raw_response = frame.body;
+      SearchResponse response;
+      XKS_ASSIGN_OR_RETURN(response, DecodeSearchResponse(frame.body));
+      reply.outcome = std::move(response);
+      return reply;
+    }
+    case FrameKind::kStatus: {
+      Status status;
+      XKS_RETURN_IF_ERROR(DecodeStatusPayload(frame.body, &status));
+      if (status.ok()) {
+        return Status::Corruption("server sent an OK status frame");
+      }
+      reply.outcome = status;
+      return reply;
+    }
+    case FrameKind::kSearchRequest:
+      break;
+  }
+  return Status::Corruption("unexpected frame kind from server");
+}
+
+Result<XksClient::Reply> XksClient::Call(const SearchRequest& request) {
+  const uint64_t id = ++next_request_id_;
+  XKS_RETURN_IF_ERROR(Send(id, request));
+  Reply reply;
+  XKS_ASSIGN_OR_RETURN(reply, Receive());
+  if (reply.request_id != id) {
+    return Status::Internal("reply id " + std::to_string(reply.request_id) +
+                            " does not match request id " + std::to_string(id));
+  }
+  return reply;
+}
+
+void XksClient::FinishSending() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace xks

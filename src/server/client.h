@@ -1,0 +1,79 @@
+// XksClient — a blocking client for the xksd wire protocol.
+//
+// Two usage styles:
+//
+//   * Call(): send one request, wait for its reply. The simple scripting
+//     path (one outstanding request at a time).
+//   * Send()/Receive(): pipelining. Any number of requests go out with
+//     caller-chosen ids; replies are Received as the server finishes them —
+//     which, because the server batches and executes members concurrently,
+//     is NOT necessarily send order. Match replies to requests by id.
+//
+// A reply is either the SearchResponse or the server's non-OK Status for
+// that request (deadline exceeded, overload shed, bad request, draining) —
+// Receive surfaces both through Reply. Transport-level failures (connection
+// refused/reset, framing garbage) surface as the Result error of
+// Connect/Send/Receive themselves.
+//
+// Instances are NOT thread-safe; use one client per thread or lock
+// externally. Used by examples/xks_client.cpp and tests/server_test.cc.
+
+#ifndef XKS_SERVER_CLIENT_H_
+#define XKS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/api/search_types.h"
+#include "src/common/result.h"
+
+namespace xks {
+
+class XksClient {
+ public:
+  /// One reply, matched to the request that carried `request_id`.
+  struct Reply {
+    uint64_t request_id = 0;
+    /// The response, or the server's error Status for this request.
+    Result<SearchResponse> outcome = Status::Internal("uninitialized");
+    /// The raw response body bytes exactly as the server sent them
+    /// (EncodeSearchResponse output; empty for Status replies). This is
+    /// what the byte-identity contract with the library is tested against.
+    std::string raw_response;
+  };
+
+  /// Connects to `host`:`port` (numeric IPv4).
+  static Result<XksClient> Connect(const std::string& host, uint16_t port);
+
+  XksClient(XksClient&& other) noexcept;
+  XksClient& operator=(XksClient&& other) noexcept;
+  ~XksClient();
+
+  XksClient(const XksClient&) = delete;
+  XksClient& operator=(const XksClient&) = delete;
+
+  /// Sends `request` under `request_id` without waiting.
+  Status Send(uint64_t request_id, const SearchRequest& request);
+
+  /// Blocks for the next reply frame, whichever request it answers.
+  Result<Reply> Receive();
+
+  /// Send + Receive for the single-outstanding-request case. (With
+  /// pipelined requests in flight, use Send/Receive directly — Call would
+  /// misattribute an earlier request's reply.)
+  Result<Reply> Call(const SearchRequest& request);
+
+  /// Half-closes the write side, telling the server no more requests are
+  /// coming while replies can still be read.
+  void FinishSending();
+
+ private:
+  explicit XksClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 0;
+};
+
+}  // namespace xks
+
+#endif  // XKS_SERVER_CLIENT_H_

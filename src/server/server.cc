@@ -1,0 +1,217 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "src/server/wire.h"
+
+namespace xks {
+
+XksServer::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+XksServer::XksServer(const Database* db, const ServerConfig& config)
+    : db_(db), config_(config) {
+  service_ = std::make_unique<QueryService>(db_, config_.service);
+}
+
+XksServer::~XksServer() { Shutdown(); }
+
+Status XksServer::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (started_) return Status::FailedPrecondition("server already started");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address '" + config_.host +
+                                   "' (numeric IPv4 expected)");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status =
+        Status::IoError(std::string("bind ") + config_.host + ":" +
+                        std::to_string(config_.port) + ": " +
+                        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  // Recover the bound port (meaningful for port 0 = ephemeral).
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void XksServer::AcceptLoop() {
+  uint64_t next_connection_id = 0;
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Shutdown() wakes this accept via shutdown(listen_fd_); any other
+      // persistent accept failure also ends the loop (the listener is gone).
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->id = ++next_connection_id;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(conn);
+      reader_threads_.emplace_back(
+          [this, conn]() mutable { ReaderLoop(std::move(conn)); });
+    }
+  }
+}
+
+void XksServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    Result<Frame> frame = ReadFrame(conn->fd, config_.max_frame_bytes);
+    if (!frame.ok()) break;  // clean close, peer error or framing garbage
+
+    if (frame->kind != FrameKind::kSearchRequest) {
+      WriteReply(conn, frame->request_id,
+                 Status::InvalidArgument("expected a search request frame"));
+      continue;
+    }
+    Result<SearchRequest> request = DecodeSearchRequest(frame->body);
+    if (!request.ok()) {
+      WriteReply(conn, frame->request_id, request.status());
+      continue;
+    }
+
+    // One CancelSource per in-flight request: fired when the connection
+    // drops, so abandoned queries stop dispatching mid-scan. The entry is
+    // erased by the done-callback — the reply has been written (or dropped
+    // on a closed connection) by then.
+    const uint64_t request_id = frame->request_id;
+    CancelToken token;
+    {
+      std::lock_guard<std::mutex> lock(conn->inflight_mutex);
+      token = conn->inflight[request_id].token();
+    }
+    std::shared_ptr<Connection> conn_ref = conn;
+    const Status admitted = service_->Submit(
+        conn->id, std::move(request).value(), token,
+        [conn_ref, request_id](Result<SearchResponse> outcome) {
+          WriteReply(conn_ref, request_id, outcome);
+          std::lock_guard<std::mutex> lock(conn_ref->inflight_mutex);
+          conn_ref->inflight.erase(request_id);
+        });
+    if (!admitted.ok()) {
+      // Shed synchronously (overload, quota, draining): the rejection IS the
+      // reply for this request id.
+      WriteReply(conn, request_id, admitted);
+      std::lock_guard<std::mutex> lock(conn->inflight_mutex);
+      conn->inflight.erase(request_id);
+    }
+  }
+  // Disconnect: everything this connection still has in flight is abandoned
+  // work — fire the cancel sources so the scans unwind cooperatively.
+  conn->closed.store(true, std::memory_order_release);
+  CancelAllInflight(conn.get());
+  ::shutdown(conn->fd, SHUT_RDWR);
+  // The fd itself is closed by the Connection destructor, once the last
+  // in-flight done-callback drops its reference — never while a concurrent
+  // WriteReply could still be using it.
+}
+
+void XksServer::WriteReply(const std::shared_ptr<Connection>& conn,
+                           uint64_t request_id,
+                           const Result<SearchResponse>& outcome) {
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  Frame frame;
+  frame.request_id = request_id;
+  if (outcome.ok()) {
+    frame.kind = FrameKind::kSearchResponse;
+    frame.body = EncodeSearchResponse(outcome.value());
+  } else {
+    frame.kind = FrameKind::kStatus;
+    frame.body = EncodeStatusPayload(outcome.status());
+  }
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  if (!WriteFrame(conn->fd, frame).ok()) {
+    conn->closed.store(true, std::memory_order_release);
+  }
+}
+
+void XksServer::CancelAllInflight(Connection* conn) {
+  std::lock_guard<std::mutex> lock(conn->inflight_mutex);
+  for (auto& [id, source] : conn->inflight) source.Cancel();
+}
+
+void XksServer::Shutdown() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+
+  // 1. Stop accepting: wake the blocked accept and join the acceptor, after
+  //    which the connection/reader lists are stable.
+  shutting_down_.store(true, std::memory_order_release);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Drain the service: every admitted query completes and its reply is
+  //    written to its (still open) connection; new submissions from live
+  //    readers are rejected with Unavailable.
+  service_->Drain();
+
+  // 3. Now the readers: wake each one out of its blocking read and join.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& conn : connections_) {
+      conn->closed.store(true, std::memory_order_release);
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& reader : reader_threads_) {
+    if (reader.joinable()) reader.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    reader_threads_.clear();
+    connections_.clear();  // destructors close the fds
+  }
+
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+ServiceStats XksServer::service_stats() const { return service_->stats(); }
+
+}  // namespace xks

@@ -1,0 +1,129 @@
+// XksServer — the TCP front end of the xksd daemon.
+//
+// A thin network shell around QueryService: it owns the listening socket,
+// one reader thread per accepted connection, and the framing
+// (src/server/wire.h). Everything interesting — batching, admission
+// control, deadlines — lives in the service; the server's own jobs are:
+//
+//   * decode request frames and Submit them under the connection's client
+//     id (the unit the per-connection in-flight quota is enforced on);
+//   * write each outcome back as a response or Status frame, under a
+//     per-connection write lock so concurrently completing batch members
+//     interleave frame-atomically;
+//   * arm a CancelSource per in-flight request and fire it when the
+//     connection drops, so a disconnected client's queries stop consuming
+//     the corpus scan mid-flight (cooperative cancellation);
+//   * graceful drain: Shutdown() stops accepting, lets the service finish
+//     every admitted query (responses still flow to connected clients),
+//     then closes connections and joins all threads. This is what SIGTERM
+//     maps to in xksd_main.
+//
+// Lifecycle: construct → Start() (binds; port() is then real, also for
+// port 0 = ephemeral) → serve → Shutdown() (idempotent). The Database must
+// outlive the server.
+
+#ifndef XKS_SERVER_SERVER_H_
+#define XKS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/api/database.h"
+#include "src/common/cancel_token.h"
+#include "src/common/result.h"
+#include "src/server/service.h"
+
+namespace xks {
+
+struct ServerConfig {
+  /// Listen address. Loopback by default: xksd is a backend daemon; fronting
+  /// it to the world is a deliberate flag away (xksd --host 0.0.0.0).
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is available from port() after Start().
+  uint16_t port = 0;
+  /// Incoming frame size ceiling (protects against hostile length prefixes).
+  size_t max_frame_bytes = 16u << 20;
+  ServiceConfig service;
+};
+
+class XksServer {
+ public:
+  /// `db` must outlive the server.
+  XksServer(const Database* db, const ServerConfig& config);
+
+  /// Shutdown() if still running.
+  ~XksServer();
+
+  XksServer(const XksServer&) = delete;
+  XksServer& operator=(const XksServer&) = delete;
+
+  /// Binds, listens and starts accepting. InvalidArgument/IoError on bad
+  /// host or bind failure.
+  Status Start();
+
+  /// The bound port; 0 before Start().
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, finish every admitted query (responses
+  /// are still written), cancel idle readers, join everything. Idempotent
+  /// and thread-safe (the SIGTERM path calls it from the main thread while
+  /// readers are live).
+  void Shutdown();
+
+  /// Admission/batching counters of the underlying service.
+  ServiceStats service_stats() const;
+
+  /// Connections accepted over the server's lifetime.
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-connection state, shared between the reader thread and in-flight
+  /// done-callbacks (which may outlive the reader).
+  struct Connection {
+    ~Connection();  ///< Closes fd once the last reference drops.
+    int fd = -1;
+    uint64_t id = 0;
+    std::mutex write_mutex;
+    /// One CancelSource per in-flight request id; fired on disconnect.
+    std::mutex inflight_mutex;
+    std::unordered_map<uint64_t, CancelSource> inflight;
+    std::atomic<bool> closed{false};
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  /// Serializes one reply frame to the connection (no-op once closed).
+  static void WriteReply(const std::shared_ptr<Connection>& conn,
+                         uint64_t request_id, const Result<SearchResponse>& outcome);
+  /// Fires every in-flight cancel source of `conn` (disconnect semantics).
+  static void CancelAllInflight(Connection* conn);
+
+  const Database* const db_;
+  const ServerConfig config_;
+  std::unique_ptr<QueryService> service_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::thread accept_thread_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> reader_threads_;
+  bool started_ = false;
+  bool shut_down_ = false;
+  std::mutex lifecycle_mutex_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_SERVER_SERVER_H_

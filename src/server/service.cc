@@ -1,0 +1,165 @@
+#include "src/server/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "src/common/worker_pool.h"
+
+namespace xks {
+
+QueryService::QueryService(const Database* db, const ServiceConfig& config)
+    : db_(db), config_(config) {
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+QueryService::~QueryService() {
+  Drain();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+Status QueryService::Submit(uint64_t client_id, SearchRequest request,
+                            CancelToken cancel, DoneCallback done) {
+  PendingQuery query;
+  query.client_id = client_id;
+  query.request = std::move(request);
+  query.cancel = cancel;
+  query.done = std::move(done);
+  // Arm the deadline at submission, not at Search entry: a query's time in
+  // the pending queue counts against its budget, which is what lets an
+  // overloaded server expire queued work instead of executing it late.
+  if (query.request.deadline_ms > 0) {
+    query.cancel = query.cancel.WithDeadlineAfter(
+        std::chrono::milliseconds(query.request.deadline_ms));
+    query.request.deadline_ms = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    if (draining_) {
+      ++stats_.rejected_draining;
+      return Status::Unavailable("service is draining; not accepting queries");
+    }
+    if (pending_.size() >= config_.max_pending) {
+      ++stats_.shed_overload;
+      return Status::ResourceExhausted(
+          "pending queue full (max_pending=" +
+          std::to_string(config_.max_pending) + "); retry later");
+    }
+    auto it = inflight_.find(client_id);
+    const size_t inflight = it == inflight_.end() ? 0 : it->second;
+    if (inflight >= config_.per_client_inflight) {
+      ++stats_.shed_quota;
+      return Status::ResourceExhausted(
+          "per-connection in-flight quota exceeded (quota=" +
+          std::to_string(config_.per_client_inflight) + ")");
+    }
+    inflight_[client_id] = inflight + 1;
+    ++inflight_total_;
+    ++stats_.admitted;
+    pending_.push_back(std::move(query));
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+void QueryService::BeginDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void QueryService::Drain() {
+  BeginDrain();
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock,
+                 [this] { return pending_.empty() && inflight_total_ == 0; });
+}
+
+ServiceStats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void QueryService::DispatcherLoop() {
+  for (;;) {
+    std::vector<PendingQuery> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return !pending_.empty() || draining_; });
+      if (pending_.empty()) return;  // draining and nothing left to run
+      // Linger briefly for stragglers: a pipelined client's burst arrives
+      // over microseconds, and picking them into one batch means one
+      // snapshot pin and one warm cache pass instead of N. Drain skips the
+      // linger — finishing fast beats batching well on the way down.
+      if (config_.batch_linger_ms > 0 && !draining_ &&
+          pending_.size() < config_.batch_max) {
+        work_cv_.wait_for(
+            lock, std::chrono::milliseconds(config_.batch_linger_ms),
+            [this] {
+              return pending_.size() >= config_.batch_max || draining_;
+            });
+      }
+      const size_t take =
+          std::min(pending_.size(), std::max<size_t>(1, config_.batch_max));
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+      ++stats_.batches;
+      stats_.max_batch = std::max<uint64_t>(stats_.max_batch, take);
+    }
+    RunBatch(&batch);
+  }
+}
+
+void QueryService::RunBatch(std::vector<PendingQuery>* batch) {
+  // One snapshot per batch: every member sees the same epoch and probes the
+  // same (warm) result cache, and the snapshot acquisition — shared_ptr under
+  // the catalog mutex — happens once instead of once per query.
+  const std::shared_ptr<const Snapshot> snapshot =
+      db_ != nullptr ? db_->snapshot() : nullptr;
+  ParallelForOptions fan_out;
+  fan_out.max_parallelism = config_.workers;
+  // Member bodies always report OK: a member's failure is its own outcome,
+  // delivered through its done callback, never a reason to halt the batch.
+  ParallelFor(
+      batch->size(),
+      [&](size_t i) -> Status {
+        PendingQuery& query = (*batch)[i];
+        Result<SearchResponse> outcome = [&]() -> Result<SearchResponse> {
+          if (query.cancel.can_expire() && query.cancel.cancelled()) {
+            // Expired while queued: report without executing anything.
+            // Both firing conditions are monotonic, so status() is
+            // guaranteed non-OK here.
+            return query.cancel.status();
+          }
+          if (snapshot == nullptr) {
+            return Status::InvalidArgument("corpus is not built");
+          }
+          query.request.cancel = query.cancel;
+          return snapshot->Search(query.request);
+        }();
+        query.done(std::move(outcome));
+        FinishOne(query.client_id);
+        return Status::OK();
+      },
+      fan_out);
+}
+
+void QueryService::FinishOne(uint64_t client_id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inflight_.find(client_id);
+    if (it != inflight_.end() && --it->second == 0) inflight_.erase(it);
+    --inflight_total_;
+    ++stats_.completed;
+  }
+  drain_cv_.notify_all();
+}
+
+}  // namespace xks

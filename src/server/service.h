@@ -1,0 +1,147 @@
+// QueryService — the batched, deadline-aware, admission-controlled executor
+// behind the xksd daemon (and behind any other front end: the TCP server in
+// src/server/server.h is one thin client of this seam, a REPL would be
+// another).
+//
+// Shape. Callers Submit() queries tagged with a client id and a
+// CancelToken; admission control answers synchronously:
+//
+//   * pending queue full            → ResourceExhausted (overload shed)
+//   * per-client in-flight quota hit → ResourceExhausted (one greedy
+//     connection cannot starve the rest)
+//   * service draining               → Unavailable
+//
+// Admitted queries are grouped into batches by a dispatcher thread: it
+// takes up to batch_max queued queries (lingering batch_linger_ms for
+// stragglers once the first arrives, so pipelined clients coalesce), pins
+// ONE snapshot for the whole batch — amortizing the snapshot acquisition
+// and giving every member the same epoch and the same warm result cache to
+// probe — and fans the members out through ParallelFor. Each member runs
+// under its own CancelToken (deadline re-armed from submission time, so
+// queue wait counts against the budget; client disconnect fires the token
+// mid-scan), and its completion callback receives exactly what
+// Snapshot::Search returned: a SearchResponse, or Cancelled /
+// DeadlineExceeded / any validation error.
+//
+// Drain. BeginDrain() makes every later Submit fail Unavailable;
+// Drain() additionally blocks until the queue is empty and every admitted
+// query has completed — the graceful-SIGTERM contract: nothing admitted is
+// ever dropped, nothing new is accepted.
+//
+// Threading. Submit and the stats accessor are thread-safe. Completion
+// callbacks run on the dispatcher (or one of its ParallelFor workers) and
+// must not block for long or re-enter Submit.
+
+#ifndef XKS_SERVER_SERVICE_H_
+#define XKS_SERVER_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/api/database.h"
+#include "src/common/cancel_token.h"
+
+namespace xks {
+
+/// Admission + batching knobs.
+struct ServiceConfig {
+  /// Queries admitted but not yet picked into a batch; one more submission
+  /// beyond this is shed with ResourceExhausted instead of queueing
+  /// unboundedly.
+  size_t max_pending = 256;
+  /// Admitted-but-incomplete queries one client may have at a time.
+  size_t per_client_inflight = 32;
+  /// Queries per batch (one pinned snapshot each).
+  size_t batch_max = 16;
+  /// How long the dispatcher lingers for stragglers after the first query
+  /// of a batch arrives. 0 = take whatever is queued and go.
+  uint64_t batch_linger_ms = 1;
+  /// Concurrent members per batch (ParallelFor parallelism); 0 = one per
+  /// hardware thread.
+  size_t workers = 0;
+};
+
+/// Monotonic counters; read via QueryService::stats().
+struct ServiceStats {
+  uint64_t submitted = 0;          ///< Submit calls, admitted or not.
+  uint64_t admitted = 0;           ///< Entered the pending queue.
+  uint64_t completed = 0;          ///< Done callback invoked (any outcome).
+  uint64_t shed_overload = 0;      ///< Rejected: pending queue full.
+  uint64_t shed_quota = 0;         ///< Rejected: per-client quota.
+  uint64_t rejected_draining = 0;  ///< Rejected: drain in progress.
+  uint64_t batches = 0;            ///< Batches dispatched.
+  uint64_t max_batch = 0;          ///< Largest batch dispatched.
+};
+
+class QueryService {
+ public:
+  /// `db` must outlive the service. The dispatcher thread starts
+  /// immediately; queries fail cleanly (InvalidArgument) while the
+  /// database is unbuilt.
+  QueryService(const Database* db, const ServiceConfig& config);
+
+  /// Drains (see Drain) and joins the dispatcher.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  using DoneCallback = std::function<void(Result<SearchResponse>)>;
+
+  /// Admits one query or rejects it synchronously (see file comment for the
+  /// admission rules — the returned Status is what a server should send
+  /// back to the client verbatim). On admission, `done` is invoked exactly
+  /// once later with the query's outcome. `cancel` is observed up to the
+  /// last cooperative checkpoint before the response is cut; request
+  /// .deadline_ms (if any) is armed HERE, so time spent queued counts
+  /// against the deadline.
+  Status Submit(uint64_t client_id, SearchRequest request, CancelToken cancel,
+                DoneCallback done);
+
+  /// Stops admitting (Unavailable) without waiting.
+  void BeginDrain();
+
+  /// BeginDrain + blocks until every admitted query has completed.
+  void Drain();
+
+  ServiceStats stats() const;
+
+ private:
+  struct PendingQuery {
+    uint64_t client_id = 0;
+    SearchRequest request;
+    CancelToken cancel;
+    DoneCallback done;
+  };
+
+  void DispatcherLoop();
+  /// Runs one batch against one pinned snapshot.
+  void RunBatch(std::vector<PendingQuery>* batch);
+  /// Marks one query finished: quota release + drain bookkeeping.
+  void FinishOne(uint64_t client_id);
+
+  const Database* const db_;
+  const ServiceConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< Dispatcher wake-up.
+  std::condition_variable drain_cv_;  ///< Drain() completion.
+  std::deque<PendingQuery> pending_;
+  /// Admitted-but-incomplete count per client; entries erased at zero so
+  /// the map does not grow with the lifetime client-id counter.
+  std::unordered_map<uint64_t, size_t> inflight_;
+  size_t inflight_total_ = 0;
+  bool draining_ = false;
+  ServiceStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_SERVER_SERVICE_H_

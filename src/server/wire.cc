@@ -1,0 +1,409 @@
+#include "src/server/wire.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstring>
+
+#include "src/common/codec.h"
+
+namespace xks {
+namespace {
+
+constexpr uint8_t kBodyVersion = 1;
+
+// SearchRequest boolean flags, packed into one byte.
+constexpr uint8_t kFlagRank = 1u << 0;
+constexpr uint8_t kFlagUseCache = 1u << 1;
+constexpr uint8_t kFlagSnippets = 1u << 2;
+constexpr uint8_t kFlagRawFragments = 1u << 3;
+constexpr uint8_t kFlagStats = 1u << 4;
+
+void PutDouble(std::string* dst, double value) {
+  PutVarint64(dst, std::bit_cast<uint64_t>(value));
+}
+
+Status GetDouble(Decoder* decoder, double* value) {
+  uint64_t bits = 0;
+  XKS_RETURN_IF_ERROR(decoder->GetVarint64(&bits));
+  *value = std::bit_cast<double>(bits);
+  return Status::OK();
+}
+
+Status GetByte(Decoder* decoder, uint8_t* value) {
+  uint32_t wide = 0;
+  XKS_RETURN_IF_ERROR(decoder->GetVarint32(&wide));
+  if (wide > 0xff) return Status::Corruption("byte field out of range");
+  *value = static_cast<uint8_t>(wide);
+  return Status::OK();
+}
+
+/// Decodes a u8 into enum E, rejecting values past `max_value`.
+template <typename E>
+Status GetEnum(Decoder* decoder, E* value, uint8_t max_value,
+               const char* what) {
+  uint8_t raw = 0;
+  XKS_RETURN_IF_ERROR(GetByte(decoder, &raw));
+  if (raw > max_value) {
+    return Status::Corruption(std::string("bad ") + what + " value " +
+                              std::to_string(raw));
+  }
+  *value = static_cast<E>(raw);
+  return Status::OK();
+}
+
+Status CheckVersion(Decoder* decoder) {
+  uint8_t version = 0;
+  XKS_RETURN_IF_ERROR(GetByte(decoder, &version));
+  if (version != kBodyVersion) {
+    return Status::Unsupported("unsupported wire body version " +
+                               std::to_string(version));
+  }
+  return Status::OK();
+}
+
+Status CheckDone(const Decoder& decoder, const char* what) {
+  if (!decoder.done()) {
+    return Status::Corruption(std::string(what) + " has " +
+                              std::to_string(decoder.remaining()) +
+                              " trailing bytes");
+  }
+  return Status::OK();
+}
+
+/// Loops a full read of `n` bytes; false with `*eof` set when the stream
+/// ended cleanly before the first byte.
+Status ReadFull(int fd, char* out, size_t n, bool* clean_eof) {
+  *clean_eof = false;
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out + got, n - got);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0) {
+        *clean_eof = true;
+        return Status::Unavailable("connection closed");
+      }
+      return Status::IoError("connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("read failed: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const char* data, size_t n) {
+  // send(MSG_NOSIGNAL) so a peer that hung up yields EPIPE instead of a
+  // process-killing SIGPIPE; plain write() is the fallback for the
+  // non-socket fds the tests drive frames through.
+  bool is_socket = true;
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w =
+        is_socket ? ::send(fd, data + sent, n - sent, MSG_NOSIGNAL)
+                  : ::write(fd, data + sent, n - sent);
+    if (w >= 0) {
+      sent += static_cast<size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (is_socket && errno == ENOTSOCK) {
+      is_socket = false;
+      continue;
+    }
+    return Status::IoError(std::string("write failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeSearchRequest(const SearchRequest& request) {
+  std::string body;
+  body.push_back(static_cast<char>(kBodyVersion));
+  PutLengthPrefixed(&body, request.query);
+  PutVarint64(&body, request.terms.size());
+  for (const QueryTerm& term : request.terms) {
+    PutLengthPrefixed(&body, term.word);
+    PutLengthPrefixed(&body, term.label);
+  }
+  PutVarint64(&body, request.documents.size());
+  for (DocumentId id : request.documents) PutVarint32(&body, id);
+  body.push_back(static_cast<char>(request.semantics));
+  body.push_back(static_cast<char>(request.elca_algorithm));
+  body.push_back(static_cast<char>(request.slca_algorithm));
+  body.push_back(static_cast<char>(request.pruning));
+  PutVarint64(&body, request.max_parallelism);
+  PutVarint64(&body, request.top_k);
+  PutLengthPrefixed(&body, request.cursor);
+  uint8_t flags = 0;
+  if (request.rank) flags |= kFlagRank;
+  if (request.use_cache) flags |= kFlagUseCache;
+  if (request.include_snippets) flags |= kFlagSnippets;
+  if (request.include_raw_fragments) flags |= kFlagRawFragments;
+  if (request.include_stats) flags |= kFlagStats;
+  body.push_back(static_cast<char>(flags));
+  PutDouble(&body, request.weights.specificity);
+  PutDouble(&body, request.weights.proximity);
+  PutDouble(&body, request.weights.compactness);
+  PutDouble(&body, request.weights.slca_bonus);
+  PutDouble(&body, request.weights.match_concentration);
+  PutVarint64(&body, request.deadline_ms);
+  return body;
+}
+
+Result<SearchRequest> DecodeSearchRequest(std::string_view body) {
+  Decoder decoder(body);
+  XKS_RETURN_IF_ERROR(CheckVersion(&decoder));
+  SearchRequest request;
+  XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&request.query));
+  uint64_t term_count = 0;
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&term_count));
+  if (term_count > decoder.remaining()) {
+    return Status::Corruption("term count exceeds remaining bytes");
+  }
+  request.terms.reserve(static_cast<size_t>(term_count));
+  for (uint64_t i = 0; i < term_count; ++i) {
+    QueryTerm term;
+    XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&term.word));
+    XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&term.label));
+    request.terms.push_back(std::move(term));
+  }
+  uint64_t doc_count = 0;
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&doc_count));
+  if (doc_count > decoder.remaining()) {
+    return Status::Corruption("document count exceeds remaining bytes");
+  }
+  request.documents.reserve(static_cast<size_t>(doc_count));
+  for (uint64_t i = 0; i < doc_count; ++i) {
+    uint32_t id = 0;
+    XKS_RETURN_IF_ERROR(decoder.GetVarint32(&id));
+    request.documents.push_back(id);
+  }
+  XKS_RETURN_IF_ERROR(GetEnum(&decoder, &request.semantics,
+                              static_cast<uint8_t>(LcaSemantics::kSlca),
+                              "semantics"));
+  XKS_RETURN_IF_ERROR(GetEnum(&decoder, &request.elca_algorithm,
+                              static_cast<uint8_t>(ElcaAlgorithm::kBruteForce),
+                              "elca algorithm"));
+  XKS_RETURN_IF_ERROR(GetEnum(&decoder, &request.slca_algorithm,
+                              static_cast<uint8_t>(SlcaAlgorithm::kBruteForce),
+                              "slca algorithm"));
+  XKS_RETURN_IF_ERROR(
+      GetEnum(&decoder, &request.pruning,
+              static_cast<uint8_t>(PruningPolicy::kValidContributor),
+              "pruning policy"));
+  uint64_t parallelism = 0;
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&parallelism));
+  request.max_parallelism = static_cast<size_t>(parallelism);
+  uint64_t top_k = 0;
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&top_k));
+  request.top_k = static_cast<size_t>(top_k);
+  XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&request.cursor));
+  uint8_t flags = 0;
+  XKS_RETURN_IF_ERROR(GetByte(&decoder, &flags));
+  request.rank = (flags & kFlagRank) != 0;
+  request.use_cache = (flags & kFlagUseCache) != 0;
+  request.include_snippets = (flags & kFlagSnippets) != 0;
+  request.include_raw_fragments = (flags & kFlagRawFragments) != 0;
+  request.include_stats = (flags & kFlagStats) != 0;
+  XKS_RETURN_IF_ERROR(GetDouble(&decoder, &request.weights.specificity));
+  XKS_RETURN_IF_ERROR(GetDouble(&decoder, &request.weights.proximity));
+  XKS_RETURN_IF_ERROR(GetDouble(&decoder, &request.weights.compactness));
+  XKS_RETURN_IF_ERROR(GetDouble(&decoder, &request.weights.slca_bonus));
+  XKS_RETURN_IF_ERROR(
+      GetDouble(&decoder, &request.weights.match_concentration));
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&request.deadline_ms));
+  XKS_RETURN_IF_ERROR(CheckDone(decoder, "search request"));
+  return request;
+}
+
+std::string EncodeSearchResponse(const SearchResponse& response) {
+  std::string body;
+  body.push_back(static_cast<char>(kBodyVersion));
+  PutVarint64(&body, response.hits.size());
+  for (const Hit& hit : response.hits) {
+    PutVarint32(&body, hit.document);
+    PutLengthPrefixed(&body, hit.document_name);
+    PutDouble(&body, hit.score);
+    PutLengthPrefixed(&body, hit.snippet);
+  }
+  PutLengthPrefixed(&body, response.next_cursor);
+  PutVarint64(&body, response.total_hits);
+  body.push_back(response.total_is_exact ? 1 : 0);
+  PutVarint64(&body, response.documents_searched);
+  PutVarint64(&body, response.epoch);
+  body.push_back(response.served_from_cache ? 1 : 0);
+  PutVarint64(&body, response.documents_from_cache);
+  body.push_back(response.stats_are_exact ? 1 : 0);
+  PutVarint64(&body, response.keyword_node_count);
+  PutLengthPrefixed(&body, response.parsed_query.ToString());
+  PutDouble(&body, response.timings.get_keyword_nodes_ms);
+  PutDouble(&body, response.timings.get_lca_ms);
+  PutDouble(&body, response.timings.get_rtf_ms);
+  PutDouble(&body, response.timings.prune_ms);
+  PutVarint64(&body, response.pruning.raw_nodes);
+  PutVarint64(&body, response.pruning.kept_nodes);
+  return body;
+}
+
+Result<SearchResponse> DecodeSearchResponse(std::string_view body) {
+  Decoder decoder(body);
+  XKS_RETURN_IF_ERROR(CheckVersion(&decoder));
+  SearchResponse response;
+  uint64_t hit_count = 0;
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&hit_count));
+  if (hit_count > decoder.remaining()) {
+    return Status::Corruption("hit count exceeds remaining bytes");
+  }
+  response.hits.reserve(static_cast<size_t>(hit_count));
+  for (uint64_t i = 0; i < hit_count; ++i) {
+    Hit hit;
+    XKS_RETURN_IF_ERROR(decoder.GetVarint32(&hit.document));
+    XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&hit.document_name));
+    XKS_RETURN_IF_ERROR(GetDouble(&decoder, &hit.score));
+    XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&hit.snippet));
+    response.hits.push_back(std::move(hit));
+  }
+  XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&response.next_cursor));
+  uint64_t value = 0;
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&value));
+  response.total_hits = static_cast<size_t>(value);
+  uint8_t flag = 0;
+  XKS_RETURN_IF_ERROR(GetByte(&decoder, &flag));
+  response.total_is_exact = flag != 0;
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&value));
+  response.documents_searched = static_cast<size_t>(value);
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&response.epoch));
+  XKS_RETURN_IF_ERROR(GetByte(&decoder, &flag));
+  response.served_from_cache = flag != 0;
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&value));
+  response.documents_from_cache = static_cast<size_t>(value);
+  XKS_RETURN_IF_ERROR(GetByte(&decoder, &flag));
+  response.stats_are_exact = flag != 0;
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&value));
+  response.keyword_node_count = static_cast<size_t>(value);
+  std::string query_text;
+  XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&query_text));
+  if (!query_text.empty()) {
+    // The canonical display form re-parses to itself; a response for an
+    // empty-query error never reaches this decoder (errors travel as
+    // Status frames).
+    Result<KeywordQuery> parsed = KeywordQuery::Parse(query_text);
+    if (parsed.ok()) response.parsed_query = std::move(parsed).value();
+  }
+  XKS_RETURN_IF_ERROR(
+      GetDouble(&decoder, &response.timings.get_keyword_nodes_ms));
+  XKS_RETURN_IF_ERROR(GetDouble(&decoder, &response.timings.get_lca_ms));
+  XKS_RETURN_IF_ERROR(GetDouble(&decoder, &response.timings.get_rtf_ms));
+  XKS_RETURN_IF_ERROR(GetDouble(&decoder, &response.timings.prune_ms));
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&value));
+  response.pruning.raw_nodes = static_cast<size_t>(value);
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&value));
+  response.pruning.kept_nodes = static_cast<size_t>(value);
+  XKS_RETURN_IF_ERROR(CheckDone(decoder, "search response"));
+  return response;
+}
+
+std::string EncodeStatusPayload(const Status& status) {
+  std::string body;
+  body.push_back(static_cast<char>(kBodyVersion));
+  PutVarint32(&body, static_cast<uint32_t>(status.code()));
+  PutLengthPrefixed(&body, status.message());
+  return body;
+}
+
+Status DecodeStatusPayload(std::string_view body, Status* out) {
+  Decoder decoder(body);
+  XKS_RETURN_IF_ERROR(CheckVersion(&decoder));
+  uint32_t code = 0;
+  XKS_RETURN_IF_ERROR(decoder.GetVarint32(&code));
+  if (code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+    return Status::Corruption("bad status code " + std::to_string(code));
+  }
+  std::string message;
+  XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&message));
+  XKS_RETURN_IF_ERROR(CheckDone(decoder, "status payload"));
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+std::string EncodeFramePayload(const Frame& frame) {
+  std::string payload;
+  payload.push_back(static_cast<char>(frame.kind));
+  PutVarint64(&payload, frame.request_id);
+  payload.append(frame.body);
+  return payload;
+}
+
+Result<Frame> DecodeFramePayload(std::string_view payload) {
+  Decoder decoder(payload);
+  uint8_t kind = 0;
+  XKS_RETURN_IF_ERROR(GetByte(&decoder, &kind));
+  if (kind < static_cast<uint8_t>(FrameKind::kSearchRequest) ||
+      kind > static_cast<uint8_t>(FrameKind::kStatus)) {
+    return Status::Corruption("bad frame kind " + std::to_string(kind));
+  }
+  Frame frame;
+  frame.kind = static_cast<FrameKind>(kind);
+  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&frame.request_id));
+  frame.body.assign(payload.substr(payload.size() - decoder.remaining()));
+  return frame;
+}
+
+Status WriteFrame(int fd, const Frame& frame) {
+  const std::string payload = EncodeFramePayload(frame);
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload exceeds kMaxFrameBytes");
+  }
+  char header[4];
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  header[0] = static_cast<char>((n >> 24) & 0xff);
+  header[1] = static_cast<char>((n >> 16) & 0xff);
+  header[2] = static_cast<char>((n >> 8) & 0xff);
+  header[3] = static_cast<char>(n & 0xff);
+  // One buffer, one stream of writes: interleaving with other frames is
+  // prevented by the caller's per-connection write lock.
+  std::string wire;
+  wire.reserve(sizeof(header) + payload.size());
+  wire.append(header, sizeof(header));
+  wire.append(payload);
+  return WriteFull(fd, wire.data(), wire.size());
+}
+
+Result<Frame> ReadFrame(int fd, size_t max_frame_bytes) {
+  char header[4];
+  bool clean_eof = false;
+  Status status = ReadFull(fd, header, sizeof(header), &clean_eof);
+  XKS_RETURN_IF_ERROR(status);
+  const uint32_t n = (static_cast<uint32_t>(static_cast<uint8_t>(header[0]))
+                      << 24) |
+                     (static_cast<uint32_t>(static_cast<uint8_t>(header[1]))
+                      << 16) |
+                     (static_cast<uint32_t>(static_cast<uint8_t>(header[2]))
+                      << 8) |
+                     static_cast<uint32_t>(static_cast<uint8_t>(header[3]));
+  if (n > max_frame_bytes) {
+    return Status::Corruption("frame length " + std::to_string(n) +
+                              " exceeds limit " +
+                              std::to_string(max_frame_bytes));
+  }
+  std::string payload(n, '\0');
+  if (n > 0) {
+    status = ReadFull(fd, payload.data(), n, &clean_eof);
+    if (!status.ok()) {
+      return status.code() == StatusCode::kUnavailable
+                 ? Status::IoError("connection closed mid-frame")
+                 : status;
+    }
+  }
+  return DecodeFramePayload(payload);
+}
+
+}  // namespace xks

@@ -1,0 +1,110 @@
+// The xksd wire protocol: length-prefixed frames carrying serialized
+// SearchRequests, SearchResponses and Statuses over a byte stream.
+//
+// Framing. Every message on the wire is one frame:
+//
+//   [u32 big-endian payload length][payload]
+//   payload = [u8 kind][varint64 request_id][body]
+//
+// The request_id is chosen by the client and echoed verbatim on the
+// response (or error Status) frame, so a client may pipeline any number of
+// requests on one connection and match replies arriving out of order — the
+// server batches and executes members concurrently, so reply order is NOT
+// send order.
+//
+// Bodies are versioned (leading u8, currently 1) and built from the same
+// varint/length-prefixed codec as the on-disk formats (src/common/codec.h);
+// doubles travel as their raw IEEE-754 bit pattern in a varint. Decoders
+// reject trailing bytes, out-of-range enum values and truncation with
+// Corruption, so a malformed or hostile peer cannot push garbage past the
+// boundary.
+//
+// Fidelity. A request round-trips losslessly: every result-shaping field of
+// SearchRequest is carried, so the daemon executes exactly the request the
+// client built (the in-process CancelToken is the one field that does not
+// travel — the server derives its own from the connection + deadline_ms).
+// A response carries the client-visible projection of SearchResponse —
+// document/name/score/snippet per hit, cursor, totals, epoch, cache and
+// stats counters — not the in-memory fragment trees; EncodeSearchResponse
+// is the canonical byte form that the "server responses are byte-identical
+// to library responses" contract (tests/server_test.cc) is stated against.
+
+#ifndef XKS_SERVER_WIRE_H_
+#define XKS_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/api/search_types.h"
+#include "src/common/result.h"
+
+namespace xks {
+
+/// Discriminates frame payloads.
+enum class FrameKind : uint8_t {
+  /// Client → server: one serialized SearchRequest.
+  kSearchRequest = 1,
+  /// Server → client: the serialized SearchResponse for one request_id.
+  kSearchResponse = 2,
+  /// Server → client: a non-OK Status for one request_id (bad request,
+  /// deadline exceeded, overload shed, draining, ...).
+  kStatus = 3,
+};
+
+/// One decoded frame.
+struct Frame {
+  FrameKind kind = FrameKind::kStatus;
+  /// Client-chosen correlation id, echoed on the reply.
+  uint64_t request_id = 0;
+  /// Encoded body (one of the Encode* payloads below).
+  std::string body;
+};
+
+/// Hard ceiling a reader enforces on incoming payload length before
+/// allocating — a 4-byte length prefix must not be a memory-exhaustion
+/// primitive. Generous: responses with snippets over big corpora fit easily.
+inline constexpr size_t kMaxFrameBytes = 64u << 20;
+
+/// Serializes `request` (body only; wrap via EncodeFrame).
+std::string EncodeSearchRequest(const SearchRequest& request);
+
+/// Parses an EncodeSearchRequest body. The returned request carries a
+/// default CancelToken; deadline_ms travels and is re-armed by the server.
+Result<SearchRequest> DecodeSearchRequest(std::string_view body);
+
+/// Serializes the client-visible projection of `response`.
+std::string EncodeSearchResponse(const SearchResponse& response);
+
+/// Parses an EncodeSearchResponse body. Hits carry document, name, score
+/// and snippet; fragment trees do not travel.
+Result<SearchResponse> DecodeSearchResponse(std::string_view body);
+
+/// Serializes a Status (code + message).
+std::string EncodeStatusPayload(const Status& status);
+
+/// Parses an EncodeStatusPayload body into `*out`. The return value is the
+/// DECODE outcome (Corruption on malformed bytes); the decoded status itself
+/// — typically non-OK — lands in `*out`. (Result<Status> would be ambiguous,
+/// hence the out-param.)
+Status DecodeStatusPayload(std::string_view body, Status* out);
+
+/// payload bytes (kind + request_id + body) for one frame, without the
+/// outer length prefix.
+std::string EncodeFramePayload(const Frame& frame);
+
+/// Parses payload bytes back into a Frame.
+Result<Frame> DecodeFramePayload(std::string_view payload);
+
+/// Blocking write of one complete frame (length prefix + payload) to `fd`.
+/// Retries short writes and EINTR; IoError once the peer is gone.
+Status WriteFrame(int fd, const Frame& frame);
+
+/// Blocking read of one complete frame from `fd`. Unavailable on clean EOF
+/// at a frame boundary (peer closed), IoError on mid-frame EOF or socket
+/// errors, Corruption when the advertised length exceeds `max_frame_bytes`.
+Result<Frame> ReadFrame(int fd, size_t max_frame_bytes = kMaxFrameBytes);
+
+}  // namespace xks
+
+#endif  // XKS_SERVER_WIRE_H_

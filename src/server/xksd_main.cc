@@ -1,0 +1,232 @@
+// xksd — the XML keyword search daemon.
+//
+// Serves a corpus (loaded from an XKS file or generated in-process) over the
+// length-prefixed TCP protocol in src/server/wire.h, through the batched
+// deadline-aware QueryService. SIGTERM / SIGINT trigger a graceful drain:
+// stop accepting, finish every admitted query, flush replies, exit 0.
+//
+//   xksd --gen-dblp 0.01 --port 7700
+//   xksd --corpus corpus.xks --port 7700 --max-pending 64 --inflight-quota 8
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/api/database.h"
+#include "src/datagen/dblp_gen.h"
+#include "src/server/server.h"
+
+namespace {
+
+// Self-pipe: the signal handler writes one byte; main blocks on the read
+// end, so the drain runs on the main thread with a full C++ runtime, not in
+// signal context.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnTermSignal(int) {
+  const char byte = 1;
+  // Best-effort; if the pipe is somehow full the daemon is already waking.
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--corpus PATH | --gen-dblp SCALE) [options]\n"
+      "\n"
+      "corpus (exactly one):\n"
+      "  --corpus PATH        load an XKS corpus file\n"
+      "  --gen-dblp SCALE     generate the DBLP-like corpus at SCALE\n"
+      "                       (fraction of dblp20040213; e.g. 0.01)\n"
+      "  --gen-docs N         split the generated corpus into N documents\n"
+      "                       with distinct seeds (default 4)\n"
+      "\n"
+      "server:\n"
+      "  --host ADDR          numeric IPv4 listen address (default "
+      "127.0.0.1)\n"
+      "  --port PORT          listen port; 0 = ephemeral (default 7700)\n"
+      "\n"
+      "admission / batching:\n"
+      "  --max-pending N      pending-queue bound before overload shedding\n"
+      "  --inflight-quota N   per-connection in-flight quota\n"
+      "  --batch-max N        queries per pinned-snapshot batch\n"
+      "  --batch-linger-ms N  straggler linger before dispatching a batch\n"
+      "  --workers N          concurrent batch members; 0 = hw threads\n",
+      argv0);
+}
+
+bool ParseUint(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_path;
+  double gen_scale = -1.0;
+  uint64_t gen_docs = 4;
+  std::string host = "127.0.0.1";
+  uint64_t port = 7700;
+  xks::ServiceConfig service;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "xksd: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    uint64_t u = 0;
+    if (arg == "--corpus") {
+      corpus_path = next();
+    } else if (arg == "--gen-dblp") {
+      gen_scale = std::atof(next());
+      if (gen_scale <= 0.0) {
+        std::fprintf(stderr, "xksd: --gen-dblp needs a scale > 0\n");
+        return 2;
+      }
+    } else if (arg == "--gen-docs") {
+      if (!ParseUint(next(), &gen_docs) || gen_docs == 0) {
+        std::fprintf(stderr, "xksd: --gen-docs needs a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      if (!ParseUint(next(), &u) || u > 65535) {
+        std::fprintf(stderr, "xksd: --port needs 0..65535\n");
+        return 2;
+      }
+      port = u;
+    } else if (arg == "--max-pending") {
+      if (!ParseUint(next(), &u)) return Usage(argv[0]), 2;
+      service.max_pending = u;
+    } else if (arg == "--inflight-quota") {
+      if (!ParseUint(next(), &u)) return Usage(argv[0]), 2;
+      service.per_client_inflight = u;
+    } else if (arg == "--batch-max") {
+      if (!ParseUint(next(), &u) || u == 0) return Usage(argv[0]), 2;
+      service.batch_max = u;
+    } else if (arg == "--batch-linger-ms") {
+      if (!ParseUint(next(), &u)) return Usage(argv[0]), 2;
+      service.batch_linger_ms = u;
+    } else if (arg == "--workers") {
+      if (!ParseUint(next(), &u)) return Usage(argv[0]), 2;
+      service.workers = u;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "xksd: unknown flag '%s'\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (corpus_path.empty() == (gen_scale <= 0.0)) {
+    std::fprintf(stderr,
+                 "xksd: exactly one of --corpus / --gen-dblp is required\n");
+    Usage(argv[0]);
+    return 2;
+  }
+
+  xks::Database db;
+  if (!corpus_path.empty()) {
+    auto loaded = xks::Database::Load(corpus_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "xksd: load '%s': %s\n", corpus_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(loaded).value();
+    if (!db.built()) {
+      const xks::Status built = db.Build();
+      if (!built.ok()) {
+        std::fprintf(stderr, "xksd: build: %s\n", built.ToString().c_str());
+        return 1;
+      }
+    }
+  } else {
+    for (uint64_t d = 0; d < gen_docs; ++d) {
+      xks::DblpOptions options;
+      options.seed = 42 + d;
+      options.scale = gen_scale;
+      auto added = db.AddDocument("dblp-" + std::to_string(d),
+                                  xks::GenerateDblp(options));
+      if (!added.ok()) {
+        std::fprintf(stderr, "xksd: generate: %s\n",
+                     added.status().ToString().c_str());
+        return 1;
+      }
+    }
+    const xks::Status built = db.Build();
+    if (!built.ok()) {
+      std::fprintf(stderr, "xksd: build: %s\n", built.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "xksd: corpus ready: %zu documents, epoch %llu\n",
+               db.document_count(),
+               static_cast<unsigned long long>(db.epoch()));
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "xksd: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action {};
+  action.sa_handler = OnTermSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  xks::ServerConfig config;
+  config.host = host;
+  config.port = static_cast<uint16_t>(port);
+  config.service = service;
+  xks::XksServer server(&db, config);
+  const xks::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "xksd: start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // The readiness line scripts wait for (stdout, flushed).
+  std::printf("xksd: listening on %s:%u\n", host.c_str(), server.port());
+  std::fflush(stdout);
+
+  // Block until SIGTERM/SIGINT.
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::fprintf(stderr, "xksd: draining...\n");
+  server.Shutdown();
+
+  const xks::ServiceStats stats = server.service_stats();
+  std::printf(
+      "xksd: drained: submitted=%llu admitted=%llu completed=%llu "
+      "shed_overload=%llu shed_quota=%llu rejected_draining=%llu "
+      "batches=%llu max_batch=%llu connections=%llu\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.shed_overload),
+      static_cast<unsigned long long>(stats.shed_quota),
+      static_cast<unsigned long long>(stats.rejected_draining),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.max_batch),
+      static_cast<unsigned long long>(server.connections_accepted()));
+  std::fflush(stdout);
+  return 0;
+}

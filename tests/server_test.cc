@@ -1,0 +1,304 @@
+// XksServer end-to-end over real sockets: the byte-identity contract
+// (responses served through xksd are byte-for-byte the library's
+// EncodeSearchResponse), pipelined batches, wire-level deadlines, overload
+// shedding, abrupt-disconnect robustness and graceful drain.
+
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/database.h"
+#include "src/server/client.h"
+#include "src/server/wire.h"
+#include "tests/test_util.h"
+
+namespace xks {
+namespace {
+
+Database BuildCorpus(size_t documents = 4, size_t nodes_per_doc = 60) {
+  Database db;
+  for (size_t d = 0; d < documents; ++d) {
+    EXPECT_TRUE(
+        db.AddDocument("doc-" + std::to_string(d),
+                       RandomDocument(/*seed=*/3000 + d, nodes_per_doc))
+            .ok());
+  }
+  EXPECT_TRUE(db.Build().ok());
+  return db;
+}
+
+XksClient ConnectTo(const XksServer& server) {
+  auto connected = XksClient::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(connected.ok()) << connected.status().ToString();
+  return std::move(connected).value();
+}
+
+TEST(XksServerTest, ResponsesAreByteIdenticalToTheLibrary) {
+  Database db = BuildCorpus();
+  XksServer server(&db, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+  XksClient client = ConnectTo(server);
+
+  // Deterministic projection: cache-state flags and wall-clock timings are
+  // the two nondeterministic response fields, so the contract is stated
+  // with the cache bypassed and stats off.
+  const std::vector<std::string> queries = {"apple berry", "cedar",
+                                            "ember fig dune", "nosuchword"};
+  for (const std::string& query_text : queries) {
+    SearchRequest request;
+    request.query = query_text;
+    request.use_cache = false;
+    request.include_stats = false;
+
+    Result<SearchResponse> direct = db.Search(request);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+    auto reply = client.Call(request);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_TRUE(reply.value().outcome.ok())
+        << reply.value().outcome.status().ToString();
+    EXPECT_EQ(reply.value().raw_response, EncodeSearchResponse(direct.value()))
+        << "wire bytes diverge from the library encoding for '" << query_text
+        << "'";
+  }
+}
+
+TEST(XksServerTest, ErrorsTravelAsStatusFrames) {
+  Database db = BuildCorpus();
+  XksServer server(&db, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+  XksClient client = ConnectTo(server);
+
+  SearchRequest request;  // empty query
+  auto reply = client.Call(request);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_FALSE(reply.value().outcome.ok());
+  // The library's own validation error, carried over the wire.
+  Result<SearchResponse> direct = db.Search(request);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(reply.value().outcome.status(), direct.status());
+  EXPECT_TRUE(reply.value().raw_response.empty());
+}
+
+TEST(XksServerTest, PipelinedBurstAnswersEveryRequestOnce) {
+  Database db = BuildCorpus();
+  ServerConfig config;
+  config.service.batch_max = 8;
+  config.service.batch_linger_ms = 5;
+  XksServer server(&db, config);
+  ASSERT_TRUE(server.Start().ok());
+  XksClient client = ConnectTo(server);
+
+  constexpr uint64_t kRequests = 24;
+  SearchRequest request;
+  request.query = "apple berry";
+  for (uint64_t id = 1; id <= kRequests; ++id) {
+    ASSERT_TRUE(client.Send(id, request).ok());
+  }
+  std::set<uint64_t> seen;
+  uint64_t epoch = 0;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    auto reply = client.Receive();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_TRUE(reply.value().outcome.ok());
+    EXPECT_TRUE(seen.insert(reply.value().request_id).second)
+        << "duplicate reply for id " << reply.value().request_id;
+    if (epoch == 0) epoch = reply.value().outcome.value().epoch;
+    EXPECT_EQ(reply.value().outcome.value().epoch, epoch);
+  }
+  EXPECT_EQ(seen.size(), kRequests);
+  EXPECT_EQ(*seen.begin(), 1u);
+  EXPECT_EQ(*seen.rbegin(), kRequests);
+}
+
+TEST(XksServerTest, WireDeadlineComesBackAsDeadlineExceeded) {
+  Database db = BuildCorpus();
+  ServerConfig config;
+  // The dispatcher lingers past the deadline (the batch never fills), so
+  // the query expires in the queue — deterministically.
+  config.service.batch_max = 64;
+  config.service.batch_linger_ms = 100;
+  XksServer server(&db, config);
+  ASSERT_TRUE(server.Start().ok());
+  XksClient client = ConnectTo(server);
+
+  SearchRequest request;
+  request.query = "apple berry";
+  request.deadline_ms = 1;
+  auto reply = client.Call(request);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_FALSE(reply.value().outcome.ok());
+  EXPECT_EQ(reply.value().outcome.status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(XksServerTest, OverloadBurstShedsWithResourceExhausted) {
+  Database db = BuildCorpus(6, 120);
+  ServerConfig config;
+  config.service.max_pending = 2;
+  config.service.per_client_inflight = 2;
+  config.service.batch_max = 4;
+  config.service.batch_linger_ms = 50;  // holds the first batch open while
+                                        // the burst floods the queue
+  XksServer server(&db, config);
+  ASSERT_TRUE(server.Start().ok());
+  XksClient client = ConnectTo(server);
+
+  constexpr uint64_t kRequests = 32;
+  SearchRequest request;
+  request.query = "apple berry";
+  request.use_cache = false;
+  for (uint64_t id = 1; id <= kRequests; ++id) {
+    ASSERT_TRUE(client.Send(id, request).ok());
+  }
+  uint64_t ok = 0, exhausted = 0, other = 0;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    auto reply = client.Receive();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    if (reply.value().outcome.ok()) {
+      ++ok;
+    } else if (reply.value().outcome.status().code() ==
+               StatusCode::kResourceExhausted) {
+      ++exhausted;
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_GE(ok, 1u) << "admitted queries must still complete";
+  EXPECT_GE(exhausted, 1u) << "a 32-deep burst against quota 2 must shed";
+  EXPECT_EQ(other, 0u);
+  // Replies are written before the service's completion bookkeeping runs;
+  // drain first so the counters have settled.
+  server.Shutdown();
+  const ServiceStats stats = server.service_stats();
+  EXPECT_EQ(stats.shed_overload + stats.shed_quota, exhausted);
+  EXPECT_EQ(stats.completed, ok);
+}
+
+TEST(XksServerTest, AbruptDisconnectLeavesTheServerServing) {
+  Database db = BuildCorpus();
+  XksServer server(&db, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Fire requests and slam the connection without reading replies; repeat.
+  for (int round = 0; round < 3; ++round) {
+    XksClient client = ConnectTo(server);
+    SearchRequest request;
+    request.query = "apple berry";
+    for (uint64_t id = 1; id <= 4; ++id) {
+      ASSERT_TRUE(client.Send(id, request).ok());
+    }
+    // client destructor closes the socket with replies still in flight
+  }
+
+  // The server must still answer a well-behaved client.
+  XksClient client = ConnectTo(server);
+  SearchRequest request;
+  request.query = "cedar";
+  auto reply = client.Call(request);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.value().outcome.ok());
+  EXPECT_GE(server.connections_accepted(), 4u);
+}
+
+TEST(XksServerTest, NonRequestFramesAreAnsweredWithInvalidArgument) {
+  Database db = BuildCorpus();
+  XksServer server(&db, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Drive the socket by hand: a kStatus frame is not something a client may
+  // send.
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  Frame frame;
+  frame.kind = FrameKind::kStatus;
+  frame.request_id = 5;
+  frame.body = EncodeStatusPayload(Status::Internal("client nonsense"));
+  ASSERT_TRUE(WriteFrame(fd, frame).ok());
+  Result<Frame> reply = ReadFrame(fd);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().kind, FrameKind::kStatus);
+  EXPECT_EQ(reply.value().request_id, 5u);
+  Status decoded;
+  ASSERT_TRUE(DecodeStatusPayload(reply.value().body, &decoded).ok());
+  EXPECT_EQ(decoded.code(), StatusCode::kInvalidArgument);
+  ::close(fd);
+}
+
+TEST(XksServerTest, GracefulShutdownAnswersEverythingAdmitted) {
+  Database db = BuildCorpus();
+  ServerConfig config;
+  config.service.batch_linger_ms = 20;
+  XksServer server(&db, config);
+  ASSERT_TRUE(server.Start().ok());
+  XksClient client = ConnectTo(server);
+
+  constexpr uint64_t kRequests = 8;
+  SearchRequest request;
+  request.query = "apple berry";
+  for (uint64_t id = 1; id <= kRequests; ++id) {
+    ASSERT_TRUE(client.Send(id, request).ok());
+  }
+
+  std::thread shutter([&] { server.Shutdown(); });
+  // Every admitted request is answered before the connection dies: each
+  // reply is either its response or a clean draining/shed status — never
+  // silence. The transport may drop only after the last reply.
+  uint64_t answered = 0;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    auto reply = client.Receive();
+    if (!reply.ok()) break;  // connection closed after the drain
+    ASSERT_TRUE(reply.value().outcome.ok() ||
+                reply.value().outcome.status().code() ==
+                    StatusCode::kUnavailable);
+    ++answered;
+  }
+  shutter.join();
+  const ServiceStats stats = server.service_stats();
+  // Everything admitted completed; admitted + rejected covers every reply
+  // we saw.
+  EXPECT_EQ(stats.completed, stats.admitted);
+  EXPECT_GE(answered, stats.completed);
+
+  // After shutdown the listener is gone.
+  auto refused = XksClient::Connect("127.0.0.1", server.port());
+  EXPECT_FALSE(refused.ok());
+}
+
+TEST(XksServerTest, EphemeralPortIsReportedAfterStart) {
+  Database db = BuildCorpus(1, 20);
+  XksServer server(&db, ServerConfig{});  // port 0
+  EXPECT_EQ(server.port(), 0);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_GT(server.port(), 0);
+  server.Shutdown();
+}
+
+TEST(XksServerTest, ShutdownIsIdempotent) {
+  Database db = BuildCorpus(1, 20);
+  XksServer server(&db, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+  server.Shutdown();
+  server.Shutdown();  // second call is a no-op
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,320 @@
+// QueryService: admission control (overload shed, per-client quota,
+// draining), submit-time deadline arming, batch coalescing under one pinned
+// snapshot, and the graceful-drain contract (every admitted query completes
+// exactly once, nothing new is accepted).
+
+#include "src/server/service.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/database.h"
+#include "tests/test_util.h"
+
+namespace xks {
+namespace {
+
+Database BuildCorpus(size_t documents = 3, size_t nodes_per_doc = 40) {
+  Database db;
+  for (size_t d = 0; d < documents; ++d) {
+    EXPECT_TRUE(
+        db.AddDocument("doc-" + std::to_string(d),
+                       RandomDocument(/*seed=*/2000 + d, nodes_per_doc))
+            .ok());
+  }
+  EXPECT_TRUE(db.Build().ok());
+  return db;
+}
+
+SearchRequest ApppleBerryRequest() {
+  SearchRequest request;
+  request.query = "apple berry";
+  return request;
+}
+
+TEST(QueryServiceTest, AnswersOneQuery) {
+  Database db = BuildCorpus();
+  QueryService service(&db, ServiceConfig{});
+  std::promise<Result<SearchResponse>> done;
+  ASSERT_TRUE(service
+                  .Submit(1, ApppleBerryRequest(), CancelToken(),
+                          [&](Result<SearchResponse> outcome) {
+                            done.set_value(std::move(outcome));
+                          })
+                  .ok());
+  Result<SearchResponse> outcome = done.get_future().get();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome.value().epoch, db.epoch());
+
+  service.Drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(QueryServiceTest, OutcomeMatchesDirectLibraryCall) {
+  Database db = BuildCorpus();
+  SearchRequest request = ApppleBerryRequest();
+  request.use_cache = false;
+  Result<SearchResponse> direct = db.Search(request);
+  ASSERT_TRUE(direct.ok());
+
+  QueryService service(&db, ServiceConfig{});
+  std::promise<Result<SearchResponse>> done;
+  ASSERT_TRUE(service
+                  .Submit(1, request, CancelToken(),
+                          [&](Result<SearchResponse> outcome) {
+                            done.set_value(std::move(outcome));
+                          })
+                  .ok());
+  Result<SearchResponse> outcome = done.get_future().get();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().hits.size(), direct.value().hits.size());
+  EXPECT_EQ(outcome.value().total_hits, direct.value().total_hits);
+  for (size_t i = 0; i < outcome.value().hits.size(); ++i) {
+    EXPECT_EQ(outcome.value().hits[i].document,
+              direct.value().hits[i].document);
+    EXPECT_EQ(outcome.value().hits[i].score, direct.value().hits[i].score);
+  }
+}
+
+TEST(QueryServiceTest, PipelinedBurstCoalescesIntoOneBatchOneEpoch) {
+  Database db = BuildCorpus();
+  ServiceConfig config;
+  config.batch_max = 8;
+  config.batch_linger_ms = 2'000;  // plenty; the 8th submission cuts it short
+  QueryService service(&db, config);
+
+  constexpr size_t kQueries = 8;
+  std::vector<std::promise<Result<SearchResponse>>> done(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(service
+                    .Submit(1, ApppleBerryRequest(), CancelToken(),
+                            [&done, i](Result<SearchResponse> outcome) {
+                              done[i].set_value(std::move(outcome));
+                            })
+                    .ok());
+  }
+  uint64_t epoch = 0;
+  for (size_t i = 0; i < kQueries; ++i) {
+    Result<SearchResponse> outcome = done[i].get_future().get();
+    ASSERT_TRUE(outcome.ok());
+    if (i == 0) epoch = outcome.value().epoch;
+    // One pinned snapshot per batch: every member sees the same epoch.
+    EXPECT_EQ(outcome.value().epoch, epoch);
+  }
+  service.Drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.admitted, kQueries);
+  EXPECT_EQ(stats.completed, kQueries);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.max_batch, kQueries);
+}
+
+// Parks the dispatcher inside a done callback so admission state can be
+// probed while a query is genuinely in flight.
+struct Gate {
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::promise<void> entered;
+};
+
+TEST(QueryServiceTest, FullPendingQueueShedsWithResourceExhausted) {
+  Database db = BuildCorpus(1, 20);
+  ServiceConfig config;
+  config.max_pending = 2;
+  config.batch_max = 1;
+  config.batch_linger_ms = 0;
+  config.workers = 1;
+  QueryService service(&db, config);
+
+  Gate gate;
+  std::atomic<int> completions{0};
+  ASSERT_TRUE(service
+                  .Submit(1, ApppleBerryRequest(), CancelToken(),
+                          [&](Result<SearchResponse>) {
+                            gate.entered.set_value();
+                            gate.released.wait();
+                            ++completions;
+                          })
+                  .ok());
+  gate.entered.get_future().wait();  // dispatcher is parked; queue is free
+
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(service
+                    .Submit(1, ApppleBerryRequest(), CancelToken(),
+                            [&](Result<SearchResponse>) { ++completions; })
+                    .ok());
+  }
+  const Status shed = service.Submit(
+      1, ApppleBerryRequest(), CancelToken(),
+      [&](Result<SearchResponse>) { ++completions; });
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.message().find("pending queue full"), std::string::npos);
+
+  gate.release.set_value();
+  service.Drain();
+  EXPECT_EQ(completions.load(), 3);  // the shed query never ran
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed_overload, 1u);
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST(QueryServiceTest, PerClientQuotaShedsGreedyClientOnly) {
+  Database db = BuildCorpus(1, 20);
+  ServiceConfig config;
+  config.per_client_inflight = 1;
+  config.batch_max = 1;
+  config.batch_linger_ms = 0;
+  config.workers = 1;
+  QueryService service(&db, config);
+
+  Gate gate;
+  std::atomic<int> completions{0};
+  ASSERT_TRUE(service
+                  .Submit(7, ApppleBerryRequest(), CancelToken(),
+                          [&](Result<SearchResponse>) {
+                            gate.entered.set_value();
+                            gate.released.wait();
+                            ++completions;
+                          })
+                  .ok());
+  gate.entered.get_future().wait();
+
+  // Client 7 is at quota while its query is in flight...
+  const Status shed = service.Submit(
+      7, ApppleBerryRequest(), CancelToken(),
+      [&](Result<SearchResponse>) { ++completions; });
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.message().find("quota"), std::string::npos);
+
+  // ...while client 8 is not affected.
+  ASSERT_TRUE(service
+                  .Submit(8, ApppleBerryRequest(), CancelToken(),
+                          [&](Result<SearchResponse>) { ++completions; })
+                  .ok());
+
+  gate.release.set_value();
+  service.Drain();
+  EXPECT_EQ(completions.load(), 2);
+  EXPECT_EQ(service.stats().shed_quota, 1u);
+
+  // Quota released after completion: client 7 may submit again.
+  const Status rejected = service.Submit(
+      7, ApppleBerryRequest(), CancelToken(), [](Result<SearchResponse>) {});
+  // (Drained service rejects — this checks the quota map was released, not
+  // admission: the code must be Unavailable, not ResourceExhausted.)
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+}
+
+TEST(QueryServiceTest, DeadlineArmsAtSubmitSoQueueWaitCounts) {
+  Database db = BuildCorpus();
+  ServiceConfig config;
+  // The batch never fills, so the dispatcher lingers well past the
+  // deadline; the query must expire in the queue without executing.
+  config.batch_max = 64;
+  config.batch_linger_ms = 100;
+  QueryService service(&db, config);
+
+  SearchRequest request = ApppleBerryRequest();
+  request.deadline_ms = 1;
+  std::promise<Result<SearchResponse>> done;
+  ASSERT_TRUE(service
+                  .Submit(1, request, CancelToken(),
+                          [&](Result<SearchResponse> outcome) {
+                            done.set_value(std::move(outcome));
+                          })
+                  .ok());
+  Result<SearchResponse> outcome = done.get_future().get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryServiceTest, PreFiredTokenReportsCancelled) {
+  Database db = BuildCorpus();
+  QueryService service(&db, ServiceConfig{});
+  CancelSource source;
+  source.Cancel();
+  std::promise<Result<SearchResponse>> done;
+  ASSERT_TRUE(service
+                  .Submit(1, ApppleBerryRequest(), source.token(),
+                          [&](Result<SearchResponse> outcome) {
+                            done.set_value(std::move(outcome));
+                          })
+                  .ok());
+  Result<SearchResponse> outcome = done.get_future().get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryServiceTest, UnbuiltDatabaseFailsEachQueryCleanly) {
+  Database db;  // never built
+  QueryService service(&db, ServiceConfig{});
+  std::promise<Result<SearchResponse>> done;
+  ASSERT_TRUE(service
+                  .Submit(1, ApppleBerryRequest(), CancelToken(),
+                          [&](Result<SearchResponse> outcome) {
+                            done.set_value(std::move(outcome));
+                          })
+                  .ok());
+  Result<SearchResponse> outcome = done.get_future().get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceTest, DrainRejectsNewWorkAndFinishesAdmittedWork) {
+  Database db = BuildCorpus();
+  ServiceConfig config;
+  config.batch_linger_ms = 50;
+  QueryService service(&db, config);
+
+  constexpr size_t kQueries = 6;
+  std::atomic<size_t> completions{0};
+  for (size_t i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(service
+                    .Submit(i % 2, ApppleBerryRequest(), CancelToken(),
+                            [&](Result<SearchResponse> outcome) {
+                              EXPECT_TRUE(outcome.ok());
+                              ++completions;
+                            })
+                    .ok());
+  }
+  service.Drain();
+  // The graceful-drain contract: everything admitted completed...
+  EXPECT_EQ(completions.load(), kQueries);
+  // ...and nothing further is accepted.
+  const Status rejected = service.Submit(
+      1, ApppleBerryRequest(), CancelToken(), [](Result<SearchResponse>) {});
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.stats().rejected_draining, 1u);
+}
+
+TEST(QueryServiceTest, DestructorDrains) {
+  Database db = BuildCorpus();
+  std::atomic<size_t> completions{0};
+  {
+    QueryService service(&db, ServiceConfig{});
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(service
+                      .Submit(1, ApppleBerryRequest(), CancelToken(),
+                              [&](Result<SearchResponse>) { ++completions; })
+                      .ok());
+    }
+  }
+  EXPECT_EQ(completions.load(), 4u);
+}
+
+}  // namespace
+}  // namespace xks
