@@ -25,7 +25,7 @@ void AppendStoreShape(std::string* material, const ShreddedStore& store) {
 
 }  // namespace
 
-Database::Database() : mutex_(std::make_unique<std::mutex>()) {}
+Database::Database() : mutex_(std::make_unique<Mutex>()) {}
 
 Result<DocumentId> Database::AddStoreLocked(const std::string& name,
                                             ShreddedStore store) {
@@ -58,7 +58,7 @@ Result<DocumentId> Database::AddStoreLocked(const std::string& name,
 
 Result<DocumentId> Database::AddDocument(const std::string& name,
                                          const Document& doc) {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   return AddStoreLocked(name, ShreddedStore::Build(doc));
 }
 
@@ -92,12 +92,12 @@ Status Database::RemoveLocked(DocumentId id) {
 }
 
 Status Database::RemoveDocument(DocumentId id) {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   return RemoveLocked(id);
 }
 
 Status Database::RemoveDocument(const std::string& name) {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("no document named '" + name + "'");
@@ -123,13 +123,13 @@ Status Database::ReplaceLocked(DocumentId id, const Document& doc) {
 }
 
 Status Database::ReplaceDocument(DocumentId id, const Document& doc) {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   return ReplaceLocked(id, doc);
 }
 
 Result<DocumentId> Database::ReplaceDocument(const std::string& name,
                                              const Document& doc) {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("no document named '" + name + "'");
@@ -210,7 +210,7 @@ void Database::PublishLocked() {
 }
 
 Status Database::Build() {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   if (built_) return Status::OK();
   if (live_count_ == 0) {
     return Status::InvalidArgument("cannot build an empty corpus");
@@ -236,22 +236,22 @@ Status Database::Build() {
 }
 
 bool Database::built() const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   return built_;
 }
 
 uint64_t Database::epoch() const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   return epoch_;
 }
 
 size_t Database::document_count() const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   return live_count_;
 }
 
 Result<std::string> Database::document_name(DocumentId id) const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   if (id >= documents_.size() || !documents_[id].live) {
     return Status::NotFound("unknown document id " + std::to_string(id));
   }
@@ -259,7 +259,7 @@ Result<std::string> Database::document_name(DocumentId id) const {
 }
 
 Result<DocumentId> Database::FindDocument(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("no document named '" + name + "'");
@@ -269,7 +269,7 @@ Result<DocumentId> Database::FindDocument(const std::string& name) const {
 
 Result<std::shared_ptr<const ShreddedStore>> Database::store(
     DocumentId id) const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   if (id >= documents_.size() || !documents_[id].live) {
     return Status::NotFound("unknown document id " + std::to_string(id));
   }
@@ -277,28 +277,28 @@ Result<std::shared_ptr<const ShreddedStore>> Database::store(
 }
 
 uint64_t Database::WordFrequency(const std::string& word) const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   auto it = corpus_frequency_.find(word);
   return it == corpus_frequency_.end() ? 0 : it->second;
 }
 
 size_t Database::vocabulary_size() const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   return corpus_frequency_.size();
 }
 
 size_t Database::total_postings() const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   return total_postings_;
 }
 
 size_t Database::corpus_max_depth() const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   return MaxDepthLocked();
 }
 
 void Database::set_cache_config(const CacheConfig& config) {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   cache_config_ = config;
   // Republish so the change takes effect immediately: same catalog state,
   // same epoch and revision (this is a serving-configuration change, not a
@@ -307,7 +307,7 @@ void Database::set_cache_config(const CacheConfig& config) {
 }
 
 CacheConfig Database::cache_config() const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   return cache_config_;
 }
 
@@ -317,7 +317,7 @@ CacheStats Database::cache_stats() const {
 }
 
 std::shared_ptr<const Snapshot> Database::snapshot() const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   return snapshot_;
 }
 
@@ -331,7 +331,7 @@ Result<SearchResponse> Database::Search(const SearchRequest& request) const {
 }
 
 void Database::EncodeTo(std::string* dst) const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  MutexLock lock(*mutex_);
   dst->append(kCorpusMagic, 4);
   PutVarint64(dst, epoch_);
   PutVarint64(dst, revision_);
@@ -353,8 +353,11 @@ Result<Database> Database::DecodeFrom(std::string_view data,
     ShreddedStore store;
     XKS_ASSIGN_OR_RETURN(store, ShreddedStore::DecodeFrom(data));
     Database db;
-    XKS_RETURN_IF_ERROR(
-        db.AddStoreLocked(legacy_name, std::move(store)).status());
+    {
+      MutexLock lock(*db.mutex_);
+      XKS_RETURN_IF_ERROR(
+          db.AddStoreLocked(legacy_name, std::move(store)).status());
+    }
     XKS_RETURN_IF_ERROR(db.Build());
     return db;
   }
@@ -369,21 +372,25 @@ Result<Database> Database::DecodeFrom(std::string_view data,
       return Status::Corruption("implausible corpus document count");
     }
     Database db;
-    db.documents_.reserve(count);
-    for (uint64_t i = 0; i < count; ++i) {
-      std::string name;
-      XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&name));
-      if (name.empty()) return Status::Corruption("empty document name");
-      std::string blob;
-      XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&blob));
-      ShreddedStore store;
-      XKS_ASSIGN_OR_RETURN(store, ShreddedStore::DecodeFrom(blob));
-      Result<DocumentId> added = db.AddStoreLocked(name, std::move(store));
-      if (!added.ok()) {
-        if (added.status().code() == StatusCode::kAlreadyExists) {
-          return Status::Corruption("duplicate document name '" + name + "'");
+    {
+      MutexLock lock(*db.mutex_);
+      db.documents_.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        std::string name;
+        XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&name));
+        if (name.empty()) return Status::Corruption("empty document name");
+        std::string blob;
+        XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&blob));
+        ShreddedStore store;
+        XKS_ASSIGN_OR_RETURN(store, ShreddedStore::DecodeFrom(blob));
+        Result<DocumentId> added = db.AddStoreLocked(name, std::move(store));
+        if (!added.ok()) {
+          if (added.status().code() == StatusCode::kAlreadyExists) {
+            return Status::Corruption("duplicate document name '" + name +
+                                      "'");
+          }
+          return added.status();
         }
-        return added.status();
       }
     }
     if (!decoder.done()) {
@@ -407,30 +414,35 @@ Result<Database> Database::DecodeFrom(std::string_view data,
     return Status::Corruption("implausible corpus document count");
   }
   Database db;
-  db.documents_.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t live = 0;
-    XKS_RETURN_IF_ERROR(decoder.GetVarint64(&live));
-    if (live > 1) return Status::Corruption("bad document liveness flag");
-    if (live == 0) {
-      // Tombstone: the slot keeps its id reserved.
-      db.documents_.push_back(DocumentEntry{});
-      continue;
-    }
-    std::string name;
-    XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&name));
-    if (name.empty()) return Status::Corruption("empty document name");
-    std::string blob;
-    XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&blob));
-    ShreddedStore store;
-    XKS_ASSIGN_OR_RETURN(store, ShreddedStore::DecodeFrom(blob));
-    Result<DocumentId> added = db.AddStoreLocked(name, std::move(store));
-    if (!added.ok()) {
-      if (added.status().code() == StatusCode::kAlreadyExists) {
-        return Status::Corruption("duplicate document name '" + name + "'");
+  bool any_live = false;
+  {
+    MutexLock lock(*db.mutex_);
+    db.documents_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t live = 0;
+      XKS_RETURN_IF_ERROR(decoder.GetVarint64(&live));
+      if (live > 1) return Status::Corruption("bad document liveness flag");
+      if (live == 0) {
+        // Tombstone: the slot keeps its id reserved.
+        db.documents_.push_back(DocumentEntry{});
+        continue;
       }
-      return added.status();
+      std::string name;
+      XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&name));
+      if (name.empty()) return Status::Corruption("empty document name");
+      std::string blob;
+      XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&blob));
+      ShreddedStore store;
+      XKS_ASSIGN_OR_RETURN(store, ShreddedStore::DecodeFrom(blob));
+      Result<DocumentId> added = db.AddStoreLocked(name, std::move(store));
+      if (!added.ok()) {
+        if (added.status().code() == StatusCode::kAlreadyExists) {
+          return Status::Corruption("duplicate document name '" + name + "'");
+        }
+        return added.status();
+      }
     }
+    any_live = db.live_count_ > 0;
   }
   if (!decoder.done()) {
     return Status::Corruption("trailing bytes in corpus file");
@@ -439,7 +451,7 @@ Result<Database> Database::DecodeFrom(std::string_view data,
     // Saved before the first Build(). Like the legacy formats, loading
     // publishes the corpus immediately (epoch 1) — a loaded database is
     // always searchable.
-    if (db.live_count_ == 0) {
+    if (!any_live) {
       return Status::Corruption("corpus file with no live documents");
     }
     XKS_RETURN_IF_ERROR(db.Build());
@@ -448,10 +460,13 @@ Result<Database> Database::DecodeFrom(std::string_view data,
   // Restore the published state verbatim: same epoch, same revision — so
   // surviving DocumentIds, statistics and even in-flight cursors keep
   // working across the Save/Load round trip.
-  db.epoch_ = epoch;
-  db.revision_ = revision;
-  db.built_ = true;
-  db.PublishLocked();
+  {
+    MutexLock lock(*db.mutex_);
+    db.epoch_ = epoch;
+    db.revision_ = revision;
+    db.built_ = true;
+    db.PublishLocked();
+  }
   return db;
 }
 

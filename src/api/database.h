@@ -47,7 +47,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -55,6 +54,7 @@
 
 #include "src/api/search_types.h"
 #include "src/api/snapshot.h"
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/storage/store.h"
 #include "src/xml/dom.h"
@@ -200,54 +200,61 @@ class Database {
     bool live = false;
   };
 
-  /// Shared add path (AddDocument + the decoders). Requires the lock.
+  /// Shared add path (AddDocument + the decoders).
   Result<DocumentId> AddStoreLocked(const std::string& name,
-                                    ShreddedStore store);
-  Status RemoveLocked(DocumentId id);
-  Status ReplaceLocked(DocumentId id, const Document& doc);
+                                    ShreddedStore store) XKS_REQUIRES(*mutex_);
+  Status RemoveLocked(DocumentId id) XKS_REQUIRES(*mutex_);
+  Status ReplaceLocked(DocumentId id, const Document& doc)
+      XKS_REQUIRES(*mutex_);
 
   /// O(changed doc) corpus-aggregate maintenance.
-  void MergeStatsLocked(const DocumentStats& stats);
-  void UnmergeStatsLocked(const DocumentStats& stats);
-  size_t MaxDepthLocked() const;
+  void MergeStatsLocked(const DocumentStats& stats) XKS_REQUIRES(*mutex_);
+  void UnmergeStatsLocked(const DocumentStats& stats) XKS_REQUIRES(*mutex_);
+  size_t MaxDepthLocked() const XKS_REQUIRES(*mutex_);
 
   /// Evolves the corpus revision with one mutation record (op + id + name +
   /// table shape). Only meaningful once built; Build() seeds the chain with
   /// a full-shape hash.
-  void BumpRevisionLocked(char op, DocumentId id, const DocumentEntry& entry);
+  void BumpRevisionLocked(char op, DocumentId id, const DocumentEntry& entry)
+      XKS_REQUIRES(*mutex_);
 
   /// Builds and swaps in a fresh snapshot of the current catalog state.
-  void PublishLocked();
+  void PublishLocked() XKS_REQUIRES(*mutex_);
 
   /// Serializes mutations and guards the catalog fields below; snapshots
   /// themselves are immutable and need no locking. Held behind unique_ptr
-  /// so Database stays movable (Result<Database> returns by value).
-  mutable std::unique_ptr<std::mutex> mutex_;
+  /// so Database stays movable (Result<Database> returns by value); moving
+  /// a Database concurrently with any other use of it is undefined, same
+  /// as for every standard type.
+  mutable std::unique_ptr<Mutex> mutex_;
 
-  std::vector<DocumentEntry> documents_;  ///< Id-indexed, tombstones kept.
-  std::unordered_map<std::string, DocumentId> by_name_;  ///< Live names only.
-  size_t live_count_ = 0;
+  /// Id-indexed, tombstones kept.
+  std::vector<DocumentEntry> documents_ XKS_GUARDED_BY(*mutex_);
+  /// Live names only.
+  std::unordered_map<std::string, DocumentId> by_name_ XKS_GUARDED_BY(*mutex_);
+  size_t live_count_ XKS_GUARDED_BY(*mutex_) = 0;
 
   /// Corpus aggregates, maintained incrementally by merge/unmerge.
-  std::unordered_map<std::string, uint64_t> corpus_frequency_;
-  size_t total_postings_ = 0;
+  std::unordered_map<std::string, uint64_t> corpus_frequency_
+      XKS_GUARDED_BY(*mutex_);
+  size_t total_postings_ XKS_GUARDED_BY(*mutex_) = 0;
   /// Census of per-document max depths (depth → live-document count); the
   /// corpus max depth is the largest key.
-  std::map<size_t, size_t> depth_census_;
+  std::map<size_t, size_t> depth_census_ XKS_GUARDED_BY(*mutex_);
 
   /// Hash chain over the corpus shape: seeded by Build() from the full
   /// shape, evolved per mutation, persisted in XKS3. Folded into cursor
   /// fingerprints so a cursor dies with the corpus it came from.
-  uint64_t revision_ = 0;
+  uint64_t revision_ XKS_GUARDED_BY(*mutex_) = 0;
   /// Publication counter: 0 = never built, 1 = first Build(), +1 per
   /// mutation thereafter. Persisted in XKS3.
-  uint64_t epoch_ = 0;
+  uint64_t epoch_ XKS_GUARDED_BY(*mutex_) = 0;
 
   /// Result-cache configuration stamped onto every published snapshot.
-  CacheConfig cache_config_;
+  CacheConfig cache_config_ XKS_GUARDED_BY(*mutex_);
 
-  std::shared_ptr<const Snapshot> snapshot_;
-  bool built_ = false;
+  std::shared_ptr<const Snapshot> snapshot_ XKS_GUARDED_BY(*mutex_);
+  bool built_ XKS_GUARDED_BY(*mutex_) = false;
 };
 
 }  // namespace xks

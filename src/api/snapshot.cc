@@ -6,6 +6,7 @@
 
 #include "src/api/cursor.h"
 #include "src/api/request_fingerprint.h"
+#include "src/common/check.h"
 #include "src/common/worker_pool.h"
 
 namespace xks {
@@ -269,6 +270,13 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
   size_t executed = 0;
   XKS_ASSIGN_OR_RETURN(
       executed, ParallelFor(selection.size(), execute_document, fan_out));
+  // The replay below walks [0, executed) and dereferences every slot in it,
+  // so the contiguous-prefix contract (claimed ⇒ ran to completion ⇒ slot
+  // filled or statused) is load-bearing here — check it, don't trust it.
+  XKS_CHECK(executed <= selection.size());
+  for (size_t di = 0; di < executed; ++di) {
+    XKS_DCHECK(results[di] != nullptr || !statuses[di].ok());
+  }
 
   // No partial-response leak on cancellation: a deadline or cancel that
   // fired anywhere during the fan-out (stopping dispatch, or unwinding a

@@ -26,6 +26,14 @@
 // InvalidArgument a wrong-request (or same-epoch wrong-corpus) cursor
 // produces. To paginate consistently across mutations, pin one Snapshot
 // (Database::snapshot()) and keep issuing pages against it.
+//
+// Why this file carries no XKS_GUARDED_BY annotations (see
+// src/common/thread_annotations.h for the scheme): immutability after
+// publication is the concurrency contract, and it is stronger than any
+// lock discipline — there is no mutable state for an annotation to guard.
+// The catalog mutex that orders publications lives in Database
+// (src/api/database.h), where it is annotated; the embedded ResultCache
+// synchronizes itself (src/cache/result_cache.h).
 
 #ifndef XKS_API_SNAPSHOT_H_
 #define XKS_API_SNAPSHOT_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/common/check.h"
 #include "src/common/fingerprint.h"
 
 namespace xks {
@@ -67,7 +68,7 @@ ResultCache::ResultCache(const CacheConfig& config)
 
 std::shared_ptr<const SearchResult> ResultCache::Get(const CacheKey& key) {
   Shard& shard = ShardFor(key.hash);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.index.find(KeyView{key.material, key.hash});
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -83,7 +84,7 @@ void ResultCache::Put(const CacheKey& key,
   const size_t charged =
       key.material.size() + ApproximateResultBytes(*value) + kEntryOverheadBytes;
   Shard& shard = ShardFor(key.hash);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   if (config_.max_entry_bytes != 0 && charged > config_.max_entry_bytes) {
     ++shard.rejected;
     return;
@@ -93,6 +94,7 @@ void ResultCache::Put(const CacheKey& key,
     // Replace in place: keep the node (and the index's view into its
     // material), swap the payload and re-charge.
     std::list<Entry>::iterator entry = it->second;
+    XKS_DCHECK(shard.bytes >= entry->charged_bytes);
     shard.bytes -= entry->charged_bytes;
     entry->value = std::move(value);
     entry->charged_bytes = charged;
@@ -110,6 +112,9 @@ void ResultCache::Put(const CacheKey& key,
   // alone busts the shard budget is trimmed right back out (front == back).
   while (shard.bytes > shard_capacity_bytes_ && !shard.lru.empty()) {
     const Entry& victim = shard.lru.back();
+    // Byte accounting must never underflow: every resident entry was
+    // charged exactly once, so the shard total always covers its victim.
+    XKS_CHECK(shard.bytes >= victim.charged_bytes);
     shard.bytes -= victim.charged_bytes;
     shard.index.erase(KeyView{victim.material, victim.hash});
     shard.lru.pop_back();
@@ -122,7 +127,7 @@ CacheStats ResultCache::stats() const {
   stats.capacity_bytes = config_.capacity_bytes;
   stats.enabled = config_.enabled;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.insertions += shard.insertions;

@@ -37,12 +37,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/core/engine.h"
 
 namespace xks {
@@ -158,17 +158,21 @@ class ResultCache {
     }
   };
 
+  /// One independently locked slice of the cache: `mutex` guards the LRU
+  /// list, the bucket index and every counter — there is no shard state
+  /// outside the lock.
   struct Shard {
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
     /// Front = most recently used.
-    std::list<Entry> lru;
-    std::unordered_map<KeyView, std::list<Entry>::iterator, KeyViewHash> index;
-    size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t insertions = 0;
-    uint64_t evictions = 0;
-    uint64_t rejected = 0;
+    std::list<Entry> lru XKS_GUARDED_BY(mutex);
+    std::unordered_map<KeyView, std::list<Entry>::iterator, KeyViewHash> index
+        XKS_GUARDED_BY(mutex);
+    size_t bytes XKS_GUARDED_BY(mutex) = 0;
+    uint64_t hits XKS_GUARDED_BY(mutex) = 0;
+    uint64_t misses XKS_GUARDED_BY(mutex) = 0;
+    uint64_t insertions XKS_GUARDED_BY(mutex) = 0;
+    uint64_t evictions XKS_GUARDED_BY(mutex) = 0;
+    uint64_t rejected XKS_GUARDED_BY(mutex) = 0;
   };
 
   Shard& ShardFor(uint64_t hash) {

@@ -19,8 +19,22 @@
 // (time) on top of a library caller's own budget, and the earliest of them
 // wins.
 //
-// Thread safety: CancelSource::Cancel and every CancelToken accessor may be
-// called concurrently from any thread.
+// Concurrency contract (formal — there is no mutex here to annotate, the
+// whole type is built on one shared atomic plus immutable value state):
+//
+//   * CancelSource::Cancel, CancelSource::cancelled and every CancelToken
+//     accessor are callable concurrently from any thread without external
+//     synchronization. The shared flag is the only mutable state and is
+//     only ever written true (release) and read (acquire); the deadline is
+//     immutable after construction.
+//   * Both firing conditions are monotonic: once cancelled() has returned
+//     true it returns true forever, and status() is then guaranteed
+//     non-OK. Callers may therefore check cancelled() first and call
+//     status() for the reason without re-racing.
+//   * Constructing, copying and deriving tokens (WithDeadline /
+//     WithDeadlineAfter) is NOT synchronized with concurrent writes to the
+//     same token object: tokens are value types — share by copy, never by
+//     concurrent mutation of one instance.
 
 #ifndef XKS_COMMON_CANCEL_TOKEN_H_
 #define XKS_COMMON_CANCEL_TOKEN_H_

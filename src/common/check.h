@@ -1,0 +1,52 @@
+// XKS_CHECK / XKS_DCHECK — runtime invariant assertions for the handful of
+// properties the static analysis cannot express.
+//
+// The thread-safety annotations (src/common/thread_annotations.h) prove
+// lock discipline at compile time; these macros cover the residue — value
+// invariants that hold *because* of the locking protocol but are not
+// themselves lock facts (a claim counter that must never exceed its bound,
+// byte accounting that must never underflow). XKS_CHECK is always on and
+// aborts with file:line plus the failed expression; XKS_DCHECK compiles to
+// the same in debug builds and to nothing under NDEBUG, so hot paths can
+// assert freely.
+//
+// These are for programming errors (invariant breakage), never for input
+// validation — user-facing errors must surface as Status/Result.
+
+#ifndef XKS_COMMON_CHECK_H_
+#define XKS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xks {
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* expression, const char* file,
+                                   int line) {
+  // fprintf, not iostreams: this must work mid-corruption, with no
+  // allocation and no locale machinery in the way.
+  std::fprintf(stderr, "XKS_CHECK failed at %s:%d: %s\n", file, line,
+               expression);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace xks
+
+/// Aborts the process when `condition` is false. Always on.
+#define XKS_CHECK(condition)                                        \
+  (static_cast<bool>(condition)                                     \
+       ? static_cast<void>(0)                                       \
+       : ::xks::internal::CheckFail(#condition, __FILE__, __LINE__))
+
+/// XKS_CHECK in debug builds; vanishes (condition unevaluated) under
+/// NDEBUG. Only for invariants too hot to check in release.
+#ifdef NDEBUG
+#define XKS_DCHECK(condition) static_cast<void>(0)
+#else
+#define XKS_DCHECK(condition) XKS_CHECK(condition)
+#endif
+
+#endif  // XKS_COMMON_CHECK_H_

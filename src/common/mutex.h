@@ -1,0 +1,125 @@
+// xks::Mutex / xks::MutexLock / xks::CondVar — annotatable, zero-overhead
+// wrappers over the std synchronization primitives.
+//
+// Why wrappers: Clang's -Wthread-safety analysis can only check code whose
+// lock types carry capability annotations, and std::mutex carries none. The
+// wrappers are the thinnest possible annotated shell — every method is a
+// single inlined forwarding call, there are no virtuals, no extra state and
+// no extra atomics, so the generated code is byte-for-byte what the bare
+// std primitives produce (bench/micro_parallel_scan and micro_result_cache
+// pin this: BENCH_pr7.json sits inside the 1.25x trajectory gate).
+//
+// All locking code under src/ goes through these types; tools/lint.py
+// rejects bare std::mutex / std::lock_guard / std::unique_lock /
+// std::condition_variable anywhere under src/ except this file.
+//
+// Condition-variable idiom. Write waits as explicit loops over guarded
+// state, with the predicate inline in the locked scope:
+//
+//   MutexLock lock(mu_);
+//   while (queue_.empty() && !shutdown_) not_empty_.Wait(lock);
+//
+// (not as a lambda predicate passed into Wait): the analysis checks the
+// enclosing function body, so the guarded reads in the loop condition are
+// provably under the lock. The predicate/timed overloads exist for
+// self-contained state that is not guarded-field-based.
+
+#ifndef XKS_COMMON_MUTEX_H_
+#define XKS_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/thread_annotations.h"
+
+namespace xks {
+
+class CondVar;
+
+/// An annotated std::mutex. Prefer MutexLock over manual Lock/Unlock
+/// pairing; the manual methods exist for the rare non-scoped protocol.
+class XKS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() XKS_ACQUIRE() { raw_.lock(); }
+  void Unlock() XKS_RELEASE() { raw_.unlock(); }
+
+  /// Acquires without blocking when free; returns whether it acquired.
+  /// Calling on a thread that already holds this mutex is undefined
+  /// behaviour (same contract as std::mutex::try_lock).
+  bool TryLock() XKS_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex raw_;
+};
+
+/// RAII lock over a Mutex; the only way CondVar can wait. Holds for its
+/// full scope — there is deliberately no early-unlock surface, which keeps
+/// the scope the analysis sees identical to the scope the code has.
+class XKS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) XKS_ACQUIRE(mu) : lock_(mu.raw_) {}
+  ~MutexLock() XKS_RELEASE() {}  // lock_'s destructor does the unlock
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// An annotated std::condition_variable, waitable only through a held
+/// MutexLock (so a wait without the lock is a compile error, not UB).
+///
+/// Wait/WaitFor/WaitUntil carry no REQUIRES annotation — the analysis
+/// cannot express "requires the mutex behind `lock`" — but the MutexLock&
+/// parameter makes the requirement structural: the caller cannot produce
+/// one without holding the mutex. Spurious wakeups happen; always re-check
+/// the predicate (use the explicit-loop idiom from the file comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, blocks, and re-acquires before returning.
+  void Wait(MutexLock& lock) { raw_.wait(lock.lock_); }
+
+  /// Waits until `pred()` is true. Only for predicates over state that is
+  /// not lock-guarded (see the file comment for guarded state).
+  template <typename Predicate>
+  void Wait(MutexLock& lock, Predicate pred) {
+    raw_.wait(lock.lock_, std::move(pred));
+  }
+
+  /// Blocks until notified or `deadline`; false on timeout. The lock is
+  /// re-held either way.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(MutexLock& lock,
+                 const std::chrono::time_point<Clock, Duration>& deadline) {
+    return raw_.wait_until(lock.lock_, deadline) == std::cv_status::no_timeout;
+  }
+
+  /// Blocks until notified or `timeout` elapses; false on timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(MutexLock& lock,
+               const std::chrono::duration<Rep, Period>& timeout) {
+    return raw_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { raw_.notify_one(); }
+  void NotifyAll() { raw_.notify_all(); }
+
+ private:
+  std::condition_variable raw_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_COMMON_MUTEX_H_

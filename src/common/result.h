@@ -16,8 +16,12 @@ namespace xks {
 ///   Result<Document> r = ParseDocument(text);
 ///   if (!r.ok()) return r.status();
 ///   Document doc = std::move(r).value();
+///
+/// [[nodiscard]] for the same reason as Status: dropping a Result drops an
+/// error (and a value someone paid to compute). Enforced repo-wide by
+/// -Werror=unused-result; intentional drops use static_cast<void>(...).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful Result holding `value`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

@@ -42,7 +42,12 @@ std::string_view StatusCodeName(StatusCode code);
 ///
 ///   Status s = parser.Parse(text, &doc);
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed error, so every by-value
+/// return of one must be consumed. Built with -Werror=unused-result, a
+/// discard site is a compile error; the rare intentional drop must say so
+/// with an explicit static_cast<void>(...) at the call site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,87 @@
+// Clang thread-safety-analysis annotation macros (the Abseil/LLVM pattern).
+//
+// These macros attach locking contracts to types, fields and functions so
+// that Clang's -Wthread-safety analysis can prove, at compile time, that
+// every access to a guarded field happens under its mutex and that every
+// `...Locked()` helper is only reachable with the right lock held. Under
+// any other compiler (or when the analysis is off) they expand to nothing,
+// so annotated code stays portable and zero-cost.
+//
+// The annotations only bite on types that are themselves declared as
+// capabilities — use xks::Mutex / xks::MutexLock / xks::CondVar
+// (src/common/mutex.h), not the raw std primitives (tools/lint.py rejects
+// bare std::mutex under src/ for exactly this reason).
+//
+// Conventions for new code:
+//   * every field written by more than one thread gets XKS_GUARDED_BY(mu_);
+//   * every private helper that assumes the lock is held is named
+//     `...Locked()` and annotated XKS_REQUIRES(mu_);
+//   * public entry points that must NOT be called with the lock held (they
+//     take it themselves) may add XKS_EXCLUDES(mu_) when re-entry is a
+//     plausible bug;
+//   * XKS_NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry a
+//     justification comment on the preceding line (enforced by
+//     tools/lint.py).
+//
+// CI compiles the tree with clang and -Werror=thread-safety
+// -Werror=thread-safety-beta (the `static-analysis` job), so a missing or
+// wrong annotation is a build break, not a TSan flake.
+
+#ifndef XKS_COMMON_THREAD_ANNOTATIONS_H_
+#define XKS_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define XKS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define XKS_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define XKS_CAPABILITY(x) XKS_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor releases
+/// a capability.
+#define XKS_SCOPED_CAPABILITY XKS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field/variable may only be read or written while holding `x`.
+#define XKS_GUARDED_BY(x) XKS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field: the *pointed-to* data may only be accessed while
+/// holding `x` (the pointer itself is unguarded).
+#define XKS_PT_GUARDED_BY(x) XKS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function may only be called while holding the given capabilities.
+#define XKS_REQUIRES(...) \
+  XKS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function may only be called while NOT holding the given capabilities
+/// (it acquires them itself; calling with them held would deadlock).
+#define XKS_EXCLUDES(...) XKS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define XKS_ACQUIRE(...) \
+  XKS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define XKS_RELEASE(...) \
+  XKS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define XKS_TRY_ACQUIRE(result, ...) \
+  XKS_THREAD_ANNOTATION_(try_acquire_capability(result, __VA_ARGS__))
+
+/// Asserts (for the analysis, not at runtime) that the capability is held.
+#define XKS_ASSERT_CAPABILITY(x) \
+  XKS_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Returns a reference to the mutex guarding this function's result.
+#define XKS_RETURN_CAPABILITY(x) XKS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Every use must
+/// carry a justification comment on the preceding line; tools/lint.py
+/// fails the build otherwise.
+#define XKS_NO_THREAD_SAFETY_ANALYSIS \
+  XKS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // XKS_COMMON_THREAD_ANNOTATIONS_H_

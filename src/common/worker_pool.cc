@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "src/common/check.h"
+
 namespace xks {
 
 WorkerPool::WorkerPool(size_t threads, size_t queue_capacity)
@@ -18,31 +20,31 @@ WorkerPool::WorkerPool(size_t threads, size_t queue_capacity)
 
 WorkerPool::~WorkerPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  queue_not_empty_.notify_all();
-  queue_not_full_.notify_all();
+  queue_not_empty_.NotifyAll();
+  queue_not_full_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
 void WorkerPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    queue_not_full_.wait(lock, [this] {
-      return queue_.size() < queue_capacity_ || shutdown_;
-    });
+    MutexLock lock(mutex_);
+    while (queue_.size() >= queue_capacity_ && !shutdown_) {
+      queue_not_full_.Wait(lock);
+    }
     // Submitting into a destructing pool would drop the task silently;
     // treat it as a caller bug but keep the process alive.
     if (shutdown_) return;
     queue_.push_back(std::move(task));
   }
-  queue_not_empty_.notify_one();
+  queue_not_empty_.NotifyOne();
 }
 
 void WorkerPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) idle_.Wait(lock);
 }
 
 size_t WorkerPool::DefaultParallelism() {
@@ -54,16 +56,15 @@ void WorkerPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_not_empty_.wait(lock,
-                            [this] { return !queue_.empty() || shutdown_; });
+      MutexLock lock(mutex_);
+      while (queue_.empty() && !shutdown_) queue_not_empty_.Wait(lock);
       // Drain the queue even during shutdown: every submitted task runs.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
     }
-    queue_not_full_.notify_one();
+    queue_not_full_.NotifyOne();
     try {
       task();
     } catch (...) {
@@ -72,9 +73,10 @@ void WorkerPool::WorkerLoop() {
       // here, bare Submit callers are documented to not throw.
     }
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
+      XKS_DCHECK(active_ > 0);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_.NotifyAll();
     }
   }
 }
@@ -119,7 +121,7 @@ Result<size_t> ParallelFor(size_t count,
 
   std::atomic<size_t> next{0};
   std::atomic<bool> halt{false};
-  std::mutex error_mutex;
+  Mutex error_mutex;
   size_t first_error_index = SIZE_MAX;
   Status first_error = Status::OK();
 
@@ -134,7 +136,7 @@ Result<size_t> ParallelFor(size_t count,
       if (index >= count) return;
       Status status = RunBody(body, index);
       if (!status.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (index < first_error_index) {
           first_error_index = index;
           first_error = std::move(status);
@@ -154,7 +156,13 @@ Result<size_t> ParallelFor(size_t count,
     // the happens-before edge making every body's writes visible here.
   }
 
-  if (first_error_index != SIZE_MAX) return first_error;
+  if (first_error_index != SIZE_MAX) {
+    // The contiguous-prefix contract in the error case: the failing index
+    // was claimed, so the claim counter must have advanced past it.
+    XKS_CHECK(first_error_index < next.load(std::memory_order_acquire));
+    XKS_CHECK(!first_error.ok());
+    return first_error;
+  }
   return std::min(count, next.load(std::memory_order_acquire));
 }
 

@@ -18,19 +18,23 @@
 #ifndef XKS_COMMON_WORKER_POOL_H_
 #define XKS_COMMON_WORKER_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/common/cancel_token.h"
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 
 namespace xks {
 
+/// Locking contract: one mutex (`mutex_`) guards the queue, the active-task
+/// count and the shutdown flag; the annotations below make the compiler
+/// hold every access to it. The thread vector is written only by the
+/// constructor (before any concurrency exists) and read by the destructor
+/// (after every worker has observed shutdown), so it needs no lock.
 class WorkerPool {
  public:
   /// Spawns `threads` workers (at least one) sharing a queue that holds at
@@ -43,12 +47,18 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  /// Enqueues `task`; blocks while the queue is full. A task that throws is
-  /// swallowed by its worker (use ParallelFor for error reporting).
-  void Submit(std::function<void()> task);
+  /// Enqueues `task`; blocks (holding no lock while waiting) while the
+  /// queue is full. Callable from any thread, including a worker — but a
+  /// worker submitting into a full queue deadlocks by construction, so
+  /// tasks must not Submit. A task that throws is swallowed by its worker
+  /// (use ParallelFor for error reporting).
+  void Submit(std::function<void()> task) XKS_EXCLUDES(mutex_);
 
-  /// Returns once every submitted task has finished and the queue is empty.
-  void WaitIdle();
+  /// Returns once every submitted task has finished and the queue is
+  /// empty. Callable from any non-worker thread without external
+  /// synchronization; "idle" is a moment-in-time fact if other threads
+  /// keep submitting.
+  void WaitIdle() XKS_EXCLUDES(mutex_);
 
   size_t thread_count() const { return threads_.size(); }
 
@@ -57,17 +67,18 @@ class WorkerPool {
   static size_t DefaultParallelism();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() XKS_EXCLUDES(mutex_);
 
   const size_t queue_capacity_;
-  std::mutex mutex_;
-  std::condition_variable queue_not_full_;
-  std::condition_variable queue_not_empty_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar queue_not_full_;
+  CondVar queue_not_empty_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ XKS_GUARDED_BY(mutex_);
   /// Tasks currently executing on a worker.
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  size_t active_ XKS_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ XKS_GUARDED_BY(mutex_) = false;
+  /// Written by the constructor only; joined by the destructor.
   std::vector<std::thread> threads_;
 };
 
@@ -77,8 +88,9 @@ struct ParallelForOptions {
   /// inline on the calling thread.
   size_t max_parallelism = 0;
   /// Checked before each index is claimed; once it returns true no further
-  /// indices are dispatched (in-flight bodies still finish). Must be safe to
-  /// call from any worker thread.
+  /// indices are dispatched (in-flight bodies still finish). Called
+  /// concurrently from every worker, so it must be callable without
+  /// external synchronization.
   std::function<bool()> stop;
   /// Cooperative cancellation, checked exactly like `stop`: a fired token
   /// (explicit cancel or expired deadline) stops further dispatch while
@@ -95,7 +107,9 @@ struct ParallelForOptions {
 /// Status, throws (converted to Status::Internal), or options.stop fires;
 /// indices already claimed always run to completion, so the executed set is
 /// a contiguous prefix. Returns the size of that prefix, or the
-/// lowest-index error among executed bodies.
+/// lowest-index error among executed bodies. `body` is invoked concurrently
+/// from up to max_parallelism threads and must tolerate that; everything it
+/// wrote is visible to the caller when ParallelFor returns.
 Result<size_t> ParallelFor(size_t count,
                            const std::function<Status(size_t)>& body,
                            const ParallelForOptions& options = {});

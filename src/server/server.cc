@@ -26,7 +26,7 @@ XksServer::XksServer(const Database* db, const ServerConfig& config)
 XksServer::~XksServer() { Shutdown(); }
 
 Status XksServer::Start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  MutexLock lifecycle(lifecycle_mutex_);
   if (started_) return Status::FailedPrecondition("server already started");
 
   sockaddr_in addr{};
@@ -90,7 +90,7 @@ void XksServer::AcceptLoop() {
     conn->id = ++next_connection_id;
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
+      MutexLock lock(connections_mutex_);
       connections_.push_back(conn);
       reader_threads_.emplace_back(
           [this, conn]() mutable { ReaderLoop(std::move(conn)); });
@@ -121,7 +121,7 @@ void XksServer::ReaderLoop(std::shared_ptr<Connection> conn) {
     const uint64_t request_id = frame->request_id;
     CancelToken token;
     {
-      std::lock_guard<std::mutex> lock(conn->inflight_mutex);
+      MutexLock lock(conn->inflight_mutex);
       token = conn->inflight[request_id].token();
     }
     std::shared_ptr<Connection> conn_ref = conn;
@@ -129,14 +129,14 @@ void XksServer::ReaderLoop(std::shared_ptr<Connection> conn) {
         conn->id, std::move(request).value(), token,
         [conn_ref, request_id](Result<SearchResponse> outcome) {
           WriteReply(conn_ref, request_id, outcome);
-          std::lock_guard<std::mutex> lock(conn_ref->inflight_mutex);
+          MutexLock lock(conn_ref->inflight_mutex);
           conn_ref->inflight.erase(request_id);
         });
     if (!admitted.ok()) {
       // Shed synchronously (overload, quota, draining): the rejection IS the
       // reply for this request id.
       WriteReply(conn, request_id, admitted);
-      std::lock_guard<std::mutex> lock(conn->inflight_mutex);
+      MutexLock lock(conn->inflight_mutex);
       conn->inflight.erase(request_id);
     }
   }
@@ -163,7 +163,7 @@ void XksServer::WriteReply(const std::shared_ptr<Connection>& conn,
     frame.kind = FrameKind::kStatus;
     frame.body = EncodeStatusPayload(outcome.status());
   }
-  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  MutexLock lock(conn->write_mutex);
   if (conn->closed.load(std::memory_order_acquire)) return;
   if (!WriteFrame(conn->fd, frame).ok()) {
     conn->closed.store(true, std::memory_order_release);
@@ -171,12 +171,12 @@ void XksServer::WriteReply(const std::shared_ptr<Connection>& conn,
 }
 
 void XksServer::CancelAllInflight(Connection* conn) {
-  std::lock_guard<std::mutex> lock(conn->inflight_mutex);
+  MutexLock lock(conn->inflight_mutex);
   for (auto& [id, source] : conn->inflight) source.Cancel();
 }
 
 void XksServer::Shutdown() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  MutexLock lifecycle(lifecycle_mutex_);
   if (!started_ || shut_down_) return;
   shut_down_ = true;
 
@@ -191,22 +191,27 @@ void XksServer::Shutdown() {
   //    readers are rejected with Unavailable.
   service_->Drain();
 
-  // 3. Now the readers: wake each one out of its blocking read and join.
+  // 3. Now the readers: take ownership of both registries under the lock
+  //    (the joined acceptor can no longer append), then wake each reader
+  //    out of its blocking read and join it with no lock held — the old
+  //    unlocked reads of connections_/reader_threads_ were exactly the
+  //    kind of tacit "stable by now" reasoning this PR turns into
+  //    compiler-checked structure.
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::vector<std::thread> readers;
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (const auto& conn : connections_) {
-      conn->closed.store(true, std::memory_order_release);
-      ::shutdown(conn->fd, SHUT_RDWR);
-    }
+    MutexLock lock(connections_mutex_);
+    connections.swap(connections_);
+    readers.swap(reader_threads_);
   }
-  for (std::thread& reader : reader_threads_) {
+  for (const auto& conn : connections) {
+    conn->closed.store(true, std::memory_order_release);
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (std::thread& reader : readers) {
     if (reader.joinable()) reader.join();
   }
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    reader_threads_.clear();
-    connections_.clear();  // destructors close the fds
-  }
+  connections.clear();  // destructors close the fds
 
   ::close(listen_fd_);
   listen_fd_ = -1;

@@ -28,7 +28,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -36,6 +35,7 @@
 
 #include "src/api/database.h"
 #include "src/common/cancel_token.h"
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/server/service.h"
 
@@ -86,15 +86,21 @@ class XksServer {
 
  private:
   /// Per-connection state, shared between the reader thread and in-flight
-  /// done-callbacks (which may outlive the reader).
+  /// done-callbacks (which may outlive the reader). Two independent locks:
+  /// write_mutex serializes whole reply frames onto the socket (it guards
+  /// the *write side of fd* — a kernel resource, not a field, so the
+  /// contract is this comment plus WriteReply being the only writer),
+  /// inflight_mutex guards the cancel-source map. They are never held
+  /// together, so no lock ordering exists to violate.
   struct Connection {
     ~Connection();  ///< Closes fd once the last reference drops.
     int fd = -1;
     uint64_t id = 0;
-    std::mutex write_mutex;
+    Mutex write_mutex;
     /// One CancelSource per in-flight request id; fired on disconnect.
-    std::mutex inflight_mutex;
-    std::unordered_map<uint64_t, CancelSource> inflight;
+    Mutex inflight_mutex;
+    std::unordered_map<uint64_t, CancelSource> inflight
+        XKS_GUARDED_BY(inflight_mutex);
     std::atomic<bool> closed{false};
   };
 
@@ -110,18 +116,29 @@ class XksServer {
   const ServerConfig config_;
   std::unique_ptr<QueryService> service_;
 
+  /// Written by Start() before the acceptor exists and reset by Shutdown()
+  /// after every thread that reads it has been joined, so the concurrent
+  /// readers (AcceptLoop, the fd-waking shutdown path) see a stable value
+  /// without a lock. Not guarded: there is no moment of concurrent write.
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> shutting_down_{false};
   std::atomic<uint64_t> connections_accepted_{0};
   std::thread accept_thread_;
 
-  std::mutex connections_mutex_;
-  std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> reader_threads_;
-  bool started_ = false;
-  bool shut_down_ = false;
-  std::mutex lifecycle_mutex_;
+  /// Guards the accept-side registries. The acceptor appends under the
+  /// lock; Shutdown swaps both vectors out under the lock (after joining
+  /// the acceptor) and joins/cancels them outside it, so the join never
+  /// blocks other lock holders.
+  Mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_
+      XKS_GUARDED_BY(connections_mutex_);
+  std::vector<std::thread> reader_threads_ XKS_GUARDED_BY(connections_mutex_);
+  /// Serializes Start/Shutdown against each other (including concurrent
+  /// Shutdown calls: the first does the teardown, later ones no-op).
+  Mutex lifecycle_mutex_;
+  bool started_ XKS_GUARDED_BY(lifecycle_mutex_) = false;
+  bool shut_down_ XKS_GUARDED_BY(lifecycle_mutex_) = false;
 };
 
 }  // namespace xks

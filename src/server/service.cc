@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/worker_pool.h"
 
 namespace xks {
@@ -35,7 +36,7 @@ Status QueryService::Submit(uint64_t client_id, SearchRequest request,
     query.request.deadline_ms = 0;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.submitted;
     if (draining_) {
       ++stats_.rejected_draining;
@@ -60,27 +61,26 @@ Status QueryService::Submit(uint64_t client_id, SearchRequest request,
     ++stats_.admitted;
     pending_.push_back(std::move(query));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return Status::OK();
 }
 
 void QueryService::BeginDrain() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     draining_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 }
 
 void QueryService::Drain() {
   BeginDrain();
-  std::unique_lock<std::mutex> lock(mutex_);
-  drain_cv_.wait(lock,
-                 [this] { return pending_.empty() && inflight_total_ == 0; });
+  MutexLock lock(mutex_);
+  while (!pending_.empty() || inflight_total_ != 0) drain_cv_.Wait(lock);
 }
 
 ServiceStats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -88,8 +88,8 @@ void QueryService::DispatcherLoop() {
   for (;;) {
     std::vector<PendingQuery> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return !pending_.empty() || draining_; });
+      MutexLock lock(mutex_);
+      while (pending_.empty() && !draining_) work_cv_.Wait(lock);
       if (pending_.empty()) return;  // draining and nothing left to run
       // Linger briefly for stragglers: a pipelined client's burst arrives
       // over microseconds, and picking them into one batch means one
@@ -97,11 +97,12 @@ void QueryService::DispatcherLoop() {
       // linger — finishing fast beats batching well on the way down.
       if (config_.batch_linger_ms > 0 && !draining_ &&
           pending_.size() < config_.batch_max) {
-        work_cv_.wait_for(
-            lock, std::chrono::milliseconds(config_.batch_linger_ms),
-            [this] {
-              return pending_.size() >= config_.batch_max || draining_;
-            });
+        const auto linger_deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(config_.batch_linger_ms);
+        while (pending_.size() < config_.batch_max && !draining_ &&
+               work_cv_.WaitUntil(lock, linger_deadline)) {
+        }
       }
       const size_t take =
           std::min(pending_.size(), std::max<size_t>(1, config_.batch_max));
@@ -127,7 +128,7 @@ void QueryService::RunBatch(std::vector<PendingQuery>* batch) {
   fan_out.max_parallelism = config_.workers;
   // Member bodies always report OK: a member's failure is its own outcome,
   // delivered through its done callback, never a reason to halt the batch.
-  ParallelFor(
+  const Result<size_t> fanned = ParallelFor(
       batch->size(),
       [&](size_t i) -> Status {
         PendingQuery& query = (*batch)[i];
@@ -149,17 +150,20 @@ void QueryService::RunBatch(std::vector<PendingQuery>* batch) {
         return Status::OK();
       },
       fan_out);
+  // Bodies never fail and nothing stops dispatch, so the whole batch ran.
+  XKS_CHECK(fanned.ok());
+  XKS_CHECK(*fanned == batch->size());
 }
 
 void QueryService::FinishOne(uint64_t client_id) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = inflight_.find(client_id);
     if (it != inflight_.end() && --it->second == 0) inflight_.erase(it);
     --inflight_total_;
     ++stats_.completed;
   }
-  drain_cv_.notify_all();
+  drain_cv_.NotifyAll();
 }
 
 }  // namespace xks

@@ -35,16 +35,15 @@
 #ifndef XKS_SERVER_SERVICE_H_
 #define XKS_SERVER_SERVICE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "src/api/database.h"
 #include "src/common/cancel_token.h"
+#include "src/common/mutex.h"
 
 namespace xks {
 
@@ -101,15 +100,15 @@ class QueryService {
   /// .deadline_ms (if any) is armed HERE, so time spent queued counts
   /// against the deadline.
   Status Submit(uint64_t client_id, SearchRequest request, CancelToken cancel,
-                DoneCallback done);
+                DoneCallback done) XKS_EXCLUDES(mutex_);
 
   /// Stops admitting (Unavailable) without waiting.
-  void BeginDrain();
+  void BeginDrain() XKS_EXCLUDES(mutex_);
 
   /// BeginDrain + blocks until every admitted query has completed.
-  void Drain();
+  void Drain() XKS_EXCLUDES(mutex_);
 
-  ServiceStats stats() const;
+  ServiceStats stats() const XKS_EXCLUDES(mutex_);
 
  private:
   struct PendingQuery {
@@ -119,25 +118,28 @@ class QueryService {
     DoneCallback done;
   };
 
-  void DispatcherLoop();
-  /// Runs one batch against one pinned snapshot.
-  void RunBatch(std::vector<PendingQuery>* batch);
+  void DispatcherLoop() XKS_EXCLUDES(mutex_);
+  /// Runs one batch against one pinned snapshot. Called lock-free: batch
+  /// members belong to the dispatcher alone once popped from pending_.
+  void RunBatch(std::vector<PendingQuery>* batch) XKS_EXCLUDES(mutex_);
   /// Marks one query finished: quota release + drain bookkeeping.
-  void FinishOne(uint64_t client_id);
+  void FinishOne(uint64_t client_id) XKS_EXCLUDES(mutex_);
 
   const Database* const db_;
   const ServiceConfig config_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   ///< Dispatcher wake-up.
-  std::condition_variable drain_cv_;  ///< Drain() completion.
-  std::deque<PendingQuery> pending_;
+  /// One mutex guards the whole admission state: queue, quotas, drain flag
+  /// and counters move together under every state transition.
+  mutable Mutex mutex_;
+  CondVar work_cv_;   ///< Dispatcher wake-up.
+  CondVar drain_cv_;  ///< Drain() completion.
+  std::deque<PendingQuery> pending_ XKS_GUARDED_BY(mutex_);
   /// Admitted-but-incomplete count per client; entries erased at zero so
   /// the map does not grow with the lifetime client-id counter.
-  std::unordered_map<uint64_t, size_t> inflight_;
-  size_t inflight_total_ = 0;
-  bool draining_ = false;
-  ServiceStats stats_;
+  std::unordered_map<uint64_t, size_t> inflight_ XKS_GUARDED_BY(mutex_);
+  size_t inflight_total_ XKS_GUARDED_BY(mutex_) = 0;
+  bool draining_ XKS_GUARDED_BY(mutex_) = false;
+  ServiceStats stats_ XKS_GUARDED_BY(mutex_);
 
   std::thread dispatcher_;
 };

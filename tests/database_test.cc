@@ -4,8 +4,12 @@
 
 #include "src/api/database.h"
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/api/cursor.h"
@@ -384,6 +388,46 @@ TEST(DatabaseTest, EncodeDecodeRoundTrip) {
     EXPECT_EQ(before->hits[i].fragment.NodeSet(),
               after->hits[i].fragment.NodeSet());
   }
+}
+
+// Regression test for the DecodeFrom locking fix: decode used to call
+// ...Locked helpers and publish epoch/revision/built_ without the catalog
+// mutex, trusting "no one else can see the object yet". The decoded
+// database must hand a fully published, internally consistent catalog to
+// the first concurrent readers and writers that touch it — under TSan this
+// hammer is what would catch a decode path that skipped the publish fences.
+TEST(DatabaseTest, DecodedDatabaseServesConcurrentSearchAndMutation) {
+  std::string buffer;
+  MakeCorpus().EncodeTo(&buffer);
+  Result<Database> restored = Database::DecodeFrom(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  Database& db = *restored;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> search_failures{0};
+  std::vector<std::thread> searchers;
+  for (int t = 0; t < 3; ++t) {
+    searchers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        Result<SearchResponse> response = db.Search(Unranked("keyword"));
+        if (!response.ok()) ++search_failures;
+      }
+    });
+  }
+  // The mutator churns documents through add/remove on the decoded catalog
+  // while the searchers pin snapshots of it.
+  for (int round = 0; round < 25; ++round) {
+    const std::string name = "churn-" + std::to_string(round);
+    ASSERT_TRUE(db.AddDocumentXml(
+                      name, "<r><x>keyword churn</x><y>extra</y></r>")
+                    .ok());
+    ASSERT_TRUE(db.RemoveDocument(name).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& searcher : searchers) searcher.join();
+
+  EXPECT_EQ(search_failures.load(), 0);
+  EXPECT_EQ(db.document_count(), 3u);
 }
 
 TEST(DatabaseTest, SaveAndLoadFile) {

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <string>
 #include <thread>
@@ -290,6 +291,46 @@ TEST(XksServerTest, EphemeralPortIsReportedAfterStart) {
   ASSERT_TRUE(server.Start().ok());
   EXPECT_GT(server.port(), 0);
   server.Shutdown();
+}
+
+// Regression test for the Shutdown locking fix: Shutdown used to iterate
+// connections_ and join reader_threads_ without connections_mutex_,
+// racing the acceptor's appends during the connect/teardown window.
+// Shutdown now swaps both registries out under the lock; this hammer
+// drives fresh connections into the server while Shutdown runs, which is
+// exactly the interleaving TSan would flag against the old code.
+TEST(XksServerTest, ShutdownRacesWithConnectionChurn) {
+  Database db = BuildCorpus(2, 30);
+  XksServer server(&db, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 4; ++t) {
+    churners.emplace_back([&] {
+      uint64_t request_id = 1;
+      while (!stop.load(std::memory_order_acquire)) {
+        auto connected = XksClient::Connect("127.0.0.1", port);
+        if (!connected.ok()) continue;  // listener may already be closed
+        XksClient client = std::move(connected).value();
+        SearchRequest request;
+        request.query = "apple berry";
+        // Sends and receives may fail mid-shutdown; only crashes and
+        // races are failures here, not refused connections.
+        if (client.Send(request_id, request).ok()) {
+          static_cast<void>(client.Receive());
+        }
+        ++request_id;
+      }
+    });
+  }
+
+  // Let the churn establish, then tear down while it is still running.
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  server.Shutdown();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& churner : churners) churner.join();
 }
 
 TEST(XksServerTest, ShutdownIsIdempotent) {

@@ -1,0 +1,56 @@
+// Compile-fail smoke test for the thread-safety gate.
+//
+// The CI static-analysis job compiles this TU twice with clang:
+//
+//   * without -DXKS_EXPECT_ANALYSIS_FAIL: it must compile cleanly, proving
+//     the annotated wrappers themselves are analysis-clean;
+//   * with -DXKS_EXPECT_ANALYSIS_FAIL: it must FAIL under
+//     -Werror=thread-safety, proving the gate actually fires. A gate that
+//     cannot fail is decoration — this file is the proof it can.
+//
+// Each guarded block below is a canonical violation the analysis is
+// expected to catch: unguarded read of a guarded field, write without the
+// lock, and a REQUIRES function called lock-free.
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    xks::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int ReadLocked() XKS_REQUIRES(mutex_) { return value_; }
+
+  int ReadSafely() {
+    xks::MutexLock lock(mutex_);
+    return ReadLocked();
+  }
+
+#ifdef XKS_EXPECT_ANALYSIS_FAIL
+  // Violation 1: reading a guarded field with no lock held.
+  int ReadRacy() { return value_; }
+
+  // Violation 2: writing a guarded field with no lock held.
+  void WriteRacy() { ++value_; }
+
+  // Violation 3: calling a REQUIRES(mutex_) function without the lock.
+  int CallRacy() { return ReadLocked(); }
+#endif
+
+ private:
+  xks::Mutex mutex_;
+  int value_ XKS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.ReadSafely() == 1 ? 0 : 1;
+}

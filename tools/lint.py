@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Repo-local lint: the rules the compilers cannot (or do not) enforce.
+
+Three checks, all fatal:
+
+  1. Bare standard synchronization primitives (std::mutex, std::lock_guard,
+     std::unique_lock, std::scoped_lock, std::condition_variable*,
+     std::shared_mutex/std::shared_lock) anywhere under src/ except
+     src/common/mutex.h, which wraps them. Raw primitives are invisible to
+     the Clang thread-safety analysis; the annotated xks::Mutex/MutexLock/
+     CondVar wrappers are the only sanctioned spelling.
+
+  2. XKS_NO_THREAD_SAFETY_ANALYSIS without a justification. Every opt-out
+     must carry a comment containing the word "justification" within the
+     three lines above the use (or on the same line), explaining why the
+     analysis cannot see the invariant. Unexplained opt-outs rot into
+     unchecked code.
+
+  3. Include guards. Every header under src/ must use the canonical
+     XKS_<PATH>_H_ guard derived from its repo-relative path; headers under
+     tests/ and bench/ must carry some XKS_*_H_ guard. #pragma once does not
+     count (the repo standardizes on guards).
+
+Comments and string literals are stripped before rule 1 and 2 matching, so
+prose *about* std::mutex (including this file's own docstring) cannot trip
+the check.
+
+Usage: python3 tools/lint.py [repo_root]   (defaults to the script's parent)
+Exit status 0 = clean, 1 = violations (one line each on stderr).
+"""
+
+import os
+import re
+import sys
+
+BARE_PRIMITIVE = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable(_any)?)\b"
+)
+OPT_OUT = "XKS_NO_THREAD_SAFETY_ANALYSIS"
+GUARD_EXEMPT = {os.path.join("src", "common", "mutex.h")}
+HEADER_DIRS = ("src", "tests", "bench")
+SOURCE_DIRS = ("src",)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out //, /* */ comments and string/char literals, keeping
+    newlines so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def guard_name(rel_path: str) -> str:
+    # src/server/wire.h -> XKS_SERVER_WIRE_H_ (repo convention: the guard
+    # roots at the project namespace, not the src/ directory).
+    trimmed = rel_path[len("src" + os.sep):]
+    return "XKS_" + re.sub(r"[^A-Za-z0-9]", "_", trimmed).upper() + "_"
+
+
+def check_file(root: str, rel: str, errors: list) -> None:
+    path = os.path.join(root, rel)
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    code = strip_comments_and_strings(text)
+    code_lines = code.splitlines()
+    raw_lines = text.splitlines()
+    top = rel.split(os.sep, 1)[0]
+
+    # Rule 1: bare primitives under src/ (the wrapper itself is exempt).
+    if top in SOURCE_DIRS and rel not in GUARD_EXEMPT:
+        for lineno, line in enumerate(code_lines, 1):
+            m = BARE_PRIMITIVE.search(line)
+            if m:
+                errors.append(
+                    f"{rel}:{lineno}: bare std::{m.group(1)} — use "
+                    "xks::Mutex/MutexLock/CondVar from src/common/mutex.h"
+                )
+
+    # Rule 2: opt-outs need a justification comment nearby (the comment
+    # lives in the raw text; the use is matched in stripped code so the
+    # wrapper header's documentation of the macro does not count as a use).
+    for lineno, line in enumerate(code_lines, 1):
+        if OPT_OUT in line:
+            window = raw_lines[max(0, lineno - 4) : lineno]
+            if not any("justification" in w.lower() for w in window):
+                errors.append(
+                    f"{rel}:{lineno}: {OPT_OUT} without a justification "
+                    "comment (say 'Justification: ...' within 3 lines above)"
+                )
+
+    # Rule 3: include guards.
+    if rel.endswith(".h"):
+        want = guard_name(rel) if top == "src" else None
+        m = re.search(r"#ifndef\s+(\S+)\s*\n\s*#define\s+(\S+)", text)
+        if not m or m.group(1) != m.group(2):
+            errors.append(f"{rel}: missing or mismatched include guard")
+        elif want is not None and m.group(1) != want:
+            errors.append(
+                f"{rel}: include guard {m.group(1)} should be {want}"
+            )
+        elif want is None and not re.match(r"XKS_\w+_H_$", m.group(1)):
+            errors.append(
+                f"{rel}: include guard {m.group(1)} should match XKS_*_H_"
+            )
+
+
+def main() -> int:
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    errors = []
+    scanned = 0
+    for top in HEADER_DIRS:
+        for dirpath, _, filenames in os.walk(os.path.join(root, top)):
+            for name in sorted(filenames):
+                if not name.endswith((".h", ".cc")):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                scanned += 1
+                check_file(root, rel, errors)
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"lint.py: {scanned} files scanned, {len(errors)} violation(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
