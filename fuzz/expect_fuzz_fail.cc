@@ -1,0 +1,38 @@
+// Crash-proof for the fuzz gate, in the spirit of
+// tools/expect_analysis_fail.cc: a harness with a deliberately planted
+// out-of-bounds read, compiled only when the build asks for it.
+//
+// The CI fuzz-smoke job builds this harness twice:
+//
+//   * without -DXKS_EXPECT_FUZZ_FAIL: every input is a no-op; the harness
+//     must survive its corpus like any other, proving the scaffolding
+//     itself is clean;
+//   * with -DXKS_EXPECT_FUZZ_FAIL: the very first input trips a
+//     heap-buffer-overflow read, and the job asserts the run FAILS —
+//     proving ASan is live in the fuzz binaries and -error_exitcode turns
+//     a report into a red build. A gate that cannot fail is decoration.
+
+#include "fuzz/fuzz_util.h"
+
+namespace {
+
+// Reads one byte past a heap buffer; the sink defeats dead-read
+// elimination so the overflow survives optimization.
+volatile unsigned char g_sink;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+#ifdef XKS_EXPECT_FUZZ_FAIL
+  unsigned char* buffer = new unsigned char[8];
+  for (size_t i = 0; i < 8; ++i) buffer[i] = static_cast<unsigned char>(i);
+  // Index 8 is one past the end: an ASan heap-buffer-overflow by design.
+  // (volatile keeps the compiler from folding the index and warning.)
+  volatile size_t index = 8;
+  g_sink = buffer[index];
+  delete[] buffer;
+#endif
+  static_cast<void>(data);
+  static_cast<void>(size);
+  return 0;
+}

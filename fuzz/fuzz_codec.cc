@@ -1,0 +1,97 @@
+// Fuzzes ByteReader itself — the one primitive every other decoder in the
+// tree sits on. The input is split into an op stream (first half) and a
+// data buffer (second half): each op byte drives one read against the
+// buffer, checking the reader's core invariants after every call.
+//
+// Contract under test: no read ever touches memory outside the buffer
+// (ASan proves it — the buffer is a heap copy sized exactly to the input),
+// remaining() only ever decreases and exactly by the consumed bytes, and
+// spans handed out always lie inside the buffer.
+
+#include "fuzz/fuzz_util.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "src/common/codec.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view whole = xks::fuzz::AsView(data, size);
+  const size_t split = size / 2;
+  const std::string_view ops = whole.substr(0, split);
+  // Heap copy so ASan redzones sit directly past the last byte: any
+  // out-of-bounds read inside ByteReader is an immediate report.
+  const std::string buffer(whole.substr(split));
+
+  xks::ByteReader reader(buffer);
+  for (char op : ops) {
+    const size_t before = reader.remaining();
+    bool ok = false;
+    size_t consumed_at_least = 0;
+    switch (static_cast<unsigned char>(op) % 8) {
+      case 0: {
+        ok = reader.ReadU8().ok();
+        consumed_at_least = 1;
+        break;
+      }
+      case 1: {
+        ok = reader.ReadFixedU32BE().ok();
+        consumed_at_least = 4;
+        break;
+      }
+      case 2: {
+        ok = reader.ReadVarint64().ok();
+        consumed_at_least = 1;
+        break;
+      }
+      case 3: {
+        ok = reader.ReadVarint32().ok();
+        consumed_at_least = 1;
+        break;
+      }
+      case 4: {
+        xks::Result<std::string_view> span =
+            reader.ReadBytes(static_cast<unsigned char>(op));
+        ok = span.ok();
+        consumed_at_least = ok ? span->size() : 0;
+        if (ok && !span->empty()) {
+          // The span must lie inside the buffer.
+          if (span->data() < buffer.data() ||
+              span->data() + span->size() > buffer.data() + buffer.size()) {
+            std::abort();
+          }
+        }
+        break;
+      }
+      case 5: {
+        ok = reader.ReadLengthPrefixedSpan().ok();
+        consumed_at_least = 1;
+        break;
+      }
+      case 6: {
+        ok = reader.ReadLengthPrefixedString().ok();
+        consumed_at_least = 1;
+        break;
+      }
+      default: {
+        xks::Result<uint64_t> count = reader.ReadCount("fuzz count");
+        // An accepted count is by contract satisfiable by remaining bytes.
+        if (count.ok() && *count > reader.remaining()) std::abort();
+        ok = count.ok();
+        consumed_at_least = 1;
+        break;
+      }
+    }
+    const size_t after = reader.remaining();
+    if (after > before) std::abort();  // remaining() may never grow
+    if (ok && consumed_at_least > 0 && before - after < consumed_at_least &&
+        consumed_at_least <= before) {
+      // A successful fixed-size read consumes exactly its width; varints
+      // and length-prefixed reads consume at least one byte.
+      std::abort();
+    }
+  }
+  static_cast<void>(reader.done());
+  static_cast<void>(reader.rest());
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fuzzes the on-disk load path: Database::DecodeFrom over XKS2/XKS3 corpus
+// bytes and ShreddedStore::DecodeFrom over XKS1 single-document stores —
+// what a tampered or bit-rotted file on disk feeds the process at startup.
+//
+// Contract under test: arbitrary bytes never crash the loader or trip a
+// sanitizer, hostile counts never drive huge allocations (ByteReader's
+// ReadCount rejects them against remaining bytes first), and an accepted
+// corpus re-encodes to bytes that load again.
+
+#include "fuzz/fuzz_util.h"
+
+#include <cstdlib>
+
+#include "src/api/database.h"
+#include "src/storage/store.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes = xks::fuzz::AsView(data, size);
+
+  xks::Result<xks::ShreddedStore> store = xks::ShreddedStore::DecodeFrom(bytes);
+  static_cast<void>(store);
+
+  xks::Result<xks::Database> db = xks::Database::DecodeFrom(bytes);
+  if (!db.ok()) return 0;
+
+  std::string reencoded;
+  db->EncodeTo(&reencoded);
+  xks::Result<xks::Database> again = xks::Database::DecodeFrom(reencoded);
+  if (!again.ok()) std::abort();  // canonical re-encode must load
+  std::string reencoded_again;
+  again->EncodeTo(&reencoded_again);
+  if (reencoded_again != reencoded) std::abort();  // encode is a fixpoint
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fuzzes DecodeCursor: pagination tokens are client-supplied strings, so
+// this is a direct untrusted surface on every paginated Search call.
+//
+// Contract under test: arbitrary token bytes never crash; an accepted token
+// round-trips exactly (EncodeCursor(decoded) decodes to the same triple).
+
+#include "fuzz/fuzz_util.h"
+
+#include <cstdlib>
+
+#include "src/api/cursor.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view token = xks::fuzz::AsView(data, size);
+  xks::Result<xks::PageCursor> cursor = xks::DecodeCursor(token);
+  if (!cursor.ok()) return 0;
+
+  const std::string canonical = xks::EncodeCursor(*cursor);
+  xks::Result<xks::PageCursor> again = xks::DecodeCursor(canonical);
+  if (!again.ok() || again->offset != cursor->offset ||
+      again->fingerprint != cursor->fingerprint ||
+      again->epoch != cursor->epoch) {
+    std::abort();
+  }
+  return 0;
+}

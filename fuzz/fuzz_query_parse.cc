@@ -1,0 +1,26 @@
+// Fuzzes KeywordQuery::Parse: query text arrives verbatim from clients
+// (CLI arguments, wire requests), including label-constraint syntax
+// ("title:xml") and arbitrary Unicode garbage.
+//
+// Contract under test: parsing never crashes; a parse that succeeds
+// produces a canonical ToString() form that re-parses to the same display
+// form (the parse→print fixpoint DecodeSearchResponse relies on).
+
+#include "fuzz/fuzz_util.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "src/core/query.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(xks::fuzz::AsView(data, size));
+  xks::Result<xks::KeywordQuery> query = xks::KeywordQuery::Parse(text);
+  if (!query.ok()) return 0;
+
+  const std::string canonical = query->ToString();
+  xks::Result<xks::KeywordQuery> again = xks::KeywordQuery::Parse(canonical);
+  if (!again.ok()) std::abort();  // canonical form must re-parse
+  if (again->ToString() != canonical) std::abort();  // and be a fixpoint
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Structure-aware round-trip harness over every serialized format in the
+// tree. The first input byte routes the payload to one decode surface; the
+// shared property is the strongest one the formats promise:
+//
+//   decode never crashes, and
+//   accept ⇒ canonical re-encode ⇒ re-decode is a byte-level fixpoint.
+//
+// The per-surface harnesses (fuzz_wire_frame, fuzz_corpus_load, ...) give
+// coverage-guided depth on one decoder each; this one gives the mutator a
+// single binary whose corpus spans all formats, so splices between formats
+// (a cursor token inside a wire frame, a store blob inside a corpus) are
+// one mutation away.
+
+#include "fuzz/fuzz_util.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "src/api/cursor.h"
+#include "src/api/database.h"
+#include "src/core/query.h"
+#include "src/server/wire.h"
+#include "src/storage/store.h"
+
+namespace {
+
+void CheckRequestBody(std::string_view payload) {
+  xks::Result<xks::SearchRequest> request = xks::DecodeSearchRequest(payload);
+  if (!request.ok()) return;
+  const std::string once = xks::EncodeSearchRequest(*request);
+  xks::Result<xks::SearchRequest> again = xks::DecodeSearchRequest(once);
+  if (!again.ok() || xks::EncodeSearchRequest(*again) != once) std::abort();
+}
+
+void CheckResponseBody(std::string_view payload) {
+  xks::Result<xks::SearchResponse> response =
+      xks::DecodeSearchResponse(payload);
+  if (!response.ok()) return;
+  const std::string once = xks::EncodeSearchResponse(*response);
+  xks::Result<xks::SearchResponse> again = xks::DecodeSearchResponse(once);
+  if (!again.ok() || xks::EncodeSearchResponse(*again) != once) std::abort();
+}
+
+void CheckStatusBody(std::string_view payload) {
+  xks::Status decoded = xks::Status::OK();
+  if (!xks::DecodeStatusPayload(payload, &decoded).ok()) return;
+  const std::string once = xks::EncodeStatusPayload(decoded);
+  xks::Status again = xks::Status::OK();
+  if (!xks::DecodeStatusPayload(once, &again).ok() ||
+      xks::EncodeStatusPayload(again) != once) {
+    std::abort();
+  }
+}
+
+void CheckCursor(std::string_view payload) {
+  xks::Result<xks::PageCursor> cursor = xks::DecodeCursor(payload);
+  if (!cursor.ok()) return;
+  const std::string once = xks::EncodeCursor(*cursor);
+  xks::Result<xks::PageCursor> again = xks::DecodeCursor(once);
+  if (!again.ok() || xks::EncodeCursor(*again) != once) std::abort();
+}
+
+void CheckStore(std::string_view payload) {
+  xks::Result<xks::ShreddedStore> store = xks::ShreddedStore::DecodeFrom(payload);
+  if (!store.ok()) return;
+  std::string once;
+  store->EncodeTo(&once);
+  xks::Result<xks::ShreddedStore> again = xks::ShreddedStore::DecodeFrom(once);
+  if (!again.ok()) std::abort();
+  std::string twice;
+  again->EncodeTo(&twice);
+  if (twice != once) std::abort();
+}
+
+void CheckCorpus(std::string_view payload) {
+  xks::Result<xks::Database> db = xks::Database::DecodeFrom(payload);
+  if (!db.ok()) return;
+  std::string once;
+  db->EncodeTo(&once);
+  xks::Result<xks::Database> again = xks::Database::DecodeFrom(once);
+  if (!again.ok()) std::abort();
+  std::string twice;
+  again->EncodeTo(&twice);
+  if (twice != once) std::abort();
+}
+
+void CheckQuery(std::string_view payload) {
+  xks::Result<xks::KeywordQuery> query =
+      xks::KeywordQuery::Parse(std::string(payload));
+  if (!query.ok()) return;
+  const std::string once = query->ToString();
+  xks::Result<xks::KeywordQuery> again = xks::KeywordQuery::Parse(once);
+  if (!again.ok() || again->ToString() != once) std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const xks::fuzz::SelectedInput input = xks::fuzz::SelectMode(data, size, 7);
+  switch (input.mode) {
+    case 0: CheckRequestBody(input.payload); break;
+    case 1: CheckResponseBody(input.payload); break;
+    case 2: CheckStatusBody(input.payload); break;
+    case 3: CheckCursor(input.payload); break;
+    case 4: CheckStore(input.payload); break;
+    case 5: CheckCorpus(input.payload); break;
+    default: CheckQuery(input.payload); break;
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared plumbing for the libFuzzer harnesses in this directory.
+//
+// Each harness defines the libFuzzer entry point
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size)
+// and is built two ways:
+//   * fuzz_<name>:   clang -fsanitize=fuzzer,address,undefined — the real
+//     coverage-guided fuzzer (XKS_FUZZERS=ON, clang only; see fuzz/README.md).
+//   * replay_<name>: standalone_main.cc provides main(); works under any
+//     compiler. Replays corpus files/directories and deterministic
+//     mutations of them, and runs in ctest so every build exercises the
+//     harnesses over the checked-in seeds.
+
+#ifndef XKS_FUZZ_FUZZ_UTIL_H_
+#define XKS_FUZZ_FUZZ_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xks {
+namespace fuzz {
+
+/// The raw fuzz input as a string_view.
+inline std::string_view AsView(const uint8_t* data, size_t size) {
+  return std::string_view(reinterpret_cast<const char*>(data), size);
+}
+
+/// Splits off the first byte as a mode selector (modulo `modes`); the rest
+/// of the input is the payload. Empty input selects mode 0 with an empty
+/// payload — harnesses must accept that too.
+struct SelectedInput {
+  unsigned mode;
+  std::string_view payload;
+};
+inline SelectedInput SelectMode(const uint8_t* data, size_t size,
+                                unsigned modes) {
+  if (size == 0) return {0, std::string_view()};
+  return {static_cast<unsigned>(data[0]) % modes, AsView(data + 1, size - 1)};
+}
+
+/// xorshift64* — the deterministic PRNG behind replay-mode mutations.
+/// Fixed algorithm, fixed seeds in standalone_main.cc: a replay failure
+/// reproduces exactly on every machine.
+class Xorshift {
+ public:
+  explicit Xorshift(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace fuzz
+}  // namespace xks
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#endif  // XKS_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,62 @@
+// Fuzzes the xksd wire boundary: DecodeFramePayload plus the per-kind body
+// decoders (DecodeSearchRequest / DecodeSearchResponse / DecodeStatusPayload)
+// — the exact bytes a hostile network peer controls.
+//
+// Contract under test: decoding arbitrary bytes never crashes, never trips
+// a sanitizer, and an accepted frame re-encodes and re-decodes to the same
+// frame (no partially-initialized accepts).
+
+#include "fuzz/fuzz_util.h"
+
+#include <cstdlib>
+
+#include "src/server/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view payload = xks::fuzz::AsView(data, size);
+  xks::Result<xks::Frame> frame = xks::DecodeFramePayload(payload);
+  if (!frame.ok()) return 0;
+
+  switch (frame->kind) {
+    case xks::FrameKind::kSearchRequest: {
+      xks::Result<xks::SearchRequest> request =
+          xks::DecodeSearchRequest(frame->body);
+      if (!request.ok()) break;
+      const std::string reencoded = xks::EncodeSearchRequest(*request);
+      xks::Result<xks::SearchRequest> again =
+          xks::DecodeSearchRequest(reencoded);
+      if (!again.ok()) std::abort();  // canonical re-encode must decode
+      if (xks::EncodeSearchRequest(*again) != reencoded) std::abort();
+      break;
+    }
+    case xks::FrameKind::kSearchResponse: {
+      xks::Result<xks::SearchResponse> response =
+          xks::DecodeSearchResponse(frame->body);
+      if (!response.ok()) break;
+      const std::string reencoded = xks::EncodeSearchResponse(*response);
+      xks::Result<xks::SearchResponse> again =
+          xks::DecodeSearchResponse(reencoded);
+      if (!again.ok()) std::abort();
+      if (xks::EncodeSearchResponse(*again) != reencoded) std::abort();
+      break;
+    }
+    case xks::FrameKind::kStatus: {
+      xks::Status decoded = xks::Status::OK();
+      if (!xks::DecodeStatusPayload(frame->body, &decoded).ok()) break;
+      xks::Status again = xks::Status::OK();
+      const std::string reencoded = xks::EncodeStatusPayload(decoded);
+      if (!xks::DecodeStatusPayload(reencoded, &again).ok()) std::abort();
+      if (xks::EncodeStatusPayload(again) != reencoded) std::abort();
+      break;
+    }
+  }
+
+  // The whole frame also re-encodes losslessly.
+  const std::string reframed = xks::EncodeFramePayload(*frame);
+  xks::Result<xks::Frame> again = xks::DecodeFramePayload(reframed);
+  if (!again.ok() || again->kind != frame->kind ||
+      again->request_id != frame->request_id || again->body != frame->body) {
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fuzzes ParseXml: XML documents are the primary ingest surface
+// (AddDocumentXml), and the parser recurses per nesting level, handles
+// entity references, CDATA, comments and attribute quoting — all shapes a
+// hostile document controls.
+//
+// Contract under test: parsing arbitrary bytes never crashes, never trips
+// a sanitizer and never recurses past max_depth; an accepted document
+// survives a write→re-parse round trip. The first input byte selects the
+// ParseOptions variant so coverage reaches the strict-entity and
+// keep-whitespace paths too.
+
+#include "fuzz/fuzz_util.h"
+
+#include <cstdlib>
+
+#include "src/xml/parser.h"
+#include "src/xml/writer.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const xks::fuzz::SelectedInput input = xks::fuzz::SelectMode(data, size, 4);
+  xks::ParseOptions options;
+  options.keep_whitespace_text = (input.mode & 1) != 0;
+  options.allow_undefined_entities = (input.mode & 2) != 0;
+  // A short recursion budget in fuzzing keeps deeply-nested inputs fast
+  // while still proving the guard holds.
+  options.max_depth = 64;
+
+  xks::Result<xks::Document> doc = xks::ParseXml(input.payload, options);
+  if (!doc.ok()) return 0;
+
+  // An accepted document is structurally sound: the writer can serialize
+  // it and the parser accepts its own output.
+  const std::string written = xks::WriteXml(*doc);
+  xks::ParseOptions reparse_options;
+  reparse_options.max_depth = 80;  // indent adds no depth; headroom only
+  if (!xks::ParseXml(written, reparse_options).ok()) std::abort();
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Deterministic canonical artifacts shared by the seed-corpus generator
+// (fuzz/make_seeds.cc) and the byte-identity tests
+// (tests/byte_identity_test.cc).
+//
+// Everything here is fixed by construction — fixed XML, fixed request
+// fields, fixed weights — so the bytes each builder produces are a stable
+// function of the encoders alone. That is exactly what the byte-identity
+// tests pin (the ByteReader migration must not change one encoded byte)
+// and what the fuzzers want as seeds (valid, structure-complete inputs
+// that reach deep into every decoder).
+
+#ifndef XKS_FUZZ_GOLDEN_ARTIFACTS_H_
+#define XKS_FUZZ_GOLDEN_ARTIFACTS_H_
+
+#include <string>
+
+#include "src/api/cursor.h"
+#include "src/api/database.h"
+#include "src/api/search_types.h"
+#include "src/server/wire.h"
+
+namespace xks {
+namespace golden {
+
+inline constexpr const char* kXmlA =
+    "<library><book><title>XML keyword search</title>"
+    "<author>Liu</author></book></library>";
+inline constexpr const char* kXmlB =
+    "<library><paper><title>keyword query ranking</title></paper></library>";
+inline constexpr const char* kXmlC =
+    "<site><item><name>relaxed tightest fragment keyword</name></item></site>";
+
+/// A three-document corpus with one tombstone: built at epoch 1, document
+/// "b" removed at epoch 2. Exercises every XKS3 feature (epoch, revision
+/// chain, tombstone slot, multiple stores).
+inline Database BuildGoldenCorpus() {
+  Database db;
+  static_cast<void>(db.AddDocumentXml("a", kXmlA));
+  static_cast<void>(db.AddDocumentXml("b", kXmlB));
+  static_cast<void>(db.AddDocumentXml("c", kXmlC));
+  static_cast<void>(db.Build());
+  static_cast<void>(db.RemoveDocument("b"));
+  return db;
+}
+
+/// A request with every field off its default: both term forms, a document
+/// selection, non-default enums, flags, weights and a deadline.
+inline SearchRequest GoldenRequest() {
+  SearchRequest request;
+  request.query = "title:xml keyword";
+  request.terms = {QueryTerm{"xml", "title"}, QueryTerm{"keyword", ""}};
+  request.documents = {0, 2, 7};
+  request.semantics = LcaSemantics::kSlca;
+  request.elca_algorithm = ElcaAlgorithm::kBruteForce;
+  request.slca_algorithm = SlcaAlgorithm::kScanEager;
+  request.pruning = PruningPolicy::kContributor;
+  request.max_parallelism = 3;
+  request.top_k = 25;
+  request.cursor = "xksc2:12ab:5:9";
+  request.rank = true;
+  request.use_cache = false;
+  request.include_snippets = true;
+  request.include_raw_fragments = true;
+  request.include_stats = true;
+  request.weights.specificity = 0.25;
+  request.weights.proximity = 0.30;
+  request.weights.compactness = 0.15;
+  request.weights.slca_bonus = 0.20;
+  request.weights.match_concentration = 0.10;
+  request.deadline_ms = 1500;
+  return request;
+}
+
+/// A synthetic response with every wire-travelling field populated.
+/// (Synthetic rather than searched-for: StageTimings are measured wall
+/// times on a real response, and goldens must not depend on the clock.)
+inline SearchResponse GoldenResponse() {
+  SearchResponse response;
+  Hit first;
+  first.document = 3;
+  first.document_name = "doc-three";
+  first.score = 0.875;
+  first.snippet = "<title>xml keyword</title>";
+  Hit second;
+  second.document = 9;
+  second.document_name = "doc-nine";
+  second.score = 0.5;
+  second.snippet = "";
+  response.hits = {first, second};
+  response.next_cursor = "xksc2:beef:a:2";
+  response.total_hits = 42;
+  response.total_is_exact = false;
+  response.documents_searched = 5;
+  response.epoch = 7;
+  response.served_from_cache = true;
+  response.documents_from_cache = 4;
+  Result<KeywordQuery> parsed = KeywordQuery::Parse("xml keyword");
+  if (parsed.ok()) response.parsed_query = std::move(parsed).value();
+  response.stats_are_exact = false;
+  response.keyword_node_count = 99;
+  response.timings.get_keyword_nodes_ms = 1.5;
+  response.timings.get_lca_ms = 2.25;
+  response.timings.get_rtf_ms = 0.125;
+  response.timings.prune_ms = 4.0;
+  response.pruning.raw_nodes = 10;
+  response.pruning.kept_nodes = 4;
+  return response;
+}
+
+inline Status GoldenStatus() {
+  return Status::DeadlineExceeded("deadline 5ms exceeded");
+}
+
+inline PageCursor GoldenPageCursor() {
+  PageCursor cursor;
+  cursor.offset = 0x1234;
+  cursor.fingerprint = 0xdeadbeefcafef00dULL;
+  cursor.epoch = 11;
+  return cursor;
+}
+
+/// The three golden frames: a request, a response and a status payload,
+/// each under its own request id.
+inline Frame GoldenRequestFrame() {
+  Frame frame;
+  frame.kind = FrameKind::kSearchRequest;
+  frame.request_id = 0x1234567;
+  frame.body = EncodeSearchRequest(GoldenRequest());
+  return frame;
+}
+
+inline Frame GoldenResponseFrame() {
+  Frame frame;
+  frame.kind = FrameKind::kSearchResponse;
+  frame.request_id = 0xfeed;
+  frame.body = EncodeSearchResponse(GoldenResponse());
+  return frame;
+}
+
+inline Frame GoldenStatusFrame() {
+  Frame frame;
+  frame.kind = FrameKind::kStatus;
+  frame.request_id = 7;
+  frame.body = EncodeStatusPayload(GoldenStatus());
+  return frame;
+}
+
+inline std::string ToHex(const std::string& bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    hex.push_back(kDigits[c >> 4]);
+    hex.push_back(kDigits[c & 0xf]);
+  }
+  return hex;
+}
+
+inline std::string FromHex(const std::string& hex) {
+  std::string bytes;
+  bytes.reserve(hex.size() / 2);
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    auto nibble = [](char c) -> unsigned {
+      return c <= '9' ? static_cast<unsigned>(c - '0')
+                      : static_cast<unsigned>(c - 'a' + 10);
+    };
+    bytes.push_back(static_cast<char>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return bytes;
+}
+
+}  // namespace golden
+}  // namespace xks
+
+#endif  // XKS_FUZZ_GOLDEN_ARTIFACTS_H_

@@ -1,0 +1,143 @@
+// Regenerates the checked-in seed corpora under fuzz/corpus/<harness>/
+// from the deterministic golden artifacts. Run from the repo root:
+//
+//   ./build/fuzz/xks_make_seeds fuzz/corpus
+//
+// Seeds are valid, structure-complete inputs that reach deep into each
+// decoder on the first execution, so the fuzzers start from accepting
+// paths instead of spending their budget rediscovering magic bytes. They
+// are committed (and stable: golden_artifacts.h is fixed by construction),
+// and the replay_<harness> ctest entries replay them on every build.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fuzz/golden_artifacts.h"
+#include "src/common/codec.h"
+#include "src/storage/store.h"
+#include "src/xml/parser.h"
+
+namespace {
+
+bool WriteSeed(const std::filesystem::path& dir, const std::string& name,
+               const std::string& bytes) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path path = dir / name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path root = argv[1];
+  using namespace xks;
+  using namespace xks::golden;
+
+  bool ok = true;
+
+  // Wire frames: one seed per frame kind, plus a truncation nucleus.
+  const std::string request_frame = EncodeFramePayload(GoldenRequestFrame());
+  const std::string response_frame = EncodeFramePayload(GoldenResponseFrame());
+  const std::string status_frame = EncodeFramePayload(GoldenStatusFrame());
+  ok &= WriteSeed(root / "wire_frame", "request", request_frame);
+  ok &= WriteSeed(root / "wire_frame", "response", response_frame);
+  ok &= WriteSeed(root / "wire_frame", "status", status_frame);
+  ok &= WriteSeed(root / "wire_frame", "request_truncated",
+                  request_frame.substr(0, request_frame.size() / 2));
+
+  // Corpus load: the XKS3 corpus (epoch 2, one tombstone), one embedded
+  // XKS1 store on its own, and a bare magic for the header path.
+  Database db = BuildGoldenCorpus();
+  std::string corpus;
+  db.EncodeTo(&corpus);
+  ok &= WriteSeed(root / "corpus_load", "xks3_tombstoned", corpus);
+  Result<Document> doc = ParseXml(kXmlA);
+  if (!doc.ok()) return 1;
+  const ShreddedStore store = ShreddedStore::Build(*doc);
+  std::string store_bytes;
+  store.EncodeTo(&store_bytes);
+  ok &= WriteSeed(root / "corpus_load", "xks1_store", store_bytes);
+  ok &= WriteSeed(root / "corpus_load", "bare_magic", "XKS3");
+
+  // Cursors: canonical, zero-valued, and maximal-width tokens.
+  ok &= WriteSeed(root / "cursor", "golden", EncodeCursor(GoldenPageCursor()));
+  ok &= WriteSeed(root / "cursor", "zeros", "xksc2:0:0:0");
+  ok &= WriteSeed(root / "cursor", "max",
+                  "xksc2:ffffffffffffffff:ffffffffffffffff:ffffffffffffffff");
+  ok &= WriteSeed(root / "cursor", "retired_v1", "xksc1:deadbeef:12");
+
+  // Query parse: plain, labeled, quoted-ish and unicode forms.
+  ok &= WriteSeed(root / "query_parse", "plain", "xml keyword search");
+  ok &= WriteSeed(root / "query_parse", "labeled", "title:xml author:liu");
+  ok &= WriteSeed(root / "query_parse", "punctuated",
+                  "  relaxed,tightest;fragment:  ");
+  ok &= WriteSeed(root / "query_parse", "unicode", "r\xc3\xa9sum\xc3\xa9 xml");
+
+  // XML: the three golden documents (with a mode byte prepended) plus
+  // entity/CDATA/attribute shapes.
+  ok &= WriteSeed(root / "xml", "doc_a", std::string(1, '\0') + kXmlA);
+  ok &= WriteSeed(root / "xml", "doc_c", std::string(1, '\x03') + kXmlC);
+  ok &= WriteSeed(root / "xml", "entities",
+                  std::string(1, '\x02') +
+                      "<a b=\"x&amp;y\"><![CDATA[z]]>&uuml;<!--c--></a>");
+  ok &= WriteSeed(root / "xml", "decl_pi",
+                  std::string(1, '\0') +
+                      "<?xml version=\"1.0\"?><r><?pi d?><e/></r>");
+
+  // Codec: op streams over interesting buffers (varint edges, lengths).
+  std::string codec_seed;
+  for (unsigned char op : {0, 2, 4, 5, 7, 1, 3, 6}) {
+    codec_seed.push_back(static_cast<char>(op));
+  }
+  std::string codec_data;
+  PutVarint64(&codec_data, 0x7f);
+  PutVarint64(&codec_data, UINT64_MAX);
+  PutLengthPrefixed(&codec_data, "payload");
+  PutFixedU32BE(&codec_data, 0xdeadbeef);
+  ok &= WriteSeed(root / "codec", "ops_over_varints", codec_seed + codec_data);
+  ok &= WriteSeed(root / "codec", "hostile_count",
+                  std::string(1, '\x07') + "\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01");
+  // Minimized reproducer for the varint silent-truncation defect the
+  // harness surfaced (10th byte with payload past bit 63): op 2
+  // (ReadVarint64) against ten 0xff bytes must be Corruption, not an
+  // aliased UINT64_MAX. Pinned by ByteReaderTest.
+  // VarintOverflowPastBit63IsCorruption and WireCorruptionTest.
+  // OverlongVarintNeverAliasesAnotherValue.
+  ok &= WriteSeed(root / "codec", "varint_overflow_min",
+                  std::string(10, '\x02') + std::string(10, '\xff'));
+
+  // Round-trip: every format, each behind its mode byte.
+  ok &= WriteSeed(root / "roundtrip", "request",
+                  std::string(1, '\0') + EncodeSearchRequest(GoldenRequest()));
+  ok &= WriteSeed(root / "roundtrip", "response",
+                  std::string(1, '\x01') + EncodeSearchResponse(GoldenResponse()));
+  ok &= WriteSeed(root / "roundtrip", "status",
+                  std::string(1, '\x02') + EncodeStatusPayload(GoldenStatus()));
+  ok &= WriteSeed(root / "roundtrip", "cursor",
+                  std::string(1, '\x03') + EncodeCursor(GoldenPageCursor()));
+  ok &= WriteSeed(root / "roundtrip", "store", std::string(1, '\x04') + store_bytes);
+  ok &= WriteSeed(root / "roundtrip", "corpus", std::string(1, '\x05') + corpus);
+  ok &= WriteSeed(root / "roundtrip", "query",
+                  std::string(1, '\x06') + "title:xml keyword");
+
+  // The proof harness replays the wire corpus (its pass-mode is a no-op on
+  // any input); give it one seed of its own so the corpus dir exists.
+  ok &= WriteSeed(root / "expect_fail", "any", "any input crashes the armed build");
+
+  if (!ok) return 1;
+  std::printf("seed corpora written under %s\n", root.string().c_str());
+  return 0;
+}

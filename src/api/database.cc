@@ -364,23 +364,20 @@ Result<Database> Database::DecodeFrom(std::string_view data,
   if (data.size() >= 4 && data.substr(0, 4) == kCorpusMagicV2) {
     // Earlier multi-document corpus (pre-epoch): every slot is live, and
     // Build() publishes it as epoch 1.
-    Decoder decoder(data.substr(4));
+    ByteReader reader(data.substr(4));
     uint64_t count = 0;
-    XKS_RETURN_IF_ERROR(decoder.GetVarint64(&count));
+    XKS_ASSIGN_OR_RETURN(count, reader.ReadCount("corpus document count"));
     if (count == 0) return Status::Corruption("empty corpus file");
-    if (count > decoder.remaining()) {
-      return Status::Corruption("implausible corpus document count");
-    }
     Database db;
     {
       MutexLock lock(*db.mutex_);
       db.documents_.reserve(count);
       for (uint64_t i = 0; i < count; ++i) {
         std::string name;
-        XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&name));
+        XKS_ASSIGN_OR_RETURN(name, reader.ReadLengthPrefixedString());
         if (name.empty()) return Status::Corruption("empty document name");
-        std::string blob;
-        XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&blob));
+        std::string_view blob;
+        XKS_ASSIGN_OR_RETURN(blob, reader.ReadLengthPrefixedSpan());
         ShreddedStore store;
         XKS_ASSIGN_OR_RETURN(store, ShreddedStore::DecodeFrom(blob));
         Result<DocumentId> added = db.AddStoreLocked(name, std::move(store));
@@ -393,26 +390,21 @@ Result<Database> Database::DecodeFrom(std::string_view data,
         }
       }
     }
-    if (!decoder.done()) {
-      return Status::Corruption("trailing bytes in corpus file");
-    }
+    XKS_RETURN_IF_ERROR(reader.ExpectDone("corpus file"));
     XKS_RETURN_IF_ERROR(db.Build());
     return db;
   }
   if (data.size() < 4 || data.substr(0, 4) != kCorpusMagic) {
     return Status::Corruption("bad corpus magic");
   }
-  Decoder decoder(data.substr(4));
+  ByteReader reader(data.substr(4));
   uint64_t epoch = 0;
   uint64_t revision = 0;
   uint64_t count = 0;
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&epoch));
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&revision));
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&count));
+  XKS_ASSIGN_OR_RETURN(epoch, reader.ReadVarint64());
+  XKS_ASSIGN_OR_RETURN(revision, reader.ReadVarint64());
+  XKS_ASSIGN_OR_RETURN(count, reader.ReadCount("corpus document count"));
   if (count == 0) return Status::Corruption("empty corpus file");
-  if (count > decoder.remaining()) {
-    return Status::Corruption("implausible corpus document count");
-  }
   Database db;
   bool any_live = false;
   {
@@ -420,7 +412,7 @@ Result<Database> Database::DecodeFrom(std::string_view data,
     db.documents_.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
       uint64_t live = 0;
-      XKS_RETURN_IF_ERROR(decoder.GetVarint64(&live));
+      XKS_ASSIGN_OR_RETURN(live, reader.ReadVarint64());
       if (live > 1) return Status::Corruption("bad document liveness flag");
       if (live == 0) {
         // Tombstone: the slot keeps its id reserved.
@@ -428,10 +420,10 @@ Result<Database> Database::DecodeFrom(std::string_view data,
         continue;
       }
       std::string name;
-      XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&name));
+      XKS_ASSIGN_OR_RETURN(name, reader.ReadLengthPrefixedString());
       if (name.empty()) return Status::Corruption("empty document name");
-      std::string blob;
-      XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&blob));
+      std::string_view blob;
+      XKS_ASSIGN_OR_RETURN(blob, reader.ReadLengthPrefixedSpan());
       ShreddedStore store;
       XKS_ASSIGN_OR_RETURN(store, ShreddedStore::DecodeFrom(blob));
       Result<DocumentId> added = db.AddStoreLocked(name, std::move(store));
@@ -444,9 +436,7 @@ Result<Database> Database::DecodeFrom(std::string_view data,
     }
     any_live = db.live_count_ > 0;
   }
-  if (!decoder.done()) {
-    return Status::Corruption("trailing bytes in corpus file");
-  }
+  XKS_RETURN_IF_ERROR(reader.ExpectDone("corpus file"));
   if (epoch == 0) {
     // Saved before the first Build(). Like the legacy formats, loading
     // publishes the corpus immediately (epoch 1) — a loaded database is

@@ -1,5 +1,9 @@
 #include "src/common/codec.h"
 
+// The one sanctioned home of raw offset arithmetic over untrusted bytes
+// (see the header comment and the decode-safety rule in tools/lint.py).
+// Every index below is guarded by an explicit remaining()/size check first.
+
 namespace xks {
 
 void PutVarint64(std::string* dst, uint64_t value) {
@@ -17,36 +21,84 @@ void PutLengthPrefixed(std::string* dst, std::string_view value) {
   dst->append(value.data(), value.size());
 }
 
-Status Decoder::GetVarint64(uint64_t* value) {
+void PutFixedU32BE(std::string* dst, uint32_t value) {
+  dst->push_back(static_cast<char>((value >> 24) & 0xff));
+  dst->push_back(static_cast<char>((value >> 16) & 0xff));
+  dst->push_back(static_cast<char>((value >> 8) & 0xff));
+  dst->push_back(static_cast<char>(value & 0xff));
+}
+
+Result<uint8_t> ByteReader::ReadU8() {
+  if (pos_ >= data_.size()) return Status::Corruption("truncated byte");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> ByteReader::ReadFixedU32BE() {
+  if (remaining() < 4) return Status::Corruption("truncated fixed u32");
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value = (value << 8) | static_cast<uint8_t>(data_[pos_++]);
+  }
+  return value;
+}
+
+Result<uint64_t> ByteReader::ReadVarint64() {
   uint64_t result = 0;
   for (int shift = 0; shift <= 63; shift += 7) {
-    if (pos_ >= data_.size()) {
-      return Status::Corruption("truncated varint");
+    if (pos_ >= data_.size()) return Status::Corruption("truncated varint");
+    const uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    // The 10th group holds bit 63 alone: any higher payload bit — or a
+    // continuation into an 11th group — cannot fit a u64.
+    if (shift == 63 && (byte & ~uint8_t{1}) != 0) {
+      return Status::Corruption("varint overflows 64 bits");
     }
-    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
     result |= static_cast<uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) {
-      *value = result;
-      return Status::OK();
-    }
+    if ((byte & 0x80) == 0) return result;
   }
   return Status::Corruption("varint too long");
 }
 
-Status Decoder::GetVarint32(uint32_t* value) {
+Result<uint32_t> ByteReader::ReadVarint32() {
   uint64_t v64 = 0;
-  XKS_RETURN_IF_ERROR(GetVarint64(&v64));
+  XKS_ASSIGN_OR_RETURN(v64, ReadVarint64());
   if (v64 > UINT32_MAX) return Status::Corruption("varint32 overflow");
-  *value = static_cast<uint32_t>(v64);
-  return Status::OK();
+  return static_cast<uint32_t>(v64);
 }
 
-Status Decoder::GetLengthPrefixed(std::string* value) {
+Result<std::string_view> ByteReader::ReadBytes(size_t n) {
+  if (n > remaining()) return Status::Corruption("truncated bytes");
+  std::string_view span = data_.substr(pos_, n);
+  pos_ += n;
+  return span;
+}
+
+Result<std::string_view> ByteReader::ReadLengthPrefixedSpan() {
   uint64_t len = 0;
-  XKS_RETURN_IF_ERROR(GetVarint64(&len));
+  XKS_ASSIGN_OR_RETURN(len, ReadVarint64());
   if (len > remaining()) return Status::Corruption("truncated string");
-  value->assign(data_.data() + pos_, len);
-  pos_ += len;
+  return ReadBytes(static_cast<size_t>(len));
+}
+
+Result<std::string> ByteReader::ReadLengthPrefixedString() {
+  std::string_view span;
+  XKS_ASSIGN_OR_RETURN(span, ReadLengthPrefixedSpan());
+  return std::string(span);
+}
+
+Result<uint64_t> ByteReader::ReadCount(const char* what) {
+  uint64_t count = 0;
+  XKS_ASSIGN_OR_RETURN(count, ReadVarint64());
+  if (count > remaining()) {
+    return Status::Corruption(std::string("implausible ") + what);
+  }
+  return count;
+}
+
+Status ByteReader::ExpectDone(const char* what) const {
+  if (!done()) {
+    return Status::Corruption(std::string(what) + " has " +
+                              std::to_string(remaining()) + " trailing bytes");
+  }
   return Status::OK();
 }
 

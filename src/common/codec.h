@@ -1,4 +1,16 @@
-// Binary encoding helpers for the on-disk table format (varint + strings).
+// Binary encoding/decoding primitives shared by every byte format in the
+// tree (on-disk XKS tables and corpora, the xksd wire protocol, cursors).
+//
+// Decoding discipline. Every decoder in this repository consumes untrusted
+// bytes — network peers, corpus files from disk, client-supplied tokens —
+// through the bounds-checked ByteReader below and nothing else. ByteReader
+// is fail-closed: every read either returns a value after checking the
+// bytes exist, or a Corruption Status; no read ever touches memory past the
+// buffer, and a hostile length or count can never drive an allocation
+// larger than the input that carried it (ReadCount). tools/lint.py enforces
+// the discipline tree-wide: raw memcpy / reinterpret_cast / manual offset
+// arithmetic inside Decode*/Parse* functions is a lint error everywhere but
+// this file and codec.cc, which hold the only sanctioned offset arithmetic.
 
 #ifndef XKS_COMMON_CODEC_H_
 #define XKS_COMMON_CODEC_H_
@@ -6,8 +18,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <vector>
 
+#include "src/common/result.h"
 #include "src/common/status.h"
 
 namespace xks {
@@ -21,19 +33,62 @@ void PutVarint32(std::string* dst, uint32_t value);
 /// Appends a length-prefixed string.
 void PutLengthPrefixed(std::string* dst, std::string_view value);
 
-/// Cursor over an encoded buffer; all Get* methods fail with Corruption when
-/// the buffer is exhausted or malformed.
-class Decoder {
+/// Appends a fixed-width big-endian u32 (the wire frame length prefix).
+void PutFixedU32BE(std::string* dst, uint32_t value);
+
+/// Bounds-checked cursor over an untrusted encoded buffer. All reads are
+/// fail-closed: they verify the bytes exist before touching them and return
+/// Corruption when the buffer is exhausted or malformed. The buffer is not
+/// owned; the view must outlive the reader (and the spans it hands out).
+///
+/// Invariant: remaining() only ever decreases, by exactly the bytes a
+/// successful read consumed; a failed read leaves no usable position (the
+/// decode must be abandoned).
+class ByteReader {
  public:
-  explicit Decoder(std::string_view data) : data_(data), pos_(0) {}
+  explicit ByteReader(std::string_view data) : data_(data), pos_(0) {}
 
-  Status GetVarint64(uint64_t* value);
-  Status GetVarint32(uint32_t* value);
-  Status GetLengthPrefixed(std::string* value);
+  /// One raw byte.
+  Result<uint8_t> ReadU8();
 
-  /// Bytes remaining.
+  /// Four raw bytes as a big-endian u32.
+  Result<uint32_t> ReadFixedU32BE();
+
+  /// An unsigned LEB128 varint. Strict: at most 10 groups, and bits past
+  /// position 63 must be zero (a non-canonical 10th byte > 1 is Corruption,
+  /// not silent truncation).
+  Result<uint64_t> ReadVarint64();
+
+  /// A varint that must fit 32 bits.
+  Result<uint32_t> ReadVarint32();
+
+  /// The next `n` raw bytes as a view into the buffer.
+  Result<std::string_view> ReadBytes(size_t n);
+
+  /// A varint length followed by that many bytes, as a view.
+  Result<std::string_view> ReadLengthPrefixedSpan();
+
+  /// A varint length followed by that many bytes, copied out.
+  Result<std::string> ReadLengthPrefixedString();
+
+  /// A varint element count, rejected as Corruption("implausible <what>")
+  /// when it exceeds remaining(). Every decodable element consumes at least
+  /// one input byte, so any larger count cannot be satisfied — and must be
+  /// rejected *before* it sizes a reserve/resize, so a hostile count can
+  /// never become a memory-exhaustion primitive.
+  Result<uint64_t> ReadCount(const char* what);
+
+  /// Bytes not yet consumed.
   size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return pos_ == data_.size(); }
+
+  /// The unconsumed suffix, without consuming it.
+  std::string_view rest() const { return data_.substr(pos_); }
+
+  /// OK when the buffer is fully consumed; Corruption("<what> has N
+  /// trailing bytes") otherwise. Strict decoders call this last so trailing
+  /// garbage cannot ride along behind a valid prefix.
+  Status ExpectDone(const char* what) const;
 
  private:
   std::string_view data_;

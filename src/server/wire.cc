@@ -25,27 +25,18 @@ void PutDouble(std::string* dst, double value) {
   PutVarint64(dst, std::bit_cast<uint64_t>(value));
 }
 
-Status GetDouble(Decoder* decoder, double* value) {
+Result<double> ReadDouble(ByteReader* reader) {
   uint64_t bits = 0;
-  XKS_RETURN_IF_ERROR(decoder->GetVarint64(&bits));
-  *value = std::bit_cast<double>(bits);
-  return Status::OK();
-}
-
-Status GetByte(Decoder* decoder, uint8_t* value) {
-  uint32_t wide = 0;
-  XKS_RETURN_IF_ERROR(decoder->GetVarint32(&wide));
-  if (wide > 0xff) return Status::Corruption("byte field out of range");
-  *value = static_cast<uint8_t>(wide);
-  return Status::OK();
+  XKS_ASSIGN_OR_RETURN(bits, reader->ReadVarint64());
+  return std::bit_cast<double>(bits);
 }
 
 /// Decodes a u8 into enum E, rejecting values past `max_value`.
 template <typename E>
-Status GetEnum(Decoder* decoder, E* value, uint8_t max_value,
-               const char* what) {
+Status ReadEnum(ByteReader* reader, E* value, uint8_t max_value,
+                const char* what) {
   uint8_t raw = 0;
-  XKS_RETURN_IF_ERROR(GetByte(decoder, &raw));
+  XKS_ASSIGN_OR_RETURN(raw, reader->ReadU8());
   if (raw > max_value) {
     return Status::Corruption(std::string("bad ") + what + " value " +
                               std::to_string(raw));
@@ -54,21 +45,12 @@ Status GetEnum(Decoder* decoder, E* value, uint8_t max_value,
   return Status::OK();
 }
 
-Status CheckVersion(Decoder* decoder) {
+Status CheckVersion(ByteReader* reader) {
   uint8_t version = 0;
-  XKS_RETURN_IF_ERROR(GetByte(decoder, &version));
+  XKS_ASSIGN_OR_RETURN(version, reader->ReadU8());
   if (version != kBodyVersion) {
     return Status::Unsupported("unsupported wire body version " +
                                std::to_string(version));
-  }
-  return Status::OK();
-}
-
-Status CheckDone(const Decoder& decoder, const char* what) {
-  if (!decoder.done()) {
-    return Status::Corruption(std::string(what) + " has " +
-                              std::to_string(decoder.remaining()) +
-                              " trailing bytes");
   }
   return Status::OK();
 }
@@ -159,68 +141,62 @@ std::string EncodeSearchRequest(const SearchRequest& request) {
 }
 
 Result<SearchRequest> DecodeSearchRequest(std::string_view body) {
-  Decoder decoder(body);
-  XKS_RETURN_IF_ERROR(CheckVersion(&decoder));
+  ByteReader reader(body);
+  XKS_RETURN_IF_ERROR(CheckVersion(&reader));
   SearchRequest request;
-  XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&request.query));
+  XKS_ASSIGN_OR_RETURN(request.query, reader.ReadLengthPrefixedString());
   uint64_t term_count = 0;
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&term_count));
-  if (term_count > decoder.remaining()) {
-    return Status::Corruption("term count exceeds remaining bytes");
-  }
+  XKS_ASSIGN_OR_RETURN(term_count, reader.ReadCount("term count"));
   request.terms.reserve(static_cast<size_t>(term_count));
   for (uint64_t i = 0; i < term_count; ++i) {
     QueryTerm term;
-    XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&term.word));
-    XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&term.label));
+    XKS_ASSIGN_OR_RETURN(term.word, reader.ReadLengthPrefixedString());
+    XKS_ASSIGN_OR_RETURN(term.label, reader.ReadLengthPrefixedString());
     request.terms.push_back(std::move(term));
   }
   uint64_t doc_count = 0;
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&doc_count));
-  if (doc_count > decoder.remaining()) {
-    return Status::Corruption("document count exceeds remaining bytes");
-  }
+  XKS_ASSIGN_OR_RETURN(doc_count, reader.ReadCount("document count"));
   request.documents.reserve(static_cast<size_t>(doc_count));
   for (uint64_t i = 0; i < doc_count; ++i) {
     uint32_t id = 0;
-    XKS_RETURN_IF_ERROR(decoder.GetVarint32(&id));
+    XKS_ASSIGN_OR_RETURN(id, reader.ReadVarint32());
     request.documents.push_back(id);
   }
-  XKS_RETURN_IF_ERROR(GetEnum(&decoder, &request.semantics,
-                              static_cast<uint8_t>(LcaSemantics::kSlca),
-                              "semantics"));
-  XKS_RETURN_IF_ERROR(GetEnum(&decoder, &request.elca_algorithm,
-                              static_cast<uint8_t>(ElcaAlgorithm::kBruteForce),
-                              "elca algorithm"));
-  XKS_RETURN_IF_ERROR(GetEnum(&decoder, &request.slca_algorithm,
-                              static_cast<uint8_t>(SlcaAlgorithm::kBruteForce),
-                              "slca algorithm"));
+  XKS_RETURN_IF_ERROR(ReadEnum(&reader, &request.semantics,
+                               static_cast<uint8_t>(LcaSemantics::kSlca),
+                               "semantics"));
+  XKS_RETURN_IF_ERROR(ReadEnum(&reader, &request.elca_algorithm,
+                               static_cast<uint8_t>(ElcaAlgorithm::kBruteForce),
+                               "elca algorithm"));
+  XKS_RETURN_IF_ERROR(ReadEnum(&reader, &request.slca_algorithm,
+                               static_cast<uint8_t>(SlcaAlgorithm::kBruteForce),
+                               "slca algorithm"));
   XKS_RETURN_IF_ERROR(
-      GetEnum(&decoder, &request.pruning,
-              static_cast<uint8_t>(PruningPolicy::kValidContributor),
-              "pruning policy"));
+      ReadEnum(&reader, &request.pruning,
+               static_cast<uint8_t>(PruningPolicy::kValidContributor),
+               "pruning policy"));
   uint64_t parallelism = 0;
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&parallelism));
+  XKS_ASSIGN_OR_RETURN(parallelism, reader.ReadVarint64());
   request.max_parallelism = static_cast<size_t>(parallelism);
   uint64_t top_k = 0;
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&top_k));
+  XKS_ASSIGN_OR_RETURN(top_k, reader.ReadVarint64());
   request.top_k = static_cast<size_t>(top_k);
-  XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&request.cursor));
+  XKS_ASSIGN_OR_RETURN(request.cursor, reader.ReadLengthPrefixedString());
   uint8_t flags = 0;
-  XKS_RETURN_IF_ERROR(GetByte(&decoder, &flags));
+  XKS_ASSIGN_OR_RETURN(flags, reader.ReadU8());
   request.rank = (flags & kFlagRank) != 0;
   request.use_cache = (flags & kFlagUseCache) != 0;
   request.include_snippets = (flags & kFlagSnippets) != 0;
   request.include_raw_fragments = (flags & kFlagRawFragments) != 0;
   request.include_stats = (flags & kFlagStats) != 0;
-  XKS_RETURN_IF_ERROR(GetDouble(&decoder, &request.weights.specificity));
-  XKS_RETURN_IF_ERROR(GetDouble(&decoder, &request.weights.proximity));
-  XKS_RETURN_IF_ERROR(GetDouble(&decoder, &request.weights.compactness));
-  XKS_RETURN_IF_ERROR(GetDouble(&decoder, &request.weights.slca_bonus));
-  XKS_RETURN_IF_ERROR(
-      GetDouble(&decoder, &request.weights.match_concentration));
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&request.deadline_ms));
-  XKS_RETURN_IF_ERROR(CheckDone(decoder, "search request"));
+  XKS_ASSIGN_OR_RETURN(request.weights.specificity, ReadDouble(&reader));
+  XKS_ASSIGN_OR_RETURN(request.weights.proximity, ReadDouble(&reader));
+  XKS_ASSIGN_OR_RETURN(request.weights.compactness, ReadDouble(&reader));
+  XKS_ASSIGN_OR_RETURN(request.weights.slca_bonus, ReadDouble(&reader));
+  XKS_ASSIGN_OR_RETURN(request.weights.match_concentration,
+                       ReadDouble(&reader));
+  XKS_ASSIGN_OR_RETURN(request.deadline_ms, reader.ReadVarint64());
+  XKS_RETURN_IF_ERROR(reader.ExpectDone("search request"));
   return request;
 }
 
@@ -254,43 +230,41 @@ std::string EncodeSearchResponse(const SearchResponse& response) {
 }
 
 Result<SearchResponse> DecodeSearchResponse(std::string_view body) {
-  Decoder decoder(body);
-  XKS_RETURN_IF_ERROR(CheckVersion(&decoder));
+  ByteReader reader(body);
+  XKS_RETURN_IF_ERROR(CheckVersion(&reader));
   SearchResponse response;
   uint64_t hit_count = 0;
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&hit_count));
-  if (hit_count > decoder.remaining()) {
-    return Status::Corruption("hit count exceeds remaining bytes");
-  }
+  XKS_ASSIGN_OR_RETURN(hit_count, reader.ReadCount("hit count"));
   response.hits.reserve(static_cast<size_t>(hit_count));
   for (uint64_t i = 0; i < hit_count; ++i) {
     Hit hit;
-    XKS_RETURN_IF_ERROR(decoder.GetVarint32(&hit.document));
-    XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&hit.document_name));
-    XKS_RETURN_IF_ERROR(GetDouble(&decoder, &hit.score));
-    XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&hit.snippet));
+    XKS_ASSIGN_OR_RETURN(hit.document, reader.ReadVarint32());
+    XKS_ASSIGN_OR_RETURN(hit.document_name, reader.ReadLengthPrefixedString());
+    XKS_ASSIGN_OR_RETURN(hit.score, ReadDouble(&reader));
+    XKS_ASSIGN_OR_RETURN(hit.snippet, reader.ReadLengthPrefixedString());
     response.hits.push_back(std::move(hit));
   }
-  XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&response.next_cursor));
+  XKS_ASSIGN_OR_RETURN(response.next_cursor,
+                       reader.ReadLengthPrefixedString());
   uint64_t value = 0;
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&value));
+  XKS_ASSIGN_OR_RETURN(value, reader.ReadVarint64());
   response.total_hits = static_cast<size_t>(value);
   uint8_t flag = 0;
-  XKS_RETURN_IF_ERROR(GetByte(&decoder, &flag));
+  XKS_ASSIGN_OR_RETURN(flag, reader.ReadU8());
   response.total_is_exact = flag != 0;
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&value));
+  XKS_ASSIGN_OR_RETURN(value, reader.ReadVarint64());
   response.documents_searched = static_cast<size_t>(value);
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&response.epoch));
-  XKS_RETURN_IF_ERROR(GetByte(&decoder, &flag));
+  XKS_ASSIGN_OR_RETURN(response.epoch, reader.ReadVarint64());
+  XKS_ASSIGN_OR_RETURN(flag, reader.ReadU8());
   response.served_from_cache = flag != 0;
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&value));
+  XKS_ASSIGN_OR_RETURN(value, reader.ReadVarint64());
   response.documents_from_cache = static_cast<size_t>(value);
-  XKS_RETURN_IF_ERROR(GetByte(&decoder, &flag));
+  XKS_ASSIGN_OR_RETURN(flag, reader.ReadU8());
   response.stats_are_exact = flag != 0;
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&value));
+  XKS_ASSIGN_OR_RETURN(value, reader.ReadVarint64());
   response.keyword_node_count = static_cast<size_t>(value);
   std::string query_text;
-  XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&query_text));
+  XKS_ASSIGN_OR_RETURN(query_text, reader.ReadLengthPrefixedString());
   if (!query_text.empty()) {
     // The canonical display form re-parses to itself; a response for an
     // empty-query error never reaches this decoder (errors travel as
@@ -298,16 +272,16 @@ Result<SearchResponse> DecodeSearchResponse(std::string_view body) {
     Result<KeywordQuery> parsed = KeywordQuery::Parse(query_text);
     if (parsed.ok()) response.parsed_query = std::move(parsed).value();
   }
-  XKS_RETURN_IF_ERROR(
-      GetDouble(&decoder, &response.timings.get_keyword_nodes_ms));
-  XKS_RETURN_IF_ERROR(GetDouble(&decoder, &response.timings.get_lca_ms));
-  XKS_RETURN_IF_ERROR(GetDouble(&decoder, &response.timings.get_rtf_ms));
-  XKS_RETURN_IF_ERROR(GetDouble(&decoder, &response.timings.prune_ms));
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&value));
+  XKS_ASSIGN_OR_RETURN(response.timings.get_keyword_nodes_ms,
+                       ReadDouble(&reader));
+  XKS_ASSIGN_OR_RETURN(response.timings.get_lca_ms, ReadDouble(&reader));
+  XKS_ASSIGN_OR_RETURN(response.timings.get_rtf_ms, ReadDouble(&reader));
+  XKS_ASSIGN_OR_RETURN(response.timings.prune_ms, ReadDouble(&reader));
+  XKS_ASSIGN_OR_RETURN(value, reader.ReadVarint64());
   response.pruning.raw_nodes = static_cast<size_t>(value);
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&value));
+  XKS_ASSIGN_OR_RETURN(value, reader.ReadVarint64());
   response.pruning.kept_nodes = static_cast<size_t>(value);
-  XKS_RETURN_IF_ERROR(CheckDone(decoder, "search response"));
+  XKS_RETURN_IF_ERROR(reader.ExpectDone("search response"));
   return response;
 }
 
@@ -320,16 +294,16 @@ std::string EncodeStatusPayload(const Status& status) {
 }
 
 Status DecodeStatusPayload(std::string_view body, Status* out) {
-  Decoder decoder(body);
-  XKS_RETURN_IF_ERROR(CheckVersion(&decoder));
+  ByteReader reader(body);
+  XKS_RETURN_IF_ERROR(CheckVersion(&reader));
   uint32_t code = 0;
-  XKS_RETURN_IF_ERROR(decoder.GetVarint32(&code));
+  XKS_ASSIGN_OR_RETURN(code, reader.ReadVarint32());
   if (code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
     return Status::Corruption("bad status code " + std::to_string(code));
   }
   std::string message;
-  XKS_RETURN_IF_ERROR(decoder.GetLengthPrefixed(&message));
-  XKS_RETURN_IF_ERROR(CheckDone(decoder, "status payload"));
+  XKS_ASSIGN_OR_RETURN(message, reader.ReadLengthPrefixedString());
+  XKS_RETURN_IF_ERROR(reader.ExpectDone("status payload"));
   *out = Status(static_cast<StatusCode>(code), std::move(message));
   return Status::OK();
 }
@@ -343,17 +317,17 @@ std::string EncodeFramePayload(const Frame& frame) {
 }
 
 Result<Frame> DecodeFramePayload(std::string_view payload) {
-  Decoder decoder(payload);
+  ByteReader reader(payload);
   uint8_t kind = 0;
-  XKS_RETURN_IF_ERROR(GetByte(&decoder, &kind));
+  XKS_ASSIGN_OR_RETURN(kind, reader.ReadU8());
   if (kind < static_cast<uint8_t>(FrameKind::kSearchRequest) ||
       kind > static_cast<uint8_t>(FrameKind::kStatus)) {
     return Status::Corruption("bad frame kind " + std::to_string(kind));
   }
   Frame frame;
   frame.kind = static_cast<FrameKind>(kind);
-  XKS_RETURN_IF_ERROR(decoder.GetVarint64(&frame.request_id));
-  frame.body.assign(payload.substr(payload.size() - decoder.remaining()));
+  XKS_ASSIGN_OR_RETURN(frame.request_id, reader.ReadVarint64());
+  frame.body.assign(reader.rest());
   return frame;
 }
 
@@ -362,17 +336,11 @@ Status WriteFrame(int fd, const Frame& frame) {
   if (payload.size() > kMaxFrameBytes) {
     return Status::InvalidArgument("frame payload exceeds kMaxFrameBytes");
   }
-  char header[4];
-  const uint32_t n = static_cast<uint32_t>(payload.size());
-  header[0] = static_cast<char>((n >> 24) & 0xff);
-  header[1] = static_cast<char>((n >> 16) & 0xff);
-  header[2] = static_cast<char>((n >> 8) & 0xff);
-  header[3] = static_cast<char>(n & 0xff);
   // One buffer, one stream of writes: interleaving with other frames is
   // prevented by the caller's per-connection write lock.
   std::string wire;
-  wire.reserve(sizeof(header) + payload.size());
-  wire.append(header, sizeof(header));
+  wire.reserve(4 + payload.size());
+  PutFixedU32BE(&wire, static_cast<uint32_t>(payload.size()));
   wire.append(payload);
   return WriteFull(fd, wire.data(), wire.size());
 }
@@ -382,13 +350,9 @@ Result<Frame> ReadFrame(int fd, size_t max_frame_bytes) {
   bool clean_eof = false;
   Status status = ReadFull(fd, header, sizeof(header), &clean_eof);
   XKS_RETURN_IF_ERROR(status);
-  const uint32_t n = (static_cast<uint32_t>(static_cast<uint8_t>(header[0]))
-                      << 24) |
-                     (static_cast<uint32_t>(static_cast<uint8_t>(header[1]))
-                      << 16) |
-                     (static_cast<uint32_t>(static_cast<uint8_t>(header[2]))
-                      << 8) |
-                     static_cast<uint32_t>(static_cast<uint8_t>(header[3]));
+  ByteReader header_reader(std::string_view(header, sizeof(header)));
+  uint32_t n = 0;
+  XKS_ASSIGN_OR_RETURN(n, header_reader.ReadFixedU32BE());
   if (n > max_frame_bytes) {
     return Status::Corruption("frame length " + std::to_string(n) +
                               " exceeds limit " +

@@ -94,12 +94,12 @@ Result<ShreddedStore> ShreddedStore::DecodeFrom(std::string_view data) {
   if (data.size() < 4 || data.substr(0, 4) != kMagic) {
     return Status::Corruption("bad store magic");
   }
-  Decoder decoder(data.substr(4));
+  ByteReader reader(data.substr(4));
   ShreddedStore store;
-  XKS_RETURN_IF_ERROR(store.tables_.labels.Decode(&decoder));
-  XKS_RETURN_IF_ERROR(store.tables_.elements.Decode(&decoder));
-  XKS_RETURN_IF_ERROR(store.tables_.values.Decode(&decoder));
-  if (!decoder.done()) return Status::Corruption("trailing bytes in store file");
+  XKS_RETURN_IF_ERROR(store.tables_.labels.Decode(&reader));
+  XKS_RETURN_IF_ERROR(store.tables_.elements.Decode(&reader));
+  XKS_RETURN_IF_ERROR(store.tables_.values.Decode(&reader));
+  XKS_RETURN_IF_ERROR(reader.ExpectDone("store file"));
   store.index_ = InvertedIndex::Build(store.tables_.values);
   return store;
 }

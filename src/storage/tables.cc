@@ -9,17 +9,15 @@ void EncodeDewey(std::string* dst, const Dewey& dewey) {
   for (uint32_t c : dewey.components()) PutVarint32(dst, c);
 }
 
-Status DecodeDewey(Decoder* decoder, Dewey* dewey) {
-  uint32_t n = 0;
-  XKS_RETURN_IF_ERROR(decoder->GetVarint32(&n));
-  // Every component takes at least one encoded byte, so a count beyond the
-  // bytes left is corruption — reject before allocating for it.
-  if (n > 1u << 20 || n > decoder->remaining()) {
-    return Status::Corruption("implausible Dewey depth");
-  }
-  std::vector<uint32_t> components(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    XKS_RETURN_IF_ERROR(decoder->GetVarint32(&components[i]));
+Status DecodeDewey(ByteReader* reader, Dewey* dewey) {
+  uint64_t n = 0;
+  XKS_ASSIGN_OR_RETURN(n, reader->ReadCount("Dewey depth"));
+  // Documents never nest a million levels deep; cap the depth well before
+  // ReadCount's byte-budget bound would.
+  if (n > 1u << 20) return Status::Corruption("implausible Dewey depth");
+  std::vector<uint32_t> components(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    XKS_ASSIGN_OR_RETURN(components[i], reader->ReadVarint32());
   }
   *dewey = Dewey(std::move(components));
   return Status::OK();
@@ -44,20 +42,15 @@ void LabelTable::Encode(std::string* dst) const {
   for (const std::string& name : names_) PutLengthPrefixed(dst, name);
 }
 
-Status LabelTable::Decode(Decoder* decoder) {
+Status LabelTable::Decode(ByteReader* reader) {
   names_.clear();
   ids_.clear();
   uint64_t n = 0;
-  XKS_RETURN_IF_ERROR(decoder->GetVarint64(&n));
-  // Each entry consumes at least one byte of input; anything larger than the
-  // bytes left cannot be a valid count (and must not drive a reserve).
-  if (n > decoder->remaining()) {
-    return Status::Corruption("implausible label count");
-  }
+  XKS_ASSIGN_OR_RETURN(n, reader->ReadCount("label count"));
   names_.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     std::string name;
-    XKS_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&name));
+    XKS_ASSIGN_OR_RETURN(name, reader->ReadLengthPrefixedString());
     ids_.emplace(name, static_cast<uint32_t>(names_.size()));
     names_.push_back(std::move(name));
   }
@@ -90,31 +83,27 @@ void ElementTable::Encode(std::string* dst) const {
   }
 }
 
-Status ElementTable::Decode(Decoder* decoder) {
+Status ElementTable::Decode(ByteReader* reader) {
   rows_.clear();
   by_dewey_.clear();
   uint64_t n = 0;
-  XKS_RETURN_IF_ERROR(decoder->GetVarint64(&n));
-  if (n > decoder->remaining()) {
-    return Status::Corruption("implausible element row count");
-  }
+  XKS_ASSIGN_OR_RETURN(n, reader->ReadCount("element row count"));
   rows_.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     ElementRow row;
-    XKS_RETURN_IF_ERROR(decoder->GetVarint32(&row.label_id));
-    XKS_RETURN_IF_ERROR(DecodeDewey(decoder, &row.dewey));
-    XKS_RETURN_IF_ERROR(decoder->GetVarint32(&row.level));
-    uint32_t path_len = 0;
-    XKS_RETURN_IF_ERROR(decoder->GetVarint32(&path_len));
-    if (path_len > decoder->remaining()) {
-      return Status::Corruption("implausible label path length");
+    XKS_ASSIGN_OR_RETURN(row.label_id, reader->ReadVarint32());
+    XKS_RETURN_IF_ERROR(DecodeDewey(reader, &row.dewey));
+    XKS_ASSIGN_OR_RETURN(row.level, reader->ReadVarint32());
+    uint64_t path_len = 0;
+    XKS_ASSIGN_OR_RETURN(path_len, reader->ReadCount("label path length"));
+    row.label_path.resize(static_cast<size_t>(path_len));
+    for (uint64_t j = 0; j < path_len; ++j) {
+      XKS_ASSIGN_OR_RETURN(row.label_path[j], reader->ReadVarint32());
     }
-    row.label_path.resize(path_len);
-    for (uint32_t j = 0; j < path_len; ++j) {
-      XKS_RETURN_IF_ERROR(decoder->GetVarint32(&row.label_path[j]));
-    }
-    XKS_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&row.content_feature.min_word));
-    XKS_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&row.content_feature.max_word));
+    XKS_ASSIGN_OR_RETURN(row.content_feature.min_word,
+                         reader->ReadLengthPrefixedString());
+    XKS_ASSIGN_OR_RETURN(row.content_feature.max_word,
+                         reader->ReadLengthPrefixedString());
     Append(std::move(row));
   }
   return Status::OK();
@@ -147,36 +136,30 @@ void ValueTable::Encode(std::string* dst) const {
   }
 }
 
-Status ValueTable::Decode(Decoder* decoder) {
+Status ValueTable::Decode(ByteReader* reader) {
   rows_.clear();
   frequencies_.clear();
   uint64_t n = 0;
-  XKS_RETURN_IF_ERROR(decoder->GetVarint64(&n));
-  if (n > decoder->remaining()) {
-    return Status::Corruption("implausible value row count");
-  }
+  XKS_ASSIGN_OR_RETURN(n, reader->ReadCount("value row count"));
   rows_.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     ValueRow row;
-    XKS_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&row.keyword));
-    XKS_RETURN_IF_ERROR(decoder->GetVarint32(&row.label_id));
-    XKS_RETURN_IF_ERROR(DecodeDewey(decoder, &row.dewey));
+    XKS_ASSIGN_OR_RETURN(row.keyword, reader->ReadLengthPrefixedString());
+    XKS_ASSIGN_OR_RETURN(row.label_id, reader->ReadVarint32());
+    XKS_RETURN_IF_ERROR(DecodeDewey(reader, &row.dewey));
     uint32_t source = 0;
-    XKS_RETURN_IF_ERROR(decoder->GetVarint32(&source));
+    XKS_ASSIGN_OR_RETURN(source, reader->ReadVarint32());
     if (source > 2) return Status::Corruption("bad ValueSource");
     row.source = static_cast<ValueSource>(source);
     rows_.push_back(std::move(row));
   }
   uint64_t vocab = 0;
-  XKS_RETURN_IF_ERROR(decoder->GetVarint64(&vocab));
-  if (vocab > decoder->remaining()) {
-    return Status::Corruption("implausible vocabulary size");
-  }
+  XKS_ASSIGN_OR_RETURN(vocab, reader->ReadCount("vocabulary size"));
   for (uint64_t i = 0; i < vocab; ++i) {
     std::string word;
+    XKS_ASSIGN_OR_RETURN(word, reader->ReadLengthPrefixedString());
     uint64_t count = 0;
-    XKS_RETURN_IF_ERROR(decoder->GetLengthPrefixed(&word));
-    XKS_RETURN_IF_ERROR(decoder->GetVarint64(&count));
+    XKS_ASSIGN_OR_RETURN(count, reader->ReadVarint64());
     frequencies_.emplace(std::move(word), count);
   }
   return Status::OK();

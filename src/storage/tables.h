@@ -42,7 +42,7 @@ class LabelTable {
   size_t size() const { return names_.size(); }
 
   void Encode(std::string* dst) const;
-  Status Decode(Decoder* decoder);
+  Status Decode(ByteReader* reader);
 
  private:
   std::vector<std::string> names_;
@@ -75,7 +75,7 @@ class ElementTable {
   Result<const ElementRow*> Find(const Dewey& dewey) const;
 
   void Encode(std::string* dst) const;
-  Status Decode(Decoder* decoder);
+  Status Decode(ByteReader* reader);
 
  private:
   std::vector<ElementRow> rows_;
@@ -118,7 +118,7 @@ class ValueTable {
   std::vector<std::pair<std::string, uint64_t>> FrequencyTable() const;
 
   void Encode(std::string* dst) const;
-  Status Decode(Decoder* decoder);
+  Status Decode(ByteReader* reader);
 
  private:
   std::vector<ValueRow> rows_;
@@ -129,7 +129,7 @@ class ValueTable {
 void EncodeDewey(std::string* dst, const Dewey& dewey);
 
 /// Decodes a Dewey code.
-Status DecodeDewey(Decoder* decoder, Dewey* dewey);
+Status DecodeDewey(ByteReader* reader, Dewey* dewey);
 
 }  // namespace xks
 

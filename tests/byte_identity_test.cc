@@ -1,0 +1,168 @@
+// Byte-identity proof for the ByteReader consolidation: every encoded
+// artifact — XKS3 corpus, wire frames, cursors — must come out of the
+// post-migration encoders byte-for-byte equal to hex captured from the
+// tree BEFORE the migration. A codec change that alters one output byte
+// breaks persisted corpora and live client connections; these goldens make
+// that a test failure instead of a corruption report in the field.
+//
+// The hex literals were captured by encoding fuzz/golden_artifacts.h's
+// builders with the pre-migration encoders (the Decoder-era tree at
+// commit 445de99). Regenerating them is only legitimate for a deliberate,
+// versioned format change.
+
+#include <gtest/gtest.h>
+
+#include "fuzz/golden_artifacts.h"
+#include "src/api/cursor.h"
+#include "src/api/database.h"
+#include "src/server/wire.h"
+
+namespace xks {
+namespace {
+
+using golden::FromHex;
+using golden::ToHex;
+
+// Pre-migration capture: BuildGoldenCorpus().EncodeTo (XKS3, epoch 2, one
+// tombstone).
+constexpr const char* kCorpusHex =
+    "584b533302ed8eca87dd88ed8e78030101618c02584b533104076c69627261727904626f"
+    "6f6b057469746c6506617574686f7204000100010100076c696272617279076c69627261"
+    "7279010200000202000104626f6f6b04626f6f6b02030000000303000102076b6579776f"
+    "726403786d6c0303000001030300010306617574686f72036c697508076c696272617279"
+    "0001000004626f6f6b0102000000076b6579776f72640203000000020673656172636802"
+    "0300000002057469746c6502030000000003786d6c02030000000206617574686f720303"
+    "00000100036c69750303000001020806617574686f720104626f6f6b01076b6579776f72"
+    "6401076c69627261727901036c6975010673656172636801057469746c650103786d6c01"
+    "00010163e501584b5331030473697465046974656d046e616d6503000100010100047369"
+    "746504736974650102000002020001046974656d046974656d0203000000030300010208"
+    "667261676d656e7408746967687465737407047369746500010000046974656d01020000"
+    "0008667261676d656e74020300000002076b6579776f7264020300000002046e616d6502"
+    "03000000000772656c617865640203000000020874696768746573740203000000020708"
+    "667261676d656e7401046974656d01076b6579776f726401046e616d65010772656c6178"
+    "65640104736974650108746967687465737401";
+
+// Pre-migration capture: EncodeFramePayload over the three golden frames.
+constexpr const char* kRequestFrameHex =
+    "01e78a8d0901117469746c653a786d6c206b6579776f72640203786d6c057469746c6507"
+    "6b6579776f726400030002070102010103190e786b7363323a313261623a353a391d8080"
+    "8080808080e83fb3e6cc99b3e6cce93fb3e6cc99b3e6cce13f9ab3e6cc99b3e6e43f9ab3"
+    "e6cc99b3e6dc3fdc0b";
+constexpr const char* kResponseFrameHex =
+    "02edfd0301020309646f632d746872656580808080808080f63f1a3c7469746c653e786d"
+    "6c206b6579776f72643c2f7469746c653e0908646f632d6e696e6580808080808080f03f"
+    "000e786b7363323a626565663a613a322a000507010400630b786d6c206b6579776f7264"
+    "80808080808080fc3f80808080808080814080808080808080e03f808080808080808840"
+    "0a04";
+constexpr const char* kStatusFrameHex =
+    "0307010c15646561646c696e6520356d73206578636565646564";
+
+// Pre-migration capture: EncodeCursor(GoldenPageCursor()) and the cursor a
+// real top_k=1 search for "keyword" minted against the golden corpus.
+constexpr const char* kCursorToken = "xksc2:deadbeefcafef00d:1234:b";
+constexpr const char* kLiveCursorToken = "xksc2:432bebfedd29e1b1:1:2";
+constexpr uint64_t kLiveEpoch = 2;
+
+TEST(ByteIdentityTest, CorpusEncodingUnchanged) {
+  Database db = golden::BuildGoldenCorpus();
+  std::string encoded;
+  db.EncodeTo(&encoded);
+  EXPECT_EQ(ToHex(encoded), kCorpusHex);
+}
+
+TEST(ByteIdentityTest, CorpusDecodesAndReencodesToSameBytes) {
+  const std::string bytes = FromHex(kCorpusHex);
+  Result<Database> db = Database::DecodeFrom(bytes);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::string reencoded;
+  db->EncodeTo(&reencoded);
+  EXPECT_EQ(ToHex(reencoded), kCorpusHex);
+  EXPECT_EQ(db->epoch(), 2u);
+}
+
+TEST(ByteIdentityTest, RequestFrameUnchanged) {
+  EXPECT_EQ(ToHex(EncodeFramePayload(golden::GoldenRequestFrame())),
+            kRequestFrameHex);
+}
+
+TEST(ByteIdentityTest, RequestFrameDecodesToGoldenRequest) {
+  Result<Frame> frame = DecodeFramePayload(FromHex(kRequestFrameHex));
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->kind, FrameKind::kSearchRequest);
+  EXPECT_EQ(frame->request_id, 0x1234567u);
+  Result<SearchRequest> request = DecodeSearchRequest(frame->body);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  // Decode then re-encode is a fixpoint: the decoder read every field the
+  // encoder wrote, into the same positions.
+  EXPECT_EQ(ToHex(EncodeSearchRequest(*request)),
+            ToHex(EncodeSearchRequest(golden::GoldenRequest())));
+  EXPECT_EQ(request->query, "title:xml keyword");
+  ASSERT_EQ(request->terms.size(), 2u);
+  EXPECT_EQ(request->terms[0].word, "xml");
+  EXPECT_EQ(request->terms[0].label, "title");
+  EXPECT_EQ(request->deadline_ms, 1500u);
+  EXPECT_EQ(request->weights.proximity, 0.30);
+}
+
+TEST(ByteIdentityTest, ResponseFrameUnchanged) {
+  EXPECT_EQ(ToHex(EncodeFramePayload(golden::GoldenResponseFrame())),
+            kResponseFrameHex);
+}
+
+TEST(ByteIdentityTest, ResponseFrameDecodesAndReencodesToSameBytes) {
+  Result<Frame> frame = DecodeFramePayload(FromHex(kResponseFrameHex));
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->kind, FrameKind::kSearchResponse);
+  EXPECT_EQ(frame->request_id, 0xfeedu);
+  Result<SearchResponse> response = DecodeSearchResponse(frame->body);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(ToHex(EncodeSearchResponse(*response)),
+            ToHex(frame->body));
+  ASSERT_EQ(response->hits.size(), 2u);
+  EXPECT_EQ(response->hits[0].document_name, "doc-three");
+  EXPECT_EQ(response->hits[0].score, 0.875);
+  EXPECT_EQ(response->next_cursor, "xksc2:beef:a:2");
+  EXPECT_EQ(response->epoch, 7u);
+}
+
+TEST(ByteIdentityTest, StatusFrameUnchanged) {
+  EXPECT_EQ(ToHex(EncodeFramePayload(golden::GoldenStatusFrame())),
+            kStatusFrameHex);
+}
+
+TEST(ByteIdentityTest, StatusFrameDecodesToGoldenStatus) {
+  Result<Frame> frame = DecodeFramePayload(FromHex(kStatusFrameHex));
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->kind, FrameKind::kStatus);
+  EXPECT_EQ(frame->request_id, 7u);
+  Status decoded = Status::OK();
+  ASSERT_TRUE(DecodeStatusPayload(frame->body, &decoded).ok());
+  EXPECT_EQ(decoded.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded.message(), "deadline 5ms exceeded");
+}
+
+TEST(ByteIdentityTest, CursorTokenUnchanged) {
+  EXPECT_EQ(EncodeCursor(golden::GoldenPageCursor()), kCursorToken);
+  Result<PageCursor> cursor = DecodeCursor(kCursorToken);
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_EQ(cursor->offset, 0x1234u);
+  EXPECT_EQ(cursor->fingerprint, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(cursor->epoch, 11u);
+}
+
+TEST(ByteIdentityTest, LiveSearchCursorUnchanged) {
+  // A real paginated search against the golden corpus still mints the
+  // pre-migration token: the request/revision fingerprint chain survived
+  // the migration too, so pre-migration cursors stay replayable.
+  Database db = golden::BuildGoldenCorpus();
+  EXPECT_EQ(db.epoch(), kLiveEpoch);
+  SearchRequest request = SearchRequest::ValidRtf("keyword");
+  request.top_k = 1;
+  request.max_parallelism = 1;
+  Result<SearchResponse> response = db.Search(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->next_cursor, kLiveCursorToken);
+}
+
+}  // namespace
+}  // namespace xks

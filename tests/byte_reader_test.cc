@@ -1,0 +1,221 @@
+// Adversarial-input unit tests for ByteReader, the single decode primitive
+// every untrusted-byte decoder in the tree sits on. The fuzzers
+// (fuzz/fuzz_codec.cc) explore this surface randomly; these tests pin the
+// edges deterministically: every truncation prefix, varint overflow
+// boundaries, hostile counts, and the remaining()-only-decreases invariant.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/common/codec.h"
+
+namespace xks {
+namespace {
+
+TEST(ByteReaderTest, EmptyInputFailsEveryRead) {
+  ByteReader reader("");
+  EXPECT_EQ(reader.ReadU8().status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(ByteReader("").ReadFixedU32BE().status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ByteReader("").ReadVarint64().status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ByteReader("").ReadVarint32().status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ByteReader("").ReadBytes(1).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ByteReader("").ReadLengthPrefixedSpan().status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ByteReader("").ReadLengthPrefixedString().status().code(),
+            StatusCode::kCorruption);
+  // Zero-byte reads of nothing are satisfiable.
+  EXPECT_TRUE(ByteReader("").ReadBytes(0).ok());
+  EXPECT_TRUE(ByteReader("").ExpectDone("empty").ok());
+  EXPECT_TRUE(ByteReader("").done());
+}
+
+TEST(ByteReaderTest, EveryPrefixOfAMultiFieldBufferFailsCleanly) {
+  // A buffer exercising every read kind; no strict prefix may decode.
+  std::string buf;
+  buf.push_back('\x2a');                    // u8
+  PutFixedU32BE(&buf, 0xdeadbeef);          // fixed u32
+  PutVarint64(&buf, 3000000000ULL);         // multi-byte varint
+  PutLengthPrefixed(&buf, "payload");       // length-prefixed
+  auto decode_all = [](std::string_view bytes) -> Status {
+    ByteReader reader(bytes);
+    XKS_RETURN_IF_ERROR(reader.ReadU8().status());
+    XKS_RETURN_IF_ERROR(reader.ReadFixedU32BE().status());
+    XKS_RETURN_IF_ERROR(reader.ReadVarint64().status());
+    XKS_RETURN_IF_ERROR(reader.ReadLengthPrefixedString().status());
+    return reader.ExpectDone("buffer");
+  };
+  ASSERT_TRUE(decode_all(buf).ok());
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    const Status status = decode_all(std::string_view(buf).substr(0, cut));
+    EXPECT_EQ(status.code(), StatusCode::kCorruption)
+        << "prefix of length " << cut << " decoded: " << status.ToString();
+  }
+  // And a trailing byte is rejected by ExpectDone, not ignored.
+  const Status trailing = decode_all(buf + '\x00');
+  EXPECT_EQ(trailing.code(), StatusCode::kCorruption);
+  EXPECT_NE(trailing.message().find("trailing"), std::string::npos);
+}
+
+TEST(ByteReaderTest, VarintBoundaryValuesRoundTrip) {
+  const uint64_t values[] = {0,
+                             1,
+                             0x7f,
+                             0x80,
+                             0x3fff,
+                             0x4000,
+                             (1ULL << 35) - 1,
+                             1ULL << 35,
+                             (1ULL << 63) - 1,
+                             1ULL << 63,
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    ByteReader reader(buf);
+    Result<uint64_t> back = reader.ReadVarint64();
+    ASSERT_TRUE(back.ok()) << v;
+    EXPECT_EQ(*back, v);
+    EXPECT_TRUE(reader.done());
+  }
+}
+
+TEST(ByteReaderTest, VarintOverflowPastBit63IsCorruption) {
+  // UINT64_MAX encodes as nine 0xff bytes then 0x01: the 10th group may
+  // carry bit 63 only. Any larger 10th byte would overflow u64 — the old
+  // decoder silently truncated those bits; ByteReader rejects them.
+  std::string max;
+  PutVarint64(&max, std::numeric_limits<uint64_t>::max());
+  ASSERT_EQ(max.size(), 10u);
+  ASSERT_EQ(static_cast<uint8_t>(max[9]), 0x01);
+  for (uint8_t tenth : {0x02, 0x03, 0x7f}) {
+    std::string bad = max;
+    bad[9] = static_cast<char>(tenth);
+    ByteReader reader(bad);
+    Result<uint64_t> r = reader.ReadVarint64();
+    ASSERT_FALSE(r.ok()) << static_cast<int>(tenth);
+    EXPECT_NE(r.status().message().find("overflows"), std::string::npos);
+  }
+  // An 11th group (continuation bit on the 10th byte) is also Corruption.
+  std::string eleven = max;
+  eleven[9] = '\x81';
+  eleven.push_back('\x00');
+  EXPECT_FALSE(ByteReader(eleven).ReadVarint64().ok());
+}
+
+TEST(ByteReaderTest, Varint32RejectsJustAbove32Bits) {
+  for (uint64_t v : {uint64_t{UINT32_MAX} + 1, uint64_t{1} << 40}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(ByteReader(buf).ReadVarint32().status().code(),
+              StatusCode::kCorruption);
+  }
+  std::string ok;
+  PutVarint64(&ok, UINT32_MAX);
+  Result<uint32_t> r = ByteReader(ok).ReadVarint32();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, UINT32_MAX);
+}
+
+TEST(ByteReaderTest, LengthPrefixOverflowAdjacentLengthsFail) {
+  // Length prefixes near and past the u64 ceiling: none is satisfiable by
+  // a short buffer, and size_t arithmetic must not wrap into "satisfiable".
+  for (uint64_t len : {uint64_t{100}, uint64_t{1} << 32, (uint64_t{1} << 63),
+                       std::numeric_limits<uint64_t>::max()}) {
+    std::string buf;
+    PutVarint64(&buf, len);
+    buf += "short";
+    ByteReader reader(buf);
+    EXPECT_EQ(reader.ReadLengthPrefixedSpan().status().code(),
+              StatusCode::kCorruption)
+        << len;
+  }
+}
+
+TEST(ByteReaderTest, ReadCountRejectsCountsPastRemainingBytes) {
+  // count == remaining is the acceptance boundary (1-byte elements).
+  std::string buf;
+  PutVarint64(&buf, 3);
+  buf += "abc";
+  ByteReader reader(buf);
+  Result<uint64_t> count = reader.ReadCount("element count");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 3u);
+
+  std::string hostile;
+  PutVarint64(&hostile, 4);
+  hostile += "abc";
+  ByteReader hostile_reader(hostile);
+  Result<uint64_t> bad = hostile_reader.ReadCount("element count");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("implausible element count"),
+            std::string::npos);
+
+  // The classic attack: a tiny buffer advertising 2^60 elements must be
+  // rejected before any reserve()/resize() sees the number.
+  std::string huge;
+  PutVarint64(&huge, uint64_t{1} << 60);
+  EXPECT_FALSE(ByteReader(huge).ReadCount("element count").ok());
+}
+
+TEST(ByteReaderTest, ReadBytesReturnsViewsIntoTheBuffer) {
+  const std::string buf = "abcdef";
+  ByteReader reader(buf);
+  Result<std::string_view> head = reader.ReadBytes(2);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(*head, "ab");
+  EXPECT_EQ(head->data(), buf.data());  // a view, not a copy
+  EXPECT_EQ(reader.rest(), "cdef");
+  Result<std::string_view> tail = reader.ReadBytes(4);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(*tail, "cdef");
+  EXPECT_TRUE(reader.done());
+  EXPECT_FALSE(reader.ReadBytes(1).ok());
+}
+
+TEST(ByteReaderTest, RemainingOnlyDecreasesByConsumedBytes) {
+  std::string buf;
+  buf.push_back('\x07');
+  PutVarint64(&buf, 300);  // 2 bytes
+  PutLengthPrefixed(&buf, "xy");  // 1 + 2 bytes
+  ByteReader reader(buf);
+  size_t before = reader.remaining();
+  ASSERT_EQ(before, 6u);
+  ASSERT_TRUE(reader.ReadU8().ok());
+  EXPECT_EQ(reader.remaining(), before - 1);
+  ASSERT_TRUE(reader.ReadVarint64().ok());
+  EXPECT_EQ(reader.remaining(), before - 3);
+  ASSERT_TRUE(reader.ReadLengthPrefixedSpan().ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+  // A failed read cannot rewind or advance past the end.
+  EXPECT_FALSE(reader.ReadU8().ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteReaderTest, FixedU32TruncationEveryPrefix) {
+  std::string buf;
+  PutFixedU32BE(&buf, 0x0badf00d);
+  for (size_t cut = 0; cut < 4; ++cut) {
+    ByteReader reader(std::string_view(buf).substr(0, cut));
+    EXPECT_EQ(reader.ReadFixedU32BE().status().code(),
+              StatusCode::kCorruption);
+  }
+  Result<uint32_t> full = ByteReader(buf).ReadFixedU32BE();
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(*full, 0x0badf00du);
+}
+
+TEST(ByteReaderTest, ExpectDoneNamesTheFormatAndByteCount) {
+  ByteReader reader("abc");
+  const Status status = reader.ExpectDone("test payload");
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("test payload"), std::string::npos);
+  EXPECT_NE(status.message().find("3 trailing bytes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xks

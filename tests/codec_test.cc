@@ -10,33 +10,33 @@ TEST(CodecTest, Varint64RoundTrip) {
                              16383,  16384,    (1ULL << 32), UINT64_MAX};
   std::string buf;
   for (uint64_t v : values) PutVarint64(&buf, v);
-  Decoder dec(buf);
+  ByteReader reader(buf);
   for (uint64_t expected : values) {
-    uint64_t v = 0;
-    ASSERT_TRUE(dec.GetVarint64(&v).ok());
-    EXPECT_EQ(v, expected);
+    Result<uint64_t> v = reader.ReadVarint64();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, expected);
   }
-  EXPECT_TRUE(dec.done());
+  EXPECT_TRUE(reader.done());
 }
 
 TEST(CodecTest, Varint32RoundTrip) {
   std::string buf;
   PutVarint32(&buf, 0);
   PutVarint32(&buf, UINT32_MAX);
-  Decoder dec(buf);
-  uint32_t a = 1, b = 0;
-  ASSERT_TRUE(dec.GetVarint32(&a).ok());
-  ASSERT_TRUE(dec.GetVarint32(&b).ok());
-  EXPECT_EQ(a, 0u);
-  EXPECT_EQ(b, UINT32_MAX);
+  ByteReader reader(buf);
+  Result<uint32_t> a = reader.ReadVarint32();
+  Result<uint32_t> b = reader.ReadVarint32();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, UINT32_MAX);
 }
 
 TEST(CodecTest, Varint32RejectsOverflow) {
   std::string buf;
   PutVarint64(&buf, uint64_t{UINT32_MAX} + 1);
-  Decoder dec(buf);
-  uint32_t v = 0;
-  EXPECT_EQ(dec.GetVarint32(&v).code(), StatusCode::kCorruption);
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.ReadVarint32().status().code(), StatusCode::kCorruption);
 }
 
 TEST(CodecTest, SmallVarintsAreOneByte) {
@@ -52,59 +52,76 @@ TEST(CodecTest, LengthPrefixedRoundTrip) {
   PutLengthPrefixed(&buf, "hello");
   PutLengthPrefixed(&buf, "");
   PutLengthPrefixed(&buf, std::string(1000, 'x'));
-  Decoder dec(buf);
-  std::string s;
-  ASSERT_TRUE(dec.GetLengthPrefixed(&s).ok());
-  EXPECT_EQ(s, "hello");
-  ASSERT_TRUE(dec.GetLengthPrefixed(&s).ok());
-  EXPECT_EQ(s, "");
-  ASSERT_TRUE(dec.GetLengthPrefixed(&s).ok());
-  EXPECT_EQ(s.size(), 1000u);
-  EXPECT_TRUE(dec.done());
+  ByteReader reader(buf);
+  Result<std::string> s = reader.ReadLengthPrefixedString();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "hello");
+  s = reader.ReadLengthPrefixedString();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "");
+  s = reader.ReadLengthPrefixedString();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 1000u);
+  EXPECT_TRUE(reader.done());
 }
 
 TEST(CodecTest, TruncatedVarintFails) {
   std::string buf;
   PutVarint64(&buf, 1 << 20);
   buf.resize(buf.size() - 1);
-  Decoder dec(buf);
-  uint64_t v = 0;
-  EXPECT_EQ(dec.GetVarint64(&v).code(), StatusCode::kCorruption);
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.ReadVarint64().status().code(), StatusCode::kCorruption);
 }
 
 TEST(CodecTest, TruncatedStringFails) {
   std::string buf;
   PutLengthPrefixed(&buf, "hello world");
   buf.resize(buf.size() - 3);
-  Decoder dec(buf);
-  std::string s;
-  EXPECT_EQ(dec.GetLengthPrefixed(&s).code(), StatusCode::kCorruption);
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.ReadLengthPrefixedString().status().code(),
+            StatusCode::kCorruption);
 }
 
 TEST(CodecTest, EmptyBufferFails) {
-  Decoder dec("");
-  uint64_t v = 0;
-  EXPECT_FALSE(dec.GetVarint64(&v).ok());
-  EXPECT_TRUE(dec.done());
+  ByteReader reader("");
+  EXPECT_FALSE(reader.ReadVarint64().ok());
+  EXPECT_TRUE(reader.done());
 }
 
 TEST(CodecTest, RemainingTracksPosition) {
   std::string buf;
   PutVarint64(&buf, 5);
   PutVarint64(&buf, 6);
-  Decoder dec(buf);
-  EXPECT_EQ(dec.remaining(), 2u);
-  uint64_t v;
-  ASSERT_TRUE(dec.GetVarint64(&v).ok());
-  EXPECT_EQ(dec.remaining(), 1u);
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.remaining(), 2u);
+  ASSERT_TRUE(reader.ReadVarint64().ok());
+  EXPECT_EQ(reader.remaining(), 1u);
 }
 
 TEST(CodecTest, MalformedUnterminatedVarint) {
   // Ten continuation bytes: varint too long.
   std::string buf(10, '\x80');
-  Decoder dec(buf);
-  uint64_t v = 0;
-  EXPECT_EQ(dec.GetVarint64(&v).code(), StatusCode::kCorruption);
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.ReadVarint64().status().code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, FixedU32BERoundTrip) {
+  std::string buf;
+  PutFixedU32BE(&buf, 0x01020304u);
+  PutFixedU32BE(&buf, 0);
+  PutFixedU32BE(&buf, UINT32_MAX);
+  ASSERT_EQ(buf.size(), 12u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x01);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x04);
+  ByteReader reader(buf);
+  Result<uint32_t> a = reader.ReadFixedU32BE();
+  Result<uint32_t> b = reader.ReadFixedU32BE();
+  Result<uint32_t> c = reader.ReadFixedU32BE();
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(*a, 0x01020304u);
+  EXPECT_EQ(*b, 0u);
+  EXPECT_EQ(*c, UINT32_MAX);
+  EXPECT_TRUE(reader.done());
 }
 
 }  // namespace

@@ -257,6 +257,45 @@ TEST(WireCorruptionTest, BadFrameKindIsRejected) {
   EXPECT_FALSE(DecodeFramePayload(payload).ok());
 }
 
+TEST(WireCorruptionTest, NonCanonicalVarintByteFieldsAreRejected) {
+  // Harness-surfaced (fuzz_wire_frame round-trip property): single-byte
+  // fields — frame kind, body version — used to be decoded as varints, so
+  // "\x81\x00" (a two-byte varint encoding of 1) was accepted wherever a
+  // 0x01 byte belonged, and two distinct byte strings decoded to the same
+  // frame. ByteReader::ReadU8 closes the aliasing: a byte field is exactly
+  // one byte.
+  Frame frame;
+  frame.kind = FrameKind::kStatus;
+  frame.request_id = 9;
+  frame.body = EncodeStatusPayload(Status::Unavailable("x"));
+  const std::string payload = EncodeFramePayload(frame);
+  ASSERT_EQ(payload[0], 3);
+  std::string aliased = payload;
+  aliased.replace(0, 1, "\x83\x00");  // varint(3) in two bytes
+  EXPECT_FALSE(DecodeFramePayload(aliased).ok());
+
+  const std::string body = EncodeSearchRequest(MakeFullRequest());
+  ASSERT_EQ(body[0], 1);  // version byte
+  std::string aliased_body = body;
+  aliased_body.replace(0, 1, "\x81\x00");
+  EXPECT_FALSE(DecodeSearchRequest(aliased_body).ok());
+}
+
+TEST(WireCorruptionTest, OverlongVarintNeverAliasesAnotherValue) {
+  // Harness-surfaced (fuzz_codec): a 10-group varint whose 10th byte
+  // carries payload past bit 63 used to decode by silently dropping the
+  // overflow, so e.g. ten 0xff bytes and UINT64_MAX-encoded bytes aliased.
+  // Now any overflow is Corruption at the codec layer, wire included.
+  std::string body;
+  body.push_back(1);  // version
+  body.push_back(0);  // empty query
+  for (int i = 0; i < 9; ++i) body.push_back('\xff');
+  body.push_back('\x7f');  // term-count varint overflows u64
+  Result<SearchRequest> request = DecodeSearchRequest(body);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kCorruption);
+}
+
 TEST(WireCorruptionTest, HostileHitCountIsRejectedBeforeAllocation) {
   // version + a varint64 hit count of ~2^60 and nothing else: the decoder
   // must reject it against remaining(), not reserve petabytes.

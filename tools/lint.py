@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-local lint: the rules the compilers cannot (or do not) enforce.
 
-Three checks, all fatal:
+Four checks, all fatal:
 
   1. Bare standard synchronization primitives (std::mutex, std::lock_guard,
      std::unique_lock, std::scoped_lock, std::condition_variable*,
@@ -21,6 +21,15 @@ Three checks, all fatal:
      tests/ and bench/ must carry some XKS_*_H_ guard. #pragma once does not
      count (the repo standardizes on guards).
 
+  4. Decode safety. Inside any function named Decode* or Parse* under src/
+     (the untrusted-input decoders), raw byte-shuffling — memcpy/memmove,
+     reinterpret_cast, pointer arithmetic on .data(), subscript-with-
+     post-increment, manual position advances — is banned. All decoding
+     goes through the bounds-checked xks::ByteReader; src/common/codec.{h,cc}
+     is the one sanctioned home of offset arithmetic and is exempt. A
+     deliberate exception needs a comment containing "justification" within
+     the three lines above the use (same escape hatch as rule 2).
+
 Comments and string literals are stripped before rule 1 and 2 matching, so
 prose *about* std::mutex (including this file's own docstring) cannot trip
 the check.
@@ -39,6 +48,19 @@ BARE_PRIMITIVE = re.compile(
 )
 OPT_OUT = "XKS_NO_THREAD_SAFETY_ANALYSIS"
 GUARD_EXEMPT = {os.path.join("src", "common", "mutex.h")}
+DECODE_FUNC = re.compile(r"\b((?:Decode|Parse)\w*)\s*\(")
+DECODE_BANNED = (
+    (re.compile(r"\bmem(cpy|move)\s*\("), "memcpy/memmove"),
+    (re.compile(r"\breinterpret_cast\s*<"), "reinterpret_cast"),
+    (re.compile(r"\.data\(\)\s*\+"), "pointer arithmetic on .data()"),
+    (re.compile(r"\[\s*\w+\s*\+\+\s*\]"), "subscript with post-increment"),
+    (re.compile(r"\b\w*pos\w*\s*(\+=|\+\+|--|-=)"), "manual offset advance"),
+)
+DECODE_EXEMPT = {
+    os.path.join("src", "common", "codec.h"),
+    os.path.join("src", "common", "codec.cc"),
+}
+QUALIFIER = re.compile(r"\s*(const|noexcept|override|final|\w+)\b")
 HEADER_DIRS = ("src", "tests", "bench")
 SOURCE_DIRS = ("src",)
 
@@ -75,6 +97,48 @@ def strip_comments_and_strings(text: str) -> str:
             out.append(c)
             i += 1
     return "".join(out)
+
+
+def decode_function_spans(code: str):
+    """Yields (name, first_line, last_line) for every Decode*/Parse*
+    function DEFINITION in comment/string-stripped code. A match counts as
+    a definition when its argument list is directly followed (modulo
+    qualifiers) by the opening brace of a body — calls are followed by
+    ';', ')', '.', etc. and are skipped."""
+    for m in DECODE_FUNC.finditer(code):
+        open_paren = code.find("(", m.end() - 1)
+        if open_paren < 0:
+            continue
+        depth, i = 1, open_paren + 1
+        while i < len(code) and depth:
+            if code[i] == "(":
+                depth += 1
+            elif code[i] == ")":
+                depth -= 1
+            i += 1
+        if depth:
+            continue
+        # Skip qualifiers between the argument list and the body.
+        while True:
+            q = QUALIFIER.match(code, i)
+            if not q:
+                break
+            i = q.end()
+        while i < len(code) and code[i] in " \t\n":
+            i += 1
+        if i >= len(code) or code[i] != "{":
+            continue
+        body_start = i
+        depth, i = 1, i + 1
+        while i < len(code) and depth:
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+            i += 1
+        first_line = code.count("\n", 0, body_start) + 1
+        last_line = code.count("\n", 0, i) + 1
+        yield m.group(1), first_line, last_line
 
 
 def guard_name(rel_path: str) -> str:
@@ -114,6 +178,25 @@ def check_file(root: str, rel: str, errors: list) -> None:
                     f"{rel}:{lineno}: {OPT_OUT} without a justification "
                     "comment (say 'Justification: ...' within 3 lines above)"
                 )
+
+    # Rule 4: no raw byte-shuffling inside Decode*/Parse* functions (the
+    # justification escape hatch mirrors rule 2's).
+    if top in SOURCE_DIRS and rel not in DECODE_EXEMPT:
+        for func, first, last in decode_function_spans(code):
+            for lineno in range(first, min(last, len(code_lines)) + 1):
+                line = code_lines[lineno - 1]
+                for pattern, label in DECODE_BANNED:
+                    if not pattern.search(line):
+                        continue
+                    window = raw_lines[max(0, lineno - 4) : lineno]
+                    if any("justification" in w.lower() for w in window):
+                        continue
+                    errors.append(
+                        f"{rel}:{lineno}: {label} inside {func}() — decode "
+                        "untrusted bytes through xks::ByteReader "
+                        "(src/common/codec.h); raw offset arithmetic is "
+                        "only sanctioned there"
+                    )
 
     # Rule 3: include guards.
     if rel.endswith(".h"):
