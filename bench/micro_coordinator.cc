@@ -1,0 +1,160 @@
+// Scatter-gather coordination micro: the same generated corpus served two
+// ways — one single-node Database holding every document, and a 4-shard
+// fleet of real in-process xksd servers (loopback sockets) behind a
+// Coordinator. The single-node rows are the floor; the coordinator rows
+// price the full scatter-gather round trip (request rewrite, 4 concurrent
+// socket hops, serial-prefix replay merge) on top of it. Real (wall-clock)
+// time is the measure: a coordinator query's cost is its slowest shard hop
+// plus the merge, not summed CPU.
+//
+// Shapes:
+//   * ranked top-k        — shared-normalizer k-way merge of 4 hit streams.
+//   * unranked top-k      — the early-termination path; shards over-scan to
+//     offset + top_k + 1 and the replay cuts the union page.
+//   * cursor replay       — second page through a coordinator cursor, the
+//     epoch-agreement path.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/database.h"
+#include "src/coord/coordinator.h"
+#include "src/coord/shard_map.h"
+#include "src/datagen/dblp_gen.h"
+#include "src/datagen/workloads.h"
+#include "src/server/server.h"
+
+namespace xks {
+namespace {
+
+constexpr int kShards = 4;
+constexpr int kDocsPerShard = 3;
+constexpr double kScalePerDocument = 0.005;  // ~2.3k records per document
+
+struct Fleet {
+  Database union_db;
+  std::vector<std::unique_ptr<Database>> shard_dbs;
+  std::vector<std::unique_ptr<XksServer>> servers;
+  std::unique_ptr<Coordinator> coordinator;
+};
+
+Fleet& SharedFleet() {
+  static Fleet* fleet = [] {
+    auto* f = new Fleet();
+    std::vector<ShardInfo> shards;
+    for (int s = 0; s < kShards; ++s) {
+      f->shard_dbs.push_back(std::make_unique<Database>());
+      for (int d = 0; d < kDocsPerShard; ++d) {
+        const int global = s * kDocsPerShard + d;
+        DblpOptions options;
+        options.seed = 4200 + static_cast<uint64_t>(global);
+        options.scale = kScalePerDocument;
+        const Document doc = GenerateDblp(options);
+        const std::string name = "dblp-" + std::to_string(global);
+        if (!f->union_db.AddDocument(name, doc).ok()) std::abort();
+        if (!f->shard_dbs[s]->AddDocument(name, doc).ok()) std::abort();
+      }
+      if (!f->shard_dbs[s]->Build().ok()) std::abort();
+      f->servers.push_back(
+          std::make_unique<XksServer>(f->shard_dbs[s].get(), ServerConfig{}));
+      if (!f->servers[s]->Start().ok()) std::abort();
+      ShardInfo info;
+      info.host = "127.0.0.1";
+      info.port = f->servers[s]->port();
+      info.first_id = static_cast<DocumentId>(s * kDocsPerShard);
+      info.last_id = static_cast<DocumentId>((s + 1) * kDocsPerShard - 1);
+      shards.push_back(std::move(info));
+    }
+    if (!f->union_db.Build().ok()) std::abort();
+    auto map = ShardMap::Of(std::move(shards));
+    if (!map.ok()) std::abort();
+    f->coordinator = std::make_unique<Coordinator>(std::move(map).value(),
+                                                   CoordinatorConfig{});
+    // Warm the roster cache and every channel's connection up front; the
+    // micro prices steady-state queries, not first-dial latency.
+    if (!f->coordinator->RefreshRoster(CancelToken()).ok()) std::abort();
+    return f;
+  }();
+  return *fleet;
+}
+
+SearchRequest FleetRequest(bool rank) {
+  const std::vector<WorkloadQuery>& workload = DblpWorkload();
+  SearchRequest request;
+  for (const std::string& keyword : workload[1].keywords) {
+    request.terms.push_back(QueryTerm{keyword, ""});
+  }
+  request.rank = rank;
+  request.top_k = 10;
+  request.include_snippets = false;
+  // The scatter and merge are the measured path; the shard-side result
+  // cache would otherwise answer every iteration after the first.
+  request.use_cache = false;
+  return request;
+}
+
+void BM_SingleNodeRanked(benchmark::State& state) {
+  Fleet& fleet = SharedFleet();
+  const SearchRequest request = FleetRequest(/*rank=*/true);
+  for (auto _ : state) {
+    auto response = fleet.union_db.Search(request);
+    if (!response.ok()) std::abort();
+    benchmark::DoNotOptimize(response.value().hits.size());
+  }
+}
+BENCHMARK(BM_SingleNodeRanked)->UseRealTime();
+
+void BM_CoordinatorRanked(benchmark::State& state) {
+  Fleet& fleet = SharedFleet();
+  const SearchRequest request = FleetRequest(/*rank=*/true);
+  for (auto _ : state) {
+    auto response = fleet.coordinator->Search(request);
+    if (!response.ok()) std::abort();
+    benchmark::DoNotOptimize(response.value().hits.size());
+  }
+}
+BENCHMARK(BM_CoordinatorRanked)->UseRealTime();
+
+void BM_SingleNodeUnrankedTopK(benchmark::State& state) {
+  Fleet& fleet = SharedFleet();
+  const SearchRequest request = FleetRequest(/*rank=*/false);
+  for (auto _ : state) {
+    auto response = fleet.union_db.Search(request);
+    if (!response.ok()) std::abort();
+    benchmark::DoNotOptimize(response.value().hits.size());
+  }
+}
+BENCHMARK(BM_SingleNodeUnrankedTopK)->UseRealTime();
+
+void BM_CoordinatorUnrankedTopK(benchmark::State& state) {
+  Fleet& fleet = SharedFleet();
+  const SearchRequest request = FleetRequest(/*rank=*/false);
+  for (auto _ : state) {
+    auto response = fleet.coordinator->Search(request);
+    if (!response.ok()) std::abort();
+    benchmark::DoNotOptimize(response.value().hits.size());
+  }
+}
+BENCHMARK(BM_CoordinatorUnrankedTopK)->UseRealTime();
+
+void BM_CoordinatorCursorReplay(benchmark::State& state) {
+  Fleet& fleet = SharedFleet();
+  SearchRequest first_page = FleetRequest(/*rank=*/false);
+  auto first = fleet.coordinator->Search(first_page);
+  if (!first.ok() || first.value().next_cursor.empty()) std::abort();
+  SearchRequest replay = first_page;
+  replay.cursor = first.value().next_cursor;
+  for (auto _ : state) {
+    auto response = fleet.coordinator->Search(replay);
+    if (!response.ok()) std::abort();
+    benchmark::DoNotOptimize(response.value().hits.size());
+  }
+}
+BENCHMARK(BM_CoordinatorCursorReplay)->UseRealTime();
+
+}  // namespace
+}  // namespace xks

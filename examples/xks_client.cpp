@@ -37,7 +37,12 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s --port PORT [options] QUERY [QUERY...]\n"
       "  --host ADDR          server address (default 127.0.0.1)\n"
+      "  --connect-timeout-ms N  connection establishment budget (0 = OS\n"
+      "                       default; otherwise fail fast with Unavailable)\n"
       "  --deadline-ms N      per-request deadline (0 = none)\n"
+      "  --walk N             pagination walk: follow next_cursor for up to\n"
+      "                       N pages of the first QUERY (excludes\n"
+      "                       --pipeline/--count)\n"
       "  --count N            send each QUERY N times (default 1)\n"
       "  --pipeline           send all requests before reading any reply\n"
       "  --top-k K            page size (default 10)\n"
@@ -53,9 +58,11 @@ void Usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   uint64_t port = 0;
+  uint64_t connect_timeout_ms = 0;
   uint64_t deadline_ms = 0;
   uint64_t count = 1;
   uint64_t top_k = 10;
+  uint64_t walk_pages = 0;
   bool pipeline = false;
   bool use_cache = true;
   bool quiet = false;
@@ -75,8 +82,12 @@ int main(int argc, char** argv) {
       host = next();
     } else if (arg == "--port") {
       port = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--connect-timeout-ms") {
+      connect_timeout_ms = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--deadline-ms") {
       deadline_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--walk") {
+      walk_pages = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--count") {
       count = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--top-k") {
@@ -100,12 +111,14 @@ int main(int argc, char** argv) {
       queries.push_back(arg);
     }
   }
-  if (port == 0 || port > 65535 || queries.empty() || count == 0) {
+  if (port == 0 || port > 65535 || queries.empty() || count == 0 ||
+      (walk_pages > 0 && (pipeline || count != 1))) {
     Usage(argv[0]);
     return 2;
   }
 
-  auto connected = xks::XksClient::Connect(host, static_cast<uint16_t>(port));
+  auto connected = xks::XksClient::Connect(host, static_cast<uint16_t>(port),
+                                           connect_timeout_ms);
   if (!connected.ok()) {
     std::fprintf(stderr, "xks_client: %s\n",
                  connected.status().ToString().c_str());
@@ -167,7 +180,34 @@ int main(int argc, char** argv) {
     if (code_name == expect_status) ++expected_seen;
   };
 
-  if (pipeline) {
+  if (walk_pages > 0) {
+    // Pagination walk: one query, follow next_cursor page by page. The
+    // cursor is server-minted and opaque — xksd and xks_coord tokens both
+    // walk identically through here.
+    xks::SearchRequest request = requests.front();
+    uint64_t pages = 0;
+    uint64_t walked_hits = 0;
+    while (pages < walk_pages) {
+      auto reply = client.Call(request);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "xks_client: call: %s\n",
+                     reply.status().ToString().c_str());
+        transport_error = true;
+        break;
+      }
+      ++sent;
+      consume(reply.value());
+      if (!reply.value().outcome.ok()) break;
+      const xks::SearchResponse& response = reply.value().outcome.value();
+      ++pages;
+      walked_hits += response.hits.size();
+      if (response.next_cursor.empty()) break;
+      request.cursor = response.next_cursor;
+    }
+    std::printf("walk: pages=%llu hits=%llu\n",
+                static_cast<unsigned long long>(pages),
+                static_cast<unsigned long long>(walked_hits));
+  } else if (pipeline) {
     for (size_t r = 0; r < requests.size(); ++r) {
       const xks::Status status =
           client.Send(static_cast<uint64_t>(r + 1), requests[r]);

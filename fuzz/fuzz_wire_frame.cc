@@ -49,6 +49,22 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
       if (xks::EncodeStatusPayload(again) != reencoded) std::abort();
       break;
     }
+    case xks::FrameKind::kHealthCheck: {
+      if (!xks::DecodeHealthCheck(frame->body).ok()) break;
+      // Only the canonical one-byte body is accepted.
+      if (frame->body != xks::EncodeHealthCheck()) std::abort();
+      break;
+    }
+    case xks::FrameKind::kHealthReply: {
+      xks::Result<xks::HealthReply> reply =
+          xks::DecodeHealthReply(frame->body);
+      if (!reply.ok()) break;
+      const std::string reencoded = xks::EncodeHealthReply(*reply);
+      xks::Result<xks::HealthReply> again = xks::DecodeHealthReply(reencoded);
+      if (!again.ok()) std::abort();
+      if (xks::EncodeHealthReply(*again) != reencoded) std::abort();
+      break;
+    }
   }
 
   // The whole frame also re-encodes losslessly.

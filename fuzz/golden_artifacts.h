@@ -107,8 +107,40 @@ inline SearchResponse GoldenResponse() {
   return response;
 }
 
+/// The coordinator-shaped request: the golden request with the PR-9 trailing
+/// sections lit (the shard-score normalizer and the scan-breakdown ask the
+/// coordinator sends on every sub-request). Kept separate from
+/// GoldenRequest() so the pre-migration byte-identity captures stay valid.
+inline SearchRequest GoldenCoordRequest() {
+  SearchRequest request = GoldenRequest();
+  request.shared_depth_normalizer = 17;
+  request.include_scan_breakdown = true;
+  return request;
+}
+
+/// The coordinator-shaped response: the golden response plus the
+/// scan-breakdown section a shard returns for serial-prefix replay
+/// (zero-hit documents included — the section must carry them).
+inline SearchResponse GoldenCoordResponse() {
+  SearchResponse response = GoldenResponse();
+  response.scan_breakdown = {DocumentScanCount{0, 3}, DocumentScanCount{1, 0},
+                             DocumentScanCount{2, 39}};
+  return response;
+}
+
 inline Status GoldenStatus() {
   return Status::DeadlineExceeded("deadline 5ms exceeded");
+}
+
+/// A health reply with every field off its zero default — the snapshot
+/// probe body the sharded coordinator aggregates into its roster.
+inline HealthReply GoldenHealthReply() {
+  HealthReply reply;
+  reply.epoch = 2;
+  reply.revision = 3;
+  reply.document_count = 6;
+  reply.corpus_max_depth = 9;
+  return reply;
 }
 
 inline PageCursor GoldenPageCursor() {
@@ -142,6 +174,41 @@ inline Frame GoldenStatusFrame() {
   frame.kind = FrameKind::kStatus;
   frame.request_id = 7;
   frame.body = EncodeStatusPayload(GoldenStatus());
+  return frame;
+}
+
+/// The health-probe pair the coordinator exchanges with each shard.
+inline Frame GoldenHealthCheckFrame() {
+  Frame frame;
+  frame.kind = FrameKind::kHealthCheck;
+  frame.request_id = 0x9a;
+  frame.body = EncodeHealthCheck();
+  return frame;
+}
+
+inline Frame GoldenHealthReplyFrame() {
+  Frame frame;
+  frame.kind = FrameKind::kHealthReply;
+  frame.request_id = 0x9a;
+  frame.body = EncodeHealthReply(GoldenHealthReply());
+  return frame;
+}
+
+/// The coordinator-shaped frames: a sub-request with the trailing sections
+/// lit and a shard response carrying a scan breakdown.
+inline Frame GoldenCoordRequestFrame() {
+  Frame frame;
+  frame.kind = FrameKind::kSearchRequest;
+  frame.request_id = 0x51;
+  frame.body = EncodeSearchRequest(GoldenCoordRequest());
+  return frame;
+}
+
+inline Frame GoldenCoordResponseFrame() {
+  Frame frame;
+  frame.kind = FrameKind::kSearchResponse;
+  frame.request_id = 0x51;
+  frame.body = EncodeSearchResponse(GoldenCoordResponse());
   return frame;
 }
 

@@ -57,6 +57,18 @@ int main(int argc, char** argv) {
   ok &= WriteSeed(root / "wire_frame", "status", status_frame);
   ok &= WriteSeed(root / "wire_frame", "request_truncated",
                   request_frame.substr(0, request_frame.size() / 2));
+  // The coordinator's traffic: the health-probe pair plus a sub-request /
+  // shard-response with the optional trailing sections lit (shared depth
+  // normalizer, scan-breakdown ask, scan-breakdown payload). Without these
+  // the fuzzers never reach the trailing-section decoders from a seed.
+  ok &= WriteSeed(root / "wire_frame", "health_check",
+                  EncodeFramePayload(GoldenHealthCheckFrame()));
+  ok &= WriteSeed(root / "wire_frame", "health_reply",
+                  EncodeFramePayload(GoldenHealthReplyFrame()));
+  ok &= WriteSeed(root / "wire_frame", "coord_request",
+                  EncodeFramePayload(GoldenCoordRequestFrame()));
+  ok &= WriteSeed(root / "wire_frame", "coord_response",
+                  EncodeFramePayload(GoldenCoordResponseFrame()));
 
   // Corpus load: the XKS3 corpus (epoch 2, one tombstone), one embedded
   // XKS1 store on its own, and a bare magic for the header path.
@@ -132,6 +144,12 @@ int main(int argc, char** argv) {
   ok &= WriteSeed(root / "roundtrip", "corpus", std::string(1, '\x05') + corpus);
   ok &= WriteSeed(root / "roundtrip", "query",
                   std::string(1, '\x06') + "title:xml keyword");
+  ok &= WriteSeed(root / "roundtrip", "coord_request",
+                  std::string(1, '\0') +
+                      EncodeSearchRequest(GoldenCoordRequest()));
+  ok &= WriteSeed(root / "roundtrip", "coord_response",
+                  std::string(1, '\x01') +
+                      EncodeSearchResponse(GoldenCoordResponse()));
 
   // The proof harness replays the wire corpus (its pass-mode is a no-op on
   // any input); give it one seed of its own so the corpus dir exists.

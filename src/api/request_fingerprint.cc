@@ -26,6 +26,12 @@ uint64_t CursorFingerprint(const KeywordQuery& query,
         request.weights.compactness, request.weights.slca_bonus,
         request.weights.match_concentration};
     fp.PutDoubles(weights, sizeof(weights) / sizeof(weights[0]));
+    // A coordinator-supplied depth normalizer changes scores the same way a
+    // weight change does. Folded in only when set, so every fingerprint
+    // minted before the field existed is unchanged.
+    if (request.shared_depth_normalizer != 0) {
+      fp.PutVarint64(request.shared_depth_normalizer);
+    }
   }
   fp.PutVarint64(request.top_k);
   fp.PutVarint64(corpus_revision);

@@ -73,6 +73,15 @@ struct SearchRequest {
   bool rank = true;
   RankingWeights weights;
 
+  /// Overrides the depth normalizer used by ranking (0 = derive locally:
+  /// corpus_max_depth for multi-document selections, result-set-relative for
+  /// single-document ones). A sharded coordinator sets this to the UNION
+  /// corpus max depth so every shard scores against the same scale and the
+  /// merged ranking matches a single-node corpus. Changes scores, so it IS
+  /// part of the cursor fingerprint — but not of the cache key (the cache
+  /// stores pre-ranking candidate lists).
+  uint64_t shared_depth_normalizer = 0;
+
   /// Probe and fill the snapshot's result cache (when the Database's
   /// CacheConfig enables one). Purely a throughput knob: a cache hit skips
   /// the per-document pipeline but the response (hits, scores, totals,
@@ -102,6 +111,11 @@ struct SearchRequest {
   bool include_raw_fragments = false;
   /// Populate the response's timings / pruning / keyword-node statistics.
   bool include_stats = false;
+  /// Populate SearchResponse::scan_breakdown: one (document, hit count)
+  /// entry per document the response reflects, in scan order. The sharded
+  /// coordinator requires this from every shard to replay the serial-prefix
+  /// merge across machines; plain clients leave it off.
+  bool include_scan_breakdown = false;
 
   /// The paper's ValidRTF configuration over free text.
   static SearchRequest ValidRtf(std::string query_text) {
@@ -154,6 +168,13 @@ struct Hit {
   std::string snippet;
 };
 
+/// One entry of SearchResponse::scan_breakdown: how many hits one scanned
+/// document contributed to the (pre-paging) result set.
+struct DocumentScanCount {
+  DocumentId document = 0;
+  uint64_t hits = 0;
+};
+
 /// A page of corpus-level results.
 struct SearchResponse {
   std::vector<Hit> hits;
@@ -197,6 +218,13 @@ struct SearchResponse {
   StageTimings timings;
   PruningStats pruning;
   size_t keyword_node_count = 0;
+
+  /// Per-document hit counts over exactly the `documents_searched` prefix,
+  /// in scan order — zero-hit documents included. Only populated when
+  /// SearchRequest::include_scan_breakdown; the coordinator replays these
+  /// counts to reconstruct the single-node serial-prefix merge across
+  /// shards.
+  std::vector<DocumentScanCount> scan_breakdown;
 };
 
 }  // namespace xks

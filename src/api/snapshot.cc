@@ -192,7 +192,12 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
   // Cross-document score comparability: every document normalizes
   // specificity against the same corpus-wide depth. A single-document
   // selection keeps the legacy result-set-relative scale (normalizer 0).
-  const size_t depth_normalizer = selection.size() > 1 ? corpus_max_depth_ : 0;
+  // A coordinator overrides this with the union corpus depth so shard-local
+  // scores merge onto one scale.
+  const size_t depth_normalizer =
+      request.shared_depth_normalizer != 0
+          ? static_cast<size_t>(request.shared_depth_normalizer)
+          : (selection.size() > 1 ? corpus_max_depth_ : 0);
 
   // The result cache, when this snapshot carries one and the request did
   // not opt out. Shards probe and fill concurrently under the fan-out; a
@@ -304,6 +309,10 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
       for (size_t fi = 0; fi < result.fragments.size(); ++fi) {
         candidates.push_back(Candidate{di, fi, 0.0});
       }
+    }
+    if (request.include_scan_breakdown) {
+      response.scan_breakdown.push_back(DocumentScanCount{
+          documents_[selection[di]].id, result.fragments.size()});
     }
     if (request.include_stats) {
       response.timings.Accumulate(result.timings);

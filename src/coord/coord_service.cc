@@ -1,0 +1,128 @@
+#include "src/coord/coord_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace xks {
+
+CoordBackend::CoordBackend(Coordinator* coordinator,
+                           const CoordBackendConfig& config)
+    : coordinator_(coordinator), config_(config) {
+  const size_t workers = std::max<size_t>(1, config_.workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+CoordBackend::~CoordBackend() {
+  Drain();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+Status CoordBackend::Submit(uint64_t client_id, SearchRequest request,
+                            CancelToken cancel, DoneCallback done) {
+  PendingQuery query;
+  query.client_id = client_id;
+  query.request = std::move(request);
+  query.cancel = cancel;
+  query.done = std::move(done);
+  // Arm the deadline at submission, not at Search entry: queue wait counts
+  // against the budget, and the coordinator derives every per-hop shard
+  // budget from what remains on this token.
+  if (query.request.deadline_ms > 0) {
+    query.cancel = query.cancel.WithDeadlineAfter(
+        std::chrono::milliseconds(query.request.deadline_ms));
+    query.request.deadline_ms = 0;
+  }
+  {
+    MutexLock lock(mutex_);
+    ++stats_.submitted;
+    if (draining_) {
+      ++stats_.rejected_draining;
+      return Status::Unavailable("service is draining; not accepting queries");
+    }
+    if (pending_.size() >= config_.max_pending) {
+      ++stats_.shed_overload;
+      return Status::ResourceExhausted(
+          "pending queue full (max_pending=" +
+          std::to_string(config_.max_pending) + "); retry later");
+    }
+    auto it = inflight_.find(client_id);
+    const size_t inflight = it == inflight_.end() ? 0 : it->second;
+    if (inflight >= config_.per_client_inflight) {
+      ++stats_.shed_quota;
+      return Status::ResourceExhausted(
+          "per-connection in-flight quota exceeded (quota=" +
+          std::to_string(config_.per_client_inflight) + ")");
+    }
+    inflight_[client_id] = inflight + 1;
+    ++inflight_total_;
+    ++stats_.admitted;
+    pending_.push_back(std::move(query));
+  }
+  work_cv_.NotifyOne();
+  return Status::OK();
+}
+
+void CoordBackend::BeginDrain() {
+  {
+    MutexLock lock(mutex_);
+    draining_ = true;
+  }
+  work_cv_.NotifyAll();
+}
+
+void CoordBackend::Drain() {
+  BeginDrain();
+  MutexLock lock(mutex_);
+  while (!pending_.empty() || inflight_total_ != 0) drain_cv_.Wait(lock);
+}
+
+ServiceStats CoordBackend::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+HealthReply CoordBackend::Health() const { return coordinator_->Health(); }
+
+void CoordBackend::WorkerLoop() {
+  for (;;) {
+    PendingQuery query;
+    {
+      MutexLock lock(mutex_);
+      while (pending_.empty() && !draining_) work_cv_.Wait(lock);
+      if (pending_.empty()) return;  // draining and nothing left to run
+      query = std::move(pending_.front());
+      pending_.pop_front();
+      ++stats_.batches;
+      stats_.max_batch = std::max<uint64_t>(stats_.max_batch, 1);
+    }
+    Result<SearchResponse> outcome = [&]() -> Result<SearchResponse> {
+      if (query.cancel.can_expire() && query.cancel.cancelled()) {
+        // Expired while queued: report without scattering anything.
+        return query.cancel.status();
+      }
+      query.request.cancel = query.cancel;
+      return coordinator_->Search(std::move(query.request));
+    }();
+    query.done(std::move(outcome));
+    FinishOne(query.client_id);
+  }
+}
+
+void CoordBackend::FinishOne(uint64_t client_id) {
+  {
+    MutexLock lock(mutex_);
+    auto it = inflight_.find(client_id);
+    if (it != inflight_.end() && --it->second == 0) inflight_.erase(it);
+    --inflight_total_;
+    ++stats_.completed;
+  }
+  drain_cv_.NotifyAll();
+}
+
+}  // namespace xks

@@ -1,0 +1,112 @@
+// CoordBackend — the admission-controlled executor behind the xks_coord
+// daemon: the same QueryBackend seam the TCP server fronts for xksd, but
+// with a Coordinator scatter-gather instead of a local corpus behind it.
+//
+// The admission rules are QueryService's, verbatim (same statuses, same
+// client-quota unit), so a client cannot tell which daemon sheds it:
+//
+//   * pending queue full             → ResourceExhausted (overload shed)
+//   * per-client in-flight quota hit → ResourceExhausted
+//   * backend draining               → Unavailable
+//
+// Execution differs: coordinator queries spend their time BLOCKED on shard
+// sockets, not burning cores, so instead of QueryService's snapshot-pinning
+// batch dispatcher there is a plain pool of worker threads, each running
+// one admitted query end to end through Coordinator::Search. Deadlines are
+// armed at submission (queue wait counts against the budget — and against
+// the per-hop budgets the coordinator derives from the remaining time).
+//
+// Drain: BeginDrain() makes every later Submit fail Unavailable; Drain()
+// additionally blocks until every admitted query has completed — nothing
+// admitted is dropped, nothing new is accepted (the SIGTERM contract).
+
+#ifndef XKS_COORD_COORD_SERVICE_H_
+#define XKS_COORD_COORD_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/cancel_token.h"
+#include "src/common/mutex.h"
+#include "src/coord/coordinator.h"
+#include "src/server/backend.h"
+
+namespace xks {
+
+/// Admission knobs of the coordinator daemon.
+struct CoordBackendConfig {
+  /// Queries admitted but not yet claimed by a worker.
+  size_t max_pending = 256;
+  /// Admitted-but-incomplete queries one client may have at a time.
+  size_t per_client_inflight = 32;
+  /// Worker threads running queries (each blocks on its query's shard
+  /// round-trips, so this bounds coordinator-side concurrency, not CPU).
+  size_t workers = 8;
+};
+
+class CoordBackend : public QueryBackend {
+ public:
+  /// `coordinator` must outlive the backend. Workers start immediately.
+  CoordBackend(Coordinator* coordinator, const CoordBackendConfig& config);
+
+  /// Drains (see Drain) and joins the workers.
+  ~CoordBackend() override;
+
+  CoordBackend(const CoordBackend&) = delete;
+  CoordBackend& operator=(const CoordBackend&) = delete;
+
+  /// Admits one query or sheds it synchronously; on admission `done` fires
+  /// exactly once with the coordinator's outcome. request.deadline_ms is
+  /// armed HERE (queue wait counts against the budget).
+  Status Submit(uint64_t client_id, SearchRequest request, CancelToken cancel,
+                DoneCallback done) override XKS_EXCLUDES(mutex_);
+
+  /// Stops admitting (Unavailable) without waiting.
+  void BeginDrain() override XKS_EXCLUDES(mutex_);
+
+  /// BeginDrain + blocks until every admitted query has completed.
+  void Drain() override XKS_EXCLUDES(mutex_);
+
+  /// `batches` counts claimed queries (every "batch" is one query here).
+  ServiceStats stats() const override XKS_EXCLUDES(mutex_);
+
+  /// The coordinator's cached union-corpus view (all-zero until a roster
+  /// sweep succeeds). Never blocks on the network.
+  HealthReply Health() const override;
+
+ private:
+  struct PendingQuery {
+    uint64_t client_id = 0;
+    SearchRequest request;
+    CancelToken cancel;
+    DoneCallback done;
+  };
+
+  void WorkerLoop() XKS_EXCLUDES(mutex_);
+  /// Marks one query finished: quota release + drain bookkeeping.
+  void FinishOne(uint64_t client_id) XKS_EXCLUDES(mutex_);
+
+  Coordinator* const coordinator_;
+  const CoordBackendConfig config_;
+
+  /// One mutex guards the whole admission state (queue, quotas, drain flag,
+  /// counters), mirroring QueryService.
+  mutable Mutex mutex_;
+  CondVar work_cv_;   ///< Worker wake-up.
+  CondVar drain_cv_;  ///< Drain() completion.
+  std::deque<PendingQuery> pending_ XKS_GUARDED_BY(mutex_);
+  std::unordered_map<uint64_t, size_t> inflight_ XKS_GUARDED_BY(mutex_);
+  size_t inflight_total_ XKS_GUARDED_BY(mutex_) = 0;
+  bool draining_ XKS_GUARDED_BY(mutex_) = false;
+  ServiceStats stats_ XKS_GUARDED_BY(mutex_);
+
+  /// Written by the constructor only; joined by the destructor.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_COORD_COORD_SERVICE_H_

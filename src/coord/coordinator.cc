@@ -1,0 +1,770 @@
+#include "src/coord/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/api/request_fingerprint.h"
+#include "src/common/check.h"
+#include "src/common/worker_pool.h"
+
+namespace xks {
+namespace {
+
+constexpr std::string_view kCoordCursorPrefix = "xksco1:";
+
+/// Parses a full run of hex digits; false on empty/overlong/non-hex input.
+/// Both cases are accepted (encode emits lowercase, but cursors that round-
+/// trip through case-normalizing clients must still decode).
+bool ParseHex64(std::string_view text, uint64_t* value) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t v = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint64_t>(digit);
+  }
+  *value = v;
+  return true;
+}
+
+void AppendHex64(std::string* out, uint64_t value) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIx64, value);
+  out->append(buffer);
+}
+
+/// Same bound and same message as the single-node page-window validation
+/// (src/api/snapshot.cc): the sub-requests' top_k is offset + top_k, so
+/// the coordinator must reject the same wraparound the corpus scan does.
+Status ValidatePageWindow(uint64_t offset, size_t top_k) {
+  const uint64_t max_index = static_cast<uint64_t>(SIZE_MAX);
+  if (offset >= max_index ||
+      (top_k != 0 && static_cast<uint64_t>(top_k) > max_index - offset - 1)) {
+    return Status::InvalidArgument(
+        "page window overflows: offset " + std::to_string(offset) +
+        " + top_k " + std::to_string(top_k) +
+        " exceeds the addressable result range");
+  }
+  return Status::OK();
+}
+
+std::string ShardLabel(const ShardInfo& shard) {
+  return shard.host + ":" + std::to_string(shard.port);
+}
+
+Status EpochMismatchError(const ShardInfo& shard, uint64_t minted,
+                          uint64_t current) {
+  return Status::FailedPrecondition(
+      "corpus changed: cursor was minted at epoch " + std::to_string(minted) +
+      " but shard " + ShardLabel(shard) + " is at epoch " +
+      std::to_string(current) + "; restart pagination");
+}
+
+/// Rewrites a shard's "unknown document id <local>" NotFound into global
+/// terms, so a selection naming a tombstoned id answers with the id the
+/// client actually sent — the exact message a single-node corpus produces.
+/// Any other status (or an unparseable message) passes through untouched.
+Status GlobalizeShardStatus(const Status& status, const ShardMap& map,
+                            size_t shard_index) {
+  if (status.code() != StatusCode::kNotFound) return status;
+  constexpr std::string_view kUnknownId = "unknown document id ";
+  const std::string& message = status.message();
+  if (message.compare(0, kUnknownId.size(), kUnknownId) != 0) return status;
+  const std::string digits = message.substr(kUnknownId.size());
+  if (digits.empty()) return status;
+  uint64_t local = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return status;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (local > (UINT32_MAX - digit) / 10) return status;
+    local = local * 10 + digit;
+  }
+  const ShardInfo& shard = map.shard(shard_index);
+  if (local > static_cast<uint64_t>(shard.last_id - shard.first_id)) {
+    return status;  // outside the shard's range; don't fabricate an id
+  }
+  return Status::NotFound(
+      "unknown document id " +
+      std::to_string(map.ToGlobal(shard_index,
+                                  static_cast<DocumentId>(local))));
+}
+
+}  // namespace
+
+std::string EncodeCoordCursor(const CoordCursor& cursor) {
+  std::string token(kCoordCursorPrefix);
+  AppendHex64(&token, cursor.fingerprint);
+  token.push_back(':');
+  AppendHex64(&token, cursor.offset);
+  token.push_back(':');
+  for (size_t i = 0; i < cursor.epochs.size(); ++i) {
+    if (i > 0) token.push_back(',');
+    AppendHex64(&token, cursor.epochs[i]);
+  }
+  return token;
+}
+
+Result<CoordCursor> DecodeCoordCursor(std::string_view token) {
+  if (token.substr(0, kCoordCursorPrefix.size()) != kCoordCursorPrefix) {
+    return Status::InvalidArgument("unrecognized cursor");
+  }
+  const std::string_view body = token.substr(kCoordCursorPrefix.size());
+  const size_t first = body.find(':');
+  if (first == std::string_view::npos) {
+    return Status::InvalidArgument("malformed cursor");
+  }
+  const size_t second = body.find(':', first + 1);
+  if (second == std::string_view::npos) {
+    return Status::InvalidArgument("malformed cursor");
+  }
+  CoordCursor cursor;
+  if (!ParseHex64(body.substr(0, first), &cursor.fingerprint) ||
+      !ParseHex64(body.substr(first + 1, second - first - 1),
+                  &cursor.offset)) {
+    return Status::InvalidArgument("malformed cursor");
+  }
+  std::string_view epochs = body.substr(second + 1);
+  for (;;) {
+    const size_t comma = epochs.find(',');
+    uint64_t epoch = 0;
+    if (!ParseHex64(epochs.substr(0, comma), &epoch)) {
+      return Status::InvalidArgument("malformed cursor");
+    }
+    cursor.epochs.push_back(epoch);
+    if (comma == std::string_view::npos) break;
+    epochs = epochs.substr(comma + 1);
+  }
+  return cursor;
+}
+
+Coordinator::Coordinator(ShardMap map, CoordinatorConfig config)
+    : map_(std::move(map)), config_(config), views_(map_.size()) {
+  channels_.reserve(map_.size());
+  for (const ShardInfo& shard : map_.shards()) {
+    channels_.push_back(
+        std::make_unique<ShardChannel>(shard, config_.channel));
+  }
+}
+
+Coordinator::~Coordinator() = default;
+
+Result<SearchResponse> Coordinator::Search(SearchRequest request) {
+  Result<SearchResponse> outcome = SearchInternal(std::move(request));
+  MutexLock lock(mutex_);
+  ++stats_.queries;
+  if (outcome.ok()) {
+    ++stats_.ok;
+  } else {
+    ++stats_.failed;
+    switch (outcome.status().code()) {
+      case StatusCode::kUnavailable:
+      case StatusCode::kDeadlineExceeded:
+        ++stats_.degraded;
+        break;
+      case StatusCode::kFailedPrecondition:
+        ++stats_.epoch_mismatches;
+        break;
+      default:
+        break;
+    }
+  }
+  return outcome;
+}
+
+Result<SearchResponse> Coordinator::SearchInternal(SearchRequest request) {
+  // The effective cancellation token: the caller's token tightened by the
+  // request's deadline budget, armed here (entry) exactly as the
+  // single-node Snapshot::Search arms it. Sub-requests don't inherit
+  // deadline_ms verbatim — each hop gets the REMAINING budget at scatter
+  // time (see Scatter), so queue time at the coordinator counts against
+  // the shard-side budget too.
+  CancelToken cancel = request.cancel;
+  if (request.deadline_ms > 0) {
+    cancel =
+        cancel.WithDeadlineAfter(std::chrono::milliseconds(request.deadline_ms));
+    request.deadline_ms = 0;
+  }
+  if (cancel.can_expire() && cancel.cancelled()) return cancel.status();
+
+  KeywordQuery query;
+  if (!request.terms.empty()) {
+    XKS_ASSIGN_OR_RETURN(query, KeywordQuery::FromTerms(request.terms));
+  } else {
+    XKS_ASSIGN_OR_RETURN(query, KeywordQuery::Parse(request.query));
+  }
+
+  Routing routing;
+  XKS_RETURN_IF_ERROR(Route(request.documents, &routing));
+
+  // The coordinator's cursor fingerprint: the request's execution shape
+  // plus the roster digest — the sharded analog of the single-node corpus
+  // revision, so a cursor cannot survive resharding.
+  const uint64_t fingerprint =
+      CursorFingerprint(query, request, request.documents, map_.fingerprint());
+
+  CoordCursor cursor;
+  bool replay = false;
+  if (!request.cursor.empty()) {
+    XKS_ASSIGN_OR_RETURN(cursor, DecodeCoordCursor(request.cursor));
+    if (cursor.epochs.size() != map_.size()) {
+      return Status::InvalidArgument(
+          "cursor does not belong to this deployment (shard count changed)");
+    }
+    replay = true;
+  }
+  // The window is validated before the scatter (sub-request top_k needs
+  // offset + top_k representable); the epoch and fingerprint checks below
+  // still run in the single-node order — epoch first — once replies are in.
+  XKS_RETURN_IF_ERROR(
+      ValidatePageWindow(replay ? cursor.offset : 0, request.top_k));
+  const size_t offset = replay ? static_cast<size_t>(cursor.offset) : 0;
+
+  // The ranked-merge score scale. A multi-document union selection must
+  // score every shard against the union corpus depth (what the single-node
+  // corpus_max_depth normalizer would be); a single-document one keeps the
+  // result-set-relative scale (normalizer 0), which each shard derives by
+  // itself from its one-document sub-selection. An explicit caller override
+  // passes through untouched.
+  uint64_t normalizer = request.shared_depth_normalizer;
+  std::vector<uint64_t> roster_epochs;
+  const bool needs_roster =
+      request.rank && normalizer == 0 &&
+      (request.documents.empty() || request.documents.size() > 1);
+  if (needs_roster) {
+    XKS_RETURN_IF_ERROR(RosterNormalizer(request, cancel,
+                                         /*force_refresh=*/false, &normalizer,
+                                         &roster_epochs));
+    if (replay && roster_epochs != cursor.epochs) {
+      // Replayed pages must score on the scale their cursor was minted
+      // under. A stale roster cache gets one refresh; a disagreement that
+      // survives it is a real epoch move — the corpus changed.
+      XKS_RETURN_IF_ERROR(RosterNormalizer(request, cancel,
+                                           /*force_refresh=*/true, &normalizer,
+                                           &roster_epochs));
+      for (size_t s = 0; s < map_.size(); ++s) {
+        if (roster_epochs[s] != cursor.epochs[s]) {
+          return EpochMismatchError(map_.shard(s), cursor.epochs[s],
+                                    roster_epochs[s]);
+        }
+      }
+    }
+  }
+
+  // Scatter, with epoch agreement on the gathered replies. First pages
+  // that derived a normalizer from the roster tolerate exactly one epoch
+  // drift (refresh + idempotent re-scatter); cursor replays never retry —
+  // a drifted shard fails the replay outright.
+  std::vector<SearchResponse> replies;
+  for (int attempt = 0;; ++attempt) {
+    XKS_ASSIGN_OR_RETURN(
+        replies, Scatter(request, routing, offset, normalizer, cancel));
+    if (replay) {
+      for (size_t i = 0; i < routing.involved.size(); ++i) {
+        const size_t s = routing.involved[i];
+        if (replies[i].epoch != cursor.epochs[s]) {
+          return EpochMismatchError(map_.shard(s), cursor.epochs[s],
+                                    replies[i].epoch);
+        }
+      }
+      break;
+    }
+    if (!roster_epochs.empty()) {
+      bool drift = false;
+      for (size_t i = 0; i < routing.involved.size(); ++i) {
+        if (replies[i].epoch != roster_epochs[routing.involved[i]]) {
+          drift = true;
+          break;
+        }
+      }
+      if (drift) {
+        if (attempt == 0) {
+          {
+            MutexLock lock(mutex_);
+            ++stats_.snapshot_retries;
+          }
+          XKS_RETURN_IF_ERROR(RosterNormalizer(request, cancel,
+                                               /*force_refresh=*/true,
+                                               &normalizer, &roster_epochs));
+          continue;
+        }
+        return Status::Unavailable(
+            "shard snapshots changed while the query was being scattered; "
+            "retry");
+      }
+    }
+    break;
+  }
+  if (replay && cursor.fingerprint != fingerprint) {
+    return Status::InvalidArgument(
+        "cursor does not belong to this request (query, configuration or "
+        "corpus changed)");
+  }
+
+  // The epoch vector the response (and a minted cursor) reports: the
+  // replay's recorded vector or the roster view, overwritten with the
+  // authoritative reply epochs for every shard that answered.
+  std::vector<uint64_t> epochs =
+      replay ? cursor.epochs
+             : (roster_epochs.empty() ? std::vector<uint64_t>(map_.size(), 0)
+                                      : roster_epochs);
+  for (size_t i = 0; i < routing.involved.size(); ++i) {
+    epochs[routing.involved[i]] = replies[i].epoch;
+  }
+
+  // ---- Merge: replay the union serial scan over the shard breakdowns. --
+  const size_t fan = routing.involved.size();
+  std::vector<size_t> involved_index(map_.size(), SIZE_MAX);
+  for (size_t i = 0; i < fan; ++i) involved_index[routing.involved[i]] = i;
+
+  // Union scan order as (involved index, breakdown position). Explicit
+  // selections carry it from routing; all-document selections concatenate
+  // the shard breakdowns — ranges ascend, so that is ascending global id,
+  // the single-node all-documents scan order.
+  std::vector<std::pair<size_t, size_t>> order;
+  if (routing.explicit_selection) {
+    order.reserve(routing.union_order.size());
+    for (const auto& [s, p] : routing.union_order) {
+      order.emplace_back(involved_index[s], p);
+    }
+  } else {
+    for (size_t i = 0; i < fan; ++i) {
+      for (size_t p = 0; p < replies[i].scan_breakdown.size(); ++p) {
+        order.emplace_back(i, p);
+      }
+    }
+  }
+
+  SearchResponse merged;
+  merged.parsed_query = query;
+  const size_t needed =
+      request.top_k == 0 ? SIZE_MAX : offset + request.top_k + 1;
+  std::vector<size_t> consumed(fan, 0);
+  uint64_t total = 0;
+  size_t scanned = 0;
+  for (const auto& [i, p] : order) {
+    const size_t s = routing.involved[i];
+    const std::vector<DocumentScanCount>& breakdown =
+        replies[i].scan_breakdown;
+    if (p >= breakdown.size()) {
+      // A shard stops scanning only once it alone holds `needed` hits — in
+      // which case the union replay, which has consumed every one of those
+      // hits by the time it reaches this document, broke out before getting
+      // here. Reaching a truncated breakdown is a shard contract violation.
+      return Status::Internal("shard " + ShardLabel(map_.shard(s)) +
+                              " scanned fewer documents than the merge "
+                              "requires");
+    }
+    if (routing.explicit_selection &&
+        breakdown[p].document != routing.local_selection[s][p]) {
+      return Status::Internal("shard " + ShardLabel(map_.shard(s)) +
+                              " scan breakdown does not match its "
+                              "sub-selection");
+    }
+    total += breakdown[p].hits;
+    consumed[i] = p + 1;
+    ++scanned;
+    if (request.include_scan_breakdown) {
+      merged.scan_breakdown.push_back(DocumentScanCount{
+          map_.ToGlobal(s, breakdown[p].document), breakdown[p].hits});
+    }
+    if (!request.rank && total >= needed) break;
+  }
+  merged.documents_searched = scanned;
+  merged.total_hits = static_cast<size_t>(total);
+
+  // Exact iff the replay consumed every shard's whole breakdown and every
+  // shard itself ran its sub-selection to completion — together: the union
+  // scan covered the union selection, the single-node exactness condition.
+  bool exact = true;
+  for (size_t i = 0; i < fan; ++i) {
+    if (consumed[i] != replies[i].scan_breakdown.size() ||
+        !replies[i].total_is_exact) {
+      exact = false;
+      break;
+    }
+  }
+  merged.total_is_exact = exact;
+  merged.stats_are_exact = exact;
+
+  // Cache counters are exact when a shard's breakdown was fully consumed
+  // (every byte-identity mode); a partially consumed shard's counter is
+  // clamped to its consumed prefix — shard-level counters cannot be split
+  // per document, so this is observational, like the flag itself.
+  for (size_t i = 0; i < fan; ++i) {
+    merged.documents_from_cache +=
+        consumed[i] == replies[i].scan_breakdown.size()
+            ? replies[i].documents_from_cache
+            : std::min(replies[i].documents_from_cache, consumed[i]);
+  }
+  merged.served_from_cache =
+      scanned > 0 && merged.documents_from_cache == scanned;
+
+  if (request.include_stats) {
+    // Shard aggregates cover each shard's whole scanned prefix; with a
+    // partially consumed shard they overshoot the consumed set — which
+    // stats_are_exact == false already labels a non-corpus-wide answer.
+    for (size_t i = 0; i < fan; ++i) {
+      if (consumed[i] == 0) continue;
+      merged.timings.Accumulate(replies[i].timings);
+      merged.pruning.Accumulate(replies[i].pruning);
+      merged.keyword_node_count += replies[i].keyword_node_count;
+    }
+  }
+  for (uint64_t epoch : epochs) merged.epoch = std::max(merged.epoch, epoch);
+
+  const size_t begin = std::min(offset, merged.total_hits);
+  const size_t end = request.top_k == 0
+                         ? merged.total_hits
+                         : std::min(begin + request.top_k, merged.total_hits);
+  merged.hits.reserve(end - begin);
+
+  if (!request.rank) {
+    // Unranked: the union hit stream is the per-document concatenation in
+    // union scan order, and each shard's reply hits are ITS concatenation
+    // in the same per-shard order — so the page is pure offset arithmetic:
+    // hit k of a document at union stream position [cum, cum+h) is hit
+    // (shard's consumed-hit prefix + k - cum) of its shard's stream.
+    uint64_t cum = 0;
+    std::vector<uint64_t> shard_cum(fan, 0);
+    for (size_t oi = 0; oi < scanned && cum < end; ++oi) {
+      const auto& [i, p] = order[oi];
+      const DocumentScanCount& doc = replies[i].scan_breakdown[p];
+      const uint64_t lo = std::max<uint64_t>(begin, cum);
+      const uint64_t hi = std::min<uint64_t>(end, cum + doc.hits);
+      for (uint64_t k = lo; k < hi; ++k) {
+        const uint64_t index = shard_cum[i] + (k - cum);
+        if (index >= replies[i].hits.size() ||
+            replies[i].hits[static_cast<size_t>(index)].document !=
+                doc.document) {
+          return Status::Internal(
+              "shard " + ShardLabel(map_.shard(routing.involved[i])) +
+              " returned fewer hits than its scan breakdown promises");
+        }
+        Hit hit = std::move(replies[i].hits[static_cast<size_t>(index)]);
+        hit.document = map_.ToGlobal(routing.involved[i], hit.document);
+        merged.hits.push_back(std::move(hit));
+      }
+      cum += doc.hits;
+      shard_cum[i] += doc.hits;
+    }
+  } else {
+    // Ranked: k-way merge of the (already sorted) shard streams. Score
+    // ties break on the document's position in the union selection — the
+    // (selection position, document order) tie break of the single-node
+    // stable sort. Two streams can never tie on (score, position): a
+    // position names one document and a document lives on one shard, so
+    // equal pairs only occur within a stream, where arrival order (the
+    // shard's own sort) already matches the single-node order.
+    std::unordered_map<DocumentId, size_t> union_pos;
+    union_pos.reserve(order.size());
+    if (routing.explicit_selection) {
+      for (size_t d = 0; d < request.documents.size(); ++d) {
+        union_pos.emplace(request.documents[d], d);
+      }
+    } else {
+      size_t pos = 0;
+      for (const auto& [i, p] : order) {
+        union_pos.emplace(
+            map_.ToGlobal(routing.involved[i],
+                          replies[i].scan_breakdown[p].document),
+            pos++);
+      }
+    }
+    std::vector<size_t> head(fan, 0);
+    for (size_t produced = 0; produced < end; ++produced) {
+      size_t best = fan;
+      double best_score = 0;
+      size_t best_pos = 0;
+      DocumentId best_global = 0;
+      for (size_t i = 0; i < fan; ++i) {
+        if (head[i] >= replies[i].hits.size()) continue;
+        const Hit& candidate = replies[i].hits[head[i]];
+        const DocumentId global =
+            map_.ToGlobal(routing.involved[i], candidate.document);
+        const auto it = union_pos.find(global);
+        if (it == union_pos.end()) {
+          return Status::Internal(
+              "shard " + ShardLabel(map_.shard(routing.involved[i])) +
+              " returned a hit outside the request selection");
+        }
+        if (best == fan || candidate.score > best_score ||
+            (candidate.score == best_score && it->second < best_pos)) {
+          best = i;
+          best_score = candidate.score;
+          best_pos = it->second;
+          best_global = global;
+        }
+      }
+      if (best == fan) {
+        return Status::Internal(
+            "shards returned fewer ranked hits than the page requires");
+      }
+      if (produced >= begin) {
+        Hit hit = std::move(replies[best].hits[head[best]]);
+        hit.document = best_global;
+        merged.hits.push_back(std::move(hit));
+      }
+      ++head[best];
+    }
+  }
+
+  if (end < merged.total_hits) {
+    merged.next_cursor = EncodeCoordCursor(
+        CoordCursor{fingerprint, static_cast<uint64_t>(end), epochs});
+  }
+  return merged;
+}
+
+Status Coordinator::Route(const std::vector<DocumentId>& documents,
+                          Routing* routing) const {
+  routing->local_selection.assign(map_.size(), {});
+  routing->involved.clear();
+  routing->union_order.clear();
+  if (documents.empty()) {
+    routing->explicit_selection = false;
+    routing->involved.resize(map_.size());
+    for (size_t s = 0; s < map_.size(); ++s) routing->involved[s] = s;
+    return Status::OK();
+  }
+  routing->explicit_selection = true;
+  routing->union_order.reserve(documents.size());
+  std::unordered_set<DocumentId> seen;
+  seen.reserve(documents.size());
+  for (DocumentId id : documents) {
+    // Same check order and messages as the single-node ResolveSelection:
+    // unknown id first (NotFound), then duplicates (InvalidArgument).
+    size_t s = 0;
+    XKS_ASSIGN_OR_RETURN(s, map_.ShardFor(id));
+    if (!seen.insert(id).second) {
+      return Status::InvalidArgument("duplicate document id " +
+                                     std::to_string(id) +
+                                     " in request selection");
+    }
+    std::vector<DocumentId>& local = routing->local_selection[s];
+    routing->union_order.emplace_back(s, local.size());
+    local.push_back(map_.ToLocal(s, id));
+  }
+  for (size_t s = 0; s < map_.size(); ++s) {
+    if (!routing->local_selection[s].empty()) routing->involved.push_back(s);
+  }
+  return Status::OK();
+}
+
+Status Coordinator::RosterNormalizer(const SearchRequest& request,
+                                     const CancelToken& cancel,
+                                     bool force_refresh, uint64_t* normalizer,
+                                     std::vector<uint64_t>* roster_epochs) {
+  bool have_all = true;
+  {
+    MutexLock lock(mutex_);
+    for (const ShardView& view : views_) have_all = have_all && view.known;
+  }
+  if (force_refresh || !have_all) {
+    XKS_RETURN_IF_ERROR(RefreshRoster(cancel));
+  }
+  uint64_t union_documents = 0;
+  uint64_t depth = 0;
+  roster_epochs->assign(map_.size(), 0);
+  {
+    MutexLock lock(mutex_);
+    for (size_t s = 0; s < views_.size(); ++s) {
+      // A successful refresh marks every shard known, and known is never
+      // unset (refreshes only overwrite with fresher pings).
+      XKS_CHECK(views_[s].known);
+      (*roster_epochs)[s] = views_[s].info.epoch;
+      union_documents += views_[s].info.document_count;
+      depth = std::max(depth, views_[s].info.corpus_max_depth);
+    }
+  }
+  if (!request.documents.empty()) union_documents = request.documents.size();
+  *normalizer = union_documents > 1 ? depth : 0;
+  return Status::OK();
+}
+
+Result<std::vector<SearchResponse>> Coordinator::Scatter(
+    const SearchRequest& request, const Routing& routing, size_t offset,
+    uint64_t normalizer, const CancelToken& cancel) {
+  const size_t fan = routing.involved.size();
+  std::vector<SearchResponse> responses(fan);
+  std::vector<Status> failures(fan, Status::OK());
+  const auto call_shard = [&](size_t i) -> Status {
+    const size_t s = routing.involved[i];
+    // The sub-request: same execution shape, LOCAL document ids, and the
+    // whole union page prefix (offset' = 0, top_k' = offset + top_k) so
+    // the merge can cut the union page out of the shard streams. The
+    // per-document scan breakdown is what the serial-prefix replay runs on.
+    SearchRequest sub;
+    sub.query = request.query;
+    sub.terms = request.terms;
+    sub.documents = routing.local_selection[s];
+    sub.semantics = request.semantics;
+    sub.elca_algorithm = request.elca_algorithm;
+    sub.slca_algorithm = request.slca_algorithm;
+    sub.pruning = request.pruning;
+    sub.max_parallelism = request.max_parallelism;
+    sub.top_k = request.top_k == 0 ? 0 : offset + request.top_k;
+    sub.rank = request.rank;
+    sub.weights = request.weights;
+    if (request.rank) sub.shared_depth_normalizer = normalizer;
+    sub.use_cache = request.use_cache;
+    sub.include_snippets = request.include_snippets;
+    sub.include_raw_fragments = request.include_raw_fragments;
+    sub.include_stats = request.include_stats;
+    sub.include_scan_breakdown = true;
+    // Per-hop budget: the REMAINING share of the query's deadline at this
+    // hop, so a shard stops scanning server-side once the coordinator has
+    // given up on the query.
+    if (cancel.has_deadline()) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          cancel.deadline() - CancelToken::Clock::now());
+      sub.deadline_ms =
+          left.count() <= 0 ? 1 : static_cast<uint64_t>(left.count());
+    }
+    Result<Frame> frame = channels_[s]->Call(
+        FrameKind::kSearchRequest, EncodeSearchRequest(sub), cancel);
+    if (!frame.ok()) {
+      failures[i] = frame.status();
+      return Status::OK();
+    }
+    if (frame->kind == FrameKind::kSearchResponse) {
+      Result<SearchResponse> decoded = DecodeSearchResponse(frame->body);
+      if (decoded.ok()) {
+        responses[i] = std::move(decoded).value();
+      } else {
+        failures[i] = decoded.status();
+      }
+    } else if (frame->kind == FrameKind::kStatus) {
+      Status remote = Status::OK();
+      const Status decoded = DecodeStatusPayload(frame->body, &remote);
+      if (!decoded.ok()) {
+        failures[i] = decoded;
+      } else if (remote.ok()) {
+        failures[i] = Status::Corruption(
+            "shard " + ShardLabel(map_.shard(s)) +
+            " answered a search with an OK status frame");
+      } else {
+        failures[i] = GlobalizeShardStatus(remote, map_, s);
+      }
+    } else {
+      failures[i] =
+          Status::Corruption("unexpected reply frame kind from shard " +
+                             ShardLabel(map_.shard(s)));
+    }
+    return Status::OK();
+  };
+  // Every shard concurrently: a query's latency is its slowest shard, not
+  // the sum. Bodies never fail and no stop/cancel is passed — each Call
+  // polls the token itself, so a fired deadline drains fast while every
+  // slot still gets a definite outcome (no stranded placeholder).
+  ParallelForOptions fan_out;
+  fan_out.max_parallelism = fan;
+  const Result<size_t> fanned = ParallelFor(fan, call_shard, fan_out);
+  XKS_CHECK(fanned.ok() && *fanned == fan);
+  // Never partial: the first failed shard (involved order — deterministic)
+  // fails the whole query with its status.
+  for (size_t i = 0; i < fan; ++i) {
+    XKS_RETURN_IF_ERROR(failures[i]);
+  }
+  return responses;
+}
+
+Status Coordinator::RefreshRoster(CancelToken cancel) {
+  CancelToken effective = cancel;
+  if (!effective.has_deadline() && config_.ping_deadline_ms > 0) {
+    effective = effective.WithDeadlineAfter(
+        std::chrono::milliseconds(config_.ping_deadline_ms));
+  }
+  std::vector<HealthReply> infos(map_.size());
+  std::vector<Status> failures(map_.size(), Status::OK());
+  const auto ping_shard = [&](size_t s) -> Status {
+    Result<Frame> frame = channels_[s]->Call(FrameKind::kHealthCheck,
+                                             EncodeHealthCheck(), effective);
+    if (!frame.ok()) {
+      failures[s] = frame.status();
+      return Status::OK();
+    }
+    if (frame->kind == FrameKind::kHealthReply) {
+      Result<HealthReply> decoded = DecodeHealthReply(frame->body);
+      if (decoded.ok()) {
+        infos[s] = *decoded;
+      } else {
+        failures[s] = decoded.status();
+      }
+    } else if (frame->kind == FrameKind::kStatus) {
+      Status remote = Status::OK();
+      const Status decoded = DecodeStatusPayload(frame->body, &remote);
+      failures[s] = !decoded.ok()
+                        ? decoded
+                        : (remote.ok() ? Status::Corruption(
+                                             "shard " +
+                                             ShardLabel(map_.shard(s)) +
+                                             " answered a health check with "
+                                             "an OK status frame")
+                                       : remote);
+    } else {
+      failures[s] =
+          Status::Corruption("unexpected reply frame kind from shard " +
+                             ShardLabel(map_.shard(s)));
+    }
+    return Status::OK();
+  };
+  ParallelForOptions fan_out;
+  fan_out.max_parallelism = map_.size();
+  const Result<size_t> fanned = ParallelFor(map_.size(), ping_shard, fan_out);
+  XKS_CHECK(fanned.ok() && *fanned == map_.size());
+  Status first = Status::OK();
+  {
+    MutexLock lock(mutex_);
+    for (size_t s = 0; s < map_.size(); ++s) {
+      if (failures[s].ok()) {
+        views_[s].known = true;
+        views_[s].info = infos[s];
+      } else if (first.ok()) {
+        first = failures[s];
+      }
+    }
+    if (first.ok()) ++stats_.roster_refreshes;
+  }
+  return first;
+}
+
+HealthReply Coordinator::Health() const {
+  MutexLock lock(mutex_);
+  HealthReply reply;
+  for (const ShardView& view : views_) {
+    if (!view.known) return HealthReply{};
+    reply.epoch = std::max(reply.epoch, view.info.epoch);
+    reply.revision += view.info.revision;
+    reply.document_count += view.info.document_count;
+    reply.corpus_max_depth =
+        std::max(reply.corpus_max_depth, view.info.corpus_max_depth);
+  }
+  return reply;
+}
+
+CoordStats Coordinator::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+ShardHealth Coordinator::shard_health(size_t shard_index) const {
+  return channels_[shard_index]->health();
+}
+
+ShardChannelStats Coordinator::channel_stats(size_t shard_index) const {
+  return channels_[shard_index]->stats();
+}
+
+}  // namespace xks

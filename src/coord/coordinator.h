@@ -1,0 +1,204 @@
+// xks::Coordinator — scatter-gather search across xksd shards.
+//
+// The coordinator makes a roster of xksd shards (src/coord/shard_map.h)
+// answer SearchRequests exactly as one big single-node corpus would: it
+// rewrites the request's document selection into per-shard local ids, fans
+// one sub-request per involved shard over its ShardChannels, and merges the
+// replies with the same serial-prefix replay the single-node corpus scan
+// uses (src/api/snapshot.cc), so merged responses — hit order, scores,
+// totals, cursors' emptiness, pagination boundaries — are byte-identical
+// to the equivalent single-node corpus at every page.
+//
+// Why the merge is exact:
+//
+//   * Every sub-request asks its shard for the union page's whole prefix
+//     (offset' = 0, top_k' = offset + top_k) plus a per-document scan
+//     breakdown. Unranked, a shard early-terminates once it alone holds
+//     `offset + top_k + 1` hits — which is the union's own stopping
+//     condition, so each shard's scanned prefix is a superset of what the
+//     union scan would have covered on that shard. The coordinator then
+//     replays the breakdowns in union selection order, consuming exactly
+//     the documents a single-node serial scan would have, and cuts the
+//     page out of the shard hit streams by offset arithmetic.
+//
+//   * Ranked, shards score with a coordinator-supplied
+//     shared_depth_normalizer (the union corpus max depth, learned from
+//     health pings), so per-shard scores land on the single-node scale;
+//     the k-way merge breaks score ties by the document's position in the
+//     union selection — the same (selection position, document order) tie
+//     break the single-node stable sort applies.
+//
+// Epoch agreement: every shard reply carries its snapshot epoch. First
+// pages record the full epoch vector into the minted cursor
+// ("xksco1:..."), and replaying a cursor whose recorded epoch disagrees
+// with any involved shard's current epoch fails with FailedPrecondition —
+// the sharded analog of the single-node corpus-changed cursor check.
+//
+// Failure policy: a shard that is down (Unavailable) or too slow for the
+// request's deadline (DeadlineExceeded) fails the WHOLE query with that
+// status; the coordinator never returns a partial merge. Queries already
+// written to a shard are never re-sent (the channel owns that contract);
+// the only automatic retry is one refresh-and-rescatter when a ranked
+// first page observes a shard epoch newer than the cached roster — search
+// is idempotent and the re-scatter is bounded to one.
+
+#ifndef XKS_COORD_COORDINATOR_H_
+#define XKS_COORD_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/api/search_types.h"
+#include "src/common/cancel_token.h"
+#include "src/common/mutex.h"
+#include "src/common/result.h"
+#include "src/coord/shard_channel.h"
+#include "src/coord/shard_map.h"
+#include "src/server/wire.h"
+
+namespace xks {
+
+/// A coordinator pagination cursor: which request (fingerprint), where the
+/// next page starts (offset), and the per-shard snapshot epochs the walk
+/// was minted under (one entry per roster shard, map order; 0 = the shard
+/// was not consulted when the cursor was minted).
+struct CoordCursor {
+  uint64_t fingerprint = 0;
+  uint64_t offset = 0;
+  std::vector<uint64_t> epochs;
+};
+
+/// "xksco1:<fingerprint>:<offset>:<epoch>,<epoch>,..." — all hex.
+std::string EncodeCoordCursor(const CoordCursor& cursor);
+
+/// InvalidArgument on anything EncodeCoordCursor cannot emit (including
+/// single-node "xksc2" tokens — the two families are deliberately
+/// non-interchangeable).
+Result<CoordCursor> DecodeCoordCursor(std::string_view token);
+
+struct CoordinatorConfig {
+  /// Connection behavior of every shard channel.
+  ShardChannelConfig channel;
+  /// Budget for a roster refresh (health pings) when the triggering query
+  /// carries no deadline of its own. 0 = unbounded.
+  uint64_t ping_deadline_ms = 5000;
+};
+
+/// Monotonic counters; read via Coordinator::stats().
+struct CoordStats {
+  uint64_t queries = 0;           ///< Search() invocations.
+  uint64_t ok = 0;                ///< Fully merged responses.
+  uint64_t failed = 0;            ///< Queries that returned any error.
+  /// Queries failed because a shard was slow or unreachable (the whole
+  /// query fails; this is the "degraded fleet" signal operators watch).
+  uint64_t degraded = 0;
+  /// Cursor replays rejected because a shard's epoch moved (FailedPrecondition).
+  uint64_t epoch_mismatches = 0;
+  /// Ranked first pages re-scattered after observing a shard epoch newer
+  /// than the cached roster (bounded to one per query).
+  uint64_t snapshot_retries = 0;
+  uint64_t roster_refreshes = 0;  ///< Successful full-roster health sweeps.
+};
+
+class Coordinator {
+ public:
+  /// Builds one channel per roster shard. Nothing is dialed until the
+  /// first query or RefreshRoster call.
+  Coordinator(ShardMap map, CoordinatorConfig config);
+
+  /// Closes every channel (failing in-flight calls) and joins receivers.
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Scatter-gather search over the roster. Global document ids in, global
+  /// document ids out; responses byte-identical to the single-node union
+  /// corpus (see file comment). Never partial: any shard failure fails the
+  /// whole query with that shard's status.
+  Result<SearchResponse> Search(SearchRequest request) XKS_EXCLUDES(mutex_);
+
+  /// Health-pings every shard in parallel and refreshes the cached roster
+  /// view (epochs, document counts, corpus depths). Per-shard successes
+  /// are recorded even when the sweep as a whole fails; returns the first
+  /// failing shard's status in map order.
+  Status RefreshRoster(CancelToken cancel) XKS_EXCLUDES(mutex_);
+
+  /// The union corpus view for the daemon's own health frame: max epoch,
+  /// summed revisions and document counts, max depth — all zeros until a
+  /// full roster sweep has succeeded (the "not built yet" shape a fresh
+  /// xksd reports). Served from the cache; never blocks on the network.
+  HealthReply Health() const XKS_EXCLUDES(mutex_);
+
+  const ShardMap& shard_map() const { return map_; }
+  CoordStats stats() const XKS_EXCLUDES(mutex_);
+  ShardHealth shard_health(size_t shard_index) const;
+  ShardChannelStats channel_stats(size_t shard_index) const;
+
+ private:
+  /// Where each selected document lives: which shards a query must visit
+  /// and, for explicit selections, the union scan order.
+  struct Routing {
+    bool explicit_selection = false;
+    /// Shard indices with a non-empty sub-selection, ascending.
+    std::vector<size_t> involved;
+    /// Per roster shard: its sub-selection in LOCAL ids, selection order.
+    std::vector<std::vector<DocumentId>> local_selection;
+    /// Explicit selections only: for each requested document in request
+    /// order, (owning shard, position within that shard's sub-selection).
+    std::vector<std::pair<size_t, size_t>> union_order;
+  };
+
+  /// Last successful health ping of one shard.
+  struct ShardView {
+    bool known = false;
+    HealthReply info;
+  };
+
+  Result<SearchResponse> SearchInternal(SearchRequest request)
+      XKS_EXCLUDES(mutex_);
+
+  /// Validates the selection (NotFound / duplicate-id parity with the
+  /// single-node corpus) and splits it per shard.
+  Status Route(const std::vector<DocumentId>& documents,
+               Routing* routing) const;
+
+  /// Derives the ranked-merge score scale from the cached roster: the
+  /// union corpus max depth when the union selection spans more than one
+  /// document, else 0. Refreshes the roster first when forced or when any
+  /// shard is still unknown. Reports the roster epochs the value was
+  /// derived from, so callers can detect drift.
+  Status RosterNormalizer(const SearchRequest& request,
+                          const CancelToken& cancel, bool force_refresh,
+                          uint64_t* normalizer,
+                          std::vector<uint64_t>* roster_epochs)
+      XKS_EXCLUDES(mutex_);
+
+  /// Fans the rewritten sub-requests over the involved shards (all
+  /// concurrently) and decodes the replies, involved order. Any shard
+  /// failure fails the scatter with that shard's (globalized) status,
+  /// first involved shard wins.
+  Result<std::vector<SearchResponse>> Scatter(const SearchRequest& request,
+                                              const Routing& routing,
+                                              size_t offset,
+                                              uint64_t normalizer,
+                                              const CancelToken& cancel);
+
+  const ShardMap map_;
+  const CoordinatorConfig config_;
+  /// One channel per roster shard, map order. The vector itself is
+  /// immutable after construction; each channel is internally thread-safe.
+  std::vector<std::unique_ptr<ShardChannel>> channels_;
+
+  mutable Mutex mutex_;
+  std::vector<ShardView> views_ XKS_GUARDED_BY(mutex_);
+  CoordStats stats_ XKS_GUARDED_BY(mutex_);
+};
+
+}  // namespace xks
+
+#endif  // XKS_COORD_COORDINATOR_H_

@@ -1,0 +1,261 @@
+#include "src/coord/shard_channel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace xks {
+
+namespace {
+using Clock = CancelToken::Clock;
+}  // namespace
+
+ShardChannel::ShardChannel(ShardInfo shard, ShardChannelConfig config)
+    : shard_(std::move(shard)),
+      config_(config),
+      label_(shard_.host + ":" + std::to_string(shard_.port)) {
+  receiver_ = std::thread([this] { ReceiverLoop(); });
+}
+
+ShardChannel::~ShardChannel() {
+  Close();
+  if (receiver_.joinable()) receiver_.join();
+}
+
+Result<Frame> ShardChannel::Call(FrameKind kind, std::string body,
+                                 CancelToken cancel) {
+  {
+    MutexLock lock(mutex_);
+    ++stats_.calls;
+  }
+  std::shared_ptr<XksClient> client;
+  XKS_ASSIGN_OR_RETURN(client, GetOrConnect(cancel));
+
+  // Register the waiter before sending: the reply may arrive on the
+  // receiver thread before SendFrame even returns.
+  auto waiter = std::make_shared<Waiter>();
+  uint64_t id = 0;
+  {
+    MutexLock lock(mutex_);
+    if (closed_ || client_ != client) {
+      // The connection turned over between GetOrConnect and registration.
+      // Never send on a socket whose receiver is gone.
+      return Status::Unavailable("shard " + label_ + ": connection lost");
+    }
+    id = ++next_request_id_;
+    waiters_.emplace(id, waiter);
+  }
+
+  Frame frame;
+  frame.kind = kind;
+  frame.request_id = id;
+  frame.body = std::move(body);
+  Status sent;
+  {
+    // Sends serialized channel-wide; mutex_ is NOT held, so the receiver
+    // and other calls' bookkeeping proceed while the frame drains.
+    MutexLock send_lock(send_mutex_);
+    sent = client->SendFrame(frame);
+  }
+  if (!sent.ok()) {
+    const Status reason = Status::Unavailable("shard " + label_ +
+                                              ": send failed: " +
+                                              sent.message());
+    MutexLock lock(mutex_);
+    waiters_.erase(id);
+    if (!closed_ && client_ == client) TearDownLocked(reason);
+    return reason;
+  }
+
+  // The frame is on the wire: from here on there are no retries, only an
+  // outcome — the reply, a torn-down connection (waiter failed by
+  // TearDownLocked), or an expired budget.
+  MutexLock lock(mutex_);
+  for (;;) {
+    if (waiter->done) {
+      waiters_.erase(id);
+      return std::move(waiter->reply);
+    }
+    if (cancel.cancelled()) {
+      waiters_.erase(id);  // the receiver discards the late reply, if any
+      ++stats_.call_timeouts;
+      if (cancel.status().code() == StatusCode::kCancelled) {
+        return cancel.status();
+      }
+      return Status::DeadlineExceeded(
+          "shard " + label_ + ": no reply within the deadline budget");
+    }
+    // Bounded waits keep external cancellation (a fired CancelSource has no
+    // condvar tied to this channel) responsive at ~20ms granularity.
+    Clock::time_point wake = Clock::now() + std::chrono::milliseconds(20);
+    if (cancel.has_deadline() && cancel.deadline() < wake) {
+      wake = cancel.deadline();
+    }
+    state_cv_.WaitUntil(lock, wake);
+  }
+}
+
+Result<std::shared_ptr<XksClient>> ShardChannel::GetOrConnect(
+    const CancelToken& cancel) {
+  for (;;) {
+    bool dialer = false;
+    {
+      MutexLock lock(mutex_);
+      if (closed_) {
+        return Status::Unavailable("shard " + label_ + ": channel closed");
+      }
+      if (client_ != nullptr) return client_;
+      if (cancel.cancelled()) return cancel.status();
+      if (connecting_) {
+        // Another call is dialing; piggyback on its outcome.
+        state_cv_.WaitFor(lock, std::chrono::milliseconds(20));
+        continue;
+      }
+      connecting_ = true;
+      dialer = true;
+    }
+    XKS_CHECK(dialer);
+    const Status dialed = DialWithRetries(cancel);
+    {
+      MutexLock lock(mutex_);
+      connecting_ = false;
+    }
+    state_cv_.NotifyAll();
+    XKS_RETURN_IF_ERROR(dialed);
+    // Loop back to pick the installed client up (or to discover a racing
+    // teardown and dial again within this call's budget).
+  }
+}
+
+Status ShardChannel::DialWithRetries(const CancelToken& cancel) {
+  const size_t attempts = std::max<size_t>(1, config_.connect_attempts);
+  uint64_t backoff_ms = config_.backoff_initial_ms;
+  Status last = Status::Unavailable("unreachable");
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Interruptible backoff: Close() notifies state_cv_.
+      MutexLock lock(mutex_);
+      if (closed_) {
+        return Status::Unavailable("shard " + label_ + ": channel closed");
+      }
+      state_cv_.WaitFor(lock, std::chrono::milliseconds(backoff_ms));
+      if (closed_) {
+        return Status::Unavailable("shard " + label_ + ": channel closed");
+      }
+      backoff_ms *= 2;
+    }
+    if (cancel.cancelled()) return cancel.status();
+    // Each attempt gets the configured connect timeout, clipped to the
+    // call's remaining budget — a dial never outlives its query.
+    uint64_t timeout_ms = config_.connect_timeout_ms;
+    if (cancel.has_deadline()) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          cancel.deadline() - Clock::now());
+      if (left.count() <= 0) {
+        return Status::DeadlineExceeded("shard " + label_ +
+                                        ": deadline expired while dialing");
+      }
+      timeout_ms =
+          std::min(timeout_ms, static_cast<uint64_t>(left.count()) + 1);
+    }
+    if (timeout_ms == 0) timeout_ms = 1;
+    Result<XksClient> conn =
+        XksClient::Connect(shard_.host, shard_.port, timeout_ms);
+    if (conn.ok()) {
+      MutexLock lock(mutex_);
+      if (closed_) {
+        return Status::Unavailable("shard " + label_ + ": channel closed");
+      }
+      client_ = std::make_shared<XksClient>(std::move(conn).value());
+      ++generation_;
+      health_ = ShardHealth::kHealthy;
+      ++stats_.connects;
+      state_cv_.NotifyAll();  // wake the receiver onto the new connection
+      return Status::OK();
+    }
+    last = conn.status();
+    MutexLock lock(mutex_);
+    ++stats_.connect_failures;
+    health_ = ShardHealth::kDown;
+  }
+  if (cancel.cancelled()) {
+    return Status::DeadlineExceeded("shard " + label_ +
+                                    ": deadline expired while dialing");
+  }
+  return Status::Unavailable("shard " + label_ + " unreachable after " +
+                             std::to_string(attempts) +
+                             " attempts: " + last.message());
+}
+
+void ShardChannel::ReceiverLoop() {
+  for (;;) {
+    std::shared_ptr<XksClient> client;
+    uint64_t my_generation = 0;
+    {
+      MutexLock lock(mutex_);
+      while (!closed_ && client_ == nullptr) state_cv_.Wait(lock);
+      if (closed_) return;
+      client = client_;
+      my_generation = generation_;
+    }
+    for (;;) {
+      // Blocking read with no lock held; Abort() (teardown, Close) is the
+      // cross-thread interrupt that fails this read.
+      Result<Frame> frame = client->ReceiveFrame();
+      if (!frame.ok()) {
+        MutexLock lock(mutex_);
+        if (!closed_ && generation_ == my_generation) {
+          TearDownLocked(Status::Unavailable(
+              "shard " + label_ + ": connection lost (" +
+              frame.status().message() + ")"));
+        }
+        break;
+      }
+      MutexLock lock(mutex_);
+      auto it = waiters_.find(frame->request_id);
+      if (it != waiters_.end() && !it->second->done) {
+        it->second->reply = std::move(frame).value();
+        it->second->done = true;
+        state_cv_.NotifyAll();
+      }
+      // No waiter: the call abandoned its reply (deadline) — discarded.
+    }
+  }
+}
+
+void ShardChannel::TearDownLocked(const Status& reason) {
+  if (client_ != nullptr) {
+    client_->Abort();
+    client_ = nullptr;
+    ++stats_.connection_losses;
+  }
+  health_ = ShardHealth::kDown;
+  for (auto& [id, waiter] : waiters_) {
+    if (!waiter->done) {
+      waiter->done = true;
+      waiter->reply = reason;
+    }
+  }
+  state_cv_.NotifyAll();
+}
+
+void ShardChannel::Close() {
+  MutexLock lock(mutex_);
+  if (closed_) return;
+  closed_ = true;
+  TearDownLocked(Status::Unavailable("shard " + label_ + ": channel closed"));
+}
+
+ShardHealth ShardChannel::health() const {
+  MutexLock lock(mutex_);
+  return health_;
+}
+
+ShardChannelStats ShardChannel::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace xks

@@ -1,0 +1,163 @@
+// xks::ShardChannel — a thread-safe, reconnecting RPC channel to one xksd
+// shard.
+//
+// XksClient is a deliberately dumb blocking pipe; ShardChannel is the
+// concurrency shell the coordinator needs around it:
+//
+//   * Call() is safe from any number of threads at once. Each call stamps a
+//     channel-chosen request id, sends its frame (sends serialized by a
+//     dedicated send lock), and blocks until the matching reply arrives —
+//     replies may arrive in any order, demultiplexed to waiters by id by
+//     one long-lived receiver thread per channel.
+//
+//   * Connection establishment (and re-establishment after a drop) happens
+//     lazily inside Call(), with bounded retries and exponential backoff —
+//     for CONNECTION failures only. Once a request frame has been written,
+//     it is never re-sent: a connection lost mid-call fails that call with
+//     Unavailable, and whether the shard executed it is unknown — exactly
+//     why admitted queries must not be retried blindly (searches are
+//     idempotent, but the coordinator owns that policy, not the channel).
+//
+//   * Deadlines: Call() honors its CancelToken end to end — while dialing
+//     (each attempt's connect timeout is clipped to the remaining budget)
+//     and while waiting for the reply. An expired budget fails the call
+//     with DeadlineExceeded and abandons the reply (discarded by the
+//     receiver if it arrives later); the connection itself stays up — a
+//     slow shard is not a dead shard.
+//
+//   * Health: kNeverConnected until the first successful dial, then
+//     kHealthy/kDown tracking the live connection state. Monotonic
+//     counters via stats().
+//
+// All shared state is guarded by annotated mutexes (see the PR 7 ground
+// rule in ROADMAP.md). Lock ordering: send_mutex_ and mutex_ are never
+// held together.
+
+#ifndef XKS_COORD_SHARD_CHANNEL_H_
+#define XKS_COORD_SHARD_CHANNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/cancel_token.h"
+#include "src/common/mutex.h"
+#include "src/common/result.h"
+#include "src/coord/shard_map.h"
+#include "src/server/client.h"
+
+namespace xks {
+
+struct ShardChannelConfig {
+  /// Per-attempt connection establishment budget (XksClient::Connect
+  /// timeout). Also clipped to the calling token's remaining budget.
+  uint64_t connect_timeout_ms = 2000;
+  /// Dial attempts per Call() that finds the channel disconnected.
+  size_t connect_attempts = 3;
+  /// Backoff before the second attempt; doubles per further attempt.
+  uint64_t backoff_initial_ms = 50;
+};
+
+enum class ShardHealth : uint8_t {
+  kNeverConnected = 0,
+  kHealthy = 1,
+  kDown = 2,
+};
+
+/// Monotonic counters; read via ShardChannel::stats().
+struct ShardChannelStats {
+  uint64_t calls = 0;              ///< Call() invocations.
+  uint64_t connects = 0;           ///< Successful dials.
+  uint64_t connect_failures = 0;   ///< Failed dial attempts.
+  uint64_t connection_losses = 0;  ///< Established connections torn down.
+  uint64_t call_timeouts = 0;      ///< Calls abandoned on deadline/cancel.
+};
+
+class ShardChannel {
+ public:
+  ShardChannel(ShardInfo shard, ShardChannelConfig config);
+
+  /// Close() + joins the receiver.
+  ~ShardChannel();
+
+  ShardChannel(const ShardChannel&) = delete;
+  ShardChannel& operator=(const ShardChannel&) = delete;
+
+  /// Sends one `kind` frame with `body` and blocks for its reply frame
+  /// (any reply kind; the caller dispatches). Connects first if needed.
+  /// Unavailable when the shard is unreachable or the connection drops
+  /// mid-call; DeadlineExceeded when `cancel`'s budget expires at any
+  /// stage; Cancelled when its source fired.
+  Result<Frame> Call(FrameKind kind, std::string body, CancelToken cancel)
+      XKS_EXCLUDES(mutex_, send_mutex_);
+
+  /// Fails all in-flight calls (Unavailable), tears the connection down
+  /// and makes every later Call fail without dialing. Idempotent.
+  void Close() XKS_EXCLUDES(mutex_);
+
+  ShardHealth health() const XKS_EXCLUDES(mutex_);
+  ShardChannelStats stats() const XKS_EXCLUDES(mutex_);
+  const ShardInfo& shard() const { return shard_; }
+
+ private:
+  /// One blocked Call(); shared with the receiver which fills it in.
+  struct Waiter {
+    bool done = false;
+    Result<Frame> reply = Status::Internal("reply pending");
+  };
+
+  /// Returns the live connection, dialing (with retries/backoff) when
+  /// down. Only one thread dials at a time; others wait on state_cv_.
+  Result<std::shared_ptr<XksClient>> GetOrConnect(const CancelToken& cancel)
+      XKS_EXCLUDES(mutex_);
+
+  /// The bounded retry loop of the elected dialer. No locks held while
+  /// blocking in connect; installs the client under mutex_ on success.
+  Status DialWithRetries(const CancelToken& cancel) XKS_EXCLUDES(mutex_);
+
+  /// Demultiplexes reply frames to waiters; tears the connection down on
+  /// receive errors.
+  void ReceiverLoop() XKS_EXCLUDES(mutex_);
+
+  /// Drops the current connection: aborts the socket, fails every waiter
+  /// with `reason`, marks the channel kDown.
+  void TearDownLocked(const Status& reason) XKS_REQUIRES(mutex_);
+
+  const ShardInfo shard_;
+  const ShardChannelConfig config_;
+  /// "host:port" for error messages.
+  const std::string label_;
+
+  /// Guards all channel state. Never held across blocking socket calls:
+  /// the receiver blocks in ReceiveFrame and dialers block in Connect with
+  /// no lock held, each pinning the XksClient via its own shared_ptr.
+  mutable Mutex mutex_;
+  /// Connection state changes, waiter completions, backoff sleeps.
+  CondVar state_cv_;
+  /// Live connection; null while down. Receiver/dialers/calls each take a
+  /// shared_ptr copy under the lock and use it lock-free (the two socket
+  /// directions are independent; Abort() is the cross-thread interrupt).
+  std::shared_ptr<XksClient> client_ XKS_GUARDED_BY(mutex_);
+  /// Bumped per successful dial; lets the receiver tell whether an error
+  /// belongs to the connection it was reading or to a stale one.
+  uint64_t generation_ XKS_GUARDED_BY(mutex_) = 0;
+  bool connecting_ XKS_GUARDED_BY(mutex_) = false;
+  bool closed_ XKS_GUARDED_BY(mutex_) = false;
+  uint64_t next_request_id_ XKS_GUARDED_BY(mutex_) = 0;
+  std::unordered_map<uint64_t, std::shared_ptr<Waiter>> waiters_
+      XKS_GUARDED_BY(mutex_);
+  ShardHealth health_ XKS_GUARDED_BY(mutex_) = ShardHealth::kNeverConnected;
+  ShardChannelStats stats_ XKS_GUARDED_BY(mutex_);
+
+  /// Serializes whole request frames onto the socket (WriteFull may need
+  /// several writes). Acquired only while mutex_ is NOT held.
+  Mutex send_mutex_;
+
+  std::thread receiver_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_COORD_SHARD_CHANNEL_H_

@@ -1,0 +1,175 @@
+#include "src/coord/shard_map.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/common/fingerprint.h"
+
+namespace xks {
+namespace {
+
+/// Parses a base-10 uint64 with no sign, no leading '+', no stray bytes.
+Status ParseNumber(std::string_view text, uint64_t max_value, const char* what,
+                   uint64_t* out) {
+  if (text.empty()) {
+    return Status::InvalidArgument(std::string("empty ") + what);
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(std::string("bad ") + what + " '" +
+                                     std::string(text) + "'");
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (max_value - digit) / 10) {
+      return Status::InvalidArgument(std::string(what) + " '" +
+                                     std::string(text) + "' out of range");
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return Status::OK();
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         (text[begin] == ' ' || text[begin] == '\t' || text[begin] == '\r')) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+                         text[end - 1] == '\r')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::vector<ShardInfo> shards)
+    : shards_(std::move(shards)) {
+  Fingerprint fp;
+  fp.PutVarint64(shards_.size());
+  for (const ShardInfo& shard : shards_) {
+    fp.PutString(shard.host);
+    fp.PutVarint32(shard.port);
+    fp.PutVarint32(shard.first_id);
+    fp.PutVarint32(shard.last_id);
+  }
+  fingerprint_ = fp.Digest64();
+}
+
+Result<ShardMap> ShardMap::Of(std::vector<ShardInfo> shards) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("shard map has no shards");
+  }
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardInfo& shard = shards[i];
+    const std::string where = "shard " + std::to_string(i);
+    if (shard.host.empty()) {
+      return Status::InvalidArgument(where + ": empty host");
+    }
+    if (shard.port == 0) {
+      return Status::InvalidArgument(where + ": port 0");
+    }
+    if (shard.first_id > shard.last_id) {
+      return Status::InvalidArgument(
+          where + ": bad id range " + std::to_string(shard.first_id) + "-" +
+          std::to_string(shard.last_id));
+    }
+    if (i > 0 && shard.first_id <= shards[i - 1].last_id) {
+      return Status::InvalidArgument(
+          where + ": id range overlaps or is out of order with shard " +
+          std::to_string(i - 1) + " (ranges must be ascending and disjoint)");
+    }
+  }
+  return ShardMap(std::move(shards));
+}
+
+Result<ShardMap> ShardMap::Parse(std::string_view text) {
+  std::vector<ShardInfo> shards;
+  size_t line_number = 0;
+  while (!text.empty()) {
+    const size_t newline = text.find('\n');
+    std::string_view line = text.substr(0, newline);
+    text = newline == std::string_view::npos ? std::string_view()
+                                             : text.substr(newline + 1);
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    const std::string where = "shard map line " + std::to_string(line_number);
+    // host:port <ws> lo-hi
+    const size_t space = line.find_first_of(" \t");
+    if (space == std::string_view::npos) {
+      return Status::InvalidArgument(
+          where + ": expected 'host:port first_id-last_id'");
+    }
+    const std::string_view address = Trim(line.substr(0, space));
+    const std::string_view range = Trim(line.substr(space + 1));
+    const size_t colon = address.rfind(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument(where + ": bad address '" +
+                                     std::string(address) +
+                                     "' (host:port expected)");
+    }
+    const size_t dash = range.find('-');
+    if (dash == std::string_view::npos) {
+      return Status::InvalidArgument(where + ": bad id range '" +
+                                     std::string(range) +
+                                     "' (first_id-last_id expected)");
+    }
+    ShardInfo shard;
+    shard.host = std::string(address.substr(0, colon));
+    uint64_t value = 0;
+    XKS_RETURN_IF_ERROR(
+        ParseNumber(address.substr(colon + 1), 65535, "port", &value));
+    shard.port = static_cast<uint16_t>(value);
+    XKS_RETURN_IF_ERROR(ParseNumber(range.substr(0, dash), UINT32_MAX,
+                                    "document id", &value));
+    shard.first_id = static_cast<DocumentId>(value);
+    XKS_RETURN_IF_ERROR(ParseNumber(range.substr(dash + 1), UINT32_MAX,
+                                    "document id", &value));
+    shard.last_id = static_cast<DocumentId>(value);
+    shards.push_back(std::move(shard));
+  }
+  return Of(std::move(shards));
+}
+
+Result<ShardMap> ShardMap::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open shard map '" + path + "'");
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("cannot read shard map '" + path + "'");
+  }
+  return Parse(contents.str());
+}
+
+Result<size_t> ShardMap::ShardFor(DocumentId id) const {
+  // Binary search over the (validated ascending, disjoint) ranges.
+  size_t lo = 0;
+  size_t hi = shards_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (id < shards_[mid].first_id) {
+      hi = mid;
+    } else if (id > shards_[mid].last_id) {
+      lo = mid + 1;
+    } else {
+      return mid;
+    }
+  }
+  // Matches the single-node ResolveSelection message for an unknown id, so
+  // coordinator and single-node corpora answer bad selections identically.
+  return Status::NotFound("unknown document id " + std::to_string(id));
+}
+
+}  // namespace xks

@@ -1,0 +1,99 @@
+// xks::ShardMap — the static shard roster of a sharded xks deployment.
+//
+// A shard map assigns each xksd shard an address and a contiguous range of
+// GLOBAL document ids. Global ids are the coordinator's (and the client's)
+// view: the union corpus numbered exactly as the equivalent single-node
+// corpus would be. Each shard privately numbers its own documents from 0
+// in AddDocument order, so the map's ranges double as the translation:
+//
+//   local id on shard s  =  global id - shards()[s].first_id
+//
+// which is what lets the coordinator rewrite per-shard document selections
+// on the way out and hit document ids on the way back, keeping merged
+// responses byte-identical to the single-node corpus.
+//
+// File format (one shard per line, '#' comments, blank lines ignored):
+//
+//   # host:port  first_id-last_id   (both ids inclusive)
+//   127.0.0.1:7001 0-4999
+//   127.0.0.1:7002 5000-9999
+//
+// Validation: at least one shard, numeric port != 0, first_id <= last_id,
+// and ranges strictly ascending and disjoint in listed order. Gaps between
+// ranges are legal — a global id falling in a gap is simply NotFound, the
+// same answer a single-node corpus gives for a tombstoned id.
+//
+// The roster is immutable after construction (resharding = new map + new
+// coordinator), which is what makes ShardMap freely shareable across the
+// coordinator's threads without a lock.
+
+#ifndef XKS_COORD_SHARD_MAP_H_
+#define XKS_COORD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/api/search_types.h"
+#include "src/common/result.h"
+
+namespace xks {
+
+/// One shard of the roster.
+struct ShardInfo {
+  /// Numeric IPv4 address of the shard's xksd.
+  std::string host;
+  uint16_t port = 0;
+  /// Global document-id range this shard owns, both ends inclusive.
+  DocumentId first_id = 0;
+  DocumentId last_id = 0;
+};
+
+class ShardMap {
+ public:
+  /// Builds a map from explicit shard entries (tests, programmatic setup).
+  /// InvalidArgument on any validation failure (see file comment).
+  static Result<ShardMap> Of(std::vector<ShardInfo> shards);
+
+  /// Parses the text format from the file comment.
+  static Result<ShardMap> Parse(std::string_view text);
+
+  /// Reads and Parses `path`. IoError when unreadable.
+  static Result<ShardMap> Load(const std::string& path);
+
+  size_t size() const { return shards_.size(); }
+  const ShardInfo& shard(size_t i) const { return shards_[i]; }
+  const std::vector<ShardInfo>& shards() const { return shards_; }
+
+  /// Index of the shard owning global id `id`; NotFound (with the same
+  /// "unknown document id N" message a single-node corpus uses) when no
+  /// range covers it.
+  Result<size_t> ShardFor(DocumentId id) const;
+
+  /// Local id of global id `id` on the shard that owns it. Only meaningful
+  /// for ids ShardFor accepts.
+  DocumentId ToLocal(size_t shard_index, DocumentId id) const {
+    return id - shards_[shard_index].first_id;
+  }
+
+  /// Global id of `local_id` reported by shard `shard_index`.
+  DocumentId ToGlobal(size_t shard_index, DocumentId local_id) const {
+    return local_id + shards_[shard_index].first_id;
+  }
+
+  /// Digest of the whole roster (addresses + ranges). Folded into the
+  /// coordinator's cursor fingerprints, so a cursor minted under one map
+  /// cannot be replayed under a resharded one.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  explicit ShardMap(std::vector<ShardInfo> shards);
+
+  std::vector<ShardInfo> shards_;
+  uint64_t fingerprint_ = 0;
+};
+
+}  // namespace xks
+
+#endif  // XKS_COORD_SHARD_MAP_H_

@@ -1,0 +1,241 @@
+// xks_coord — the sharded query coordinator daemon.
+//
+// Speaks the exact same length-prefixed TCP protocol as xksd (an xks_client
+// pointed at it cannot tell the difference), but answers every search by
+// scattering rewritten sub-requests over a roster of xksd shards and
+// merging the replies byte-identically to a single-node corpus
+// (src/coord/coordinator.h). SIGTERM / SIGINT trigger the same graceful
+// drain as xksd: stop accepting, finish every admitted query, exit 0.
+//
+//   xks_coord --shard-map shards.txt --port 7800
+//   xks_coord --shard 127.0.0.1:7701/0-4999 --shard 127.0.0.1:7702/5000-9999
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/coord/coord_service.h"
+#include "src/coord/coordinator.h"
+#include "src/coord/shard_map.h"
+#include "src/server/server.h"
+
+namespace {
+
+// Self-pipe: the signal handler writes one byte; main blocks on the read
+// end, so the drain runs on the main thread with a full C++ runtime, not in
+// signal context.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnTermSignal(int) {
+  const char byte = 1;
+  // Best-effort; if the pipe is somehow full the daemon is already waking.
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--shard-map PATH | --shard SPEC...) [options]\n"
+      "\n"
+      "roster (exactly one form):\n"
+      "  --shard-map PATH        shard roster file: one 'host:port lo-hi'\n"
+      "                          per line ('#' comments; ids inclusive)\n"
+      "  --shard SPEC            one roster entry, repeatable, in listed\n"
+      "                          order; SPEC is host:port/lo-hi (the '/'\n"
+      "                          stands in for the file format's space)\n"
+      "\n"
+      "server:\n"
+      "  --host ADDR             numeric IPv4 listen address (default\n"
+      "                          127.0.0.1)\n"
+      "  --port PORT             listen port; 0 = ephemeral (default 7800)\n"
+      "\n"
+      "shard channels:\n"
+      "  --connect-timeout-ms N  per-attempt shard connect budget\n"
+      "  --connect-attempts N    dial attempts before Unavailable\n"
+      "  --ping-deadline-ms N    budget for roster health sweeps\n"
+      "\n"
+      "admission:\n"
+      "  --max-pending N         pending-queue bound before overload "
+      "shedding\n"
+      "  --inflight-quota N      per-connection in-flight quota\n"
+      "  --workers N             concurrent coordinator queries\n",
+      argv0);
+}
+
+bool ParseUint(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string map_path;
+  std::string roster_text;
+  std::string host = "127.0.0.1";
+  uint64_t port = 7800;
+  xks::CoordinatorConfig coordinator_config;
+  xks::CoordBackendConfig backend_config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "xks_coord: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    uint64_t u = 0;
+    if (arg == "--shard-map") {
+      map_path = next();
+    } else if (arg == "--shard") {
+      std::string spec = next();
+      for (char& c : spec) {
+        if (c == '/') c = ' ';
+      }
+      roster_text += spec;
+      roster_text += '\n';
+    } else if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      if (!ParseUint(next(), &u) || u > 65535) {
+        std::fprintf(stderr, "xks_coord: --port needs 0..65535\n");
+        return 2;
+      }
+      port = u;
+    } else if (arg == "--connect-timeout-ms") {
+      if (!ParseUint(next(), &u)) return Usage(argv[0]), 2;
+      coordinator_config.channel.connect_timeout_ms = u;
+    } else if (arg == "--connect-attempts") {
+      if (!ParseUint(next(), &u) || u == 0) return Usage(argv[0]), 2;
+      coordinator_config.channel.connect_attempts = u;
+    } else if (arg == "--ping-deadline-ms") {
+      if (!ParseUint(next(), &u)) return Usage(argv[0]), 2;
+      coordinator_config.ping_deadline_ms = u;
+    } else if (arg == "--max-pending") {
+      if (!ParseUint(next(), &u)) return Usage(argv[0]), 2;
+      backend_config.max_pending = u;
+    } else if (arg == "--inflight-quota") {
+      if (!ParseUint(next(), &u)) return Usage(argv[0]), 2;
+      backend_config.per_client_inflight = u;
+    } else if (arg == "--workers") {
+      if (!ParseUint(next(), &u) || u == 0) return Usage(argv[0]), 2;
+      backend_config.workers = u;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "xks_coord: unknown flag '%s'\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (map_path.empty() == roster_text.empty()) {
+    std::fprintf(
+        stderr,
+        "xks_coord: exactly one of --shard-map / --shard... is required\n");
+    Usage(argv[0]);
+    return 2;
+  }
+
+  auto parsed = map_path.empty() ? xks::ShardMap::Parse(roster_text)
+                                 : xks::ShardMap::Load(map_path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "xks_coord: shard map: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  xks::Coordinator coordinator(std::move(parsed).value(), coordinator_config);
+
+  // Warm the roster cache before serving, retrying briefly so a fleet
+  // started in one script (shards first, coordinator second) comes up
+  // without a race. Failure is not fatal: queries lazily refresh, and the
+  // health frame reports all-zero until a sweep succeeds.
+  xks::Status swept = xks::Status::OK();
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    swept = coordinator.RefreshRoster(xks::CancelToken());
+    if (swept.ok()) break;
+    ::usleep(300 * 1000);
+  }
+  if (swept.ok()) {
+    const xks::HealthReply view = coordinator.Health();
+    std::fprintf(stderr,
+                 "xks_coord: roster ready: %zu shards, %llu documents, "
+                 "epoch %llu\n",
+                 coordinator.shard_map().size(),
+                 static_cast<unsigned long long>(view.document_count),
+                 static_cast<unsigned long long>(view.epoch));
+  } else {
+    std::fprintf(stderr, "xks_coord: roster sweep failed (%s); serving "
+                         "anyway, shards will be dialed per query\n",
+                 swept.ToString().c_str());
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "xks_coord: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action {};
+  action.sa_handler = OnTermSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  xks::CoordBackend backend(&coordinator, backend_config);
+  xks::ServerConfig server_config;
+  server_config.host = host;
+  server_config.port = static_cast<uint16_t>(port);
+  xks::XksServer server(&backend, server_config);
+  const xks::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "xks_coord: start: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  // The readiness line scripts wait for (stdout, flushed).
+  std::printf("xks_coord: listening on %s:%u\n", host.c_str(), server.port());
+  std::fflush(stdout);
+
+  // Block until SIGTERM/SIGINT.
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::fprintf(stderr, "xks_coord: draining...\n");
+  server.Shutdown();
+
+  const xks::ServiceStats stats = server.service_stats();
+  const xks::CoordStats coord_stats = coordinator.stats();
+  std::printf(
+      "xks_coord: drained: submitted=%llu admitted=%llu completed=%llu "
+      "shed_overload=%llu shed_quota=%llu rejected_draining=%llu "
+      "queries=%llu ok=%llu failed=%llu degraded=%llu epoch_mismatches=%llu "
+      "snapshot_retries=%llu roster_refreshes=%llu connections=%llu\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.shed_overload),
+      static_cast<unsigned long long>(stats.shed_quota),
+      static_cast<unsigned long long>(stats.rejected_draining),
+      static_cast<unsigned long long>(coord_stats.queries),
+      static_cast<unsigned long long>(coord_stats.ok),
+      static_cast<unsigned long long>(coord_stats.failed),
+      static_cast<unsigned long long>(coord_stats.degraded),
+      static_cast<unsigned long long>(coord_stats.epoch_mismatches),
+      static_cast<unsigned long long>(coord_stats.snapshot_retries),
+      static_cast<unsigned long long>(coord_stats.roster_refreshes),
+      static_cast<unsigned long long>(server.connections_accepted()));
+  std::fflush(stdout);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// QueryBackend — the seam between the TCP front end (XksServer) and
+// whatever executes the queries behind it.
+//
+// Two implementations exist: QueryService (src/server/service.h) executes
+// against a local Database — that is xksd — and CoordBackend
+// (src/coord/coord_service.h) scatter-gathers over remote xksd shards —
+// that is xks_coord. The server is deliberately ignorant of which one it
+// fronts: both speak the same admission contract (synchronous Status on
+// rejection, exactly-once DoneCallback on admission), the same drain
+// contract (BeginDrain rejects new work, Drain also waits for admitted
+// work), and the same health probe, so xks_client drives either daemon
+// unchanged.
+//
+// Threading. Submit, the stats/health accessors, and BeginDrain must be
+// thread-safe; Drain may block. DoneCallbacks run on backend-internal
+// threads and must not block for long or re-enter Submit.
+
+#ifndef XKS_SERVER_BACKEND_H_
+#define XKS_SERVER_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/api/search_types.h"
+#include "src/common/cancel_token.h"
+#include "src/common/result.h"
+#include "src/server/wire.h"
+
+namespace xks {
+
+/// Monotonic admission counters; read via QueryBackend::stats().
+struct ServiceStats {
+  uint64_t submitted = 0;          ///< Submit calls, admitted or not.
+  uint64_t admitted = 0;           ///< Entered the pending queue.
+  uint64_t completed = 0;          ///< Done callback invoked (any outcome).
+  uint64_t shed_overload = 0;      ///< Rejected: pending queue full.
+  uint64_t shed_quota = 0;         ///< Rejected: per-client quota.
+  uint64_t rejected_draining = 0;  ///< Rejected: drain in progress.
+  uint64_t batches = 0;            ///< Batches dispatched.
+  uint64_t max_batch = 0;          ///< Largest batch dispatched.
+};
+
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+
+  using DoneCallback = std::function<void(Result<SearchResponse>)>;
+
+  /// Admits one query or rejects it synchronously (the returned Status is
+  /// what a server should send back to the client verbatim). On admission,
+  /// `done` is invoked exactly once later with the query's outcome.
+  virtual Status Submit(uint64_t client_id, SearchRequest request,
+                        CancelToken cancel, DoneCallback done) = 0;
+
+  /// Stops admitting (Unavailable) without waiting.
+  virtual void BeginDrain() = 0;
+
+  /// BeginDrain + blocks until every admitted query has completed.
+  virtual void Drain() = 0;
+
+  virtual ServiceStats stats() const = 0;
+
+  /// Answers a kHealthCheck frame: which snapshot (or shard-union view)
+  /// this backend is serving. Must not block on query execution.
+  virtual HealthReply Health() const = 0;
+};
+
+}  // namespace xks
+
+#endif  // XKS_SERVER_BACKEND_H_

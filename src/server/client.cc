@@ -2,19 +2,84 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <utility>
 
-#include "src/server/wire.h"
-
 namespace xks {
+namespace {
 
-Result<XksClient> XksClient::Connect(const std::string& host, uint16_t port) {
+/// Connects `fd` with a wall-clock bound: non-blocking connect, poll for
+/// writability, then SO_ERROR for the real outcome. Restores blocking mode
+/// on success.
+Status ConnectWithTimeout(int fd, const sockaddr_in& addr,
+                          const std::string& peer,
+                          uint64_t connect_timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::IoError(std::string("fcntl: ") + std::strerror(errno));
+  }
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+    return Status::IoError("connect " + peer + ": " + std::strerror(errno));
+  }
+  if (rc != 0) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    // One overall budget, re-armed only against time already spent: EINTR
+    // wakeups do not extend the deadline.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(connect_timeout_ms);
+    for (;;) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        return Status::DeadlineExceeded("connect " + peer + ": timed out after " +
+                                        std::to_string(connect_timeout_ms) +
+                                        "ms");
+      }
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - now);
+      rc = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+      if (rc > 0) break;
+      if (rc == 0) {
+        return Status::DeadlineExceeded("connect " + peer + ": timed out after " +
+                                        std::to_string(connect_timeout_ms) +
+                                        "ms");
+      }
+      if (errno != EINTR) {
+        return Status::IoError(std::string("poll: ") + std::strerror(errno));
+      }
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      return Status::IoError(std::string("getsockopt: ") +
+                             std::strerror(errno));
+    }
+    if (so_error != 0) {
+      return Status::IoError("connect " + peer + ": " +
+                             std::strerror(so_error));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    return Status::IoError(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<XksClient> XksClient::Connect(const std::string& host, uint16_t port,
+                                     uint64_t connect_timeout_ms) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -26,11 +91,17 @@ Result<XksClient> XksClient::Connect(const std::string& host, uint16_t port) {
   if (fd < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
+  const std::string peer = host + ":" + std::to_string(port);
+  if (connect_timeout_ms > 0) {
+    Status status = ConnectWithTimeout(fd, addr, peer, connect_timeout_ms);
+    if (!status.ok()) {
+      ::close(fd);
+      return status;
+    }
+  } else if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
     const Status status =
-        Status::IoError("connect " + host + ":" + std::to_string(port) + ": " +
-                        std::strerror(errno));
+        Status::IoError("connect " + peer + ": " + std::strerror(errno));
     ::close(fd);
     return status;
   }
@@ -91,9 +162,23 @@ Result<XksClient::Reply> XksClient::Receive() {
       return reply;
     }
     case FrameKind::kSearchRequest:
+    case FrameKind::kHealthCheck:
+    case FrameKind::kHealthReply:
+      // Health traffic goes through SendFrame/ReceiveFrame; a health reply
+      // surfacing here means the caller interleaved the two styles.
       break;
   }
   return Status::Corruption("unexpected frame kind from server");
+}
+
+Status XksClient::SendFrame(const Frame& frame) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  return WriteFrame(fd_, frame);
+}
+
+Result<Frame> XksClient::ReceiveFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  return ReadFrame(fd_);
 }
 
 Result<XksClient::Reply> XksClient::Call(const SearchRequest& request) {
@@ -110,6 +195,10 @@ Result<XksClient::Reply> XksClient::Call(const SearchRequest& request) {
 
 void XksClient::FinishSending() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void XksClient::Abort() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 }  // namespace xks

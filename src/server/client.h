@@ -16,7 +16,12 @@
 // Connect/Send/Receive themselves.
 //
 // Instances are NOT thread-safe; use one client per thread or lock
-// externally. Used by examples/xks_client.cpp and tests/server_test.cc.
+// externally. One deliberate exception for wrappers that split send and
+// receive across threads (src/coord/shard_channel.h): the socket's two
+// directions are independent, so ONE thread may block in
+// Receive()/ReceiveFrame() while ANOTHER sends — and Abort() may be called
+// from any thread to unblock both. Everything else still needs external
+// serialization. Used by examples/xks_client.cpp and tests/server_test.cc.
 
 #ifndef XKS_SERVER_CLIENT_H_
 #define XKS_SERVER_CLIENT_H_
@@ -26,6 +31,7 @@
 
 #include "src/api/search_types.h"
 #include "src/common/result.h"
+#include "src/server/wire.h"
 
 namespace xks {
 
@@ -42,8 +48,12 @@ class XksClient {
     std::string raw_response;
   };
 
-  /// Connects to `host`:`port` (numeric IPv4).
-  static Result<XksClient> Connect(const std::string& host, uint16_t port);
+  /// Connects to `host`:`port` (numeric IPv4). `connect_timeout_ms` bounds
+  /// connection establishment (DeadlineExceeded once it elapses); 0 keeps
+  /// the OS default, which can far exceed any query deadline — callers with
+  /// a budget should always pass one.
+  static Result<XksClient> Connect(const std::string& host, uint16_t port,
+                                   uint64_t connect_timeout_ms = 0);
 
   XksClient(XksClient&& other) noexcept;
   XksClient& operator=(XksClient&& other) noexcept;
@@ -63,9 +73,23 @@ class XksClient {
   /// misattribute an earlier request's reply.)
   Result<Reply> Call(const SearchRequest& request);
 
+  /// Sends an arbitrary frame (health checks, protocol extensions) without
+  /// waiting. The caller owns kind/request_id/body.
+  Status SendFrame(const Frame& frame);
+
+  /// Blocks for the next frame, undecoded — the raw counterpart of
+  /// Receive() for callers that dispatch on FrameKind themselves.
+  Result<Frame> ReceiveFrame();
+
   /// Half-closes the write side, telling the server no more requests are
   /// coming while replies can still be read.
   void FinishSending();
+
+  /// Fully shuts down the socket (both directions), making any thread
+  /// blocked in Receive()/ReceiveFrame() fail promptly with IoError. Safe
+  /// to call from another thread; the fd stays owned (and is closed by the
+  /// destructor as usual).
+  void Abort();
 
  private:
   explicit XksClient(int fd) : fd_(fd) {}

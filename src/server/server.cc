@@ -19,9 +19,12 @@ XksServer::Connection::~Connection() {
 }
 
 XksServer::XksServer(const Database* db, const ServerConfig& config)
-    : db_(db), config_(config) {
-  service_ = std::make_unique<QueryService>(db_, config_.service);
-}
+    : config_(config),
+      owned_service_(std::make_unique<QueryService>(db, config.service)),
+      backend_(owned_service_.get()) {}
+
+XksServer::XksServer(QueryBackend* backend, const ServerConfig& config)
+    : config_(config), backend_(backend) {}
 
 XksServer::~XksServer() { Shutdown(); }
 
@@ -103,6 +106,22 @@ void XksServer::ReaderLoop(std::shared_ptr<Connection> conn) {
     Result<Frame> frame = ReadFrame(conn->fd, config_.max_frame_bytes);
     if (!frame.ok()) break;  // clean close, peer error or framing garbage
 
+    if (frame->kind == FrameKind::kHealthCheck) {
+      // Health probes bypass the query pipeline entirely: a draining or
+      // saturated backend still answers, which is exactly what makes them
+      // useful to a coordinator deciding where to send real queries.
+      const Status valid = DecodeHealthCheck(frame->body);
+      if (!valid.ok()) {
+        WriteReply(conn, frame->request_id, valid);
+        continue;
+      }
+      Frame reply;
+      reply.kind = FrameKind::kHealthReply;
+      reply.request_id = frame->request_id;
+      reply.body = EncodeHealthReply(backend_->Health());
+      WriteRawReply(conn, reply);
+      continue;
+    }
     if (frame->kind != FrameKind::kSearchRequest) {
       WriteReply(conn, frame->request_id,
                  Status::InvalidArgument("expected a search request frame"));
@@ -125,7 +144,7 @@ void XksServer::ReaderLoop(std::shared_ptr<Connection> conn) {
       token = conn->inflight[request_id].token();
     }
     std::shared_ptr<Connection> conn_ref = conn;
-    const Status admitted = service_->Submit(
+    const Status admitted = backend_->Submit(
         conn->id, std::move(request).value(), token,
         [conn_ref, request_id](Result<SearchResponse> outcome) {
           WriteReply(conn_ref, request_id, outcome);
@@ -163,6 +182,12 @@ void XksServer::WriteReply(const std::shared_ptr<Connection>& conn,
     frame.kind = FrameKind::kStatus;
     frame.body = EncodeStatusPayload(outcome.status());
   }
+  WriteRawReply(conn, frame);
+}
+
+void XksServer::WriteRawReply(const std::shared_ptr<Connection>& conn,
+                              const Frame& frame) {
+  if (conn->closed.load(std::memory_order_acquire)) return;
   MutexLock lock(conn->write_mutex);
   if (conn->closed.load(std::memory_order_acquire)) return;
   if (!WriteFrame(conn->fd, frame).ok()) {
@@ -189,7 +214,7 @@ void XksServer::Shutdown() {
   // 2. Drain the service: every admitted query completes and its reply is
   //    written to its (still open) connection; new submissions from live
   //    readers are rejected with Unavailable.
-  service_->Drain();
+  backend_->Drain();
 
   // 3. Now the readers: take ownership of both registries under the lock
   //    (the joined acceptor can no longer append), then wake each reader
@@ -217,6 +242,6 @@ void XksServer::Shutdown() {
   listen_fd_ = -1;
 }
 
-ServiceStats XksServer::service_stats() const { return service_->stats(); }
+ServiceStats XksServer::service_stats() const { return backend_->stats(); }
 
 }  // namespace xks

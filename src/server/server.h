@@ -1,12 +1,14 @@
-// XksServer — the TCP front end of the xksd daemon.
+// XksServer — the TCP front end of the xksd and xks_coord daemons.
 //
-// A thin network shell around QueryService: it owns the listening socket,
-// one reader thread per accepted connection, and the framing
+// A thin network shell around a QueryBackend (a local QueryService for
+// xksd, a shard-fanning CoordBackend for xks_coord): it owns the listening
+// socket, one reader thread per accepted connection, and the framing
 // (src/server/wire.h). Everything interesting — batching, admission
-// control, deadlines — lives in the service; the server's own jobs are:
+// control, deadlines — lives in the backend; the server's own jobs are:
 //
 //   * decode request frames and Submit them under the connection's client
 //     id (the unit the per-connection in-flight quota is enforced on);
+//   * answer kHealthCheck frames out-of-band of the query pipeline;
 //   * write each outcome back as a response or Status frame, under a
 //     per-connection write lock so concurrently completing batch members
 //     interleave frame-atomically;
@@ -54,8 +56,14 @@ struct ServerConfig {
 
 class XksServer {
  public:
-  /// `db` must outlive the server.
+  /// Fronts a local corpus: owns a QueryService over `db`. `db` must
+  /// outlive the server.
   XksServer(const Database* db, const ServerConfig& config);
+
+  /// Fronts an externally owned backend (the coordinator daemon uses this;
+  /// config.service is ignored — the backend brings its own admission
+  /// knobs). `backend` must outlive the server.
+  XksServer(QueryBackend* backend, const ServerConfig& config);
 
   /// Shutdown() if still running.
   ~XksServer();
@@ -76,7 +84,7 @@ class XksServer {
   /// readers are live).
   void Shutdown();
 
-  /// Admission/batching counters of the underlying service.
+  /// Admission/batching counters of the underlying backend.
   ServiceStats service_stats() const;
 
   /// Connections accepted over the server's lifetime.
@@ -109,12 +117,17 @@ class XksServer {
   /// Serializes one reply frame to the connection (no-op once closed).
   static void WriteReply(const std::shared_ptr<Connection>& conn,
                          uint64_t request_id, const Result<SearchResponse>& outcome);
+  /// Serializes one raw frame to the connection (health replies; no-op once
+  /// closed).
+  static void WriteRawReply(const std::shared_ptr<Connection>& conn,
+                            const Frame& frame);
   /// Fires every in-flight cancel source of `conn` (disconnect semantics).
   static void CancelAllInflight(Connection* conn);
 
-  const Database* const db_;
   const ServerConfig config_;
-  std::unique_ptr<QueryService> service_;
+  /// Set only by the Database constructor; backend_ points at it then.
+  std::unique_ptr<QueryService> owned_service_;
+  QueryBackend* const backend_;
 
   /// Written by Start() before the acceptor exists and reset by Shutdown()
   /// after every thread that reads it has been joined, so the concurrent

@@ -155,6 +155,18 @@ void QueryService::RunBatch(std::vector<PendingQuery>* batch) {
   XKS_CHECK(*fanned == batch->size());
 }
 
+HealthReply QueryService::Health() const {
+  HealthReply reply;
+  if (!db_->built()) return reply;
+  const std::shared_ptr<const Snapshot> snapshot = db_->snapshot();
+  if (snapshot == nullptr) return reply;
+  reply.epoch = snapshot->epoch();
+  reply.revision = snapshot->revision();
+  reply.document_count = snapshot->document_count();
+  reply.corpus_max_depth = snapshot->corpus_max_depth();
+  return reply;
+}
+
 void QueryService::FinishOne(uint64_t client_id) {
   {
     MutexLock lock(mutex_);

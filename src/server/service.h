@@ -44,6 +44,7 @@
 #include "src/api/database.h"
 #include "src/common/cancel_token.h"
 #include "src/common/mutex.h"
+#include "src/server/backend.h"
 
 namespace xks {
 
@@ -65,19 +66,10 @@ struct ServiceConfig {
   size_t workers = 0;
 };
 
-/// Monotonic counters; read via QueryService::stats().
-struct ServiceStats {
-  uint64_t submitted = 0;          ///< Submit calls, admitted or not.
-  uint64_t admitted = 0;           ///< Entered the pending queue.
-  uint64_t completed = 0;          ///< Done callback invoked (any outcome).
-  uint64_t shed_overload = 0;      ///< Rejected: pending queue full.
-  uint64_t shed_quota = 0;         ///< Rejected: per-client quota.
-  uint64_t rejected_draining = 0;  ///< Rejected: drain in progress.
-  uint64_t batches = 0;            ///< Batches dispatched.
-  uint64_t max_batch = 0;          ///< Largest batch dispatched.
-};
+// ServiceStats lives in src/server/backend.h (shared with every other
+// QueryBackend implementation).
 
-class QueryService {
+class QueryService : public QueryBackend {
  public:
   /// `db` must outlive the service. The dispatcher thread starts
   /// immediately; queries fail cleanly (InvalidArgument) while the
@@ -85,12 +77,10 @@ class QueryService {
   QueryService(const Database* db, const ServiceConfig& config);
 
   /// Drains (see Drain) and joins the dispatcher.
-  ~QueryService();
+  ~QueryService() override;
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
-
-  using DoneCallback = std::function<void(Result<SearchResponse>)>;
 
   /// Admits one query or rejects it synchronously (see file comment for the
   /// admission rules — the returned Status is what a server should send
@@ -100,15 +90,18 @@ class QueryService {
   /// .deadline_ms (if any) is armed HERE, so time spent queued counts
   /// against the deadline.
   Status Submit(uint64_t client_id, SearchRequest request, CancelToken cancel,
-                DoneCallback done) XKS_EXCLUDES(mutex_);
+                DoneCallback done) override XKS_EXCLUDES(mutex_);
 
   /// Stops admitting (Unavailable) without waiting.
-  void BeginDrain() XKS_EXCLUDES(mutex_);
+  void BeginDrain() override XKS_EXCLUDES(mutex_);
 
   /// BeginDrain + blocks until every admitted query has completed.
-  void Drain() XKS_EXCLUDES(mutex_);
+  void Drain() override XKS_EXCLUDES(mutex_);
 
-  ServiceStats stats() const XKS_EXCLUDES(mutex_);
+  ServiceStats stats() const override XKS_EXCLUDES(mutex_);
+
+  /// The published snapshot's epoch/revision/size; all-zero before Build().
+  HealthReply Health() const override;
 
  private:
   struct PendingQuery {

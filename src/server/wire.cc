@@ -20,6 +20,7 @@ constexpr uint8_t kFlagUseCache = 1u << 1;
 constexpr uint8_t kFlagSnippets = 1u << 2;
 constexpr uint8_t kFlagRawFragments = 1u << 3;
 constexpr uint8_t kFlagStats = 1u << 4;
+constexpr uint8_t kFlagScanBreakdown = 1u << 5;
 
 void PutDouble(std::string* dst, double value) {
   PutVarint64(dst, std::bit_cast<uint64_t>(value));
@@ -130,6 +131,7 @@ std::string EncodeSearchRequest(const SearchRequest& request) {
   if (request.include_snippets) flags |= kFlagSnippets;
   if (request.include_raw_fragments) flags |= kFlagRawFragments;
   if (request.include_stats) flags |= kFlagStats;
+  if (request.include_scan_breakdown) flags |= kFlagScanBreakdown;
   body.push_back(static_cast<char>(flags));
   PutDouble(&body, request.weights.specificity);
   PutDouble(&body, request.weights.proximity);
@@ -137,6 +139,11 @@ std::string EncodeSearchRequest(const SearchRequest& request) {
   PutDouble(&body, request.weights.slca_bonus);
   PutDouble(&body, request.weights.match_concentration);
   PutVarint64(&body, request.deadline_ms);
+  // Optional trailing section (see wire.h "Evolution"): present only when
+  // non-default, so a defaulted request is byte-for-byte the v1 encoding.
+  if (request.shared_depth_normalizer != 0) {
+    PutVarint64(&body, request.shared_depth_normalizer);
+  }
   return body;
 }
 
@@ -189,6 +196,7 @@ Result<SearchRequest> DecodeSearchRequest(std::string_view body) {
   request.include_snippets = (flags & kFlagSnippets) != 0;
   request.include_raw_fragments = (flags & kFlagRawFragments) != 0;
   request.include_stats = (flags & kFlagStats) != 0;
+  request.include_scan_breakdown = (flags & kFlagScanBreakdown) != 0;
   XKS_ASSIGN_OR_RETURN(request.weights.specificity, ReadDouble(&reader));
   XKS_ASSIGN_OR_RETURN(request.weights.proximity, ReadDouble(&reader));
   XKS_ASSIGN_OR_RETURN(request.weights.compactness, ReadDouble(&reader));
@@ -196,6 +204,14 @@ Result<SearchRequest> DecodeSearchRequest(std::string_view body) {
   XKS_ASSIGN_OR_RETURN(request.weights.match_concentration,
                        ReadDouble(&reader));
   XKS_ASSIGN_OR_RETURN(request.deadline_ms, reader.ReadVarint64());
+  if (reader.remaining() > 0) {
+    XKS_ASSIGN_OR_RETURN(request.shared_depth_normalizer,
+                         reader.ReadVarint64());
+    if (request.shared_depth_normalizer == 0) {
+      return Status::Corruption(
+          "non-canonical search request: explicit zero depth normalizer");
+    }
+  }
   XKS_RETURN_IF_ERROR(reader.ExpectDone("search request"));
   return request;
 }
@@ -226,6 +242,15 @@ std::string EncodeSearchResponse(const SearchResponse& response) {
   PutDouble(&body, response.timings.prune_ms);
   PutVarint64(&body, response.pruning.raw_nodes);
   PutVarint64(&body, response.pruning.kept_nodes);
+  // Optional trailing section (see wire.h "Evolution"): the per-document
+  // scan breakdown, present only when the request asked for it.
+  if (!response.scan_breakdown.empty()) {
+    PutVarint64(&body, response.scan_breakdown.size());
+    for (const DocumentScanCount& entry : response.scan_breakdown) {
+      PutVarint32(&body, entry.document);
+      PutVarint64(&body, entry.hits);
+    }
+  }
   return body;
 }
 
@@ -281,8 +306,58 @@ Result<SearchResponse> DecodeSearchResponse(std::string_view body) {
   response.pruning.raw_nodes = static_cast<size_t>(value);
   XKS_ASSIGN_OR_RETURN(value, reader.ReadVarint64());
   response.pruning.kept_nodes = static_cast<size_t>(value);
+  if (reader.remaining() > 0) {
+    uint64_t breakdown_count = 0;
+    XKS_ASSIGN_OR_RETURN(breakdown_count,
+                         reader.ReadCount("scan breakdown count"));
+    if (breakdown_count == 0) {
+      return Status::Corruption(
+          "non-canonical search response: empty scan breakdown section");
+    }
+    response.scan_breakdown.reserve(static_cast<size_t>(breakdown_count));
+    for (uint64_t i = 0; i < breakdown_count; ++i) {
+      DocumentScanCount entry;
+      XKS_ASSIGN_OR_RETURN(entry.document, reader.ReadVarint32());
+      XKS_ASSIGN_OR_RETURN(entry.hits, reader.ReadVarint64());
+      response.scan_breakdown.push_back(entry);
+    }
+  }
   XKS_RETURN_IF_ERROR(reader.ExpectDone("search response"));
   return response;
+}
+
+std::string EncodeHealthCheck() {
+  std::string body;
+  body.push_back(static_cast<char>(kBodyVersion));
+  return body;
+}
+
+Status DecodeHealthCheck(std::string_view body) {
+  ByteReader reader(body);
+  XKS_RETURN_IF_ERROR(CheckVersion(&reader));
+  return reader.ExpectDone("health check");
+}
+
+std::string EncodeHealthReply(const HealthReply& reply) {
+  std::string body;
+  body.push_back(static_cast<char>(kBodyVersion));
+  PutVarint64(&body, reply.epoch);
+  PutVarint64(&body, reply.revision);
+  PutVarint64(&body, reply.document_count);
+  PutVarint64(&body, reply.corpus_max_depth);
+  return body;
+}
+
+Result<HealthReply> DecodeHealthReply(std::string_view body) {
+  ByteReader reader(body);
+  XKS_RETURN_IF_ERROR(CheckVersion(&reader));
+  HealthReply reply;
+  XKS_ASSIGN_OR_RETURN(reply.epoch, reader.ReadVarint64());
+  XKS_ASSIGN_OR_RETURN(reply.revision, reader.ReadVarint64());
+  XKS_ASSIGN_OR_RETURN(reply.document_count, reader.ReadVarint64());
+  XKS_ASSIGN_OR_RETURN(reply.corpus_max_depth, reader.ReadVarint64());
+  XKS_RETURN_IF_ERROR(reader.ExpectDone("health reply"));
+  return reply;
 }
 
 std::string EncodeStatusPayload(const Status& status) {
@@ -321,7 +396,7 @@ Result<Frame> DecodeFramePayload(std::string_view payload) {
   uint8_t kind = 0;
   XKS_ASSIGN_OR_RETURN(kind, reader.ReadU8());
   if (kind < static_cast<uint8_t>(FrameKind::kSearchRequest) ||
-      kind > static_cast<uint8_t>(FrameKind::kStatus)) {
+      kind > static_cast<uint8_t>(FrameKind::kHealthReply)) {
     return Status::Corruption("bad frame kind " + std::to_string(kind));
   }
   Frame frame;

@@ -19,6 +19,13 @@
 // Corruption, so a malformed or hostile peer cannot push garbage past the
 // boundary.
 //
+// Evolution. New fields are appended as optional trailing sections that are
+// encoded only when non-default (and rejected as non-canonical when a peer
+// sends them explicitly defaulted), so a message built from default-valued
+// new fields is byte-for-byte the original v1 encoding — the golden-pinned
+// byte-identity contract survives protocol growth, and current decoders
+// accept bytes from older peers.
+//
 // Fidelity. A request round-trips losslessly: every result-shaping field of
 // SearchRequest is carried, so the daemon executes exactly the request the
 // client built (the in-process CancelToken is the one field that does not
@@ -50,6 +57,28 @@ enum class FrameKind : uint8_t {
   /// Server → client: a non-OK Status for one request_id (bad request,
   /// deadline exceeded, overload shed, draining, ...).
   kStatus = 3,
+  /// Client → server: liveness + snapshot probe (empty body beyond the
+  /// version byte). Answered out-of-band of the query pipeline — a draining
+  /// or saturated daemon still replies. The sharded coordinator pings
+  /// shards with these.
+  kHealthCheck = 4,
+  /// Server → client: the serialized HealthReply for one kHealthCheck.
+  kHealthReply = 5,
+};
+
+/// A daemon's answer to kHealthCheck: which snapshot it is serving.
+/// All-zero until the corpus is built.
+struct HealthReply {
+  /// Snapshot epoch (Database::epoch()); 0 before Build().
+  uint64_t epoch = 0;
+  /// Corpus revision (stable across Save/Load, bumped per mutation).
+  uint64_t revision = 0;
+  /// Live documents in the snapshot.
+  uint64_t document_count = 0;
+  /// Corpus-wide maximum document depth — the ranking depth normalizer a
+  /// coordinator must union across shards for merged scores to be
+  /// comparable.
+  uint64_t corpus_max_depth = 0;
 };
 
 /// One decoded frame.
@@ -79,6 +108,18 @@ std::string EncodeSearchResponse(const SearchResponse& response);
 /// Parses an EncodeSearchResponse body. Hits carry document, name, score
 /// and snippet; fragment trees do not travel.
 Result<SearchResponse> DecodeSearchResponse(std::string_view body);
+
+/// Serializes a kHealthCheck body (version byte only).
+std::string EncodeHealthCheck();
+
+/// Validates an EncodeHealthCheck body (version + no trailing bytes).
+Status DecodeHealthCheck(std::string_view body);
+
+/// Serializes a HealthReply.
+std::string EncodeHealthReply(const HealthReply& reply);
+
+/// Parses an EncodeHealthReply body.
+Result<HealthReply> DecodeHealthReply(std::string_view body);
 
 /// Serializes a Status (code + message).
 std::string EncodeStatusPayload(const Status& status);

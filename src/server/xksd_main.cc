@@ -45,6 +45,9 @@ void Usage(const char* argv0) {
       "                       (fraction of dblp20040213; e.g. 0.01)\n"
       "  --gen-docs N         split the generated corpus into N documents\n"
       "                       with distinct seeds (default 4)\n"
+      "  --gen-seed N         base seed for the generated documents\n"
+      "                       (default 42; shards of one deployment use\n"
+      "                       distinct bases for distinct content)\n"
       "\n"
       "server:\n"
       "  --host ADDR          numeric IPv4 listen address (default "
@@ -75,6 +78,7 @@ int main(int argc, char** argv) {
   std::string corpus_path;
   double gen_scale = -1.0;
   uint64_t gen_docs = 4;
+  uint64_t gen_seed = 42;
   std::string host = "127.0.0.1";
   uint64_t port = 7700;
   xks::ServiceConfig service;
@@ -100,6 +104,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--gen-docs") {
       if (!ParseUint(next(), &gen_docs) || gen_docs == 0) {
         std::fprintf(stderr, "xksd: --gen-docs needs a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--gen-seed") {
+      if (!ParseUint(next(), &gen_seed)) {
+        std::fprintf(stderr, "xksd: --gen-seed needs an integer\n");
         return 2;
       }
     } else if (arg == "--host") {
@@ -161,7 +170,7 @@ int main(int argc, char** argv) {
   } else {
     for (uint64_t d = 0; d < gen_docs; ++d) {
       xks::DblpOptions options;
-      options.seed = 42 + d;
+      options.seed = gen_seed + d;
       options.scale = gen_scale;
       auto added = db.AddDocument("dblp-" + std::to_string(d),
                                   xks::GenerateDblp(options));

@@ -1,0 +1,584 @@
+// Coordinator scatter-gather over real xksd shards: the byte-identity
+// contract (merged responses are byte-for-byte what the single-node union
+// corpus encodes, at every page of a pagination walk), selection and error
+// parity, epoch-vector cursor agreement, the never-partial failure policy
+// for dead and slow shards, and a TSan query/reconnect hammer.
+
+#include "src/coord/coordinator.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/database.h"
+#include "src/coord/coord_service.h"
+#include "src/coord/shard_map.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/server/wire.h"
+#include "tests/test_util.h"
+
+namespace xks {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixture: a union corpus and its sharded twin.
+//
+// The union database holds documents doc-0..doc-5; shard 0 serves doc-0..2
+// and shard 1 serves doc-3..5 (same names, same content, same relative
+// order), each behind a real XksServer socket. Byte-identity is stated
+// against `union_db`.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kDocs = 6;
+constexpr size_t kDocsPerShard = 3;
+
+Document CorpusDocument(size_t d) {
+  return RandomDocument(/*seed=*/9100 + d, /*target_count=*/40);
+}
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { StartFleet(ServerConfig{}, ServerConfig{}); }
+
+  void StartFleet(const ServerConfig& shard0_config,
+                  const ServerConfig& shard1_config) {
+    for (size_t d = 0; d < kDocs; ++d) {
+      const std::string name = "doc-" + std::to_string(d);
+      const Document doc = CorpusDocument(d);
+      ASSERT_TRUE(union_db_.AddDocument(name, doc).ok());
+      Database& shard = d < kDocsPerShard ? shard0_db_ : shard1_db_;
+      ASSERT_TRUE(shard.AddDocument(name, doc).ok());
+    }
+    ASSERT_TRUE(union_db_.Build().ok());
+    ASSERT_TRUE(shard0_db_.Build().ok());
+    ASSERT_TRUE(shard1_db_.Build().ok());
+    shard0_server_ = std::make_unique<XksServer>(&shard0_db_, shard0_config);
+    shard1_server_ = std::make_unique<XksServer>(&shard1_db_, shard1_config);
+    ASSERT_TRUE(shard0_server_->Start().ok());
+    ASSERT_TRUE(shard1_server_->Start().ok());
+  }
+
+  ShardMap Map() const {
+    ShardInfo s0, s1;
+    s0.host = s1.host = "127.0.0.1";
+    s0.port = shard0_server_->port();
+    s1.port = shard1_server_->port();
+    s0.first_id = 0;
+    s0.last_id = kDocsPerShard - 1;
+    s1.first_id = kDocsPerShard;
+    s1.last_id = kDocs - 1;
+    auto map = ShardMap::Of({s0, s1});
+    EXPECT_TRUE(map.ok()) << map.status().ToString();
+    return std::move(map).value();
+  }
+
+  /// A coordinator that fails fast when a shard is gone (the dead-shard
+  /// tests would otherwise sit out the full dial backoff).
+  static CoordinatorConfig FastConfig() {
+    CoordinatorConfig config;
+    config.channel.connect_timeout_ms = 500;
+    config.channel.connect_attempts = 1;
+    return config;
+  }
+
+  /// Deterministic byte-identity projection (see server_test.cc): cache
+  /// bypassed, stats off — the two nondeterministic field groups.
+  static SearchRequest DeterministicRequest(const std::string& query,
+                                            bool rank, size_t top_k) {
+    SearchRequest request;
+    request.query = query;
+    request.rank = rank;
+    request.top_k = top_k;
+    request.use_cache = false;
+    request.include_stats = false;
+    return request;
+  }
+
+  /// Asserts `actual` (coordinator) is byte-identical to `expected`
+  /// (single-node) modulo the cursor token, whose FORMAT legitimately
+  /// differs ("xksco1" carries an epoch vector, "xksc2" one epoch); the
+  /// cursors' presence must still agree. Returns via out-params both
+  /// next cursors so walks can continue on their own token.
+  static void ExpectPageIdentical(const SearchResponse& expected,
+                                  const SearchResponse& actual,
+                                  const std::string& what) {
+    EXPECT_EQ(expected.next_cursor.empty(), actual.next_cursor.empty())
+        << what << ": cursor presence diverges";
+    SearchResponse expected_copy = expected;
+    SearchResponse actual_copy = actual;
+    expected_copy.next_cursor.clear();
+    actual_copy.next_cursor.clear();
+    EXPECT_EQ(EncodeSearchResponse(expected_copy),
+              EncodeSearchResponse(actual_copy))
+        << what << ": wire bytes diverge from the single-node union corpus";
+  }
+
+  /// Walks one request to the last page on both sides, asserting
+  /// byte-identity page by page. Returns the number of pages.
+  size_t ExpectWalkIdentical(Coordinator& coordinator, SearchRequest request,
+                             const std::string& what) {
+    std::string union_cursor;
+    std::string coord_cursor;
+    size_t pages = 0;
+    for (;;) {
+      SearchRequest union_request = request;
+      union_request.cursor = union_cursor;
+      SearchRequest coord_request = request;
+      coord_request.cursor = coord_cursor;
+      Result<SearchResponse> expected = union_db_.Search(union_request);
+      Result<SearchResponse> actual = coordinator.Search(coord_request);
+      EXPECT_EQ(expected.ok(), actual.ok())
+          << what << " page " << pages << ": "
+          << (expected.ok() ? actual.status() : expected.status()).ToString();
+      if (!expected.ok() || !actual.ok()) return pages;
+      ++pages;
+      ExpectPageIdentical(expected.value(), actual.value(),
+                          what + " page " + std::to_string(pages));
+      if (expected.value().next_cursor.empty() ||
+          actual.value().next_cursor.empty()) {
+        return pages;
+      }
+      union_cursor = expected.value().next_cursor;
+      coord_cursor = actual.value().next_cursor;
+    }
+  }
+
+  Database union_db_;
+  Database shard0_db_;
+  Database shard1_db_;
+  std::unique_ptr<XksServer> shard0_server_;
+  std::unique_ptr<XksServer> shard1_server_;
+};
+
+// ---------------------------------------------------------------------------
+// Coordinator cursor codec.
+// ---------------------------------------------------------------------------
+
+TEST(CoordCursorTest, RoundTrips) {
+  CoordCursor cursor;
+  cursor.fingerprint = 0xdeadbeefcafef00dull;
+  cursor.offset = 42;
+  cursor.epochs = {1, 0, 0xffffffffffffffffull};
+  const std::string token = EncodeCoordCursor(cursor);
+  EXPECT_EQ(token.compare(0, 7, "xksco1:"), 0) << token;
+  auto decoded = DecodeCoordCursor(token);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().fingerprint, cursor.fingerprint);
+  EXPECT_EQ(decoded.value().offset, cursor.offset);
+  EXPECT_EQ(decoded.value().epochs, cursor.epochs);
+}
+
+TEST(CoordCursorTest, RejectsMalformedTokens) {
+  for (const char* token : {
+           "",                        //
+           "xksco1:",                 // no fields
+           "xksco1:12",               // missing offset and epochs
+           "xksco1:12:34",            // missing epochs
+           "xksco1:12:34:",           // empty epoch list
+           "xksco1:12:34:5,",         // trailing comma
+           "xksco1:12:34:5,,6",       // empty epoch entry
+           "xksco1:xyz:34:5",         // non-hex fingerprint
+           "xksco1:12:34:5;6",        // wrong separator
+           "xksco1:123456789abcdef01:0:1",  // 17-digit fingerprint
+           "xksc2:12:34:5",           // the single-node family
+           "bogus",                   //
+       }) {
+    auto decoded = DecodeCoordCursor(token);
+    EXPECT_FALSE(decoded.ok()) << "accepted '" << token << "'";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte identity.
+// ---------------------------------------------------------------------------
+
+TEST_F(CoordinatorTest, SinglePageMatchesUnionCorpusBytes) {
+  Coordinator coordinator(Map(), CoordinatorConfig{});
+  for (const char* query : {"apple berry", "cedar", "ember fig dune",
+                            "nosuchword"}) {
+    for (bool rank : {false, true}) {
+      SearchRequest request = DeterministicRequest(query, rank, /*top_k=*/10);
+      Result<SearchResponse> expected = union_db_.Search(request);
+      Result<SearchResponse> actual = coordinator.Search(request);
+      ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+      ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+      ExpectPageIdentical(expected.value(), actual.value(),
+                          std::string(query) + (rank ? " ranked" : ""));
+    }
+  }
+}
+
+TEST_F(CoordinatorTest, UnboundedPageMatchesUnionCorpusBytes) {
+  Coordinator coordinator(Map(), CoordinatorConfig{});
+  for (bool rank : {false, true}) {
+    SearchRequest request = DeterministicRequest("apple", rank, /*top_k=*/0);
+    Result<SearchResponse> expected = union_db_.Search(request);
+    Result<SearchResponse> actual = coordinator.Search(request);
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    EXPECT_TRUE(actual.value().next_cursor.empty());
+    ExpectPageIdentical(expected.value(), actual.value(), "top_k=0");
+  }
+}
+
+TEST_F(CoordinatorTest, FullPaginationWalksAreByteIdentical) {
+  Coordinator coordinator(Map(), CoordinatorConfig{});
+  for (const char* query : {"apple berry", "apple", "fig"}) {
+    for (bool rank : {false, true}) {
+      // A small page so the walk crosses shard boundaries several times —
+      // unranked this exercises the serial-prefix over-scan, ranked the
+      // shared-normalizer k-way merge, page after page.
+      const size_t pages = ExpectWalkIdentical(
+          coordinator, DeterministicRequest(query, rank, /*top_k=*/2),
+          std::string(query) + (rank ? " ranked" : " unranked"));
+      EXPECT_GE(pages, 2u) << query << ": walk never paginated";
+    }
+  }
+}
+
+TEST_F(CoordinatorTest, SnippetsAndFragmentsSurviveTheMerge) {
+  Coordinator coordinator(Map(), CoordinatorConfig{});
+  SearchRequest request = DeterministicRequest("apple berry", true, 5);
+  request.include_snippets = true;
+  request.include_raw_fragments = true;
+  Result<SearchResponse> expected = union_db_.Search(request);
+  Result<SearchResponse> actual = coordinator.Search(request);
+  ASSERT_TRUE(expected.ok() && actual.ok());
+  ExpectPageIdentical(expected.value(), actual.value(), "snippets");
+}
+
+TEST_F(CoordinatorTest, ScanBreakdownReportsGlobalIds) {
+  Coordinator coordinator(Map(), CoordinatorConfig{});
+  SearchRequest request = DeterministicRequest("apple", false, /*top_k=*/0);
+  request.include_scan_breakdown = true;
+  Result<SearchResponse> expected = union_db_.Search(request);
+  Result<SearchResponse> actual = coordinator.Search(request);
+  ASSERT_TRUE(expected.ok() && actual.ok());
+  ASSERT_EQ(actual.value().scan_breakdown.size(), kDocs);
+  EXPECT_EQ(actual.value().scan_breakdown.back().document, kDocs - 1)
+      << "shard-local ids leaked into the merged breakdown";
+  ExpectPageIdentical(expected.value(), actual.value(), "breakdown");
+}
+
+// ---------------------------------------------------------------------------
+// Document selections: routing, rewrite and error parity.
+// ---------------------------------------------------------------------------
+
+TEST_F(CoordinatorTest, ExplicitSelectionsMatchAcrossShardsAndOrderings) {
+  Coordinator coordinator(Map(), CoordinatorConfig{});
+  const std::vector<std::vector<DocumentId>> selections = {
+      {0, 1, 2},        // shard 0 only
+      {3, 4, 5},        // shard 1 only
+      {1, 4},           // one from each
+      {4, 1, 3, 0},     // interleaved, out of id order
+      {5, 4, 3, 2, 1, 0},  // everything, reversed
+      {2},              // single document (result-set-relative ranking)
+  };
+  for (const auto& selection : selections) {
+    for (bool rank : {false, true}) {
+      SearchRequest request = DeterministicRequest("apple berry", rank, 4);
+      request.documents = selection;
+      const std::string what =
+          "selection of " + std::to_string(selection.size()) +
+          (rank ? " ranked" : "");
+      ExpectWalkIdentical(coordinator, request, what);
+    }
+  }
+}
+
+TEST_F(CoordinatorTest, SelectionErrorsMatchTheSingleNodeMessages) {
+  Coordinator coordinator(Map(), CoordinatorConfig{});
+  {
+    SearchRequest request = DeterministicRequest("apple", false, 10);
+    request.documents = {1, 99};
+    Result<SearchResponse> expected = union_db_.Search(request);
+    Result<SearchResponse> actual = coordinator.Search(request);
+    ASSERT_FALSE(expected.ok());
+    ASSERT_FALSE(actual.ok());
+    EXPECT_EQ(actual.status().code(), StatusCode::kNotFound);
+    EXPECT_EQ(actual.status().message(), expected.status().message());
+  }
+  {
+    SearchRequest request = DeterministicRequest("apple", false, 10);
+    request.documents = {2, 2};
+    Result<SearchResponse> expected = union_db_.Search(request);
+    Result<SearchResponse> actual = coordinator.Search(request);
+    ASSERT_FALSE(expected.ok());
+    ASSERT_FALSE(actual.ok());
+    EXPECT_EQ(actual.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(actual.status().message(), expected.status().message());
+  }
+}
+
+TEST_F(CoordinatorTest, ShardLocalNotFoundIsRewrittenToTheGlobalId) {
+  // Remove a document on shard 1 only: global id 4 (= local id 1 there)
+  // becomes a tombstone the coordinator's roster still routes to the shard.
+  // The shard's local-id NotFound must come back in the client's global
+  // terms.
+  ASSERT_TRUE(shard1_db_.RemoveDocument("doc-4").ok());
+  Coordinator coordinator(Map(), CoordinatorConfig{});
+  SearchRequest request = DeterministicRequest("apple", false, 10);
+  request.documents = {4};
+  Result<SearchResponse> actual = coordinator.Search(request);
+  ASSERT_FALSE(actual.ok());
+  EXPECT_EQ(actual.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(actual.status().message(), "unknown document id 4");
+}
+
+// ---------------------------------------------------------------------------
+// Epoch agreement.
+// ---------------------------------------------------------------------------
+
+TEST_F(CoordinatorTest, CursorReplayAfterShardMutationIsFailedPrecondition) {
+  Coordinator coordinator(Map(), CoordinatorConfig{});
+  for (bool rank : {false, true}) {
+    SearchRequest request = DeterministicRequest("apple", rank, 2);
+    Result<SearchResponse> first = coordinator.Search(request);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    ASSERT_FALSE(first.value().next_cursor.empty());
+
+    // One shard's corpus moves between pages (epoch bump on shard 0).
+    ASSERT_TRUE(shard0_db_
+                    .AddDocument("extra-" + std::to_string(rank),
+                                 RandomDocument(7000 + rank, 20))
+                    .ok());
+
+    request.cursor = first.value().next_cursor;
+    Result<SearchResponse> replay = coordinator.Search(request);
+    ASSERT_FALSE(replay.ok()) << "replay across a mutation must fail";
+    EXPECT_EQ(replay.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(replay.status().message().find("corpus changed"),
+              std::string::npos)
+        << replay.status().message();
+  }
+  EXPECT_GE(coordinator.stats().epoch_mismatches, 2u);
+}
+
+TEST_F(CoordinatorTest, CursorFromAnotherLayoutIsRejected) {
+  Coordinator coordinator(Map(), CoordinatorConfig{});
+  SearchRequest request = DeterministicRequest("apple", false, 2);
+  Result<SearchResponse> first = coordinator.Search(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first.value().next_cursor.empty());
+
+  // Same fields, one epoch entry instead of two: a cursor minted under a
+  // different shard count never reaches the fingerprint check.
+  auto cursor = DecodeCoordCursor(first.value().next_cursor);
+  ASSERT_TRUE(cursor.ok());
+  CoordCursor foreign = cursor.value();
+  foreign.epochs.resize(1);
+  request.cursor = EncodeCoordCursor(foreign);
+  Result<SearchResponse> replay = coordinator.Search(request);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kInvalidArgument);
+
+  // A different request under the same layout: wrong fingerprint.
+  SearchRequest other = DeterministicRequest("cedar", false, 2);
+  other.cursor = first.value().next_cursor;
+  Result<SearchResponse> mismatch = coordinator.Search(other);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(mismatch.status().message().find("does not belong"),
+            std::string::npos);
+}
+
+TEST_F(CoordinatorTest, HealthAggregatesTheRoster) {
+  Coordinator coordinator(Map(), CoordinatorConfig{});
+  EXPECT_EQ(coordinator.Health().document_count, 0u)
+      << "health must be all-zero before any roster sweep";
+  ASSERT_TRUE(coordinator.RefreshRoster(CancelToken()).ok());
+  const HealthReply health = coordinator.Health();
+  EXPECT_EQ(health.document_count, kDocs);
+  EXPECT_EQ(health.epoch, 1u);
+  EXPECT_EQ(coordinator.stats().roster_refreshes, 1u);
+  EXPECT_EQ(coordinator.shard_health(0), ShardHealth::kHealthy);
+  EXPECT_EQ(coordinator.shard_health(1), ShardHealth::kHealthy);
+}
+
+// ---------------------------------------------------------------------------
+// Failure policy: never partial.
+// ---------------------------------------------------------------------------
+
+TEST_F(CoordinatorTest, DeadShardFailsTheWholeQueryWithUnavailable) {
+  Coordinator coordinator(Map(), FastConfig());
+  // Prove the fleet answers, then kill shard 1.
+  SearchRequest request = DeterministicRequest("apple", false, 10);
+  ASSERT_TRUE(coordinator.Search(request).ok());
+  shard1_server_->Shutdown();
+
+  Result<SearchResponse> outcome = coordinator.Search(request);
+  ASSERT_FALSE(outcome.ok()) << "a dead shard must never yield a partial "
+                                "merge";
+  EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+
+  // A query routed entirely to the live shard still succeeds.
+  SearchRequest live = DeterministicRequest("apple", false, 10);
+  live.documents = {0, 1, 2};
+  Result<SearchResponse> survived = coordinator.Search(live);
+  EXPECT_TRUE(survived.ok()) << survived.status().ToString();
+
+  const CoordStats stats = coordinator.stats();
+  EXPECT_GE(stats.degraded, 1u);
+  EXPECT_GE(stats.failed, 1u);
+}
+
+TEST_F(CoordinatorTest, SlowShardFailsTheWholeQueryWithDeadlineExceeded) {
+  // Rebuild the fleet with shard 1 configured to linger far past the
+  // query deadline (its batch never fills), making it deterministically
+  // "slow" rather than dead.
+  shard0_server_->Shutdown();
+  shard1_server_->Shutdown();
+  ServerConfig slow;
+  slow.service.batch_max = 64;
+  slow.service.batch_linger_ms = 2000;
+  shard0_server_ = std::make_unique<XksServer>(&shard0_db_, ServerConfig{});
+  shard1_server_ = std::make_unique<XksServer>(&shard1_db_, slow);
+  ASSERT_TRUE(shard0_server_->Start().ok());
+  ASSERT_TRUE(shard1_server_->Start().ok());
+
+  Coordinator coordinator(Map(), CoordinatorConfig{});
+  SearchRequest request = DeterministicRequest("apple", false, 10);
+  request.deadline_ms = 100;
+  Result<SearchResponse> outcome = coordinator.Search(request);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(coordinator.stats().degraded, 1u);
+}
+
+TEST_F(CoordinatorTest, ShardRestartReconnectsTransparently) {
+  Coordinator coordinator(Map(), FastConfig());
+  SearchRequest request = DeterministicRequest("apple", false, 10);
+  Result<SearchResponse> before = coordinator.Search(request);
+  ASSERT_TRUE(before.ok());
+
+  // Bounce shard 1 on the SAME port (the roster is static).
+  const uint16_t port = shard1_server_->port();
+  shard1_server_->Shutdown();
+  ASSERT_FALSE(coordinator.Search(request).ok());
+  ServerConfig config;
+  config.port = port;
+  shard1_server_ = std::make_unique<XksServer>(&shard1_db_, config);
+  ASSERT_TRUE(shard1_server_->Start().ok());
+
+  Result<SearchResponse> after = coordinator.Search(request);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ExpectPageIdentical(before.value(), after.value(), "post-restart");
+  EXPECT_GE(coordinator.channel_stats(1).connects, 2u);
+  EXPECT_GE(coordinator.channel_stats(1).connection_losses, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (the TSan target): queries racing reconnects and sweeps.
+// ---------------------------------------------------------------------------
+
+TEST_F(CoordinatorTest, ConcurrentQueriesSurviveShardChurn) {
+  Coordinator coordinator(Map(), FastConfig());
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> merged_ok{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      const char* queries[] = {"apple berry", "cedar", "fig"};
+      uint64_t round = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        SearchRequest request = DeterministicRequest(
+            queries[(t + round) % 3], /*rank=*/(t + round) % 2 == 0,
+            /*top_k=*/3);
+        if ((t + round) % 4 == 0) request.documents = {1, 4};
+        ++round;
+        Result<SearchResponse> outcome = coordinator.Search(request);
+        if (outcome.ok()) {
+          merged_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Shard churn may only surface as whole-query Unavailable /
+          // DeadlineExceeded — anything else is a merge bug.
+          EXPECT_TRUE(outcome.status().code() == StatusCode::kUnavailable ||
+                      outcome.status().code() ==
+                          StatusCode::kDeadlineExceeded)
+              << outcome.status().ToString();
+        }
+      }
+    });
+  }
+  std::thread sweeper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      static_cast<void>(coordinator.RefreshRoster(CancelToken()));
+      static_cast<void>(coordinator.Health());
+      static_cast<void>(coordinator.stats());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // Bounce shard 1 under load, twice.
+  const uint16_t port = shard1_server_->port();
+  for (int bounce = 0; bounce < 2; ++bounce) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    shard1_server_->Shutdown();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ServerConfig config;
+    config.port = port;
+    shard1_server_ = std::make_unique<XksServer>(&shard1_db_, config);
+    ASSERT_TRUE(shard1_server_->Start().ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& worker : workers) worker.join();
+  sweeper.join();
+  EXPECT_GT(merged_ok.load(), 0u) << "no query ever merged under churn";
+}
+
+// ---------------------------------------------------------------------------
+// The daemon stack end to end: CoordBackend behind a real XksServer.
+// ---------------------------------------------------------------------------
+
+TEST_F(CoordinatorTest, CoordDaemonServesTheSameWireProtocol) {
+  Coordinator coordinator(Map(), CoordinatorConfig{});
+  CoordBackend backend(&coordinator, CoordBackendConfig{});
+  XksServer front(&backend, ServerConfig{});
+  ASSERT_TRUE(front.Start().ok());
+
+  auto connected = XksClient::Connect("127.0.0.1", front.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  XksClient client = std::move(connected).value();
+
+  // Byte identity holds through the full daemon stack: client → coord
+  // server → CoordBackend → Coordinator → shard servers and back.
+  SearchRequest request = DeterministicRequest("apple berry", true, 4);
+  Result<SearchResponse> expected = union_db_.Search(request);
+  ASSERT_TRUE(expected.ok());
+  auto reply = client.Call(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply.value().outcome.ok())
+      << reply.value().outcome.status().ToString();
+  ExpectPageIdentical(expected.value(), reply.value().outcome.value(),
+                      "daemon stack");
+
+  // The health frame reports the union corpus once the roster is known.
+  ASSERT_TRUE(coordinator.RefreshRoster(CancelToken()).ok());
+  Frame ping;
+  ping.kind = FrameKind::kHealthCheck;
+  ping.request_id = 99;
+  ping.body = EncodeHealthCheck();
+  ASSERT_TRUE(client.SendFrame(ping).ok());
+  Result<Frame> pong = client.ReceiveFrame();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  ASSERT_EQ(pong.value().kind, FrameKind::kHealthReply);
+  Result<HealthReply> health = DecodeHealthReply(pong.value().body);
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health.value().document_count, kDocs);
+
+  // Drain: admitted queries finish, later ones are shed Unavailable.
+  front.Shutdown();
+  const ServiceStats stats = front.service_stats();
+  EXPECT_EQ(stats.completed, stats.admitted);
+}
+
+}  // namespace
+}  // namespace xks

@@ -1,0 +1,156 @@
+// ShardMap roster validation, the text format, global-id routing and the
+// fingerprint that pins coordinator cursors to one sharding layout.
+
+#include "src/coord/shard_map.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xks {
+namespace {
+
+ShardInfo Shard(const std::string& host, uint16_t port, DocumentId first,
+                DocumentId last) {
+  ShardInfo info;
+  info.host = host;
+  info.port = port;
+  info.first_id = first;
+  info.last_id = last;
+  return info;
+}
+
+TEST(ShardMapTest, OfAcceptsAValidRoster) {
+  auto map = ShardMap::Of({Shard("127.0.0.1", 7001, 0, 4),
+                           Shard("127.0.0.1", 7002, 5, 9),
+                           Shard("10.0.0.3", 7001, 20, 20)});
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_EQ(map.value().size(), 3u);
+  EXPECT_EQ(map.value().shard(1).port, 7002);
+  EXPECT_EQ(map.value().shard(2).first_id, 20u);
+}
+
+TEST(ShardMapTest, OfRejectsInvalidRosters) {
+  EXPECT_FALSE(ShardMap::Of({}).ok()) << "empty roster";
+  EXPECT_EQ(ShardMap::Of({Shard("127.0.0.1", 0, 0, 4)}).status().code(),
+            StatusCode::kInvalidArgument)
+      << "port 0";
+  EXPECT_EQ(ShardMap::Of({Shard("", 7001, 0, 4)}).status().code(),
+            StatusCode::kInvalidArgument)
+      << "empty host";
+  EXPECT_EQ(ShardMap::Of({Shard("127.0.0.1", 7001, 5, 4)}).status().code(),
+            StatusCode::kInvalidArgument)
+      << "inverted range";
+  EXPECT_EQ(ShardMap::Of({Shard("127.0.0.1", 7001, 0, 5),
+                          Shard("127.0.0.1", 7002, 5, 9)})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument)
+      << "overlapping ranges";
+  EXPECT_EQ(ShardMap::Of({Shard("127.0.0.1", 7001, 5, 9),
+                          Shard("127.0.0.1", 7002, 0, 4)})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument)
+      << "ranges out of order";
+}
+
+TEST(ShardMapTest, ParseReadsTheFileFormat) {
+  auto map = ShardMap::Parse(
+      "# the fleet\n"
+      "\n"
+      "127.0.0.1:7001 0-4999\n"
+      "  127.0.0.1:7002   5000-9999   # second half\n");
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  ASSERT_EQ(map.value().size(), 2u);
+  EXPECT_EQ(map.value().shard(0).host, "127.0.0.1");
+  EXPECT_EQ(map.value().shard(0).port, 7001);
+  EXPECT_EQ(map.value().shard(0).first_id, 0u);
+  EXPECT_EQ(map.value().shard(0).last_id, 4999u);
+  EXPECT_EQ(map.value().shard(1).first_id, 5000u);
+}
+
+TEST(ShardMapTest, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(ShardMap::Parse("").ok()) << "no shards";
+  EXPECT_FALSE(ShardMap::Parse("127.0.0.1 0-4\n").ok()) << "no port";
+  EXPECT_FALSE(ShardMap::Parse("127.0.0.1:abc 0-4\n").ok()) << "bad port";
+  EXPECT_FALSE(ShardMap::Parse("127.0.0.1:7001 4\n").ok()) << "no range";
+  EXPECT_FALSE(ShardMap::Parse("127.0.0.1:7001 a-4\n").ok()) << "bad range";
+  EXPECT_FALSE(ShardMap::Parse("127.0.0.1:7001 0-4 extra\n").ok())
+      << "trailing junk";
+  EXPECT_FALSE(ShardMap::Parse("127.0.0.1:99999 0-4\n").ok())
+      << "port out of range";
+}
+
+TEST(ShardMapTest, LoadReportsUnreadablePaths) {
+  auto map = ShardMap::Load("/nonexistent/shards.txt");
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kIoError);
+}
+
+TEST(ShardMapTest, ShardForRoutesAndRejectsLikeASingleNode) {
+  auto map = ShardMap::Of({Shard("127.0.0.1", 7001, 0, 4),
+                           Shard("127.0.0.1", 7002, 10, 14)})
+                 .value();
+  EXPECT_EQ(map.ShardFor(0).value(), 0u);
+  EXPECT_EQ(map.ShardFor(4).value(), 0u);
+  EXPECT_EQ(map.ShardFor(10).value(), 1u);
+  EXPECT_EQ(map.ShardFor(14).value(), 1u);
+
+  // A gap id and a beyond-the-roster id both answer exactly like a
+  // single-node corpus asked for a tombstoned id.
+  for (DocumentId id : {DocumentId{7}, DocumentId{15}, DocumentId{1000}}) {
+    auto routed = map.ShardFor(id);
+    ASSERT_FALSE(routed.ok());
+    EXPECT_EQ(routed.status().code(), StatusCode::kNotFound);
+    EXPECT_EQ(routed.status().message(),
+              "unknown document id " + std::to_string(id));
+  }
+}
+
+TEST(ShardMapTest, LocalGlobalTranslationRoundTrips) {
+  auto map = ShardMap::Of({Shard("127.0.0.1", 7001, 0, 4),
+                           Shard("127.0.0.1", 7002, 5, 9)})
+                 .value();
+  EXPECT_EQ(map.ToLocal(1, 7), 2u);
+  EXPECT_EQ(map.ToGlobal(1, 2), 7u);
+  for (DocumentId id = 0; id <= 9; ++id) {
+    const size_t shard = map.ShardFor(id).value();
+    EXPECT_EQ(map.ToGlobal(shard, map.ToLocal(shard, id)), id);
+  }
+}
+
+TEST(ShardMapTest, FingerprintPinsTheLayout) {
+  const uint64_t base =
+      ShardMap::Of({Shard("127.0.0.1", 7001, 0, 4),
+                    Shard("127.0.0.1", 7002, 5, 9)})
+          .value()
+          .fingerprint();
+  // Deterministic across construction paths.
+  EXPECT_EQ(base,
+            ShardMap::Parse("127.0.0.1:7001 0-4\n127.0.0.1:7002 5-9\n")
+                .value()
+                .fingerprint());
+  // Any resharding — moved boundary, different address, different port —
+  // changes it, so cursors cannot cross layouts.
+  EXPECT_NE(base, ShardMap::Of({Shard("127.0.0.1", 7001, 0, 5),
+                                Shard("127.0.0.1", 7002, 6, 9)})
+                      .value()
+                      .fingerprint());
+  EXPECT_NE(base, ShardMap::Of({Shard("127.0.0.2", 7001, 0, 4),
+                                Shard("127.0.0.1", 7002, 5, 9)})
+                      .value()
+                      .fingerprint());
+  EXPECT_NE(base, ShardMap::Of({Shard("127.0.0.1", 7001, 0, 4),
+                                Shard("127.0.0.1", 7003, 5, 9)})
+                      .value()
+                      .fingerprint());
+  EXPECT_NE(base, ShardMap::Of({Shard("127.0.0.1", 7001, 0, 9)})
+                      .value()
+                      .fingerprint());
+}
+
+}  // namespace
+}  // namespace xks

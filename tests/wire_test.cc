@@ -253,7 +253,7 @@ TEST(WireCorruptionTest, BadFrameKindIsRejected) {
   std::string payload = EncodeFramePayload(frame);
   payload[0] = 0;
   EXPECT_FALSE(DecodeFramePayload(payload).ok());
-  payload[0] = 4;
+  payload[0] = 6;  // one past kHealthReply, the highest assigned kind
   EXPECT_FALSE(DecodeFramePayload(payload).ok());
 }
 
