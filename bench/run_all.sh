@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Runs all 13 bench binaries in machine-readable mode and merges their JSON
-# into one trajectory file (default BENCH_pr9.json at the repo root).
+# Runs all 14 bench binaries in machine-readable mode and merges their JSON
+# into one trajectory file (default BENCH_pr10.json at the repo root).
 #
 #   bench/run_all.sh [build_dir] [output.json]
 #
@@ -20,7 +20,7 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUTPUT="${2:-BENCH_pr9.json}"
+OUTPUT="${2:-BENCH_pr10.json}"
 BENCH_DIR="${BUILD_DIR}/bench"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
@@ -49,7 +49,7 @@ fi
 
 # Google Benchmark micros: native JSON reporters.
 for micro in ablation_cid micro_coordinator micro_incremental_build \
-             micro_lca micro_parse_shred micro_prune; do
+             micro_lca micro_metrics micro_parse_shred micro_prune; do
   "${BENCH_DIR}/${micro}" \
     --benchmark_format=console \
     --benchmark_out_format=json \
@@ -74,7 +74,7 @@ done
   first=1
   for f in fig5_dblp fig6_dblp fig5_xmark fig6_xmark table_keyword_freq \
            ablation_cid micro_coordinator micro_incremental_build micro_lca \
-           micro_parallel_scan micro_parse_shred micro_prune \
+           micro_metrics micro_parallel_scan micro_parse_shred micro_prune \
            micro_result_cache; do
     [ "${first}" -eq 1 ] || printf ',\n'
     first=0
@@ -84,4 +84,4 @@ done
   printf '\n}\n'
 } > "${OUTPUT}"
 
-echo "merged 13 bench reports into ${OUTPUT}"
+echo "merged 14 bench reports into ${OUTPUT}"

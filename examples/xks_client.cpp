@@ -49,7 +49,10 @@ void Usage(const char* argv0) {
       "  --no-cache           bypass the server-side result cache\n"
       "  --quiet              tally only, no per-reply lines\n"
       "  --expect-status NAME succeed iff >=1 reply has this status code\n"
-      "                       (e.g. DeadlineExceeded, ResourceExhausted)\n",
+      "                       (e.g. DeadlineExceeded, ResourceExhausted)\n"
+      "  --stats              scrape the daemon's metrics registry instead\n"
+      "                       of searching: prints the Prometheus-style\n"
+      "                       text exposition on stdout (no QUERY needed)\n",
       argv0);
 }
 
@@ -66,6 +69,7 @@ int main(int argc, char** argv) {
   bool pipeline = false;
   bool use_cache = true;
   bool quiet = false;
+  bool stats = false;
   std::string expect_status;
   std::vector<std::string> queries;
 
@@ -98,6 +102,8 @@ int main(int argc, char** argv) {
       use_cache = false;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (arg == "--expect-status") {
       expect_status = next();
     } else if (arg == "--help" || arg == "-h") {
@@ -111,8 +117,8 @@ int main(int argc, char** argv) {
       queries.push_back(arg);
     }
   }
-  if (port == 0 || port > 65535 || queries.empty() || count == 0 ||
-      (walk_pages > 0 && (pipeline || count != 1))) {
+  if (port == 0 || port > 65535 || (queries.empty() && !stats) ||
+      count == 0 || (walk_pages > 0 && (pipeline || count != 1))) {
     Usage(argv[0]);
     return 2;
   }
@@ -125,6 +131,41 @@ int main(int argc, char** argv) {
     return 1;
   }
   xks::XksClient client = std::move(connected).value();
+
+  if (stats) {
+    // Metrics scrape: one kStatsRequest frame, one kStatsReply back. The
+    // server answers these out-of-band (even while draining), like health.
+    xks::Frame request;
+    request.kind = xks::FrameKind::kStatsRequest;
+    request.request_id = 1;
+    request.body = xks::EncodeStatsRequest();
+    const xks::Status sent = client.SendFrame(request);
+    if (!sent.ok()) {
+      std::fprintf(stderr, "xks_client: stats send: %s\n",
+                   sent.ToString().c_str());
+      return 1;
+    }
+    auto reply = client.ReceiveFrame();
+    if (!reply.ok()) {
+      std::fprintf(stderr, "xks_client: stats receive: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    if (reply.value().kind != xks::FrameKind::kStatsReply) {
+      std::fprintf(stderr, "xks_client: unexpected reply kind %u\n",
+                   static_cast<unsigned>(reply.value().kind));
+      return 1;
+    }
+    auto snapshot = xks::DecodeStatsReply(reply.value().body);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "xks_client: stats decode: %s\n",
+                   snapshot.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(snapshot.value().TextExposition().c_str(), stdout);
+    std::fflush(stdout);
+    return 0;
+  }
 
   std::vector<xks::SearchRequest> requests;
   for (const std::string& query : queries) {

@@ -8,6 +8,7 @@
 //   ./xks_tool remove  corpus.db docname            # remove by name + save
 //   ./xks_tool replace corpus.db docname new.xml    # replace content + save
 //   ./xks_tool stats   corpus.db ["query"]          # corpus + cache counters
+//   ./xks_tool stats --scrape HOST:PORT             # daemon metrics table
 //
 // add/remove/replace are incremental (O(changed doc), no corpus rescan):
 // each publishes a new snapshot epoch, printed on success. Outstanding
@@ -17,7 +18,11 @@
 // postings, depth) plus the result-cache configuration and its
 // hit/miss/eviction/bytes counters; with a query argument it runs the query
 // twice first — cold fill, then warm hit — so the counters show the cache
-// doing its job.
+// doing its job. The --scrape form instead sends one kStatsRequest frame to
+// a running xksd / xks_coord daemon and renders the returned metrics
+// snapshot as a human-readable table (counters and gauges one line per
+// labeled point; histograms with count/sum and p50/p90/p99 estimated from
+// the bucket boundaries).
 //
 // Queries support label constraints ("title:xml keyword"). search/query
 // flags:
@@ -35,6 +40,7 @@
 //
 // search also accepts legacy single-document XKS1 store files.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +49,7 @@
 #include "src/api/database.h"
 #include "src/common/io.h"
 #include "src/core/render.h"
+#include "src/server/client.h"
 #include "src/xml/parser.h"
 
 namespace {
@@ -60,7 +67,8 @@ int Usage() {
       "  xks_tool add     <corpus.db> <input.xml> [input2.xml ...]\n"
       "  xks_tool remove  <corpus.db> <docname>\n"
       "  xks_tool replace <corpus.db> <docname> <input.xml>\n"
-      "  xks_tool stats   <corpus.db> [query]\n");
+      "  xks_tool stats   <corpus.db> [query]\n"
+      "  xks_tool stats   --scrape HOST:PORT\n");
   return 2;
 }
 
@@ -202,6 +210,122 @@ int RunSearch(const Database& db, const char* query_text, const Flags& flags,
   return 0;
 }
 
+/// "0.000128" → "128us": durations-in-seconds as a human scale.
+std::string HumanSeconds(double seconds) {
+  char buffer[32];
+  if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof buffer, "%.0fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof buffer, "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.3fs", seconds);
+  }
+  return buffer;
+}
+
+/// Upper bucket bound where the cumulative count first reaches q*count —
+/// a conservative quantile estimate (the true value is at most this).
+double QuantileUpperBound(const HistogramData& histogram, double q) {
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(histogram.count) + 0.5);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < histogram.buckets.size(); ++b) {
+    cumulative += histogram.buckets[b];
+    if (cumulative >= target) {
+      return b < histogram.bounds.size() ? histogram.bounds[b] : -1.0;
+    }
+  }
+  return -1.0;  // overflow bucket: no finite bound
+}
+
+/// Renders a daemon metrics snapshot as a fixed-width table.
+void PrintMetricsTable(const MetricsSnapshot& snapshot) {
+  std::printf("%-42s %-10s %-28s %s\n", "metric", "kind", "labels", "value");
+  for (const MetricFamily& family : snapshot.families) {
+    for (const MetricPoint& point : family.points) {
+      const char* labels = point.labels.empty() ? "-" : point.labels.c_str();
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          std::printf("%-42s %-10s %-28s %llu\n", family.name.c_str(),
+                      "counter", labels,
+                      static_cast<unsigned long long>(point.counter_value));
+          break;
+        case MetricKind::kGauge:
+          std::printf("%-42s %-10s %-28s %lld\n", family.name.c_str(), "gauge",
+                      labels, static_cast<long long>(point.gauge_value));
+          break;
+        case MetricKind::kHistogram: {
+          const HistogramData& h = point.histogram;
+          std::string quantiles;
+          if (h.count > 0) {
+            const double p50 = QuantileUpperBound(h, 0.50);
+            const double p90 = QuantileUpperBound(h, 0.90);
+            const double p99 = QuantileUpperBound(h, 0.99);
+            quantiles =
+                " p50<=" + (p50 < 0 ? "inf" : HumanSeconds(p50)) +
+                " p90<=" + (p90 < 0 ? "inf" : HumanSeconds(p90)) +
+                " p99<=" + (p99 < 0 ? "inf" : HumanSeconds(p99));
+          }
+          std::printf("%-42s %-10s %-28s count=%llu sum=%s%s\n",
+                      family.name.c_str(), "histogram", labels,
+                      static_cast<unsigned long long>(h.count),
+                      HumanSeconds(h.sum).c_str(), quantiles.c_str());
+          break;
+        }
+      }
+    }
+  }
+}
+
+/// `stats --scrape HOST:PORT`: one kStatsRequest frame to a live daemon.
+int RunScrape(const char* endpoint) {
+  const char* colon = std::strrchr(endpoint, ':');
+  if (colon == nullptr || colon == endpoint || colon[1] == '\0') {
+    std::printf("bad --scrape endpoint '%s' (expected HOST:PORT)\n", endpoint);
+    return 2;
+  }
+  const std::string host(endpoint, static_cast<size_t>(colon - endpoint));
+  char* end = nullptr;
+  const unsigned long long port = std::strtoull(colon + 1, &end, 10);
+  if (*end != '\0' || port == 0 || port > 65535) {
+    std::printf("bad --scrape port '%s'\n", colon + 1);
+    return 2;
+  }
+  auto connected =
+      XksClient::Connect(host, static_cast<uint16_t>(port), /*timeout=*/5000);
+  if (!connected.ok()) {
+    std::printf("%s\n", connected.status().ToString().c_str());
+    return 1;
+  }
+  XksClient client = std::move(connected).value();
+  Frame request;
+  request.kind = FrameKind::kStatsRequest;
+  request.request_id = 1;
+  request.body = EncodeStatsRequest();
+  const Status sent = client.SendFrame(request);
+  if (!sent.ok()) {
+    std::printf("stats send: %s\n", sent.ToString().c_str());
+    return 1;
+  }
+  Result<Frame> reply = client.ReceiveFrame();
+  if (!reply.ok()) {
+    std::printf("stats receive: %s\n", reply.status().ToString().c_str());
+    return 1;
+  }
+  if (reply->kind != FrameKind::kStatsReply) {
+    std::printf("unexpected reply kind %u\n",
+                static_cast<unsigned>(reply->kind));
+    return 1;
+  }
+  Result<MetricsSnapshot> snapshot = DecodeStatsReply(reply->body);
+  if (!snapshot.ok()) {
+    std::printf("stats decode: %s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  PrintMetricsTable(*snapshot);
+  return 0;
+}
+
 int RunStats(const char* path, const char* query_text) {
   Result<Database> db = Database::Load(path);
   if (!db.ok()) {
@@ -255,6 +379,10 @@ int RunStats(const char* path, const char* query_text) {
 int main(int argc, char** argv) {
   using namespace xks;
   if (argc >= 3 && std::strcmp(argv[1], "stats") == 0) {
+    if (std::strcmp(argv[2], "--scrape") == 0) {
+      if (argc < 4) return Usage();
+      return RunScrape(argv[3]);
+    }
     return RunStats(argv[2], argc >= 4 ? argv[3] : nullptr);
   }
   if (argc < 4) return Usage();

@@ -19,6 +19,7 @@
 #include "src/api/cursor.h"
 #include "src/api/database.h"
 #include "src/core/query.h"
+#include "src/obs/trace.h"
 #include "src/server/wire.h"
 #include "src/storage/store.h"
 
@@ -93,10 +94,29 @@ void CheckQuery(std::string_view payload) {
   if (!again.ok() || again->ToString() != once) std::abort();
 }
 
+void CheckStatsReply(std::string_view payload) {
+  xks::Result<xks::MetricsSnapshot> snapshot = xks::DecodeStatsReply(payload);
+  if (!snapshot.ok()) return;
+  const std::string once = xks::EncodeStatsReply(*snapshot);
+  xks::Result<xks::MetricsSnapshot> again = xks::DecodeStatsReply(once);
+  if (!again.ok() || xks::EncodeStatsReply(*again) != once) std::abort();
+}
+
+void CheckTraceSpan(std::string_view payload) {
+  xks::TraceSpan span;
+  if (!xks::DecodeTraceSpan(payload, &span).ok()) return;
+  const std::string once = xks::EncodeTraceSpan(span);
+  xks::TraceSpan again;
+  if (!xks::DecodeTraceSpan(once, &again).ok() ||
+      xks::EncodeTraceSpan(again) != once) {
+    std::abort();
+  }
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
-  const xks::fuzz::SelectedInput input = xks::fuzz::SelectMode(data, size, 7);
+  const xks::fuzz::SelectedInput input = xks::fuzz::SelectMode(data, size, 9);
   switch (input.mode) {
     case 0: CheckRequestBody(input.payload); break;
     case 1: CheckResponseBody(input.payload); break;
@@ -104,7 +124,9 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     case 3: CheckCursor(input.payload); break;
     case 4: CheckStore(input.payload); break;
     case 5: CheckCorpus(input.payload); break;
-    default: CheckQuery(input.payload); break;
+    case 6: CheckQuery(input.payload); break;
+    case 7: CheckStatsReply(input.payload); break;
+    default: CheckTraceSpan(input.payload); break;
   }
   return 0;
 }

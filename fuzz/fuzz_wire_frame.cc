@@ -65,6 +65,23 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
       if (xks::EncodeHealthReply(*again) != reencoded) std::abort();
       break;
     }
+    case xks::FrameKind::kStatsRequest: {
+      if (!xks::DecodeStatsRequest(frame->body).ok()) break;
+      // Only the canonical one-byte body is accepted.
+      if (frame->body != xks::EncodeStatsRequest()) std::abort();
+      break;
+    }
+    case xks::FrameKind::kStatsReply: {
+      xks::Result<xks::MetricsSnapshot> snapshot =
+          xks::DecodeStatsReply(frame->body);
+      if (!snapshot.ok()) break;
+      const std::string reencoded = xks::EncodeStatsReply(*snapshot);
+      xks::Result<xks::MetricsSnapshot> again =
+          xks::DecodeStatsReply(reencoded);
+      if (!again.ok()) std::abort();
+      if (xks::EncodeStatsReply(*again) != reencoded) std::abort();
+      break;
+    }
   }
 
   // The whole frame also re-encodes losslessly.

@@ -12,11 +12,14 @@
 #ifndef XKS_FUZZ_GOLDEN_ARTIFACTS_H_
 #define XKS_FUZZ_GOLDEN_ARTIFACTS_H_
 
+#include <memory>
 #include <string>
 
 #include "src/api/cursor.h"
 #include "src/api/database.h"
 #include "src/api/search_types.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/server/wire.h"
 
 namespace xks {
@@ -128,6 +131,92 @@ inline SearchResponse GoldenCoordResponse() {
   return response;
 }
 
+/// A coordinator-shaped span tree with fixed (synthetic) times: root with
+/// stage children, a scatter stage holding one hop per shard, each hop
+/// carrying the budget/shard attributes and the shard's own stage spans —
+/// every structural feature the trace codec serializes.
+inline TraceSpan GoldenTraceSpan() {
+  TraceSpan shard_stage;
+  shard_stage.name = "scan";
+  shard_stage.start_us = 140;
+  shard_stage.duration_us = 800;
+  TraceSpan shard_root;
+  shard_root.name = "search";
+  shard_root.start_us = 120;
+  shard_root.duration_us = 900;
+  shard_root.attributes = {{"hits", 12}, {"cache_docs", 3}};
+  shard_root.children = {shard_stage};
+  TraceSpan hop;
+  hop.name = "hop";
+  hop.start_us = 100;
+  hop.duration_us = 1000;
+  hop.attributes = {{"shard", 1}, {"budget_ms", 1500}};
+  hop.children = {shard_root};
+  TraceSpan parse;
+  parse.name = "parse";
+  parse.start_us = 2;
+  parse.duration_us = 40;
+  TraceSpan scatter;
+  scatter.name = "scatter";
+  scatter.start_us = 90;
+  scatter.duration_us = 1100;
+  scatter.children = {hop};
+  TraceSpan root;
+  root.name = "coord_search";
+  root.start_us = 0;
+  root.duration_us = 1200;
+  root.attributes = {{"shards", 2}, {"hits", 42}};
+  root.children = {parse, scatter};
+  return root;
+}
+
+/// The golden request asking for a trace back (lights the kFlagIncludeTrace
+/// bit on the wire).
+inline SearchRequest GoldenTraceRequest() {
+  SearchRequest request = GoldenRequest();
+  request.include_trace = true;
+  return request;
+}
+
+/// The golden response carrying a span tree — the trace trailing section
+/// WITHOUT a scan breakdown before it (varint-0 sentinel directly).
+inline SearchResponse GoldenTraceResponse() {
+  SearchResponse response = GoldenResponse();
+  response.trace = std::make_shared<const TraceSpan>(GoldenTraceSpan());
+  return response;
+}
+
+/// Scan breakdown AND trace together — exercises the separator form of the
+/// trailing-section grammar (non-zero breakdown count, then the 0
+/// separator, then the trace).
+inline SearchResponse GoldenCoordTraceResponse() {
+  SearchResponse response = GoldenCoordResponse();
+  response.trace = std::make_shared<const TraceSpan>(GoldenTraceSpan());
+  return response;
+}
+
+/// A deterministic metrics snapshot with every instrument kind, labeled and
+/// unlabeled points, and histogram observations across bucket edges —
+/// built from a scratch registry with fixed values, so the encoded bytes
+/// are a stable function of the codec alone.
+inline MetricsSnapshot GoldenStatsSnapshot() {
+  MetricsRegistry registry;
+  registry.counter("xks_search_queries_total")->Increment(42);
+  registry.counter("xks_coord_hops_total", "shard=\"127.0.0.1:7700\"")
+      ->Increment(6);
+  registry.counter("xks_coord_hops_total", "shard=\"127.0.0.1:7701\"")
+      ->Increment(7);
+  registry.gauge("xks_cache_bytes")->Set(123456);
+  registry.gauge("xks_worker_queue_depth", "pool=\"service\"")->Add(9);
+  registry.gauge("xks_worker_queue_depth", "pool=\"service\"")->Add(-4);
+  Histogram* latency = registry.histogram("xks_search_latency_seconds");
+  latency->Observe(0.0000005);  // below the first bound
+  latency->Observe(0.000128);   // exactly on a bound
+  latency->Observe(0.004);
+  latency->Observe(100.0);      // overflow bucket
+  return registry.Snapshot();
+}
+
 inline Status GoldenStatus() {
   return Status::DeadlineExceeded("deadline 5ms exceeded");
 }
@@ -209,6 +298,48 @@ inline Frame GoldenCoordResponseFrame() {
   frame.kind = FrameKind::kSearchResponse;
   frame.request_id = 0x51;
   frame.body = EncodeSearchResponse(GoldenCoordResponse());
+  return frame;
+}
+
+/// The observability frames (PR 10): a trace-carrying request/response pair
+/// and the stats scrape exchange.
+inline Frame GoldenTraceRequestFrame() {
+  Frame frame;
+  frame.kind = FrameKind::kSearchRequest;
+  frame.request_id = 0x61;
+  frame.body = EncodeSearchRequest(GoldenTraceRequest());
+  return frame;
+}
+
+inline Frame GoldenTraceResponseFrame() {
+  Frame frame;
+  frame.kind = FrameKind::kSearchResponse;
+  frame.request_id = 0x61;
+  frame.body = EncodeSearchResponse(GoldenTraceResponse());
+  return frame;
+}
+
+inline Frame GoldenCoordTraceResponseFrame() {
+  Frame frame;
+  frame.kind = FrameKind::kSearchResponse;
+  frame.request_id = 0x62;
+  frame.body = EncodeSearchResponse(GoldenCoordTraceResponse());
+  return frame;
+}
+
+inline Frame GoldenStatsRequestFrame() {
+  Frame frame;
+  frame.kind = FrameKind::kStatsRequest;
+  frame.request_id = 0x70;
+  frame.body = EncodeStatsRequest();
+  return frame;
+}
+
+inline Frame GoldenStatsReplyFrame() {
+  Frame frame;
+  frame.kind = FrameKind::kStatsReply;
+  frame.request_id = 0x70;
+  frame.body = EncodeStatsReply(GoldenStatsSnapshot());
   return frame;
 }
 

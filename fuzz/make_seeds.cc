@@ -69,6 +69,19 @@ int main(int argc, char** argv) {
                   EncodeFramePayload(GoldenCoordRequestFrame()));
   ok &= WriteSeed(root / "wire_frame", "coord_response",
                   EncodeFramePayload(GoldenCoordResponseFrame()));
+  // Observability traffic (PR 10): a trace-carrying request/response pair
+  // (the trace trailing section in both grammar forms — bare sentinel and
+  // breakdown-then-separator) and the stats scrape exchange.
+  ok &= WriteSeed(root / "wire_frame", "trace_request",
+                  EncodeFramePayload(GoldenTraceRequestFrame()));
+  ok &= WriteSeed(root / "wire_frame", "trace_response",
+                  EncodeFramePayload(GoldenTraceResponseFrame()));
+  ok &= WriteSeed(root / "wire_frame", "coord_trace_response",
+                  EncodeFramePayload(GoldenCoordTraceResponseFrame()));
+  ok &= WriteSeed(root / "wire_frame", "stats_request",
+                  EncodeFramePayload(GoldenStatsRequestFrame()));
+  ok &= WriteSeed(root / "wire_frame", "stats_reply",
+                  EncodeFramePayload(GoldenStatsReplyFrame()));
 
   // Corpus load: the XKS3 corpus (epoch 2, one tombstone), one embedded
   // XKS1 store on its own, and a bare magic for the header path.
@@ -150,6 +163,17 @@ int main(int argc, char** argv) {
   ok &= WriteSeed(root / "roundtrip", "coord_response",
                   std::string(1, '\x01') +
                       EncodeSearchResponse(GoldenCoordResponse()));
+  ok &= WriteSeed(root / "roundtrip", "trace_request",
+                  std::string(1, '\0') +
+                      EncodeSearchRequest(GoldenTraceRequest()));
+  ok &= WriteSeed(root / "roundtrip", "trace_response",
+                  std::string(1, '\x01') +
+                      EncodeSearchResponse(GoldenCoordTraceResponse()));
+  ok &= WriteSeed(root / "roundtrip", "stats_reply",
+                  std::string(1, '\x07') +
+                      EncodeStatsReply(GoldenStatsSnapshot()));
+  ok &= WriteSeed(root / "roundtrip", "trace_span",
+                  std::string(1, '\x08') + EncodeTraceSpan(GoldenTraceSpan()));
 
   // The proof harness replays the wire corpus (its pass-mode is a no-op on
   // any input); give it one seed of its own so the corpus dir exists.

@@ -191,7 +191,29 @@ void Database::PublishLocked() {
   // previous epoch die with the previous snapshot, so cache invalidation
   // on mutation needs no explicit work at all.
   if (cache_config_.enabled) {
-    snapshot->cache_ = std::make_shared<ResultCache>(cache_config_);
+    snapshot->cache_ =
+        std::make_shared<ResultCache>(cache_config_, metrics_registry_);
+  }
+  if (metrics_registry_ != nullptr) {
+    if (instruments_ == nullptr) {
+      auto instruments = std::make_shared<Snapshot::SearchInstruments>();
+      instruments->queries = metrics_registry_->counter("xks_search_queries_total");
+      instruments->latency =
+          metrics_registry_->histogram("xks_search_latency_seconds");
+      instruments->stage_parse = metrics_registry_->histogram(
+          "xks_search_stage_seconds", "stage=\"parse\"");
+      instruments->stage_selection = metrics_registry_->histogram(
+          "xks_search_stage_seconds", "stage=\"selection\"");
+      instruments->stage_scan = metrics_registry_->histogram(
+          "xks_search_stage_seconds", "stage=\"scan\"");
+      instruments->stage_rank = metrics_registry_->histogram(
+          "xks_search_stage_seconds", "stage=\"rank\"");
+      instruments->stage_snippet = metrics_registry_->histogram(
+          "xks_search_stage_seconds", "stage=\"snippet\"");
+      instruments->pipeline = PipelineMetrics::Resolve(metrics_registry_);
+      instruments_ = std::move(instruments);
+    }
+    snapshot->instruments_ = instruments_;
   }
   snapshot->documents_.reserve(live_count_);
   for (size_t id = 0; id < documents_.size(); ++id) {
@@ -309,6 +331,21 @@ void Database::set_cache_config(const CacheConfig& config) {
 CacheConfig Database::cache_config() const {
   MutexLock lock(*mutex_);
   return cache_config_;
+}
+
+void Database::set_metrics_registry(MetricsRegistry* registry) {
+  MutexLock lock(*mutex_);
+  if (metrics_registry_ == registry) return;
+  metrics_registry_ = registry;
+  instruments_ = nullptr;  // re-resolve against the new registry
+  // Republish like set_cache_config: same catalog state, same epoch and
+  // revision, instruments swapped for every search from now on.
+  if (built_) PublishLocked();
+}
+
+MetricsRegistry* Database::metrics_registry() const {
+  MutexLock lock(*mutex_);
+  return metrics_registry_;
 }
 
 CacheStats Database::cache_stats() const {

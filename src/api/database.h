@@ -156,6 +156,16 @@ class Database {
   void set_cache_config(const CacheConfig& config);
   CacheConfig cache_config() const;
 
+  /// Points search instrumentation at `registry` (default: the shared
+  /// process registry). Every snapshot published from now on resolves its
+  /// Search instruments — query counter, latency and stage histograms,
+  /// pipeline metrics, cache mirrors — against it; nullptr disables
+  /// instrumentation entirely (no clock reads on the search path). Like
+  /// set_cache_config, an already-built database republishes immediately
+  /// (same epoch and revision).
+  void set_metrics_registry(MetricsRegistry* registry);
+  MetricsRegistry* metrics_registry() const;
+
   /// Counters of the currently published snapshot's cache; a zeroed struct
   /// (enabled = false) before Build() or when the cache is disabled.
   /// Counters reset whenever a new snapshot is published (every mutation) —
@@ -252,6 +262,13 @@ class Database {
 
   /// Result-cache configuration stamped onto every published snapshot.
   CacheConfig cache_config_ XKS_GUARDED_BY(*mutex_);
+  /// Registry search instruments resolve against; nullptr = disabled.
+  MetricsRegistry* metrics_registry_ XKS_GUARDED_BY(*mutex_) =
+      MetricsRegistry::Default();
+  /// Instruments resolved from metrics_registry_, lazily on first publish
+  /// and shared by every snapshot published under the same registry.
+  std::shared_ptr<const Snapshot::SearchInstruments> instruments_
+      XKS_GUARDED_BY(*mutex_);
 
   std::shared_ptr<const Snapshot> snapshot_ XKS_GUARDED_BY(*mutex_);
   bool built_ XKS_GUARDED_BY(*mutex_) = false;

@@ -11,6 +11,7 @@
 #define XKS_API_SEARCH_TYPES_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "src/core/engine.h"
 #include "src/core/query.h"
 #include "src/core/ranking.h"
+#include "src/obs/trace.h"
 
 namespace xks {
 
@@ -116,6 +118,12 @@ struct SearchRequest {
   /// coordinator requires this from every shard to replay the serial-prefix
   /// merge across machines; plain clients leave it off.
   bool include_scan_breakdown = false;
+  /// Populate SearchResponse::trace with the per-stage span tree (parse,
+  /// selection, scan, rank, snippet — plus one hop span per shard on the
+  /// coordinator). Observational only: every other response field is
+  /// byte-identical with tracing on or off, and a request with this off
+  /// encodes byte-identically to previous protocol revisions.
+  bool include_trace = false;
 
   /// The paper's ValidRTF configuration over free text.
   static SearchRequest ValidRtf(std::string query_text) {
@@ -225,6 +233,12 @@ struct SearchResponse {
   /// counts to reconstruct the single-node serial-prefix merge across
   /// shards.
   std::vector<DocumentScanCount> scan_breakdown;
+
+  /// The per-query span tree; only populated when
+  /// SearchRequest::include_trace (null otherwise, and never encoded when
+  /// null — which keeps trace-off responses byte-identical to previous
+  /// protocol revisions). Shared so responses stay cheap to copy.
+  std::shared_ptr<const TraceSpan> trace;
 };
 
 }  // namespace xks

@@ -2,15 +2,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 
 #include "src/api/cursor.h"
 #include "src/api/request_fingerprint.h"
 #include "src/common/check.h"
 #include "src/common/worker_pool.h"
+#include "src/obs/trace.h"
 
 namespace xks {
 namespace {
+
+using ObsClock = std::chrono::steady_clock;
+
+double SecondsSince(ObsClock::time_point start) {
+  return std::chrono::duration<double>(ObsClock::now() - start).count();
+}
 
 /// One pre-page candidate: a fragment of one executed document.
 struct Candidate {
@@ -20,7 +28,8 @@ struct Candidate {
 };
 
 SearchOptions PipelineOptions(const SearchRequest& request,
-                              const CancelToken& cancel) {
+                              const CancelToken& cancel,
+                              const PipelineMetrics* metrics) {
   SearchOptions options;
   options.semantics = request.semantics;
   options.elca_algorithm = request.elca_algorithm;
@@ -28,6 +37,7 @@ SearchOptions PipelineOptions(const SearchRequest& request,
   options.pruning = request.pruning;
   options.keep_raw_fragments = request.include_raw_fragments;
   options.cancel = cancel;
+  options.metrics = metrics;
   return options;
 }
 
@@ -135,45 +145,68 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
   const bool cancellable = cancel.can_expire();
   if (cancellable && cancel.cancelled()) return cancel.status();
 
+  // Observability: the registry instruments resolved at publication (null =
+  // disabled, no clock reads) and the per-request span tree (no-op unless
+  // the request asked for one). Neither changes any other response field.
+  const SearchInstruments* const obs = instruments_.get();
+  if (obs != nullptr) obs->queries->Increment();
+  QueryTrace trace(request.include_trace);
+  ObsClock::time_point search_start;
+  ObsClock::time_point stage_start;
+  if (obs != nullptr) search_start = stage_start = ObsClock::now();
+
   // Resolve the query.
   KeywordQuery query;
-  if (!request.terms.empty()) {
-    XKS_ASSIGN_OR_RETURN(query, KeywordQuery::FromTerms(request.terms));
-  } else {
-    XKS_ASSIGN_OR_RETURN(query, KeywordQuery::Parse(request.query));
+  {
+    QueryTrace::Scope stage(trace, "parse");
+    if (!request.terms.empty()) {
+      XKS_ASSIGN_OR_RETURN(query, KeywordQuery::FromTerms(request.terms));
+    } else {
+      XKS_ASSIGN_OR_RETURN(query, KeywordQuery::Parse(request.query));
+    }
+  }
+  if (obs != nullptr) {
+    obs->stage_parse->Observe(SecondsSince(stage_start));
+    stage_start = ObsClock::now();
   }
 
-  // Resolve and validate the document selection (order preserved).
+  // Resolve and validate the document selection (order preserved), then the
+  // page window. The epoch check runs before the fingerprint check so a
+  // post-mutation replay fails as "corpus changed", not as a generic
+  // wrong-request cursor.
   std::vector<size_t> selection;
-  XKS_RETURN_IF_ERROR(ResolveSelection(request.documents, &selection));
-  std::vector<DocumentId> selected_ids;
-  selected_ids.reserve(selection.size());
-  for (size_t index : selection) selected_ids.push_back(documents_[index].id);
-
-  // Resolve the page window. The epoch check runs before the fingerprint
-  // check so a post-mutation replay fails as "corpus changed", not as a
-  // generic wrong-request cursor.
-  const uint64_t fingerprint =
-      CursorFingerprint(query, request, selected_ids, revision_);
+  uint64_t fingerprint = 0;
   size_t offset = 0;
-  if (!request.cursor.empty()) {
-    PageCursor cursor;
-    XKS_ASSIGN_OR_RETURN(cursor, DecodeCursor(request.cursor));
-    if (cursor.epoch != epoch_) {
-      return Status::FailedPrecondition(
-          "corpus changed: cursor was minted at epoch " +
-          std::to_string(cursor.epoch) + " but the corpus is at epoch " +
-          std::to_string(epoch_) + "; restart pagination");
+  {
+    QueryTrace::Scope stage(trace, "selection");
+    XKS_RETURN_IF_ERROR(ResolveSelection(request.documents, &selection));
+    std::vector<DocumentId> selected_ids;
+    selected_ids.reserve(selection.size());
+    for (size_t index : selection) selected_ids.push_back(documents_[index].id);
+
+    fingerprint = CursorFingerprint(query, request, selected_ids, revision_);
+    if (!request.cursor.empty()) {
+      PageCursor cursor;
+      XKS_ASSIGN_OR_RETURN(cursor, DecodeCursor(request.cursor));
+      if (cursor.epoch != epoch_) {
+        return Status::FailedPrecondition(
+            "corpus changed: cursor was minted at epoch " +
+            std::to_string(cursor.epoch) + " but the corpus is at epoch " +
+            std::to_string(epoch_) + "; restart pagination");
+      }
+      if (cursor.fingerprint != fingerprint) {
+        return Status::InvalidArgument(
+            "cursor does not belong to this request (query, configuration or "
+            "corpus changed)");
+      }
+      XKS_RETURN_IF_ERROR(ValidatePageWindow(cursor.offset, request.top_k));
+      offset = static_cast<size_t>(cursor.offset);
+    } else {
+      XKS_RETURN_IF_ERROR(ValidatePageWindow(0, request.top_k));
     }
-    if (cursor.fingerprint != fingerprint) {
-      return Status::InvalidArgument(
-          "cursor does not belong to this request (query, configuration or "
-          "corpus changed)");
-    }
-    XKS_RETURN_IF_ERROR(ValidatePageWindow(cursor.offset, request.top_k));
-    offset = static_cast<size_t>(cursor.offset);
-  } else {
-    XKS_RETURN_IF_ERROR(ValidatePageWindow(0, request.top_k));
+  }
+  if (obs != nullptr) {
+    obs->stage_selection->Observe(SecondsSince(stage_start));
   }
 
   SearchResponse response;
@@ -186,7 +219,8 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
   // a contiguous prefix of the selection. Without ranking, hits already
   // arrive in final order, so dispatch stops once the page plus one
   // look-ahead hit (the next_cursor probe) is known.
-  const SearchOptions options = PipelineOptions(request, cancel);
+  const SearchOptions options = PipelineOptions(
+      request, cancel, obs != nullptr ? &obs->pipeline : nullptr);
   const size_t needed =
       request.top_k == 0 ? SIZE_MAX : offset + request.top_k + 1;
   // Cross-document score comparability: every document normalizes
@@ -272,55 +306,79 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
       return failed.load(std::memory_order_relaxed);
     };
   }
-  size_t executed = 0;
-  XKS_ASSIGN_OR_RETURN(
-      executed, ParallelFor(selection.size(), execute_document, fan_out));
-  // The replay below walks [0, executed) and dereferences every slot in it,
-  // so the contiguous-prefix contract (claimed ⇒ ran to completion ⇒ slot
-  // filled or statused) is load-bearing here — check it, don't trust it.
-  XKS_CHECK(executed <= selection.size());
-  for (size_t di = 0; di < executed; ++di) {
-    XKS_DCHECK(results[di] != nullptr || !statuses[di].ok());
-  }
-
-  // No partial-response leak on cancellation: a deadline or cancel that
-  // fired anywhere during the fan-out (stopping dispatch, or unwinding a
-  // document mid-pipeline) withholds the whole response. Checked before the
-  // replay so a response can never silently reflect a cancellation-truncated
-  // prefix as if it were an ordinary early termination.
-  if (cancellable && cancel.cancelled()) return cancel.status();
-
-  // Phase 1.5: replay the executed prefix in selection order, reconstructing
-  // exactly the documents a serial scan would have covered. A parallel scan
-  // may overshoot (documents claimed before the stop condition fired);
-  // their slots are simply not consumed — that is what keeps responses
-  // byte-identical at every max_parallelism setting.
   std::vector<Candidate> candidates;
   size_t scanned = 0;
-  for (size_t di = 0; di < executed; ++di) {
-    XKS_RETURN_IF_ERROR(statuses[di]);
-    const SearchResult& result = *results[di];
-    if (from_cache[di]) ++response.documents_from_cache;
-    if (request.rank) {
-      for (const FragmentScore& scored : ranked[di]) {
-        candidates.push_back(Candidate{di, scored.fragment_index, scored.total});
+  if (obs != nullptr) stage_start = ObsClock::now();
+  {
+    QueryTrace::Scope stage(trace, "scan");
+    size_t executed = 0;
+    XKS_ASSIGN_OR_RETURN(
+        executed, ParallelFor(selection.size(), execute_document, fan_out));
+    // The replay below walks [0, executed) and dereferences every slot in
+    // it, so the contiguous-prefix contract (claimed ⇒ ran to completion ⇒
+    // slot filled or statused) is load-bearing here — check it, don't trust
+    // it.
+    XKS_CHECK(executed <= selection.size());
+    for (size_t di = 0; di < executed; ++di) {
+      XKS_DCHECK(results[di] != nullptr || !statuses[di].ok());
+    }
+
+    // No partial-response leak on cancellation: a deadline or cancel that
+    // fired anywhere during the fan-out (stopping dispatch, or unwinding a
+    // document mid-pipeline) withholds the whole response. Checked before
+    // the replay so a response can never silently reflect a
+    // cancellation-truncated prefix as if it were an ordinary early
+    // termination.
+    if (cancellable && cancel.cancelled()) return cancel.status();
+
+    // Phase 1.5: replay the executed prefix in selection order,
+    // reconstructing exactly the documents a serial scan would have
+    // covered. A parallel scan may overshoot (documents claimed before the
+    // stop condition fired); their slots are simply not consumed — that is
+    // what keeps responses byte-identical at every max_parallelism setting.
+    for (size_t di = 0; di < executed; ++di) {
+      XKS_RETURN_IF_ERROR(statuses[di]);
+      const SearchResult& result = *results[di];
+      if (from_cache[di]) ++response.documents_from_cache;
+      if (request.rank) {
+        for (const FragmentScore& scored : ranked[di]) {
+          candidates.push_back(
+              Candidate{di, scored.fragment_index, scored.total});
+        }
+      } else {
+        for (size_t fi = 0; fi < result.fragments.size(); ++fi) {
+          candidates.push_back(Candidate{di, fi, 0.0});
+        }
       }
-    } else {
-      for (size_t fi = 0; fi < result.fragments.size(); ++fi) {
-        candidates.push_back(Candidate{di, fi, 0.0});
+      if (request.include_scan_breakdown) {
+        response.scan_breakdown.push_back(DocumentScanCount{
+            documents_[selection[di]].id, result.fragments.size()});
       }
+      if (request.include_stats) {
+        response.timings.Accumulate(result.timings);
+        response.pruning.Accumulate(result.pruning);
+        response.keyword_node_count += result.keyword_node_count;
+      }
+      ++scanned;
+      if (!request.rank && candidates.size() >= needed) break;
     }
-    if (request.include_scan_breakdown) {
-      response.scan_breakdown.push_back(DocumentScanCount{
-          documents_[selection[di]].id, result.fragments.size()});
+    if (trace.enabled()) {
+      // The aggregate cache-probe view of this scan, as a child of the scan
+      // span (per-document probes happen concurrently inside the fan-out,
+      // so they are summarized rather than individually timed).
+      TraceSpan probe;
+      probe.name = "cache_probe";
+      probe.attributes.emplace_back("probes",
+                                    cache != nullptr ? scanned : 0);
+      probe.attributes.emplace_back("cache_docs",
+                                    response.documents_from_cache);
+      trace.AddChild(std::move(probe));
+      trace.Attr("documents", scanned);
     }
-    if (request.include_stats) {
-      response.timings.Accumulate(result.timings);
-      response.pruning.Accumulate(result.pruning);
-      response.keyword_node_count += result.keyword_node_count;
-    }
-    ++scanned;
-    if (!request.rank && candidates.size() >= needed) break;
+  }
+  if (obs != nullptr) {
+    obs->stage_scan->Observe(SecondsSince(stage_start));
+    stage_start = ObsClock::now();
   }
   response.documents_searched = scanned;
   response.total_hits = candidates.size();
@@ -332,6 +390,7 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
   // Phase 2: corpus-level merge. Ties break on (selection position,
   // document order), keeping pagination deterministic.
   if (request.rank) {
+    QueryTrace::Scope stage(trace, "rank");
     std::stable_sort(candidates.begin(), candidates.end(),
                      [](const Candidate& a, const Candidate& b) {
                        if (a.score != b.score) return a.score > b.score;
@@ -340,6 +399,10 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
                        }
                        return a.fragment_index < b.fragment_index;
                      });
+  }
+  if (obs != nullptr) {
+    obs->stage_rank->Observe(SecondsSince(stage_start));
+    stage_start = ObsClock::now();
   }
 
   // Phase 3: cut the requested page and materialize its hits. A slot whose
@@ -354,39 +417,51 @@ Result<SearchResponse> Snapshot::Search(const SearchRequest& request) const {
   const size_t end = request.top_k == 0
                          ? candidates.size()
                          : std::min(begin + request.top_k, candidates.size());
-  std::vector<uint8_t> movable(selection.size(), 0);
-  for (size_t di = 0; di < scanned; ++di) {
-    movable[di] = results[di].use_count() == 1 ? 1 : 0;
+  {
+    QueryTrace::Scope stage(trace, "snippet");
+    std::vector<uint8_t> movable(selection.size(), 0);
+    for (size_t di = 0; di < scanned; ++di) {
+      movable[di] = results[di].use_count() == 1 ? 1 : 0;
+    }
+    response.hits.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      const Candidate& candidate = candidates[i];
+      const FragmentResult& fragment =
+          results[candidate.doc_index]->fragments[candidate.fragment_index];
+      const Doc& doc = documents_[selection[candidate.doc_index]];
+      Hit hit;
+      hit.document = doc.id;
+      hit.document_name = doc.name;
+      hit.score = candidate.score;
+      if (request.include_snippets) {
+        hit.snippet = fragment.fragment.ToTreeString(query.size());
+      }
+      if (movable[candidate.doc_index]) {
+        FragmentResult& owned =
+            std::const_pointer_cast<SearchResult>(results[candidate.doc_index])
+                ->fragments[candidate.fragment_index];
+        hit.rtf = std::move(owned.rtf);
+        hit.fragment = std::move(owned.fragment);
+        if (request.include_raw_fragments) hit.raw = std::move(owned.raw);
+      } else {
+        hit.rtf = fragment.rtf;
+        hit.fragment = fragment.fragment;
+        if (request.include_raw_fragments) hit.raw = fragment.raw;
+      }
+      response.hits.push_back(std::move(hit));
+    }
   }
-  response.hits.reserve(end - begin);
-  for (size_t i = begin; i < end; ++i) {
-    const Candidate& candidate = candidates[i];
-    const FragmentResult& fragment =
-        results[candidate.doc_index]->fragments[candidate.fragment_index];
-    const Doc& doc = documents_[selection[candidate.doc_index]];
-    Hit hit;
-    hit.document = doc.id;
-    hit.document_name = doc.name;
-    hit.score = candidate.score;
-    if (request.include_snippets) {
-      hit.snippet = fragment.fragment.ToTreeString(query.size());
-    }
-    if (movable[candidate.doc_index]) {
-      FragmentResult& owned =
-          std::const_pointer_cast<SearchResult>(results[candidate.doc_index])
-              ->fragments[candidate.fragment_index];
-      hit.rtf = std::move(owned.rtf);
-      hit.fragment = std::move(owned.fragment);
-      if (request.include_raw_fragments) hit.raw = std::move(owned.raw);
-    } else {
-      hit.rtf = fragment.rtf;
-      hit.fragment = fragment.fragment;
-      if (request.include_raw_fragments) hit.raw = fragment.raw;
-    }
-    response.hits.push_back(std::move(hit));
+  if (obs != nullptr) {
+    obs->stage_snippet->Observe(SecondsSince(stage_start));
+    obs->latency->Observe(SecondsSince(search_start));
   }
   if (end < candidates.size()) {
     response.next_cursor = EncodeCursor(PageCursor{end, fingerprint, epoch_});
+  }
+  if (trace.enabled()) {
+    trace.Attr("cache_docs", response.documents_from_cache);
+    trace.Attr("hits", response.total_hits);
+    response.trace = std::make_shared<const TraceSpan>(trace.Finish());
   }
   return response;
 }

@@ -131,11 +131,30 @@ class Snapshot {
   Status ResolveSelection(const std::vector<DocumentId>& requested,
                           std::vector<size_t>* selection) const;
 
+  /// Pre-resolved registry instruments for Search (query counter, latency
+  /// and stage histograms, per-document pipeline metrics). Resolved once by
+  /// the publishing Database and set at publication like cache_; nullptr
+  /// when the Database's metrics registry is disabled, which removes every
+  /// clock read and atomic bump from Search.
+  struct SearchInstruments {
+    Counter* queries = nullptr;
+    Histogram* latency = nullptr;
+    Histogram* stage_parse = nullptr;
+    Histogram* stage_selection = nullptr;
+    Histogram* stage_scan = nullptr;
+    Histogram* stage_rank = nullptr;
+    Histogram* stage_snippet = nullptr;
+    PipelineMetrics pipeline;
+  };
+
   std::vector<Doc> documents_;  ///< Live documents, ascending id.
   /// Per-snapshot candidate-list cache; nullptr when disabled. The pointer
   /// is set once at publication and never reseated, so const Search may use
   /// the (internally synchronized) cache without any snapshot-level lock.
   std::shared_ptr<ResultCache> cache_;
+  /// Set once at publication, shared across publications; nullptr disables
+  /// search instrumentation (see SearchInstruments).
+  std::shared_ptr<const SearchInstruments> instruments_;
   std::unordered_map<std::string, DocumentId> by_name_;
   std::unordered_map<std::string, uint64_t> frequency_;
   size_t total_postings_ = 0;

@@ -59,12 +59,31 @@ CacheKey CacheKey::FromMaterial(std::string material) {
   return key;
 }
 
-ResultCache::ResultCache(const CacheConfig& config)
+ResultCache::ResultCache(const CacheConfig& config, MetricsRegistry* registry)
     : config_(config),
       shard_mask_(RoundUpToPowerOfTwo(config.shards == 0 ? 1 : config.shards) -
                   1),
       shard_capacity_bytes_(config.capacity_bytes / (shard_mask_ + 1)),
-      shards_(shard_mask_ + 1) {}
+      shards_(shard_mask_ + 1) {
+  if (registry != nullptr) {
+    mirror_.hits = registry->counter("xks_cache_hits_total");
+    mirror_.misses = registry->counter("xks_cache_misses_total");
+    mirror_.insertions = registry->counter("xks_cache_insertions_total");
+    mirror_.evictions = registry->counter("xks_cache_evictions_total");
+    mirror_.rejected = registry->counter("xks_cache_rejected_total");
+    mirror_.entries = registry->gauge("xks_cache_entries");
+    mirror_.bytes = registry->gauge("xks_cache_bytes");
+  }
+}
+
+ResultCache::~ResultCache() {
+  if (mirror_.entries == nullptr) return;
+  // A dying cache (its snapshot was replaced) takes its residency out of
+  // the process gauges; the monotonic counters stay, as counters do.
+  const CacheStats last = stats();
+  mirror_.entries->Add(-static_cast<int64_t>(last.entry_count));
+  mirror_.bytes->Add(-static_cast<int64_t>(last.bytes_in_use));
+}
 
 std::shared_ptr<const SearchResult> ResultCache::Get(const CacheKey& key) {
   Shard& shard = ShardFor(key.hash);
@@ -72,9 +91,11 @@ std::shared_ptr<const SearchResult> ResultCache::Get(const CacheKey& key) {
   auto it = shard.index.find(KeyView{key.material, key.hash});
   if (it == shard.index.end()) {
     ++shard.misses;
+    if (mirror_.misses != nullptr) mirror_.misses->Increment();
     return nullptr;
   }
   ++shard.hits;
+  if (mirror_.hits != nullptr) mirror_.hits->Increment();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->value;
 }
@@ -87,6 +108,7 @@ void ResultCache::Put(const CacheKey& key,
   MutexLock lock(shard.mutex);
   if (config_.max_entry_bytes != 0 && charged > config_.max_entry_bytes) {
     ++shard.rejected;
+    if (mirror_.rejected != nullptr) mirror_.rejected->Increment();
     return;
   }
   auto it = shard.index.find(KeyView{key.material, key.hash});
@@ -96,6 +118,10 @@ void ResultCache::Put(const CacheKey& key,
     std::list<Entry>::iterator entry = it->second;
     XKS_DCHECK(shard.bytes >= entry->charged_bytes);
     shard.bytes -= entry->charged_bytes;
+    if (mirror_.bytes != nullptr) {
+      mirror_.bytes->Add(static_cast<int64_t>(charged) -
+                         static_cast<int64_t>(entry->charged_bytes));
+    }
     entry->value = std::move(value);
     entry->charged_bytes = charged;
     shard.bytes += charged;
@@ -106,8 +132,11 @@ void ResultCache::Put(const CacheKey& key,
         KeyView{shard.lru.front().material, shard.lru.front().hash},
         shard.lru.begin());
     shard.bytes += charged;
+    if (mirror_.entries != nullptr) mirror_.entries->Add(1);
+    if (mirror_.bytes != nullptr) mirror_.bytes->Add(static_cast<int64_t>(charged));
   }
   ++shard.insertions;
+  if (mirror_.insertions != nullptr) mirror_.insertions->Increment();
   // Trim back under budget, least recently used first. A new entry that
   // alone busts the shard budget is trimmed right back out (front == back).
   while (shard.bytes > shard_capacity_bytes_ && !shard.lru.empty()) {
@@ -116,9 +145,14 @@ void ResultCache::Put(const CacheKey& key,
     // charged exactly once, so the shard total always covers its victim.
     XKS_CHECK(shard.bytes >= victim.charged_bytes);
     shard.bytes -= victim.charged_bytes;
+    if (mirror_.entries != nullptr) mirror_.entries->Add(-1);
+    if (mirror_.bytes != nullptr) {
+      mirror_.bytes->Add(-static_cast<int64_t>(victim.charged_bytes));
+    }
     shard.index.erase(KeyView{victim.material, victim.hash});
     shard.lru.pop_back();
     ++shard.evictions;
+    if (mirror_.evictions != nullptr) mirror_.evictions->Increment();
   }
 }
 

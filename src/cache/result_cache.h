@@ -44,6 +44,7 @@
 
 #include "src/common/mutex.h"
 #include "src/core/engine.h"
+#include "src/obs/metrics.h"
 
 namespace xks {
 
@@ -111,7 +112,14 @@ size_t ApproximateResultBytes(const SearchResult& result);
 
 class ResultCache {
  public:
-  explicit ResultCache(const CacheConfig& config);
+  /// `registry` mirrors the per-shard counters onto process metrics
+  /// (xks_cache_*_total, xks_cache_entries, xks_cache_bytes) in addition to
+  /// the per-instance stats() aggregate; nullptr disables the mirror.
+  explicit ResultCache(const CacheConfig& config,
+                       MetricsRegistry* registry = MetricsRegistry::Default());
+
+  /// Subtracts the remaining residency from the mirrored gauges.
+  ~ResultCache();
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -181,9 +189,21 @@ class ResultCache {
     return shards_[(hash >> 48) & shard_mask_];
   }
 
+  /// Registry mirrors of the shard counters; all null or all non-null.
+  struct Mirror {
+    Counter* hits = nullptr;
+    Counter* misses = nullptr;
+    Counter* insertions = nullptr;
+    Counter* evictions = nullptr;
+    Counter* rejected = nullptr;
+    Gauge* entries = nullptr;
+    Gauge* bytes = nullptr;
+  };
+
   const CacheConfig config_;
   const size_t shard_mask_;
   const size_t shard_capacity_bytes_;
+  Mirror mirror_;
   std::vector<Shard> shards_;
 };
 

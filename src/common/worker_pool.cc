@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/instruments.h"
 
 namespace xks {
 
@@ -38,8 +39,15 @@ void WorkerPool::Submit(std::function<void()> task) {
     // treat it as a caller bug but keep the process alive.
     if (shutdown_) return;
     queue_.push_back(std::move(task));
+    if (queue_depth_metric_ != nullptr) queue_depth_metric_->Add(1);
   }
   queue_not_empty_.NotifyOne();
+}
+
+void WorkerPool::set_metrics(Counter* tasks, Gauge* queue_depth) {
+  MutexLock lock(mutex_);
+  tasks_metric_ = tasks;
+  queue_depth_metric_ = queue_depth;
 }
 
 void WorkerPool::WaitIdle() {
@@ -63,6 +71,8 @@ void WorkerPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      if (queue_depth_metric_ != nullptr) queue_depth_metric_->Add(-1);
+      if (tasks_metric_ != nullptr) tasks_metric_->Increment();
     }
     queue_not_full_.NotifyOne();
     try {
@@ -115,6 +125,10 @@ Result<size_t> ParallelFor(size_t count,
       if (cancellable && options.cancel.cancelled()) break;
       XKS_RETURN_IF_ERROR(RunBody(body, i));
       ++executed;
+      // The serial path has no pool, but the task count still reflects
+      // every executed body so the counter means the same thing at every
+      // parallelism setting.
+      if (options.tasks_metric != nullptr) options.tasks_metric->Increment();
     }
     return executed;
   }
@@ -150,6 +164,7 @@ Result<size_t> ParallelFor(size_t count,
     // The calling thread is one of the runners: parallelism N spawns only
     // N-1 threads, and the caller works instead of idling in the join.
     WorkerPool pool(parallelism - 1, /*queue_capacity=*/parallelism - 1);
+    pool.set_metrics(options.tasks_metric, options.queue_depth_metric);
     for (size_t i = 0; i + 1 < parallelism; ++i) pool.Submit(runner);
     runner();
     // Pool destruction drains the runners and joins the workers, which is

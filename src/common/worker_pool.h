@@ -30,6 +30,9 @@
 
 namespace xks {
 
+class Counter;
+class Gauge;
+
 /// Locking contract: one mutex (`mutex_`) guards the queue, the active-task
 /// count and the shutdown flag; the annotations below make the compiler
 /// hold every access to it. The thread vector is written only by the
@@ -62,6 +65,12 @@ class WorkerPool {
 
   size_t thread_count() const { return threads_.size(); }
 
+  /// Wires the pool onto registry instruments (src/obs/instruments.h):
+  /// `tasks` counts every executed task, `queue_depth` tracks waiting tasks.
+  /// Either may be nullptr. Call before the first Submit; the pointers must
+  /// outlive the pool (registry instruments always do).
+  void set_metrics(Counter* tasks, Gauge* queue_depth) XKS_EXCLUDES(mutex_);
+
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// permits 0 for "unknown").
   static size_t DefaultParallelism();
@@ -78,6 +87,9 @@ class WorkerPool {
   /// Tasks currently executing on a worker.
   size_t active_ XKS_GUARDED_BY(mutex_) = 0;
   bool shutdown_ XKS_GUARDED_BY(mutex_) = false;
+  /// Optional registry instruments; set once before submissions begin.
+  Counter* tasks_metric_ XKS_GUARDED_BY(mutex_) = nullptr;
+  Gauge* queue_depth_metric_ XKS_GUARDED_BY(mutex_) = nullptr;
   /// Written by the constructor only; joined by the destructor.
   std::vector<std::thread> threads_;
 };
@@ -100,6 +112,12 @@ struct ParallelForOptions {
   /// token afterwards; ParallelFor itself does not turn cancellation into an
   /// error. Default-constructed tokens never fire and cost nothing.
   CancelToken cancel;
+  /// Optional registry instruments (src/obs/instruments.h): `tasks_metric`
+  /// counts every executed body, `queue_depth_metric` tracks tasks waiting
+  /// in the transient pool. Either may be nullptr (disabled); both must
+  /// outlive the call — registry instruments always do.
+  Counter* tasks_metric = nullptr;
+  Gauge* queue_depth_metric = nullptr;
 };
 
 /// Runs body(0) … body(count - 1), up to options.max_parallelism at a time,

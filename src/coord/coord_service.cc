@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 namespace xks {
@@ -9,6 +10,21 @@ namespace xks {
 CoordBackend::CoordBackend(Coordinator* coordinator,
                            const CoordBackendConfig& config)
     : coordinator_(coordinator), config_(config) {
+  if (config_.metrics != nullptr) {
+    MetricsRegistry& reg = *config_.metrics;
+    // Same families as QueryService's admission mirror, distinguished by
+    // backend="coord" so a process hosting both stays separable.
+    const std::string_view b = "backend=\"coord\"";
+    mirror_.submitted = reg.counter("xks_service_submitted_total", b);
+    mirror_.admitted = reg.counter("xks_service_admitted_total", b);
+    mirror_.completed = reg.counter("xks_service_completed_total", b);
+    mirror_.shed_overload = reg.counter("xks_service_shed_overload_total", b);
+    mirror_.shed_quota = reg.counter("xks_service_shed_quota_total", b);
+    mirror_.rejected_draining =
+        reg.counter("xks_service_rejected_draining_total", b);
+    mirror_.batches = reg.counter("xks_service_batches_total", b);
+    mirror_.slow_queries = reg.counter("xks_slow_queries_total", b);
+  }
   const size_t workers = std::max<size_t>(1, config_.workers);
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
@@ -41,12 +57,17 @@ Status CoordBackend::Submit(uint64_t client_id, SearchRequest request,
   {
     MutexLock lock(mutex_);
     ++stats_.submitted;
+    if (mirror_.submitted != nullptr) mirror_.submitted->Increment();
     if (draining_) {
       ++stats_.rejected_draining;
+      if (mirror_.rejected_draining != nullptr) {
+        mirror_.rejected_draining->Increment();
+      }
       return Status::Unavailable("service is draining; not accepting queries");
     }
     if (pending_.size() >= config_.max_pending) {
       ++stats_.shed_overload;
+      if (mirror_.shed_overload != nullptr) mirror_.shed_overload->Increment();
       return Status::ResourceExhausted(
           "pending queue full (max_pending=" +
           std::to_string(config_.max_pending) + "); retry later");
@@ -55,6 +76,7 @@ Status CoordBackend::Submit(uint64_t client_id, SearchRequest request,
     const size_t inflight = it == inflight_.end() ? 0 : it->second;
     if (inflight >= config_.per_client_inflight) {
       ++stats_.shed_quota;
+      if (mirror_.shed_quota != nullptr) mirror_.shed_quota->Increment();
       return Status::ResourceExhausted(
           "per-connection in-flight quota exceeded (quota=" +
           std::to_string(config_.per_client_inflight) + ")");
@@ -62,6 +84,7 @@ Status CoordBackend::Submit(uint64_t client_id, SearchRequest request,
     inflight_[client_id] = inflight + 1;
     ++inflight_total_;
     ++stats_.admitted;
+    if (mirror_.admitted != nullptr) mirror_.admitted->Increment();
     pending_.push_back(std::move(query));
   }
   work_cv_.NotifyOne();
@@ -99,16 +122,39 @@ void CoordBackend::WorkerLoop() {
       query = std::move(pending_.front());
       pending_.pop_front();
       ++stats_.batches;
+      if (mirror_.batches != nullptr) mirror_.batches->Increment();
       stats_.max_batch = std::max<uint64_t>(stats_.max_batch, 1);
     }
+    const bool slow_log = config_.slow_query_ms > 0;
+    const bool client_wants_trace = query.request.include_trace;
+    // The request is moved into Search below, so everything the slow-query
+    // line needs from it is captured up front.
+    const uint64_t fingerprint =
+        slow_log ? QueryShapeFingerprint(query.request) : 0;
     Result<SearchResponse> outcome = [&]() -> Result<SearchResponse> {
       if (query.cancel.can_expire() && query.cancel.cancelled()) {
         // Expired while queued: report without scattering anything.
         return query.cancel.status();
       }
       query.request.cancel = query.cancel;
+      // The slow-query log needs the hop breakdown, so force trace
+      // collection while the log is enabled; the forced trace is stripped
+      // again below unless the client asked for it.
+      if (slow_log) query.request.include_trace = true;
       return coordinator_->Search(std::move(query.request));
     }();
+    if (slow_log && outcome.ok() && outcome.value().trace != nullptr) {
+      const TraceSpan& root = *outcome.value().trace;
+      const double elapsed_ms = static_cast<double>(root.duration_us) / 1e3;
+      if (elapsed_ms >= static_cast<double>(config_.slow_query_ms)) {
+        std::fprintf(
+            stderr, "%s\n",
+            FormatSlowQueryLine("xks_coord", fingerprint, elapsed_ms, root)
+                .c_str());
+        if (mirror_.slow_queries != nullptr) mirror_.slow_queries->Increment();
+      }
+      if (!client_wants_trace) outcome.value().trace.reset();
+    }
     query.done(std::move(outcome));
     FinishOne(query.client_id);
   }
@@ -121,6 +167,7 @@ void CoordBackend::FinishOne(uint64_t client_id) {
     if (it != inflight_.end() && --it->second == 0) inflight_.erase(it);
     --inflight_total_;
     ++stats_.completed;
+    if (mirror_.completed != nullptr) mirror_.completed->Increment();
   }
   drain_cv_.NotifyAll();
 }

@@ -45,6 +45,16 @@ struct CoordBackendConfig {
   /// Worker threads running queries (each blocks on its query's shard
   /// round-trips, so this bounds coordinator-side concurrency, not CPU).
   size_t workers = 8;
+  /// Queries whose coordinator wall time reaches this many milliseconds are
+  /// logged (one structured line on stderr, with the hop breakdown). 0 = off.
+  /// While enabled, every query collects a trace; forced traces are stripped
+  /// before the done callback unless the client asked for one, so the wire
+  /// bytes are unchanged.
+  uint64_t slow_query_ms = 0;
+  /// Registry the ServiceStats counters are mirrored onto (labeled
+  /// backend="coord") and the slow-query counter lives in; nullptr disables.
+  /// Must outlive the backend.
+  MetricsRegistry* metrics = MetricsRegistry::Default();
 };
 
 class CoordBackend : public QueryBackend {
@@ -89,8 +99,23 @@ class CoordBackend : public QueryBackend {
   /// Marks one query finished: quota release + drain bookkeeping.
   void FinishOne(uint64_t client_id) XKS_EXCLUDES(mutex_);
 
+  /// Registry mirrors of the ServiceStats counters (labeled
+  /// backend="coord"); nullptr when metrics are disabled. Immutable after
+  /// construction.
+  struct Mirror {
+    Counter* submitted = nullptr;
+    Counter* admitted = nullptr;
+    Counter* completed = nullptr;
+    Counter* shed_overload = nullptr;
+    Counter* shed_quota = nullptr;
+    Counter* rejected_draining = nullptr;
+    Counter* batches = nullptr;
+    Counter* slow_queries = nullptr;
+  };
+
   Coordinator* const coordinator_;
   const CoordBackendConfig config_;
+  Mirror mirror_;
 
   /// One mutex guards the whole admission state (queue, quotas, drain flag,
   /// counters), mirroring QueryService.

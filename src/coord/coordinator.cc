@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -151,6 +152,26 @@ Result<CoordCursor> DecodeCoordCursor(std::string_view token) {
 
 Coordinator::Coordinator(ShardMap map, CoordinatorConfig config)
     : map_(std::move(map)), config_(config), views_(map_.size()) {
+  if (config_.metrics != nullptr) {
+    MetricsRegistry& reg = *config_.metrics;
+    mirror_.queries = reg.counter("xks_coord_queries_total");
+    mirror_.ok = reg.counter("xks_coord_ok_total");
+    mirror_.failed = reg.counter("xks_coord_failed_total");
+    mirror_.degraded = reg.counter("xks_coord_degraded_total");
+    mirror_.epoch_mismatches = reg.counter("xks_coord_epoch_mismatches_total");
+    mirror_.snapshot_retries = reg.counter("xks_coord_snapshot_retries_total");
+    mirror_.roster_refreshes = reg.counter("xks_coord_roster_refreshes_total");
+    mirror_.hop_seconds = reg.histogram("xks_coord_hop_seconds");
+    mirror_.worker_tasks =
+        reg.counter("xks_worker_tasks_total", "pool=\"coord\"");
+    mirror_.worker_queue_depth =
+        reg.gauge("xks_worker_queue_depth", "pool=\"coord\"");
+    mirror_.hops.reserve(map_.size());
+    for (const ShardInfo& shard : map_.shards()) {
+      mirror_.hops.push_back(reg.counter(
+          "xks_coord_hops_total", "shard=\"" + ShardLabel(shard) + "\""));
+    }
+  }
   channels_.reserve(map_.size());
   for (const ShardInfo& shard : map_.shards()) {
     channels_.push_back(
@@ -164,17 +185,24 @@ Result<SearchResponse> Coordinator::Search(SearchRequest request) {
   Result<SearchResponse> outcome = SearchInternal(std::move(request));
   MutexLock lock(mutex_);
   ++stats_.queries;
+  if (mirror_.queries != nullptr) mirror_.queries->Increment();
   if (outcome.ok()) {
     ++stats_.ok;
+    if (mirror_.ok != nullptr) mirror_.ok->Increment();
   } else {
     ++stats_.failed;
+    if (mirror_.failed != nullptr) mirror_.failed->Increment();
     switch (outcome.status().code()) {
       case StatusCode::kUnavailable:
       case StatusCode::kDeadlineExceeded:
         ++stats_.degraded;
+        if (mirror_.degraded != nullptr) mirror_.degraded->Increment();
         break;
       case StatusCode::kFailedPrecondition:
         ++stats_.epoch_mismatches;
+        if (mirror_.epoch_mismatches != nullptr) {
+          mirror_.epoch_mismatches->Increment();
+        }
         break;
       default:
         break;
@@ -198,15 +226,27 @@ Result<SearchResponse> Coordinator::SearchInternal(SearchRequest request) {
   }
   if (cancel.can_expire() && cancel.cancelled()) return cancel.status();
 
+  // The coordinator's own span tree: parse → route → (roster) → scatter
+  // (one hop child per involved shard) → merge. Disabled traces never read
+  // the clock.
+  QueryTrace trace(request.include_trace, "coord_search");
+
   KeywordQuery query;
-  if (!request.terms.empty()) {
-    XKS_ASSIGN_OR_RETURN(query, KeywordQuery::FromTerms(request.terms));
-  } else {
-    XKS_ASSIGN_OR_RETURN(query, KeywordQuery::Parse(request.query));
+  {
+    QueryTrace::Scope parse_scope(trace, "parse");
+    if (!request.terms.empty()) {
+      XKS_ASSIGN_OR_RETURN(query, KeywordQuery::FromTerms(request.terms));
+    } else {
+      XKS_ASSIGN_OR_RETURN(query, KeywordQuery::Parse(request.query));
+    }
   }
 
   Routing routing;
-  XKS_RETURN_IF_ERROR(Route(request.documents, &routing));
+  {
+    QueryTrace::Scope route_scope(trace, "route");
+    XKS_RETURN_IF_ERROR(Route(request.documents, &routing));
+  }
+  if (trace.enabled()) trace.Attr("shards", routing.involved.size());
 
   // The coordinator's cursor fingerprint: the request's execution shape
   // plus the roster digest — the sharded analog of the single-node corpus
@@ -243,6 +283,7 @@ Result<SearchResponse> Coordinator::SearchInternal(SearchRequest request) {
       request.rank && normalizer == 0 &&
       (request.documents.empty() || request.documents.size() > 1);
   if (needs_roster) {
+    QueryTrace::Scope roster_scope(trace, "roster");
     XKS_RETURN_IF_ERROR(RosterNormalizer(request, cancel,
                                          /*force_refresh=*/false, &normalizer,
                                          &roster_epochs));
@@ -267,9 +308,14 @@ Result<SearchResponse> Coordinator::SearchInternal(SearchRequest request) {
   // drift (refresh + idempotent re-scatter); cursor replays never retry —
   // a drifted shard fails the replay outright.
   std::vector<SearchResponse> replies;
+  // optional<> rather than a bare Scope: the span must close before the
+  // merge span opens, without re-indenting the retry loop into a block.
+  std::optional<QueryTrace::Scope> scatter_scope;
+  if (trace.enabled()) scatter_scope.emplace(trace, "scatter");
   for (int attempt = 0;; ++attempt) {
     XKS_ASSIGN_OR_RETURN(
-        replies, Scatter(request, routing, offset, normalizer, cancel));
+        replies, Scatter(request, routing, offset, normalizer, cancel,
+                         trace.enabled() ? &trace : nullptr));
     if (replay) {
       for (size_t i = 0; i < routing.involved.size(); ++i) {
         const size_t s = routing.involved[i];
@@ -293,6 +339,9 @@ Result<SearchResponse> Coordinator::SearchInternal(SearchRequest request) {
           {
             MutexLock lock(mutex_);
             ++stats_.snapshot_retries;
+            if (mirror_.snapshot_retries != nullptr) {
+              mirror_.snapshot_retries->Increment();
+            }
           }
           XKS_RETURN_IF_ERROR(RosterNormalizer(request, cancel,
                                                /*force_refresh=*/true,
@@ -306,6 +355,7 @@ Result<SearchResponse> Coordinator::SearchInternal(SearchRequest request) {
     }
     break;
   }
+  scatter_scope.reset();
   if (replay && cursor.fingerprint != fingerprint) {
     return Status::InvalidArgument(
         "cursor does not belong to this request (query, configuration or "
@@ -322,6 +372,9 @@ Result<SearchResponse> Coordinator::SearchInternal(SearchRequest request) {
   for (size_t i = 0; i < routing.involved.size(); ++i) {
     epochs[routing.involved[i]] = replies[i].epoch;
   }
+
+  std::optional<QueryTrace::Scope> merge_scope;
+  if (trace.enabled()) merge_scope.emplace(trace, "merge");
 
   // ---- Merge: replay the union serial scan over the shard breakdowns. --
   const size_t fan = routing.involved.size();
@@ -524,6 +577,12 @@ Result<SearchResponse> Coordinator::SearchInternal(SearchRequest request) {
     merged.next_cursor = EncodeCoordCursor(
         CoordCursor{fingerprint, static_cast<uint64_t>(end), epochs});
   }
+  merge_scope.reset();
+  if (trace.enabled()) {
+    trace.Attr("hits", merged.total_hits);
+    trace.Attr("cache_docs", merged.documents_from_cache);
+    merged.trace = std::make_shared<const TraceSpan>(trace.Finish());
+  }
   return merged;
 }
 
@@ -595,10 +654,15 @@ Status Coordinator::RosterNormalizer(const SearchRequest& request,
 
 Result<std::vector<SearchResponse>> Coordinator::Scatter(
     const SearchRequest& request, const Routing& routing, size_t offset,
-    uint64_t normalizer, const CancelToken& cancel) {
+    uint64_t normalizer, const CancelToken& cancel, QueryTrace* trace) {
   const size_t fan = routing.involved.size();
+  const bool tracing = trace != nullptr && trace->enabled();
   std::vector<SearchResponse> responses(fan);
   std::vector<Status> failures(fan, Status::OK());
+  // Hop spans are assembled per slot by the fan-out workers (QueryTrace is
+  // a single-threaded builder, so workers never touch `trace` beyond the
+  // read-only ElapsedUs) and attached in involved order afterwards.
+  std::vector<TraceSpan> hops(tracing ? fan : 0);
   const auto call_shard = [&](size_t i) -> Status {
     const size_t s = routing.involved[i];
     // The sub-request: same execution shape, LOCAL document ids, and the
@@ -623,6 +687,9 @@ Result<std::vector<SearchResponse>> Coordinator::Scatter(
     sub.include_raw_fragments = request.include_raw_fragments;
     sub.include_stats = request.include_stats;
     sub.include_scan_breakdown = true;
+    // A traced coordinator query asks each shard for its trace too, so the
+    // hop span can carry the shard's own stage breakdown as a child.
+    sub.include_trace = tracing;
     // Per-hop budget: the REMAINING share of the query's deadline at this
     // hop, so a shard stops scanning server-side once the coordinator has
     // given up on the query.
@@ -632,8 +699,27 @@ Result<std::vector<SearchResponse>> Coordinator::Scatter(
       sub.deadline_ms =
           left.count() <= 0 ? 1 : static_cast<uint64_t>(left.count());
     }
+    const uint64_t hop_start_us = tracing ? trace->ElapsedUs() : 0;
+    const auto call_start = std::chrono::steady_clock::now();
     Result<Frame> frame = channels_[s]->Call(
         FrameKind::kSearchRequest, EncodeSearchRequest(sub), cancel);
+    if (mirror_.hop_seconds != nullptr) {
+      mirror_.hop_seconds->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        call_start)
+              .count());
+    }
+    if (s < mirror_.hops.size() && mirror_.hops[s] != nullptr) {
+      mirror_.hops[s]->Increment();
+    }
+    if (tracing) {
+      TraceSpan& hop = hops[i];
+      hop.name = "hop";
+      hop.start_us = hop_start_us;
+      hop.duration_us = trace->ElapsedUs() - hop_start_us;
+      hop.attributes.emplace_back("shard", static_cast<uint64_t>(s));
+      hop.attributes.emplace_back("budget_ms", sub.deadline_ms);
+    }
     if (!frame.ok()) {
       failures[i] = frame.status();
       return Status::OK();
@@ -642,6 +728,12 @@ Result<std::vector<SearchResponse>> Coordinator::Scatter(
       Result<SearchResponse> decoded = DecodeSearchResponse(frame->body);
       if (decoded.ok()) {
         responses[i] = std::move(decoded).value();
+        if (tracing && responses[i].trace != nullptr) {
+          // The shard's trace rides under the hop span (its offsets are
+          // shard-relative); it must never leak into the merged response.
+          hops[i].children.push_back(*responses[i].trace);
+          responses[i].trace.reset();
+        }
       } else {
         failures[i] = decoded.status();
       }
@@ -670,8 +762,15 @@ Result<std::vector<SearchResponse>> Coordinator::Scatter(
   // slot still gets a definite outcome (no stranded placeholder).
   ParallelForOptions fan_out;
   fan_out.max_parallelism = fan;
+  fan_out.tasks_metric = mirror_.worker_tasks;
+  fan_out.queue_depth_metric = mirror_.worker_queue_depth;
   const Result<size_t> fanned = ParallelFor(fan, call_shard, fan_out);
   XKS_CHECK(fanned.ok() && *fanned == fan);
+  if (tracing) {
+    // Single-threaded again: attach the hop spans in involved order, so the
+    // span tree is deterministic regardless of fan-out scheduling.
+    for (TraceSpan& hop : hops) trace->AddChild(std::move(hop));
+  }
   // Never partial: the first failed shard (involved order — deterministic)
   // fails the whole query with its status.
   for (size_t i = 0; i < fan; ++i) {
@@ -722,6 +821,8 @@ Status Coordinator::RefreshRoster(CancelToken cancel) {
   };
   ParallelForOptions fan_out;
   fan_out.max_parallelism = map_.size();
+  fan_out.tasks_metric = mirror_.worker_tasks;
+  fan_out.queue_depth_metric = mirror_.worker_queue_depth;
   const Result<size_t> fanned = ParallelFor(map_.size(), ping_shard, fan_out);
   XKS_CHECK(fanned.ok() && *fanned == map_.size());
   Status first = Status::OK();
@@ -735,7 +836,12 @@ Status Coordinator::RefreshRoster(CancelToken cancel) {
         first = failures[s];
       }
     }
-    if (first.ok()) ++stats_.roster_refreshes;
+    if (first.ok()) {
+      ++stats_.roster_refreshes;
+      if (mirror_.roster_refreshes != nullptr) {
+        mirror_.roster_refreshes->Increment();
+      }
+    }
   }
   return first;
 }

@@ -58,6 +58,8 @@
 #include "src/common/result.h"
 #include "src/coord/shard_channel.h"
 #include "src/coord/shard_map.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/server/wire.h"
 
 namespace xks {
@@ -86,6 +88,11 @@ struct CoordinatorConfig {
   /// Budget for a roster refresh (health pings) when the triggering query
   /// carries no deadline of its own. 0 = unbounded.
   uint64_t ping_deadline_ms = 5000;
+  /// Registry the CoordStats counters and the per-hop instruments
+  /// (xks_coord_hops_total{shard=...}, xks_coord_hop_seconds) are mirrored
+  /// onto; nullptr disables. Must outlive the coordinator. Also the default
+  /// for channel.metrics when that is left at MetricsRegistry::Default().
+  MetricsRegistry* metrics = MetricsRegistry::Default();
 };
 
 /// Monotonic counters; read via Coordinator::stats().
@@ -181,15 +188,38 @@ class Coordinator {
   /// Fans the rewritten sub-requests over the involved shards (all
   /// concurrently) and decodes the replies, involved order. Any shard
   /// failure fails the scatter with that shard's (globalized) status,
-  /// first involved shard wins.
+  /// first involved shard wins. When `trace` is non-null (and enabled), one
+  /// "hop" child span per involved shard — carrying the hop's deadline
+  /// budget vs. actual latency, with the shard's own trace attached below
+  /// it — is added under the trace's innermost open span after the fan-out.
   Result<std::vector<SearchResponse>> Scatter(const SearchRequest& request,
                                               const Routing& routing,
                                               size_t offset,
                                               uint64_t normalizer,
-                                              const CancelToken& cancel);
+                                              const CancelToken& cancel,
+                                              QueryTrace* trace);
+
+  /// Registry mirrors of the CoordStats counters plus the hop instruments;
+  /// all nullptr when metrics are disabled. Immutable after construction.
+  struct Mirror {
+    Counter* queries = nullptr;
+    Counter* ok = nullptr;
+    Counter* failed = nullptr;
+    Counter* degraded = nullptr;
+    Counter* epoch_mismatches = nullptr;
+    Counter* snapshot_retries = nullptr;
+    Counter* roster_refreshes = nullptr;
+    Histogram* hop_seconds = nullptr;
+    /// One per roster shard (map order), labeled shard="host:port".
+    std::vector<Counter*> hops;
+    /// Fan-out pool instruments (pool="coord").
+    Counter* worker_tasks = nullptr;
+    Gauge* worker_queue_depth = nullptr;
+  };
 
   const ShardMap map_;
   const CoordinatorConfig config_;
+  Mirror mirror_;
   /// One channel per roster shard, map order. The vector itself is
   /// immutable after construction; each channel is internally thread-safe.
   std::vector<std::unique_ptr<ShardChannel>> channels_;

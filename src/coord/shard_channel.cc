@@ -16,6 +16,18 @@ ShardChannel::ShardChannel(ShardInfo shard, ShardChannelConfig config)
     : shard_(std::move(shard)),
       config_(config),
       label_(shard_.host + ":" + std::to_string(shard_.port)) {
+  if (config_.metrics != nullptr) {
+    MetricsRegistry& reg = *config_.metrics;
+    const std::string labels = "shard=\"" + label_ + "\"";
+    mirror_.calls = reg.counter("xks_shard_calls_total", labels);
+    mirror_.connects = reg.counter("xks_shard_connects_total", labels);
+    mirror_.connect_failures =
+        reg.counter("xks_shard_connect_failures_total", labels);
+    mirror_.connection_losses =
+        reg.counter("xks_shard_connection_losses_total", labels);
+    mirror_.call_timeouts =
+        reg.counter("xks_shard_call_timeouts_total", labels);
+  }
   receiver_ = std::thread([this] { ReceiverLoop(); });
 }
 
@@ -30,6 +42,7 @@ Result<Frame> ShardChannel::Call(FrameKind kind, std::string body,
     MutexLock lock(mutex_);
     ++stats_.calls;
   }
+  if (mirror_.calls != nullptr) mirror_.calls->Increment();
   std::shared_ptr<XksClient> client;
   XKS_ASSIGN_OR_RETURN(client, GetOrConnect(cancel));
 
@@ -81,6 +94,7 @@ Result<Frame> ShardChannel::Call(FrameKind kind, std::string body,
     if (cancel.cancelled()) {
       waiters_.erase(id);  // the receiver discards the late reply, if any
       ++stats_.call_timeouts;
+      if (mirror_.call_timeouts != nullptr) mirror_.call_timeouts->Increment();
       if (cancel.status().code() == StatusCode::kCancelled) {
         return cancel.status();
       }
@@ -172,12 +186,16 @@ Status ShardChannel::DialWithRetries(const CancelToken& cancel) {
       ++generation_;
       health_ = ShardHealth::kHealthy;
       ++stats_.connects;
+      if (mirror_.connects != nullptr) mirror_.connects->Increment();
       state_cv_.NotifyAll();  // wake the receiver onto the new connection
       return Status::OK();
     }
     last = conn.status();
     MutexLock lock(mutex_);
     ++stats_.connect_failures;
+    if (mirror_.connect_failures != nullptr) {
+      mirror_.connect_failures->Increment();
+    }
     health_ = ShardHealth::kDown;
   }
   if (cancel.cancelled()) {
@@ -230,6 +248,9 @@ void ShardChannel::TearDownLocked(const Status& reason) {
     client_->Abort();
     client_ = nullptr;
     ++stats_.connection_losses;
+    if (mirror_.connection_losses != nullptr) {
+      mirror_.connection_losses->Increment();
+    }
   }
   health_ = ShardHealth::kDown;
   for (auto& [id, waiter] : waiters_) {

@@ -46,6 +46,7 @@
 #include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/coord/shard_map.h"
+#include "src/obs/metrics.h"
 #include "src/server/client.h"
 
 namespace xks {
@@ -58,6 +59,10 @@ struct ShardChannelConfig {
   size_t connect_attempts = 3;
   /// Backoff before the second attempt; doubles per further attempt.
   uint64_t backoff_initial_ms = 50;
+  /// Registry the channel mirrors its counters onto, labeled
+  /// shard="host:port"; nullptr disables. Must outlive the channel. The
+  /// ShardChannelStats struct stays authoritative per instance.
+  MetricsRegistry* metrics = MetricsRegistry::Default();
 };
 
 enum class ShardHealth : uint8_t {
@@ -125,10 +130,23 @@ class ShardChannel {
   /// with `reason`, marks the channel kDown.
   void TearDownLocked(const Status& reason) XKS_REQUIRES(mutex_);
 
+  /// Registry mirrors of the ShardChannelStats counters (all labeled with
+  /// this channel's shard); nullptr when metrics are disabled. Immutable
+  /// after construction, so increments need no extra synchronization beyond
+  /// the counter's own atomic.
+  struct Mirror {
+    Counter* calls = nullptr;
+    Counter* connects = nullptr;
+    Counter* connect_failures = nullptr;
+    Counter* connection_losses = nullptr;
+    Counter* call_timeouts = nullptr;
+  };
+
   const ShardInfo shard_;
   const ShardChannelConfig config_;
   /// "host:port" for error messages.
   const std::string label_;
+  Mirror mirror_;
 
   /// Guards all channel state. Never held across blocking socket calls:
   /// the receiver blocks in ReceiveFrame and dialers block in Connect with

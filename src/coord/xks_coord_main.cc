@@ -63,7 +63,11 @@ void Usage(const char* argv0) {
       "  --max-pending N         pending-queue bound before overload "
       "shedding\n"
       "  --inflight-quota N      per-connection in-flight quota\n"
-      "  --workers N             concurrent coordinator queries\n",
+      "  --workers N             concurrent coordinator queries\n"
+      "\n"
+      "observability:\n"
+      "  --slow-query-ms N       log queries slower than N ms (hop\n"
+      "                          breakdown on stderr); 0 = off (default)\n",
       argv0);
 }
 
@@ -131,6 +135,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--workers") {
       if (!ParseUint(next(), &u) || u == 0) return Usage(argv[0]), 2;
       backend_config.workers = u;
+    } else if (arg == "--slow-query-ms") {
+      if (!ParseUint(next(), &u)) return Usage(argv[0]), 2;
+      backend_config.slow_query_ms = u;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;

@@ -17,6 +17,20 @@ double MsSince(Clock::time_point start) {
 
 }  // namespace
 
+PipelineMetrics PipelineMetrics::Resolve(MetricsRegistry* registry) {
+  PipelineMetrics metrics;
+  if (registry == nullptr) return metrics;
+  metrics.keyword_nodes =
+      registry->histogram("xks_pipeline_stage_seconds", "stage=\"keyword_nodes\"");
+  metrics.lca = registry->histogram("xks_pipeline_stage_seconds", "stage=\"lca\"");
+  metrics.rtf = registry->histogram("xks_pipeline_stage_seconds", "stage=\"rtf\"");
+  metrics.prune =
+      registry->histogram("xks_pipeline_stage_seconds", "stage=\"prune\"");
+  metrics.raw_nodes = registry->counter("xks_prune_raw_nodes_total");
+  metrics.kept_nodes = registry->counter("xks_prune_kept_nodes_total");
+  return metrics;
+}
+
 KeywordNodeLists GetKeywordNodes(const ShreddedStore& store,
                                  const KeywordQuery& query) {
   KeywordNodeLists lists;
@@ -114,6 +128,16 @@ Result<SearchResult> ExecuteSearch(const ShreddedStore& store,
     result.fragments.push_back(std::move(fragment));
   }
   result.timings.prune_ms = MsSince(t3);
+
+  if (options.metrics != nullptr) {
+    const PipelineMetrics& m = *options.metrics;
+    m.keyword_nodes->Observe(result.timings.get_keyword_nodes_ms / 1e3);
+    m.lca->Observe(result.timings.get_lca_ms / 1e3);
+    m.rtf->Observe(result.timings.get_rtf_ms / 1e3);
+    m.prune->Observe(result.timings.prune_ms / 1e3);
+    m.raw_nodes->Increment(result.pruning.raw_nodes);
+    m.kept_nodes->Increment(result.pruning.kept_nodes);
+  }
   return result;
 }
 

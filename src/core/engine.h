@@ -20,6 +20,7 @@
 
 #include "src/common/cancel_token.h"
 #include "src/core/metadata.h"
+#include "src/obs/metrics.h"
 #include "src/core/prune.h"
 #include "src/core/query.h"
 #include "src/core/rtf.h"
@@ -41,6 +42,22 @@ enum class ElcaAlgorithm { kIndexedStack, kStackMerge, kBruteForce };
 /// Algorithm choice for the SLCA semantics.
 enum class SlcaAlgorithm { kIndexedLookup, kScanEager, kStackMerge, kBruteForce };
 
+/// Pre-resolved registry instruments for the per-document pipeline stages
+/// (xks_pipeline_stage_seconds{stage=...} + the prune node counters).
+/// Resolve() takes the registry lock once; the struct is then plain stable
+/// pointers, cheap to pass by pointer into every ExecuteSearch call. All
+/// members are non-null after Resolve(nonnull).
+struct PipelineMetrics {
+  Histogram* keyword_nodes = nullptr;
+  Histogram* lca = nullptr;
+  Histogram* rtf = nullptr;
+  Histogram* prune = nullptr;
+  Counter* raw_nodes = nullptr;
+  Counter* kept_nodes = nullptr;
+
+  static PipelineMetrics Resolve(MetricsRegistry* registry);
+};
+
 /// Pipeline configuration.
 struct SearchOptions {
   LcaSemantics semantics = LcaSemantics::kElca;
@@ -58,6 +75,10 @@ struct SearchOptions {
   /// default token never fires and costs nothing. Not part of the result
   /// cache key — a cancelled execution never produces a cacheable result.
   CancelToken cancel;
+  /// Per-stage registry instruments, resolved by the caller once per
+  /// snapshot (PipelineMetrics::Resolve); nullptr disables instrumentation
+  /// with zero hot-path cost. Not part of the cache key.
+  const PipelineMetrics* metrics = nullptr;
 };
 
 /// One query result: the raw RTF plus its (pruned) fragment tree.

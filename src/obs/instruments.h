@@ -1,0 +1,122 @@
+// Hot-path metric instruments: Counter, Gauge, Histogram.
+//
+// Deliberately header-only with no dependency beyond <atomic>: the
+// instruments are plain lock-free cells, so code anywhere in the tree
+// (including src/common, which xks_obs itself links against) can bump one
+// through a pointer without taking a dependency on the registry library.
+// Instruments are created and owned by xks::MetricsRegistry
+// (src/obs/metrics.h), which hands out stable pointers; increments are
+// relaxed atomics — the registry snapshot only promises a consistent-enough
+// view for monitoring, never cross-metric atomicity.
+//
+// Histogram buckets are fixed at construction (log-scaled latency bounds by
+// default, see metrics.h) so Observe() is a branchless-ish binary search
+// plus three relaxed RMWs — cheap enough to sit on the per-query search
+// path (bench/micro_metrics.cc pins the enabled-vs-disabled delta).
+
+#ifndef XKS_OBS_INSTRUMENTS_H_
+#define XKS_OBS_INSTRUMENTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace xks {
+
+/// A monotonically increasing count. Relaxed increments; read via value().
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depths, bytes in use).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A distribution over fixed upper-bound buckets. `bounds` is not owned and
+/// must outlive the histogram (the registry keeps one shared bounds vector
+/// per bucket layout); bucket i counts observations <= bounds[i], with one
+/// extra overflow bucket past the last bound.
+class Histogram {
+ public:
+  explicit Histogram(const std::vector<double>* bounds)
+      : bounds_(bounds),
+        buckets_(std::make_unique<std::atomic<uint64_t>[]>(bounds->size() + 1)) {
+    for (size_t i = 0; i <= bounds_->size(); ++i) buckets_[i].store(0);
+  }
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value) {
+    // Branch on bounds with a binary search: first bound >= value.
+    size_t lo = 0, hi = bounds_->size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if ((*bounds_)[mid] < value) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    buckets_[lo].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Accumulate the sum as raw IEEE-754 bits under a CAS loop; contention
+    // is rare (one query finishing at a time per instrument in practice).
+    uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+    for (;;) {
+      double current;
+      static_assert(sizeof(current) == sizeof(observed), "double is 64-bit");
+      std::memcpy(&current, &observed, sizeof(current));
+      const double next = current + value;
+      uint64_t next_bits;
+      std::memcpy(&next_bits, &next, sizeof(next_bits));
+      if (sum_bits_.compare_exchange_weak(observed, next_bits,
+                                          std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+
+  const std::vector<double>& bounds() const { return *bounds_; }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const {
+    const uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+ private:
+  const std::vector<double>* bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+}  // namespace xks
+
+#endif  // XKS_OBS_INSTRUMENTS_H_

@@ -1,0 +1,304 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/codec.h"
+
+namespace xks {
+
+namespace {
+
+// Doubles travel as their raw IEEE-754 bits in a varint — deterministic and
+// round-trip exact (same convention as the wire weights).
+void PutDoubleBits(std::string* out, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutVarint64(out, bits);
+}
+
+Result<double> ReadDoubleBits(ByteReader& reader) {
+  Result<uint64_t> bits = reader.ReadVarint64();
+  if (!bits.ok()) return bits.status();
+  double value;
+  std::memcpy(&value, &*bits, sizeof(value));
+  return value;
+}
+
+void AppendNumber(std::string* out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  out->append(buffer);
+}
+
+void AppendSeries(std::string* out, const std::string& name,
+                  std::string_view labels, std::string_view extra_label) {
+  out->append(name);
+  if (!labels.empty() || !extra_label.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    if (!labels.empty() && !extra_label.empty()) out->push_back(',');
+    out->append(extra_label);
+    out->push_back('}');
+  }
+  out->push_back(' ');
+}
+
+}  // namespace
+
+const std::vector<double>& DefaultLatencyBounds() {
+  static const std::vector<double>* const kBounds = [] {
+    auto* bounds = new std::vector<double>();
+    double bound = 1e-6;  // 1 microsecond
+    for (int i = 0; i < 24; ++i) {  // up to ~8.39 s
+      bounds->push_back(bound);
+      bound *= 2.0;
+    }
+    return bounds;
+  }();
+  return *kBounds;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* const kDefault = new MetricsRegistry();
+  return kDefault;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name,
+                                  std::string_view labels) {
+  MutexLock lock(mutex_);
+  auto& slot = counters_[Key(std::string(name), std::string(labels))];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name, std::string_view labels) {
+  MutexLock lock(mutex_);
+  auto& slot = gauges_[Key(std::string(name), std::string(labels))];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view labels) {
+  MutexLock lock(mutex_);
+  auto& slot = histograms_[Key(std::string(name), std::string(labels))];
+  if (!slot) slot = std::make_unique<Histogram>(&DefaultLatencyBounds());
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  MutexLock lock(mutex_);
+  // Each map iterates in (name, labels) order already; group consecutive
+  // same-name entries into families, then merge-sort the family lists by
+  // name so the overall order is independent of creation order and kind.
+  auto group = [&snapshot](const auto& map, MetricKind kind, auto&& fill) {
+    for (const auto& [key, instrument] : map) {
+      if (snapshot.families.empty() || snapshot.families.back().name != key.first ||
+          snapshot.families.back().kind != kind) {
+        MetricFamily family;
+        family.name = key.first;
+        family.kind = kind;
+        snapshot.families.push_back(std::move(family));
+      }
+      MetricPoint point;
+      point.labels = key.second;
+      fill(*instrument, point);
+      snapshot.families.back().points.push_back(std::move(point));
+    }
+  };
+  group(counters_, MetricKind::kCounter, [](const Counter& c, MetricPoint& p) {
+    p.counter_value = c.value();
+  });
+  group(gauges_, MetricKind::kGauge, [](const Gauge& g, MetricPoint& p) {
+    p.gauge_value = g.value();
+  });
+  group(histograms_, MetricKind::kHistogram,
+        [](const Histogram& h, MetricPoint& p) {
+          p.histogram.bounds = h.bounds();
+          p.histogram.buckets.resize(h.bounds().size() + 1);
+          for (size_t i = 0; i < p.histogram.buckets.size(); ++i) {
+            p.histogram.buckets[i] = h.bucket(i);
+          }
+          p.histogram.count = h.count();
+          p.histogram.sum = h.sum();
+        });
+  std::stable_sort(snapshot.families.begin(), snapshot.families.end(),
+                   [](const MetricFamily& a, const MetricFamily& b) {
+                     return a.name < b.name;
+                   });
+  return snapshot;
+}
+
+const MetricFamily* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricFamily& family : families) {
+    if (family.name == name) return &family;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterTotal(std::string_view name) const {
+  const MetricFamily* family = Find(name);
+  if (family == nullptr || family->kind != MetricKind::kCounter) return 0;
+  uint64_t total = 0;
+  for (const MetricPoint& point : family->points) total += point.counter_value;
+  return total;
+}
+
+std::string MetricsSnapshot::TextExposition() const {
+  std::string out;
+  char buffer[96];
+  for (const MetricFamily& family : families) {
+    const char* type = family.kind == MetricKind::kCounter    ? "counter"
+                       : family.kind == MetricKind::kGauge    ? "gauge"
+                                                              : "histogram";
+    out.append("# TYPE ").append(family.name).push_back(' ');
+    out.append(type).push_back('\n');
+    for (const MetricPoint& point : family.points) {
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          AppendSeries(&out, family.name, point.labels, {});
+          std::snprintf(buffer, sizeof(buffer), "%" PRIu64,
+                        point.counter_value);
+          out.append(buffer).push_back('\n');
+          break;
+        case MetricKind::kGauge:
+          AppendSeries(&out, family.name, point.labels, {});
+          std::snprintf(buffer, sizeof(buffer), "%" PRId64, point.gauge_value);
+          out.append(buffer).push_back('\n');
+          break;
+        case MetricKind::kHistogram: {
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < point.histogram.bounds.size(); ++i) {
+            cumulative += point.histogram.buckets[i];
+            std::string le = "le=\"";
+            AppendNumber(&le, point.histogram.bounds[i]);
+            le.push_back('"');
+            AppendSeries(&out, family.name + "_bucket", point.labels, le);
+            std::snprintf(buffer, sizeof(buffer), "%" PRIu64, cumulative);
+            out.append(buffer).push_back('\n');
+          }
+          AppendSeries(&out, family.name + "_bucket", point.labels,
+                       "le=\"+Inf\"");
+          std::snprintf(buffer, sizeof(buffer), "%" PRIu64,
+                        point.histogram.count);
+          out.append(buffer).push_back('\n');
+          AppendSeries(&out, family.name + "_sum", point.labels, {});
+          AppendNumber(&out, point.histogram.sum);
+          out.push_back('\n');
+          AppendSeries(&out, family.name + "_count", point.labels, {});
+          std::snprintf(buffer, sizeof(buffer), "%" PRIu64,
+                        point.histogram.count);
+          out.append(buffer).push_back('\n');
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void AppendMetricsSnapshot(std::string* out, const MetricsSnapshot& snapshot) {
+  PutVarint64(out, snapshot.families.size());
+  for (const MetricFamily& family : snapshot.families) {
+    PutLengthPrefixed(out, family.name);
+    out->push_back(static_cast<char>(family.kind));
+    PutVarint64(out, family.points.size());
+    for (const MetricPoint& point : family.points) {
+      PutLengthPrefixed(out, point.labels);
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          PutVarint64(out, point.counter_value);
+          break;
+        case MetricKind::kGauge:
+          PutVarint64(out, static_cast<uint64_t>(point.gauge_value));
+          break;
+        case MetricKind::kHistogram:
+          PutVarint64(out, point.histogram.bounds.size());
+          for (double bound : point.histogram.bounds) {
+            PutDoubleBits(out, bound);
+          }
+          for (uint64_t bucket : point.histogram.buckets) {
+            PutVarint64(out, bucket);
+          }
+          PutVarint64(out, point.histogram.count);
+          PutDoubleBits(out, point.histogram.sum);
+          break;
+      }
+    }
+  }
+}
+
+Status DecodeMetricsSnapshot(std::string_view bytes, MetricsSnapshot* out) {
+  out->families.clear();
+  ByteReader reader(bytes);
+  Result<uint64_t> family_count = reader.ReadCount("metric families");
+  if (!family_count.ok()) return family_count.status();
+  out->families.reserve(*family_count);
+  for (uint64_t f = 0; f < *family_count; ++f) {
+    MetricFamily family;
+    Result<std::string> name = reader.ReadLengthPrefixedString();
+    if (!name.ok()) return name.status();
+    family.name = std::move(name).value();
+    Result<uint8_t> kind = reader.ReadU8();
+    if (!kind.ok()) return kind.status();
+    if (*kind > static_cast<uint8_t>(MetricKind::kHistogram)) {
+      return Status::Corruption("unknown metric kind");
+    }
+    family.kind = static_cast<MetricKind>(*kind);
+    Result<uint64_t> point_count = reader.ReadCount("metric points");
+    if (!point_count.ok()) return point_count.status();
+    family.points.reserve(*point_count);
+    for (uint64_t p = 0; p < *point_count; ++p) {
+      MetricPoint point;
+      Result<std::string> labels = reader.ReadLengthPrefixedString();
+      if (!labels.ok()) return labels.status();
+      point.labels = std::move(labels).value();
+      switch (family.kind) {
+        case MetricKind::kCounter: {
+          Result<uint64_t> value = reader.ReadVarint64();
+          if (!value.ok()) return value.status();
+          point.counter_value = *value;
+          break;
+        }
+        case MetricKind::kGauge: {
+          Result<uint64_t> value = reader.ReadVarint64();
+          if (!value.ok()) return value.status();
+          point.gauge_value = static_cast<int64_t>(*value);
+          break;
+        }
+        case MetricKind::kHistogram: {
+          Result<uint64_t> bound_count = reader.ReadCount("histogram bounds");
+          if (!bound_count.ok()) return bound_count.status();
+          point.histogram.bounds.reserve(*bound_count);
+          for (uint64_t b = 0; b < *bound_count; ++b) {
+            Result<double> bound = ReadDoubleBits(reader);
+            if (!bound.ok()) return bound.status();
+            point.histogram.bounds.push_back(*bound);
+          }
+          point.histogram.buckets.reserve(*bound_count + 1);
+          for (uint64_t b = 0; b <= *bound_count; ++b) {
+            Result<uint64_t> bucket = reader.ReadVarint64();
+            if (!bucket.ok()) return bucket.status();
+            point.histogram.buckets.push_back(*bucket);
+          }
+          Result<uint64_t> count = reader.ReadVarint64();
+          if (!count.ok()) return count.status();
+          point.histogram.count = *count;
+          Result<double> sum = ReadDoubleBits(reader);
+          if (!sum.ok()) return sum.status();
+          point.histogram.sum = *sum;
+          break;
+        }
+      }
+      family.points.push_back(std::move(point));
+    }
+    out->families.push_back(std::move(family));
+  }
+  return reader.ExpectDone("metrics snapshot");
+}
+
+}  // namespace xks

@@ -1,0 +1,133 @@
+// xks::MetricsRegistry — the process-wide named-instrument registry behind
+// every counter, gauge and latency histogram in the stack.
+//
+// Instruments are keyed by (name, labels) where `labels` is a pre-rendered
+// Prometheus label body ('stage="parse"', 'shard="127.0.0.1:7700"', or
+// empty). Creation takes the registry mutex once; the returned pointer is
+// stable for the registry's lifetime, so callers resolve their instruments
+// up front and the hot path is a relaxed atomic bump with no lookup and no
+// lock (per the PR 7 ground rule: the only mutex is XKS_GUARDED_BY-annotated
+// and guards the instrument maps, never an increment).
+//
+// Snapshot() produces a deterministic, stable-ordered copy (families sorted
+// by name, points sorted by label body) that renders to Prometheus-style
+// text exposition and round-trips through the kStatsReply wire frame
+// (EncodeMetricsSnapshot / DecodeMetricsSnapshot, ByteReader fail-closed).
+//
+// MetricsRegistry::Default() is the shared process registry every component
+// falls back to; passing nullptr where a registry is accepted disables
+// instrumentation entirely (the bench harness measures exactly that delta).
+
+#ifndef XKS_OBS_METRICS_H_
+#define XKS_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/common/thread_annotations.h"
+#include "src/obs/instruments.h"
+
+namespace xks {
+
+enum class MetricKind : uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+/// One histogram's frozen state inside a snapshot. `buckets` has
+/// bounds.size() + 1 entries (the last is the overflow bucket); counts are
+/// per-bucket, not cumulative — TextExposition accumulates for the `le`
+/// convention.
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// One (labels → value) point of a family.
+struct MetricPoint {
+  std::string labels;
+  uint64_t counter_value = 0;
+  int64_t gauge_value = 0;
+  HistogramData histogram;
+};
+
+struct MetricFamily {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<MetricPoint> points;
+};
+
+/// A frozen, stable-ordered copy of every instrument in a registry.
+struct MetricsSnapshot {
+  std::vector<MetricFamily> families;
+
+  /// Prometheus-style text rendering (# TYPE lines, cumulative `le`
+  /// histogram buckets, _sum/_count series).
+  std::string TextExposition() const;
+
+  /// The family with `name`, or nullptr.
+  const MetricFamily* Find(std::string_view name) const;
+
+  /// Sum of counter points in family `name` (0 when absent) — what the CI
+  /// consistency asserts read.
+  uint64_t CounterTotal(std::string_view name) const;
+};
+
+/// The log-scaled latency bucket bounds shared by every duration histogram:
+/// powers of two in seconds from 1 microsecond to ~8.4 seconds.
+const std::vector<double>& DefaultLatencyBounds();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The shared process registry (never destroyed).
+  static MetricsRegistry* Default();
+
+  /// Finds or creates the instrument named `name` with label body `labels`.
+  /// Pointers are stable for the registry's lifetime. A name should be used
+  /// with one kind only; kinds live in separate namespaces, so reusing a
+  /// name across kinds yields distinct families, not an error.
+  Counter* counter(std::string_view name, std::string_view labels = {})
+      XKS_EXCLUDES(mutex_);
+  Gauge* gauge(std::string_view name, std::string_view labels = {})
+      XKS_EXCLUDES(mutex_);
+  /// Histograms all share the DefaultLatencyBounds() bucket layout.
+  Histogram* histogram(std::string_view name, std::string_view labels = {})
+      XKS_EXCLUDES(mutex_);
+
+  /// Deterministic frozen copy of every instrument.
+  MetricsSnapshot Snapshot() const XKS_EXCLUDES(mutex_);
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (name, labels)
+
+  mutable Mutex mutex_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ XKS_GUARDED_BY(mutex_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ XKS_GUARDED_BY(mutex_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_ XKS_GUARDED_BY(mutex_);
+};
+
+/// Serializes a snapshot for the kStatsReply wire body (no version byte;
+/// the frame codec owns versioning).
+void AppendMetricsSnapshot(std::string* out, const MetricsSnapshot& snapshot);
+
+/// Fail-closed inverse over untrusted bytes; rejects trailing garbage.
+Status DecodeMetricsSnapshot(std::string_view bytes, MetricsSnapshot* out);
+
+}  // namespace xks
+
+#endif  // XKS_OBS_METRICS_H_

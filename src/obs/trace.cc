@@ -1,0 +1,193 @@
+#include "src/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/codec.h"
+
+namespace xks {
+
+namespace {
+
+uint64_t MicrosBetween(QueryTrace::Clock::time_point from,
+                       QueryTrace::Clock::time_point to) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from).count();
+  return us > 0 ? static_cast<uint64_t>(us) : 0;
+}
+
+Status DecodeTraceSpanAtDepth(ByteReader& reader, TraceSpan* out, int depth) {
+  if (depth > kMaxTraceDepth) {
+    return Status::Corruption("trace span nesting too deep");
+  }
+  Result<std::string> name = reader.ReadLengthPrefixedString();
+  if (!name.ok()) return name.status();
+  out->name = std::move(name).value();
+  Result<uint64_t> start_us = reader.ReadVarint64();
+  if (!start_us.ok()) return start_us.status();
+  out->start_us = *start_us;
+  Result<uint64_t> duration_us = reader.ReadVarint64();
+  if (!duration_us.ok()) return duration_us.status();
+  out->duration_us = *duration_us;
+  Result<uint64_t> attr_count = reader.ReadCount("trace attributes");
+  if (!attr_count.ok()) return attr_count.status();
+  out->attributes.reserve(*attr_count);
+  for (uint64_t a = 0; a < *attr_count; ++a) {
+    Result<std::string> key = reader.ReadLengthPrefixedString();
+    if (!key.ok()) return key.status();
+    Result<uint64_t> value = reader.ReadVarint64();
+    if (!value.ok()) return value.status();
+    out->attributes.emplace_back(std::move(key).value(), *value);
+  }
+  Result<uint64_t> child_count = reader.ReadCount("trace children");
+  if (!child_count.ok()) return child_count.status();
+  out->children.reserve(*child_count);
+  for (uint64_t c = 0; c < *child_count; ++c) {
+    TraceSpan child;
+    const Status status = DecodeTraceSpanAtDepth(reader, &child, depth + 1);
+    if (!status.ok()) return status;
+    out->children.push_back(std::move(child));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t TraceSpan::Attr(std::string_view key, uint64_t fallback) const {
+  for (const auto& [name, value] : attributes) {
+    if (name == key) return value;
+  }
+  return fallback;
+}
+
+const TraceSpan* TraceSpan::Child(std::string_view child_name) const {
+  for (const TraceSpan& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+void AppendTraceSpan(std::string* out, const TraceSpan& span) {
+  PutLengthPrefixed(out, span.name);
+  PutVarint64(out, span.start_us);
+  PutVarint64(out, span.duration_us);
+  PutVarint64(out, span.attributes.size());
+  for (const auto& [key, value] : span.attributes) {
+    PutLengthPrefixed(out, key);
+    PutVarint64(out, value);
+  }
+  PutVarint64(out, span.children.size());
+  for (const TraceSpan& child : span.children) {
+    AppendTraceSpan(out, child);
+  }
+}
+
+std::string EncodeTraceSpan(const TraceSpan& span) {
+  std::string out;
+  AppendTraceSpan(&out, span);
+  return out;
+}
+
+Status DecodeTraceSpan(ByteReader& reader, TraceSpan* out) {
+  *out = TraceSpan();
+  return DecodeTraceSpanAtDepth(reader, out, 0);
+}
+
+Status DecodeTraceSpan(std::string_view bytes, TraceSpan* out) {
+  ByteReader reader(bytes);
+  const Status status = DecodeTraceSpan(reader, out);
+  if (!status.ok()) return status;
+  return reader.ExpectDone("trace span");
+}
+
+std::string FormatSlowQueryLine(std::string_view who, uint64_t fingerprint,
+                                double elapsed_ms, const TraceSpan& root) {
+  // Hops and cache tallies live at different depths depending on which
+  // daemon built the trace (coordinator hops sit under "scatter"; the
+  // library's cache count is an attribute of "scan"); mine them with a
+  // small bounded walk instead of hard-coding either shape.
+  uint64_t hops = 0;
+  uint64_t cache_docs = root.Attr("cache_docs");
+  for (const TraceSpan& child : root.children) {
+    if (child.name == "hop") ++hops;
+    cache_docs += child.Attr("cache_docs");
+    for (const TraceSpan& grandchild : child.children) {
+      if (grandchild.name == "hop") ++hops;
+    }
+  }
+  char buffer[128];
+  std::string line;
+  line.append(who).append(": slow-query");
+  std::snprintf(buffer, sizeof(buffer),
+                " fingerprint=%016" PRIx64 " elapsed_ms=%.3f", fingerprint,
+                elapsed_ms);
+  line.append(buffer);
+  line.append(" stages=[");
+  bool first = true;
+  for (const TraceSpan& child : root.children) {
+    if (!first) line.push_back(',');
+    first = false;
+    std::snprintf(buffer, sizeof(buffer), "%s:%" PRIu64 "us",
+                  child.name.c_str(), child.duration_us);
+    line.append(buffer);
+  }
+  line.push_back(']');
+  std::snprintf(buffer, sizeof(buffer),
+                " hops=%" PRIu64 " cache_docs=%" PRIu64 " hits=%" PRIu64,
+                hops, cache_docs, root.Attr("hits"));
+  line.append(buffer);
+  return line;
+}
+
+QueryTrace::QueryTrace(bool enabled, std::string_view root_name)
+    : enabled_(enabled) {
+  if (!enabled_) return;
+  origin_ = Clock::now();
+  Open root;
+  root.span.name = std::string(root_name);
+  root.started = origin_;
+  stack_.push_back(std::move(root));
+}
+
+uint64_t QueryTrace::ElapsedUs() const {
+  if (!enabled_) return 0;
+  return MicrosBetween(origin_, Clock::now());
+}
+
+void QueryTrace::Attr(std::string_view key, uint64_t value) {
+  if (!enabled_ || stack_.empty()) return;
+  stack_.back().span.attributes.emplace_back(std::string(key), value);
+}
+
+void QueryTrace::AddChild(TraceSpan child) {
+  if (!enabled_ || stack_.empty()) return;
+  stack_.back().span.children.push_back(std::move(child));
+}
+
+void QueryTrace::Push(std::string_view name) {
+  if (!enabled_) return;
+  Open open;
+  open.span.name = std::string(name);
+  open.started = Clock::now();
+  open.span.start_us = MicrosBetween(origin_, open.started);
+  stack_.push_back(std::move(open));
+}
+
+void QueryTrace::Pop() {
+  if (!enabled_ || stack_.size() < 2) return;
+  Open open = std::move(stack_.back());
+  stack_.pop_back();
+  open.span.duration_us = MicrosBetween(open.started, Clock::now());
+  stack_.back().span.children.push_back(std::move(open.span));
+}
+
+TraceSpan QueryTrace::Finish() {
+  if (!enabled_ || stack_.empty()) return TraceSpan();
+  while (stack_.size() > 1) Pop();
+  Open root = std::move(stack_.front());
+  stack_.clear();
+  root.span.duration_us = MicrosBetween(root.started, Clock::now());
+  return std::move(root.span);
+}
+
+}  // namespace xks

@@ -1,0 +1,131 @@
+// xks::QueryTrace — per-query span trees with steady-clock stage timings.
+//
+// A trace is a tree of named spans, each carrying its start offset and
+// duration in microseconds relative to the trace origin plus a small set of
+// numeric attributes (document counts, cache hits, deadline budgets). The
+// library records stage spans (parse, selection, scan, rank, snippet)
+// inside Snapshot::Search; the coordinator adds one child span per shard
+// hop carrying the hop's deadline budget vs. actual latency; the daemons
+// render a one-line stage breakdown into the slow-query log.
+//
+// QueryTrace is a single-threaded builder: spans open and close strictly
+// LIFO through RAII Scopes, and pre-built spans (shard hops assembled after
+// a parallel fan-out) attach via AddChild. A disabled trace never reads the
+// clock — every method is a cheap early-out, so `include_trace=false`
+// requests pay nothing and stay byte-identical on the wire.
+//
+// The serialized form (EncodeTraceSpan / DecodeTraceSpan) rides the
+// SearchResponse's optional trailing section and is depth-limited and
+// fail-closed like every other untrusted decode surface.
+
+#ifndef XKS_OBS_TRACE_H_
+#define XKS_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace xks {
+
+class ByteReader;
+
+/// Nesting deeper than this is rejected as Corruption on decode (real
+/// traces are ~4 levels: root → stage → hop → shard stage).
+inline constexpr int kMaxTraceDepth = 32;
+
+struct TraceSpan {
+  std::string name;
+  /// Start offset relative to the trace origin, microseconds.
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  /// Numeric attributes in recording order (counts, budgets, ids).
+  std::vector<std::pair<std::string, uint64_t>> attributes;
+  std::vector<TraceSpan> children;
+
+  /// The attribute named `key`, or `fallback` when absent.
+  uint64_t Attr(std::string_view key, uint64_t fallback = 0) const;
+  /// The first direct child named `name`, or nullptr.
+  const TraceSpan* Child(std::string_view name) const;
+};
+
+/// Appends the recursive span encoding (length-prefixed name, varint
+/// times, attributes, children).
+void AppendTraceSpan(std::string* out, const TraceSpan& span);
+std::string EncodeTraceSpan(const TraceSpan& span);
+
+/// Fail-closed decode of one span tree from `reader` (leaves trailing bytes
+/// for the caller); the string_view overload requires full consumption.
+Status DecodeTraceSpan(ByteReader& reader, TraceSpan* out);
+Status DecodeTraceSpan(std::string_view bytes, TraceSpan* out);
+
+/// One structured slow-query log line: `who` prefix, query-shape
+/// fingerprint, wall time, per-stage breakdown from the root's direct
+/// children, hop and cache tallies mined from the attributes.
+std::string FormatSlowQueryLine(std::string_view who, uint64_t fingerprint,
+                                double elapsed_ms, const TraceSpan& root);
+
+/// Single-threaded span-tree builder. All methods are no-ops when
+/// constructed disabled.
+class QueryTrace {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit QueryTrace(bool enabled, std::string_view root_name = "search");
+
+  bool enabled() const { return enabled_; }
+
+  /// Microseconds since the trace origin (0 when disabled).
+  uint64_t ElapsedUs() const;
+
+  /// Sets a numeric attribute on the innermost open span (the root when no
+  /// Scope is open).
+  void Attr(std::string_view key, uint64_t value);
+
+  /// Attaches a pre-built span under the innermost open span.
+  void AddChild(TraceSpan child);
+
+  /// Closes every open span and returns the root. The trace is spent; only
+  /// call once, and only when enabled().
+  TraceSpan Finish();
+
+  /// RAII stage span: opens on construction, closes (stamping the
+  /// duration) on destruction. Scopes must nest strictly.
+  class Scope {
+   public:
+    Scope(QueryTrace& trace, std::string_view name) : trace_(&trace) {
+      trace_->Push(name);
+    }
+    ~Scope() { trace_->Pop(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    QueryTrace* trace_;
+  };
+
+ private:
+  friend class Scope;
+
+  void Push(std::string_view name);
+  void Pop();
+
+  struct Open {
+    TraceSpan span;
+    Clock::time_point started;
+  };
+
+  bool enabled_;
+  Clock::time_point origin_;
+  /// stack_[0] is the root; spans close back into their parent's children.
+  std::vector<Open> stack_;
+};
+
+}  // namespace xks
+
+#endif  // XKS_OBS_TRACE_H_

@@ -23,10 +23,24 @@
 
 #include "src/api/search_types.h"
 #include "src/common/cancel_token.h"
+#include "src/common/fingerprint.h"
 #include "src/common/result.h"
 #include "src/server/wire.h"
 
 namespace xks {
+
+/// Query-shape fingerprint for the slow-query log: FNV-1a over the
+/// pre-parsed terms (or the raw query text when none), so repeats of one
+/// query shape aggregate under one id across daemons and restarts.
+inline uint64_t QueryShapeFingerprint(const SearchRequest& request) {
+  Fingerprint fp;
+  for (const QueryTerm& term : request.terms) {
+    fp.PutString(term.label);
+    fp.PutString(term.word);
+  }
+  if (request.terms.empty()) fp.PutString(request.query);
+  return fp.Digest64();
+}
 
 /// Monotonic admission counters; read via QueryBackend::stats().
 struct ServiceStats {

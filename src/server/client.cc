@@ -164,8 +164,10 @@ Result<XksClient::Reply> XksClient::Receive() {
     case FrameKind::kSearchRequest:
     case FrameKind::kHealthCheck:
     case FrameKind::kHealthReply:
-      // Health traffic goes through SendFrame/ReceiveFrame; a health reply
-      // surfacing here means the caller interleaved the two styles.
+    case FrameKind::kStatsRequest:
+    case FrameKind::kStatsReply:
+      // Health and stats traffic goes through SendFrame/ReceiveFrame; such
+      // a frame surfacing here means the caller interleaved the two styles.
       break;
   }
   return Status::Corruption("unexpected frame kind from server");

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -21,10 +22,18 @@ XksServer::Connection::~Connection() {
 XksServer::XksServer(const Database* db, const ServerConfig& config)
     : config_(config),
       owned_service_(std::make_unique<QueryService>(db, config.service)),
-      backend_(owned_service_.get()) {}
+      backend_(owned_service_.get()) {
+  if (config_.metrics != nullptr) {
+    encode_seconds_ = config_.metrics->histogram("xks_wire_encode_seconds");
+  }
+}
 
 XksServer::XksServer(QueryBackend* backend, const ServerConfig& config)
-    : config_(config), backend_(backend) {}
+    : config_(config), backend_(backend) {
+  if (config_.metrics != nullptr) {
+    encode_seconds_ = config_.metrics->histogram("xks_wire_encode_seconds");
+  }
+}
 
 XksServer::~XksServer() { Shutdown(); }
 
@@ -91,6 +100,7 @@ void XksServer::AcceptLoop() {
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     conn->id = ++next_connection_id;
+    conn->encode_seconds = encode_seconds_;
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     {
       MutexLock lock(connections_mutex_);
@@ -119,6 +129,24 @@ void XksServer::ReaderLoop(std::shared_ptr<Connection> conn) {
       reply.kind = FrameKind::kHealthReply;
       reply.request_id = frame->request_id;
       reply.body = EncodeHealthReply(backend_->Health());
+      WriteRawReply(conn, reply);
+      continue;
+    }
+    if (frame->kind == FrameKind::kStatsRequest) {
+      // Stats scrapes bypass the query pipeline like health probes do: a
+      // draining daemon still exposes its counters, which is when they are
+      // most interesting. A disabled registry answers an empty snapshot.
+      const Status valid = DecodeStatsRequest(frame->body);
+      if (!valid.ok()) {
+        WriteReply(conn, frame->request_id, valid);
+        continue;
+      }
+      Frame reply;
+      reply.kind = FrameKind::kStatsReply;
+      reply.request_id = frame->request_id;
+      reply.body = EncodeStatsReply(config_.metrics != nullptr
+                                        ? config_.metrics->Snapshot()
+                                        : MetricsSnapshot());
       WriteRawReply(conn, reply);
       continue;
     }
@@ -177,7 +205,16 @@ void XksServer::WriteReply(const std::shared_ptr<Connection>& conn,
   frame.request_id = request_id;
   if (outcome.ok()) {
     frame.kind = FrameKind::kSearchResponse;
-    frame.body = EncodeSearchResponse(outcome.value());
+    if (conn->encode_seconds != nullptr) {
+      const auto start = std::chrono::steady_clock::now();
+      frame.body = EncodeSearchResponse(outcome.value());
+      conn->encode_seconds->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+    } else {
+      frame.body = EncodeSearchResponse(outcome.value());
+    }
   } else {
     frame.kind = FrameKind::kStatus;
     frame.body = EncodeStatusPayload(outcome.status());

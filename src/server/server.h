@@ -39,6 +39,7 @@
 #include "src/common/cancel_token.h"
 #include "src/common/mutex.h"
 #include "src/common/result.h"
+#include "src/obs/metrics.h"
 #include "src/server/service.h"
 
 namespace xks {
@@ -51,6 +52,9 @@ struct ServerConfig {
   uint16_t port = 0;
   /// Incoming frame size ceiling (protects against hostile length prefixes).
   size_t max_frame_bytes = 16u << 20;
+  /// Registry kStatsRequest frames are answered from (and response-encode
+  /// timings feed into); nullptr disables both. Must outlive the server.
+  MetricsRegistry* metrics = MetricsRegistry::Default();
   ServiceConfig service;
 };
 
@@ -104,6 +108,10 @@ class XksServer {
     ~Connection();  ///< Closes fd once the last reference drops.
     int fd = -1;
     uint64_t id = 0;
+    /// Response-encode latency histogram (xks_wire_encode_seconds); set at
+    /// accept time, nullptr when metrics are disabled. Carried here because
+    /// WriteReply runs from done-callbacks that hold only the Connection.
+    Histogram* encode_seconds = nullptr;
     Mutex write_mutex;
     /// One CancelSource per in-flight request id; fired on disconnect.
     Mutex inflight_mutex;
@@ -128,6 +136,9 @@ class XksServer {
   /// Set only by the Database constructor; backend_ points at it then.
   std::unique_ptr<QueryService> owned_service_;
   QueryBackend* const backend_;
+  /// Resolved once from config_.metrics (nullptr when disabled); copied
+  /// into each Connection at accept time.
+  Histogram* encode_seconds_ = nullptr;
 
   /// Written by Start() before the acceptor exists and reset by Shutdown()
   /// after every thread that reads it has been joined, so the concurrent

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
@@ -12,6 +13,26 @@ namespace xks {
 
 QueryService::QueryService(const Database* db, const ServiceConfig& config)
     : db_(db), config_(config) {
+  if (config_.metrics != nullptr) {
+    MetricsRegistry& reg = *config_.metrics;
+    // backend="local" distinguishes this admission layer from the
+    // coordinator's (CoordBackend mirrors the same families with
+    // backend="coord") when both run in one process.
+    const std::string_view b = "backend=\"local\"";
+    mirror_.submitted = reg.counter("xks_service_submitted_total", b);
+    mirror_.admitted = reg.counter("xks_service_admitted_total", b);
+    mirror_.completed = reg.counter("xks_service_completed_total", b);
+    mirror_.shed_overload = reg.counter("xks_service_shed_overload_total", b);
+    mirror_.shed_quota = reg.counter("xks_service_shed_quota_total", b);
+    mirror_.rejected_draining =
+        reg.counter("xks_service_rejected_draining_total", b);
+    mirror_.batches = reg.counter("xks_service_batches_total", b);
+    mirror_.slow_queries = reg.counter("xks_slow_queries_total", b);
+    mirror_.worker_tasks =
+        reg.counter("xks_worker_tasks_total", "pool=\"service\"");
+    mirror_.worker_queue_depth =
+        reg.gauge("xks_worker_queue_depth", "pool=\"service\"");
+  }
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -38,12 +59,17 @@ Status QueryService::Submit(uint64_t client_id, SearchRequest request,
   {
     MutexLock lock(mutex_);
     ++stats_.submitted;
+    if (mirror_.submitted != nullptr) mirror_.submitted->Increment();
     if (draining_) {
       ++stats_.rejected_draining;
+      if (mirror_.rejected_draining != nullptr) {
+        mirror_.rejected_draining->Increment();
+      }
       return Status::Unavailable("service is draining; not accepting queries");
     }
     if (pending_.size() >= config_.max_pending) {
       ++stats_.shed_overload;
+      if (mirror_.shed_overload != nullptr) mirror_.shed_overload->Increment();
       return Status::ResourceExhausted(
           "pending queue full (max_pending=" +
           std::to_string(config_.max_pending) + "); retry later");
@@ -52,6 +78,7 @@ Status QueryService::Submit(uint64_t client_id, SearchRequest request,
     const size_t inflight = it == inflight_.end() ? 0 : it->second;
     if (inflight >= config_.per_client_inflight) {
       ++stats_.shed_quota;
+      if (mirror_.shed_quota != nullptr) mirror_.shed_quota->Increment();
       return Status::ResourceExhausted(
           "per-connection in-flight quota exceeded (quota=" +
           std::to_string(config_.per_client_inflight) + ")");
@@ -59,6 +86,7 @@ Status QueryService::Submit(uint64_t client_id, SearchRequest request,
     inflight_[client_id] = inflight + 1;
     ++inflight_total_;
     ++stats_.admitted;
+    if (mirror_.admitted != nullptr) mirror_.admitted->Increment();
     pending_.push_back(std::move(query));
   }
   work_cv_.NotifyOne();
@@ -112,6 +140,7 @@ void QueryService::DispatcherLoop() {
         pending_.pop_front();
       }
       ++stats_.batches;
+      if (mirror_.batches != nullptr) mirror_.batches->Increment();
       stats_.max_batch = std::max<uint64_t>(stats_.max_batch, take);
     }
     RunBatch(&batch);
@@ -126,12 +155,16 @@ void QueryService::RunBatch(std::vector<PendingQuery>* batch) {
       db_ != nullptr ? db_->snapshot() : nullptr;
   ParallelForOptions fan_out;
   fan_out.max_parallelism = config_.workers;
+  fan_out.tasks_metric = mirror_.worker_tasks;
+  fan_out.queue_depth_metric = mirror_.worker_queue_depth;
+  const bool slow_log = config_.slow_query_ms > 0;
   // Member bodies always report OK: a member's failure is its own outcome,
   // delivered through its done callback, never a reason to halt the batch.
   const Result<size_t> fanned = ParallelFor(
       batch->size(),
       [&](size_t i) -> Status {
         PendingQuery& query = (*batch)[i];
+        const bool client_wants_trace = query.request.include_trace;
         Result<SearchResponse> outcome = [&]() -> Result<SearchResponse> {
           if (query.cancel.can_expire() && query.cancel.cancelled()) {
             // Expired while queued: report without executing anything.
@@ -143,8 +176,28 @@ void QueryService::RunBatch(std::vector<PendingQuery>* batch) {
             return Status::InvalidArgument("corpus is not built");
           }
           query.request.cancel = query.cancel;
+          // The slow-query log needs the stage breakdown, so force trace
+          // collection for every member while the log is enabled; the forced
+          // trace is stripped again below unless the client asked for it.
+          if (slow_log) query.request.include_trace = true;
           return snapshot->Search(query.request);
         }();
+        if (slow_log && outcome.ok() && outcome.value().trace != nullptr) {
+          const TraceSpan& root = *outcome.value().trace;
+          const double elapsed_ms =
+              static_cast<double>(root.duration_us) / 1e3;
+          if (elapsed_ms >= static_cast<double>(config_.slow_query_ms)) {
+            std::fprintf(
+                stderr, "%s\n",
+                FormatSlowQueryLine("xksd", QueryShapeFingerprint(query.request),
+                                    elapsed_ms, root)
+                    .c_str());
+            if (mirror_.slow_queries != nullptr) {
+              mirror_.slow_queries->Increment();
+            }
+          }
+          if (!client_wants_trace) outcome.value().trace.reset();
+        }
         query.done(std::move(outcome));
         FinishOne(query.client_id);
         return Status::OK();
@@ -174,6 +227,7 @@ void QueryService::FinishOne(uint64_t client_id) {
     if (it != inflight_.end() && --it->second == 0) inflight_.erase(it);
     --inflight_total_;
     ++stats_.completed;
+    if (mirror_.completed != nullptr) mirror_.completed->Increment();
   }
   drain_cv_.NotifyAll();
 }

@@ -44,6 +44,7 @@
 #include "src/api/database.h"
 #include "src/common/cancel_token.h"
 #include "src/common/mutex.h"
+#include "src/obs/metrics.h"
 #include "src/server/backend.h"
 
 namespace xks {
@@ -64,6 +65,18 @@ struct ServiceConfig {
   /// Concurrent members per batch (ParallelFor parallelism); 0 = one per
   /// hardware thread.
   size_t workers = 0;
+  /// Emit one structured slow-query line to stderr for every member whose
+  /// execution takes at least this many milliseconds; 0 disables. While
+  /// enabled the service collects a trace for every member so the line can
+  /// carry the stage breakdown — the client's response is untouched unless
+  /// it asked for the trace itself (the forced trace is stripped before the
+  /// done callback, preserving byte identity).
+  uint64_t slow_query_ms = 0;
+  /// Registry the admission counters are mirrored onto (and the slow-query
+  /// counter / batch worker instruments feed); nullptr disables. Must
+  /// outlive the service. The ServiceStats struct stays authoritative per
+  /// instance; the registry aggregates across instances.
+  MetricsRegistry* metrics = MetricsRegistry::Default();
 };
 
 // ServiceStats lives in src/server/backend.h (shared with every other
@@ -118,8 +131,25 @@ class QueryService : public QueryBackend {
   /// Marks one query finished: quota release + drain bookkeeping.
   void FinishOne(uint64_t client_id) XKS_EXCLUDES(mutex_);
 
+  /// Registry mirrors of the ServiceStats counters plus the slow-query
+  /// counter and batch-worker instruments; all nullptr when metrics are
+  /// disabled. Immutable after construction, so increments need no lock.
+  struct Mirror {
+    Counter* submitted = nullptr;
+    Counter* admitted = nullptr;
+    Counter* completed = nullptr;
+    Counter* shed_overload = nullptr;
+    Counter* shed_quota = nullptr;
+    Counter* rejected_draining = nullptr;
+    Counter* batches = nullptr;
+    Counter* slow_queries = nullptr;
+    Counter* worker_tasks = nullptr;
+    Gauge* worker_queue_depth = nullptr;
+  };
+
   const Database* const db_;
   const ServiceConfig config_;
+  Mirror mirror_;
 
   /// One mutex guards the whole admission state: queue, quotas, drain flag
   /// and counters move together under every state transition.

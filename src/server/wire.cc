@@ -21,6 +21,7 @@ constexpr uint8_t kFlagSnippets = 1u << 2;
 constexpr uint8_t kFlagRawFragments = 1u << 3;
 constexpr uint8_t kFlagStats = 1u << 4;
 constexpr uint8_t kFlagScanBreakdown = 1u << 5;
+constexpr uint8_t kFlagIncludeTrace = 1u << 6;
 
 void PutDouble(std::string* dst, double value) {
   PutVarint64(dst, std::bit_cast<uint64_t>(value));
@@ -132,6 +133,7 @@ std::string EncodeSearchRequest(const SearchRequest& request) {
   if (request.include_raw_fragments) flags |= kFlagRawFragments;
   if (request.include_stats) flags |= kFlagStats;
   if (request.include_scan_breakdown) flags |= kFlagScanBreakdown;
+  if (request.include_trace) flags |= kFlagIncludeTrace;
   body.push_back(static_cast<char>(flags));
   PutDouble(&body, request.weights.specificity);
   PutDouble(&body, request.weights.proximity);
@@ -197,6 +199,7 @@ Result<SearchRequest> DecodeSearchRequest(std::string_view body) {
   request.include_raw_fragments = (flags & kFlagRawFragments) != 0;
   request.include_stats = (flags & kFlagStats) != 0;
   request.include_scan_breakdown = (flags & kFlagScanBreakdown) != 0;
+  request.include_trace = (flags & kFlagIncludeTrace) != 0;
   XKS_ASSIGN_OR_RETURN(request.weights.specificity, ReadDouble(&reader));
   XKS_ASSIGN_OR_RETURN(request.weights.proximity, ReadDouble(&reader));
   XKS_ASSIGN_OR_RETURN(request.weights.compactness, ReadDouble(&reader));
@@ -250,6 +253,15 @@ std::string EncodeSearchResponse(const SearchResponse& response) {
       PutVarint32(&body, entry.document);
       PutVarint64(&body, entry.hits);
     }
+  }
+  // Second optional trailing section: the query trace. A varint 0 where the
+  // scan-breakdown count would be (the count is >= 1 whenever the breakdown
+  // is present) says "no breakdown, trace follows"; after a non-empty
+  // breakdown the same 0 acts as a section separator. Absent entirely when
+  // there is no trace, so trace-off responses keep the prior byte form.
+  if (response.trace != nullptr) {
+    PutVarint64(&body, 0);
+    PutLengthPrefixed(&body, EncodeTraceSpan(*response.trace));
   }
   return body;
 }
@@ -307,19 +319,38 @@ Result<SearchResponse> DecodeSearchResponse(std::string_view body) {
   XKS_ASSIGN_OR_RETURN(value, reader.ReadVarint64());
   response.pruning.kept_nodes = static_cast<size_t>(value);
   if (reader.remaining() > 0) {
+    // Either the scan-breakdown section (leading count >= 1), or — when the
+    // leading varint is 0 — the trace section directly (see the encoder).
     uint64_t breakdown_count = 0;
     XKS_ASSIGN_OR_RETURN(breakdown_count,
                          reader.ReadCount("scan breakdown count"));
-    if (breakdown_count == 0) {
-      return Status::Corruption(
-          "non-canonical search response: empty scan breakdown section");
-    }
     response.scan_breakdown.reserve(static_cast<size_t>(breakdown_count));
     for (uint64_t i = 0; i < breakdown_count; ++i) {
       DocumentScanCount entry;
       XKS_ASSIGN_OR_RETURN(entry.document, reader.ReadVarint32());
       XKS_ASSIGN_OR_RETURN(entry.hits, reader.ReadVarint64());
       response.scan_breakdown.push_back(entry);
+    }
+    bool expect_trace = breakdown_count == 0;
+    if (!expect_trace && reader.remaining() > 0) {
+      uint64_t separator = 0;
+      XKS_ASSIGN_OR_RETURN(separator, reader.ReadVarint64());
+      if (separator != 0) {
+        return Status::Corruption("bad trace section separator " +
+                                  std::to_string(separator));
+      }
+      expect_trace = true;
+    }
+    if (expect_trace) {
+      std::string_view trace_bytes;
+      XKS_ASSIGN_OR_RETURN(trace_bytes, reader.ReadLengthPrefixedSpan());
+      if (trace_bytes.empty()) {
+        return Status::Corruption(
+            "non-canonical search response: empty trace section");
+      }
+      TraceSpan root;
+      XKS_RETURN_IF_ERROR(DecodeTraceSpan(trace_bytes, &root));
+      response.trace = std::make_shared<const TraceSpan>(std::move(root));
     }
   }
   XKS_RETURN_IF_ERROR(reader.ExpectDone("search response"));
@@ -360,6 +391,33 @@ Result<HealthReply> DecodeHealthReply(std::string_view body) {
   return reply;
 }
 
+std::string EncodeStatsRequest() {
+  std::string body;
+  body.push_back(static_cast<char>(kBodyVersion));
+  return body;
+}
+
+Status DecodeStatsRequest(std::string_view body) {
+  ByteReader reader(body);
+  XKS_RETURN_IF_ERROR(CheckVersion(&reader));
+  return reader.ExpectDone("stats request");
+}
+
+std::string EncodeStatsReply(const MetricsSnapshot& snapshot) {
+  std::string body;
+  body.push_back(static_cast<char>(kBodyVersion));
+  AppendMetricsSnapshot(&body, snapshot);
+  return body;
+}
+
+Result<MetricsSnapshot> DecodeStatsReply(std::string_view body) {
+  ByteReader reader(body);
+  XKS_RETURN_IF_ERROR(CheckVersion(&reader));
+  MetricsSnapshot snapshot;
+  XKS_RETURN_IF_ERROR(DecodeMetricsSnapshot(reader.rest(), &snapshot));
+  return snapshot;
+}
+
 std::string EncodeStatusPayload(const Status& status) {
   std::string body;
   body.push_back(static_cast<char>(kBodyVersion));
@@ -396,7 +454,7 @@ Result<Frame> DecodeFramePayload(std::string_view payload) {
   uint8_t kind = 0;
   XKS_ASSIGN_OR_RETURN(kind, reader.ReadU8());
   if (kind < static_cast<uint8_t>(FrameKind::kSearchRequest) ||
-      kind > static_cast<uint8_t>(FrameKind::kHealthReply)) {
+      kind > static_cast<uint8_t>(FrameKind::kStatsReply)) {
     return Status::Corruption("bad frame kind " + std::to_string(kind));
   }
   Frame frame;

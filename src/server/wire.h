@@ -45,6 +45,7 @@
 
 #include "src/api/search_types.h"
 #include "src/common/result.h"
+#include "src/obs/metrics.h"
 
 namespace xks {
 
@@ -64,6 +65,12 @@ enum class FrameKind : uint8_t {
   kHealthCheck = 4,
   /// Server → client: the serialized HealthReply for one kHealthCheck.
   kHealthReply = 5,
+  /// Client → server: metrics scrape (empty body beyond the version byte).
+  /// Answered out-of-band of the query pipeline, like kHealthCheck — a
+  /// draining or saturated daemon still replies.
+  kStatsRequest = 6,
+  /// Server → client: the serialized MetricsSnapshot for one kStatsRequest.
+  kStatsReply = 7,
 };
 
 /// A daemon's answer to kHealthCheck: which snapshot it is serving.
@@ -120,6 +127,18 @@ std::string EncodeHealthReply(const HealthReply& reply);
 
 /// Parses an EncodeHealthReply body.
 Result<HealthReply> DecodeHealthReply(std::string_view body);
+
+/// Serializes a kStatsRequest body (version byte only).
+std::string EncodeStatsRequest();
+
+/// Validates an EncodeStatsRequest body (version + no trailing bytes).
+Status DecodeStatsRequest(std::string_view body);
+
+/// Serializes a MetricsSnapshot as a kStatsReply body.
+std::string EncodeStatsReply(const MetricsSnapshot& snapshot);
+
+/// Parses an EncodeStatsReply body.
+Result<MetricsSnapshot> DecodeStatsReply(std::string_view body);
 
 /// Serializes a Status (code + message).
 std::string EncodeStatusPayload(const Status& status);

@@ -59,7 +59,11 @@ void Usage(const char* argv0) {
       "  --inflight-quota N   per-connection in-flight quota\n"
       "  --batch-max N        queries per pinned-snapshot batch\n"
       "  --batch-linger-ms N  straggler linger before dispatching a batch\n"
-      "  --workers N          concurrent batch members; 0 = hw threads\n",
+      "  --workers N          concurrent batch members; 0 = hw threads\n"
+      "\n"
+      "observability:\n"
+      "  --slow-query-ms N    log queries slower than N ms (stage breakdown\n"
+      "                       on stderr); 0 = off (default)\n",
       argv0);
 }
 
@@ -134,6 +138,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--workers") {
       if (!ParseUint(next(), &u)) return Usage(argv[0]), 2;
       service.workers = u;
+    } else if (arg == "--slow-query-ms") {
+      if (!ParseUint(next(), &u)) return Usage(argv[0]), 2;
+      service.slow_query_ms = u;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;

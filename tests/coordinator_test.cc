@@ -270,6 +270,53 @@ TEST_F(CoordinatorTest, ScanBreakdownReportsGlobalIds) {
 // Document selections: routing, rewrite and error parity.
 // ---------------------------------------------------------------------------
 
+TEST_F(CoordinatorTest, TraceCarriesOneHopPerInvolvedShard) {
+  Coordinator coordinator(Map(), CoordinatorConfig{});
+  SearchRequest request = DeterministicRequest("apple berry", /*rank=*/true,
+                                               /*top_k=*/10);
+  request.include_trace = true;
+  request.deadline_ms = 5000;
+
+  Result<SearchResponse> actual = coordinator.Search(request);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  ASSERT_NE(actual.value().trace, nullptr);
+  const TraceSpan& root = *actual.value().trace;
+  EXPECT_EQ(root.name, "coord_search");
+  EXPECT_EQ(root.Attr("shards"), 2u) << "both shards route";
+  EXPECT_NE(root.Child("parse"), nullptr);
+  EXPECT_NE(root.Child("merge"), nullptr);
+
+  const TraceSpan* scatter = root.Child("scatter");
+  ASSERT_NE(scatter, nullptr);
+  std::vector<const TraceSpan*> hops;
+  for (const TraceSpan& child : scatter->children) {
+    if (child.name == "hop") hops.push_back(&child);
+  }
+  ASSERT_EQ(hops.size(), 2u) << "one hop span per involved shard";
+  for (size_t i = 0; i < hops.size(); ++i) {
+    EXPECT_EQ(hops[i]->Attr("shard", ~0ull), i)
+        << "hops attach in involved (roster) order";
+    EXPECT_GT(hops[i]->Attr("budget_ms"), 0u)
+        << "each hop records its remaining deadline budget";
+    EXPECT_LE(hops[i]->Attr("budget_ms"), request.deadline_ms);
+    // The shard's own stage breakdown rides under the hop.
+    const TraceSpan* shard_root = hops[i]->Child("search");
+    ASSERT_NE(shard_root, nullptr);
+    EXPECT_NE(shard_root->Child("scan"), nullptr);
+  }
+
+  // The trace is strictly additive: stripping it reproduces the exact
+  // bytes of the trace-off response (modulo the nondeterministic cursor,
+  // as everywhere in this file).
+  request.include_trace = false;
+  Result<SearchResponse> plain = coordinator.Search(request);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain.value().trace, nullptr);
+  SearchResponse stripped = actual.value();
+  stripped.trace.reset();
+  ExpectPageIdentical(plain.value(), stripped, "trace stripped");
+}
+
 TEST_F(CoordinatorTest, ExplicitSelectionsMatchAcrossShardsAndOrderings) {
   Coordinator coordinator(Map(), CoordinatorConfig{});
   const std::vector<std::vector<DocumentId>> selections = {

@@ -1,0 +1,423 @@
+// Tests for the observability layer (PR 10): the MetricsRegistry instrument
+// semantics (bucket boundaries, label keying, snapshot determinism), the
+// snapshot/trace wire codecs (roundtrip fixpoint, fail-closed corruption),
+// the QueryTrace span builder, and a multi-thread increment hammer (listed
+// in the CI ThreadSanitizer job).
+
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/server/wire.h"
+
+namespace xks {
+namespace {
+
+std::string EncodeSnapshot(const MetricsSnapshot& snapshot) {
+  std::string bytes;
+  AppendMetricsSnapshot(&bytes, snapshot);
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Instruments and registry keying.
+
+TEST(MetricsRegistryTest, InstrumentPointersAreStableAndKeyed) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("xks_test_total");
+  Counter* b = registry.counter("xks_test_total");
+  EXPECT_EQ(a, b) << "same (name, labels) must resolve to one instrument";
+
+  Counter* labeled = registry.counter("xks_test_total", "shard=\"s1\"");
+  EXPECT_NE(a, labeled) << "distinct labels are distinct instruments";
+  Counter* other = registry.counter("xks_other_total");
+  EXPECT_NE(a, other);
+
+  // Kinds live in separate namespaces: a gauge under a counter's name is a
+  // different instrument, not an error.
+  Gauge* gauge = registry.gauge("xks_test_total");
+  EXPECT_NE(static_cast<void*>(a), static_cast<void*>(gauge));
+
+  a->Increment();
+  a->Increment(4);
+  EXPECT_EQ(a->value(), 5u);
+  labeled->Increment();
+  EXPECT_EQ(labeled->value(), 1u) << "labels isolate the counts";
+
+  gauge->Add(10);
+  gauge->Add(-3);
+  EXPECT_EQ(gauge->value(), 7);
+  gauge->Set(-2);
+  EXPECT_EQ(gauge->value(), -2) << "gauges may go negative";
+}
+
+TEST(MetricsRegistryTest, DefaultLatencyBoundsAreLogScaled) {
+  const std::vector<double>& bounds = DefaultLatencyBounds();
+  ASSERT_GE(bounds.size(), 8u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6) << "first bound is one microsecond";
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]) << "bounds strictly increase";
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], 2.0, 1e-9)
+        << "each bucket doubles the previous bound";
+  }
+  EXPECT_GT(bounds.back(), 8.0) << "top bound covers multi-second latencies";
+}
+
+TEST(MetricsRegistryTest, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.histogram("xks_test_seconds");
+  const std::vector<double>& bounds = histogram->bounds();
+  ASSERT_GE(bounds.size(), 3u);
+
+  histogram->Observe(bounds[0] / 2);  // below the first bound → bucket 0
+  histogram->Observe(bounds[1]);      // exactly ON a bound → that bucket (le)
+  histogram->Observe((bounds[1] + bounds[2]) / 2);  // strictly between
+  histogram->Observe(bounds.back() * 10);           // overflow bucket
+
+  EXPECT_EQ(histogram->bucket(0), 1u);
+  EXPECT_EQ(histogram->bucket(1), 1u)
+      << "a value equal to a bound belongs to that bound's bucket";
+  EXPECT_EQ(histogram->bucket(2), 1u);
+  EXPECT_EQ(histogram->bucket(bounds.size()), 1u) << "overflow bucket";
+  EXPECT_EQ(histogram->count(), 4u);
+  EXPECT_GT(histogram->sum(), bounds.back() * 10);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots.
+
+TEST(MetricsRegistryTest, SnapshotIsDeterministicAndSorted) {
+  MetricsRegistry registry;
+  // Created in deliberately unsorted order.
+  registry.counter("xks_zebra_total")->Increment(1);
+  registry.counter("xks_alpha_total", "shard=\"s2\"")->Increment(2);
+  registry.counter("xks_alpha_total", "shard=\"s1\"")->Increment(3);
+  registry.gauge("xks_middle_gauge")->Set(4);
+
+  const MetricsSnapshot first = registry.Snapshot();
+  const MetricsSnapshot second = registry.Snapshot();
+  EXPECT_EQ(EncodeSnapshot(first), EncodeSnapshot(second))
+      << "a quiescent registry snapshots to identical bytes every time";
+
+  // Families sorted by name; points sorted by label body.
+  ASSERT_GE(first.families.size(), 3u);
+  for (size_t f = 1; f < first.families.size(); ++f) {
+    EXPECT_LT(first.families[f - 1].name, first.families[f].name);
+  }
+  const MetricFamily* alpha = first.Find("xks_alpha_total");
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_EQ(alpha->points.size(), 2u);
+  EXPECT_EQ(alpha->points[0].labels, "shard=\"s1\"");
+  EXPECT_EQ(alpha->points[1].labels, "shard=\"s2\"");
+  EXPECT_EQ(alpha->points[0].counter_value, 3u);
+  EXPECT_EQ(alpha->points[1].counter_value, 2u);
+
+  EXPECT_EQ(first.CounterTotal("xks_alpha_total"), 5u)
+      << "CounterTotal sums the labeled points";
+  EXPECT_EQ(first.CounterTotal("xks_absent_total"), 0u);
+}
+
+TEST(MetricsRegistryTest, TextExpositionRendersPrometheusShapes) {
+  MetricsRegistry registry;
+  registry.counter("xks_queries_total")->Increment(7);
+  registry.counter("xks_hops_total", "shard=\"127.0.0.1:7700\"")->Increment(2);
+  Histogram* histogram = registry.histogram("xks_latency_seconds");
+  histogram->Observe(1e-7);
+  histogram->Observe(1e-7);
+  histogram->Observe(1e9);  // overflow → only +Inf grows
+
+  const std::string text = registry.Snapshot().TextExposition();
+  EXPECT_NE(text.find("# TYPE xks_queries_total counter"), std::string::npos);
+  EXPECT_NE(text.find("xks_queries_total 7"), std::string::npos);
+  EXPECT_NE(text.find("xks_hops_total{shard=\"127.0.0.1:7700\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE xks_latency_seconds histogram"),
+            std::string::npos);
+  // Cumulative le convention: the first bucket already holds both small
+  // observations, and +Inf holds everything.
+  EXPECT_NE(text.find("xks_latency_seconds_bucket{le=\"1e-06\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("xks_latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("xks_latency_seconds_count 3"), std::string::npos);
+  EXPECT_NE(text.find("xks_latency_seconds_sum"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot wire codec.
+
+MetricsSnapshot BuildRichSnapshot() {
+  MetricsRegistry registry;
+  registry.counter("xks_a_total")->Increment(42);
+  registry.counter("xks_a_total", "shard=\"s1\"")->Increment(7);
+  registry.gauge("xks_b_gauge")->Set(-12345);
+  Histogram* histogram = registry.histogram("xks_c_seconds");
+  histogram->Observe(0.000128);
+  histogram->Observe(3.5);
+  histogram->Observe(1e9);
+  return registry.Snapshot();
+}
+
+TEST(MetricsSnapshotCodecTest, RoundTripsToAByteFixpoint) {
+  const MetricsSnapshot snapshot = BuildRichSnapshot();
+  const std::string bytes = EncodeSnapshot(snapshot);
+
+  MetricsSnapshot decoded;
+  ASSERT_TRUE(DecodeMetricsSnapshot(bytes, &decoded).ok());
+  EXPECT_EQ(EncodeSnapshot(decoded), bytes);
+
+  ASSERT_EQ(decoded.families.size(), snapshot.families.size());
+  EXPECT_EQ(decoded.CounterTotal("xks_a_total"), 49u);
+  const MetricFamily* gauge = decoded.Find("xks_b_gauge");
+  ASSERT_NE(gauge, nullptr);
+  ASSERT_EQ(gauge->points.size(), 1u);
+  EXPECT_EQ(gauge->points[0].gauge_value, -12345);
+  const MetricFamily* family = decoded.Find("xks_c_seconds");
+  ASSERT_NE(family, nullptr);
+  ASSERT_EQ(family->points.size(), 1u);
+  EXPECT_EQ(family->points[0].histogram.count, 3u);
+  EXPECT_EQ(family->points[0].histogram.buckets.size(),
+            family->points[0].histogram.bounds.size() + 1);
+}
+
+TEST(MetricsSnapshotCodecTest, RejectsTruncationAndTrailingGarbage) {
+  const std::string bytes = EncodeSnapshot(BuildRichSnapshot());
+  MetricsSnapshot decoded;
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeMetricsSnapshot(bytes.substr(0, cut), &decoded).ok())
+        << "prefix of length " << cut << " must not decode";
+  }
+  EXPECT_FALSE(DecodeMetricsSnapshot(bytes + "x", &decoded).ok())
+      << "trailing garbage must be rejected";
+}
+
+TEST(MetricsSnapshotCodecTest, RejectsUnknownMetricKind) {
+  // One family, kind byte 3 (only 0/1/2 exist).
+  std::string bytes;
+  bytes.push_back('\x01');              // family count
+  bytes.push_back('\x04');              // name length
+  bytes.append("name");
+  bytes.push_back('\x03');              // bad kind
+  bytes.push_back('\x00');              // point count
+  MetricsSnapshot decoded;
+  EXPECT_FALSE(DecodeMetricsSnapshot(bytes, &decoded).ok());
+}
+
+TEST(StatsFrameTest, RequestBodyIsCanonical) {
+  EXPECT_TRUE(DecodeStatsRequest(EncodeStatsRequest()).ok());
+  EXPECT_FALSE(DecodeStatsRequest("").ok()) << "missing version byte";
+  EXPECT_FALSE(DecodeStatsRequest("\x02").ok()) << "unknown version";
+  EXPECT_FALSE(DecodeStatsRequest(EncodeStatsRequest() + "x").ok())
+      << "trailing garbage";
+}
+
+TEST(StatsFrameTest, ReplyRoundTripsThroughTheFrameCodec) {
+  Frame frame;
+  frame.kind = FrameKind::kStatsReply;
+  frame.request_id = 99;
+  frame.body = EncodeStatsReply(BuildRichSnapshot());
+
+  const std::string payload = EncodeFramePayload(frame);
+  Result<Frame> parsed = DecodeFramePayload(payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, FrameKind::kStatsReply);
+  EXPECT_EQ(parsed->request_id, 99u);
+
+  Result<MetricsSnapshot> snapshot = DecodeStatsReply(parsed->body);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->CounterTotal("xks_a_total"), 49u);
+  EXPECT_EQ(EncodeStatsReply(*snapshot), frame.body);
+
+  EXPECT_FALSE(DecodeStatsReply("").ok());
+  EXPECT_FALSE(DecodeStatsReply("\x02").ok()) << "unknown version";
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans.
+
+TraceSpan MakeSpanTree() {
+  TraceSpan hop;
+  hop.name = "hop";
+  hop.start_us = 10;
+  hop.duration_us = 90;
+  hop.attributes = {{"shard", 1}, {"budget_ms", 250}};
+  TraceSpan root;
+  root.name = "search";
+  root.start_us = 0;
+  root.duration_us = 120;
+  root.attributes = {{"hits", 5}};
+  root.children = {hop};
+  return root;
+}
+
+TEST(TraceSpanTest, RoundTripsToAByteFixpoint) {
+  const TraceSpan root = MakeSpanTree();
+  const std::string bytes = EncodeTraceSpan(root);
+  TraceSpan decoded;
+  ASSERT_TRUE(DecodeTraceSpan(bytes, &decoded).ok());
+  EXPECT_EQ(EncodeTraceSpan(decoded), bytes);
+  EXPECT_EQ(decoded.name, "search");
+  EXPECT_EQ(decoded.Attr("hits"), 5u);
+  EXPECT_EQ(decoded.Attr("absent", 77), 77u);
+  const TraceSpan* hop = decoded.Child("hop");
+  ASSERT_NE(hop, nullptr);
+  EXPECT_EQ(hop->Attr("budget_ms"), 250u);
+  EXPECT_EQ(decoded.Child("nope"), nullptr);
+
+  TraceSpan scratch;
+  EXPECT_FALSE(DecodeTraceSpan(bytes.substr(0, bytes.size() - 1), &scratch).ok());
+  EXPECT_FALSE(DecodeTraceSpan(bytes + "x", &scratch).ok());
+}
+
+TEST(TraceSpanTest, RejectsNestingBeyondTheDepthLimit) {
+  TraceSpan chain;
+  chain.name = "s";
+  TraceSpan* tip = &chain;
+  for (int depth = 0; depth < kMaxTraceDepth + 4; ++depth) {
+    TraceSpan child;
+    child.name = "s";
+    tip->children.push_back(std::move(child));
+    tip = &tip->children.back();
+  }
+  TraceSpan decoded;
+  const Status status = DecodeTraceSpan(EncodeTraceSpan(chain), &decoded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(QueryTraceTest, DisabledTraceIsInert) {
+  QueryTrace trace(false);
+  EXPECT_FALSE(trace.enabled());
+  EXPECT_EQ(trace.ElapsedUs(), 0u);
+  trace.Attr("hits", 3);
+  trace.AddChild(MakeSpanTree());
+  {
+    QueryTrace::Scope scope(trace, "stage");
+  }
+  const TraceSpan root = trace.Finish();
+  EXPECT_TRUE(root.name.empty());
+  EXPECT_TRUE(root.children.empty());
+}
+
+TEST(QueryTraceTest, ScopesNestAndFinishClosesEverything) {
+  QueryTrace trace(true, "coord_search");
+  ASSERT_TRUE(trace.enabled());
+  {
+    QueryTrace::Scope parse(trace, "parse");
+  }
+  {
+    QueryTrace::Scope scatter(trace, "scatter");
+    TraceSpan hop;
+    hop.name = "hop";
+    hop.attributes = {{"shard", 0}};
+    trace.AddChild(std::move(hop));  // lands under the open scatter scope
+    trace.Attr("fan", 1);
+  }
+  trace.Attr("hits", 9);  // root attribute: no scope open
+  const TraceSpan root = trace.Finish();
+
+  EXPECT_EQ(root.name, "coord_search");
+  EXPECT_EQ(root.Attr("hits"), 9u);
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "parse");
+  const TraceSpan* scatter = root.Child("scatter");
+  ASSERT_NE(scatter, nullptr);
+  EXPECT_EQ(scatter->Attr("fan"), 1u);
+  ASSERT_EQ(scatter->children.size(), 1u);
+  EXPECT_EQ(scatter->children[0].name, "hop");
+  EXPECT_GE(root.duration_us, scatter->start_us)
+      << "root spans its children's offsets";
+}
+
+TEST(QueryTraceTest, SlowQueryLineCarriesTheBreakdown) {
+  TraceSpan hop1, hop2;
+  hop1.name = "hop";
+  hop2.name = "hop";
+  TraceSpan scatter;
+  scatter.name = "scatter";
+  scatter.duration_us = 1500;
+  scatter.children = {hop1, hop2};
+  TraceSpan parse;
+  parse.name = "parse";
+  parse.duration_us = 40;
+  TraceSpan root;
+  root.name = "coord_search";
+  root.duration_us = 1600;
+  root.attributes = {{"hits", 12}, {"cache_docs", 3}};
+  root.children = {parse, scatter};
+
+  const std::string line =
+      FormatSlowQueryLine("xks_coord", 0xabcdef, 1.6, root);
+  EXPECT_NE(line.find("xks_coord: slow-query"), std::string::npos);
+  EXPECT_NE(line.find("fingerprint=0000000000abcdef"), std::string::npos);
+  EXPECT_NE(line.find("elapsed_ms=1.600"), std::string::npos);
+  EXPECT_NE(line.find("parse:40us"), std::string::npos);
+  EXPECT_NE(line.find("scatter:1500us"), std::string::npos);
+  EXPECT_NE(line.find("hops=2"), std::string::npos)
+      << "hops under a stage child are counted";
+  EXPECT_NE(line.find("cache_docs=3"), std::string::npos);
+  EXPECT_NE(line.find("hits=12"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: the relaxed-atomic hot path must be exact under contention.
+// (This binary is in the CI ThreadSanitizer list.)
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Half the threads resolve their instruments mid-flight, racing
+      // creation against other creators and against snapshots.
+      Counter* counter = registry.counter("xks_hammer_total");
+      Gauge* gauge = registry.gauge("xks_hammer_gauge");
+      Histogram* histogram = registry.histogram("xks_hammer_seconds");
+      Counter* labeled = registry.counter(
+          "xks_hammer_labeled_total", t % 2 == 0 ? "lane=\"a\"" : "lane=\"b\"");
+      for (int i = 0; i < kIterations; ++i) {
+        counter->Increment();
+        labeled->Increment();
+        gauge->Add(1);
+        gauge->Add(-1);
+        histogram->Observe(1e-6 * (1 + (i % 1000)));
+      }
+    });
+  }
+  // Snapshot concurrently with the writers: must be data-race free (the
+  // values seen are whatever the relaxed loads observe).
+  for (int s = 0; s < 50; ++s) {
+    const MetricsSnapshot snapshot = registry.Snapshot();
+    static_cast<void>(snapshot.TextExposition());
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const MetricsSnapshot final_snapshot = registry.Snapshot();
+  EXPECT_EQ(final_snapshot.CounterTotal("xks_hammer_total"),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(final_snapshot.CounterTotal("xks_hammer_labeled_total"),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  const MetricFamily* gauge = final_snapshot.Find("xks_hammer_gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->points[0].gauge_value, 0);
+  const MetricFamily* histogram = final_snapshot.Find("xks_hammer_seconds");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->points[0].histogram.count,
+            static_cast<uint64_t>(kThreads) * kIterations);
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : histogram->points[0].histogram.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, static_cast<uint64_t>(kThreads) * kIterations)
+      << "every observation lands in exactly one bucket";
+}
+
+}  // namespace
+}  // namespace xks

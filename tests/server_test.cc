@@ -75,6 +75,53 @@ TEST(XksServerTest, ResponsesAreByteIdenticalToTheLibrary) {
   }
 }
 
+TEST(XksServerTest, TraceSpansComeBackWhenAskedAndCostNothingWhenNot) {
+  Database db = BuildCorpus();
+  XksServer server(&db, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+  XksClient client = ConnectTo(server);
+
+  SearchRequest request;
+  request.query = "apple berry";
+  request.use_cache = false;
+  request.include_stats = false;
+  request.include_trace = true;
+
+  auto reply = client.Call(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply.value().outcome.ok())
+      << reply.value().outcome.status().ToString();
+  const SearchResponse& response = reply.value().outcome.value();
+  ASSERT_NE(response.trace, nullptr) << "include_trace must return a trace";
+  const TraceSpan& root = *response.trace;
+  EXPECT_EQ(root.name, "search");
+  EXPECT_NE(root.Child("parse"), nullptr);
+  EXPECT_NE(root.Child("scan"), nullptr);
+  for (const TraceSpan& stage : root.children) {
+    EXPECT_LE(stage.start_us + stage.duration_us, root.duration_us + 1)
+        << "stage '" << stage.name << "' must sit inside the root span";
+  }
+  EXPECT_EQ(root.Attr("hits"), response.total_hits);
+
+  // Trace off: the wire bytes are exactly the library encoding (no trailing
+  // trace section), and the same response minus the trace is what came back
+  // above — the trace rides strictly additively.
+  SearchRequest plain = request;
+  plain.include_trace = false;
+  Result<SearchResponse> direct = db.Search(plain);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  auto plain_reply = client.Call(plain);
+  ASSERT_TRUE(plain_reply.ok() && plain_reply.value().outcome.ok());
+  EXPECT_EQ(plain_reply.value().outcome.value().trace, nullptr);
+  EXPECT_EQ(plain_reply.value().raw_response,
+            EncodeSearchResponse(direct.value()))
+      << "trace-off responses must keep the prior byte form";
+  SearchResponse stripped = response;
+  stripped.trace.reset();
+  EXPECT_EQ(EncodeSearchResponse(stripped), EncodeSearchResponse(direct.value()))
+      << "a traced response minus its trace must equal the untraced bytes";
+}
+
 TEST(XksServerTest, ErrorsTravelAsStatusFrames) {
   Database db = BuildCorpus();
   XksServer server(&db, ServerConfig{});

@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -158,6 +159,61 @@ TEST(WireResponseTest, RoundTripsTheClientVisibleProjection) {
   EXPECT_EQ(EncodeSearchResponse(out), EncodeSearchResponse(response));
 }
 
+TraceSpan MakeResponseTrace() {
+  TraceSpan scan;
+  scan.name = "scan";
+  scan.start_us = 15;
+  scan.duration_us = 930;
+  scan.attributes = {{"documents", 9}};
+  TraceSpan root;
+  root.name = "search";
+  root.duration_us = 1200;
+  root.attributes = {{"hits", 41}};
+  root.children.push_back(std::move(scan));
+  return root;
+}
+
+TEST(WireResponseTest, TraceRidesTheBareSentinelForm) {
+  // No scan breakdown: the trace section starts with the varint-0 sentinel
+  // where the breakdown count would be.
+  SearchResponse response = MakeResponse();
+  response.trace = std::make_shared<const TraceSpan>(MakeResponseTrace());
+  const std::string body = EncodeSearchResponse(response);
+
+  Result<SearchResponse> decoded = DecodeSearchResponse(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_NE(decoded.value().trace, nullptr);
+  EXPECT_EQ(decoded.value().trace->name, "search");
+  EXPECT_EQ(decoded.value().trace->Attr("hits"), 41u);
+  ASSERT_NE(decoded.value().trace->Child("scan"), nullptr);
+  EXPECT_EQ(decoded.value().trace->Child("scan")->duration_us, 930u);
+  EXPECT_EQ(EncodeSearchResponse(decoded.value()), body);
+
+  // Dropping the trace reproduces the prior (trace-off) byte form — the
+  // property the byte-identity goldens rest on.
+  SearchResponse stripped = decoded.value();
+  stripped.trace.reset();
+  EXPECT_EQ(EncodeSearchResponse(stripped),
+            EncodeSearchResponse(MakeResponse()));
+}
+
+TEST(WireResponseTest, TraceFollowsTheBreakdownBehindASeparator) {
+  SearchResponse response = MakeResponse();
+  response.scan_breakdown = {{/*document=*/2, /*hits=*/5},
+                             {/*document=*/7, /*hits=*/36}};
+  response.trace = std::make_shared<const TraceSpan>(MakeResponseTrace());
+  const std::string body = EncodeSearchResponse(response);
+
+  Result<SearchResponse> decoded = DecodeSearchResponse(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().scan_breakdown.size(), 2u);
+  EXPECT_EQ(decoded.value().scan_breakdown[1].document, 7u);
+  EXPECT_EQ(decoded.value().scan_breakdown[1].hits, 36u);
+  ASSERT_NE(decoded.value().trace, nullptr);
+  EXPECT_EQ(decoded.value().trace->name, "search");
+  EXPECT_EQ(EncodeSearchResponse(decoded.value()), body);
+}
+
 TEST(WireStatusTest, RoundTripsEveryCode) {
   for (uint32_t code = 0;
        code <= static_cast<uint32_t>(StatusCode::kUnavailable); ++code) {
@@ -218,6 +274,36 @@ TEST(WireCorruptionTest, TrailingBytesAreRejected) {
   EXPECT_FALSE(DecodeStatusPayload(status, &out).ok());
 }
 
+TEST(WireCorruptionTest, BadTraceSectionsAreRejected) {
+  // A nonzero separator between the breakdown and the trace.
+  SearchResponse with_breakdown = MakeResponse();
+  with_breakdown.scan_breakdown = {{/*document=*/1, /*hits=*/3}};
+  std::string body = EncodeSearchResponse(with_breakdown);
+  body.push_back('\x02');  // separator must be the varint 0
+  body.push_back('\x00');
+  Result<SearchResponse> decoded = DecodeSearchResponse(body);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+
+  // An empty trace section behind a valid sentinel.
+  std::string empty_trace = EncodeSearchResponse(MakeResponse());
+  empty_trace.push_back('\x00');  // sentinel: trace follows
+  empty_trace.push_back('\x00');  // ... but zero trace bytes
+  EXPECT_FALSE(DecodeSearchResponse(empty_trace).ok());
+
+  // Truncating a traced response inside the trace section must fail
+  // cleanly. (Truncating at exactly the section start IS the valid
+  // trace-off body, so the sweep begins one byte past it.)
+  SearchResponse traced = MakeResponse();
+  traced.trace = std::make_shared<const TraceSpan>(MakeResponseTrace());
+  const std::string full = EncodeSearchResponse(traced);
+  for (size_t len = EncodeSearchResponse(MakeResponse()).size() + 1;
+       len < full.size(); ++len) {
+    EXPECT_FALSE(DecodeSearchResponse(std::string_view(full.data(), len)).ok())
+        << "prefix of length " << len << " decoded";
+  }
+}
+
 TEST(WireCorruptionTest, UnknownVersionIsRejected) {
   std::string body = EncodeSearchRequest(SearchRequest{});
   body[0] = 9;
@@ -253,7 +339,7 @@ TEST(WireCorruptionTest, BadFrameKindIsRejected) {
   std::string payload = EncodeFramePayload(frame);
   payload[0] = 0;
   EXPECT_FALSE(DecodeFramePayload(payload).ok());
-  payload[0] = 6;  // one past kHealthReply, the highest assigned kind
+  payload[0] = 8;  // one past kStatsReply, the highest assigned kind
   EXPECT_FALSE(DecodeFramePayload(payload).ok());
 }
 
